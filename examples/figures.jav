@@ -1,0 +1,57 @@
+// The paper's running examples, in the surface syntax that
+// `rmi-experiments compile` accepts.  Try:
+//
+//   dune exec bin/main.exe -- compile examples/figures.jav
+//
+// and compare the printed verdicts with the paper:
+//  - Driver.benchArray's call site: acyclic, reusable, ack-only (Fig 12/13)
+//  - Driver.benchList's call site: may-be-cyclic (the admitted false
+//    positive), reusable (Fig 14 / Table 1)
+//  - Driver.benchEscape's call site: argument escapes via the static
+//    (Fig 11)
+
+class LinkedList {
+  LinkedList next;
+}
+
+class Data { int payload; }
+class Bar { Data d; }
+
+remote class ArrayBench {
+  void send(double[][] arr) { }
+}
+
+remote class ListBench {
+  void send(LinkedList l) { }
+}
+
+remote class EscapeBench {
+  static Data kept;
+  void foo(Bar a) { EscapeBench.kept = a.d; }
+}
+
+class Driver {
+  static void benchArray() {
+    double[][] arr = new double[16][16];
+    ArrayBench f = new ArrayBench();
+    for (int i = 0; i < 100; i++) { f.send(arr); }
+  }
+
+  static void benchList() {
+    LinkedList head = null;
+    for (int i = 0; i < 100; i++) {
+      LinkedList n = new LinkedList();
+      n.next = head;
+      head = n;
+    }
+    ListBench f = new ListBench();
+    f.send(head);
+  }
+
+  static void benchEscape() {
+    Bar b = new Bar();
+    b.d = new Data();
+    EscapeBench e = new EscapeBench();
+    e.foo(b);
+  }
+}
