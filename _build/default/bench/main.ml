@@ -1,0 +1,353 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one Test.make per paper table — the table's RMI
+   unit of work measured under the "class" baseline and under the fully
+   optimized "site + reuse + cycle" configuration — plus ablation
+   benches for the design choices DESIGN.md calls out (dispatch,
+   cycle-table cost, reuse, wire type-information encoding).
+
+   Part 2: the paper-style Tables 1-8, paper-vs-measured, at the small
+   workload scale (use bin/main.exe --scale paper for full sizes). *)
+
+open Bechamel
+open Toolkit
+module Config = Rmi_runtime.Config
+module Fabric = Rmi_runtime.Fabric
+module Node = Rmi_runtime.Node
+module Value = Rmi_serial.Value
+module Codec = Rmi_serial.Codec
+module Metrics = Rmi_stats.Metrics
+module Plan = Rmi_core.Plan
+module Msgbuf = Rmi_wire.Msgbuf
+
+(* ------------------------------------------------------------------ *)
+(* per-table RMI units                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* builds a 2-machine Sync fabric for an app and returns a one-RMI
+   closure; all setup happens outside the measured region *)
+let rmi_unit (compiled : Rmi_apps.App_common.compiled) ~config ~export ~call =
+  let metrics = Metrics.create () in
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ~n:2 ~meta:compiled.meta ~config
+      ~plans:compiled.plans ~metrics ()
+  in
+  export fabric;
+  let caller = Fabric.node fabric 0 in
+  fun () -> call caller
+
+let meth_named (compiled : Rmi_apps.App_common.compiled) name =
+  Jfront.Lower.method_named compiled.Rmi_apps.App_common.prog name
+
+let list_unit config =
+  let compiled = Rmi_apps.Linked_list.compiled () in
+  let meth = meth_named compiled "Foo.send" in
+  let site = Rmi_apps.Linked_list.callsite () in
+  let head =
+    let rec go acc k =
+      if k = 0 then acc
+      else begin
+        let c = Value.new_obj ~cls:0 ~nfields:1 in
+        c.Value.fields.(0) <- acc;
+        go (Value.Obj c) (k - 1)
+      end
+    in
+    go Value.Null 100
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
+          None))
+    ~call:(fun caller ->
+      ignore
+        (Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~meth ~callsite:site ~has_ret:false [| head |]))
+
+let array_unit config =
+  let compiled = Rmi_apps.Array_bench.compiled () in
+  let meth = meth_named compiled "ArrayBench.send" in
+  let site = Rmi_apps.Array_bench.callsite () in
+  let matrix =
+    let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 16 in
+    for i = 0 to 15 do
+      outer.Value.ra.(i) <- Value.Darr (Value.new_darr 16)
+    done;
+    Value.Rarr outer
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
+          None))
+    ~call:(fun caller ->
+      ignore
+        (Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~meth ~callsite:site ~has_ret:false [| matrix |]))
+
+let lu_unit config =
+  let compiled = Rmi_apps.Lu.compiled () in
+  let meth = meth_named compiled "Worker.update" in
+  let site = Rmi_apps.Lu.callsite () in
+  let block () =
+    let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 16 in
+    for i = 0 to 15 do
+      let inner = Value.new_darr 16 in
+      for j = 0 to 15 do
+        inner.Value.d.(j) <- float_of_int ((i * 16) + j)
+      done;
+      outer.Value.ra.(i) <- Value.Darr inner
+    done;
+    Value.Rarr outer
+  in
+  let a = block () and col = block () and row = block () in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:true
+        (fun args -> Some args.(0)))
+    ~call:(fun caller ->
+      ignore
+        (Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~meth ~callsite:site ~has_ret:true [| a; col; row |]))
+
+let superopt_unit config =
+  let compiled = Rmi_apps.Superopt.compiled () in
+  let meth = meth_named compiled "Tester.accept" in
+  let accept_site, _ = Rmi_apps.Superopt.callsites () in
+  let candidate =
+    (* Prog{id; insns=[3 x Insn{op; 3 x Operand}]}: class ids in the
+       superoptimizer model are 0=Operand 1=Insn 2=Prog *)
+    let operand v =
+      let o = Value.new_obj ~cls:0 ~nfields:1 in
+      o.Value.fields.(0) <- Value.Int v;
+      Value.Obj o
+    in
+    let insns = Value.new_rarr (Jir.Types.Tobject 1) 3 in
+    for i = 0 to 2 do
+      let ins = Value.new_obj ~cls:1 ~nfields:4 in
+      ins.Value.fields.(0) <- Value.Int i;
+      ins.Value.fields.(1) <- operand 0;
+      ins.Value.fields.(2) <- operand 1;
+      ins.Value.fields.(3) <- operand 2;
+      insns.Value.ra.(i) <- Value.Obj ins
+    done;
+    let p = Value.new_obj ~cls:2 ~nfields:2 in
+    p.Value.fields.(0) <- Value.Int 7;
+    p.Value.fields.(1) <- Value.Rarr insns;
+    Value.Obj p
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
+          None))
+    ~call:(fun caller ->
+      ignore
+        (Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~meth ~callsite:accept_site ~has_ret:false [| candidate |]))
+
+let web_unit config =
+  let compiled = Rmi_apps.Webserver.compiled () in
+  let meth = meth_named compiled "Slave.get_page" in
+  let site = Rmi_apps.Webserver.callsite () in
+  let url =
+    let chars = Value.new_iarr 32 in
+    let u = Value.new_obj ~cls:0 ~nfields:1 in
+    u.Value.fields.(0) <- Value.Iarr chars;
+    Value.Obj u
+  in
+  let page =
+    let data = Value.new_iarr 256 in
+    let p = Value.new_obj ~cls:1 ~nfields:1 in
+    p.Value.fields.(0) <- Value.Iarr data;
+    Value.Obj p
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:true (fun _ ->
+          Some page))
+    ~call:(fun caller ->
+      ignore
+        (Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~meth ~callsite:site ~has_ret:true [| url |]))
+
+(* ------------------------------------------------------------------ *)
+(* ablation micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_meta =
+  Rmi_serial.Class_meta.make
+    [ ("Cell", [ ("next", Jir.Types.Tobject 0); ("v", Jir.Types.Tint) ]) ]
+
+let deep_chain n =
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let c = Value.new_obj ~cls:0 ~nfields:2 in
+      c.Value.fields.(0) <- acc;
+      c.Value.fields.(1) <- Value.Int k;
+      go (Value.Obj c) (k - 1)
+    end
+  in
+  go Value.Null n
+
+(* the recursive call-site plan for the chain: dispatch-free, untagged *)
+let chain_plan_defs =
+  [| Plan.S_obj { cls = 0; fields = [| Plan.S_ref 0; Plan.S_int |] } |]
+
+let ablation_dispatch_dyn () =
+  let v = deep_chain 64 in
+  let m = Metrics.create () in
+  fun () ->
+    let w = Msgbuf.create_writer () in
+    Codec.write_dyn (Codec.make_wctx ablation_meta m ~cycle:true) w v
+
+let ablation_dispatch_plan () =
+  let v = deep_chain 64 in
+  let m = Metrics.create () in
+  fun () ->
+    let w = Msgbuf.create_writer () in
+    Codec.write_step
+      (Codec.make_wctx ~defs:chain_plan_defs ablation_meta m ~cycle:true)
+      w (Plan.S_ref 0) v
+
+let big_array_value () =
+  let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 32 in
+  for i = 0 to 31 do
+    outer.Value.ra.(i) <- Value.Darr (Value.new_darr 32)
+  done;
+  Value.Rarr outer
+
+let array_step = Plan.S_obj_array { elem = Plan.S_double_array }
+
+let ablation_cycletable on () =
+  let v = big_array_value () in
+  let m = Metrics.create () in
+  fun () ->
+    let w = Msgbuf.create_writer () in
+    Codec.write_step (Codec.make_wctx ablation_meta m ~cycle:on) w array_step v
+
+let ablation_reuse with_cand () =
+  let v = big_array_value () in
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Codec.write_step (Codec.make_wctx ablation_meta m ~cycle:false) w array_step v;
+  let payload = Msgbuf.contents w in
+  let cand = if with_cand then big_array_value () else Value.Null in
+  fun () ->
+    let r = Msgbuf.reader_of_bytes payload in
+    ignore
+      (Codec.read_step
+         (Codec.make_rctx ablation_meta m ~cycle:false)
+         r array_step ~cand)
+
+let ablation_dispatch_compiled () =
+  let v = deep_chain 64 in
+  let m = Metrics.create () in
+  let compiled = Codec.compile_write ~defs:chain_plan_defs (Plan.S_ref 0) in
+  fun () ->
+    let w = Msgbuf.create_writer () in
+    compiled (Codec.make_wctx ~defs:chain_plan_defs ablation_meta m ~cycle:true) w v
+
+let ablation_wire_introspect () =
+  let v = deep_chain 64 in
+  let m = Metrics.create () in
+  fun () ->
+    let w = Msgbuf.create_writer () in
+    Rmi_serial.Introspect.write (Rmi_serial.Introspect.make_wctx ablation_meta m) w v
+
+(* ------------------------------------------------------------------ *)
+(* runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  let t name f = Test.make ~name (Staged.stage (f ())) in
+  [
+    (* one Test.make per paper table: baseline vs fully optimized *)
+    t "table1:list/class" (fun () -> list_unit Config.class_);
+    t "table1:list/site+reuse+cycle" (fun () -> list_unit Config.site_reuse_cycle);
+    t "table2:array/class" (fun () -> array_unit Config.class_);
+    t "table2:array/site+reuse+cycle" (fun () -> array_unit Config.site_reuse_cycle);
+    t "table3+4:lu-update/class" (fun () -> lu_unit Config.class_);
+    t "table3+4:lu-update/site+reuse+cycle" (fun () -> lu_unit Config.site_reuse_cycle);
+    t "table5+6:superopt-accept/class" (fun () -> superopt_unit Config.class_);
+    t "table5+6:superopt-accept/site+reuse+cycle" (fun () ->
+        superopt_unit Config.site_reuse_cycle);
+    t "table7+8:web-get-page/class" (fun () -> web_unit Config.class_);
+    t "table7+8:web-get-page/site+reuse+cycle" (fun () ->
+        web_unit Config.site_reuse_cycle);
+    (* ablations *)
+    t "ablation:dispatch/dyn" ablation_dispatch_dyn;
+    t "ablation:dispatch/plan-interpreted" ablation_dispatch_plan;
+    t "ablation:dispatch/plan-compiled" ablation_dispatch_compiled;
+    t "ablation:cycletable/on" (fun () -> ablation_cycletable true ());
+    t "ablation:cycletable/off" (fun () -> ablation_cycletable false ());
+    t "ablation:reuse/fresh" (fun () -> ablation_reuse false ());
+    t "ablation:reuse/cached" (fun () -> ablation_reuse true ());
+    t "ablation:wire/introspect" ablation_wire_introspect;
+    t "ablation:wire/class-tags" ablation_dispatch_dyn;
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw_results =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"rmi" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline "Bechamel micro-benchmarks (ns per RMI / per operation):";
+  print_endline
+    (Rmi_stats.Ascii_table.render
+       ~headers:[ "benchmark"; "ns/run" ]
+       (List.map (fun (n, ns) -> [ n; Printf.sprintf "%.0f" ns ]) rows))
+
+let run_tables () =
+  let module E = Rmi_harness.Experiment in
+  let timing t =
+    print_endline (E.render_timing t);
+    print_endline "shape vs paper:";
+    print_endline (E.shape_summary t);
+    print_newline ()
+  in
+  timing (E.table1 ());
+  timing (E.table2 ());
+  let t3 = E.table3 () in
+  timing t3;
+  print_endline
+    (E.stats_table ~id:"table4" ~title:"Table 4: LU runtime statistics" t3
+       Rmi_harness.Paper_data.table4_stats);
+  let t5 = E.table5 () in
+  timing t5;
+  print_endline
+    (E.stats_table ~id:"table6"
+       ~title:"Table 6: Superoptimizer runtime statistics" t5
+       Rmi_harness.Paper_data.table6_stats);
+  let t7 = E.table7 () in
+  timing t7;
+  print_endline
+    (E.stats_table ~id:"table8" ~title:"Table 8: Webserver runtime statistics" t7
+       Rmi_harness.Paper_data.table8_stats)
+
+let () =
+  run_benchmarks ();
+  print_newline ();
+  print_endline "=== Paper tables (small scale; --scale paper via bin/main.exe) ===";
+  print_newline ();
+  run_tables ()

@@ -1,0 +1,349 @@
+(* rmi-experiments: reproduce the paper's Tables 1-8 from the command
+   line.  `rmi-experiments all` prints every table paper-vs-measured;
+   `rmi-experiments report` prints the compiler's per-call-site
+   analysis decisions for every application model. *)
+
+open Cmdliner
+module E = Rmi_harness.Experiment
+
+let scale_conv =
+  Arg.enum [ ("small", E.Small); ("paper", E.Paper) ]
+
+let mode_conv =
+  Arg.enum
+    [ ("sync", Rmi_runtime.Fabric.Sync); ("parallel", Rmi_runtime.Fabric.Parallel) ]
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv E.Small
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Workload size: $(b,small) finishes in seconds, $(b,paper) uses the \
+           paper's sizes (1024 LU matrix, full search space, 100k requests).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Rmi_runtime.Fabric.Sync
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Cluster execution: $(b,sync) single-threaded deterministic, \
+           $(b,parallel) one OCaml domain per machine (the paper's 2 CPUs).")
+
+let print_timing_and_shape t =
+  print_endline (E.render_timing t);
+  print_endline "shape vs paper:";
+  print_endline (E.shape_summary t);
+  print_newline ()
+
+let run_table1 scale mode = print_timing_and_shape (E.table1 ~scale ~mode ())
+let run_table2 scale mode = print_timing_and_shape (E.table2 ~scale ~mode ())
+
+let run_table3_4 scale mode ~want3 ~want4 =
+  let t = E.table3 ~scale ~mode () in
+  if want3 then print_timing_and_shape t;
+  if want4 then
+    print_endline
+      (E.stats_table ~id:"table4" ~title:"Table 4: LU runtime statistics" t
+         Rmi_harness.Paper_data.table4_stats)
+
+let run_table5_6 scale mode ~want5 ~want6 =
+  let t = E.table5 ~scale ~mode () in
+  if want5 then print_timing_and_shape t;
+  if want6 then
+    print_endline
+      (E.stats_table ~id:"table6" ~title:"Table 6: Superoptimizer runtime statistics" t
+         Rmi_harness.Paper_data.table6_stats)
+
+let run_table7_8 scale mode ~want7 ~want8 =
+  let t = E.table7 ~scale ~mode () in
+  if want7 then print_timing_and_shape t;
+  if want8 then
+    print_endline
+      (E.stats_table ~id:"table8" ~title:"Table 8: Webserver runtime statistics" t
+         Rmi_harness.Paper_data.table8_stats)
+
+let table_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ mode_arg)
+
+let all_cmd =
+  let run scale mode =
+    run_table1 scale mode;
+    run_table2 scale mode;
+    run_table3_4 scale mode ~want3:true ~want4:true;
+    run_table5_6 scale mode ~want5:true ~want6:true;
+    run_table7_8 scale mode ~want7:true ~want8:true
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every table of the evaluation (1-8).")
+    Term.(const run $ scale_arg $ mode_arg)
+
+let report_cmd =
+  let run () =
+    let apps =
+      [
+        ("linked list (Fig. 14)", (Rmi_apps.Linked_list.compiled ()).Rmi_apps.App_common.opt);
+        ("2D array (Fig. 12)", (Rmi_apps.Array_bench.compiled ()).Rmi_apps.App_common.opt);
+        ("LU", (Rmi_apps.Lu.compiled ()).Rmi_apps.App_common.opt);
+        ("superoptimizer", (Rmi_apps.Superopt.compiled ()).Rmi_apps.App_common.opt);
+        ("webserver", (Rmi_apps.Webserver.compiled ()).Rmi_apps.App_common.opt);
+      ]
+    in
+    List.iter
+      (fun (name, opt) ->
+        Printf.printf "=== %s ===\n%s\n" name (Rmi_core.Optimizer.report opt))
+      apps
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Print the compiler's heap/cycle/escape analysis decisions and the \
+          generated serialization plan for every application's call sites.")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Source file in the Java-like surface syntax.")
+  in
+  let show_jir =
+    Arg.(value & flag & info [ "jir" ] ~doc:"Also print the lowered JIR.")
+  in
+  let show_dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Print the heap approximation as Graphviz (the paper's Figure 2).")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize"; "O" ]
+          ~doc:"Run the scalar SSA cleanups (constant folding, copy                 propagation, dead-code elimination) before the analyses.")
+  in
+  let run file show_jir show_dot optimize =
+    let ic = open_in_bin file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Jfront.Lower.compile_result src with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    | Ok prog ->
+        if show_jir then
+          Format.printf "%a@." Jir.Pretty.pp_program prog;
+        let opt = Rmi_core.Optimizer.run ~simplify:optimize prog in
+        if show_jir && optimize then
+          Format.printf "-- after scalar cleanups --@.%a@." Jir.Pretty.pp_program
+            prog;
+        if show_dot then begin
+          let heap = opt.Rmi_core.Optimizer.heap in
+          print_string
+            (Rmi_core.Heap_graph.to_dot
+               ~names:(Jir.Program.class_name prog)
+               (Rmi_core.Heap_analysis.graph heap))
+        end
+        else print_string (Rmi_core.Optimizer.report opt)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a source file (Java-like syntax, see examples/*.jav) and           print the optimizer's per-call-site decisions.")
+    Term.(const run $ file_arg $ show_jir $ show_dot $ optimize)
+
+let breakdown_cmd =
+  let run scale mode =
+    (* cost-model component breakdown for the fully optimized run of
+       each application *)
+    let model = Rmi_net.Costmodel.myrinet_2003 in
+    let show name (stats : Rmi_stats.Metrics.snapshot) =
+      Printf.printf "\n%s (site + reuse + cycle):\n" name;
+      List.iter
+        (fun (label, seconds) ->
+          if seconds > 0.0 then
+            Printf.printf "  %-18s %10.6f s\n" label seconds)
+        (Rmi_net.Costmodel.breakdown model stats)
+    in
+    let t1 = E.table1 ~scale ~mode () in
+    let t2 = E.table2 ~scale ~mode () in
+    let full t =
+      (List.find
+         (fun r -> r.E.config.Rmi_runtime.Config.name = "site + reuse + cycle")
+         t.E.rows)
+        .E.stats
+    in
+    show "LinkedList" (full t1);
+    show "2D array" (full t2)
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:
+         "Show where the modeled time goes, per cost-model component, for           the microbenchmarks under full optimization.")
+    Term.(const run $ scale_arg $ mode_arg)
+
+let trace_cmd =
+  let run () =
+    (* a small traced webserver run: 64 retrievals over 2 machines *)
+    let compiled = Rmi_apps.Webserver.compiled () in
+    let metrics = Rmi_stats.Metrics.create () in
+    let fabric =
+      Rmi_runtime.Fabric.create ~mode:Rmi_runtime.Fabric.Sync ~n:2
+        ~meta:compiled.Rmi_apps.App_common.meta
+        ~config:Rmi_runtime.Config.site_reuse_cycle
+        ~plans:compiled.Rmi_apps.App_common.plans ~metrics ()
+    in
+    let tr = Rmi_runtime.Trace.create () in
+    for m = 0 to 1 do
+      Rmi_runtime.Node.set_trace (Rmi_runtime.Fabric.node fabric m) tr
+    done;
+    (* reuse the library workload through its public entry is simplest:
+       run a few manual calls against exported pages *)
+    let module Value = Rmi_serial.Value in
+    let meth =
+      Jfront.Lower.method_named compiled.Rmi_apps.App_common.prog
+        "Slave.get_page"
+    in
+    let site =
+      match Jir.Program.remote_callsites compiled.Rmi_apps.App_common.prog with
+      | [ (_, s, _, _, _) ] -> s
+      | _ -> failwith "unexpected callsites"
+    in
+    for m = 0 to 1 do
+      Rmi_runtime.Node.export
+        (Rmi_runtime.Fabric.node fabric m)
+        ~obj:0 ~meth ~has_ret:true
+        (fun _ ->
+          let p = Value.new_obj ~cls:1 ~nfields:1 in
+          p.Value.fields.(0) <- Value.Iarr (Value.new_iarr 64);
+          Some (Value.Obj p))
+    done;
+    let caller = Rmi_runtime.Fabric.node fabric 0 in
+    for r = 0 to 63 do
+      let u = Value.new_obj ~cls:0 ~nfields:1 in
+      u.Value.fields.(0) <- Value.Iarr (Value.new_iarr 8);
+      ignore
+        (Rmi_runtime.Node.call caller
+           ~dest:(Rmi_runtime.Remote_ref.make ~machine:(r mod 2) ~obj:0)
+           ~meth ~callsite:site ~has_ret:true [| Value.Obj u |])
+    done;
+    print_endline "first events:";
+    print_string (Rmi_runtime.Trace.render ~limit:12 tr);
+    print_endline "";
+    print_endline "per-callsite latency summary:";
+    print_endline (Rmi_runtime.Trace.summary tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a small traced workload and print the RMI event timeline and              per-call-site latency summary.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Source file in the Java-like surface syntax.")
+  in
+  let entry_arg =
+    Arg.(
+      value
+      & opt string "Driver.main"
+      & info [ "entry" ] ~docv:"METHOD"
+          ~doc:"Qualified method to execute on machine 0 (must take no                 parameters).")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun (c : Rmi_runtime.Config.t) -> (c.Rmi_runtime.Config.name, c))
+                Rmi_runtime.Config.all))
+          Rmi_runtime.Config.site_reuse_cycle
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Optimization configuration (the paper's table rows).")
+  in
+  let run file entry machines config mode =
+    let ic = open_in_bin file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Jfront.Lower.compile_result src with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    | Ok prog -> (
+        match Jir.Program.find_method prog entry with
+        | None ->
+            Printf.eprintf "%s: no method %s\n" file entry;
+            exit 1
+        | Some m when Array.length m.Jir.Program.params > 0 ->
+            Printf.eprintf "%s: entry %s takes parameters\n" file entry;
+            exit 1
+        | Some m ->
+            let r =
+              Rmi_runtime.Distributed.run ~config ~mode ~machines prog
+                ~entry:m.Jir.Program.mid []
+            in
+            Format.printf "%s = %a@." entry Jir.Interp.pp_value
+              r.Rmi_runtime.Distributed.value;
+            let s = r.Rmi_runtime.Distributed.stats in
+            Format.printf "machines=%d  config=%s  remote objects=%d@." machines
+              config.Rmi_runtime.Config.name
+              r.Rmi_runtime.Distributed.remote_objects;
+            Format.printf
+              "rpcs: %d remote + %d local; reused objs=%d; allocs=%d; cycle \
+               lookups=%d; wire bytes=%d@."
+              s.Rmi_stats.Metrics.remote_rpcs s.Rmi_stats.Metrics.local_rpcs
+              s.Rmi_stats.Metrics.reused_objs s.Rmi_stats.Metrics.allocs
+              s.Rmi_stats.Metrics.cycle_lookups s.Rmi_stats.Metrics.bytes_sent;
+            Format.printf "wall: %.4fs  modeled: %.4fs@."
+              r.Rmi_runtime.Distributed.wall_seconds
+              (Rmi_net.Costmodel.modeled_seconds Rmi_net.Costmodel.myrinet_2003 s))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Compile a source file and execute it as a distributed program:           machine 0 runs the entry method, remote objects are placed           round-robin, and every RMI crosses the simulated cluster through           the selected optimization configuration.")
+    Term.(const run $ file_arg $ entry_arg $ machines_arg $ config_arg $ mode_arg)
+
+let cmds =
+  [
+    table_cmd "table1" "LinkedList transmission (Table 1)." run_table1;
+    table_cmd "table2" "16x16 double[][] transmission (Table 2)." run_table2;
+    table_cmd "table3" "LU runtime (Table 3)." (fun s m ->
+        run_table3_4 s m ~want3:true ~want4:false);
+    table_cmd "table4" "LU runtime statistics (Table 4)." (fun s m ->
+        run_table3_4 s m ~want3:false ~want4:true);
+    table_cmd "table5" "Superoptimizer runtime (Table 5)." (fun s m ->
+        run_table5_6 s m ~want5:true ~want6:false);
+    table_cmd "table6" "Superoptimizer statistics (Table 6)." (fun s m ->
+        run_table5_6 s m ~want5:false ~want6:true);
+    table_cmd "table7" "Webserver us/page (Table 7)." (fun s m ->
+        run_table7_8 s m ~want7:true ~want8:false);
+    table_cmd "table8" "Webserver statistics (Table 8)." (fun s m ->
+        run_table7_8 s m ~want7:false ~want8:true);
+    all_cmd;
+    report_cmd;
+    compile_cmd;
+    breakdown_cmd;
+    trace_cmd;
+    run_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "rmi-experiments" ~version:"1.0.0"
+      ~doc:
+        "Reproduction harness for 'Compiler Optimized Remote Method \
+         Invocation' (Veldema & Philippsen, 2003)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

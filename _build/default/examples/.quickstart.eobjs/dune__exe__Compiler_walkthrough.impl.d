@@ -1,0 +1,1 @@
+examples/compiler_walkthrough.ml: Format Rmi_apps Rmi_core

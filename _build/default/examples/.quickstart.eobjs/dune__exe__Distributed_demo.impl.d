@@ -1,0 +1,1 @@
+examples/distributed_demo.ml: Format Jfront Jir Rmi_runtime Rmi_stats

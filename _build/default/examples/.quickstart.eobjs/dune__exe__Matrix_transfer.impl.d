@@ -1,0 +1,1 @@
+examples/matrix_transfer.ml: Format List Rmi_apps Rmi_core Rmi_net Rmi_runtime Rmi_stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Format Instr Jir Program Rmi_apps Rmi_core Rmi_runtime Rmi_serial Rmi_stats

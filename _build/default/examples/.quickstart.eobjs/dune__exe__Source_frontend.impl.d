@@ -1,0 +1,1 @@
+examples/source_frontend.ml: Format Jfront Jir List Rmi_core Rmi_runtime Rmi_stats

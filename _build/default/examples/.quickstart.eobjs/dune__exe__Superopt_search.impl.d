@@ -1,0 +1,1 @@
+examples/superopt_search.ml: Format List Rmi_apps Rmi_runtime Rmi_stats

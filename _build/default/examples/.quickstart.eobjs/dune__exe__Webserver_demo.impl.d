@@ -1,0 +1,1 @@
+examples/webserver_demo.ml: Format List Rmi_apps Rmi_runtime Rmi_stats

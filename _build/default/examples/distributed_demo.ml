@@ -1,0 +1,81 @@
+(* Distributed whole-program execution with tracing: a Java-like source
+   program whose remote objects spread over three machines, with nested
+   RMIs, executed under the fully optimized configuration.
+
+   Run with: dune exec examples/distributed_demo.exe *)
+
+let source =
+  {|
+  class Grid { double[][] cells; }
+
+  remote class Smoother {
+    // one Jacobi-style smoothing sweep over the interior
+    Grid sweep(Grid g) {
+      int n = g.cells.length;
+      Grid out = new Grid();
+      out.cells = new double[n][n];
+      for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+          out.cells[i][j] =
+            (g.cells[i-1][j] + g.cells[i+1][j] +
+             g.cells[i][j-1] + g.cells[i][j+1]) / 4.0;
+        }
+      }
+      return out;
+    }
+  }
+
+  remote class Pipeline {
+    // two smoothing stages living on (potentially) different machines
+    Grid both(Grid g) {
+      Smoother s1 = new Smoother();
+      Smoother s2 = new Smoother();
+      return s2.sweep(s1.sweep(g));
+    }
+  }
+
+  class Driver {
+    static double main() {
+      Grid g = new Grid();
+      g.cells = new double[8][8];
+      for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) { g.cells[i][j] = i * j * 1.0; }
+      }
+      Pipeline p = new Pipeline();
+      double acc = 0.0;
+      for (int r = 0; r < 20; r++) {
+        Grid out = p.both(g);
+        acc = acc + out.cells[4][4];
+      }
+      return acc;
+    }
+  }
+  |}
+
+let () =
+  let prog = Jfront.Lower.compile source in
+  let entry = Jfront.Lower.method_named prog "Driver.main" in
+  Format.printf "running Driver.main on a 3-machine cluster...@.";
+  let r =
+    Rmi_runtime.Distributed.run ~config:Rmi_runtime.Config.site_reuse_cycle
+      ~mode:Rmi_runtime.Fabric.Sync ~machines:3 prog ~entry []
+  in
+  Format.printf "main() = %a@." Jir.Interp.pp_value r.Rmi_runtime.Distributed.value;
+  Format.printf
+    "remote objects placed: %d; rpcs: %d remote + %d local; reused objs: %d; \
+     cycle lookups: %d@."
+    r.Rmi_runtime.Distributed.remote_objects
+    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.remote_rpcs
+    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.local_rpcs
+    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.reused_objs
+    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.cycle_lookups;
+  (* sanity: the distributed result equals the interpreter's built-in
+     RMI simulation *)
+  let prog2 = Jfront.Lower.compile source in
+  let oracle =
+    Jir.Interp.run (Jir.Interp.create prog2)
+      (Jfront.Lower.method_named prog2 "Driver.main")
+      []
+  in
+  Format.printf "matches the interpreter oracle: %b@."
+    (Jir.Interp.value_equal oracle r.Rmi_runtime.Distributed.value)

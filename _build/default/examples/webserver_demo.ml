@@ -1,0 +1,26 @@
+(* Parallel webserver demo (paper Section 5.4): a master forwarding
+   page requests to slaves over RMI, once per optimization level, on
+   real OCaml domains (the paper's 2 CPUs).
+
+   Run with: dune exec examples/webserver_demo.exe *)
+
+let () =
+  let params =
+    { Rmi_apps.Webserver.pages = 32; page_bytes = 4096; requests = 2000 }
+  in
+  Format.printf "serving %d requests over %d pages of %d bytes:@.@."
+    params.requests params.pages params.page_bytes;
+  List.iter
+    (fun config ->
+      let r =
+        Rmi_apps.Webserver.run ~config ~mode:Rmi_runtime.Fabric.Parallel params
+      in
+      let s = r.Rmi_apps.Webserver.stats in
+      Format.printf
+        "%-22s %8.2f us/page   reused objs %6d   new MBytes %6.2f   cycle \
+         lookups %6d@."
+        config.Rmi_runtime.Config.name r.Rmi_apps.Webserver.us_per_page
+        s.Rmi_stats.Metrics.reused_objs
+        (float_of_int s.Rmi_stats.Metrics.new_bytes /. 1048576.0)
+        s.Rmi_stats.Metrics.cycle_lookups)
+    Rmi_runtime.Config.all

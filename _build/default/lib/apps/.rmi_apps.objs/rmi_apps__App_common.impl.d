@@ -1,0 +1,1 @@
+lib/apps/app_common.ml: Hashtbl Jir List Rmi_core Rmi_runtime Rmi_serial Rmi_stats Unix

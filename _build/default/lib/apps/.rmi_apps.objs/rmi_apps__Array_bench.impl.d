@@ -1,0 +1,1 @@
+lib/apps/array_bench.ml: App_common Array Atomic Builder Jfront Jir Lazy Program Rmi_runtime Rmi_serial Rmi_stats

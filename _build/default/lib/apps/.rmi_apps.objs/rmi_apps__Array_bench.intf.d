@@ -1,0 +1,1 @@
+lib/apps/array_bench.mli: App_common Rmi_runtime Rmi_stats

@@ -1,0 +1,1 @@
+lib/apps/linked_list.mli: App_common Rmi_runtime Rmi_stats

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: App_common Array Builder Float Jfront Jir Lazy Program Rmi_runtime Rmi_serial Rmi_stats

@@ -1,0 +1,1 @@
+lib/apps/lu.mli: App_common Rmi_runtime Rmi_stats

@@ -1,0 +1,1 @@
+lib/apps/superopt.ml: App_common Array Builder Format Fun Hashtbl Jfront Jir Lazy List Program Rmi_runtime Rmi_serial Rmi_stats Seq String

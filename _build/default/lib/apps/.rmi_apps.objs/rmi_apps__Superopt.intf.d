@@ -1,0 +1,1 @@
+lib/apps/superopt.mli: App_common Format Rmi_runtime Rmi_stats Seq

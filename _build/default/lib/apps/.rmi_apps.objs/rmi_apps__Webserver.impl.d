@@ -1,0 +1,1 @@
+lib/apps/webserver.ml: App_common Array Builder Hashtbl Jfront Jir Lazy Program Rmi_runtime Rmi_serial Rmi_stats

@@ -1,0 +1,33 @@
+(** Shared scaffolding for the benchmark applications.
+
+    Every application follows the paper's structure: a JIR model of its
+    remote call sites is compiled by the real optimizer, the resulting
+    plans feed the runtime, and the OCaml implementation of the
+    workload drives the cluster.  [compile] performs the
+    model-to-plans half; [run_timed] the measurement half. *)
+
+type compiled = {
+  prog : Jir.Program.t;
+  opt : Rmi_core.Optimizer.t;
+  meta : Rmi_serial.Class_meta.t;
+  plans : (int, Rmi_core.Plan.t) Hashtbl.t;
+}
+
+(** Typecheck, SSA-convert and analyze a model; plans indexed by call
+    site. *)
+val compile : Jir.Program.t -> compiled
+
+(** One measured run: fresh metrics, fresh fabric, timed body.
+    Returns the body's result, wall-clock seconds and the metric
+    snapshot. *)
+val run_timed :
+  compiled ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  n:int ->
+  (Rmi_runtime.Fabric.t -> 'a) ->
+  'a * float * Rmi_stats.Metrics.snapshot
+
+(** Machine this remote object lives on given a round-robin key —
+    JavaParty's default object distribution. *)
+val place : key:int -> machines:int -> int

@@ -1,0 +1,95 @@
+open Jir
+module B = Builder
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+
+type params = { n : int; repetitions : int }
+
+let default_params = { n = 16; repetitions = 100 }
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  sum_received : float;
+}
+
+
+(* the paper's Figure 12, essentially verbatim *)
+let model_source =
+  {|
+  remote class ArrayBench {
+    void send(double[][] arr) { }
+  }
+  class Driver {
+    static void benchmark() {
+      double[][] arr = new double[16][16];
+      ArrayBench f = new ArrayBench();
+      for (int r = 0; r < 100; r++) { f.send(arr); }
+    }
+  }
+  |}
+
+let model () = Jfront.Lower.compile model_source
+
+let compiled_cache = lazy (App_common.compile (model ()))
+let compiled () = Lazy.force compiled_cache
+
+let m_send_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "ArrayBench.send")
+
+let m_send () = Lazy.force m_send_cache
+
+let callsite () =
+  match (compiled ()).App_common.prog |> Program.remote_callsites with
+  | [ (_, site, _, _, _) ] -> site
+  | _ -> failwith "array_bench: expected one callsite"
+
+let make_matrix n =
+  let outer = Value.new_rarr (Tarray Tdouble) n in
+  for i = 0 to n - 1 do
+    let inner = Value.new_darr n in
+    for j = 0 to n - 1 do
+      inner.Value.d.(j) <- float_of_int ((i * n) + j)
+    done;
+    outer.Value.ra.(i) <- Value.Darr inner
+  done;
+  Value.Rarr outer
+
+let matrix_sum = function
+  | Value.Rarr outer ->
+      Array.fold_left
+        (fun acc row ->
+          match row with
+          | Value.Darr inner -> acc +. Array.fold_left ( +. ) 0.0 inner.Value.d
+          | _ -> failwith "array_bench: malformed matrix")
+        0.0 outer.Value.ra
+  | _ -> failwith "array_bench: malformed matrix"
+
+let run ~config ~mode params =
+  let compiled = compiled () in
+  let site = callsite () in
+  let sum, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
+        let total = Atomic.make 0.0 in
+        let callee = Rmi_runtime.Fabric.node fabric 1 in
+        Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
+            let s = matrix_sum args.(0) in
+            let rec add () =
+              let cur = Atomic.get total in
+              if not (Atomic.compare_and_set total cur (cur +. s)) then add ()
+            in
+            add ();
+            None);
+        let caller = Rmi_runtime.Fabric.node fabric 0 in
+        let dest = Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0 in
+        let matrix = make_matrix params.n in
+        for _ = 1 to params.repetitions do
+          ignore
+            (Node.call caller ~dest ~meth:(m_send ()) ~callsite:site ~has_ret:false
+               [| matrix |])
+        done;
+        Atomic.get total)
+  in
+  { wall_seconds = wall; stats; sum_received = sum }

@@ -1,0 +1,26 @@
+(** The 2-D array transmission microbenchmark (paper Figures 12/13,
+    Table 2).
+
+    Machine 0 ships an [n]×[n] [double[][]] to machine 1 per
+    repetition.  The compiler proves the graph acyclic and the argument
+    non-escaping, so all three optimizations apply — the generated plan
+    is exactly Figure 13's marshaler. *)
+
+type params = { n : int; repetitions : int }
+
+val default_params : params  (** 16x16, as in Table 2 *)
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  sum_received : float;  (** checksum over all received elements *)
+}
+
+val compiled : unit -> App_common.compiled
+val callsite : unit -> int
+
+val run :
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

@@ -1,0 +1,95 @@
+open Jir
+module B = Builder
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+
+type params = { elements : int; repetitions : int }
+
+let default_params = { elements = 100; repetitions = 100 }
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  cells_received : int;
+}
+
+(* class ids fixed by declaration order in the model *)
+let cell_cls = 0
+
+(* the paper's Figure 14, as source *)
+let model_source =
+  {|
+  class LinkedList {
+    LinkedList next;
+  }
+  remote class Foo {
+    void send(LinkedList l) { }
+  }
+  class Driver {
+    static void benchmark() {
+      LinkedList head = null;
+      for (int i = 0; i < 100; i++) {
+        LinkedList n = new LinkedList();
+        n.next = head;
+        head = n;
+      }
+      Foo f = new Foo();
+      for (int r = 0; r < 100; r++) { f.send(head); }
+    }
+  }
+  |}
+
+let model () = Jfront.Lower.compile model_source
+
+let compiled_cache = lazy (App_common.compile (model ()))
+let compiled () = Lazy.force compiled_cache
+
+let m_send_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "Foo.send")
+
+let m_send () = Lazy.force m_send_cache
+
+let callsite () =
+  match (compiled ()).App_common.prog |> Program.remote_callsites with
+  | [ (_, site, _, _, _) ] -> site
+  | _ -> failwith "linked_list: expected one callsite"
+
+let make_list n =
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let c = Value.new_obj ~cls:cell_cls ~nfields:1 in
+      c.fields.(0) <- acc;
+      go (Value.Obj c) (k - 1)
+    end
+  in
+  go Value.Null n
+
+let rec list_length = function
+  | Value.Null -> 0
+  | Value.Obj o -> 1 + list_length o.fields.(0)
+  | _ -> failwith "linked_list: malformed list"
+
+let run ~config ~mode params =
+  let compiled = compiled () in
+  let site = callsite () in
+  let received, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
+        let received = Atomic.make 0 in
+        let callee = Rmi_runtime.Fabric.node fabric 1 in
+        Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
+            ignore (Atomic.fetch_and_add received (list_length args.(0)));
+            None);
+        let caller = Rmi_runtime.Fabric.node fabric 0 in
+        let dest = Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0 in
+        let head = make_list params.elements in
+        for _ = 1 to params.repetitions do
+          ignore
+            (Node.call caller ~dest ~meth:(m_send ()) ~callsite:site ~has_ret:false
+               [| head |])
+        done;
+        Atomic.get received)
+  in
+  { wall_seconds = wall; stats; cells_received = received }

@@ -1,0 +1,29 @@
+(** The linked-list microbenchmark (paper Figure 14, Table 1).
+
+    Machine 0 builds a list of [elements] cells and ships it to machine
+    1 over one RMI per repetition.  The compiler classifies the list as
+    may-be-cyclic (the admitted false positive), so cycle elimination
+    buys nothing, while argument reuse recycles all [elements] cells of
+    the previous call — the paper's 43% row. *)
+
+type params = { elements : int; repetitions : int }
+
+val default_params : params  (** 100 elements, as in Table 1 *)
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  cells_received : int;  (** checksum: must equal elements * repetitions *)
+}
+
+(** The JIR model (compiled once, lazily). *)
+val compiled : unit -> App_common.compiled
+
+(** The model's single remote call site. *)
+val callsite : unit -> int
+
+val run :
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

@@ -1,0 +1,275 @@
+open Jir
+module B = Builder
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+
+type params = { n : int; block_size : int }
+
+let default_params = { n = 256; block_size = 16 }
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  residual : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* model: one remote Worker.update(a, col, row) -> double[][], written *)
+(* in the surface syntax                                               *)
+(* ------------------------------------------------------------------ *)
+
+let model_source =
+  {|
+  remote class Worker {
+    // res = a - col*row (representative reads of all three arguments,
+    // writes only into the fresh result)
+    double[][] update(double[][] a, double[][] col, double[][] row) {
+      int bsize = a.length;
+      double[][] res = new double[bsize][];
+      for (int i = 0; i < bsize; i++) {
+        double[] resrow = new double[bsize];
+        for (int j = 0; j < bsize; j++) {
+          resrow[j] = a[i][j] - col[i][0] * row[0][j];
+        }
+        res[i] = resrow;
+      }
+      return res;
+    }
+  }
+  class Coordinator {
+    static void main() {
+      Worker w = new Worker();
+      double[][] a = new double[16][16];
+      double[][] c = new double[16][16];
+      double[][] r = new double[16][16];
+      // the matrix of blocks the result is stored back into
+      double[][][] blocks = new double[4][][];
+      for (int k = 0; k < 10; k++) {
+        double[][] t = w.update(a, c, r);
+        blocks[0] = t;
+      }
+    }
+  }
+  |}
+
+let model () = Jfront.Lower.compile model_source
+
+let compiled_cache = lazy (App_common.compile (model ()))
+let compiled () = Lazy.force compiled_cache
+
+let m_update_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "Worker.update")
+
+let m_update () = Lazy.force m_update_cache
+
+let callsite () =
+  match (compiled ()).App_common.prog |> Program.remote_callsites with
+  | [ (_, site, _, _, _) ] -> site
+  | _ -> failwith "lu: expected one callsite"
+
+(* ------------------------------------------------------------------ *)
+(* numerics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix n =
+  (* deterministic, diagonally dominant so unpivoted LU is stable *)
+  let seed = ref 42 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !seed /. float_of_int 0x3FFFFFFF
+  in
+  let a = Array.init n (fun _ -> Array.init n (fun _ -> next () -. 0.5)) in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- a.(i).(i) +. float_of_int n
+  done;
+  a
+
+let lu_sequential a =
+  let n = Array.length a in
+  for k = 0 to n - 1 do
+    let pivot = a.(k).(k) in
+    for i = k + 1 to n - 1 do
+      a.(i).(k) <- a.(i).(k) /. pivot;
+      let lik = a.(i).(k) in
+      let ai = a.(i) and ak = a.(k) in
+      for j = k + 1 to n - 1 do
+        ai.(j) <- ai.(j) -. (lik *. ak.(j))
+      done
+    done
+  done
+
+(* in-block factorization of the diagonal block *)
+let factor_block blk bsize =
+  for k = 0 to bsize - 1 do
+    let pivot = blk.(k).(k) in
+    for i = k + 1 to bsize - 1 do
+      blk.(i).(k) <- blk.(i).(k) /. pivot;
+      let lik = blk.(i).(k) in
+      for j = k + 1 to bsize - 1 do
+        blk.(i).(j) <- blk.(i).(j) -. (lik *. blk.(k).(j))
+      done
+    done
+  done
+
+(* row panel: A_kj <- L_kk^{-1} A_kj (unit lower triangular solve) *)
+let solve_row diag blk bsize =
+  for r = 1 to bsize - 1 do
+    for rr = 0 to r - 1 do
+      let l = diag.(r).(rr) in
+      for c = 0 to bsize - 1 do
+        blk.(r).(c) <- blk.(r).(c) -. (l *. blk.(rr).(c))
+      done
+    done
+  done
+
+(* column panel: A_ik <- A_ik U_kk^{-1} *)
+let solve_col diag blk bsize =
+  for c = 0 to bsize - 1 do
+    for cc = 0 to c - 1 do
+      let u = diag.(cc).(c) in
+      for r = 0 to bsize - 1 do
+        blk.(r).(c) <- blk.(r).(c) -. (blk.(r).(cc) *. u)
+      done
+    done;
+    let d = diag.(c).(c) in
+    for r = 0 to bsize - 1 do
+      blk.(r).(c) <- blk.(r).(c) /. d
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* value plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* wrap a block's rows as a value graph without copying the floats *)
+let value_of_block blk =
+  let bsize = Array.length blk in
+  let outer = Value.new_rarr (Tarray Tdouble) bsize in
+  for i = 0 to bsize - 1 do
+    outer.Value.ra.(i) <- Value.Darr { Value.d = blk.(i); did = Value.fresh_id () }
+  done;
+  Value.Rarr outer
+
+let block_of_value bsize v =
+  match v with
+  | Value.Rarr outer when Array.length outer.Value.ra = bsize ->
+      Array.map
+        (function
+          | Value.Darr inner when Array.length inner.Value.d = bsize ->
+              inner.Value.d
+          | _ -> failwith "lu: malformed block row")
+        outer.Value.ra
+  | _ -> failwith "lu: malformed block"
+
+(* the trailing update a worker performs: res = a - col * row *)
+let block_update a col row =
+  let bsize = Array.length a in
+  let res = Array.init bsize (fun i -> Array.copy a.(i)) in
+  for i = 0 to bsize - 1 do
+    let ci = col.(i) in
+    for kk = 0 to bsize - 1 do
+      let c = ci.(kk) in
+      if c <> 0.0 then begin
+        let rk = row.(kk) in
+        let ri = res.(i) in
+        for j = 0 to bsize - 1 do
+          ri.(j) <- ri.(j) -. (c *. rk.(j))
+        done
+      end
+    done
+  done;
+  res
+
+let update_handler args =
+  let bsize =
+    match args.(0) with
+    | Value.Rarr outer -> Array.length outer.Value.ra
+    | _ -> failwith "lu: bad arg"
+  in
+  let a = block_of_value bsize args.(0) in
+  let col = block_of_value bsize args.(1) in
+  let row = block_of_value bsize args.(2) in
+  Some (value_of_block (block_update a col row))
+
+(* ------------------------------------------------------------------ *)
+(* the distributed driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(machines = 2) ~config ~mode params =
+  if params.n mod params.block_size <> 0 then
+    invalid_arg "Lu.run: block_size must divide n";
+  let bsize = params.block_size in
+  let nb = params.n / params.block_size in
+  let compiled = compiled () in
+  let site = callsite () in
+  (* reference answer *)
+  let reference = test_matrix params.n in
+  lu_sequential reference;
+  let blocks_result, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+        (* a Worker on every machine; trailing updates are distributed
+           round-robin by block row, so 1/machines of the RMIs stay local *)
+        for m = 0 to machines - 1 do
+          Node.export
+            (Rmi_runtime.Fabric.node fabric m)
+            ~obj:0 ~meth:(m_update ()) ~has_ret:true update_handler
+        done;
+        let caller = Rmi_runtime.Fabric.node fabric 0 in
+        (* split the input into blocks *)
+        let full = test_matrix params.n in
+        let blocks =
+          Array.init nb (fun bi ->
+              Array.init nb (fun bj ->
+                  Array.init bsize (fun r ->
+                      Array.init bsize (fun c ->
+                          full.((bi * bsize) + r).((bj * bsize) + c)))))
+        in
+        for k = 0 to nb - 1 do
+          factor_block blocks.(k).(k) bsize;
+          for j = k + 1 to nb - 1 do
+            solve_row blocks.(k).(k) blocks.(k).(j) bsize
+          done;
+          for i = k + 1 to nb - 1 do
+            solve_col blocks.(k).(k) blocks.(i).(k) bsize
+          done;
+          (* flush trailing updates through the Workers *)
+          for i = k + 1 to nb - 1 do
+            let dest =
+              Rmi_runtime.Remote_ref.make
+                ~machine:(App_common.place ~key:i ~machines)
+                ~obj:0
+            in
+            for j = k + 1 to nb - 1 do
+              match
+                Node.call caller ~dest ~meth:(m_update ()) ~callsite:site
+                  ~has_ret:true
+                  [|
+                    value_of_block blocks.(i).(j);
+                    value_of_block blocks.(i).(k);
+                    value_of_block blocks.(k).(j);
+                  |]
+              with
+              | Some v ->
+                  (* copy the returned block back into the matrix *)
+                  let fresh = block_of_value bsize v in
+                  for r = 0 to bsize - 1 do
+                    Array.blit fresh.(r) 0 blocks.(i).(j).(r) 0 bsize
+                  done
+              | None -> failwith "lu: worker returned nothing"
+            done
+          done
+        done;
+        blocks)
+  in
+  (* reassemble and compare against the sequential factorization *)
+  let residual = ref 0.0 in
+  for i = 0 to params.n - 1 do
+    for j = 0 to params.n - 1 do
+      let v = blocks_result.(i / bsize).(j / bsize).(i mod bsize).(j mod bsize) in
+      let d = Float.abs (v -. reference.(i).(j)) in
+      if d > !residual then residual := d
+    done
+  done;
+  { wall_seconds = wall; stats; residual = !residual }

@@ -1,0 +1,44 @@
+(** Blocked LU factorization in the style of SPLASH-2 (paper Section
+    5.2, Tables 3/4).
+
+    The [n]×[n] matrix lives on machine 0 as [block_size]² blocks.  At
+    each step the diagonal block is factored and the panels updated
+    locally; every trailing-block update [A_ij -= A_ik * A_kj] is an
+    RMI to a Worker object placed round-robin over the machines — so
+    roughly half the calls are local RPCs and half remote, matching the
+    paper's Table 4 statistics.  Block arguments are read-only in the
+    callee (reusable); the returned block is stored back into the
+    matrix (not reusable); everything is acyclic.
+
+    No pivoting: test matrices are made diagonally dominant. *)
+
+type params = { n : int; block_size : int }
+
+val default_params : params  (** 256x256 (paper used 1024; see DESIGN.md) *)
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  residual : float;  (** max |distributed - sequential| over all entries *)
+}
+
+val compiled : unit -> App_common.compiled
+
+(** The model's trailing-update call site. *)
+val callsite : unit -> int
+
+(** Sequential in-place blocked LU on a plain matrix (the baseline the
+    distributed result is verified against). *)
+val lu_sequential : float array array -> unit
+
+(** Deterministic diagonally dominant test matrix. *)
+val test_matrix : int -> float array array
+
+(** [machines] defaults to 2, the paper's setup; objects are placed
+    round-robin over all machines. *)
+val run :
+  ?machines:int ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

@@ -1,0 +1,396 @@
+open Jir
+module B = Builder
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+
+module Isa = struct
+  type opcode =
+    | Add | Sub | And | Or | Xor | Shl | Shr | Mov | Neg | Not | Loadi
+    | Ld  (** rd <- mem[rs1 mod msize] *)
+    | St  (** mem[rs1 mod msize] <- rs2 *)
+
+  type insn = { op : opcode; rd : int; rs1 : int; rs2 : int }
+  type prog = insn array
+
+  let nregs = 3
+  let msize = 2
+  let immediates = [| 0; 1; -1; 2 |]
+
+  let opcodes =
+    [| Add; Sub; And; Or; Xor; Shl; Shr; Mov; Neg; Not; Loadi; Ld; St |]
+
+  let opcode_count = Array.length opcodes
+
+  let opcode_index op =
+    let rec go i = if opcodes.(i) = op then i else go (i + 1) in
+    go 0
+
+  (* the machine state the paper's equivalence check compares: "the
+     same set of random input register and memory values" *)
+  let exec_mem prog regs mem =
+    Array.iter
+      (fun { op; rd; rs1; rs2 } ->
+        let v1 () = regs.(rs1) in
+        let v2 () = regs.(rs2) in
+        let addr r = ((regs.(r) mod msize) + msize) mod msize in
+        match op with
+        | St -> mem.(addr rs1) <- regs.(rs2)
+        | _ ->
+            regs.(rd) <-
+              (match op with
+              | Add -> v1 () + v2 ()
+              | Sub -> v1 () - v2 ()
+              | And -> v1 () land v2 ()
+              | Or -> v1 () lor v2 ()
+              | Xor -> v1 () lxor v2 ()
+              | Shl -> v1 () lsl (v2 () land 7)
+              | Shr -> v1 () asr (v2 () land 7)
+              | Mov -> v1 ()
+              | Neg -> -(v1 ())
+              | Not -> lnot (v1 ())
+              | Loadi -> immediates.(rs1)
+              | Ld -> mem.(addr rs1)
+              | St -> assert false))
+      prog
+
+  let exec prog regs = exec_mem prog regs (Array.make msize 0)
+
+  (* every well-formed single instruction, deterministically ordered *)
+  let all_insns =
+    lazy
+      (let acc = ref [] in
+       Array.iter
+         (fun op ->
+           for rd = 0 to nregs - 1 do
+             match op with
+             | Add | Sub | And | Or | Xor | Shl | Shr ->
+                 for rs1 = 0 to nregs - 1 do
+                   for rs2 = 0 to nregs - 1 do
+                     acc := { op; rd; rs1; rs2 } :: !acc
+                   done
+                 done
+             | Mov | Neg | Not | Ld ->
+                 for rs1 = 0 to nregs - 1 do
+                   acc := { op; rd; rs1; rs2 = 0 } :: !acc
+                 done
+             | St ->
+                 (* rd unused: emit only for rd = 0 to avoid duplicates *)
+                 if rd = 0 then
+                   for rs1 = 0 to nregs - 1 do
+                     for rs2 = 0 to nregs - 1 do
+                       acc := { op; rd = 0; rs1; rs2 } :: !acc
+                     done
+                   done
+             | Loadi ->
+                 for imm = 0 to Array.length immediates - 1 do
+                   acc := { op; rd; rs1 = imm; rs2 = 0 } :: !acc
+                 done
+           done)
+         opcodes;
+       Array.of_list (List.rev !acc))
+
+  let enumerate ~max_len =
+    let insns = Lazy.force all_insns in
+    let n = Array.length insns in
+    (* sequences of length l = digits of a base-n counter *)
+    let rec seqs_of_len l : prog Seq.t =
+      if l = 0 then Seq.return [||]
+      else
+        Seq.concat_map
+          (fun prefix ->
+            Seq.map
+              (fun i -> Array.append prefix [| insns.(i) |])
+              (Seq.init n Fun.id))
+          (seqs_of_len (l - 1))
+    in
+    Seq.concat_map seqs_of_len
+      (Seq.init max_len (fun l -> l + 1))
+
+  (* deterministic pseudo-random register states *)
+  let lcg seed =
+    let s = ref seed in
+    fun () ->
+      s := ((!s * 2862933555777941757) + 3037000493) land max_int;
+      (!s lsr 13) - (1 lsl 40)
+
+  let equivalent ?(trials = 8) a b =
+    let rand = lcg 0xC0FFEE in
+    let rec trial k =
+      k = 0
+      ||
+      let init = Array.init nregs (fun _ -> rand ()) in
+      let minit = Array.init msize (fun _ -> rand ()) in
+      let ra = Array.copy init and rb = Array.copy init in
+      let ma = Array.copy minit and mb = Array.copy minit in
+      exec_mem a ra ma;
+      exec_mem b rb mb;
+      ra = rb && ma = mb && trial (k - 1)
+    in
+    trial trials
+
+  let pp_insn ppf { op; rd; rs1; rs2 } =
+    let name =
+      match op with
+      | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+      | Shl -> "shl" | Shr -> "shr" | Mov -> "mov" | Neg -> "neg" | Not -> "not"
+      | Loadi -> "loadi" | Ld -> "ld" | St -> "st"
+    in
+    match op with
+    | Add | Sub | And | Or | Xor | Shl | Shr ->
+        Format.fprintf ppf "%s r%d, r%d, r%d" name rd rs1 rs2
+    | Mov | Neg | Not -> Format.fprintf ppf "%s r%d, r%d" name rd rs1
+    | Ld -> Format.fprintf ppf "%s r%d, [r%d]" name rd rs1
+    | St -> Format.fprintf ppf "%s [r%d], r%d" name rs1 rs2
+    | Loadi -> Format.fprintf ppf "%s r%d, #%d" name rd immediates.(rs1)
+
+  let pp_prog ppf prog =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_insn)
+      (Array.to_seq prog)
+end
+
+type params = { target : Isa.prog; max_len : int; max_candidates : int }
+
+let default_params =
+  {
+    target = [| { Isa.op = Isa.Sub; rd = 0; rs1 = 0; rs2 = 0 } |];
+    max_len = 2;
+    max_candidates = max_int;
+  }
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  candidates_tested : int;
+  matches : Isa.prog list;
+}
+
+(* class ids: declaration order in the model *)
+let operand_cls = 0
+let insn_cls = 1
+let prog_cls = 2
+
+(* ------------------------------------------------------------------ *)
+(* model, in the surface syntax: a candidate is a Prog holding an Insn *)
+(* array whose instructions hold three Operand objects (the paper's    *)
+(* object graph); the tester enqueues it — the store that defeats      *)
+(* argument reuse in Table 6                                           *)
+(* ------------------------------------------------------------------ *)
+
+let model_source =
+  {|
+  class Operand { int value; }
+  class Insn {
+    int op;
+    Operand a;
+    Operand b;
+    Operand c;
+  }
+  class Prog {
+    int id;
+    Insn[] insns;
+  }
+  remote class Tester {
+    static Prog[] queue;
+    void accept(Prog p) {
+      Tester.queue[0] = p;
+    }
+    int[] get_results() {
+      return new int[16];
+    }
+  }
+  class Producer {
+    static void producer() {
+      Tester.queue = new Prog[64];
+      Tester t = new Tester();
+      // one candidate: Prog{id; insns = [Insn{op; a; b; c}]}
+      Prog p = new Prog();
+      p.id = 0;
+      Insn[] arr = new Insn[3];
+      for (int i = 0; i < 3; i++) {
+        Insn ins = new Insn();
+        ins.op = 0;
+        ins.a = new Operand();
+        ins.b = new Operand();
+        ins.c = new Operand();
+        arr[i] = ins;
+      }
+      p.insns = arr;
+      for (int k = 0; k < 1000; k++) { t.accept(p); }
+      int[] results = t.get_results();
+      int len = results.length;
+    }
+  }
+  |}
+
+let model () = Jfront.Lower.compile model_source
+
+let compiled_cache = lazy (App_common.compile (model ()))
+let compiled () = Lazy.force compiled_cache
+
+let m_accept_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "Tester.accept")
+
+let m_accept () = Lazy.force m_accept_cache
+
+let m_results_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "Tester.get_results")
+
+let m_results () = Lazy.force m_results_cache
+
+let callsites () =
+  let prog = (compiled ()).App_common.prog in
+  let named name =
+    List.find_map
+      (fun (_, site, callee, _, _) ->
+        if String.equal (Program.method_decl prog callee).mname name then
+          Some site
+        else None)
+      (Program.remote_callsites prog)
+  in
+  match (named "Tester.accept", named "Tester.get_results") with
+  | Some a, Some r -> (a, r)
+  | _ -> failwith "superopt: callsites not found"
+
+(* ------------------------------------------------------------------ *)
+(* value encoding of candidate programs                                *)
+(* ------------------------------------------------------------------ *)
+
+let value_of_prog ~id (prog : Isa.prog) =
+  let mk_operand v =
+    let o = Value.new_obj ~cls:operand_cls ~nfields:1 in
+    o.Value.fields.(0) <- Value.Int v;
+    Value.Obj o
+  in
+  let insns = Value.new_rarr (Tobject insn_cls) (Array.length prog) in
+  Array.iteri
+    (fun i (ins : Isa.insn) ->
+      let o = Value.new_obj ~cls:insn_cls ~nfields:4 in
+      o.Value.fields.(0) <- Value.Int (Isa.opcode_index ins.Isa.op);
+      o.Value.fields.(1) <- mk_operand ins.Isa.rd;
+      o.Value.fields.(2) <- mk_operand ins.Isa.rs1;
+      o.Value.fields.(3) <- mk_operand ins.Isa.rs2;
+      insns.Value.ra.(i) <- Value.Obj o)
+    prog;
+  let p = Value.new_obj ~cls:prog_cls ~nfields:2 in
+  p.Value.fields.(0) <- Value.Int id;
+  p.Value.fields.(1) <- Value.Rarr insns;
+  Value.Obj p
+
+let prog_of_value v : int * Isa.prog =
+  let operand = function
+    | Value.Obj o -> (
+        match o.Value.fields.(0) with
+        | Value.Int v -> v
+        | _ -> failwith "superopt: bad operand")
+    | _ -> failwith "superopt: bad operand"
+  in
+  match v with
+  | Value.Obj p -> (
+      let id =
+        match p.Value.fields.(0) with
+        | Value.Int id -> id
+        | _ -> failwith "superopt: bad id"
+      in
+      match p.Value.fields.(1) with
+      | Value.Rarr insns ->
+          ( id,
+            Array.map
+              (function
+                | Value.Obj o ->
+                    let opi =
+                      match o.Value.fields.(0) with
+                      | Value.Int i -> i
+                      | _ -> failwith "superopt: bad opcode"
+                    in
+                    {
+                      Isa.op = Isa.opcodes.(opi);
+                      rd = operand o.Value.fields.(1);
+                      rs1 = operand o.Value.fields.(2);
+                      rs2 = operand o.Value.fields.(3);
+                    }
+                | _ -> failwith "superopt: bad insn")
+              insns.Value.ra )
+      | _ -> failwith "superopt: bad insns")
+  | _ -> failwith "superopt: bad prog"
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(machines = 2) ~config ~mode params =
+  let compiled = compiled () in
+  let accept_site, results_site = callsites () in
+  let (tested, matches), wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+        (* a tester object on each machine, round-robin distribution *)
+        let matched : (int, int list ref) Hashtbl.t = Hashtbl.create machines in
+        for m = 0 to machines - 1 do
+          let cell = ref [] in
+          Hashtbl.replace matched m cell;
+          let node = Rmi_runtime.Fabric.node fabric m in
+          Node.export node ~obj:0 ~meth:(m_accept ()) ~has_ret:false (fun args ->
+              let id, candidate = prog_of_value args.(0) in
+              if Isa.equivalent candidate params.target then
+                cell := id :: !cell;
+              None);
+          Node.export node ~obj:0 ~meth:(m_results ()) ~has_ret:true (fun _ ->
+              let ids = !cell in
+              let a = Value.new_iarr (List.length ids) in
+              List.iteri (fun i id -> a.Value.ia.(i) <- id) ids;
+              Some (Value.Iarr a))
+        done;
+        let caller = Rmi_runtime.Fabric.node fabric 0 in
+        (* stream the candidate space: the full length-3 space is tens
+           of millions of programs, never materialized *)
+        let candidates () =
+          Seq.take params.max_candidates (Isa.enumerate ~max_len:params.max_len)
+        in
+        let count = ref 0 in
+        Seq.iteri
+          (fun id candidate ->
+            incr count;
+            let dest =
+              Rmi_runtime.Remote_ref.make
+                ~machine:(App_common.place ~key:id ~machines)
+                ~obj:0
+            in
+            ignore
+              (Node.call caller ~dest ~meth:(m_accept ()) ~callsite:accept_site
+                 ~has_ret:false
+                 [| value_of_prog ~id candidate |]))
+          (candidates ());
+        (* collect matched ids from every tester *)
+        let ids =
+          List.concat_map
+            (fun m ->
+              let dest = Rmi_runtime.Remote_ref.make ~machine:m ~obj:0 in
+              match
+                Node.call caller ~dest ~meth:(m_results ())
+                  ~callsite:results_site ~has_ret:true [||]
+              with
+              | Some (Value.Iarr a) -> Array.to_list a.Value.ia
+              | _ -> failwith "superopt: bad results")
+            (List.init machines Fun.id)
+        in
+        let wanted = List.sort_uniq compare ids in
+        (* recover the matched programs by re-enumerating (Seq is pure) *)
+        let matched = ref [] in
+        (match wanted with
+        | [] -> ()
+        | _ ->
+            let max_id = List.fold_left max 0 wanted in
+            Seq.iteri
+              (fun id candidate ->
+                if id <= max_id && List.mem id wanted then
+                  matched := (id, candidate) :: !matched)
+              (Seq.take (max_id + 1) (candidates ())));
+        (!count, List.map snd (List.sort compare !matched)))
+  in
+  { wall_seconds = wall; stats; candidates_tested = tested; matches }

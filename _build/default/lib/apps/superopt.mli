@@ -1,0 +1,83 @@
+(** The parallel superoptimizer (paper Section 5.3, Tables 5/6;
+    Massalin [13]).
+
+    A producer on machine 0 enumerates every instruction sequence up to
+    [max_len] over a small register ISA and pushes each candidate — a
+    [Prog] object holding an [Insn] array whose instructions hold three
+    [Operand] objects, exactly the paper's object graph — over RMI to
+    tester objects placed round-robin on the two machines.  A tester
+    checks the candidate against the target sequence on random register
+    states and records matches; the producer collects them at the end.
+
+    The compiler proves candidate programs acyclic (all 52-million
+    runtime cycle lookups of Table 6 vanish under [site+cycle]) but the
+    testers enqueue their argument, so reuse never applies — also as in
+    Table 6. *)
+
+module Isa : sig
+  type opcode =
+    | Add | Sub | And | Or | Xor | Shl | Shr | Mov | Neg | Not | Loadi
+    | Ld  (** rd <- mem[rs1 mod msize] *)
+    | St  (** mem[rs1 mod msize] <- rs2 *)
+
+  type insn = { op : opcode; rd : int; rs1 : int; rs2 : int }
+  (** [Loadi]: [rs1] indexes {!immediates}. [Mov]/[Neg]/[Not]/[Ld]
+      ignore [rs2]; [St] ignores [rd]. *)
+
+  type prog = insn array
+
+  val nregs : int
+
+  (** Words of data memory (addresses wrap modulo [msize]). *)
+  val msize : int
+
+  val immediates : int array
+  val opcode_count : int
+
+  (** Execute on a register file in place (fresh zeroed memory). *)
+  val exec : prog -> int array -> unit
+
+  (** Execute on explicit register file and memory, both in place —
+      the state the paper's equivalence test compares. *)
+  val exec_mem : prog -> int array -> int array -> unit
+
+  (** All instruction sequences of length 1..[max_len], in a fixed
+      deterministic order. *)
+  val enumerate : max_len:int -> prog Seq.t
+
+  (** Randomized equivalence test (deterministic seed). *)
+  val equivalent : ?trials:int -> prog -> prog -> bool
+
+  val pp_insn : Format.formatter -> insn -> unit
+  val pp_prog : Format.formatter -> prog -> unit
+end
+
+type params = {
+  target : Isa.prog;  (** sequence to superoptimize *)
+  max_len : int;  (** candidate length bound (paper: 3) *)
+  max_candidates : int;  (** cap on the search space, [max_int] = all *)
+}
+
+val default_params : params
+(** target [SUB r0 r0 r0], [max_len = 2], uncapped. *)
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  candidates_tested : int;
+  matches : Isa.prog list;  (** equivalent sequences found *)
+}
+
+val compiled : unit -> App_common.compiled
+
+(** The model's two remote call sites: [(accept, get_results)]. *)
+val callsites : unit -> int * int
+
+(** [machines] defaults to 2, the paper's setup; objects are placed
+    round-robin over all machines. *)
+val run :
+  ?machines:int ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

@@ -1,0 +1,151 @@
+open Jir
+module B = Builder
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+
+type params = { pages : int; page_bytes : int; requests : int }
+
+let default_params = { pages = 64; page_bytes = 1024; requests = 2000 }
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  bytes_served : int;
+  us_per_page : float;
+}
+
+(* The model is written in the surface syntax and compiled by the real
+   front end — what a JavaParty user would have written. *)
+let model_source =
+  {|
+  class Url  { int[] chars; }
+  class Page { int[] data; }
+
+  remote class Slave {
+    Page get_page(Url u) {
+      // look the page up (reads the url), build the reply page
+      int h = u.chars[0];
+      Page p = new Page();
+      p.data = new int[1024];
+      p.data[0] = h;
+      return p;
+    }
+  }
+
+  class Master {
+    static void run() {
+      Slave s = new Slave();
+      Url u = new Url();
+      u.chars = new int[32];
+      for (int i = 0; i < 1000; i++) {
+        // the master forwards the page to the client: it only reads
+        // the payload, nothing is retained
+        Page p = s.get_page(u);
+        int len = p.data.length;
+      }
+    }
+  }
+  |}
+
+let model () = Jfront.Lower.compile model_source
+
+let compiled_cache = lazy (App_common.compile (model ()))
+let compiled () = Lazy.force compiled_cache
+
+(* class/method handles resolved by name from the compiled model *)
+let url_cls = 0 (* Url is declared first *)
+let page_cls = 1
+
+let m_get_page_cache =
+  lazy
+    (Jfront.Lower.method_named (Lazy.force compiled_cache).App_common.prog
+       "Slave.get_page")
+
+let m_get_page () = Lazy.force m_get_page_cache
+
+let callsite () =
+  match (compiled ()).App_common.prog |> Program.remote_callsites with
+  | [ (_, site, _, _, _) ] -> site
+  | _ -> failwith "webserver: expected one callsite"
+
+(* ------------------------------------------------------------------ *)
+(* runtime values                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_url id =
+  let chars = Value.new_iarr 32 in
+  Array.iteri (fun i _ -> chars.Value.ia.(i) <- (id * 31) + i) chars.Value.ia;
+  chars.Value.ia.(0) <- id;
+  let u = Value.new_obj ~cls:url_cls ~nfields:1 in
+  u.Value.fields.(0) <- Value.Iarr chars;
+  Value.Obj u
+
+let url_id = function
+  | Value.Obj u -> (
+      match u.Value.fields.(0) with
+      | Value.Iarr chars -> chars.Value.ia.(0)
+      | _ -> failwith "webserver: bad url")
+  | _ -> failwith "webserver: bad url"
+
+let make_page ~id ~bytes =
+  let data = Value.new_iarr (bytes / 8) in
+  Array.iteri (fun i _ -> data.Value.ia.(i) <- id + i) data.Value.ia;
+  let p = Value.new_obj ~cls:page_cls ~nfields:1 in
+  p.Value.fields.(0) <- Value.Iarr data;
+  Value.Obj p
+
+let page_size = function
+  | Value.Obj p -> (
+      match p.Value.fields.(0) with
+      | Value.Iarr data -> 8 * Array.length data.Value.ia
+      | _ -> failwith "webserver: bad page")
+  | _ -> failwith "webserver: bad page"
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(machines = 2) ~config ~mode params =
+  let compiled = compiled () in
+  let site = callsite () in
+  let served, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+        (* one slave per machine, each owning the pages whose hash maps
+           to it *)
+        for m = 0 to machines - 1 do
+          let store = Hashtbl.create 64 in
+          for id = 0 to params.pages - 1 do
+            Hashtbl.replace store id (make_page ~id ~bytes:params.page_bytes)
+          done;
+          let node = Rmi_runtime.Fabric.node fabric m in
+          Node.export node ~obj:0 ~meth:(m_get_page ()) ~has_ret:true (fun args ->
+              let id = url_id args.(0) in
+              match Hashtbl.find_opt store (id mod params.pages) with
+              | Some page -> Some page
+              | None -> failwith "webserver: page not found")
+        done;
+        let master = Rmi_runtime.Fabric.node fabric 0 in
+        let urls = Array.init params.pages make_url in
+        let total = ref 0 in
+        for r = 0 to params.requests - 1 do
+          let id = r mod params.pages in
+          let dest =
+            Rmi_runtime.Remote_ref.make
+              ~machine:(App_common.place ~key:id ~machines)
+              ~obj:0
+          in
+          match
+            Node.call master ~dest ~meth:(m_get_page ()) ~callsite:site
+              ~has_ret:true [| urls.(id) |]
+          with
+          | Some page -> total := !total + page_size page
+          | None -> failwith "webserver: no page returned"
+        done;
+        !total)
+  in
+  {
+    wall_seconds = wall;
+    stats;
+    bytes_served = served;
+    us_per_page = wall *. 1e6 /. float_of_int params.requests;
+  }

@@ -1,0 +1,38 @@
+(** The parallel webserver (paper Section 5.4, Tables 7/8).
+
+    A master accepts page requests and forwards each to one of two
+    slave objects by URL hash — one slave per machine, so half the
+    retrievals are local RPCs, as in Table 8.  The communication is a
+    single RMI: [page = server[url.hashCode()].get_page(url)].
+
+    URLs and pages are objects wrapping integer arrays (Java strings
+    wrap char arrays), so the compiler proves both cycle-free {e and}
+    reusable: with reuse enabled no new objects are allocated once
+    every distinct page has travelled once — Table 8's 0.0 MBytes. *)
+
+type params = {
+  pages : int;  (** distinct pages per slave *)
+  page_bytes : int;  (** payload length of each page *)
+  requests : int;  (** total page retrievals *)
+}
+
+val default_params : params
+
+type result = {
+  wall_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+  bytes_served : int;  (** checksum over received page payloads *)
+  us_per_page : float;
+}
+
+val compiled : unit -> App_common.compiled
+val callsite : unit -> int
+
+(** [machines] defaults to 2, the paper's setup; objects are placed
+    round-robin over all machines. *)
+val run :
+  ?machines:int ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

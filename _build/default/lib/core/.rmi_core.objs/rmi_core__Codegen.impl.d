@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Cycle_analysis Escape_analysis Heap_analysis Heap_graph Jir List Plan Program Types

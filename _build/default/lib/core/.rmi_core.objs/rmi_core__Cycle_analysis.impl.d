@@ -1,0 +1,1 @@
+lib/core/cycle_analysis.ml: Array Format Heap_analysis Heap_graph List

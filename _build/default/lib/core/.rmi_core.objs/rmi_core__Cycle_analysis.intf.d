@@ -1,0 +1,1 @@
+lib/core/cycle_analysis.mli: Format Heap_analysis Heap_graph

@@ -1,0 +1,1 @@
+lib/core/escape_analysis.ml: Array Format Heap_analysis Heap_graph Instr Jir List Printf Program

@@ -1,0 +1,1 @@
+lib/core/escape_analysis.mli: Format Heap_analysis

@@ -1,0 +1,1 @@
+lib/core/heap_analysis.ml: Array Fun Hashtbl Heap_graph Instr Jir List Option Printf Program Rmi_ssa Types

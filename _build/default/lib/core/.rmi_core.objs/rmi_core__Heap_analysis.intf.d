@@ -1,0 +1,1 @@
+lib/core/heap_analysis.mli: Heap_graph Jir

@@ -1,0 +1,1 @@
+lib/core/heap_graph.ml: Array Buffer Format Int Jir List Map Printf Set String

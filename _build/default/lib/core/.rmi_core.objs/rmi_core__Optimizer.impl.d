@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Buffer Codegen Cycle_analysis Escape_analysis Format Heap_analysis Jir List Plan Printf Program Rmi_ssa String Typecheck

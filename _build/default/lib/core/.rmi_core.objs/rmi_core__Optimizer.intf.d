@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Codegen Escape_analysis Heap_analysis Jir Plan

@@ -1,0 +1,28 @@
+(** Call-site marshaler generation (paper Section 3.1, Figures 6/13).
+
+    Walks the heap graph from a call site's argument (and return) sets
+    and emits an inlined {!Plan.step} wherever the analysis proves a
+    unique concrete class; falls back to {!Plan.S_dyn} on type
+    ambiguity, recursive types, or when the inlining budget is
+    exceeded (the paper notes some inlinings are "rejected due to
+    method size"). *)
+
+type config = {
+  max_inline_depth : int;  (** nesting depth of inlined objects *)
+  max_plan_size : int;  (** per-value step budget before S_dyn fallback *)
+}
+
+val default_config : config
+
+(** Step for one value given its static type and points-to set. *)
+val step_for :
+  ?config:config ->
+  Heap_analysis.result ->
+  Jir.Types.ty ->
+  Heap_analysis.Int_set.t ->
+  Plan.step
+
+(** Full plan for a call site, combining the step generation with the
+    cycle and escape verdicts. *)
+val plan_for :
+  ?config:config -> Heap_analysis.result -> Heap_analysis.callsite_info -> Plan.t

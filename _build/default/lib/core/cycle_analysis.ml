@@ -1,0 +1,37 @@
+module Int_set = Heap_analysis.Int_set
+
+type verdict = Acyclic | May_be_cyclic
+
+let pp_verdict ppf = function
+  | Acyclic -> Format.pp_print_string ppf "acyclic"
+  | May_be_cyclic -> Format.pp_print_string ppf "may-be-cyclic"
+
+(* The paper's rule, literally: walk the graphs rooted at the argument
+   list; the moment an allocation number is encountered for the second
+   time, give up and keep runtime cycle detection. *)
+let of_roots graph roots =
+  let seen = ref Int_set.empty in
+  let cyclic = ref false in
+  let rec visit n =
+    if not !cyclic then
+      if Int_set.mem n !seen then cyclic := true
+      else begin
+        seen := Int_set.add n !seen;
+        List.iter
+          (fun (_, tgts) -> Int_set.iter visit tgts)
+          (Heap_graph.out_edges graph n)
+      end
+  in
+  List.iter
+    (fun root_set ->
+      (* a root set with several possible allocation numbers is walked
+         number by number; sharing across possibilities counts *)
+      Int_set.iter visit root_set)
+    roots;
+  if !cyclic then May_be_cyclic else Acyclic
+
+let args_verdict r (cs : Heap_analysis.callsite_info) =
+  of_roots (Heap_analysis.graph r) (Array.to_list cs.arg_sets)
+
+let ret_verdict r (cs : Heap_analysis.callsite_info) =
+  of_roots (Heap_analysis.graph r) [ cs.ret_set ]

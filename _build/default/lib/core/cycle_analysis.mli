@@ -1,0 +1,26 @@
+(** Static cycle detection over argument/return heap graphs
+    (paper Section 3.2).
+
+    The paper's conservative rule: traverse the heap graph rooted at
+    the call's arguments, recording every allocation number
+    encountered; if any number is seen twice the graph {e may} be
+    cyclic and runtime cycle detection stays in.  This classifies true
+    cycles (Figure 9), argument aliasing (Figure 8) {e and} DAG
+    sharing as "may be cyclic" — and, as the paper's conclusion notes,
+    also mis-classifies linked lists (one allocation site reached
+    through itself) as cyclic. *)
+
+type verdict = Acyclic | May_be_cyclic
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [of_roots graph roots] applies the seen-twice rule to the subgraph
+    reachable from the root list, in order (roots sharing a node count
+    as a second encounter, as in Figure 8). *)
+val of_roots : Heap_graph.t -> Heap_analysis.Int_set.t list -> verdict
+
+(** Verdict for the argument list of a call site. *)
+val args_verdict : Heap_analysis.result -> Heap_analysis.callsite_info -> verdict
+
+(** Verdict for the return-value graph of a call site. *)
+val ret_verdict : Heap_analysis.result -> Heap_analysis.callsite_info -> verdict

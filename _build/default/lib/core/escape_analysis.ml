@@ -1,0 +1,84 @@
+open Jir
+module Int_set = Heap_analysis.Int_set
+
+type verdict = Reusable | Escapes of string
+
+let pp_verdict ppf = function
+  | Reusable -> Format.pp_print_string ppf "reusable"
+  | Escapes why -> Format.fprintf ppf "escapes (%s)" why
+
+let is_reusable = function Reusable -> true | Escapes _ -> false
+
+let static_reachable r =
+  let prog = Heap_analysis.program r in
+  let roots =
+    Array.to_list prog.Program.statics
+    |> List.fold_left
+         (fun acc (s : Program.static_decl) ->
+           Int_set.union acc (Heap_analysis.static_set r s.sid))
+         Int_set.empty
+  in
+  Heap_graph.reachable (Heap_analysis.graph r) roots
+
+(* Reference stores and outgoing remote-call arguments executed by any
+   method in [mids] whose source set intersects [target]. *)
+let escaping_use r mids target =
+  let prog = Heap_analysis.program r in
+  let hit = ref None in
+  let check mid what op =
+    if !hit = None then
+      let set = Heap_analysis.operand_set r mid op in
+      if not (Int_set.is_empty (Int_set.inter set target)) then
+        hit :=
+          Some
+            (Printf.sprintf "%s in %s" what (Program.method_decl prog mid).mname)
+  in
+  List.iter
+    (fun mid ->
+      let m = Program.method_decl prog mid in
+      Array.iter
+        (fun (blk : Instr.block) ->
+          List.iter
+            (fun instr ->
+              match instr with
+              | Instr.Store_field { src; _ } -> check mid "stored into a field" src
+              | Instr.Store_elem { src; _ } ->
+                  check mid "stored into an array" src
+              | Instr.Store_static { src; _ } ->
+                  check mid "stored into a static" src
+              | Instr.Remote_call { args; _ } ->
+                  List.iter (check mid "forwarded over another RMI") args
+              | _ -> ())
+            blk.body)
+        m.blocks)
+    mids;
+  !hit
+
+let judge r ~context_methods ~returned_by ~roots =
+  let g = Heap_analysis.graph r in
+  let closure = Heap_graph.reachable g roots in
+  if Int_set.is_empty roots then Reusable
+  else if not (Int_set.is_empty (Int_set.inter closure (static_reachable r)))
+  then Escapes "reachable from a static variable"
+  else
+    let ret_closure = Heap_graph.reachable g returned_by in
+    if not (Int_set.is_empty (Int_set.inter closure ret_closure)) then
+      Escapes "part of the return value"
+    else
+      match escaping_use r context_methods closure with
+      | Some why -> Escapes why
+      | None -> Reusable
+
+let arg_verdicts r (cs : Heap_analysis.callsite_info) =
+  let context_methods = Heap_analysis.local_call_closure r cs.callee in
+  let returned_by = Heap_analysis.return_set r cs.callee in
+  Array.map
+    (fun clones -> judge r ~context_methods ~returned_by ~roots:clones)
+    cs.param_clone_sets
+
+let ret_verdict r (cs : Heap_analysis.callsite_info) =
+  if not cs.has_dst then Reusable
+  else
+    let context_methods = Heap_analysis.local_call_closure r cs.caller in
+    let returned_by = Heap_analysis.return_set r cs.caller in
+    judge r ~context_methods ~returned_by ~roots:cs.ret_clone_set

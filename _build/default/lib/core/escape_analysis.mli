@@ -1,0 +1,34 @@
+(** RMI-specific escape analysis (paper Section 3.3).
+
+    Argument reuse is legal when the deserialized argument graph — and,
+    recursively, everything it refers to — does not escape the remote
+    method: then the next invocation may overwrite the same objects in
+    place.  Return-value reuse is the symmetric property at the caller.
+
+    A node set escapes its RMI when any node reachable from it
+    + is reachable from a static variable (Figure 11),
+    + is (part of) the method's return value,
+    + is the source of a reference store executed by the method or a
+      local callee (storing the argument into longer-lived state, e.g.
+      the superoptimizer's work queue), or
+    + is passed onward as the argument of another remote call.
+
+    Following the paper, escape also propagates {e upward}: an object
+    escapes if any object it refers to escapes, because recycling the
+    parent would resurrect shared children. *)
+
+type verdict = Reusable | Escapes of string
+(** The payload names the first reason found, for the analysis report. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val is_reusable : verdict -> bool
+
+(** [arg_verdicts r cs] one verdict per argument of the call site,
+    judged in the callee's context ([param_clone_sets]).  Non-reference
+    arguments are trivially [Reusable] but irrelevant. *)
+val arg_verdicts : Heap_analysis.result -> Heap_analysis.callsite_info -> verdict array
+
+(** Return-value reuse judged in the caller's context
+    ([ret_clone_set]). Call sites that ignore the return value report
+    [Reusable] vacuously. *)
+val ret_verdict : Heap_analysis.result -> Heap_analysis.callsite_info -> verdict

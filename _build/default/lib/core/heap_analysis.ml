@@ -1,0 +1,306 @@
+open Jir
+module Int_set = Heap_graph.Int_set
+
+type callsite_info = {
+  cs_site : Types.site;
+  caller : Types.method_id;
+  callee : Types.method_id;
+  arg_operands : Instr.operand array;
+  arg_sets : Int_set.t array;
+  param_clone_sets : Int_set.t array;
+  ret_set : Int_set.t;
+  ret_clone_set : Int_set.t;
+  has_dst : bool;
+}
+
+type remote_semantics = [ `Clone | `Share ]
+
+type direction = Dir_args | Dir_ret
+
+type state = {
+  prog : Program.t;
+  semantics : remote_semantics;
+  graph : Heap_graph.t;
+  site_node : int array;  (* site -> node, -1 if not yet created *)
+  var_sets : Int_set.t array array;  (* method -> var -> set *)
+  static_sets : Int_set.t array;
+  ret_sets : Int_set.t array;  (* method -> set *)
+  clone_maps : (Types.site * direction, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable changed : bool;
+  mutable passes : int;
+}
+
+type result = { st : state; mutable cs : callsite_info list }
+
+let node_for_site st site ty =
+  if st.site_node.(site) >= 0 then st.site_node.(site)
+  else begin
+    let n = Heap_graph.add_node st.graph ~phys:site ~ty in
+    st.site_node.(site) <- n;
+    st.changed <- true;
+    n
+  end
+
+let add_to_var st mid v set =
+  let cur = st.var_sets.(mid).(v) in
+  let merged = Int_set.union cur set in
+  if not (Int_set.equal cur merged) then begin
+    st.var_sets.(mid).(v) <- merged;
+    st.changed <- true
+  end
+
+let add_to_static st sid set =
+  let cur = st.static_sets.(sid) in
+  let merged = Int_set.union cur set in
+  if not (Int_set.equal cur merged) then begin
+    st.static_sets.(sid) <- merged;
+    st.changed <- true
+  end
+
+let add_to_ret st mid set =
+  let cur = st.ret_sets.(mid) in
+  let merged = Int_set.union cur set in
+  if not (Int_set.equal cur merged) then begin
+    st.ret_sets.(mid) <- merged;
+    st.changed <- true
+  end
+
+let eval st mid = function
+  | Instr.Var v -> st.var_sets.(mid).(v)
+  | Instr.Null | Instr.Bool _ | Instr.Int _ | Instr.Double _ | Instr.Str _ ->
+      Int_set.empty
+
+let clone_map st site dir =
+  match Hashtbl.find_opt st.clone_maps (site, dir) with
+  | Some m -> m
+  | None ->
+      let m = Hashtbl.create 16 in
+      Hashtbl.add st.clone_maps (site, dir) m;
+      m
+
+(* The RMI deep-copy transfer: clone the subgraph reachable from [set]
+   into the per-(callsite, direction) clone space.  Physical numbers are
+   preserved and deduplicate clones — the paper's termination trick. *)
+let clone_set st map set =
+  let clone_node n =
+    let info = Heap_graph.node st.graph n in
+    match Hashtbl.find_opt map info.phys with
+    | Some c -> c
+    | None ->
+        let c = Heap_graph.add_node st.graph ~phys:info.phys ~ty:info.nty in
+        Hashtbl.add map info.phys c;
+        st.changed <- true;
+        c
+  in
+  let r = Heap_graph.reachable st.graph set in
+  (* first ensure all clones exist, then mirror the edges (idempotent;
+     re-run every pass so clones track late-appearing edges) *)
+  Int_set.iter (fun n -> ignore (clone_node n)) r;
+  Int_set.iter
+    (fun n ->
+      let c = clone_node n in
+      List.iter
+        (fun (key, tgts) ->
+          Int_set.iter
+            (fun t ->
+              let ct = clone_node t in
+              if Heap_graph.add_edge st.graph ~src:c ~key ~dst:ct then
+                st.changed <- true)
+            tgts)
+        (Heap_graph.out_edges st.graph n))
+    r;
+  Int_set.map (fun n -> clone_node n) set
+
+let field_key st fld = Heap_graph.Field (Program.flat_index st.prog fld)
+
+let transfer_instr st (m : Program.method_decl) instr =
+  let mid = m.mid in
+  let eval = eval st mid in
+  match instr with
+  | Instr.Alloc { dst; cls; site } ->
+      add_to_var st mid dst (Int_set.singleton (node_for_site st site (Tobject cls)))
+  | Instr.Alloc_array { dst; elem; site; _ } ->
+      add_to_var st mid dst (Int_set.singleton (node_for_site st site (Tarray elem)))
+  | Instr.New_str { dst; site; _ } ->
+      add_to_var st mid dst (Int_set.singleton (node_for_site st site Tstring))
+  | Instr.Move { dst; src } -> add_to_var st mid dst (eval src)
+  | Instr.Unop _ | Instr.Binop _ | Instr.Array_length _ -> ()
+  | Instr.Load_field { dst; obj; fld } ->
+      let key = field_key st fld in
+      Int_set.iter
+        (fun n -> add_to_var st mid dst (Heap_graph.targets st.graph n key))
+        st.var_sets.(mid).(obj)
+  | Instr.Store_field { obj; fld; src } ->
+      let key = field_key st fld in
+      let srcs = eval src in
+      Int_set.iter
+        (fun n ->
+          if Heap_graph.union_edges st.graph ~src:n ~key srcs then
+            st.changed <- true)
+        st.var_sets.(mid).(obj)
+  | Instr.Load_static { dst; st = sid } -> add_to_var st mid dst st.static_sets.(sid)
+  | Instr.Store_static { st = sid; src } -> add_to_static st sid (eval src)
+  | Instr.Load_elem { dst; arr; _ } ->
+      Int_set.iter
+        (fun n -> add_to_var st mid dst (Heap_graph.targets st.graph n Heap_graph.Elem))
+        st.var_sets.(mid).(arr)
+  | Instr.Store_elem { arr; src; _ } ->
+      let srcs = eval src in
+      Int_set.iter
+        (fun n ->
+          if Heap_graph.union_edges st.graph ~src:n ~key:Heap_graph.Elem srcs then
+            st.changed <- true)
+        st.var_sets.(mid).(arr)
+  | Instr.Call { dst; meth; args; _ } -> (
+      List.iteri (fun i arg -> add_to_var st meth i (eval arg)) args;
+      match dst with
+      | Some d -> add_to_var st mid d st.ret_sets.(meth)
+      | None -> ())
+  | Instr.Remote_call { dst; meth; args; site; _ } -> (
+      match st.semantics with
+      | `Clone -> (
+          (* arguments: deep-copy transfer into the callee's formals *)
+          let amap = clone_map st site Dir_args in
+          List.iteri
+            (fun i arg ->
+              let cloned = clone_set st amap (eval arg) in
+              add_to_var st meth i cloned)
+            args;
+          (* return value: deep-copy transfer back into the caller *)
+          match dst with
+          | Some d ->
+              let rmap = clone_map st site Dir_ret in
+              let cloned = clone_set st rmap st.ret_sets.(meth) in
+              add_to_var st mid d cloned
+          | None -> ())
+      | `Share -> (
+          (* the paper's naive treatment: behave like a local call —
+             wrong for RMI, kept for the Section 2 ablation *)
+          List.iteri (fun i arg -> add_to_var st meth i (eval arg)) args;
+          match dst with
+          | Some d -> add_to_var st mid d st.ret_sets.(meth)
+          | None -> ()))
+
+let transfer_method st (m : Program.method_decl) =
+  Array.iter
+    (fun (blk : Instr.block) ->
+      List.iter
+        (fun (phi : Instr.phi) ->
+          List.iter
+            (fun (_, op) -> add_to_var st m.mid phi.pdst (eval st m.mid op))
+            phi.pargs)
+        blk.phis;
+      List.iter (fun i -> transfer_instr st m i) blk.body;
+      match blk.term with
+      | Instr.Ret (Some op) -> add_to_ret st m.mid (eval st m.mid op)
+      | Instr.Ret None | Instr.Jmp _ | Instr.Br _ -> ())
+    m.blocks
+
+let max_passes = 1000
+
+let collect_callsites st =
+  let acc = ref [] in
+  Program.iter_instrs st.prog (fun m _ instr ->
+      match instr with
+      | Instr.Remote_call { dst; meth; args; site; _ } ->
+          let arg_operands = Array.of_list args in
+          let arg_sets = Array.map (eval st m.mid) arg_operands in
+          let ret_set = st.ret_sets.(meth) in
+          let param_clone_sets, ret_clone_set =
+            match st.semantics with
+            | `Clone ->
+                let amap = clone_map st site Dir_args in
+                let map_clones set =
+                  Int_set.filter_map
+                    (fun n ->
+                      Hashtbl.find_opt amap (Heap_graph.node st.graph n).phys)
+                    set
+                in
+                let rmap = clone_map st site Dir_ret in
+                ( Array.map map_clones arg_sets,
+                  Int_set.filter_map
+                    (fun n ->
+                      Hashtbl.find_opt rmap (Heap_graph.node st.graph n).phys)
+                    ret_set )
+            | `Share ->
+                (* naive mode: formals alias the caller's nodes *)
+                (Array.map Fun.id arg_sets, ret_set)
+          in
+          acc :=
+            {
+              cs_site = site;
+              caller = m.mid;
+              callee = meth;
+              arg_operands;
+              arg_sets;
+              param_clone_sets;
+              ret_set;
+              ret_clone_set;
+              has_dst = Option.is_some dst;
+            }
+            :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let analyze ?(remote_semantics = `Clone) prog =
+  Array.iter
+    (fun m ->
+      if not (Rmi_ssa.Ssa.is_ssa m) then
+        invalid_arg
+          (Printf.sprintf "Heap_analysis.analyze: method %s is not in SSA form"
+             m.Program.mname))
+    prog.Program.methods;
+  let st =
+    {
+      prog;
+      semantics = remote_semantics;
+      graph = Heap_graph.create ();
+      site_node = Array.make (max 1 prog.num_sites) (-1);
+      var_sets =
+        Array.map
+          (fun (m : Program.method_decl) ->
+            Array.make (Array.length m.var_types) Int_set.empty)
+          prog.methods;
+      static_sets = Array.make (Array.length prog.statics) Int_set.empty;
+      ret_sets = Array.make (Array.length prog.methods) Int_set.empty;
+      clone_maps = Hashtbl.create 16;
+      changed = true;
+      passes = 0;
+    }
+  in
+  while st.changed && st.passes < max_passes do
+    st.changed <- false;
+    st.passes <- st.passes + 1;
+    Array.iter (transfer_method st) prog.methods
+  done;
+  if st.passes >= max_passes then
+    failwith "Heap_analysis.analyze: fixpoint did not converge";
+  { st; cs = collect_callsites st }
+
+let graph r = r.st.graph
+let program r = r.st.prog
+let var_set r mid v = r.st.var_sets.(mid).(v)
+let static_set r sid = r.st.static_sets.(sid)
+let return_set r mid = r.st.ret_sets.(mid)
+let callsites r = r.cs
+let callsite r site = List.find_opt (fun c -> c.cs_site = site) r.cs
+let operand_set r mid op = eval r.st mid op
+let iterations r = r.st.passes
+
+let local_call_closure r mid =
+  let visited = Hashtbl.create 16 in
+  let rec go mid =
+    if not (Hashtbl.mem visited mid) then begin
+      Hashtbl.add visited mid ();
+      let m = Program.method_decl r.st.prog mid in
+      Array.iter
+        (fun (blk : Instr.block) ->
+          List.iter
+            (fun i ->
+              match i with Instr.Call { meth; _ } -> go meth | _ -> ())
+            blk.body)
+        m.blocks
+    end
+  in
+  go mid;
+  Hashtbl.fold (fun k () acc -> k :: acc) visited []

@@ -1,0 +1,141 @@
+module Int_set = Set.Make (Int)
+
+type field_key = Field of int | Elem
+
+module Key_map = Map.Make (struct
+  type t = field_key
+
+  let compare a b =
+    match (a, b) with
+    | Field x, Field y -> compare x y
+    | Elem, Elem -> 0
+    | Field _, Elem -> -1
+    | Elem, Field _ -> 1
+end)
+
+type node_info = { logical : int; phys : int; nty : Jir.Types.ty }
+
+type node_state = { info : node_info; mutable edges : Int_set.t Key_map.t }
+
+type t = { mutable nodes : node_state array; mutable count : int }
+
+let create () = { nodes = [||]; count = 0 }
+
+let grow t =
+  let cap = Array.length t.nodes in
+  if t.count >= cap then begin
+    let ncap = max 16 (cap * 2) in
+    let dummy =
+      { info = { logical = -1; phys = -1; nty = Jir.Types.Tvoid }; edges = Key_map.empty }
+    in
+    let fresh = Array.make ncap dummy in
+    Array.blit t.nodes 0 fresh 0 t.count;
+    t.nodes <- fresh
+  end
+
+let add_node t ~phys ~ty =
+  grow t;
+  let logical = t.count in
+  t.nodes.(logical) <- { info = { logical; phys; nty = ty }; edges = Key_map.empty };
+  t.count <- logical + 1;
+  logical
+
+let state t n =
+  if n < 0 || n >= t.count then
+    invalid_arg (Printf.sprintf "Heap_graph: bad node %d" n);
+  t.nodes.(n)
+
+let node t n = (state t n).info
+let num_nodes t = t.count
+
+let add_edge t ~src ~key ~dst =
+  let s = state t src in
+  ignore (state t dst);
+  let existing =
+    match Key_map.find_opt key s.edges with Some set -> set | None -> Int_set.empty
+  in
+  if Int_set.mem dst existing then false
+  else begin
+    s.edges <- Key_map.add key (Int_set.add dst existing) s.edges;
+    true
+  end
+
+let union_edges t ~src ~key dsts =
+  Int_set.fold (fun d changed -> add_edge t ~src ~key ~dst:d || changed) dsts false
+
+let targets t n key =
+  match Key_map.find_opt key (state t n).edges with
+  | Some set -> set
+  | None -> Int_set.empty
+
+let out_edges t n = Key_map.bindings (state t n).edges
+
+let reachable t roots =
+  let rec go visited frontier =
+    if Int_set.is_empty frontier then visited
+    else
+      let next =
+        Int_set.fold
+          (fun n acc ->
+            List.fold_left
+              (fun acc (_, tgts) -> Int_set.union acc tgts)
+              acc (out_edges t n))
+          frontier Int_set.empty
+      in
+      let fresh = Int_set.diff next visited in
+      go (Int_set.union visited fresh) fresh
+  in
+  go roots roots
+
+let predecessors_of_set t set =
+  let acc = ref Int_set.empty in
+  for n = 0 to t.count - 1 do
+    List.iter
+      (fun (_, tgts) ->
+        if not (Int_set.is_empty (Int_set.inter tgts set)) then
+          acc := Int_set.add n !acc)
+      (out_edges t n)
+  done;
+  !acc
+
+let pp ppf t =
+  for n = 0 to t.count - 1 do
+    let s = t.nodes.(n) in
+    Format.fprintf ppf "@[<h>node %d (phys %d, %s):" n s.info.phys
+      (Jir.Types.ty_to_string s.info.nty);
+    Key_map.iter
+      (fun key tgts ->
+        let kname = match key with Field i -> Printf.sprintf ".%d" i | Elem -> "[]" in
+        Format.fprintf ppf " %s->{%s}" kname
+          (String.concat ","
+             (List.map string_of_int (Int_set.elements tgts))))
+      s.edges;
+    Format.fprintf ppf "@]@,"
+  done
+
+let to_dot ?(names = fun c -> Printf.sprintf "C%d" c)
+    ?(field_name = fun i -> Printf.sprintf ".%d" i) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph heap {\n  node [shape=box, fontname=\"monospace\"];\n";
+  for n = 0 to t.count - 1 do
+    let info = (state t n).info in
+    let tyname =
+      Format.asprintf "%a" (Jir.Types.pp_ty ~names) info.nty
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"Allocation %d\\n%s (site %d)\"];\n" n n
+         tyname info.phys)
+  done;
+  for n = 0 to t.count - 1 do
+    List.iter
+      (fun (key, tgts) ->
+        let label = match key with Field i -> field_name i | Elem -> "[]" in
+        Int_set.iter
+          (fun d ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" n d label))
+          tgts)
+      (out_edges t n)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** The compile-time heap approximation (paper Section 2, Figure 2).
+
+    Nodes are *allocation numbers*: one per allocation site plus the
+    clones manufactured when a heap subgraph flows across a remote
+    call.  Each node carries the paper's tuple — its [logical] id is
+    the node index, its [phys] component is the originating allocation
+    site, fixed across cloning, and used only to stop the cloning
+    data-flow cycle (Figure 4).  Edges are labelled by field (flat
+    layout index) or by the array-element pseudo-field ["[]"]. *)
+
+module Int_set : Set.S with type elt = int
+
+type field_key =
+  | Field of int  (** flat field index, see {!Jir.Program.flat_index} *)
+  | Elem  (** array element *)
+
+type t
+
+type node_info = {
+  logical : int;
+  phys : int;  (** originating allocation site (the tuple's 2nd member) *)
+  nty : Jir.Types.ty;  (** [Tobject _], [Tarray _] or [Tstring] *)
+}
+
+val create : unit -> t
+
+(** [add_node t ~phys ~ty] appends a fresh node (logical number =
+    index). *)
+val add_node : t -> phys:int -> ty:Jir.Types.ty -> int
+
+val node : t -> int -> node_info
+val num_nodes : t -> int
+
+(** [add_edge t ~src ~key ~dst] returns [true] iff the edge was new. *)
+val add_edge : t -> src:int -> key:field_key -> dst:int -> bool
+
+(** [union_edges t ~src ~key dsts] adds many targets; [true] iff any
+    was new. *)
+val union_edges : t -> src:int -> key:field_key -> Int_set.t -> bool
+
+val targets : t -> int -> field_key -> Int_set.t
+
+(** All (key, targets) pairs out of a node. *)
+val out_edges : t -> int -> (field_key * Int_set.t) list
+
+(** Everything reachable from [roots] (inclusive). *)
+val reachable : t -> Int_set.t -> Int_set.t
+
+(** Nodes with an edge into any node of the given set. *)
+val predecessors_of_set : t -> Int_set.t -> Int_set.t
+
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz rendering of the heap approximation (the paper's Figure 2
+    as a picture).  [names] maps class ids to names, [field_name]
+    resolves labels; defaults print raw ids. *)
+val to_dot :
+  ?names:(Jir.Types.class_id -> string) ->
+  ?field_name:(int -> string) ->
+  t ->
+  string

@@ -1,0 +1,90 @@
+open Jir
+
+type decision = {
+  cs : Heap_analysis.callsite_info;
+  plan : Plan.t;
+  args_acyclic : bool;
+  ret_acyclic : bool;
+  arg_escape : Escape_analysis.verdict array;
+  ret_escape : Escape_analysis.verdict;
+}
+
+type t = {
+  prog : Program.t;
+  heap : Heap_analysis.result;
+  decisions : decision list;
+}
+
+let run ?(config = Codegen.default_config) ?(simplify = false) prog =
+  Typecheck.check_exn prog;
+  Array.iter
+    (fun m -> if not (Rmi_ssa.Ssa.is_ssa m) then Rmi_ssa.Ssa.convert_method m)
+    prog.Program.methods;
+  if simplify then ignore (Rmi_ssa.Optim.simplify prog);
+  let heap = Heap_analysis.analyze prog in
+  let decisions =
+    List.map
+      (fun cs ->
+        {
+          cs;
+          plan = Codegen.plan_for ~config heap cs;
+          args_acyclic =
+            Cycle_analysis.args_verdict heap cs = Cycle_analysis.Acyclic;
+          ret_acyclic =
+            (not cs.Heap_analysis.has_dst)
+            || Cycle_analysis.ret_verdict heap cs = Cycle_analysis.Acyclic;
+          arg_escape = Escape_analysis.arg_verdicts heap cs;
+          ret_escape = Escape_analysis.ret_verdict heap cs;
+        })
+      (Heap_analysis.callsites heap)
+  in
+  { prog; heap; decisions }
+
+let decision_for t site =
+  List.find_opt (fun d -> d.cs.Heap_analysis.cs_site = site) t.decisions
+
+let plan_for_site t site ~nargs ~has_ret =
+  match decision_for t site with
+  | Some d -> d.plan
+  | None -> Plan.generic ~callsite:site ~nargs ~has_ret
+
+let report t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "RMI optimizer report: %d remote call site(s), heap fixpoint in %d pass(es)\n"
+    (List.length t.decisions)
+    (Heap_analysis.iterations t.heap);
+  List.iter
+    (fun d ->
+      let cs = d.cs in
+      let caller = (Program.method_decl t.prog cs.caller).mname in
+      let callee = (Program.method_decl t.prog cs.callee).mname in
+      add "\ncallsite %d: %s -> %s%s\n" cs.cs_site caller callee
+        (if cs.has_dst then "" else "  [return ignored -> ack-only reply]");
+      add "  arguments : %s\n"
+        (if Array.length cs.arg_sets = 0 then "(none)"
+         else
+           String.concat ", "
+             (Array.to_list
+                (Array.mapi
+                   (fun i s ->
+                     Printf.sprintf "arg%d{%s}" i
+                       (String.concat ","
+                          (List.map string_of_int
+                             (Heap_analysis.Int_set.elements s))))
+                   cs.arg_sets)));
+      add "  cycles    : args %s, return %s\n"
+        (if d.args_acyclic then "acyclic (cycle table removed)"
+         else "may be cyclic (cycle table kept)")
+        (if d.ret_acyclic then "acyclic" else "may be cyclic");
+      Array.iteri
+        (fun i v ->
+          add "  reuse arg%d: %s\n" i
+            (Format.asprintf "%a" Escape_analysis.pp_verdict v))
+        d.arg_escape;
+      if cs.has_dst then
+        add "  reuse ret : %s\n"
+          (Format.asprintf "%a" Escape_analysis.pp_verdict d.ret_escape);
+      add "  plan      : %s\n" (Format.asprintf "%a" Plan.pp d.plan))
+    t.decisions;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** End-to-end compiler driver: typecheck, SSA-convert, run the heap
+    analysis, and produce one {!Plan.t} plus analysis verdicts per
+    remote call site. *)
+
+type decision = {
+  cs : Heap_analysis.callsite_info;
+  plan : Plan.t;
+  args_acyclic : bool;
+  ret_acyclic : bool;
+  arg_escape : Escape_analysis.verdict array;
+  ret_escape : Escape_analysis.verdict;
+}
+
+type t = {
+  prog : Jir.Program.t;  (** the program, now in SSA form *)
+  heap : Heap_analysis.result;
+  decisions : decision list;
+}
+
+(** [run prog] mutates [prog] into SSA form.  With [~simplify:true] the
+    scalar SSA cleanups ({!Rmi_ssa.Optim}) run before the analyses.
+    @raise Failure when the program does not typecheck. *)
+val run : ?config:Codegen.config -> ?simplify:bool -> Jir.Program.t -> t
+
+val decision_for : t -> Jir.Types.site -> decision option
+
+(** Plan for a call site; falls back to {!Plan.generic} for unknown
+    sites so a runtime can always proceed. *)
+val plan_for_site : t -> Jir.Types.site -> nargs:int -> has_ret:bool -> Plan.t
+
+(** Human-readable per-call-site analysis summary. *)
+val report : t -> string

@@ -1,0 +1,54 @@
+(** Call-site specific serialization plans — the compiler's output.
+
+    The paper's backend emits inlined marshaler code per call site
+    (Figures 6 and 13).  Here "generated code" is a [step] tree that a
+    runtime executor walks in a tight loop: no per-object method-table
+    dispatch, no wire type information for statically known classes,
+    and the cycle table/reuse cache are compiled in or out per the
+    analyses' verdicts.
+
+    Layout invariant: [S_obj.fields] has one step per {e flat} field
+    (inherited first), matching {!Jir.Program.all_fields} order. *)
+
+type step =
+  | S_bool
+  | S_int
+  | S_double
+  | S_string
+  | S_null  (** statically always-null reference: zero bytes on the wire *)
+  | S_obj of { cls : Jir.Types.class_id; fields : step array }
+      (** statically known class: 1 marker byte, then the fields inline *)
+  | S_double_array  (** marker, length varint, raw payload *)
+  | S_int_array
+  | S_obj_array of { elem : step }  (** marker, length, element steps *)
+  | S_dyn
+      (** type not statically unique (or inlining rejected): fall back
+          to the dynamic, tag-carrying serializer *)
+  | S_ref of int
+      (** recursive reference into {!t.defs}: a statically-known class
+          whose layout refers to itself (e.g. a linked list's [next]).
+          The executor recurses through the definition table — the
+          paper's direct (non-dispatched, untagged) recursive
+          serializer call *)
+
+type t = {
+  callsite : Jir.Types.site;
+  defs : step array;  (** definitions referenced by [S_ref] *)
+  args : step array;
+  ret : step option;  (** [None]: return ignored — reply is a bare ack *)
+  cycle_args : bool;  (** runtime cycle table needed for the arguments *)
+  cycle_ret : bool;
+  reuse_args : bool array;  (** per-argument reuse cache at the callee *)
+  reuse_ret : bool;  (** return-value reuse cache at the caller *)
+}
+
+(** A maximally pessimistic plan: every value dynamic, cycle detection
+    on, no reuse — what a per-class (non-call-site) system would do. *)
+val generic : callsite:Jir.Types.site -> nargs:int -> has_ret:bool -> t
+
+(** Number of [step] nodes (diagnostic; the paper's inliner rejects
+    oversized marshalers). *)
+val size : t -> int
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Float Fun List Paper_data Printf Rmi_apps Rmi_net Rmi_runtime Rmi_stats String

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Paper_data Rmi_runtime Rmi_stats

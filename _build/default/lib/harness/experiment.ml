@@ -1,0 +1,296 @@
+module Config = Rmi_runtime.Config
+module Fabric = Rmi_runtime.Fabric
+module Metrics = Rmi_stats.Metrics
+module Costmodel = Rmi_net.Costmodel
+
+type scale = Small | Paper
+
+type row = {
+  config : Config.t;
+  wall_seconds : float;
+  modeled_seconds : float;
+  stats : Metrics.snapshot;
+}
+
+type timing_table = {
+  id : string;
+  title : string;
+  unit_label : string;
+  rows : row list;
+  paper : (string * float) list;
+  per_unit : float -> float;
+}
+
+let model = Costmodel.myrinet_2003
+
+let run_all_configs run_one =
+  List.map
+    (fun config ->
+      let wall, stats = run_one config in
+      {
+        config;
+        wall_seconds = wall;
+        modeled_seconds = Costmodel.modeled_seconds model stats;
+        stats;
+      })
+    Config.all
+
+let find_class_row t =
+  match List.find_opt (fun r -> r.config.Config.name = "class") t.rows with
+  | Some r -> r
+  | None -> invalid_arg "timing table without a class row"
+
+let modeled_gain t row =
+  let base = (find_class_row t).modeled_seconds in
+  if base = 0.0 then 0.0 else 100.0 *. (base -. row.modeled_seconds) /. base
+
+let wall_gain t row =
+  let base = (find_class_row t).wall_seconds in
+  if base = 0.0 then 0.0 else 100.0 *. (base -. row.wall_seconds) /. base
+
+(* ------------------------------------------------------------------ *)
+(* the five timing tables                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ?(scale = Small) ?(mode = Fabric.Sync) () =
+  let params =
+    match scale with
+    | Small -> { Rmi_apps.Linked_list.elements = 100; repetitions = 200 }
+    | Paper -> { Rmi_apps.Linked_list.elements = 100; repetitions = 2000 }
+  in
+  let rows =
+    run_all_configs (fun config ->
+        let r = Rmi_apps.Linked_list.run ~config ~mode params in
+        (r.Rmi_apps.Linked_list.wall_seconds, r.Rmi_apps.Linked_list.stats))
+  in
+  {
+    id = "table1";
+    title =
+      Printf.sprintf "Table 1: LinkedList, %d elements, %d repetitions, 2 CPUs"
+        params.elements params.repetitions;
+    unit_label = "s";
+    rows;
+    paper = Paper_data.table1_seconds;
+    per_unit = Fun.id;
+  }
+
+let table2 ?(scale = Small) ?(mode = Fabric.Sync) () =
+  let params =
+    match scale with
+    | Small -> { Rmi_apps.Array_bench.n = 16; repetitions = 200 }
+    | Paper -> { Rmi_apps.Array_bench.n = 16; repetitions = 2000 }
+  in
+  let rows =
+    run_all_configs (fun config ->
+        let r = Rmi_apps.Array_bench.run ~config ~mode params in
+        (r.Rmi_apps.Array_bench.wall_seconds, r.Rmi_apps.Array_bench.stats))
+  in
+  {
+    id = "table2";
+    title =
+      Printf.sprintf "Table 2: 2D array transmission, %dx%d, %d repetitions, 2 CPUs"
+        params.n params.n params.repetitions;
+    unit_label = "s";
+    rows;
+    paper = Paper_data.table2_seconds;
+    per_unit = Fun.id;
+  }
+
+let table3 ?(scale = Small) ?(mode = Fabric.Sync) () =
+  let params =
+    match scale with
+    | Small -> { Rmi_apps.Lu.n = 256; block_size = 16 }
+    | Paper -> { Rmi_apps.Lu.n = 1024; block_size = 16 }
+  in
+  let rows =
+    run_all_configs (fun config ->
+        let r = Rmi_apps.Lu.run ~config ~mode params in
+        if r.Rmi_apps.Lu.residual > 1e-6 then
+          failwith
+            (Printf.sprintf "LU diverged under %s: residual %g"
+               config.Config.name r.Rmi_apps.Lu.residual);
+        (r.Rmi_apps.Lu.wall_seconds, r.Rmi_apps.Lu.stats))
+  in
+  {
+    id = "table3";
+    title =
+      Printf.sprintf "Table 3: LU runtime, %dx%d matrix (block %d), 2 CPUs"
+        params.n params.n params.block_size;
+    unit_label = "s";
+    rows;
+    paper = Paper_data.table3_seconds;
+    per_unit = Fun.id;
+  }
+
+let table5 ?(scale = Small) ?(mode = Fabric.Sync) () =
+  let params =
+    match scale with
+    | Small ->
+        { Rmi_apps.Superopt.default_params with max_len = 2; max_candidates = 20_000 }
+    | Paper ->
+        (* the paper tests 10.5M sequences of up to three instructions *)
+        { Rmi_apps.Superopt.default_params with max_len = 3;
+          max_candidates = 10_500_000 }
+  in
+  let rows =
+    run_all_configs (fun config ->
+        let r = Rmi_apps.Superopt.run ~config ~mode params in
+        (r.Rmi_apps.Superopt.wall_seconds, r.Rmi_apps.Superopt.stats))
+  in
+  {
+    id = "table5";
+    title = "Table 5: Superoptimizer exhaustive search, 2 CPUs";
+    unit_label = "s";
+    rows;
+    paper = Paper_data.table5_seconds;
+    per_unit = Fun.id;
+  }
+
+let table7 ?(scale = Small) ?(mode = Fabric.Sync) () =
+  let params =
+    match scale with
+    | Small -> { Rmi_apps.Webserver.pages = 64; page_bytes = 2048; requests = 5000 }
+    | Paper -> { Rmi_apps.Webserver.pages = 64; page_bytes = 2048; requests = 100_000 }
+  in
+  let requests = params.requests in
+  let rows =
+    run_all_configs (fun config ->
+        let r = Rmi_apps.Webserver.run ~config ~mode params in
+        (r.Rmi_apps.Webserver.wall_seconds, r.Rmi_apps.Webserver.stats))
+  in
+  {
+    id = "table7";
+    title =
+      Printf.sprintf "Table 7: Webserver, us per webpage retrieval (%d requests), 2 CPUs"
+        requests;
+    unit_label = "us/page";
+    rows;
+    paper = Paper_data.table7_us_per_page;
+    per_unit = (fun wall -> wall *. 1e6 /. float_of_int requests);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let f2 v = Printf.sprintf "%.2f" v
+let f1pct v = Printf.sprintf "%.1f%%" v
+
+let render_timing t =
+  let headers =
+    [
+      "Compiler Optimization"; "paper " ^ t.unit_label; "paper gain";
+      "model s"; "model gain"; "wall " ^ t.unit_label; "wall gain";
+    ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let name = r.config.Config.name in
+        let paper_v =
+          match Paper_data.seconds_for t.paper name with
+          | Some v -> f2 v
+          | None -> "-"
+        in
+        let paper_g =
+          match Paper_data.gain_over_class t.paper name with
+          | Some g -> f1pct g
+          | None -> "-"
+        in
+        [
+          name; paper_v; paper_g;
+          Printf.sprintf "%.4f" r.modeled_seconds;
+          f1pct (modeled_gain t r);
+          Printf.sprintf "%.4f" (t.per_unit r.wall_seconds);
+          f1pct (wall_gain t r);
+        ])
+      t.rows
+  in
+  t.title ^ "\n" ^ Rmi_stats.Ascii_table.render ~headers rows
+
+let stats_table ~id ~title (t : timing_table) (paper : Paper_data.stats_row list) =
+  let headers =
+    [
+      "Optimization"; "reused objs"; "(paper)"; "local rpcs"; "(paper)";
+      "remote rpcs"; "(paper)"; "new MBytes"; "(paper)"; "cycle lookups";
+      "(paper)"; "ser calls";
+    ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let name = r.config.Config.name in
+        let p =
+          List.find_opt (fun (pr : Paper_data.stats_row) -> pr.cfg = name) paper
+        in
+        let pi f = match p with Some p -> string_of_int (f p) | None -> "-" in
+        let pf f = match p with Some p -> f2 (f p) | None -> "-" in
+        [
+          name;
+          string_of_int r.stats.Metrics.reused_objs;
+          pi (fun p -> p.Paper_data.reused_objs);
+          string_of_int r.stats.Metrics.local_rpcs;
+          pi (fun p -> p.Paper_data.local_rpcs);
+          string_of_int r.stats.Metrics.remote_rpcs;
+          pi (fun p -> p.Paper_data.remote_rpcs);
+          f2 (float_of_int r.stats.Metrics.new_bytes /. 1048576.0);
+          pf (fun p -> p.Paper_data.new_mbytes);
+          string_of_int r.stats.Metrics.cycle_lookups;
+          pi (fun p -> p.Paper_data.cycle_lookups);
+          (* the paper reports the serializer-invocation reduction in
+             prose ("a notable reduction ... due to method inlining") *)
+          string_of_int r.stats.Metrics.ser_invocations;
+        ])
+      t.rows
+  in
+  ignore id;
+  title ^ "\n" ^ Rmi_stats.Ascii_table.render ~headers rows
+
+let shape_summary t =
+  let checks = ref [] in
+  let note ok what =
+    checks := (Printf.sprintf "  [%s] %s" (if ok then "ok" else "MISMATCH") what) :: !checks
+  in
+  let by name = List.find_opt (fun r -> r.config.Config.name = name) t.rows in
+  (match (by "class", by "site") with
+  | Some c, Some s ->
+      note (s.modeled_seconds < c.modeled_seconds) "site beats class (modeled)"
+  | _ -> ());
+  (match (by "site", by "site + reuse + cycle") with
+  | Some s, Some f ->
+      note
+        (f.modeled_seconds <= s.modeled_seconds)
+        "all optimizations beat site alone (modeled)"
+  | _ -> ());
+  (* does the measured winner match the paper's winner? *)
+  let winner rows value =
+    List.fold_left
+      (fun acc r -> match acc with
+        | None -> Some r
+        | Some best -> if value r < value best then Some r else acc)
+      None rows
+  in
+  (match
+     ( winner t.rows (fun r -> r.modeled_seconds),
+       List.fold_left
+         (fun acc (name, v) ->
+           match acc with
+           | None -> Some (name, v)
+           | Some (_, best) -> if v < best then Some (name, v) else acc)
+         None t.paper )
+   with
+  | Some r, Some (pname, _) ->
+      note
+        (String.equal r.config.Config.name pname
+        ||
+        (* ties in the paper: reuse rows equal within noise *)
+        match Paper_data.seconds_for t.paper r.config.Config.name with
+        | Some v ->
+            Float.abs
+              (v -. (match Paper_data.seconds_for t.paper pname with Some b -> b | None -> v))
+            /. v
+            < 0.02
+        | None -> false)
+        (Printf.sprintf "winner matches paper (%s)" pname)
+  | _ -> ());
+  String.concat "\n" (List.rev !checks)

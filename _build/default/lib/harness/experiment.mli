@@ -1,0 +1,56 @@
+(** Experiment driver reproducing the paper's Tables 1-8.
+
+    Each timing table runs its application under the five optimization
+    configurations and reports, per row: measured wall-clock seconds,
+    {e modeled} seconds (event counters x the Myrinet-era cost model,
+    see {!Rmi_net.Costmodel}), the gain over ["class"], and the paper's
+    published seconds and gain for comparison.  Statistics tables
+    (4/6/8) report the same counters the paper prints.
+
+    Workload sizes default to values that finish in seconds on a
+    laptop; [scale] switches to the paper's sizes. *)
+
+type scale = Small | Paper
+
+type row = {
+  config : Rmi_runtime.Config.t;
+  wall_seconds : float;
+  modeled_seconds : float;
+  stats : Rmi_stats.Metrics.snapshot;
+}
+
+type timing_table = {
+  id : string;  (** "table1" .. "table7" *)
+  title : string;
+  unit_label : string;  (** "s" or "us/page" *)
+  rows : row list;
+  paper : (string * float) list;  (** the paper's numbers, row order *)
+  per_unit : float -> float;  (** wall seconds -> reported unit *)
+}
+
+(** Gain over the ["class"] row, percent, by modeled seconds. *)
+val modeled_gain : timing_table -> row -> float
+
+val wall_gain : timing_table -> row -> float
+
+(** Run an application under all five configs. *)
+
+val table1 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+val table2 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+val table3 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+val table5 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+val table7 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+
+(** The statistics tables reuse the timing runs of their sibling:
+    table4 = stats of table3's rows, etc. *)
+
+val stats_table :
+  id:string -> title:string -> timing_table -> Paper_data.stats_row list ->
+  string
+(** Rendered paper-vs-measured statistics table. *)
+
+(** Render a timing table (paper vs modeled vs wall). *)
+val render_timing : timing_table -> string
+
+(** Sanity: do measured gains order configurations like the paper's? *)
+val shape_summary : timing_table -> string

@@ -1,0 +1,79 @@
+(* The numbers printed in the paper's Tables 1-8, used by the harness
+   to show paper-vs-measured side by side.  Dots in the paper are
+   thousands separators (e.g. "545.192" local rpcs = 545,192). *)
+
+(* (config name, seconds) in paper row order *)
+let table1_seconds =
+  [
+    ("class", 161.5); ("site", 140.4); ("site + cycle", 140.5);
+    ("site + reuse", 91.5); ("site + reuse + cycle", 91.5);
+  ]
+
+let table2_seconds =
+  [
+    ("class", 130.5); ("site", 110.0); ("site + cycle", 97.5);
+    ("site + reuse", 103.0); ("site + reuse + cycle", 91.5);
+  ]
+
+let table3_seconds =
+  [
+    ("class", 79.81); ("site", 69.23); ("site + cycle", 66.88);
+    ("site + reuse", 67.28); ("site + reuse + cycle", 64.85);
+  ]
+
+let table5_seconds =
+  [
+    ("class", 400.03); ("site", 373.22); ("site + cycle", 322.52);
+    ("site + reuse", 375.47); ("site + reuse + cycle", 322.06);
+  ]
+
+(* Table 7 is microseconds per webpage *)
+let table7_us_per_page =
+  [
+    ("class", 47.7); ("site", 39.2); ("site + cycle", 30.9);
+    ("site + reuse", 38.0); ("site + reuse + cycle", 29.7);
+  ]
+
+type stats_row = {
+  cfg : string;
+  reused_objs : int;
+  local_rpcs : int;
+  remote_rpcs : int;
+  new_mbytes : float;
+  cycle_lookups : int;
+}
+
+let table4_stats =
+  [
+    { cfg = "class"; reused_objs = 0; local_rpcs = 545_192; remote_rpcs = 538_006; new_mbytes = 348.14; cycle_lookups = 176_998 };
+    { cfg = "site"; reused_objs = 0; local_rpcs = 545_192; remote_rpcs = 538_006; new_mbytes = 348.14; cycle_lookups = 176_866 };
+    { cfg = "site + cycle"; reused_objs = 0; local_rpcs = 545_192; remote_rpcs = 538_006; new_mbytes = 348.14; cycle_lookups = 2 };
+    { cfg = "site + reuse"; reused_objs = 132_645; local_rpcs = 545_192; remote_rpcs = 538_006; new_mbytes = 87.04; cycle_lookups = 176_866 };
+    { cfg = "site + reuse + cycle"; reused_objs = 132_645; local_rpcs = 545_192; remote_rpcs = 538_006; new_mbytes = 87.04; cycle_lookups = 2 };
+  ]
+
+let table6_stats =
+  [
+    { cfg = "class"; reused_objs = 0; local_rpcs = 5_250_554; remote_rpcs = 5_250_570; new_mbytes = 1101.0; cycle_lookups = 52_499_065 };
+    { cfg = "site"; reused_objs = 0; local_rpcs = 5_250_554; remote_rpcs = 5_250_570; new_mbytes = 1101.0; cycle_lookups = 52_499_082 };
+    { cfg = "site + cycle"; reused_objs = 0; local_rpcs = 5_250_554; remote_rpcs = 5_250_570; new_mbytes = 1101.0; cycle_lookups = 17 };
+    { cfg = "site + reuse"; reused_objs = 2; local_rpcs = 5_250_554; remote_rpcs = 5_250_570; new_mbytes = 1101.0; cycle_lookups = 52_499_082 };
+    { cfg = "site + reuse + cycle"; reused_objs = 2; local_rpcs = 5_250_554; remote_rpcs = 5_250_570; new_mbytes = 1101.0; cycle_lookups = 17 };
+  ]
+
+let table8_stats =
+  [
+    { cfg = "class"; reused_objs = 0; local_rpcs = 500_007; remote_rpcs = 500_003; new_mbytes = 226.94; cycle_lookups = 5_000_004 };
+    { cfg = "site"; reused_objs = 0; local_rpcs = 500_007; remote_rpcs = 500_003; new_mbytes = 165.90; cycle_lookups = 3_500_003 };
+    { cfg = "site + cycle"; reused_objs = 0; local_rpcs = 500_007; remote_rpcs = 500_003; new_mbytes = 165.90; cycle_lookups = 3 };
+    { cfg = "site + reuse"; reused_objs = 3_499_988; local_rpcs = 500_007; remote_rpcs = 500_003; new_mbytes = 0.0; cycle_lookups = 3_500_003 };
+    { cfg = "site + reuse + cycle"; reused_objs = 3_499_988; local_rpcs = 500_007; remote_rpcs = 500_003; new_mbytes = 0.0; cycle_lookups = 3 };
+  ]
+
+let seconds_for table cfg = List.assoc_opt cfg table
+
+(* paper gain over 'class' in percent, from the paper's own seconds *)
+let gain_over_class table cfg =
+  match (List.assoc_opt "class" table, List.assoc_opt cfg table) with
+  | Some base, Some v -> Some (100.0 *. (base -. v) /. base)
+  | _ -> None

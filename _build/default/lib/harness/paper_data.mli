@@ -1,0 +1,31 @@
+(** The numbers printed in the paper's Tables 1–8, transcribed for the
+    paper-vs-measured rendering.  Dots in the paper's statistics tables
+    are thousands separators (e.g. "545.192" local rpcs = 545,192). *)
+
+(** Timing tables: [(config row label, seconds)] in paper row order.
+    [table7_us_per_page] is µs per webpage retrieval. *)
+
+val table1_seconds : (string * float) list
+val table2_seconds : (string * float) list
+val table3_seconds : (string * float) list
+val table5_seconds : (string * float) list
+val table7_us_per_page : (string * float) list
+
+(** One row of a statistics table (Tables 4, 6, 8). *)
+type stats_row = {
+  cfg : string;
+  reused_objs : int;
+  local_rpcs : int;
+  remote_rpcs : int;
+  new_mbytes : float;
+  cycle_lookups : int;
+}
+
+val table4_stats : stats_row list
+val table6_stats : stats_row list
+val table8_stats : stats_row list
+
+val seconds_for : (string * float) list -> string -> float option
+
+(** Gain over the table's ["class"] row, percent. *)
+val gain_over_class : (string * float) list -> string -> float option

@@ -1,0 +1,1 @@
+lib/jfront/ast.ml:

@@ -1,0 +1,1 @@
+lib/jfront/lower.ml: Array Ast Builder Format Hashtbl Instr Jir Lexer List Option Parser Printf Program String Typecheck Types

@@ -1,0 +1,1 @@
+lib/jfront/parser.ml: Array Ast Lexer List Printf

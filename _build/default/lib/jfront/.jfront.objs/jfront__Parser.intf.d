@@ -1,0 +1,1 @@
+lib/jfront/parser.mli: Ast

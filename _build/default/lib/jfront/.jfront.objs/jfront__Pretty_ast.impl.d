@@ -1,0 +1,1 @@
+lib/jfront/pretty_ast.ml: Ast Buffer Format List String

@@ -1,0 +1,1 @@
+lib/jfront/pretty_ast.mli: Ast Format

@@ -1,0 +1,67 @@
+(** AST of the Java-like surface syntax. *)
+
+type ty =
+  | Void
+  | Bool
+  | Int
+  | Double
+  | Str
+  | Named of string  (** class reference, resolved during lowering *)
+  | Array of ty
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | E_int of int
+  | E_double of float
+  | E_bool of bool
+  | E_string of string
+  | E_null
+  | E_var of string
+  | E_field of expr * string  (** [e.f]; also [e.length] on arrays *)
+  | E_index of expr * expr
+  | E_call of expr option * string * expr list
+      (** receiver (None = free function), method name, args *)
+  | E_new of string  (** [new C()] *)
+  | E_new_array of ty * expr list
+      (** [new t[e]] / [new t[e1][e2]]: element type, one or two dims *)
+  | E_binop of binop * expr * expr
+  | E_unop of unop * expr
+
+type lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type stmt =
+  | S_decl of ty * string * expr option
+  | S_assign of lvalue * expr
+  | S_expr of expr  (** call for effect *)
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_for of stmt * expr * stmt * stmt list
+  | S_return of expr option
+
+type method_decl = {
+  m_static : bool;  (** static methods have no implicit [this] *)
+  m_ret : ty;
+  m_name : string;
+  m_params : (ty * string) list;
+  m_body : stmt list;
+}
+
+type class_decl = {
+  c_remote : bool;
+  c_name : string;
+  c_super : string option;
+  c_fields : (ty * string) list;
+  c_statics : (ty * string) list;  (** [static t x;] members *)
+  c_methods : method_decl list;
+}
+
+type program = { classes : class_decl list }

@@ -1,0 +1,216 @@
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | STRING_LIT of string
+  | KW_CLASS | KW_REMOTE | KW_EXTENDS | KW_STATIC
+  | KW_VOID | KW_BOOLEAN | KW_INT | KW_DOUBLE | KW_STRING
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_NEW
+  | KW_TRUE | KW_FALSE | KW_NULL
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | BARBAR | BANG
+  | EOF
+
+type t = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    ("class", KW_CLASS); ("remote", KW_REMOTE); ("extends", KW_EXTENDS);
+    ("static", KW_STATIC); ("void", KW_VOID); ("boolean", KW_BOOLEAN);
+    ("int", KW_INT); ("double", KW_DOUBLE); ("String", KW_STRING);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR);
+    ("return", KW_RETURN); ("new", KW_NEW); ("true", KW_TRUE);
+    ("false", KW_FALSE); ("null", KW_NULL);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cu = if cu.pos < String.length cu.src then Some cu.src.[cu.pos] else None
+
+let peek2 cu =
+  if cu.pos + 1 < String.length cu.src then Some cu.src.[cu.pos + 1] else None
+
+let advance cu =
+  (match peek cu with
+  | Some '\n' ->
+      cu.line <- cu.line + 1;
+      cu.col <- 1
+  | Some _ -> cu.col <- cu.col + 1
+  | None -> ());
+  cu.pos <- cu.pos + 1
+
+let error cu msg = raise (Lex_error (msg, cu.line, cu.col))
+
+let rec skip_trivia cu =
+  match (peek cu, peek2 cu) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance cu;
+      skip_trivia cu
+  | Some '/', Some '/' ->
+      while peek cu <> None && peek cu <> Some '\n' do
+        advance cu
+      done;
+      skip_trivia cu
+  | Some '/', Some '*' ->
+      advance cu;
+      advance cu;
+      let rec close () =
+        match (peek cu, peek2 cu) with
+        | Some '*', Some '/' ->
+            advance cu;
+            advance cu
+        | Some _, _ ->
+            advance cu;
+            close ()
+        | None, _ -> error cu "unterminated comment"
+      in
+      close ();
+      skip_trivia cu
+  | _ -> ()
+
+let lex_number cu =
+  let start = cu.pos in
+  while (match peek cu with Some c -> is_digit c | None -> false) do
+    advance cu
+  done;
+  let is_float =
+    match (peek cu, peek2 cu) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance cu;
+    while (match peek cu with Some c -> is_digit c | None -> false) do
+      advance cu
+    done;
+    DOUBLE_LIT (float_of_string (String.sub cu.src start (cu.pos - start)))
+  end
+  else INT_LIT (int_of_string (String.sub cu.src start (cu.pos - start)))
+
+let lex_string cu =
+  advance cu (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cu with
+    | Some '"' -> advance cu
+    | Some '\\' -> (
+        advance cu;
+        match peek cu with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance cu;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance cu;
+            go ()
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance cu;
+            go ()
+        | _ -> error cu "bad escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cu;
+        go ()
+    | None -> error cu "unterminated string"
+  in
+  go ();
+  STRING_LIT (Buffer.contents buf)
+
+let tokenize src =
+  let cu = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok line col = out := { tok; line; col } :: !out in
+  let rec go () =
+    skip_trivia cu;
+    let line = cu.line and col = cu.col in
+    match peek cu with
+    | None -> emit EOF line col
+    | Some c when is_ident_start c ->
+        let start = cu.pos in
+        while (match peek cu with Some c -> is_ident_char c | None -> false) do
+          advance cu
+        done;
+        let word = String.sub cu.src start (cu.pos - start) in
+        (match List.assoc_opt word keywords with
+        | Some kw -> emit kw line col
+        | None -> emit (IDENT word) line col);
+        go ()
+    | Some c when is_digit c ->
+        emit (lex_number cu) line col;
+        go ()
+    | Some '"' ->
+        emit (lex_string cu) line col;
+        go ()
+    | Some c ->
+        let two tok =
+          advance cu;
+          advance cu;
+          emit tok line col
+        in
+        let one tok =
+          advance cu;
+          emit tok line col
+        in
+        (match (c, peek2 cu) with
+        | '+', Some '+' -> two PLUSPLUS
+        | '=', Some '=' -> two EQ
+        | '!', Some '=' -> two NE
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '&', Some '&' -> two AMPAMP
+        | '|', Some '|' -> two BARBAR
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | '.', _ -> one DOT
+        | '=', _ -> one ASSIGN
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '!', _ -> one BANG
+        | _ -> error cu (Printf.sprintf "unexpected character %C" c));
+        go ()
+  in
+  go ();
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT i -> Printf.sprintf "int %d" i
+  | DOUBLE_LIT f -> Printf.sprintf "double %g" f
+  | STRING_LIT s -> Printf.sprintf "string %S" s
+  | KW_CLASS -> "'class'" | KW_REMOTE -> "'remote'" | KW_EXTENDS -> "'extends'"
+  | KW_STATIC -> "'static'" | KW_VOID -> "'void'" | KW_BOOLEAN -> "'boolean'"
+  | KW_INT -> "'int'" | KW_DOUBLE -> "'double'" | KW_STRING -> "'String'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'" | KW_RETURN -> "'return'" | KW_NEW -> "'new'"
+  | KW_TRUE -> "'true'" | KW_FALSE -> "'false'" | KW_NULL -> "'null'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
+  | DOT -> "'.'" | ASSIGN -> "'='" | PLUS -> "'+'" | MINUS -> "'-'"
+  | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'" | PLUSPLUS -> "'++'"
+  | EQ -> "'=='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'"
+  | GE -> "'>='" | AMPAMP -> "'&&'" | BARBAR -> "'||'" | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,31 @@
+(** Lexer for the Java-like surface syntax (see {!Parser} for the
+    grammar).  Comments: [// ...] and [/* ... */]. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | STRING_LIT of string
+  (* keywords *)
+  | KW_CLASS | KW_REMOTE | KW_EXTENDS | KW_STATIC
+  | KW_VOID | KW_BOOLEAN | KW_INT | KW_DOUBLE | KW_STRING
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_NEW
+  | KW_TRUE | KW_FALSE | KW_NULL
+  (* punctuation *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | BARBAR | BANG
+  | EOF
+
+type t = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int  (** message, line, column *)
+
+(** Tokenize the whole input. @raise Lex_error *)
+val tokenize : string -> t list
+
+val token_to_string : token -> string

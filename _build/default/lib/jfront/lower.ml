@@ -1,0 +1,630 @@
+open Jir
+module B = Builder
+
+exception Compile_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* --- symbol tables ---------------------------------------------------- *)
+
+type field_info = { f_ref : Types.field_ref; f_ty : Types.ty }
+
+type class_info = {
+  ci_id : Types.class_id;
+  ci_remote : bool;
+  ci_super : string option;
+  ci_fields : (string * field_info) list;  (* own fields *)
+  ci_statics : (string * (Types.static_id * Types.ty)) list;
+}
+
+type method_info = {
+  mi_id : Types.method_id;
+  mi_owner : string;
+  mi_name : string;  (* unqualified *)
+  mi_static : bool;
+  mi_remote : bool;
+  mi_params : Types.ty list;  (* excluding implicit this *)
+  mi_ret : Types.ty;
+  mi_has_this : bool;
+}
+
+type env = {
+  b : B.t;
+  classes : (string, class_info) Hashtbl.t;
+  methods : method_info list ref;
+}
+
+let class_info env name =
+  match Hashtbl.find_opt env.classes name with
+  | Some ci -> ci
+  | None -> err "unknown class %s" name
+
+let rec resolve_field env cname fname =
+  let ci = class_info env cname in
+  match List.assoc_opt fname ci.ci_fields with
+  | Some fi -> Some fi
+  | None -> (
+      match ci.ci_super with
+      | Some parent -> resolve_field env parent fname
+      | None -> None)
+
+let rec resolve_static env cname sname =
+  let ci = class_info env cname in
+  match List.assoc_opt sname ci.ci_statics with
+  | Some s -> Some s
+  | None -> (
+      match ci.ci_super with
+      | Some parent -> resolve_static env parent sname
+      | None -> None)
+
+let rec resolve_method env cname mname =
+  let matches =
+    List.filter
+      (fun mi -> mi.mi_owner = cname && mi.mi_name = mname)
+      !(env.methods)
+  in
+  match matches with
+  | [ mi ] -> Some mi
+  | _ :: _ -> err "ambiguous method %s.%s" cname mname
+  | [] -> (
+      match (class_info env cname).ci_super with
+      | Some parent -> resolve_method env parent mname
+      | None -> None)
+
+let rec lower_ty env : Ast.ty -> Types.ty = function
+  | Ast.Void -> Types.Tvoid
+  | Ast.Bool -> Types.Tbool
+  | Ast.Int -> Types.Tint
+  | Ast.Double -> Types.Tdouble
+  | Ast.Str -> Types.Tstring
+  | Ast.Named name -> Types.Tobject (class_info env name).ci_id
+  | Ast.Array t -> Types.Tarray (lower_ty env t)
+
+(* --- method-body lowering --------------------------------------------- *)
+
+type scope = { mutable bindings : (string * (Types.var * Types.ty)) list }
+
+type mctx = {
+  env : env;
+  mb : B.mbuilder;
+  owner : string;  (* owning class name *)
+  this_var : Types.var option;
+  ret_ty : Types.ty;
+  scope : scope;
+}
+
+let lookup_var ctx name = List.assoc_opt name ctx.scope.bindings
+
+let bind ctx name var ty =
+  ctx.scope.bindings <- (name, (var, ty)) :: ctx.scope.bindings
+
+let saved_scope ctx = ctx.scope.bindings
+let restore_scope ctx saved = ctx.scope.bindings <- saved
+
+let class_of_ty ctx what : Types.ty -> string = function
+  | Types.Tobject cid ->
+      (* reverse lookup: class ids are dense, find by id *)
+      let found = ref None in
+      Hashtbl.iter
+        (fun name ci -> if ci.ci_id = cid then found := Some name)
+        ctx.env.classes;
+      (match !found with Some n -> n | None -> err "%s: unknown class id" what)
+  | ty -> err "%s: expected an object, got %s" what (Types.ty_to_string ty)
+
+(* materialize an operand as a variable (for address positions) *)
+let as_var ctx (op, ty) what =
+  match op with
+  | Instr.Var v -> v
+  | Instr.Null -> err "%s: null receiver" what
+  | _ ->
+      let v = B.fresh ctx.mb ty in
+      B.move ctx.mb v op;
+      v
+
+let rec lower_expr ctx (e : Ast.expr) : Instr.operand * Types.ty =
+  match e with
+  | Ast.E_int i -> (Instr.Int i, Types.Tint)
+  | Ast.E_double f -> (Instr.Double f, Types.Tdouble)
+  | Ast.E_bool b -> (Instr.Bool b, Types.Tbool)
+  | Ast.E_null -> (Instr.Null, Types.Tvoid) (* context gives the type *)
+  | Ast.E_string s ->
+      let v = B.new_str ctx.mb s in
+      (Instr.Var v, Types.Tstring)
+  | Ast.E_var name -> (
+      match lookup_var ctx name with
+      | Some (v, ty) -> (Instr.Var v, ty)
+      | None -> (
+          (* instance field of this? *)
+          match instance_field ctx name with
+          | Some (this, fi) ->
+              let v = B.load_field ctx.mb this fi.f_ref in
+              (Instr.Var v, fi.f_ty)
+          | None -> (
+              (* static of the owning class (or its ancestors)? *)
+              match resolve_static ctx.env ctx.owner name with
+              | Some (sid, ty) ->
+                  let v = B.load_static ctx.mb sid in
+                  (Instr.Var v, ty)
+              | None -> err "unbound identifier %s in %s" name ctx.owner)))
+  | Ast.E_field (Ast.E_var cls_name, sname)
+    when lookup_var ctx cls_name = None && Hashtbl.mem ctx.env.classes cls_name
+    -> (
+      (* Class.static *)
+      match resolve_static ctx.env cls_name sname with
+      | Some (sid, ty) ->
+          let v = B.load_static ctx.mb sid in
+          (Instr.Var v, ty)
+      | None -> err "class %s has no static %s" cls_name sname)
+  | Ast.E_field (recv, fname) -> (
+      let ((_, rty) as rv) = lower_expr ctx recv in
+      match (rty, fname) with
+      | Types.Tarray _, "length" ->
+          let v = B.array_length ctx.mb (as_var ctx rv "length") in
+          (Instr.Var v, Types.Tint)
+      | _ -> (
+          let cname = class_of_ty ctx ("field ." ^ fname) rty in
+          match resolve_field ctx.env cname fname with
+          | Some fi ->
+              let v = B.load_field ctx.mb (as_var ctx rv ("." ^ fname)) fi.f_ref in
+              (Instr.Var v, fi.f_ty)
+          | None -> err "class %s has no field %s" cname fname))
+  | Ast.E_index (arr, idx) -> (
+      let ((_, aty) as av) = lower_expr ctx arr in
+      let iop, ity = lower_expr ctx idx in
+      if not (Types.equal_ty ity Types.Tint) then err "index must be int";
+      match aty with
+      | Types.Tarray elem ->
+          let v = B.load_elem ctx.mb (as_var ctx av "index") iop in
+          (Instr.Var v, elem)
+      | ty -> err "indexing a non-array %s" (Types.ty_to_string ty))
+  | Ast.E_new cname ->
+      let ci = class_info ctx.env cname in
+      (Instr.Var (B.alloc ctx.mb ci.ci_id), Types.Tobject ci.ci_id)
+  | Ast.E_new_array (elem_ast, dims) -> lower_new_array ctx elem_ast dims
+  | Ast.E_call (recv, name, args) -> (
+      match lower_call ctx recv name args with
+      | Some (v, ty) -> (Instr.Var v, ty)
+      | None -> err "void call %s used as a value" name)
+  | Ast.E_unop (op, e1) -> (
+      let op1, ty1 = lower_expr ctx e1 in
+      match op with
+      | Ast.Neg ->
+          if not (Types.equal_ty ty1 Types.Tint || Types.equal_ty ty1 Types.Tdouble)
+          then err "negating a non-number";
+          (Instr.Var (B.unop ctx.mb Instr.Neg op1), ty1)
+      | Ast.Not ->
+          if not (Types.equal_ty ty1 Types.Tbool) then err "'!' needs a boolean";
+          (Instr.Var (B.unop ctx.mb Instr.Not op1), Types.Tbool))
+  | Ast.E_binop (Ast.And, l, r) -> lower_short_circuit ctx ~is_and:true l r
+  | Ast.E_binop (Ast.Or, l, r) -> lower_short_circuit ctx ~is_and:false l r
+  | Ast.E_binop (op, l, r) -> (
+      let lop, lty = lower_expr ctx l in
+      let rop, rty = lower_expr ctx r in
+      let jop =
+        match op with
+        | Ast.Add -> Instr.Add | Ast.Sub -> Instr.Sub | Ast.Mul -> Instr.Mul
+        | Ast.Div -> Instr.Div | Ast.Rem -> Instr.Rem
+        | Ast.Eq -> Instr.Eq | Ast.Ne -> Instr.Ne
+        | Ast.Lt -> Instr.Lt | Ast.Le -> Instr.Le
+        | Ast.Gt -> Instr.Gt | Ast.Ge -> Instr.Ge
+        | Ast.And | Ast.Or -> assert false
+      in
+      (* Java's implicit numeric widening: int operands are promoted
+         when mixed with double *)
+      let promote (op1, ty1) other_ty =
+        if Types.equal_ty ty1 Types.Tint && Types.equal_ty other_ty Types.Tdouble
+        then (Instr.Var (B.unop ctx.mb Instr.I2d op1), Types.Tdouble)
+        else (op1, ty1)
+      in
+      let lop, lty = promote (lop, lty) rty in
+      let rop, rty = promote (rop, rty) lty in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem ->
+          if not (Types.equal_ty lty rty) then
+            err "mixed arithmetic operand types";
+          (Instr.Var (B.binop ctx.mb jop lop rop), lty)
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          ignore rty;
+          (Instr.Var (B.binop ctx.mb jop lop rop), Types.Tbool)
+      | Ast.And | Ast.Or -> assert false)
+
+and instance_field ctx name =
+  match ctx.this_var with
+  | None -> None
+  | Some this -> (
+      match resolve_field ctx.env ctx.owner name with
+      | Some fi -> Some (this, fi)
+      | None -> None)
+
+and lower_short_circuit ctx ~is_and l r =
+  let lop, lty = lower_expr ctx l in
+  if not (Types.equal_ty lty Types.Tbool) then err "'&&'/'||' need booleans";
+  let result = B.fresh ctx.mb Types.Tbool in
+  if is_and then
+    B.if_ ctx.mb lop
+      (fun () ->
+        let rop, rty = lower_expr ctx r in
+        if not (Types.equal_ty rty Types.Tbool) then err "'&&' needs booleans";
+        B.move ctx.mb result rop)
+      (fun () -> B.move ctx.mb result (Instr.Bool false))
+  else
+    B.if_ ctx.mb lop
+      (fun () -> B.move ctx.mb result (Instr.Bool true))
+      (fun () ->
+        let rop, rty = lower_expr ctx r in
+        if not (Types.equal_ty rty Types.Tbool) then err "'||' needs booleans";
+        B.move ctx.mb result rop);
+  (Instr.Var result, Types.Tbool)
+
+and lower_new_array ctx elem_ast dims =
+  let elem = lower_ty ctx.env elem_ast in
+  match dims with
+  | [ d ] ->
+      let dop, dty = lower_expr ctx d in
+      if not (Types.equal_ty dty Types.Tint) then err "array size must be int";
+      (Instr.Var (B.alloc_array ctx.mb elem dop), Types.Tarray elem)
+  | [ d1; d2 ] ->
+      (* Java semantics: allocate the outer array and every inner one *)
+      let d1op, _ = lower_expr ctx d1 in
+      let d2op, _ = lower_expr ctx d2 in
+      let d2v = B.fresh ctx.mb Types.Tint in
+      B.move ctx.mb d2v d2op;
+      let outer = B.alloc_array ctx.mb (Types.Tarray elem) d1op in
+      B.loop_up ctx.mb ~from:(Instr.Int 0) ~limit:d1op (fun i ->
+          let inner = B.alloc_array ctx.mb elem (Instr.Var d2v) in
+          B.store_elem ctx.mb outer (Instr.Var i) (Instr.Var inner));
+      (Instr.Var outer, Types.Tarray (Types.Tarray elem))
+  | _ -> err "only one or two array dimensions are supported"
+
+and lower_call ctx recv name args : (Types.var * Types.ty) option =
+  let lowered_args = List.map (lower_expr ctx) args in
+  let arg_ops = List.map fst lowered_args in
+  let finish mi ~recv_op =
+    let expected = List.length mi.mi_params in
+    if List.length args <> expected then
+      err "%s.%s expects %d argument(s), got %d" mi.mi_owner mi.mi_name expected
+        (List.length args);
+    if mi.mi_remote then begin
+      match recv_op with
+      | Some rop -> (
+          match B.rcall ctx.mb rop mi.mi_id arg_ops with
+          | Some v -> Some (v, mi.mi_ret)
+          | None -> None)
+      | None -> err "remote method %s.%s needs a receiver" mi.mi_owner mi.mi_name
+    end
+    else begin
+      let full_args =
+        if mi.mi_has_this then
+          match recv_op with
+          | Some rop -> rop :: arg_ops
+          | None -> (
+              match ctx.this_var with
+              | Some this -> Instr.Var this :: arg_ops
+              | None ->
+                  err "instance method %s.%s called without a receiver"
+                    mi.mi_owner mi.mi_name)
+        else arg_ops
+      in
+      match B.call ctx.mb mi.mi_id full_args with
+      | Some v -> Some (v, mi.mi_ret)
+      | None -> None
+    end
+  in
+  match recv with
+  | Some (Ast.E_var cls_name)
+    when lookup_var ctx cls_name = None && Hashtbl.mem ctx.env.classes cls_name
+    -> (
+      (* Class.staticMethod(args) *)
+      match resolve_method ctx.env cls_name name with
+      | Some mi when mi.mi_static -> finish mi ~recv_op:None
+      | Some _ -> err "%s.%s is not static" cls_name name
+      | None -> err "class %s has no method %s" cls_name name)
+  | Some recv_expr -> (
+      let ((rop, rty) as rv) = lower_expr ctx recv_expr in
+      ignore rv;
+      let cname = class_of_ty ctx ("call ." ^ name) rty in
+      match resolve_method ctx.env cname name with
+      | Some mi -> finish mi ~recv_op:(Some rop)
+      | None -> err "class %s has no method %s" cname name)
+  | None -> (
+      match resolve_method ctx.env ctx.owner name with
+      | Some mi -> finish mi ~recv_op:None
+      | None -> err "no method %s in scope (class %s)" name ctx.owner)
+
+(* null adapts to any reference type; otherwise the builder's type
+   bookkeeping plus the final Typecheck.check validate the assignment *)
+let assign_checked _ctx _what ~dst_ty:_ (op, _src_ty) = op
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.S_decl (ty_ast, name, init) ->
+      let ty = lower_ty ctx.env ty_ast in
+      let v = B.fresh ctx.mb ty in
+      (match init with
+      | Some e ->
+          let rv = lower_expr ctx e in
+          B.move ctx.mb v (assign_checked ctx name ~dst_ty:ty rv)
+      | None ->
+          (* definite initialisation, JIR-style zero value *)
+          let zero =
+            match ty with
+            | Types.Tint -> Instr.Int 0
+            | Types.Tdouble -> Instr.Double 0.0
+            | Types.Tbool -> Instr.Bool false
+            | _ -> Instr.Null
+          in
+          B.move ctx.mb v zero);
+      bind ctx name v ty
+  | Ast.S_assign (lv, e) -> (
+      match lv with
+      | Ast.L_var name -> (
+          match lookup_var ctx name with
+          | Some (v, ty) ->
+              let rv = lower_expr ctx e in
+              B.move ctx.mb v (assign_checked ctx name ~dst_ty:ty rv)
+          | None -> (
+              match instance_field ctx name with
+              | Some (this, fi) ->
+                  let rv = lower_expr ctx e in
+                  B.store_field ctx.mb this fi.f_ref
+                    (assign_checked ctx name ~dst_ty:fi.f_ty rv)
+              | None -> (
+                  match resolve_static ctx.env ctx.owner name with
+                  | Some (sid, ty) ->
+                      let rv = lower_expr ctx e in
+                      B.store_static ctx.mb sid
+                        (assign_checked ctx name ~dst_ty:ty rv)
+                  | None -> err "unbound identifier %s" name)))
+      | Ast.L_field (Ast.E_var cls_name, sname)
+        when lookup_var ctx cls_name = None
+             && Hashtbl.mem ctx.env.classes cls_name -> (
+          match resolve_static ctx.env cls_name sname with
+          | Some (sid, ty) ->
+              let rv = lower_expr ctx e in
+              B.store_static ctx.mb sid (assign_checked ctx sname ~dst_ty:ty rv)
+          | None -> err "class %s has no static %s" cls_name sname)
+      | Ast.L_field (recv, fname) -> (
+          let ((_, rty) as rv) = lower_expr ctx recv in
+          let cname = class_of_ty ctx ("store ." ^ fname) rty in
+          match resolve_field ctx.env cname fname with
+          | Some fi ->
+              let obj = as_var ctx rv ("." ^ fname) in
+              let value = lower_expr ctx e in
+              B.store_field ctx.mb obj fi.f_ref
+                (assign_checked ctx fname ~dst_ty:fi.f_ty value)
+          | None -> err "class %s has no field %s" cname fname)
+      | Ast.L_index (arr, idx) -> (
+          let ((_, aty) as av) = lower_expr ctx arr in
+          match aty with
+          | Types.Tarray elem ->
+              let arrv = as_var ctx av "store[]" in
+              let iop, _ = lower_expr ctx idx in
+              let value = lower_expr ctx e in
+              B.store_elem ctx.mb arrv iop
+                (assign_checked ctx "element" ~dst_ty:elem value)
+          | ty -> err "indexing a non-array %s" (Types.ty_to_string ty)))
+  | Ast.S_expr e -> (
+      match e with
+      | Ast.E_call (recv, name, args) -> ignore (lower_call ctx recv name args)
+      | _ -> ignore (lower_expr ctx e))
+  | Ast.S_if (cond, then_, else_) ->
+      let cop, cty = lower_expr ctx cond in
+      if not (Types.equal_ty cty Types.Tbool) then err "if needs a boolean";
+      let saved = saved_scope ctx in
+      B.if_ ctx.mb cop
+        (fun () ->
+          List.iter (lower_stmt ctx) then_;
+          restore_scope ctx saved)
+        (fun () ->
+          List.iter (lower_stmt ctx) else_;
+          restore_scope ctx saved)
+  | Ast.S_while (cond, body) ->
+      let saved = saved_scope ctx in
+      B.while_ ctx.mb
+        (fun () ->
+          let cop, cty = lower_expr ctx cond in
+          if not (Types.equal_ty cty Types.Tbool) then err "while needs a boolean";
+          cop)
+        (fun () ->
+          List.iter (lower_stmt ctx) body;
+          restore_scope ctx saved);
+      restore_scope ctx saved
+  | Ast.S_for (init, cond, update, body) ->
+      let saved = saved_scope ctx in
+      lower_stmt ctx init;
+      B.while_ ctx.mb
+        (fun () ->
+          let cop, cty = lower_expr ctx cond in
+          if not (Types.equal_ty cty Types.Tbool) then err "for needs a boolean";
+          cop)
+        (fun () ->
+          let saved_body = saved_scope ctx in
+          List.iter (lower_stmt ctx) body;
+          restore_scope ctx saved_body;
+          lower_stmt ctx update);
+      restore_scope ctx saved
+  | Ast.S_return None ->
+      if not (Types.equal_ty ctx.ret_ty Types.Tvoid) then
+        err "return without a value in a non-void method";
+      B.ret ctx.mb None
+  | Ast.S_return (Some e) ->
+      if Types.equal_ty ctx.ret_ty Types.Tvoid then
+        err "void method returns a value";
+      let rv = lower_expr ctx e in
+      B.ret ctx.mb (Some (assign_checked ctx "return" ~dst_ty:ctx.ret_ty rv))
+
+(* --- program assembly -------------------------------------------------- *)
+
+let compile src =
+  let ast =
+    try Parser.parse src with
+    | Lexer.Lex_error (msg, l, c) -> err "%d:%d: %s" l c msg
+    | Parser.Parse_error (msg, l, c) -> err "%d:%d: %s" l c msg
+  in
+  let b = B.create () in
+  let env = { b; classes = Hashtbl.create 16; methods = ref [] } in
+  (* pass 1a: class ids *)
+  let supers = ref [] in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      if Hashtbl.mem env.classes c.c_name then
+        err "duplicate class %s" c.c_name;
+      (* supers handled in 1b once all names are known; declare with the
+         super resolved lazily via a second builder pass is impossible —
+         the builder needs the super at declaration, so sort first *)
+      supers := (c.c_name, c.c_super) :: !supers)
+    ast.classes;
+  (* topologically order classes by the extends chain *)
+  let order = ref [] in
+  let visiting = Hashtbl.create 8 in
+  let rec visit name =
+    if not (List.exists (fun (c : Ast.class_decl) -> c.Ast.c_name = name) ast.classes)
+    then err "unknown superclass %s" name;
+    if Hashtbl.mem visiting name then err "cyclic extends involving %s" name;
+    if not (List.mem name !order) then begin
+      Hashtbl.add visiting name ();
+      (match List.assoc name !supers with Some s -> visit s | None -> ());
+      Hashtbl.remove visiting name;
+      order := !order @ [ name ]
+    end
+  in
+  List.iter (fun (c : Ast.class_decl) -> visit c.Ast.c_name) ast.classes;
+  (* pass 1b: declare classes, fields, statics *)
+  List.iter
+    (fun name ->
+      let c =
+        List.find (fun (c : Ast.class_decl) -> c.Ast.c_name = name) ast.classes
+      in
+      let super_id =
+        Option.map (fun s -> (class_info env s).ci_id) c.Ast.c_super
+      in
+      let cid = B.declare_class b ?super:super_id ~remote:c.Ast.c_remote name in
+      Hashtbl.replace env.classes name
+        {
+          ci_id = cid;
+          ci_remote = c.Ast.c_remote;
+          ci_super = c.Ast.c_super;
+          ci_fields = [];
+          ci_statics = [];
+        })
+    !order;
+  (* fields and statics need lower_ty, which needs all classes known *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let ci = class_info env c.Ast.c_name in
+      let fields =
+        List.map
+          (fun (ty_ast, fname) ->
+            let fty = lower_ty env ty_ast in
+            let fref = B.add_field b ci.ci_id fname fty in
+            (fname, { f_ref = fref; f_ty = fty }))
+          c.Ast.c_fields
+      in
+      let statics =
+        List.map
+          (fun (ty_ast, sname) ->
+            let sty = lower_ty env ty_ast in
+            let sid = B.declare_static b (c.Ast.c_name ^ "." ^ sname) sty in
+            (sname, (sid, sty)))
+          c.Ast.c_statics
+      in
+      Hashtbl.replace env.classes c.Ast.c_name
+        { ci with ci_fields = fields; ci_statics = statics })
+    ast.classes;
+  (* pass 2: method signatures *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let ci = class_info env c.Ast.c_name in
+      List.iter
+        (fun (m : Ast.method_decl) ->
+          let has_this = (not m.Ast.m_static) && not c.Ast.c_remote in
+          let param_tys = List.map (fun (t, _) -> lower_ty env t) m.Ast.m_params in
+          let full_params =
+            if has_this then Types.Tobject ci.ci_id :: param_tys else param_tys
+          in
+          let mid =
+            B.declare_method b ~owner:ci.ci_id
+              ~name:(c.Ast.c_name ^ "." ^ m.Ast.m_name)
+              ~params:full_params ~ret:(lower_ty env m.Ast.m_ret) ()
+          in
+          env.methods :=
+            {
+              mi_id = mid;
+              mi_owner = c.Ast.c_name;
+              mi_name = m.Ast.m_name;
+              mi_static = m.Ast.m_static;
+              mi_remote = c.Ast.c_remote && not m.Ast.m_static;
+              mi_params = param_tys;
+              mi_ret = lower_ty env m.Ast.m_ret;
+              mi_has_this = has_this;
+            }
+            :: !(env.methods))
+        c.Ast.c_methods)
+    ast.classes;
+  (* pass 3: bodies *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      List.iter
+        (fun (m : Ast.method_decl) ->
+          let mi =
+            List.find
+              (fun mi -> mi.mi_owner = c.Ast.c_name && mi.mi_name = m.Ast.m_name)
+              !(env.methods)
+          in
+          B.define b mi.mi_id (fun mb ->
+              let this_var = if mi.mi_has_this then Some 0 else None in
+              let scope = { bindings = [] } in
+              (if mi.mi_has_this then
+                 let cid = (class_info env c.Ast.c_name).ci_id in
+                 scope.bindings <- [ ("this", (0, Types.Tobject cid)) ]);
+              let offset = if mi.mi_has_this then 1 else 0 in
+              List.iteri
+                (fun i (t, pname) ->
+                  scope.bindings <-
+                    (pname, (i + offset, lower_ty env t)) :: scope.bindings)
+                m.Ast.m_params;
+              let ctx =
+                {
+                  env;
+                  mb;
+                  owner = c.Ast.c_name;
+                  this_var;
+                  ret_ty = mi.mi_ret;
+                  scope;
+                }
+              in
+              List.iter (lower_stmt ctx) m.Ast.m_body))
+        c.Ast.c_methods)
+    ast.classes;
+  let prog = B.finish b in
+  (match Typecheck.check prog with
+  | [] -> ()
+  | errs ->
+      err "internal: lowered program does not typecheck: %s"
+        (String.concat "; "
+           (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) errs)));
+  prog
+
+let compile_result src =
+  match compile src with
+  | prog -> Ok prog
+  | exception Compile_error msg -> Error msg
+
+let class_named prog name =
+  match Program.find_class prog name with
+  | Some c -> c.Program.cid
+  | None -> raise (Compile_error ("no class " ^ name))
+
+let method_named prog name =
+  match Program.find_method prog name with
+  | Some m -> m.Program.mid
+  | None -> raise (Compile_error ("no method " ^ name))
+
+let static_named prog name =
+  match
+    Array.find_opt
+      (fun (s : Program.static_decl) -> String.equal s.sname name)
+      prog.Program.statics
+  with
+  | Some s -> s.Program.sid
+  | None -> raise (Compile_error ("no static " ^ name))

@@ -1,0 +1,36 @@
+(** Lowering from the surface AST to JIR.
+
+    Name resolution and typing rules:
+    - classes may be declared in any order; fields resolve through the
+      [extends] chain;
+    - non-static methods of {e non-remote} classes receive an implicit
+      [this] parameter; bare identifiers resolve local > parameter >
+      instance field (via [this]) > static of the class;
+    - methods of [remote] classes take no [this] (JavaParty-style: the
+      runtime locates the object); their state must live in statics —
+      referencing instance fields from one is an error;
+    - [recv.m(...)] dispatches on the static class of [recv]: a remote
+      class becomes a [Remote_call] (one optimizable call site), others
+      a direct local [Call];
+    - [Class.static_field] and bare static names are both accepted;
+    - [&&]/[||] short-circuit; [new t[n][m]] allocates the inner arrays
+      (a loop), as in Java;
+    - string literals in expressions lower to tracked [New_str]
+      allocations.
+
+    The result always passes {!Jir.Typecheck.check}. *)
+
+exception Compile_error of string
+
+(** Compile surface source text to a JIR program.
+    @raise Compile_error on name/type errors (parse and lex errors are
+    re-raised as [Compile_error] too, with positions). *)
+val compile : string -> Jir.Program.t
+
+val compile_result : string -> (Jir.Program.t, string) result
+
+(** Convenience lookups on the compiled program. *)
+
+val class_named : Jir.Program.t -> string -> Jir.Types.class_id
+val method_named : Jir.Program.t -> string -> Jir.Types.method_id
+val static_named : Jir.Program.t -> string -> Jir.Types.static_id

@@ -1,0 +1,379 @@
+open Lexer
+
+exception Parse_error of string * int * int
+
+type state = { toks : Lexer.t array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let peek_tok st = (cur st).tok
+
+let peek_tok_at st n =
+  if st.pos + n < Array.length st.toks then Some st.toks.(st.pos + n).tok
+  else None
+
+let fail st msg =
+  let { line; col; tok } = cur st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s)" msg (token_to_string tok), line, col))
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek_tok st = tok then advance st else fail st ("expected " ^ what)
+
+let accept st tok =
+  if peek_tok st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek_tok st with
+  | IDENT name ->
+      advance st;
+      name
+  | _ -> fail st "expected an identifier"
+
+(* --- types --- *)
+
+let base_ty st =
+  match peek_tok st with
+  | KW_VOID -> advance st; Ast.Void
+  | KW_BOOLEAN -> advance st; Ast.Bool
+  | KW_INT -> advance st; Ast.Int
+  | KW_DOUBLE -> advance st; Ast.Double
+  | KW_STRING -> advance st; Ast.Str
+  | IDENT name -> advance st; Ast.Named name
+  | _ -> fail st "expected a type"
+
+let rec array_suffix st ty =
+  if peek_tok st = LBRACKET && peek_tok_at st 1 = Some RBRACKET then begin
+    advance st;
+    advance st;
+    array_suffix st (Ast.Array ty)
+  end
+  else ty
+
+let parse_ty st = array_suffix st (base_ty st)
+
+(* does a type start here? used to disambiguate declarations from
+   expression statements *)
+let starts_decl st =
+  match peek_tok st with
+  | KW_VOID | KW_BOOLEAN | KW_INT | KW_DOUBLE | KW_STRING -> true
+  | IDENT _ -> (
+      (* ID ID ...  or  ID [ ] ...  *)
+      match (peek_tok_at st 1, peek_tok_at st 2) with
+      | Some (IDENT _), _ -> true
+      | Some LBRACKET, Some RBRACKET -> true
+      | _ -> false)
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st BARBAR then Ast.E_binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  if accept st AMPAMP then Ast.E_binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  match peek_tok st with
+  | EQ ->
+      advance st;
+      Ast.E_binop (Ast.Eq, lhs, parse_relational st)
+  | NE ->
+      advance st;
+      Ast.E_binop (Ast.Ne, lhs, parse_relational st)
+  | _ -> lhs
+
+and parse_relational st =
+  let lhs = parse_additive st in
+  match peek_tok st with
+  | LT -> advance st; Ast.E_binop (Ast.Lt, lhs, parse_additive st)
+  | LE -> advance st; Ast.E_binop (Ast.Le, lhs, parse_additive st)
+  | GT -> advance st; Ast.E_binop (Ast.Gt, lhs, parse_additive st)
+  | GE -> advance st; Ast.E_binop (Ast.Ge, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_additive st =
+  let rec go lhs =
+    match peek_tok st with
+    | PLUS ->
+        advance st;
+        go (Ast.E_binop (Ast.Add, lhs, parse_multiplicative st))
+    | MINUS ->
+        advance st;
+        go (Ast.E_binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    match peek_tok st with
+    | STAR ->
+        advance st;
+        go (Ast.E_binop (Ast.Mul, lhs, parse_unary st))
+    | SLASH ->
+        advance st;
+        go (Ast.E_binop (Ast.Div, lhs, parse_unary st))
+    | PERCENT ->
+        advance st;
+        go (Ast.E_binop (Ast.Rem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek_tok st with
+  | MINUS ->
+      advance st;
+      Ast.E_unop (Ast.Neg, parse_unary st)
+  | BANG ->
+      advance st;
+      Ast.E_unop (Ast.Not, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek_tok st with
+    | DOT -> (
+        advance st;
+        let name = ident st in
+        if peek_tok st = LPAREN then begin
+          advance st;
+          let args = parse_args st in
+          go (Ast.E_call (Some e, name, args))
+        end
+        else go (Ast.E_field (e, name)))
+    | LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st RBRACKET "']'";
+        go (Ast.E_index (e, idx))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  if accept st RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st COMMA then go (e :: acc)
+      else begin
+        expect st RPAREN "')'";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek_tok st with
+  | INT_LIT i -> advance st; Ast.E_int i
+  | DOUBLE_LIT f -> advance st; Ast.E_double f
+  | STRING_LIT s -> advance st; Ast.E_string s
+  | KW_TRUE -> advance st; Ast.E_bool true
+  | KW_FALSE -> advance st; Ast.E_bool false
+  | KW_NULL -> advance st; Ast.E_null
+  | KW_NEW -> (
+      advance st;
+      let base = base_ty st in
+      match peek_tok st with
+      | LPAREN -> (
+          advance st;
+          expect st RPAREN "')'";
+          match base with
+          | Ast.Named name -> Ast.E_new name
+          | _ -> fail st "only class types take 'new C()'")
+      | LBRACKET ->
+          (* new t[e] or new t[e1][e2]; trailing empty [] deepen the
+             element type: new double[n][] is an array of double[] *)
+          advance st;
+          let d1 = parse_expr st in
+          expect st RBRACKET "']'";
+          let dims = ref [ d1 ] in
+          let elem = ref base in
+          let rec more () =
+            if peek_tok st = LBRACKET then
+              if peek_tok_at st 1 = Some RBRACKET then begin
+                advance st;
+                advance st;
+                elem := Ast.Array !elem;
+                more ()
+              end
+              else begin
+                advance st;
+                let d = parse_expr st in
+                expect st RBRACKET "']'";
+                dims := d :: !dims;
+                more ()
+              end
+          in
+          more ();
+          Ast.E_new_array (!elem, List.rev !dims)
+      | _ -> fail st "expected '(' or '[' after new")
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+  | IDENT name ->
+      advance st;
+      if peek_tok st = LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        Ast.E_call (None, name, args)
+      end
+      else Ast.E_var name
+  | _ -> fail st "expected an expression"
+
+(* --- statements --- *)
+
+let lvalue_of_expr st = function
+  | Ast.E_var name -> Ast.L_var name
+  | Ast.E_field (e, f) -> Ast.L_field (e, f)
+  | Ast.E_index (e, i) -> Ast.L_index (e, i)
+  | _ -> fail st "left-hand side is not assignable"
+
+let rec parse_stmt st =
+  match peek_tok st with
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "'('";
+      let cond = parse_expr st in
+      expect st RPAREN "')'";
+      let then_ = parse_block st in
+      let else_ =
+        if accept st KW_ELSE then
+          (* allow 'else if (...) {...}' without extra braces *)
+          if peek_tok st = KW_IF then [ parse_stmt st ] else parse_block st
+        else []
+      in
+      Ast.S_if (cond, then_, else_)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN "'('";
+      let cond = parse_expr st in
+      expect st RPAREN "')'";
+      Ast.S_while (cond, parse_block st)
+  | KW_FOR ->
+      advance st;
+      expect st LPAREN "'('";
+      let init = parse_simple_stmt st in
+      expect st SEMI "';'";
+      let cond = parse_expr st in
+      expect st SEMI "';'";
+      let update = parse_simple_stmt st in
+      expect st RPAREN "')'";
+      Ast.S_for (init, cond, update, parse_block st)
+  | KW_RETURN ->
+      advance st;
+      if accept st SEMI then Ast.S_return None
+      else begin
+        let e = parse_expr st in
+        expect st SEMI "';'";
+        Ast.S_return (Some e)
+      end
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st SEMI "';'";
+      s
+
+(* declaration / assignment / expression, without the trailing ';' *)
+and parse_simple_stmt st =
+  if starts_decl st then begin
+    let ty = parse_ty st in
+    let name = ident st in
+    let init = if accept st ASSIGN then Some (parse_expr st) else None in
+    Ast.S_decl (ty, name, init)
+  end
+  else begin
+    let e = parse_expr st in
+    match peek_tok st with
+    | ASSIGN ->
+        advance st;
+        let rhs = parse_expr st in
+        Ast.S_assign (lvalue_of_expr st e, rhs)
+    | PLUSPLUS ->
+        advance st;
+        let lv = lvalue_of_expr st e in
+        Ast.S_assign (lv, Ast.E_binop (Ast.Add, e, Ast.E_int 1))
+    | _ -> Ast.S_expr e
+  end
+
+and parse_block st =
+  expect st LBRACE "'{'";
+  let rec go acc =
+    if accept st RBRACE then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- declarations --- *)
+
+let parse_member st =
+  let is_static = accept st KW_STATIC in
+  let ty = parse_ty st in
+  let name = ident st in
+  if accept st SEMI then `Field (is_static, ty, name)
+  else begin
+    expect st LPAREN "'(' or ';'";
+    let params =
+      if accept st RPAREN then []
+      else begin
+        let rec go acc =
+          let pty = parse_ty st in
+          let pname = ident st in
+          if accept st COMMA then go ((pty, pname) :: acc)
+          else begin
+            expect st RPAREN "')'";
+            List.rev ((pty, pname) :: acc)
+          end
+        in
+        go []
+      end
+    in
+    let body = parse_block st in
+    `Method
+      { Ast.m_static = is_static; m_ret = ty; m_name = name; m_params = params;
+        m_body = body }
+  end
+
+let parse_class st =
+  let remote = accept st KW_REMOTE in
+  expect st KW_CLASS "'class'";
+  let name = ident st in
+  let super = if accept st KW_EXTENDS then Some (ident st) else None in
+  expect st LBRACE "'{'";
+  let fields = ref [] and statics = ref [] and methods = ref [] in
+  while not (accept st RBRACE) do
+    match parse_member st with
+    | `Field (false, ty, fname) -> fields := (ty, fname) :: !fields
+    | `Field (true, ty, fname) -> statics := (ty, fname) :: !statics
+    | `Method m -> methods := m :: !methods
+  done;
+  {
+    Ast.c_remote = remote;
+    c_name = name;
+    c_super = super;
+    c_fields = List.rev !fields;
+    c_statics = List.rev !statics;
+    c_methods = List.rev !methods;
+  }
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec go acc =
+    if peek_tok st = EOF then { Ast.classes = List.rev acc }
+    else go (parse_class st :: acc)
+  in
+  go []

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the Java-like surface syntax.
+
+    {v
+    program  := class*
+    class    := ["remote"] "class" ID ["extends" ID] "{" member* "}"
+    member   := ["static"] type ID ";"                    field / static
+              | ["static"] type ID "(" params ")" block   method
+    type     := ("void"|"boolean"|"int"|"double"|"String"|ID) ("[" "]")*
+    stmt     := type ID ["=" expr] ";"
+              | lvalue "=" expr ";"  |  ID "++" ";"  |  expr ";"
+              | "if" "(" expr ")" block ["else" block]
+              | "while" "(" expr ")" block
+              | "for" "(" init ";" expr ";" update ")" block
+              | "return" [expr] ";"
+    expr     := usual precedence; calls are [f(args)] or [recv.m(args)];
+                allocation is [new C()] or [new t[e]] / [new t[e1][e2]];
+                [arr.length] reads an array length.
+    v} *)
+
+exception Parse_error of string * int * int  (** message, line, column *)
+
+(** @raise Parse_error @raise Lexer.Lex_error *)
+val parse : string -> Ast.program

@@ -1,0 +1,137 @@
+open Ast
+
+let rec pp_ty ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | Bool -> Format.pp_print_string ppf "boolean"
+  | Int -> Format.pp_print_string ppf "int"
+  | Double -> Format.pp_print_string ppf "double"
+  | Str -> Format.pp_print_string ppf "String"
+  | Named n -> Format.pp_print_string ppf n
+  | Array t -> Format.fprintf ppf "%a[]" pp_ty t
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+(* fully parenthesized so reparsing is precedence-independent *)
+let rec pp_expr ppf = function
+  | E_int i -> Format.pp_print_int ppf i
+  | E_double f -> Format.fprintf ppf "%.6f" f
+  | E_bool true -> Format.pp_print_string ppf "true"
+  | E_bool false -> Format.pp_print_string ppf "false"
+  | E_string s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | E_null -> Format.pp_print_string ppf "null"
+  | E_var name -> Format.pp_print_string ppf name
+  | E_field (e, f) -> Format.fprintf ppf "%a.%s" pp_postfix e f
+  | E_index (e, i) -> Format.fprintf ppf "%a[%a]" pp_postfix e pp_expr i
+  | E_call (None, name, args) -> Format.fprintf ppf "%s(%a)" name pp_args args
+  | E_call (Some recv, name, args) ->
+      Format.fprintf ppf "%a.%s(%a)" pp_postfix recv name pp_args args
+  | E_new cname -> Format.fprintf ppf "new %s()" cname
+  | E_new_array (elem, dims) ->
+      (* strip nested array levels into trailing empty brackets *)
+      let rec base_of = function Array t -> base_of t | t -> t in
+      let rec depth_of = function Array t -> 1 + depth_of t | _ -> 0 in
+      Format.fprintf ppf "new %a" pp_ty (base_of elem);
+      List.iter (fun d -> Format.fprintf ppf "[%a]" pp_expr d) dims;
+      for _ = 1 to depth_of elem do
+        Format.pp_print_string ppf "[]"
+      done
+  | E_binop (op, l, r) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr l (binop_name op) pp_expr r
+  | E_unop (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | E_unop (Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+
+(* postfix positions (receivers of ., [ ], calls) must not introduce a
+   bare binop; wrap anything non-postfix in parentheses *)
+and pp_postfix ppf e =
+  match e with
+  | E_binop _ | E_unop _ -> Format.fprintf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+let pp_lvalue ppf = function
+  | L_var name -> Format.pp_print_string ppf name
+  | L_field (e, f) -> Format.fprintf ppf "%a.%s" pp_postfix e f
+  | L_index (e, i) -> Format.fprintf ppf "%a[%a]" pp_postfix e pp_expr i
+
+let rec pp_stmt ppf = function
+  | S_decl (ty, name, None) -> Format.fprintf ppf "%a %s;" pp_ty ty name
+  | S_decl (ty, name, Some e) ->
+      Format.fprintf ppf "%a %s = %a;" pp_ty ty name pp_expr e
+  | S_assign (lv, e) -> Format.fprintf ppf "%a = %a;" pp_lvalue lv pp_expr e
+  | S_expr e -> Format.fprintf ppf "%a;" pp_expr e
+  | S_if (c, t, []) ->
+      Format.fprintf ppf "@[<v2>if (%a) {%a@]@,}" pp_expr c pp_body t
+  | S_if (c, t, e) ->
+      Format.fprintf ppf "@[<v2>if (%a) {%a@]@,@[<v2>} else {%a@]@,}" pp_expr c
+        pp_body t pp_body e
+  | S_while (c, body) ->
+      Format.fprintf ppf "@[<v2>while (%a) {%a@]@,}" pp_expr c pp_body body
+  | S_for (init, cond, update, body) ->
+      let strip s =
+        (* for-headers have no trailing ';' on init/update *)
+        let s = Format.asprintf "%a" pp_stmt s in
+        if String.length s > 0 && s.[String.length s - 1] = ';' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      Format.fprintf ppf "@[<v2>for (%s; %a; %s) {%a@]@,}" (strip init) pp_expr
+        cond (strip update) pp_body body
+  | S_return None -> Format.pp_print_string ppf "return;"
+  | S_return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+
+and pp_body ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_method ppf (m : method_decl) =
+  Format.fprintf ppf "@[<v2>%s%a %s(%a) {%a@]@,}"
+    (if m.m_static then "static " else "")
+    pp_ty m.m_ret m.m_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (ty, name) -> Format.fprintf ppf "%a %s" pp_ty ty name))
+    m.m_params pp_body m.m_body
+
+let pp_class ppf (c : class_decl) =
+  Format.fprintf ppf "@[<v2>%sclass %s%s {"
+    (if c.c_remote then "remote " else "")
+    c.c_name
+    (match c.c_super with Some s -> " extends " ^ s | None -> "");
+  List.iter
+    (fun (ty, name) -> Format.fprintf ppf "@,%a %s;" pp_ty ty name)
+    c.c_fields;
+  List.iter
+    (fun (ty, name) -> Format.fprintf ppf "@,static %a %s;" pp_ty ty name)
+    c.c_statics;
+  List.iter (fun m -> Format.fprintf ppf "@,%a" pp_method m) c.c_methods;
+  Format.fprintf ppf "@]@,}"
+
+let pp_program ppf (p : program) =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_class ppf c)
+    p.classes;
+  Format.pp_close_box ppf ()
+
+let program_to_string p = Format.asprintf "%a@." pp_program p

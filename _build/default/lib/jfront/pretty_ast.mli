@@ -1,0 +1,12 @@
+(** Pretty-printer for the surface AST.
+
+    Output is valid input for {!Parser.parse}: expressions are printed
+    fully parenthesized, so [parse (to_string ast) = ast] structurally
+    (checked by a property test). *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_class : Format.formatter -> Ast.class_decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

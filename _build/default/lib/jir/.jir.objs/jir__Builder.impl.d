@@ -1,0 +1,1 @@
+lib/jir/builder.ml: Array Instr List Printf Program Types

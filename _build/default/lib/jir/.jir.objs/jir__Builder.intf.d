@@ -1,0 +1,1 @@
+lib/jir/builder.mli: Instr Program Types

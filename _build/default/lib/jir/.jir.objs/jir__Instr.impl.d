@@ -1,0 +1,1 @@
+lib/jir/instr.ml: List Option Types

@@ -1,0 +1,1 @@
+lib/jir/instr.mli: Types

@@ -1,0 +1,1 @@
+lib/jir/interp.ml: Array Float Format Hashtbl Instr List Printf Program String Types

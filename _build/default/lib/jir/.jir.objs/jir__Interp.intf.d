@@ -1,0 +1,1 @@
+lib/jir/interp.mli: Format Program Types

@@ -1,0 +1,1 @@
+lib/jir/pretty.ml: Array Format Instr List Printf Program Types

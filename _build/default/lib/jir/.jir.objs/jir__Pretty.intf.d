@@ -1,0 +1,1 @@
+lib/jir/pretty.mli: Format Instr Program

@@ -1,0 +1,1 @@
+lib/jir/program.ml: Array Instr List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/jir/typecheck.ml: Array Format Instr List Printf Program String Types

@@ -1,0 +1,1 @@
+lib/jir/types.mli: Format

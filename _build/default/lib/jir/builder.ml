@@ -1,0 +1,393 @@
+open Types
+
+type pending_method = {
+  mid : method_id;
+  mname : string;
+  owner : class_id option;
+  params : ty array;
+  ret : ty;
+  mutable body : (ty array * Instr.block array) option;
+}
+
+type pending_class = {
+  cid : class_id;
+  cname : string;
+  super : class_id option;
+  mutable fields : (string * ty) list;  (* reversed *)
+  remote : bool;
+}
+
+type t = {
+  mutable classes : pending_class list;  (* reversed *)
+  mutable methods : pending_method list;  (* reversed *)
+  mutable statics : Program.static_decl list;  (* reversed *)
+  mutable next_class : int;
+  mutable next_method : int;
+  mutable next_static : int;
+  mutable next_site : int;
+}
+
+type pending_block = {
+  blabel : label;
+  mutable rev_body : Instr.instr list;
+  mutable bterm : Instr.terminator option;
+}
+
+type mbuilder = {
+  b : t;
+  m : pending_method;
+  mutable vars : ty list;  (* reversed; includes params *)
+  mutable nvars : int;
+  mutable blocks : pending_block list;  (* reversed *)
+  mutable nblocks : int;
+  mutable cur : pending_block;
+}
+
+let create () =
+  {
+    classes = [];
+    methods = [];
+    statics = [];
+    next_class = 0;
+    next_method = 0;
+    next_static = 0;
+    next_site = 0;
+  }
+
+let fresh_site b =
+  let s = b.next_site in
+  b.next_site <- s + 1;
+  s
+
+let declare_class b ?super ?(remote = false) cname =
+  let cid = b.next_class in
+  b.next_class <- cid + 1;
+  b.classes <- { cid; cname; super; fields = []; remote } :: b.classes;
+  cid
+
+let find_pending_class b cid =
+  match List.find_opt (fun c -> c.cid = cid) b.classes with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown class id %d" cid)
+
+let add_field b cid name ty =
+  let c = find_pending_class b cid in
+  let findex = List.length c.fields in
+  c.fields <- (name, ty) :: c.fields;
+  { fcls = cid; findex }
+
+let declare_static b sname sty =
+  let sid = b.next_static in
+  b.next_static <- sid + 1;
+  b.statics <- { Program.sid; sname; sty } :: b.statics;
+  sid
+
+let declare_method b ?owner ~name ~params ~ret () =
+  let mid = b.next_method in
+  b.next_method <- mid + 1;
+  b.methods <-
+    { mid; mname = name; owner; params = Array.of_list params; ret; body = None }
+    :: b.methods;
+  mid
+
+let find_pending_method b mid =
+  match List.find_opt (fun m -> m.mid = mid) b.methods with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown method id %d" mid)
+
+(* --- method building --- *)
+
+let mk_block mb =
+  let blk = { blabel = mb.nblocks; rev_body = []; bterm = None } in
+  mb.nblocks <- mb.nblocks + 1;
+  mb.blocks <- blk :: mb.blocks;
+  blk
+
+let param mb i =
+  if i < 0 || i >= Array.length mb.m.params then
+    invalid_arg
+      (Printf.sprintf "Builder.param: %s has no parameter %d" mb.m.mname i);
+  i
+
+let fresh mb ty =
+  let v = mb.nvars in
+  mb.nvars <- v + 1;
+  mb.vars <- ty :: mb.vars;
+  v
+
+let new_block mb = (mk_block mb).blabel
+
+let find_block mb l =
+  match List.find_opt (fun blk -> blk.blabel = l) mb.blocks with
+  | Some blk -> blk
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown block %d" l)
+
+let switch_to mb l = mb.cur <- find_block mb l
+let current_label mb = mb.cur.blabel
+
+let emit mb instr =
+  if mb.cur.bterm <> None then
+    invalid_arg
+      (Printf.sprintf "Builder: emitting into terminated block %d of %s"
+         mb.cur.blabel mb.m.mname);
+  mb.cur.rev_body <- instr :: mb.cur.rev_body
+
+let terminate mb term =
+  if mb.cur.bterm <> None then
+    invalid_arg
+      (Printf.sprintf "Builder: block %d of %s already terminated" mb.cur.blabel
+         mb.m.mname);
+  mb.cur.bterm <- Some term
+
+let alloc mb cls =
+  let dst = fresh mb (Tobject cls) in
+  emit mb (Instr.Alloc { dst; cls; site = fresh_site mb.b });
+  dst
+
+let alloc_array mb elem len =
+  let dst = fresh mb (Tarray elem) in
+  emit mb (Instr.Alloc_array { dst; elem; len; site = fresh_site mb.b });
+  dst
+
+let new_str mb value =
+  let dst = fresh mb Tstring in
+  emit mb (Instr.New_str { dst; value; site = fresh_site mb.b });
+  dst
+
+let move mb dst src = emit mb (Instr.Move { dst; src })
+
+(* forward declaration: var_ty is defined below but needed for operand
+   type inference *)
+let rec operand_ty mb = function
+  | Instr.Null -> invalid_arg "Builder: null has no inferable type"
+  | Instr.Bool _ -> Tbool
+  | Instr.Int _ -> Tint
+  | Instr.Double _ -> Tdouble
+  | Instr.Str _ -> Tstring
+  | Instr.Var v -> var_ty mb v
+
+and var_ty mb v =
+  let vars = Array.of_list (List.rev mb.vars) in
+  if v < 0 || v >= Array.length vars then
+    invalid_arg (Printf.sprintf "Builder: unknown var %d" v);
+  vars.(v)
+
+let binop_result_ty mb op lhs =
+  match (op : Instr.binop) with
+  | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr ->
+      (* arithmetic result follows the operand type (int or double) *)
+      operand_ty mb lhs
+  | Lt | Le | Gt | Ge | Eq | Ne -> Tbool
+
+let binop mb op lhs rhs =
+  let dst = fresh mb (binop_result_ty mb op lhs) in
+  emit mb (Instr.Binop { dst; op; lhs; rhs });
+  dst
+
+let unop mb op src =
+  let dst =
+    fresh mb
+      (match op with
+      | Instr.Neg -> operand_ty mb src
+      | Instr.Not -> Tbool
+      | Instr.I2d -> Tdouble)
+  in
+  emit mb (Instr.Unop { dst; op; src });
+  dst
+
+let field_ty_of mb fld =
+  (* fields of pending classes; mirror Program.field_ty *)
+  let c = find_pending_class mb.b fld.fcls in
+  let fields = Array.of_list (List.rev c.fields) in
+  if fld.findex < 0 || fld.findex >= Array.length fields then
+    invalid_arg "Builder: bad field reference";
+  snd fields.(fld.findex)
+
+let load_field mb obj fld =
+  let dst = fresh mb (field_ty_of mb fld) in
+  emit mb (Instr.Load_field { dst; obj; fld });
+  dst
+
+let store_field mb obj fld src = emit mb (Instr.Store_field { obj; fld; src })
+
+let static_ty_of mb st =
+  match List.find_opt (fun (s : Program.static_decl) -> s.sid = st) mb.b.statics with
+  | Some s -> s.sty
+  | None -> invalid_arg (Printf.sprintf "Builder: unknown static %d" st)
+
+let load_static mb st =
+  let dst = fresh mb (static_ty_of mb st) in
+  emit mb (Instr.Load_static { dst; st });
+  dst
+
+let store_static mb st src = emit mb (Instr.Store_static { st; src })
+
+let load_elem mb arr idx =
+  let elem =
+    match var_ty mb arr with
+    | Tarray t -> t
+    | ty ->
+        invalid_arg
+          (Printf.sprintf "Builder.load_elem: var %d has non-array type %s" arr
+             (ty_to_string ty))
+  in
+  let dst = fresh mb elem in
+  emit mb (Instr.Load_elem { dst; arr; idx });
+  dst
+
+let store_elem mb arr idx src = emit mb (Instr.Store_elem { arr; idx; src })
+
+let array_length mb arr =
+  let dst = fresh mb Tint in
+  emit mb (Instr.Array_length { dst; arr });
+  dst
+
+let call mb meth args =
+  let callee = find_pending_method mb.b meth in
+  let dst =
+    match callee.ret with Tvoid -> None | ty -> Some (fresh mb ty)
+  in
+  emit mb (Instr.Call { dst; meth; args; site = fresh_site mb.b });
+  dst
+
+let call_ignore mb meth args =
+  emit mb (Instr.Call { dst = None; meth; args; site = fresh_site mb.b })
+
+let rcall mb recv meth args =
+  let callee = find_pending_method mb.b meth in
+  let dst =
+    match callee.ret with Tvoid -> None | ty -> Some (fresh mb ty)
+  in
+  emit mb (Instr.Remote_call { dst; recv; meth; args; site = fresh_site mb.b });
+  dst
+
+let rcall_ignore mb recv meth args =
+  emit mb (Instr.Remote_call { dst = None; recv; meth; args; site = fresh_site mb.b })
+
+let ret mb op = terminate mb (Instr.Ret op)
+let jmp mb l = terminate mb (Instr.Jmp l)
+let br mb cond ifso ifnot = terminate mb (Instr.Br { cond; ifso; ifnot })
+
+let if_ mb cond then_ else_ =
+  let bthen = new_block mb in
+  let belse = new_block mb in
+  let bjoin = new_block mb in
+  br mb cond bthen belse;
+  switch_to mb bthen;
+  then_ ();
+  if mb.cur.bterm = None then jmp mb bjoin;
+  switch_to mb belse;
+  else_ ();
+  if mb.cur.bterm = None then jmp mb bjoin;
+  switch_to mb bjoin
+
+let while_ mb cond body =
+  let bhead = new_block mb in
+  let bbody = new_block mb in
+  let bexit = new_block mb in
+  jmp mb bhead;
+  switch_to mb bhead;
+  let c = cond () in
+  br mb c bbody bexit;
+  switch_to mb bbody;
+  body ();
+  if mb.cur.bterm = None then jmp mb bhead;
+  switch_to mb bexit
+
+let loop_up mb ~from ~limit body =
+  let i = fresh mb Tint in
+  move mb i from;
+  let cond () = Instr.Var (binop mb Instr.Lt (Var i) limit) in
+  let step () =
+    body i;
+    if mb.cur.bterm = None then begin
+      let next = binop mb Instr.Add (Var i) (Int 1) in
+      move mb i (Var next)
+    end
+  in
+  while_ mb cond step
+
+let define b mid f =
+  let m = find_pending_method b mid in
+  if m.body <> None then
+    invalid_arg (Printf.sprintf "Builder.define: %s already defined" m.mname);
+  let dummy = { blabel = -1; rev_body = []; bterm = None } in
+  let mb =
+    {
+      b;
+      m;
+      vars = List.rev (Array.to_list m.params);
+      nvars = Array.length m.params;
+      blocks = [];
+      nblocks = 0;
+      cur = dummy;
+    }
+  in
+  let entry = mk_block mb in
+  mb.cur <- entry;
+  f mb;
+  (* implicit return at the end of a void method's last open block *)
+  if mb.cur.bterm = None && m.ret = Tvoid then ret mb None;
+  (* structured-control-flow helpers can leave join blocks open when
+     every branch returned; such blocks are unreachable, but they still
+     need a well-typed terminator (the zero value of the return type,
+     matching JIR's default-initialisation semantics) *)
+  let implicit_term () =
+    match m.ret with
+    | Tvoid -> Instr.Ret None
+    | Tbool -> Instr.Ret (Some (Instr.Bool false))
+    | Tint -> Instr.Ret (Some (Instr.Int 0))
+    | Tdouble -> Instr.Ret (Some (Instr.Double 0.0))
+    | Tstring | Tobject _ | Tarray _ -> Instr.Ret (Some Instr.Null)
+  in
+  let blocks = Array.make mb.nblocks None in
+  List.iter (fun blk -> blocks.(blk.blabel) <- Some blk) mb.blocks;
+  let blocks =
+    Array.map
+      (fun slot ->
+        match slot with
+        | Some blk ->
+            let term =
+              match blk.bterm with Some term -> term | None -> implicit_term ()
+            in
+            { Instr.phis = []; body = List.rev blk.rev_body; term }
+        | None -> assert false)
+      blocks
+  in
+  m.body <- Some (Array.of_list (List.rev mb.vars), blocks)
+
+let finish b =
+  let classes =
+    List.rev b.classes
+    |> List.map (fun (c : pending_class) ->
+           {
+             Program.cid = c.cid;
+             cname = c.cname;
+             super = c.super;
+             own_fields = Array.of_list (List.rev c.fields);
+             remote = c.remote;
+           })
+    |> Array.of_list
+  in
+  let methods =
+    List.rev b.methods
+    |> List.map (fun (m : pending_method) ->
+           match m.body with
+           | Some (var_types, blocks) ->
+               {
+                 Program.mid = m.mid;
+                 mname = m.mname;
+                 owner = m.owner;
+                 params = m.params;
+                 ret = m.ret;
+                 var_types;
+                 blocks;
+               }
+           | None ->
+               invalid_arg
+                 (Printf.sprintf "Builder.finish: method %s never defined"
+                    m.mname))
+    |> Array.of_list
+  in
+  let statics = Array.of_list (List.rev b.statics) in
+  { Program.classes; methods; statics; num_sites = b.next_site }

@@ -1,0 +1,92 @@
+(** Imperative construction API for JIR programs.
+
+    Typical use: declare classes and method signatures first (so
+    mutually recursive references resolve), then [define] each body,
+    then [finish].  Bodies are written pre-SSA with mutable virtual
+    registers; the SSA pass rewrites them.  Every allocation and every
+    call receives a globally unique site number automatically. *)
+
+open Types
+
+type t
+type mbuilder
+
+val create : unit -> t
+
+(** {1 Declarations} *)
+
+val declare_class : t -> ?super:class_id -> ?remote:bool -> string -> class_id
+val add_field : t -> class_id -> string -> ty -> field_ref
+val declare_static : t -> string -> ty -> static_id
+
+(** Signature-only declaration; the body comes later via [define]. *)
+val declare_method :
+  t -> ?owner:class_id -> name:string -> params:ty list -> ret:ty -> unit -> method_id
+
+(** [define b mid f] builds [mid]'s body by running [f] on a fresh
+    method builder positioned at the entry block.
+    @raise Invalid_argument if [mid] was already defined. *)
+val define : t -> method_id -> (mbuilder -> unit) -> unit
+
+(** Validates that every declared method was defined and every block
+    terminated, then freezes the program. *)
+val finish : t -> Program.t
+
+(** {1 Method-body construction} *)
+
+val param : mbuilder -> int -> var
+val fresh : mbuilder -> ty -> var
+
+(** Low-level block plumbing (the structured helpers below suffice for
+    most bodies). *)
+
+val new_block : mbuilder -> label
+val switch_to : mbuilder -> label -> unit
+val current_label : mbuilder -> label
+
+(** {2 Instruction emitters} *)
+
+val alloc : mbuilder -> class_id -> var
+val alloc_array : mbuilder -> ty -> Instr.operand -> var
+val new_str : mbuilder -> string -> var
+val move : mbuilder -> var -> Instr.operand -> unit
+val binop : mbuilder -> Instr.binop -> Instr.operand -> Instr.operand -> var
+val unop : mbuilder -> Instr.unop -> Instr.operand -> var
+val load_field : mbuilder -> var -> field_ref -> var
+val store_field : mbuilder -> var -> field_ref -> Instr.operand -> unit
+val load_static : mbuilder -> static_id -> var
+val store_static : mbuilder -> static_id -> Instr.operand -> unit
+val load_elem : mbuilder -> var -> Instr.operand -> var
+val store_elem : mbuilder -> var -> Instr.operand -> Instr.operand -> unit
+val array_length : mbuilder -> var -> var
+
+(** [call mb meth args] returns [Some dst] unless the callee is void. *)
+val call : mbuilder -> method_id -> Instr.operand list -> var option
+
+(** Invoke and discard the result (the paper's "return value ignored"
+    call-site optimization keys off this). *)
+val call_ignore : mbuilder -> method_id -> Instr.operand list -> unit
+
+(** [rcall mb recv meth args] — remote method invocation. *)
+val rcall : mbuilder -> Instr.operand -> method_id -> Instr.operand list -> var option
+
+val rcall_ignore : mbuilder -> Instr.operand -> method_id -> Instr.operand list -> unit
+
+(** {2 Terminators} *)
+
+val ret : mbuilder -> Instr.operand option -> unit
+val jmp : mbuilder -> label -> unit
+val br : mbuilder -> Instr.operand -> label -> label -> unit
+
+(** {2 Structured control flow} *)
+
+(** [if_ mb cond then_ else_] leaves the builder at the join block. *)
+val if_ : mbuilder -> Instr.operand -> (unit -> unit) -> (unit -> unit) -> unit
+
+(** [loop_up mb ~from ~limit body] emits
+    [for (i = from; i < limit; i++) body i]. *)
+val loop_up : mbuilder -> from:Instr.operand -> limit:Instr.operand -> (var -> unit) -> unit
+
+(** [while_ mb cond body] — [cond] emits the condition computation into
+    the header block each time and returns the operand to branch on. *)
+val while_ : mbuilder -> (unit -> Instr.operand) -> (unit -> unit) -> unit

@@ -1,0 +1,153 @@
+open Types
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type unop = Neg | Not | I2d
+
+type operand =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Double of float
+  | Str of string
+  | Var of var
+
+type instr =
+  | Alloc of { dst : var; cls : class_id; site : site }
+  | Alloc_array of { dst : var; elem : ty; len : operand; site : site }
+  | New_str of { dst : var; value : string; site : site }
+  | Move of { dst : var; src : operand }
+  | Unop of { dst : var; op : unop; src : operand }
+  | Binop of { dst : var; op : binop; lhs : operand; rhs : operand }
+  | Load_field of { dst : var; obj : var; fld : field_ref }
+  | Store_field of { obj : var; fld : field_ref; src : operand }
+  | Load_static of { dst : var; st : static_id }
+  | Store_static of { st : static_id; src : operand }
+  | Load_elem of { dst : var; arr : var; idx : operand }
+  | Store_elem of { arr : var; idx : operand; src : operand }
+  | Array_length of { dst : var; arr : var }
+  | Call of { dst : var option; meth : method_id; args : operand list; site : site }
+  | Remote_call of {
+      dst : var option;
+      recv : operand;
+      meth : method_id;
+      args : operand list;
+      site : site;
+    }
+
+type terminator =
+  | Ret of operand option
+  | Jmp of label
+  | Br of { cond : operand; ifso : label; ifnot : label }
+
+type phi = { pdst : var; pargs : (label * operand) list }
+
+type block = {
+  mutable phis : phi list;
+  mutable body : instr list;
+  mutable term : terminator;
+}
+
+let def_of_instr = function
+  | Alloc { dst; _ }
+  | Alloc_array { dst; _ }
+  | New_str { dst; _ }
+  | Move { dst; _ }
+  | Unop { dst; _ }
+  | Binop { dst; _ }
+  | Load_field { dst; _ }
+  | Load_static { dst; _ }
+  | Load_elem { dst; _ }
+  | Array_length { dst; _ } ->
+      Some dst
+  | Store_field _ | Store_static _ | Store_elem _ -> None
+  | Call { dst; _ } | Remote_call { dst; _ } -> dst
+
+let uses_of_operand = function
+  | Var v -> [ v ]
+  | Null | Bool _ | Int _ | Double _ | Str _ -> []
+
+let uses_of_instr = function
+  | Alloc _ | New_str _ | Load_static _ -> []
+  | Alloc_array { len; _ } -> uses_of_operand len
+  | Move { src; _ } | Unop { src; _ } -> uses_of_operand src
+  | Binop { lhs; rhs; _ } -> uses_of_operand lhs @ uses_of_operand rhs
+  | Load_field { obj; _ } -> [ obj ]
+  | Store_field { obj; src; _ } -> obj :: uses_of_operand src
+  | Store_static { src; _ } -> uses_of_operand src
+  | Load_elem { arr; idx; _ } -> arr :: uses_of_operand idx
+  | Store_elem { arr; idx; src; _ } ->
+      (arr :: uses_of_operand idx) @ uses_of_operand src
+  | Array_length { arr; _ } -> [ arr ]
+  | Call { args; _ } -> List.concat_map uses_of_operand args
+  | Remote_call { recv; args; _ } ->
+      uses_of_operand recv @ List.concat_map uses_of_operand args
+
+let uses_of_terminator = function
+  | Ret (Some op) -> uses_of_operand op
+  | Ret None | Jmp _ -> []
+  | Br { cond; _ } -> uses_of_operand cond
+
+let successors = function
+  | Ret _ -> []
+  | Jmp l -> [ l ]
+  | Br { ifso; ifnot; _ } -> [ ifso; ifnot ]
+
+let alloc_site = function
+  | Alloc { site; _ } | Alloc_array { site; _ } | New_str { site; _ } -> Some site
+  | Move _ | Unop _ | Binop _ | Load_field _ | Store_field _ | Load_static _
+  | Store_static _ | Load_elem _ | Store_elem _ | Array_length _ | Call _
+  | Remote_call _ ->
+      None
+
+(* [f] rewrites an operand; address variables are passed as [Var] and the
+   result is required to be a [Var] again. *)
+let as_var what = function
+  | Var v -> v
+  | Null | Bool _ | Int _ | Double _ | Str _ ->
+      invalid_arg ("Instr.map_uses: address position rewritten to non-var: " ^ what)
+
+let map_uses f instr =
+  let fv what v = as_var what (f (Var v)) in
+  match instr with
+  | Alloc _ | New_str _ | Load_static _ -> instr
+  | Alloc_array r -> Alloc_array { r with len = f r.len }
+  | Move r -> Move { r with src = f r.src }
+  | Unop r -> Unop { r with src = f r.src }
+  | Binop r -> Binop { r with lhs = f r.lhs; rhs = f r.rhs }
+  | Load_field r -> Load_field { r with obj = fv "load_field" r.obj }
+  | Store_field r ->
+      Store_field { r with obj = fv "store_field" r.obj; src = f r.src }
+  | Store_static r -> Store_static { r with src = f r.src }
+  | Load_elem r -> Load_elem { r with arr = fv "load_elem" r.arr; idx = f r.idx }
+  | Store_elem r ->
+      Store_elem { arr = fv "store_elem" r.arr; idx = f r.idx; src = f r.src }
+  | Array_length r -> Array_length { r with arr = fv "array_length" r.arr }
+  | Call r -> Call { r with args = List.map f r.args }
+  | Remote_call r ->
+      Remote_call { r with recv = f r.recv; args = List.map f r.args }
+
+let map_def f instr =
+  match instr with
+  | Alloc r -> Alloc { r with dst = f r.dst }
+  | Alloc_array r -> Alloc_array { r with dst = f r.dst }
+  | New_str r -> New_str { r with dst = f r.dst }
+  | Move r -> Move { r with dst = f r.dst }
+  | Unop r -> Unop { r with dst = f r.dst }
+  | Binop r -> Binop { r with dst = f r.dst }
+  | Load_field r -> Load_field { r with dst = f r.dst }
+  | Load_static r -> Load_static { r with dst = f r.dst }
+  | Load_elem r -> Load_elem { r with dst = f r.dst }
+  | Array_length r -> Array_length { r with dst = f r.dst }
+  | Store_field _ | Store_static _ | Store_elem _ -> instr
+  | Call r -> Call { r with dst = Option.map f r.dst }
+  | Remote_call r -> Remote_call { r with dst = Option.map f r.dst }
+
+let map_uses_terminator f = function
+  | Ret (Some op) -> Ret (Some (f op))
+  | Ret None as t -> t
+  | Jmp _ as t -> t
+  | Br r -> Br { r with cond = f r.cond }

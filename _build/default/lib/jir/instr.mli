@@ -1,0 +1,79 @@
+(** JIR instructions, terminators and basic blocks. *)
+
+open Types
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type unop = Neg | Not | I2d  (** int to double widening (Java's implicit conversion) *)
+
+type operand =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Double of float
+  | Str of string  (** interned literal; carries no allocation site *)
+  | Var of var
+
+type instr =
+  | Alloc of { dst : var; cls : class_id; site : site }
+      (** [new C()]; fields initialised to zero/null *)
+  | Alloc_array of { dst : var; elem : ty; len : operand; site : site }
+  | New_str of { dst : var; value : string; site : site }
+      (** a string allocation that the analyses track as a heap node *)
+  | Move of { dst : var; src : operand }
+  | Unop of { dst : var; op : unop; src : operand }
+  | Binop of { dst : var; op : binop; lhs : operand; rhs : operand }
+  | Load_field of { dst : var; obj : var; fld : field_ref }
+  | Store_field of { obj : var; fld : field_ref; src : operand }
+  | Load_static of { dst : var; st : static_id }
+  | Store_static of { st : static_id; src : operand }
+  | Load_elem of { dst : var; arr : var; idx : operand }
+  | Store_elem of { arr : var; idx : operand; src : operand }
+  | Array_length of { dst : var; arr : var }
+  | Call of { dst : var option; meth : method_id; args : operand list; site : site }
+      (** direct (monomorphic) local call; receiver, if any, is [args]'s head *)
+  | Remote_call of {
+      dst : var option;
+      recv : operand;  (** remote reference; not serialized as an argument *)
+      meth : method_id;
+      args : operand list;
+      site : site;  (** the RMI call-site id the optimizer specializes for *)
+    }
+
+type terminator =
+  | Ret of operand option
+  | Jmp of label
+  | Br of { cond : operand; ifso : label; ifnot : label }
+
+(** SSA phi; empty before SSA construction. *)
+type phi = { pdst : var; pargs : (label * operand) list }
+
+type block = {
+  mutable phis : phi list;
+  mutable body : instr list;
+  mutable term : terminator;
+}
+
+(** Variable defined by an instruction, if any. *)
+val def_of_instr : instr -> var option
+
+(** Variables read by an instruction (operands first, then address vars). *)
+val uses_of_instr : instr -> var list
+
+val uses_of_operand : operand -> var list
+val uses_of_terminator : terminator -> var list
+val successors : terminator -> label list
+
+(** Allocation site carried by the instruction, if it allocates. *)
+val alloc_site : instr -> site option
+
+(** Rewrites every operand (including address vars wrapped as [Var])
+    with [f]; used by the SSA renaming pass.  [f] must return [Var _]
+    when given the address position of a load/store. *)
+val map_uses : (operand -> operand) -> instr -> instr
+
+val map_def : (var -> var) -> instr -> instr
+val map_uses_terminator : (operand -> operand) -> terminator -> terminator

@@ -1,0 +1,347 @@
+open Types
+open Instr
+
+type value =
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vdouble of float
+  | Vstr of string
+  | Vobj of objv
+  | Varr of arrv
+
+and objv = { ocls : class_id; ofields : value array; oid : int; osite : site }
+and arrv = { aelem : ty; adata : value array; aid : int; asite : site }
+
+type remote_hook =
+  site:site -> recv:value -> meth:method_id -> value list -> value option
+
+type state = {
+  prog : Program.t;
+  statics : value array;
+  mutable next_id : int;
+  mutable steps : int;
+  step_limit : int;
+  mutable remote_calls : int;
+  remote_hook : remote_hook option;
+}
+
+exception Runtime_error of string
+exception Step_limit_exceeded
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let create ?(step_limit = 10_000_000) ?remote_hook prog =
+  {
+    prog;
+    statics = Array.make (Array.length prog.Program.statics) Vnull;
+    next_id = 0;
+    steps = 0;
+    step_limit;
+    remote_calls = 0;
+    remote_hook;
+  }
+
+let read_static st sid = st.statics.(sid)
+let remote_calls st = st.remote_calls
+
+let fresh_id st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let default_value = function
+  | Tvoid -> Vnull
+  | Tbool -> Vbool false
+  | Tint -> Vint 0
+  | Tdouble -> Vdouble 0.0
+  | Tstring | Tobject _ | Tarray _ -> Vnull
+
+(* RMI cloning: deep copy preserving internal sharing and cycles. *)
+let deep_copy_with st v =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | (Vnull | Vbool _ | Vint _ | Vdouble _) as v -> v
+    | Vstr s -> Vstr s (* immutable: safe to share the OCaml string *)
+    | Vobj o -> (
+        match Hashtbl.find_opt seen (`O o.oid) with
+        | Some v -> v
+        | None ->
+            let copy =
+              { ocls = o.ocls; ofields = Array.make (Array.length o.ofields) Vnull;
+                oid = fresh_id st; osite = o.osite }
+            in
+            Hashtbl.add seen (`O o.oid) (Vobj copy);
+            Array.iteri (fun i f -> copy.ofields.(i) <- go f) o.ofields;
+            Vobj copy)
+    | Varr a -> (
+        match Hashtbl.find_opt seen (`A a.aid) with
+        | Some v -> v
+        | None ->
+            let copy =
+              { aelem = a.aelem; adata = Array.make (Array.length a.adata) Vnull;
+                aid = fresh_id st; asite = a.asite }
+            in
+            Hashtbl.add seen (`A a.aid) (Varr copy);
+            Array.iteri (fun i e -> copy.adata.(i) <- go e) a.adata;
+            Varr copy)
+  in
+  go v
+
+let deep_copy v =
+  let st =
+    {
+      prog = { Program.classes = [||]; methods = [||]; statics = [||]; num_sites = 0 };
+      statics = [||];
+      next_id = 1_000_000;
+      steps = 0;
+      step_limit = max_int;
+      remote_calls = 0;
+      remote_hook = None;
+    }
+  in
+  deep_copy_with st v
+
+let as_int = function Vint i -> i | v -> err "expected int, got %s" (match v with Vnull -> "null" | _ -> "other")
+let as_bool = function Vbool b -> b | _ -> err "expected bool"
+
+let rec run_method st mid (args : value list) =
+  let m = Program.method_decl st.prog mid in
+  if List.length args <> Array.length m.params then
+    err "%s: arity mismatch" m.mname;
+  let vars = Array.make (Array.length m.var_types) Vnull in
+  List.iteri (fun i a -> vars.(i) <- a) args;
+  let eval_operand = function
+    | Null -> Vnull
+    | Bool b -> Vbool b
+    | Int i -> Vint i
+    | Double f -> Vdouble f
+    | Str s -> Vstr s
+    | Var v -> vars.(v)
+  in
+  let rec eval_binop op l r =
+    match (op, l, r) with
+    | Add, Vint a, Vint b -> Vint (a + b)
+    | Sub, Vint a, Vint b -> Vint (a - b)
+    | Mul, Vint a, Vint b -> Vint (a * b)
+    | Div, Vint a, Vint b -> if b = 0 then err "division by zero" else Vint (a / b)
+    | Rem, Vint a, Vint b -> if b = 0 then err "modulo by zero" else Vint (a mod b)
+    | Band, Vint a, Vint b -> Vint (a land b)
+    | Bor, Vint a, Vint b -> Vint (a lor b)
+    | Bxor, Vint a, Vint b -> Vint (a lxor b)
+    | Shl, Vint a, Vint b -> Vint (a lsl (b land 62))
+    | Shr, Vint a, Vint b -> Vint (a asr (b land 62))
+    | Add, Vdouble a, Vdouble b -> Vdouble (a +. b)
+    | Sub, Vdouble a, Vdouble b -> Vdouble (a -. b)
+    | Mul, Vdouble a, Vdouble b -> Vdouble (a *. b)
+    | Div, Vdouble a, Vdouble b -> Vdouble (a /. b)
+    | Lt, Vint a, Vint b -> Vbool (a < b)
+    | Le, Vint a, Vint b -> Vbool (a <= b)
+    | Gt, Vint a, Vint b -> Vbool (a > b)
+    | Ge, Vint a, Vint b -> Vbool (a >= b)
+    | Lt, Vdouble a, Vdouble b -> Vbool (a < b)
+    | Le, Vdouble a, Vdouble b -> Vbool (a <= b)
+    | Gt, Vdouble a, Vdouble b -> Vbool (a > b)
+    | Ge, Vdouble a, Vdouble b -> Vbool (a >= b)
+    | Eq, a, b -> Vbool (shallow_eq a b)
+    | Ne, a, b -> Vbool (not (shallow_eq a b))
+    | _ -> err "bad binop operands"
+  and shallow_eq a b =
+    match (a, b) with
+    | Vnull, Vnull -> true
+    | Vbool x, Vbool y -> x = y
+    | Vint x, Vint y -> x = y
+    | Vdouble x, Vdouble y -> x = y
+    | Vstr x, Vstr y -> String.equal x y
+    | Vobj x, Vobj y -> x.oid = y.oid
+    | Varr x, Varr y -> x.aid = y.aid
+    | _ -> false
+  in
+  let obj_of v what =
+    match vars.(v) with
+    | Vobj o -> o
+    | Vnull -> err "null dereference in %s" what
+    | _ -> err "non-object dereference in %s" what
+  in
+  let arr_of v what =
+    match vars.(v) with
+    | Varr a -> a
+    | Vnull -> err "null array in %s" what
+    | _ -> err "non-array value in %s" what
+  in
+  let exec_instr = function
+    | Alloc { dst; cls; site } ->
+        let nfields = Array.length (Program.all_fields st.prog cls) in
+        let fields = Array.make nfields Vnull in
+        Array.iteri
+          (fun i (_, ty) -> fields.(i) <- default_value ty)
+          (Program.all_fields st.prog cls);
+        vars.(dst) <-
+          Vobj { ocls = cls; ofields = fields; oid = fresh_id st; osite = site }
+    | Alloc_array { dst; elem; len; site } ->
+        let n = as_int (eval_operand len) in
+        if n < 0 then err "negative array length %d" n;
+        vars.(dst) <-
+          Varr
+            { aelem = elem; adata = Array.make n (default_value elem);
+              aid = fresh_id st; asite = site }
+    | New_str { dst; value; _ } -> vars.(dst) <- Vstr value
+    | Move { dst; src } -> vars.(dst) <- eval_operand src
+    | Unop { dst; op; src } -> (
+        match (op, eval_operand src) with
+        | Neg, Vint i -> vars.(dst) <- Vint (-i)
+        | Neg, Vdouble f -> vars.(dst) <- Vdouble (-.f)
+        | Not, Vbool b -> vars.(dst) <- Vbool (not b)
+        | I2d, Vint i -> vars.(dst) <- Vdouble (float_of_int i)
+        | _ -> err "bad unop operand")
+    | Binop { dst; op; lhs; rhs } ->
+        vars.(dst) <- eval_binop op (eval_operand lhs) (eval_operand rhs)
+    | Load_field { dst; obj; fld } ->
+        let o = obj_of obj "field load" in
+        vars.(dst) <- o.ofields.(Program.flat_index st.prog fld)
+    | Store_field { obj; fld; src } ->
+        let o = obj_of obj "field store" in
+        o.ofields.(Program.flat_index st.prog fld) <- eval_operand src
+    | Load_static { dst; st = sid } -> vars.(dst) <- st.statics.(sid)
+    | Store_static { st = sid; src } -> st.statics.(sid) <- eval_operand src
+    | Load_elem { dst; arr; idx } ->
+        let a = arr_of arr "element load" in
+        let i = as_int (eval_operand idx) in
+        if i < 0 || i >= Array.length a.adata then
+          err "index %d out of bounds (len %d)" i (Array.length a.adata);
+        vars.(dst) <- a.adata.(i)
+    | Store_elem { arr; idx; src } ->
+        let a = arr_of arr "element store" in
+        let i = as_int (eval_operand idx) in
+        if i < 0 || i >= Array.length a.adata then
+          err "index %d out of bounds (len %d)" i (Array.length a.adata);
+        a.adata.(i) <- eval_operand src
+    | Array_length { dst; arr } ->
+        vars.(dst) <- Vint (Array.length (arr_of arr "length").adata)
+    | Call { dst; meth; args; _ } -> (
+        let result = run_method st meth (List.map eval_operand args) in
+        match dst with Some d -> vars.(d) <- result | None -> ())
+    | Remote_call { dst; recv; meth; args; site } -> (
+        st.remote_calls <- st.remote_calls + 1;
+        match st.remote_hook with
+        | Some hook -> (
+            (* the external transport performs the copying *)
+            let result =
+              hook ~site ~recv:(eval_operand recv) ~meth
+                (List.map eval_operand args)
+            in
+            match (dst, result) with
+            | Some d, Some v -> vars.(d) <- v
+            | Some _, None -> err "remote hook returned no value"
+            | None, _ -> ())
+        | None -> (
+            (* built-in RMI semantics: deep-copy the arguments, run,
+               deep-copy the return value back — sharing preserved
+               within one direction *)
+            let copied =
+              List.map (fun a -> deep_copy_with st (eval_operand a)) args
+            in
+            let result = run_method st meth copied in
+            match dst with
+            | Some d -> vars.(d) <- deep_copy_with st result
+            | None -> ()))
+  in
+  (* Blocks with phis: evaluate all phi inputs for the edge at once
+     (parallel copy), then the body. *)
+  let rec exec_block pred bi =
+    st.steps <- st.steps + 1;
+    if st.steps > st.step_limit then raise Step_limit_exceeded;
+    let blk = m.blocks.(bi) in
+    if blk.phis <> [] then begin
+      let values =
+        List.map
+          (fun { pdst; pargs } ->
+            match List.assoc_opt pred pargs with
+            | Some op -> (pdst, eval_operand op)
+            | None -> err "phi in L%d has no input for predecessor L%d" bi pred)
+          blk.phis
+      in
+      List.iter (fun (d, v) -> vars.(d) <- v) values
+    end;
+    List.iter exec_instr blk.body;
+    match blk.term with
+    | Ret None -> Vnull
+    | Ret (Some op) -> eval_operand op
+    | Jmp l -> exec_block bi l
+    | Br { cond; ifso; ifnot } ->
+        if as_bool (eval_operand cond) then exec_block bi ifso
+        else exec_block bi ifnot
+  in
+  exec_block (-1) 0
+
+let run st mid args = run_method st mid args
+
+(* Graph-isomorphism-ish equality: pairs of (id, id) already assumed
+   equal break cycles. *)
+let value_equal a b =
+  let assumed = Hashtbl.create 16 in
+  let rec go a b =
+    match (a, b) with
+    | Vnull, Vnull -> true
+    | Vbool x, Vbool y -> x = y
+    | Vint x, Vint y -> x = y
+    | Vdouble x, Vdouble y -> Float.equal x y
+    | Vstr x, Vstr y -> String.equal x y
+    | Vobj x, Vobj y ->
+        x.ocls = y.ocls
+        && Array.length x.ofields = Array.length y.ofields
+        &&
+        if Hashtbl.mem assumed (x.oid, y.oid) then true
+        else begin
+          Hashtbl.add assumed (x.oid, y.oid) ();
+          let ok = ref true in
+          Array.iteri
+            (fun i f -> if !ok then ok := go f y.ofields.(i))
+            x.ofields;
+          !ok
+        end
+    | Varr x, Varr y ->
+        equal_ty x.aelem y.aelem
+        && Array.length x.adata = Array.length y.adata
+        &&
+        if Hashtbl.mem assumed (x.aid, y.aid) then true
+        else begin
+          Hashtbl.add assumed (x.aid, y.aid) ();
+          let ok = ref true in
+          Array.iteri (fun i e -> if !ok then ok := go e y.adata.(i)) x.adata;
+          !ok
+        end
+    | _ -> false
+  in
+  go a b
+
+let pp_value ppf v =
+  let seen = Hashtbl.create 16 in
+  let rec go ppf = function
+    | Vnull -> Format.pp_print_string ppf "null"
+    | Vbool b -> Format.pp_print_bool ppf b
+    | Vint i -> Format.pp_print_int ppf i
+    | Vdouble f -> Format.fprintf ppf "%g" f
+    | Vstr s -> Format.fprintf ppf "%S" s
+    | Vobj o ->
+        if Hashtbl.mem seen (`O o.oid) then Format.fprintf ppf "<obj#%d>" o.oid
+        else begin
+          Hashtbl.add seen (`O o.oid) ();
+          Format.fprintf ppf "obj#%d{cls=%d; %a}" o.oid o.ocls
+            (Format.pp_print_seq
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               go)
+            (Array.to_seq o.ofields)
+        end
+    | Varr a ->
+        if Hashtbl.mem seen (`A a.aid) then Format.fprintf ppf "<arr#%d>" a.aid
+        else begin
+          Hashtbl.add seen (`A a.aid) ();
+          Format.fprintf ppf "arr#%d[%a]" a.aid
+            (Format.pp_print_seq
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               go)
+            (Array.to_seq a.adata)
+        end
+  in
+  go ppf v

@@ -1,0 +1,67 @@
+(** Reference interpreter for JIR.
+
+    Defines the observable semantics the compiler analyses must
+    preserve — in particular the RMI parameter-passing rule: arguments
+    and return values of [Remote_call] are passed by deep copy (with
+    sharing and cycles preserved inside one call), exactly like RMI
+    serialization followed by deserialization.  Local [Call]s pass
+    references.  Tests execute programs here and compare observed heap
+    shapes against the static heap analysis. *)
+
+open Types
+
+type value =
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vdouble of float
+  | Vstr of string
+  | Vobj of objv
+  | Varr of arrv
+
+and objv = {
+  ocls : class_id;
+  ofields : value array;
+  oid : int;
+  osite : site;  (** allocation site that created this object *)
+}
+
+and arrv = { aelem : ty; adata : value array; aid : int; asite : site }
+
+type state
+
+(** External executor for [Remote_call] instructions.  When installed,
+    the interpreter delegates every remote invocation to the hook
+    instead of its built-in deep-copy simulation — this is how the
+    distributed driver routes interpreted programs over the real RMI
+    runtime.  The hook receives the call-site id, the receiver value,
+    the callee and the (uncopied) argument values, and returns the
+    result (already copied by whatever transport it used). *)
+type remote_hook =
+  site:site -> recv:value -> meth:method_id -> value list -> value option
+
+exception Runtime_error of string
+exception Step_limit_exceeded
+
+(** [create prog] allocates interpreter state (statics zeroed). *)
+val create : ?step_limit:int -> ?remote_hook:remote_hook -> Program.t -> state
+
+val read_static : state -> static_id -> value
+
+(** Number of [Remote_call]s executed so far. *)
+val remote_calls : state -> int
+
+(** [run state mid args] executes a method to completion.
+    @raise Runtime_error on dynamic type errors or null dereference
+    @raise Step_limit_exceeded when the step budget runs out *)
+val run : state -> method_id -> value list -> value
+
+(** Structural deep equality that tolerates (and requires isomorphic)
+    cycles; object identities are ignored. *)
+val value_equal : value -> value -> bool
+
+(** Deep copy preserving internal sharing — the RMI cloning operation,
+    exposed for tests. *)
+val deep_copy : value -> value
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,123 @@
+open Instr
+
+let pp_operand ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Double f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Var v -> Format.fprintf ppf "v%d" v
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let pp_ty p ppf ty = Types.pp_ty ~names:(Program.class_name p) ppf ty
+
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_operand ppf args
+
+let pp_instr p ppf instr =
+  let fld_name fld =
+    Printf.sprintf "%s.%s" (Program.class_name p fld.Types.fcls)
+      (Program.field_name p fld)
+  in
+  match instr with
+  | Alloc { dst; cls; site } ->
+      Format.fprintf ppf "v%d = new %s  // site %d" dst (Program.class_name p cls) site
+  | Alloc_array { dst; elem; len; site } ->
+      Format.fprintf ppf "v%d = new %a[%a]  // site %d" dst (pp_ty p) elem
+        pp_operand len site
+  | New_str { dst; value; site } ->
+      Format.fprintf ppf "v%d = new String(%S)  // site %d" dst value site
+  | Move { dst; src } -> Format.fprintf ppf "v%d = %a" dst pp_operand src
+  | Unop { dst; op; src } ->
+      Format.fprintf ppf "v%d = %s%a" dst
+        (match op with Neg -> "-" | Not -> "!" | I2d -> "(double)")
+        pp_operand src
+  | Binop { dst; op; lhs; rhs } ->
+      Format.fprintf ppf "v%d = %a %s %a" dst pp_operand lhs (binop_name op)
+        pp_operand rhs
+  | Load_field { dst; obj; fld } ->
+      Format.fprintf ppf "v%d = v%d.%s" dst obj (fld_name fld)
+  | Store_field { obj; fld; src } ->
+      Format.fprintf ppf "v%d.%s = %a" obj (fld_name fld) pp_operand src
+  | Load_static { dst; st } ->
+      Format.fprintf ppf "v%d = static %s" dst (Program.static_decl p st).sname
+  | Store_static { st; src } ->
+      Format.fprintf ppf "static %s = %a" (Program.static_decl p st).sname
+        pp_operand src
+  | Load_elem { dst; arr; idx } ->
+      Format.fprintf ppf "v%d = v%d[%a]" dst arr pp_operand idx
+  | Store_elem { arr; idx; src } ->
+      Format.fprintf ppf "v%d[%a] = %a" arr pp_operand idx pp_operand src
+  | Array_length { dst; arr } -> Format.fprintf ppf "v%d = v%d.length" dst arr
+  | Call { dst; meth; args; site } ->
+      let name = (Program.method_decl p meth).mname in
+      (match dst with
+      | Some d -> Format.fprintf ppf "v%d = call %s(%a)  // site %d" d name pp_args args site
+      | None -> Format.fprintf ppf "call %s(%a)  // site %d" name pp_args args site)
+  | Remote_call { dst; recv; meth; args; site } ->
+      let name = (Program.method_decl p meth).mname in
+      (match dst with
+      | Some d ->
+          Format.fprintf ppf "v%d = rcall %a.%s(%a)  // callsite %d" d pp_operand
+            recv name pp_args args site
+      | None ->
+          Format.fprintf ppf "rcall %a.%s(%a)  // callsite %d" pp_operand recv
+            name pp_args args site)
+
+let pp_terminator ppf = function
+  | Ret None -> Format.pp_print_string ppf "ret"
+  | Ret (Some op) -> Format.fprintf ppf "ret %a" pp_operand op
+  | Jmp l -> Format.fprintf ppf "jmp L%d" l
+  | Br { cond; ifso; ifnot } ->
+      Format.fprintf ppf "br %a ? L%d : L%d" pp_operand cond ifso ifnot
+
+let pp_phi ppf { pdst; pargs } =
+  Format.fprintf ppf "v%d = phi(%a)" pdst
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (l, op) -> Format.fprintf ppf "L%d: %a" l pp_operand op))
+    pargs
+
+let pp_method p ppf (m : Program.method_decl) =
+  let owner =
+    match m.owner with
+    | Some cid -> Program.class_name p cid ^ "."
+    | None -> ""
+  in
+  Format.fprintf ppf "@[<v2>%a %s%s(%a) {" (pp_ty p) m.ret owner m.mname
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (i, ty) -> Format.fprintf ppf "%a v%d" (pp_ty p) ty i))
+    (Array.to_seq (Array.mapi (fun i ty -> (i, ty)) m.params));
+  Array.iteri
+    (fun bi (blk : block) ->
+      Format.fprintf ppf "@,L%d:" bi;
+      List.iter (fun phi -> Format.fprintf ppf "@,  %a" pp_phi phi) blk.phis;
+      List.iter (fun i -> Format.fprintf ppf "@,  %a" (pp_instr p) i) blk.body;
+      Format.fprintf ppf "@,  %a" pp_terminator blk.term)
+    m.blocks;
+  Format.fprintf ppf "@]@,}"
+
+let pp_program ppf (p : Program.t) =
+  Array.iter
+    (fun (c : Program.class_decl) ->
+      Format.fprintf ppf "@[<v2>%sclass %s%s {"
+        (if c.remote then "remote " else "")
+        c.cname
+        (match c.super with
+        | Some s -> " extends " ^ Program.class_name p s
+        | None -> "");
+      Array.iter
+        (fun (n, ty) -> Format.fprintf ppf "@,%a %s;" (pp_ty p) ty n)
+        c.own_fields;
+      Format.fprintf ppf "@]@,}@,")
+    p.classes;
+  Array.iter (fun m -> Format.fprintf ppf "%a@," (pp_method p) m) p.methods
+
+let method_to_string p m = Format.asprintf "@[<v>%a@]" (pp_method p) m

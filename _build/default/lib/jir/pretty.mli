@@ -1,0 +1,9 @@
+(** Human-readable printing of JIR programs; used by tests, debugging
+    and the optimizer's analysis report. *)
+
+val pp_operand : Format.formatter -> Instr.operand -> unit
+val pp_instr : Program.t -> Format.formatter -> Instr.instr -> unit
+val pp_terminator : Format.formatter -> Instr.terminator -> unit
+val pp_method : Program.t -> Format.formatter -> Program.method_decl -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val method_to_string : Program.t -> Program.method_decl -> string

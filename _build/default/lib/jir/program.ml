@@ -1,0 +1,138 @@
+open Types
+
+type class_decl = {
+  cid : class_id;
+  cname : string;
+  super : class_id option;
+  own_fields : (string * ty) array;
+  remote : bool;
+}
+
+type method_decl = {
+  mid : method_id;
+  mname : string;
+  owner : class_id option;
+  params : ty array;
+  ret : ty;
+  mutable var_types : ty array;
+  mutable blocks : Instr.block array;
+}
+
+type static_decl = { sid : static_id; sname : string; sty : ty }
+
+type t = {
+  classes : class_decl array;
+  methods : method_decl array;
+  statics : static_decl array;
+  num_sites : int;
+}
+
+let class_decl p cid =
+  if cid < 0 || cid >= Array.length p.classes then
+    invalid_arg (Printf.sprintf "Program.class_decl: bad class id %d" cid);
+  p.classes.(cid)
+
+let method_decl p mid =
+  if mid < 0 || mid >= Array.length p.methods then
+    invalid_arg (Printf.sprintf "Program.method_decl: bad method id %d" mid);
+  p.methods.(mid)
+
+let static_decl p sid =
+  if sid < 0 || sid >= Array.length p.statics then
+    invalid_arg (Printf.sprintf "Program.static_decl: bad static id %d" sid);
+  p.statics.(sid)
+
+let class_name p cid = (class_decl p cid).cname
+
+let find_class p name =
+  Array.find_opt (fun c -> String.equal c.cname name) p.classes
+
+let find_method p name =
+  Array.find_opt (fun m -> String.equal m.mname name) p.methods
+
+let rec is_subclass p ~sub ~super =
+  sub = super
+  ||
+  match (class_decl p sub).super with
+  | Some parent -> is_subclass p ~sub:parent ~super
+  | None -> false
+
+let assignable p ~src ~dst =
+  equal_ty src dst
+  ||
+  match (src, dst) with
+  | Tobject c1, Tobject c2 -> is_subclass p ~sub:c1 ~super:c2
+  | _, _ -> false
+
+let rec ancestry p cid =
+  let c = class_decl p cid in
+  match c.super with Some s -> ancestry p s @ [ c ] | None -> [ c ]
+
+let all_fields p cid =
+  Array.concat (List.map (fun c -> c.own_fields) (ancestry p cid))
+
+let fields_before p cid =
+  (* number of inherited fields preceding [cid]'s own in the flat layout *)
+  let rec go acc = function
+    | None -> acc
+    | Some s -> go (acc + Array.length (class_decl p s).own_fields) (class_decl p s).super
+  in
+  go 0 (class_decl p cid).super
+
+let flat_index p { fcls; findex } =
+  let c = class_decl p fcls in
+  if findex < 0 || findex >= Array.length c.own_fields then
+    invalid_arg
+      (Printf.sprintf "Program.flat_index: field %d out of range for %s" findex
+         c.cname);
+  fields_before p fcls + findex
+
+let field_ty p { fcls; findex } =
+  let c = class_decl p fcls in
+  if findex < 0 || findex >= Array.length c.own_fields then
+    invalid_arg "Program.field_ty: bad field reference";
+  snd c.own_fields.(findex)
+
+let field_name p { fcls; findex } =
+  let c = class_decl p fcls in
+  if findex < 0 || findex >= Array.length c.own_fields then
+    invalid_arg "Program.field_name: bad field reference";
+  fst c.own_fields.(findex)
+
+let find_field p cid name =
+  let rec go cid =
+    let c = class_decl p cid in
+    let own =
+      Array.to_list c.own_fields
+      |> List.mapi (fun i (n, _) -> (i, n))
+      |> List.find_opt (fun (_, n) -> String.equal n name)
+    in
+    match own with
+    | Some (i, _) -> Some { fcls = cid; findex = i }
+    | None -> ( match c.super with Some s -> go s | None -> None)
+  in
+  go cid
+
+let remote_methods p =
+  Array.to_list p.methods
+  |> List.filter (fun m ->
+         match m.owner with
+         | Some cid -> (class_decl p cid).remote
+         | None -> false)
+
+let iter_instrs p f =
+  Array.iter
+    (fun m ->
+      Array.iteri
+        (fun bi (b : Instr.block) -> List.iter (fun i -> f m bi i) b.body)
+        m.blocks)
+    p.methods
+
+let remote_callsites p =
+  let acc = ref [] in
+  iter_instrs p (fun m _ instr ->
+      match instr with
+      | Instr.Remote_call { dst; meth; args; site; _ } ->
+          acc := (m, site, meth, Option.is_some dst, args) :: !acc
+      | _ -> ());
+  List.rev !acc

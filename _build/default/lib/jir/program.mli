@@ -1,0 +1,74 @@
+(** Whole-program representation: classes, statics and methods. *)
+
+open Types
+
+type class_decl = {
+  cid : class_id;
+  cname : string;
+  super : class_id option;
+  own_fields : (string * ty) array;  (** fields declared by this class *)
+  remote : bool;  (** JavaParty [remote] class: methods invokable via RMI *)
+}
+
+type method_decl = {
+  mid : method_id;
+  mname : string;
+  owner : class_id option;  (** [None] for free/static functions *)
+  params : ty array;  (** parameter [i] is variable [i] *)
+  ret : ty;
+  mutable var_types : ty array;  (** types of all virtual registers *)
+  mutable blocks : Instr.block array;  (** entry is block 0 *)
+}
+
+type static_decl = { sid : static_id; sname : string; sty : ty }
+
+type t = {
+  classes : class_decl array;
+  methods : method_decl array;
+  statics : static_decl array;
+  num_sites : int;  (** allocation + call sites are numbered [0..num_sites-1] *)
+}
+
+val class_decl : t -> class_id -> class_decl
+val method_decl : t -> method_id -> method_decl
+val static_decl : t -> static_id -> static_decl
+
+val class_name : t -> class_id -> string
+
+val find_class : t -> string -> class_decl option
+val find_method : t -> string -> method_decl option
+
+(** [is_subclass p ~sub ~super] follows the [super] chain. *)
+val is_subclass : t -> sub:class_id -> super:class_id -> bool
+
+(** [assignable p ~src ~dst] value-level assignability: equal types,
+    subclass upcast, or null-typed into any reference. *)
+val assignable : t -> src:ty -> dst:ty -> bool
+
+(** All fields of [cls] including inherited ones, in layout order
+    (root class first).  Element [i] is the flat field index [i]. *)
+val all_fields : t -> class_id -> (string * ty) array
+
+(** Flat layout index of [fld] in instances of any subclass of
+    [fld.fcls].  @raise Invalid_argument on a bogus reference. *)
+val flat_index : t -> field_ref -> int
+
+(** [field_ty p fld] declared type of the referenced field. *)
+val field_ty : t -> field_ref -> ty
+
+(** [field_name p fld]. *)
+val field_name : t -> field_ref -> string
+
+(** Resolve a field by name anywhere on [cls]'s inheritance chain. *)
+val find_field : t -> class_id -> string -> field_ref option
+
+(** Methods owned by remote classes — the RMI-invokable set. *)
+val remote_methods : t -> method_decl list
+
+(** Iterate over every instruction of every method. *)
+val iter_instrs : t -> (method_decl -> label -> Instr.instr -> unit) -> unit
+
+(** All remote call sites in the program as
+    [(caller, site, callee, dst present, args)]. *)
+val remote_callsites :
+  t -> (method_decl * site * method_id * bool * Instr.operand list) list

@@ -1,0 +1,278 @@
+open Types
+open Instr
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let check (p : Program.t) =
+  let errors = ref [] in
+  let report where what = errors := { where; what } :: !errors in
+
+  (* class hierarchy: ids valid and acyclic *)
+  Array.iter
+    (fun (c : Program.class_decl) ->
+      match c.super with
+      | None -> ()
+      | Some s ->
+          if s < 0 || s >= Array.length p.classes then
+            report c.cname (Printf.sprintf "bad superclass id %d" s)
+          else begin
+            (* cycle detection by chasing the chain with a step budget *)
+            let rec chase seen cid =
+              if List.mem cid seen then
+                report c.cname "cyclic inheritance chain"
+              else
+                match (Program.class_decl p cid).super with
+                | Some s -> chase (cid :: seen) s
+                | None -> ()
+            in
+            chase [ c.cid ] s
+          end)
+    p.classes;
+
+  let check_method (m : Program.method_decl) =
+    let where_base = m.mname in
+    let nvars = Array.length m.var_types in
+    let nblocks = Array.length m.blocks in
+    let where bi = Printf.sprintf "%s/L%d" where_base bi in
+    if Array.length m.params > nvars then
+      report where_base "fewer var types than parameters";
+    Array.iteri
+      (fun i pty ->
+        if i < nvars && not (equal_ty m.var_types.(i) pty) then
+          report where_base (Printf.sprintf "parameter %d type mismatch" i))
+      m.params;
+    let var_ty w v =
+      if v < 0 || v >= nvars then begin
+        report w (Printf.sprintf "variable v%d out of range" v);
+        Tvoid
+      end
+      else m.var_types.(v)
+    in
+    let operand_ty w = function
+      | Null -> None (* assignable to any reference type *)
+      | Bool _ -> Some Tbool
+      | Int _ -> Some Tint
+      | Double _ -> Some Tdouble
+      | Str _ -> Some Tstring
+      | Var v -> Some (var_ty w v)
+    in
+    let check_assign w ~dst op =
+      match operand_ty w op with
+      | None ->
+          if not (is_ref dst) then
+            report w
+              (Printf.sprintf "null assigned to non-reference type %s"
+                 (ty_to_string dst))
+      | Some src ->
+          if not (Program.assignable p ~src ~dst) then
+            report w
+              (Printf.sprintf "type mismatch: %s not assignable to %s"
+                 (ty_to_string src) (ty_to_string dst))
+    in
+    let check_label w l =
+      if l < 0 || l >= nblocks then report w (Printf.sprintf "bad label L%d" l)
+    in
+    let check_field w fld =
+      if fld.fcls < 0 || fld.fcls >= Array.length p.classes then begin
+        report w (Printf.sprintf "bad field class id %d" fld.fcls);
+        false
+      end
+      else if
+        fld.findex < 0
+        || fld.findex
+           >= Array.length (Program.class_decl p fld.fcls).own_fields
+      then begin
+        report w
+          (Printf.sprintf "bad field index %d in %s" fld.findex
+             (Program.class_name p fld.fcls));
+        false
+      end
+      else true
+    in
+    let check_instr w = function
+      | Alloc { dst; cls; _ } ->
+          if cls < 0 || cls >= Array.length p.classes then
+            report w (Printf.sprintf "bad class id %d" cls)
+          else if
+            not (Program.assignable p ~src:(Tobject cls) ~dst:(var_ty w dst))
+          then report w "allocation into incompatible variable"
+      | Alloc_array { dst; elem; len; _ } ->
+          check_assign w ~dst:Tint len;
+          if not (Program.assignable p ~src:(Tarray elem) ~dst:(var_ty w dst))
+          then report w "array allocation into incompatible variable"
+      | New_str { dst; _ } ->
+          if not (equal_ty (var_ty w dst) Tstring) then
+            report w "string allocation into non-string variable"
+      | Move { dst; src } -> check_assign w ~dst:(var_ty w dst) src
+      | Unop { dst; op; src } -> (
+          match op with
+          | Neg -> (
+              match operand_ty w src with
+              | Some ((Tint | Tdouble) as ty) ->
+                  if not (equal_ty (var_ty w dst) ty) then
+                    report w "negation result into mismatched variable"
+              | _ -> report w "negation of non-numeric operand")
+          | Not ->
+              check_assign w ~dst:Tbool src;
+              check_assign w ~dst:(var_ty w dst) (Bool true)
+          | I2d ->
+              check_assign w ~dst:Tint src;
+              if not (equal_ty (var_ty w dst) Tdouble) then
+                report w "i2d result into non-double variable")
+      | Binop { dst; op; lhs; rhs } -> (
+          match op with
+          | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr -> (
+              (* arithmetic works uniformly on int or double operands and
+                 the result carries the operand type *)
+              match (operand_ty w lhs, operand_ty w rhs) with
+              | Some Tint, Some Tint ->
+                  if not (equal_ty (var_ty w dst) Tint) then
+                    report w "int arithmetic into non-int variable"
+              | Some Tdouble, Some Tdouble ->
+                  if not (equal_ty (var_ty w dst) Tdouble) then
+                    report w "double arithmetic into non-double variable"
+              | _ -> report w "arithmetic on non-numeric or mixed operands")
+          | Lt | Le | Gt | Ge ->
+              (match (operand_ty w lhs, operand_ty w rhs) with
+              | Some Tint, Some Tint | Some Tdouble, Some Tdouble -> ()
+              | _ -> report w "comparison on non-numeric or mixed operands");
+              check_assign w ~dst:(var_ty w dst) (Bool true)
+          | Eq | Ne -> check_assign w ~dst:(var_ty w dst) (Bool true))
+      | Load_field { dst; obj; fld } ->
+          if check_field w fld then begin
+            (match var_ty w obj with
+            | Tobject c ->
+                if not (Program.is_subclass p ~sub:c ~super:fld.fcls) then
+                  report w "field load from unrelated class"
+            | ty ->
+                report w
+                  (Printf.sprintf "field load from non-object %s"
+                     (ty_to_string ty)));
+            let fty = Program.field_ty p fld in
+            if not (Program.assignable p ~src:fty ~dst:(var_ty w dst)) then
+              report w "field load into incompatible variable"
+          end
+      | Store_field { obj; fld; src } ->
+          if check_field w fld then begin
+            (match var_ty w obj with
+            | Tobject c ->
+                if not (Program.is_subclass p ~sub:c ~super:fld.fcls) then
+                  report w "field store to unrelated class"
+            | ty ->
+                report w
+                  (Printf.sprintf "field store to non-object %s"
+                     (ty_to_string ty)));
+            check_assign w ~dst:(Program.field_ty p fld) src
+          end
+      | Load_static { dst; st } ->
+          if st < 0 || st >= Array.length p.statics then
+            report w (Printf.sprintf "bad static id %d" st)
+          else if
+            not
+              (Program.assignable p
+                 ~src:(Program.static_decl p st).sty
+                 ~dst:(var_ty w dst))
+          then report w "static load into incompatible variable"
+      | Store_static { st; src } ->
+          if st < 0 || st >= Array.length p.statics then
+            report w (Printf.sprintf "bad static id %d" st)
+          else check_assign w ~dst:(Program.static_decl p st).sty src
+      | Load_elem { dst; arr; idx } -> (
+          check_assign w ~dst:Tint idx;
+          match var_ty w arr with
+          | Tarray elem ->
+              if not (Program.assignable p ~src:elem ~dst:(var_ty w dst)) then
+                report w "element load into incompatible variable"
+          | ty ->
+              report w
+                (Printf.sprintf "element load from non-array %s"
+                   (ty_to_string ty)))
+      | Store_elem { arr; idx; src } -> (
+          check_assign w ~dst:Tint idx;
+          match var_ty w arr with
+          | Tarray elem -> check_assign w ~dst:elem src
+          | ty ->
+              report w
+                (Printf.sprintf "element store to non-array %s"
+                   (ty_to_string ty)))
+      | Array_length { dst; arr } -> (
+          (match var_ty w arr with
+          | Tarray _ -> ()
+          | ty ->
+              report w
+                (Printf.sprintf "length of non-array %s" (ty_to_string ty)));
+          if not (equal_ty (var_ty w dst) Tint) then
+            report w "array length into non-int variable")
+      | Call { dst; meth; args; _ } | Remote_call { dst; meth; args; _ } -> (
+          if meth < 0 || meth >= Array.length p.methods then
+            report w (Printf.sprintf "bad method id %d" meth)
+          else begin
+            let callee = Program.method_decl p meth in
+            if List.length args <> Array.length callee.params then
+              report w
+                (Printf.sprintf "%s expects %d arguments, got %d" callee.mname
+                   (Array.length callee.params) (List.length args))
+            else
+              List.iteri
+                (fun i arg -> check_assign w ~dst:callee.params.(i) arg)
+                args;
+            match dst with
+            | Some d ->
+                if equal_ty callee.ret Tvoid then
+                  report w "void call with a destination"
+                else if
+                  not (Program.assignable p ~src:callee.ret ~dst:(var_ty w d))
+                then report w "call result into incompatible variable"
+            | None -> ()
+          end)
+    in
+    let check_remote_specifics w = function
+      | Remote_call { meth; _ } when meth >= 0 && meth < Array.length p.methods
+        -> (
+          let callee = Program.method_decl p meth in
+          match callee.owner with
+          | Some cid when (Program.class_decl p cid).remote -> ()
+          | Some cid ->
+              report w
+                (Printf.sprintf "remote call to method of non-remote class %s"
+                   (Program.class_name p cid))
+          | None -> report w "remote call to ownerless method")
+      | _ -> ()
+    in
+    Array.iteri
+      (fun bi (blk : block) ->
+        let w = where bi in
+        List.iter
+          (fun i ->
+            check_instr w i;
+            check_remote_specifics w i)
+          blk.body;
+        match blk.term with
+        | Ret None ->
+            if not (equal_ty m.ret Tvoid) then
+              report w "value-returning method falls through ret"
+        | Ret (Some op) ->
+            if equal_ty m.ret Tvoid then report w "void method returns a value"
+            else check_assign w ~dst:m.ret op
+        | Jmp l -> check_label w l
+        | Br { cond; ifso; ifnot } ->
+            check_assign w ~dst:Tbool cond;
+            check_label w ifso;
+            check_label w ifnot)
+      m.blocks;
+    if nblocks = 0 then report where_base "method has no blocks"
+  in
+  Array.iter check_method p.methods;
+  List.rev !errors
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | errs ->
+      let msg =
+        String.concat "\n"
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+      in
+      failwith ("Typecheck failed:\n" ^ msg)

@@ -1,0 +1,17 @@
+(** Static validation of JIR programs.
+
+    Checks class-hierarchy acyclicity, field/method/static reference
+    validity, operand typing with subclass assignability, branch-target
+    ranges, return typing, and that remote calls target methods of
+    [remote] classes.  Run by tests and by the optimizer before any
+    analysis. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** All problems found, empty when the program is well formed. *)
+val check : Program.t -> error list
+
+(** @raise Failure with a rendered error list if [check] is nonempty. *)
+val check_exn : Program.t -> unit

@@ -1,0 +1,42 @@
+type class_id = int
+type method_id = int
+type static_id = int
+type var = int
+type label = int
+type site = int
+
+type ty =
+  | Tvoid
+  | Tbool
+  | Tint
+  | Tdouble
+  | Tstring
+  | Tobject of class_id
+  | Tarray of ty
+
+type field_ref = { fcls : class_id; findex : int }
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tbool, Tbool | Tint, Tint | Tdouble, Tdouble | Tstring, Tstring
+    ->
+      true
+  | Tobject c1, Tobject c2 -> c1 = c2
+  | Tarray t1, Tarray t2 -> equal_ty t1 t2
+  | (Tvoid | Tbool | Tint | Tdouble | Tstring | Tobject _ | Tarray _), _ -> false
+
+let is_ref = function
+  | Tobject _ | Tarray _ | Tstring -> true
+  | Tvoid | Tbool | Tint | Tdouble -> false
+
+let rec pp_ty ~names ppf = function
+  | Tvoid -> Format.pp_print_string ppf "void"
+  | Tbool -> Format.pp_print_string ppf "bool"
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tdouble -> Format.pp_print_string ppf "double"
+  | Tstring -> Format.pp_print_string ppf "String"
+  | Tobject c -> Format.pp_print_string ppf (names c)
+  | Tarray t -> Format.fprintf ppf "%a[]" (pp_ty ~names) t
+
+let ty_to_string ty =
+  Format.asprintf "%a" (pp_ty ~names:(fun c -> Printf.sprintf "C%d" c)) ty

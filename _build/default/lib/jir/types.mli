@@ -1,0 +1,42 @@
+(** Core identifiers and types of JIR, the small Java-like IR.
+
+    JIR models exactly the language fragment the paper's analyses
+    consume: classes with typed fields and single inheritance, static
+    variables, methods made of basic blocks of three-address
+    instructions, object/array allocation sites, and local vs. remote
+    method calls (a class can be [remote] in the JavaParty sense). *)
+
+type class_id = int
+type method_id = int
+type static_id = int
+
+(** SSA-convertible virtual register; method-local. *)
+type var = int
+
+(** Basic-block index within a method; block 0 is the entry. *)
+type label = int
+
+(** Globally unique allocation-site number (paper Section 2, step 2). *)
+type site = int
+
+type ty =
+  | Tvoid
+  | Tbool
+  | Tint
+  | Tdouble
+  | Tstring   (** immutable leaf object, as in Java *)
+  | Tobject of class_id
+  | Tarray of ty
+
+(** Fields are addressed by declaring class and index therein. *)
+type field_ref = { fcls : class_id; findex : int }
+
+val equal_ty : ty -> ty -> bool
+
+(** [is_ref ty] holds for object, array and string types ([Tnull]-able). *)
+val is_ref : ty -> bool
+
+val pp_ty : names:(class_id -> string) -> Format.formatter -> ty -> unit
+
+(** [ty_to_string] with bare class ids; debugging aid. *)
+val ty_to_string : ty -> string

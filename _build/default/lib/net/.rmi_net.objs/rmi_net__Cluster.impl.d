@@ -1,0 +1,1 @@
+lib/net/cluster.ml: Array Bytes Mailbox Printf Rmi_stats

@@ -1,0 +1,1 @@
+lib/net/cluster.mli: Rmi_stats

@@ -1,0 +1,1 @@
+lib/net/costmodel.ml: List Rmi_stats

@@ -1,0 +1,1 @@
+lib/net/costmodel.mli: Rmi_stats

@@ -1,0 +1,1 @@
+lib/net/mailbox.ml: Condition Mutex Queue

@@ -1,0 +1,42 @@
+type t = {
+  n : int;
+  boxes : Mailbox.t array;
+  metrics : Rmi_stats.Metrics.t;
+  mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
+}
+
+let create ~n metrics =
+  if n < 1 then invalid_arg "Cluster.create: need at least one machine";
+  { n; boxes = Array.init n (fun _ -> Mailbox.create ()); metrics; fault = None }
+
+let size t = t.n
+let metrics t = t.metrics
+
+let check t who =
+  if who < 0 || who >= t.n then
+    invalid_arg (Printf.sprintf "Cluster: bad machine id %d" who)
+
+let send t ~src ~dest msg =
+  check t src;
+  check t dest;
+  Rmi_stats.Metrics.incr_msgs_sent t.metrics;
+  Rmi_stats.Metrics.add_bytes_sent t.metrics (Bytes.length msg);
+  match t.fault with
+  | None -> Mailbox.send t.boxes.(dest) msg
+  | Some hook -> (
+      match hook ~src ~dest msg with
+      | Some delivered -> Mailbox.send t.boxes.(dest) delivered
+      | None -> () (* dropped on the wire *))
+
+let set_fault_hook t hook = t.fault <- Some hook
+let clear_fault_hook t = t.fault <- None
+
+let try_recv t ~self =
+  check t self;
+  Mailbox.try_recv t.boxes.(self)
+
+let recv_blocking t ~self =
+  check t self;
+  Mailbox.recv_blocking t.boxes.(self)
+
+let pending_anywhere t = Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes

@@ -1,0 +1,33 @@
+(** The simulated cluster interconnect.
+
+    [n] machines, each with a mailbox.  [send] charges the message and
+    payload bytes to the metrics — the counters the cost model turns
+    into modeled seconds.  Receiving polls, like the paper's modified
+    GM layer ("polling is performed instead of condition
+    synchronization"). *)
+
+type t
+
+val create : n:int -> Rmi_stats.Metrics.t -> t
+
+val size : t -> int
+val metrics : t -> Rmi_stats.Metrics.t
+
+(** [send t ~src ~dest msg]; self-sends are allowed (loopback). *)
+val send : t -> src:int -> dest:int -> bytes -> unit
+
+val try_recv : t -> self:int -> bytes option
+
+(** Blocks until a message for [self] arrives. *)
+val recv_blocking : t -> self:int -> bytes
+
+(** Any message pending anywhere? (deadlock diagnostics) *)
+val pending_anywhere : t -> bool
+
+(** Fault injection for tests: the hook sees every message about to be
+    delivered and may pass it through ([Some msg]), corrupt it
+    ([Some other]) or drop it ([None]).  Metrics still count the
+    original send. *)
+val set_fault_hook : t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+
+val clear_fault_hook : t -> unit

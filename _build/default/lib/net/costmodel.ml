@@ -1,0 +1,41 @@
+type t = {
+  per_message_us : float;
+  per_byte_us : float;
+  per_cycle_lookup_us : float;
+  per_alloc_us : float;
+  per_ser_invocation_us : float;
+  per_type_byte_us : float;
+  per_rpc_us : float;
+  per_local_rpc_us : float;
+}
+
+let myrinet_2003 =
+  {
+    per_message_us = 18.0;  (* ~40 us RMI round trip = 2 messages + dispatch *)
+    per_byte_us = 0.008;    (* ~125 MB/s sustained *)
+    per_cycle_lookup_us = 0.055;  (* hash + insert on a 1 GHz P-III *)
+    per_alloc_us = 0.1;     (* paper, Section 3.3 *)
+    per_ser_invocation_us = 0.25;  (* vtable lookup + call + frame *)
+    per_type_byte_us = 0.02;  (* emitting and re-parsing descriptors *)
+    per_rpc_us = 2.0;       (* registry/skeleton dispatch *)
+    per_local_rpc_us = 1.0; (* clone path, no wire *)
+  }
+
+let components c (s : Rmi_stats.Metrics.snapshot) =
+  [
+    ("messages", float_of_int s.msgs_sent *. c.per_message_us);
+    ("payload bytes", float_of_int s.bytes_sent *. c.per_byte_us);
+    ("cycle lookups", float_of_int s.cycle_lookups *. c.per_cycle_lookup_us);
+    ("allocations", float_of_int s.allocs *. c.per_alloc_us);
+    ("serializer calls", float_of_int s.ser_invocations *. c.per_ser_invocation_us);
+    ("type info", float_of_int s.type_bytes *. c.per_type_byte_us);
+    ("rpc dispatch", float_of_int s.remote_rpcs *. c.per_rpc_us);
+    ("local rpcs", float_of_int s.local_rpcs *. c.per_local_rpc_us);
+  ]
+
+let modeled_seconds c s =
+  List.fold_left (fun acc (_, us) -> acc +. us) 0.0 (components c s) /. 1e6
+
+let breakdown c s =
+  List.map (fun (l, us) -> (l, us /. 1e6)) (components c s)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

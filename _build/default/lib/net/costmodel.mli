@@ -1,0 +1,33 @@
+(** Analytic cost model mapping runtime event counters to modeled
+    seconds on the paper's testbed.
+
+    The paper's hardware (1 GHz Pentium III, Myrinet + GM) no longer
+    exists; absolute wall-clock numbers on a modern machine are
+    incomparable.  The *shape* of the tables, however, is determined by
+    which events each optimization removes — type bytes (call-site
+    plans), hash probes (cycle elimination), allocations (reuse) — so
+    the harness reports modeled seconds computed from the measured
+    counters with Myrinet-era constants, alongside raw wall-clock.
+
+    Constants are taken from the paper where stated: a tuned RMI costs
+    about 40 µs end to end (Section 3.3), allocation+collection about
+    0.1 µs per object. *)
+
+type t = {
+  per_message_us : float;  (** fixed per network message (half RTT) *)
+  per_byte_us : float;  (** payload on a ~1 Gbit/s Myrinet *)
+  per_cycle_lookup_us : float;  (** one hash-table probe/insert *)
+  per_alloc_us : float;  (** object allocation + eventual collection *)
+  per_ser_invocation_us : float;  (** dynamic dispatch into a serializer *)
+  per_type_byte_us : float;  (** producing/parsing wire type info *)
+  per_rpc_us : float;  (** fixed dispatch overhead per RMI *)
+  per_local_rpc_us : float;  (** same-machine RMI (no network) *)
+}
+
+(** Constants calibrated to the paper's testbed. *)
+val myrinet_2003 : t
+
+val modeled_seconds : t -> Rmi_stats.Metrics.snapshot -> float
+
+(** Per-component breakdown [(label, seconds)], largest first. *)
+val breakdown : t -> Rmi_stats.Metrics.snapshot -> (string * float) list

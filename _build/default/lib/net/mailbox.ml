@@ -1,0 +1,36 @@
+type t = { q : bytes Queue.t; m : Mutex.t; c : Condition.t }
+
+let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+let send t msg =
+  Mutex.lock t.m;
+  Queue.push msg t.q;
+  Condition.signal t.c;
+  Mutex.unlock t.m
+
+let try_recv t =
+  Mutex.lock t.m;
+  let msg = Queue.take_opt t.q in
+  Mutex.unlock t.m;
+  msg
+
+let recv_blocking t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q do
+    Condition.wait t.c t.m
+  done;
+  let msg = Queue.pop t.q in
+  Mutex.unlock t.m;
+  msg
+
+let is_empty t =
+  Mutex.lock t.m;
+  let e = Queue.is_empty t.q in
+  Mutex.unlock t.m;
+  e
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,23 @@
+(** A thread-safe message queue — one per simulated machine.
+
+    In parallel mode (machines = OCaml domains) senders and receivers
+    are on different domains; in synchronous mode everything runs on
+    one thread and only the non-blocking operations are used. *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> bytes -> unit
+
+(** Non-blocking receive. *)
+val try_recv : t -> bytes option
+
+(** Blocking receive: waits on a condition variable until a message
+    arrives (sends signal it), releasing the processor meanwhile. *)
+val recv_blocking : t -> bytes
+
+val is_empty : t -> bool
+
+(** Messages currently queued. *)
+val length : t -> int

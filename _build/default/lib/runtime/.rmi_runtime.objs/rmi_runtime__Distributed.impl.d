@@ -1,0 +1,1 @@
+lib/runtime/distributed.ml: Array Config Fabric Hashtbl Jir Jir_bridge List Mutex Node Registry Remote_ref Rmi_core Rmi_serial Rmi_stats Unix

@@ -1,0 +1,1 @@
+lib/runtime/distributed.mli: Config Fabric Jir Rmi_stats

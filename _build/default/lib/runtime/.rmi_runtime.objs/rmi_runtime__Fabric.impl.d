@@ -1,0 +1,1 @@
+lib/runtime/fabric.ml: Array Domain Fun List Node Printf Rmi_net

@@ -1,0 +1,1 @@
+lib/runtime/fabric.mli: Config Hashtbl Node Rmi_core Rmi_serial Rmi_stats

@@ -1,0 +1,1 @@
+lib/runtime/jir_bridge.ml: Array Atomic Hashtbl Jir Rmi_serial

@@ -1,0 +1,1 @@
+lib/runtime/jir_bridge.mli: Jir Rmi_serial

@@ -1,0 +1,1 @@
+lib/runtime/node.ml: Array Config Hashtbl Logs Msgbuf Mutex Option Printf Protocol Remote_ref Rmi_core Rmi_net Rmi_serial Rmi_stats Rmi_wire Trace Unix

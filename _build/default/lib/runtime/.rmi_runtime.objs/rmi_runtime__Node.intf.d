@@ -1,0 +1,1 @@
+lib/runtime/node.mli: Config Hashtbl Remote_ref Rmi_core Rmi_net Rmi_serial Trace

@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Fabric List Node Printf Remote_ref

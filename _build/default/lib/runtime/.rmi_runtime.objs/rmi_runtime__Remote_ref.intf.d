@@ -1,0 +1,1 @@
+lib/runtime/remote_ref.mli: Format

@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Buffer Format Hashtbl List Mutex Printf Rmi_stats Unix

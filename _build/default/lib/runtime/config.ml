@@ -1,0 +1,33 @@
+type serializer = Class_specific | Site_specific
+
+type t = {
+  name : string;
+  serializer : serializer;
+  elide_cycle : bool;
+  reuse : bool;
+}
+
+let class_ =
+  { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false }
+
+let site =
+  { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false }
+
+let site_cycle =
+  { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false }
+
+let site_reuse =
+  { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true }
+
+let site_reuse_cycle =
+  {
+    name = "site + reuse + cycle";
+    serializer = Site_specific;
+    elide_cycle = true;
+    reuse = true;
+  }
+
+let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
+
+let find name = List.find_opt (fun c -> String.equal c.name name) all
+let pp ppf t = Format.pp_print_string ppf t.name

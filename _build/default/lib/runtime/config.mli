@@ -1,0 +1,28 @@
+(** Optimization configurations — the rows of every table in the
+    paper's evaluation (Section 5's legend). *)
+
+type serializer =
+  | Class_specific
+      (** per-class generated serializers (KaRMI/Manta state of the
+          art): compact type ids, dynamic dispatch, cycle table always *)
+  | Site_specific
+      (** the paper's call-site specialized marshalers *)
+
+type t = {
+  name : string;  (** the paper's row label, e.g. "site + reuse" *)
+  serializer : serializer;
+  elide_cycle : bool;  (** honor the cycle analysis verdict (Sec. 3.2) *)
+  reuse : bool;  (** honor the escape analysis verdict (Sec. 3.3) *)
+}
+
+val class_ : t
+val site : t
+val site_cycle : t
+val site_reuse : t
+val site_reuse_cycle : t
+
+(** The five rows in paper order. *)
+val all : t list
+
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

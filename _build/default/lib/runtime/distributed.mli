@@ -1,0 +1,42 @@
+(** Distributed execution of whole JIR programs — the JavaParty story
+    end to end.
+
+    [run] compiles the program with the real optimizer, boots a
+    cluster, gives every machine its own interpreter (with its own
+    statics, as separate JVMs would have), and executes [entry] on
+    machine 0.  Whenever the interpreted program performs a
+    [Remote_call]:
+
+    + the receiver object is placed on a machine (round-robin on first
+      use, JavaParty's default placement) and its class's remote
+      methods are exported there;
+    + the arguments cross the cluster through the configured
+      serialization path (the compiler's call-site plans under [site*]
+      configurations, tag-carrying generic marshaling under [class]);
+    + the method body runs in the owning machine's interpreter; nested
+      remote calls recurse through the same machinery.
+
+    Used by tests as a differential oracle: for any program, the
+    observable result of [run] must equal {!Jir.Interp.run}'s built-in
+    deep-copy simulation, under every optimization configuration. *)
+
+type result = {
+  value : Jir.Interp.value;  (** what [entry] returned *)
+  statics : Jir.Interp.value array;
+      (** machine 0's statics after the run (the caller's observable
+          state; remote machines have their own) *)
+  stats : Rmi_stats.Metrics.snapshot;
+  wall_seconds : float;
+  remote_objects : int;  (** remote instances placed during the run *)
+}
+
+(** @raise Failure when the program does not typecheck.
+    The program is mutated into SSA form (as by {!Rmi_core.Optimizer.run}). *)
+val run :
+  ?config:Config.t ->
+  ?mode:Fabric.mode ->
+  ?machines:int ->
+  Jir.Program.t ->
+  entry:Jir.Types.method_id ->
+  Jir.Interp.value list ->
+  result

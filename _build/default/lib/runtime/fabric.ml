@@ -1,0 +1,71 @@
+type mode = Sync | Parallel
+
+type t = {
+  cluster : Rmi_net.Cluster.t;
+  nodes : Node.t array;
+  fmode : mode;
+  mutable domains : unit Domain.t list;
+  mutable started : bool;
+}
+
+let create ?(mode = Sync) ~n ~meta ~config ~plans ~metrics () =
+  let cluster = Rmi_net.Cluster.create ~n metrics in
+  let nodes =
+    Array.init n (fun id -> Node.create cluster ~id ~meta ~config ~plans)
+  in
+  let t = { cluster; nodes; fmode = mode; domains = []; started = false } in
+  (if mode = Sync then
+     (* a machine that waits pumps every other machine's queue *)
+     Array.iteri
+       (fun self node ->
+         Node.set_pump node (fun () ->
+             let progress = ref false in
+             Array.iteri
+               (fun other node' ->
+                 if other <> self && Node.serve_pending node' then
+                   progress := true)
+               nodes;
+             !progress))
+       nodes);
+  t
+
+let mode t = t.fmode
+let size t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Fabric.node: bad machine id %d" i);
+  t.nodes.(i)
+
+let metrics t = Rmi_net.Cluster.metrics t.cluster
+
+let start t =
+  match t.fmode with
+  | Sync -> ()
+  | Parallel ->
+      if not t.started then begin
+        t.started <- true;
+        t.domains <-
+          List.init
+            (Array.length t.nodes - 1)
+            (fun i ->
+              let worker = t.nodes.(i + 1) in
+              Domain.spawn (fun () -> Node.serve_loop worker))
+      end
+
+let stop t =
+  match t.fmode with
+  | Sync -> ()
+  | Parallel ->
+      if t.started then begin
+        t.started <- false;
+        for dest = 1 to Array.length t.nodes - 1 do
+          Node.send_shutdown t.nodes.(0) ~dest
+        done;
+        List.iter Domain.join t.domains;
+        t.domains <- []
+      end
+
+let run t f =
+  start t;
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

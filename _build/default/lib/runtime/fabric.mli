@@ -1,0 +1,41 @@
+(** Cluster assembly: [n] machines sharing a class table, a compiler
+    plan table and an optimization configuration.
+
+    Two execution modes mirror the substitution documented in
+    DESIGN.md:
+
+    - [Sync]: everything on one thread.  A machine awaiting a reply
+      pumps the other machines' queues directly — deterministic, used
+      by tests and by the statistics tables.
+    - [Parallel]: machines 1..n-1 are OCaml domains running serve
+      loops; machine 0 is the caller's domain.  Real parallelism for
+      wall-clock measurements (the paper's 2-CPU runs). *)
+
+type mode = Sync | Parallel
+
+type t
+
+val create :
+  ?mode:mode ->
+  n:int ->
+  meta:Rmi_serial.Class_meta.t ->
+  config:Config.t ->
+  plans:(int, Rmi_core.Plan.t) Hashtbl.t ->
+  metrics:Rmi_stats.Metrics.t ->
+  unit ->
+  t
+
+val mode : t -> mode
+val size : t -> int
+val node : t -> int -> Node.t
+val metrics : t -> Rmi_stats.Metrics.t
+
+(** Start worker domains (no-op in [Sync] mode). *)
+val start : t -> unit
+
+(** Shut workers down and join them (no-op in [Sync] mode).
+    Idempotent. *)
+val stop : t -> unit
+
+(** [run fabric f] = [start]; [f fabric]; [stop] (also on exception). *)
+val run : t -> (t -> 'a) -> 'a

@@ -1,0 +1,113 @@
+module I = Jir.Interp
+module V = Rmi_serial.Value
+
+let to_runtime v =
+  let seen : (int, V.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (v : I.value) : V.t =
+    match v with
+    | I.Vnull -> V.Null
+    | I.Vbool b -> V.Bool b
+    | I.Vint i -> V.Int i
+    | I.Vdouble f -> V.Double f
+    | I.Vstr s -> V.Str s
+    | I.Vobj o -> (
+        match Hashtbl.find_opt seen o.I.oid with
+        | Some v -> v
+        | None ->
+            let target = V.new_obj ~cls:o.I.ocls ~nfields:(Array.length o.I.ofields) in
+            Hashtbl.add seen o.I.oid (V.Obj target);
+            Array.iteri (fun i f -> target.V.fields.(i) <- go f) o.I.ofields;
+            V.Obj target)
+    | I.Varr a -> (
+        match Hashtbl.find_opt seen a.I.aid with
+        | Some v -> v
+        | None -> (
+            match a.I.aelem with
+            | Jir.Types.Tdouble ->
+                let d = V.new_darr (Array.length a.I.adata) in
+                Hashtbl.add seen a.I.aid (V.Darr d);
+                Array.iteri
+                  (fun i e ->
+                    match e with
+                    | I.Vdouble f -> d.V.d.(i) <- f
+                    | _ -> invalid_arg "Jir_bridge: non-double in double[]")
+                  a.I.adata;
+                V.Darr d
+            | Jir.Types.Tint ->
+                let ia = V.new_iarr (Array.length a.I.adata) in
+                Hashtbl.add seen a.I.aid (V.Iarr ia);
+                Array.iteri
+                  (fun i e ->
+                    match e with
+                    | I.Vint x -> ia.V.ia.(i) <- x
+                    | _ -> invalid_arg "Jir_bridge: non-int in int[]")
+                  a.I.adata;
+                V.Iarr ia
+            | elem ->
+                let ra = V.new_rarr elem (Array.length a.I.adata) in
+                Hashtbl.add seen a.I.aid (V.Rarr ra);
+                Array.iteri (fun i e -> ra.V.ra.(i) <- go e) a.I.adata;
+                V.Rarr ra))
+  in
+  go v
+
+let id_counter = Atomic.make 2_000_000_000
+let fresh_id () = Atomic.fetch_and_add id_counter 1
+
+let of_runtime v =
+  let seen : (int, I.value) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (v : V.t) : I.value =
+    match v with
+    | V.Null -> I.Vnull
+    | V.Bool b -> I.Vbool b
+    | V.Int i -> I.Vint i
+    | V.Double f -> I.Vdouble f
+    | V.Str s -> I.Vstr s
+    | V.Obj o -> (
+        match Hashtbl.find_opt seen o.V.oid with
+        | Some v -> v
+        | None ->
+            let target =
+              {
+                I.ocls = o.V.cls;
+                ofields = Array.make (Array.length o.V.fields) I.Vnull;
+                oid = fresh_id ();
+                osite = -1;
+              }
+            in
+            Hashtbl.add seen o.V.oid (I.Vobj target);
+            Array.iteri (fun i f -> target.I.ofields.(i) <- go f) o.V.fields;
+            I.Vobj target)
+    | V.Darr a ->
+        I.Varr
+          {
+            I.aelem = Jir.Types.Tdouble;
+            adata = Array.map (fun f -> I.Vdouble f) a.V.d;
+            aid = fresh_id ();
+            asite = -1;
+          }
+    | V.Iarr a ->
+        I.Varr
+          {
+            I.aelem = Jir.Types.Tint;
+            adata = Array.map (fun x -> I.Vint x) a.V.ia;
+            aid = fresh_id ();
+            asite = -1;
+          }
+    | V.Rarr a -> (
+        match Hashtbl.find_opt seen a.V.rid with
+        | Some v -> v
+        | None ->
+            let target =
+              {
+                I.aelem = a.V.relem;
+                adata = Array.make (Array.length a.V.ra) I.Vnull;
+                aid = fresh_id ();
+                asite = -1;
+              }
+            in
+            Hashtbl.add seen a.V.rid (I.Varr target);
+            Array.iteri (fun i e -> target.I.adata.(i) <- go e) a.V.ra;
+            I.Varr target)
+  in
+  go v

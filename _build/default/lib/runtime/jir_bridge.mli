@@ -1,0 +1,15 @@
+(** Conversion between interpreter values ({!Jir.Interp.value}) and
+    runtime values ({!Rmi_serial.Value.t}).
+
+    The distributed driver runs JIR method bodies in the interpreter on
+    each machine while arguments and results travel through the real
+    serializers; this bridge translates at the boundary.  Cycles and
+    sharing are preserved in both directions.  Interpreter arrays of
+    [double]/[int] map to the runtime's unboxed [Darr]/[Iarr]. *)
+
+(** @raise Invalid_argument on values outside the common model. *)
+val to_runtime : Jir.Interp.value -> Rmi_serial.Value.t
+
+(** Objects created on the way back carry allocation site [-1] (their
+    true site lives on the machine that built them). *)
+val of_runtime : Rmi_serial.Value.t -> Jir.Interp.value

@@ -1,0 +1,469 @@
+open Rmi_wire
+module Value = Rmi_serial.Value
+module Codec = Rmi_serial.Codec
+module Plan = Rmi_core.Plan
+module Metrics = Rmi_stats.Metrics
+
+type handler = Value.t array -> Value.t option
+
+(* library log source; silent unless the application enables it *)
+let log_src = Logs.Src.create "rmi.runtime" ~doc:"RMI runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Remote_exception of string
+exception No_such_method of string
+exception Deadlock of string
+
+let shutdown_method = -99
+
+type export_entry = { fn : handler; has_ret : bool }
+
+(* a plan partially evaluated into closures via Codec.compile_write and
+   Codec.compile_read: the runtime analogue of the paper's generated
+   marshaler code *)
+type compiled_plan = {
+  cp_plan : Plan.t;
+  cp_write_args : (Codec.wctx -> Msgbuf.writer -> Value.t -> unit) array;
+  cp_read_args : (Codec.rctx -> Msgbuf.reader -> cand:Value.t -> Value.t) array;
+  cp_write_ret : (Codec.wctx -> Msgbuf.writer -> Value.t -> unit) option;
+  cp_read_ret : (Codec.rctx -> Msgbuf.reader -> cand:Value.t -> Value.t) option;
+}
+
+type t = {
+  cluster : Rmi_net.Cluster.t;
+  nid : int;
+  meta : Rmi_serial.Class_meta.t;
+  cfg : Config.t;
+  plans : (int, Plan.t) Hashtbl.t;
+  handlers : (int * int, export_entry) Hashtbl.t;
+  handlers_mutex : Mutex.t;  (* exports may come from other domains *)
+  mutable seq : int;
+  stash : (int, Protocol.header * Msgbuf.reader) Hashtbl.t;
+  arg_caches : (int, Value.t option array) Hashtbl.t;
+  ret_caches : (int, Value.t) Hashtbl.t;
+  compiled_plans : (int, compiled_plan) Hashtbl.t;
+  mutable pump : unit -> bool;
+  mutable has_pump : bool;
+  mutable shutdown : bool;
+  mutable trace : Trace.t option;
+}
+
+let create cluster ~id ~meta ~config ~plans =
+  {
+    cluster;
+    nid = id;
+    meta;
+    cfg = config;
+    plans;
+    handlers = Hashtbl.create 16;
+    handlers_mutex = Mutex.create ();
+    seq = 0;
+    stash = Hashtbl.create 8;
+    arg_caches = Hashtbl.create 16;
+    ret_caches = Hashtbl.create 16;
+    compiled_plans = Hashtbl.create 16;
+    pump = (fun () -> false);
+    has_pump = false;
+    shutdown = false;
+    trace = None;
+  }
+
+let id t = t.nid
+let config t = t.cfg
+let set_pump t pump =
+  t.pump <- pump;
+  t.has_pump <- true
+
+let set_trace t trace = t.trace <- Some trace
+
+let trace_event t event =
+  match t.trace with Some tr -> Trace.record tr event | None -> ()
+
+let export t ~obj ~meth ~has_ret fn =
+  Mutex.lock t.handlers_mutex;
+  Hashtbl.replace t.handlers (obj, meth) { fn; has_ret };
+  Mutex.unlock t.handlers_mutex
+
+let find_handler t key =
+  Mutex.lock t.handlers_mutex;
+  let r = Hashtbl.find_opt t.handlers key in
+  Mutex.unlock t.handlers_mutex;
+  r
+
+let metrics t = Rmi_net.Cluster.metrics t.cluster
+
+(* ------------------------------------------------------------------ *)
+(* plan selection and effective optimization flags                     *)
+(* ------------------------------------------------------------------ *)
+
+let effective_plan t ~callsite ~nargs ~has_ret =
+  match t.cfg.Config.serializer with
+  | Config.Class_specific -> Plan.generic ~callsite ~nargs ~has_ret
+  | Config.Site_specific -> (
+      match Hashtbl.find_opt t.plans callsite with
+      | Some p -> p
+      | None -> Plan.generic ~callsite ~nargs ~has_ret)
+
+let site_mode t = t.cfg.Config.serializer = Config.Site_specific
+
+let compile_plan (plan : Plan.t) =
+  let defs = plan.Plan.defs in
+  {
+    cp_plan = plan;
+    cp_write_args = Array.map (Codec.compile_write ~defs) plan.Plan.args;
+    cp_read_args = Array.map (Codec.compile_read ~defs) plan.Plan.args;
+    cp_write_ret = Option.map (Codec.compile_write ~defs) plan.Plan.ret;
+    cp_read_ret = Option.map (Codec.compile_read ~defs) plan.Plan.ret;
+  }
+
+(* compiled once per (node, call site); the config is fixed per node so
+   the effective plan is stable *)
+let compiled_for t ~callsite ~nargs ~has_ret =
+  match Hashtbl.find_opt t.compiled_plans callsite with
+  | Some cp when Array.length cp.cp_plan.Plan.args = nargs -> cp
+  | _ ->
+      (if site_mode t && not (Hashtbl.mem t.plans callsite) then
+         Log.warn (fun m ->
+             m
+               "machine %d: no compiler plan for call site %d; falling back                 to the generic tag-carrying plan"
+               t.nid callsite));
+      let cp = compile_plan (effective_plan t ~callsite ~nargs ~has_ret) in
+      Hashtbl.replace t.compiled_plans callsite cp;
+      cp
+
+let eff_cycle_args t (plan : Plan.t) =
+  if site_mode t && t.cfg.Config.elide_cycle then plan.cycle_args else true
+
+let eff_cycle_ret t (plan : Plan.t) =
+  if site_mode t && t.cfg.Config.elide_cycle then plan.cycle_ret else true
+
+let eff_reuse_arg t (plan : Plan.t) i =
+  site_mode t && t.cfg.Config.reuse && plan.reuse_args.(i)
+
+let eff_reuse_ret t (plan : Plan.t) =
+  site_mode t && t.cfg.Config.reuse && plan.reuse_ret
+
+(* ------------------------------------------------------------------ *)
+(* reuse caches (Figure 13's temp_arr, per call site)                  *)
+(* ------------------------------------------------------------------ *)
+
+let take_arg_cand t ~callsite ~nargs i =
+  match Hashtbl.find_opt t.arg_caches callsite with
+  | None ->
+      Hashtbl.replace t.arg_caches callsite (Array.make nargs None);
+      Value.Null
+  | Some slots -> (
+      match slots.(i) with
+      | Some v ->
+          (* multithreading guard: empty the slot while in use *)
+          slots.(i) <- None;
+          v
+      | None -> Value.Null)
+
+let restore_arg_cand t ~callsite i v =
+  match Hashtbl.find_opt t.arg_caches callsite with
+  | Some slots -> slots.(i) <- Some v
+  | None -> ()
+
+let take_ret_cand t ~callsite =
+  match Hashtbl.find_opt t.ret_caches callsite with
+  | Some v ->
+      Hashtbl.remove t.ret_caches callsite;
+      v
+  | None -> Value.Null
+
+let restore_ret_cand t ~callsite v = Hashtbl.replace t.ret_caches callsite v
+
+let reset_caches t =
+  Hashtbl.reset t.arg_caches;
+  Hashtbl.reset t.ret_caches
+
+(* ------------------------------------------------------------------ *)
+(* marshaling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let marshal_args t cp header args =
+  let plan = cp.cp_plan in
+  let w = Msgbuf.create_writer ~initial_capacity:512 () in
+  Protocol.write_header w header;
+  let wctx =
+    Codec.make_wctx ~defs:plan.Plan.defs t.meta (metrics t)
+      ~cycle:(eff_cycle_args t plan)
+  in
+  Array.iteri (fun i write -> write wctx w args.(i)) cp.cp_write_args;
+  w
+
+let unmarshal_args t cp ~callsite r =
+  let plan = cp.cp_plan in
+  let rctx =
+    Codec.make_rctx ~defs:plan.Plan.defs t.meta (metrics t)
+      ~cycle:(eff_cycle_args t plan)
+  in
+  let nargs = Array.length plan.Plan.args in
+  let roots =
+    Array.mapi
+      (fun i read ->
+        let cand =
+          if eff_reuse_arg t plan i then take_arg_cand t ~callsite ~nargs i
+          else Value.Null
+        in
+        read rctx r ~cand)
+      cp.cp_read_args
+  in
+  (* set the parameters up for the next RMI at this site *)
+  Array.iteri
+    (fun i root ->
+      if eff_reuse_arg t plan i then restore_arg_cand t ~callsite i root)
+    roots;
+  roots
+
+let marshal_ret t cp header ret =
+  let plan = cp.cp_plan in
+  let w = Msgbuf.create_writer ~initial_capacity:256 () in
+  match (cp.cp_write_ret, ret) with
+  | None, _ ->
+      Protocol.write_header w { header with Protocol.kind = Protocol.Ack };
+      w
+  | Some write, v ->
+      (* a void method under a value-bearing plan replies null *)
+      Protocol.write_header w { header with Protocol.kind = Protocol.Reply };
+      let wctx =
+        Codec.make_wctx ~defs:plan.Plan.defs t.meta (metrics t)
+          ~cycle:(eff_cycle_ret t plan)
+      in
+      write wctx w (Option.value v ~default:Value.Null);
+      w
+
+let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
+  let plan = cp.cp_plan in
+  match hdr.kind with
+  | Protocol.Ack -> None
+  | Protocol.Exn_reply -> raise (Remote_exception (Msgbuf.read_string r))
+  | Protocol.Reply -> (
+      match cp.cp_read_ret with
+      | None -> None
+      | Some read ->
+          let rctx =
+            Codec.make_rctx ~defs:plan.Plan.defs t.meta (metrics t)
+              ~cycle:(eff_cycle_ret t plan)
+          in
+          let cand =
+            if eff_reuse_ret t plan then take_ret_cand t ~callsite else Value.Null
+          in
+          let v = read rctx r ~cand in
+          if eff_reuse_ret t plan then restore_ret_cand t ~callsite v;
+          Some v)
+  | Protocol.Request -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let serve_request t (hdr : Protocol.header) r =
+  if hdr.method_id = shutdown_method then t.shutdown <- true
+  else begin
+    let exn_reply_now msg =
+      let w = Msgbuf.create_writer () in
+      Protocol.write_header w { hdr with Protocol.kind = Protocol.Exn_reply };
+      Msgbuf.write_string w msg;
+      Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:hdr.src (Msgbuf.contents w)
+    in
+    match find_handler t (hdr.target_obj, hdr.method_id) with
+    | None ->
+        exn_reply_now
+          (Printf.sprintf "machine %d has no (obj %d, method %d)" t.nid
+             hdr.target_obj hdr.method_id)
+    | Some entry ->
+    trace_event t
+      (Trace.Served
+         { machine = t.nid; src = hdr.src; meth = hdr.method_id;
+           callsite = hdr.callsite });
+    (* both sides derive the effective plan identically: the compiler
+       plan under site mode, the tag-carrying generic plan otherwise *)
+    let cp =
+      compiled_for t ~callsite:hdr.callsite ~nargs:hdr.nargs
+        ~has_ret:entry.has_ret
+    in
+    let exn_reply msg =
+      let w = Msgbuf.create_writer () in
+      Protocol.write_header w { hdr with Protocol.kind = Protocol.Exn_reply };
+      Msgbuf.write_string w msg;
+      w
+    in
+    let reply =
+      try
+        let args = unmarshal_args t cp ~callsite:hdr.callsite r in
+        let ret = entry.fn args in
+        marshal_ret t cp hdr ret
+      with
+      | Codec.Type_confusion msg | Failure msg | Remote_exception msg ->
+          exn_reply msg
+      | Msgbuf.Underflow msg ->
+          (* corrupt or truncated request payload: report it cleanly
+             instead of taking the serving machine down *)
+          exn_reply ("malformed request: " ^ msg)
+    in
+    Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:hdr.src (Msgbuf.contents reply)
+  end
+
+let dispatch t msg k =
+  match
+    let r = Msgbuf.reader_of_bytes msg in
+    let hdr = Protocol.read_header r in
+    (hdr, r)
+  with
+  | exception Msgbuf.Underflow _ ->
+      (* a message whose header cannot be parsed has no reply address:
+         drop it; a synchronous caller sees quiescence (Deadlock), a
+         parallel one its own timeout *)
+      k `Served
+  | hdr, r -> (
+      match hdr.kind with
+      | Protocol.Request ->
+          serve_request t hdr r;
+          k `Served
+      | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply -> k (`Reply (hdr, r)))
+
+let serve_pending t =
+  let rec go served =
+    match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+    | None -> served
+    | Some msg ->
+        dispatch t msg (function
+          | `Served -> ()
+          | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+        go true
+  in
+  go false
+
+let serve_loop t =
+  t.shutdown <- false;
+  while not t.shutdown do
+    let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
+    dispatch t msg (function
+      | `Served -> ()
+      | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r))
+  done
+
+let send_shutdown t ~dest =
+  let w = Msgbuf.create_writer () in
+  Protocol.write_header w
+    {
+      Protocol.kind = Protocol.Request;
+      src = t.nid;
+      seq = 0;
+      target_obj = 0;
+      method_id = shutdown_method;
+      callsite = -1;
+      nargs = 0;
+    };
+  Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest (Msgbuf.contents w)
+
+(* Await a reply for [seq], serving interleaved requests meanwhile —
+   the paper's GM-style progress while a data request is outstanding.
+   In synchronous mode the pump runs the other machines directly and a
+   quiescent cluster is an immediate deadlock; in parallel mode we
+   block on the mailbox until the reply (or a nested request) lands. *)
+let await_reply t seq =
+  let rec loop () =
+    match Hashtbl.find_opt t.stash seq with
+    | Some (hdr, r) ->
+        Hashtbl.remove t.stash seq;
+        (hdr, r)
+    | None -> (
+        match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+        | Some msg ->
+            dispatch t msg (function
+              | `Served -> ()
+              | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+            loop ()
+        | None ->
+            if t.has_pump then
+              if t.pump () then loop ()
+              else if Rmi_net.Cluster.pending_anywhere t.cluster then loop ()
+              else
+                raise
+                  (Deadlock
+                     (Printf.sprintf "machine %d: no reply for seq %d and the                                       cluster is quiescent" t.nid seq))
+            else begin
+              let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
+              dispatch t msg (function
+                | `Served -> ()
+                | `Reply (hdr, r) ->
+                    Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+              loop ()
+            end)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* calling                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let call t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
+  let call_started = Unix.gettimeofday () in
+  let finish result =
+    trace_event t
+      (Trace.Call_end
+         { machine = t.nid; callsite;
+           elapsed_us = (Unix.gettimeofday () -. call_started) *. 1e6 });
+    result
+  in
+  trace_event t
+    (Trace.Call_start
+       { machine = t.nid; dest = dest.Remote_ref.machine; meth; callsite;
+         local = dest.Remote_ref.machine = t.nid });
+  Log.debug (fun m ->
+      m "machine %d: call meth=%d site=%d -> machine %d" t.nid meth callsite
+        dest.Remote_ref.machine);
+  let nargs = Array.length args in
+  let cp = compiled_for t ~callsite ~nargs ~has_ret in
+  if Array.length cp.cp_plan.Plan.args <> nargs then
+    invalid_arg
+      (Printf.sprintf "Node.call: plan for site %d expects %d args, got %d"
+         callsite
+         (Array.length cp.cp_plan.Plan.args)
+         nargs);
+  t.seq <- t.seq + 1;
+  let header =
+    {
+      Protocol.kind = Protocol.Request;
+      src = t.nid;
+      seq = t.seq;
+      target_obj = dest.Remote_ref.obj;
+      method_id = meth;
+      callsite;
+      nargs;
+    }
+  in
+  if dest.Remote_ref.machine = t.nid then begin
+    (* same machine: clone through the serializer, skip the wire *)
+    Metrics.incr_local_rpcs (metrics t);
+    let w = marshal_args t cp header args in
+    let r = Msgbuf.reader_of_writer w in
+    let (_ : Protocol.header) = Protocol.read_header r in
+    let entry =
+      match find_handler t (dest.Remote_ref.obj, meth) with
+      | Some e -> e
+      | None ->
+          raise
+            (No_such_method
+               (Printf.sprintf "machine %d has no (obj %d, method %d)" t.nid
+                  dest.Remote_ref.obj meth))
+    in
+    let call_args = unmarshal_args t cp ~callsite r in
+    let ret = entry.fn call_args in
+    let wr = marshal_ret t cp header ret in
+    let rr = Msgbuf.reader_of_writer wr in
+    let rhdr = Protocol.read_header rr in
+    finish (unmarshal_ret t cp ~callsite rhdr rr)
+  end
+  else begin
+    Metrics.incr_remote_rpcs (metrics t);
+    let w = marshal_args t cp header args in
+    Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:dest.Remote_ref.machine
+      (Msgbuf.contents w);
+    let rhdr, r = await_reply t t.seq in
+    finish (unmarshal_ret t cp ~callsite rhdr r)
+  end

@@ -1,0 +1,74 @@
+(** One machine of the cluster: exported objects, the marshaling
+    engine, and the GM-style progress engine.
+
+    A [call] marshals the arguments according to the effective plan
+    (the compiler's call-site plan under [Site_specific], the generic
+    tag-carrying plan under [Class_specific]), ships the request, and
+    then {e polls}: while the reply is outstanding the machine serves
+    incoming requests — the paper's "poll the network ... while a
+    thread has a data-request outstanding", which also makes nested
+    RMIs (worker calling back into the master) deadlock-free.
+
+    Calls to objects on the {e same} machine still go through
+    serialize/deserialize (cloning preserves RMI parameter semantics)
+    but skip the wire and count as local RPCs.
+
+    Reuse caches live here: one per (call site, argument) on the
+    callee, one per call site for return values on the caller, with the
+    take-then-restore guard of Figure 13. *)
+
+type t
+
+type handler = Rmi_serial.Value.t array -> Rmi_serial.Value.t option
+
+exception Remote_exception of string
+exception No_such_method of string
+exception Deadlock of string
+
+val create :
+  Rmi_net.Cluster.t ->
+  id:int ->
+  meta:Rmi_serial.Class_meta.t ->
+  config:Config.t ->
+  plans:(int, Rmi_core.Plan.t) Hashtbl.t ->
+  t
+
+val id : t -> int
+val config : t -> Config.t
+
+(** In synchronous (single-thread) mode the fabric installs a pump that
+    serves other machines' queues; it returns whether it made
+    progress. *)
+val set_pump : t -> (unit -> bool) -> unit
+
+(** [export t ~obj ~meth ~has_ret handler] registers a remotely
+    invokable method.  [has_ret] must match the method's signature on
+    every machine. *)
+val export : t -> obj:int -> meth:int -> has_ret:bool -> handler -> unit
+
+(** [call t ~dest ~meth ~callsite ~has_ret args].
+    @raise Remote_exception when the remote handler raised
+    @raise Deadlock when no progress is possible for ~10 s *)
+val call :
+  t ->
+  dest:Remote_ref.t ->
+  meth:int ->
+  callsite:int ->
+  has_ret:bool ->
+  Rmi_serial.Value.t array ->
+  Rmi_serial.Value.t option
+
+(** Serve every queued request; [true] if at least one was served. *)
+val serve_pending : t -> bool
+
+(** Serve until a shutdown message arrives (worker-domain main loop). *)
+val serve_loop : t -> unit
+
+val send_shutdown : t -> dest:int -> unit
+
+(** Drop all reuse caches (between benchmark configurations). *)
+val reset_caches : t -> unit
+
+(** Attach a trace collector: every call this node makes (start/end
+    with latency) and every request it serves is recorded. *)
+val set_trace : t -> Trace.t -> unit

@@ -1,0 +1,30 @@
+type method_spec = { meth : int; has_ret : bool; handler : Node.handler }
+
+type t = {
+  fabric : Fabric.t;
+  mutable next_obj : int;
+  mutable rr : int;  (* round-robin cursor *)
+}
+
+let create fabric = { fabric; next_obj = 0; rr = 0 }
+
+let next_machine t = t.rr
+
+let new_remote_on t ~machine specs =
+  if machine < 0 || machine >= Fabric.size t.fabric then
+    invalid_arg (Printf.sprintf "Registry: bad machine %d" machine);
+  let obj = t.next_obj in
+  t.next_obj <- obj + 1;
+  let node = Fabric.node t.fabric machine in
+  List.iter
+    (fun { meth; has_ret; handler } ->
+      Node.export node ~obj ~meth ~has_ret handler)
+    specs;
+  Remote_ref.make ~machine ~obj
+
+let new_remote t specs =
+  let machine = t.rr in
+  t.rr <- (t.rr + 1) mod Fabric.size t.fabric;
+  new_remote_on t ~machine specs
+
+let exported t = t.next_obj

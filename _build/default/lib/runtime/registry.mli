@@ -1,0 +1,33 @@
+(** JavaParty-style remote object management.
+
+    In JavaParty "the underlying details of remote object placement
+    [and] remote thread allocation ... are hidden".  The registry hides
+    them here: it hands out cluster-unique object ids, places new
+    remote objects round-robin over the machines (JavaParty's default
+    distribution — the reason half of LU's and the webserver's RPCs are
+    local in Tables 4/8), and registers the method handlers on the
+    owning machine. *)
+
+type t
+
+type method_spec = {
+  meth : int;  (** method id (JIR method id for model-driven apps) *)
+  has_ret : bool;
+  handler : Node.handler;
+}
+
+val create : Fabric.t -> t
+
+(** Machine that the next [new_remote] will place on. *)
+val next_machine : t -> int
+
+(** [new_remote t methods] allocates a fresh object id, picks the next
+    machine round-robin, exports the handlers there, and returns the
+    remote reference. *)
+val new_remote : t -> method_spec list -> Remote_ref.t
+
+(** Like [new_remote] with explicit placement. *)
+val new_remote_on : t -> machine:int -> method_spec list -> Remote_ref.t
+
+(** Number of objects exported so far. *)
+val exported : t -> int

@@ -1,0 +1,5 @@
+type t = { machine : int; obj : int }
+
+let make ~machine ~obj = { machine; obj }
+let pp ppf t = Format.fprintf ppf "remote(m%d,o%d)" t.machine t.obj
+let equal a b = a.machine = b.machine && a.obj = b.obj

@@ -1,0 +1,8 @@
+(** A reference to an object exported on some machine of the cluster —
+    what a JavaParty [remote] instance handle compiles to. *)
+
+type t = { machine : int; obj : int }
+
+val make : machine:int -> obj:int -> t
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,106 @@
+type event =
+  | Call_start of { machine : int; dest : int; meth : int; callsite : int; local : bool }
+  | Call_end of { machine : int; callsite : int; elapsed_us : float }
+  | Served of { machine : int; src : int; meth : int; callsite : int }
+
+type entry = { seq : int; at_us : float; event : event }
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  started : float;
+  mutex : Mutex.t;
+}
+
+let create () =
+  { rev_entries = []; count = 0; started = Unix.gettimeofday (); mutex = Mutex.create () }
+
+let record t event =
+  let at_us = (Unix.gettimeofday () -. t.started) *. 1e6 in
+  Mutex.lock t.mutex;
+  t.rev_entries <- { seq = t.count; at_us; event } :: t.rev_entries;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let entries t =
+  Mutex.lock t.mutex;
+  let es = List.rev t.rev_entries in
+  Mutex.unlock t.mutex;
+  es
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.rev_entries <- [];
+  t.count <- 0;
+  Mutex.unlock t.mutex
+
+let pp_event ppf = function
+  | Call_start { machine; dest; meth; callsite; local } ->
+      Format.fprintf ppf "m%d -> m%d call meth=%d site=%d%s" machine dest meth
+        callsite
+        (if local then " (local)" else "")
+  | Call_end { machine; callsite; elapsed_us } ->
+      Format.fprintf ppf "m%d done site=%d (%.1f us)" machine callsite elapsed_us
+  | Served { machine; src; meth; callsite } ->
+      Format.fprintf ppf "m%d served meth=%d site=%d for m%d" machine meth
+        callsite src
+
+let render ?(limit = 200) t =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i e ->
+      if i < limit then
+        Buffer.add_string buf
+          (Format.asprintf "%8.1fus  %a\n" e.at_us pp_event e.event))
+    (entries t);
+  if length t > limit then
+    Buffer.add_string buf (Printf.sprintf "... (%d more events)\n" (length t - limit));
+  Buffer.contents buf
+
+let summary t =
+  (* per callsite: count + latency min/mean/max over Call_end events *)
+  let stats : (int, int ref * float ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun e ->
+      match e.event with
+      | Call_end { callsite; elapsed_us; _ } ->
+          let count, total, mn, mx =
+            match Hashtbl.find_opt stats callsite with
+            | Some s -> s
+            | None ->
+                let s = (ref 0, ref 0.0, ref infinity, ref 0.0) in
+                Hashtbl.add stats callsite s;
+                s
+          in
+          incr count;
+          total := !total +. elapsed_us;
+          if elapsed_us < !mn then mn := elapsed_us;
+          if elapsed_us > !mx then mx := elapsed_us
+      | Call_start _ | Served _ -> ())
+    (entries t);
+  let rows =
+    Hashtbl.fold
+      (fun callsite (count, total, mn, mx) acc ->
+        ( callsite,
+          [
+            string_of_int callsite;
+            string_of_int !count;
+            Printf.sprintf "%.1f" !mn;
+            Printf.sprintf "%.1f" (!total /. float_of_int !count);
+            Printf.sprintf "%.1f" !mx;
+          ] )
+        :: acc)
+      stats []
+    |> List.sort compare |> List.map snd
+  in
+  Rmi_stats.Ascii_table.render
+    ~headers:[ "callsite"; "calls"; "min us"; "mean us"; "max us" ]
+    rows

@@ -1,0 +1,41 @@
+(** RMI event tracing.
+
+    A trace collector can be attached to any {!Node} (usually to every
+    node of a fabric).  Each remote/local invocation records a start
+    and an end event with wall-clock timestamps, and each served
+    request records who asked for what.  Collectors are thread-safe, so
+    one trace can span all domains of a parallel run.
+
+    [summary] aggregates per call site: invocation count and latency
+    min/mean/max — the operational view of what the optimizer's
+    per-call-site specialization is doing. *)
+
+type event =
+  | Call_start of { machine : int; dest : int; meth : int; callsite : int; local : bool }
+  | Call_end of { machine : int; callsite : int; elapsed_us : float }
+  | Served of { machine : int; src : int; meth : int; callsite : int }
+
+type entry = {
+  seq : int;  (** global order of recording *)
+  at_us : float;  (** microseconds since the trace was created *)
+  event : event;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val entries : t -> entry list
+
+(** Number of recorded events. *)
+val length : t -> int
+
+val clear : t -> unit
+
+(** Chronological one-line-per-event rendering (for small traces). *)
+val render : ?limit:int -> t -> string
+
+(** Per-call-site aggregation: count, min/mean/max latency in µs. *)
+val summary : t -> string
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/serial/class_meta.ml: Array Jir List Msgbuf Printf Rmi_wire String Typedesc

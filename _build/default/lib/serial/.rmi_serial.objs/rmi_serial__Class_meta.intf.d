@@ -1,0 +1,1 @@
+lib/serial/class_meta.mli: Jir Rmi_wire

@@ -1,0 +1,1 @@
+lib/serial/codec.ml: Array Class_meta Handle_table Hashtbl Jir Msgbuf Printf Rmi_core Rmi_stats Rmi_wire String Typedesc Value

@@ -1,0 +1,1 @@
+lib/serial/codec.mli: Class_meta Rmi_core Rmi_stats Rmi_wire Value

@@ -1,0 +1,1 @@
+lib/serial/equality.ml: Array Float Format Hashtbl String Value

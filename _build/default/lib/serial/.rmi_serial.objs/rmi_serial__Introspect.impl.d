@@ -1,0 +1,1 @@
+lib/serial/introspect.ml: Array Class_meta Handle_table Hashtbl List Msgbuf Printf Rmi_stats Rmi_wire String Value

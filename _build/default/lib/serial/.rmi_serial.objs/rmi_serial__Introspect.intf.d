@@ -1,0 +1,1 @@
+lib/serial/introspect.mli: Class_meta Rmi_stats Rmi_wire Value

@@ -1,0 +1,1 @@
+lib/serial/value.ml: Array Atomic Format Hashtbl Jir String

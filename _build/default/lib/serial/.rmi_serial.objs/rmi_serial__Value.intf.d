@@ -1,0 +1,1 @@
+lib/serial/value.mli: Format Jir

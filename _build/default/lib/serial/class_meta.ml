@@ -1,0 +1,79 @@
+open Rmi_wire
+
+type field = { fname : string; fty : Jir.Types.ty }
+type cls = { cid : Jir.Types.class_id; cname : string; fields : field array }
+type t = { classes : cls array; registry : Typedesc.registry }
+
+let build classes =
+  let registry = Typedesc.create () in
+  Array.iter (fun c -> ignore (Typedesc.register registry c.cname)) classes;
+  { classes; registry }
+
+let of_program (p : Jir.Program.t) =
+  build
+    (Array.map
+       (fun (c : Jir.Program.class_decl) ->
+         let flat = Jir.Program.all_fields p c.cid in
+         {
+           cid = c.cid;
+           cname = c.cname;
+           fields = Array.map (fun (fname, fty) -> { fname; fty }) flat;
+         })
+       p.classes)
+
+let make specs =
+  build
+    (Array.of_list
+       (List.mapi
+          (fun cid (cname, fields) ->
+            {
+              cid;
+              cname;
+              fields =
+                Array.of_list
+                  (List.map (fun (fname, fty) -> { fname; fty }) fields);
+            })
+          specs))
+
+let cls t cid =
+  if cid < 0 || cid >= Array.length t.classes then
+    invalid_arg (Printf.sprintf "Class_meta.cls: bad class id %d" cid);
+  t.classes.(cid)
+
+let num_classes t = Array.length t.classes
+let find t name = Array.find_opt (fun c -> String.equal c.cname name) t.classes
+
+let wire_id t cid =
+  match Typedesc.id_of_name t.registry (cls t cid).cname with
+  | Some id -> id
+  | None -> assert false
+
+let of_wire_id t id =
+  match Typedesc.name_of_id t.registry id with
+  | Some name -> (
+      match find t name with Some c -> c | None -> assert false)
+  | None ->
+      raise (Msgbuf.Underflow (Printf.sprintf "unknown wire type id %d" id))
+
+let rec write_ty t w = function
+  | Jir.Types.Tbool -> Msgbuf.write_u8 w 0
+  | Jir.Types.Tint -> Msgbuf.write_u8 w 1
+  | Jir.Types.Tdouble -> Msgbuf.write_u8 w 2
+  | Jir.Types.Tstring -> Msgbuf.write_u8 w 3
+  | Jir.Types.Tobject cid ->
+      Msgbuf.write_u8 w 4;
+      Msgbuf.write_uvarint w (wire_id t cid)
+  | Jir.Types.Tarray elem ->
+      Msgbuf.write_u8 w 5;
+      write_ty t w elem
+  | Jir.Types.Tvoid -> invalid_arg "Class_meta.write_ty: void"
+
+let rec read_ty t r =
+  match Msgbuf.read_u8 r with
+  | 0 -> Jir.Types.Tbool
+  | 1 -> Jir.Types.Tint
+  | 2 -> Jir.Types.Tdouble
+  | 3 -> Jir.Types.Tstring
+  | 4 -> Jir.Types.Tobject (of_wire_id t (Msgbuf.read_uvarint r)).cid
+  | 5 -> Jir.Types.Tarray (read_ty t r)
+  | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad type code %d" n))

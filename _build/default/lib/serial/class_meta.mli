@@ -1,0 +1,38 @@
+(** Runtime class metadata.
+
+    The runtime needs, per class, its flat field layout (names and
+    types, inherited fields first) and a compact wire type id.  Class
+    ids equal JIR class ids so the compiler's plans index directly into
+    this table; both cluster sides build it deterministically from the
+    same source, so wire ids agree without a handshake. *)
+
+type field = { fname : string; fty : Jir.Types.ty }
+
+type cls = {
+  cid : Jir.Types.class_id;
+  cname : string;
+  fields : field array;  (** flat layout: inherited first *)
+}
+
+type t
+
+(** Derive the table (and wire-id registry) from a JIR program. *)
+val of_program : Jir.Program.t -> t
+
+(** Build a table by hand: [(name, flat fields)] in class-id order. *)
+val make : (string * (string * Jir.Types.ty) list) list -> t
+
+val cls : t -> Jir.Types.class_id -> cls
+val num_classes : t -> int
+val find : t -> string -> cls option
+
+(** Wire type id of a class (equals its registration order). *)
+val wire_id : t -> Jir.Types.class_id -> Rmi_wire.Typedesc.type_id
+
+val of_wire_id : t -> Rmi_wire.Typedesc.type_id -> cls
+
+(** Compact recursive encoding of an element/field type, used by the
+    dynamic serializer for arrays of references. *)
+val write_ty : t -> Rmi_wire.Msgbuf.writer -> Jir.Types.ty -> unit
+
+val read_ty : t -> Rmi_wire.Msgbuf.reader -> Jir.Types.ty

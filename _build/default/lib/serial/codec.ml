@@ -1,0 +1,683 @@
+open Rmi_wire
+module Metrics = Rmi_stats.Metrics
+module Plan = Rmi_core.Plan
+
+exception Type_confusion of string
+
+type wctx = {
+  wmeta : Class_meta.t;
+  wmetrics : Metrics.t;
+  wcycle : int Handle_table.t option;  (* object identity -> wire handle *)
+  wdefs : Plan.step array;  (* S_ref definitions *)
+}
+
+type rctx = {
+  rmeta : Class_meta.t;
+  rmetrics : Metrics.t;
+  rcycle : bool;
+  rdefs : Plan.step array;
+  mutable handles : Value.t array;
+  mutable nhandles : int;
+}
+
+let make_wctx ?(defs = [||]) wmeta wmetrics ~cycle =
+  {
+    wmeta;
+    wmetrics;
+    wcycle = (if cycle then Some (Handle_table.create ~metrics:wmetrics ()) else None);
+    wdefs = defs;
+  }
+
+let make_rctx ?(defs = [||]) rmeta rmetrics ~cycle =
+  {
+    rmeta;
+    rmetrics;
+    rcycle = cycle;
+    rdefs = defs;
+    handles = Array.make 16 Value.Null;
+    nhandles = 0;
+  }
+
+let register_handle rctx v =
+  if rctx.rcycle then begin
+    if rctx.nhandles >= Array.length rctx.handles then begin
+      let fresh = Array.make (2 * Array.length rctx.handles) Value.Null in
+      Array.blit rctx.handles 0 fresh 0 rctx.nhandles;
+      rctx.handles <- fresh
+    end;
+    rctx.handles.(rctx.nhandles) <- v;
+    rctx.nhandles <- rctx.nhandles + 1;
+    (* the deserializer pays hash/handle maintenance too *)
+    Metrics.add_cycle_lookups rctx.rmetrics 1
+  end
+
+let handle_value rctx idx =
+  if idx < 0 || idx >= rctx.nhandles then
+    raise (Msgbuf.Underflow (Printf.sprintf "bad handle %d" idx));
+  Metrics.add_cycle_lookups rctx.rmetrics 1;
+  rctx.handles.(idx)
+
+(* account a fresh allocation made by deserialization *)
+let charge_alloc rctx v =
+  Metrics.incr_allocs rctx.rmetrics;
+  Metrics.add_new_bytes rctx.rmetrics
+    (match v with
+    | Value.Str s -> 16 + String.length s
+    | Value.Obj o -> 16 + (8 * Array.length o.fields)
+    | Value.Darr a -> 16 + (8 * Array.length a.d)
+    | Value.Iarr a -> 16 + (8 * Array.length a.ia)
+    | Value.Rarr a -> 16 + (8 * Array.length a.ra)
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Double _ -> 0)
+
+let charge_reuse rctx = Metrics.add_reused_objs rctx.rmetrics 1
+
+(* Reject corrupt/hostile lengths before allocating: every element
+   needs at least [unit] bytes of payload still in the buffer.  Plans
+   can legitimately encode elements in zero bytes (statically-null
+   element steps), in which case only an absolute cap applies. *)
+let max_zero_width_len = 1 lsl 24
+
+let checked_len r n ~unit what =
+  let bad =
+    n < 0
+    ||
+    if unit = 0 then n > max_zero_width_len
+    else n > Msgbuf.remaining r / unit (* division avoids overflow *)
+  in
+  if bad then raise (Msgbuf.Underflow (Printf.sprintf "%s: bad length %d" what n));
+  n
+
+(* minimum wire bytes one element of this step occupies *)
+let step_min_width : Plan.step -> int = function
+  | Plan.S_null -> 0
+  | Plan.S_ref _ -> 1 (* a marker byte at least *)
+  | Plan.S_bool | Plan.S_string | Plan.S_obj _ | Plan.S_double_array
+  | Plan.S_int_array | Plan.S_obj_array _ | Plan.S_dyn | Plan.S_int ->
+      1
+  | Plan.S_double -> 8
+
+let charge_tag wctx n = Metrics.add_type_bytes wctx.wmetrics n
+
+(* serializer-side cycle check: Some handle if already sent *)
+let check_seen wctx v =
+  match (wctx.wcycle, Value.identity v) with
+  | Some table, Some id -> (
+      match Handle_table.lookup table id with
+      | Some h -> Some h
+      | None ->
+          Handle_table.add table id (Handle_table.next_handle table);
+          None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* dynamic (class-specific) serializer                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_dyn wctx w (v : Value.t) =
+  match v with
+  | Value.Null -> charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_null)
+  | Value.Bool b ->
+      charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_bool);
+      Msgbuf.write_bool w b
+  | Value.Int i ->
+      charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_int);
+      Msgbuf.write_varint w i
+  | Value.Double f ->
+      charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_double);
+      Msgbuf.write_double w f
+  | Value.Str s ->
+      charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_string);
+      Msgbuf.write_string w s
+  | Value.Obj o -> (
+      match check_seen wctx v with
+      | Some h ->
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_handle);
+          Msgbuf.write_uvarint w h
+      | None ->
+          (* one dynamic call into the per-class serializer *)
+          Metrics.incr_ser_invocations wctx.wmetrics;
+          charge_tag wctx
+            (Typedesc.write_tag w
+               (Typedesc.Tag_object (Class_meta.wire_id wctx.wmeta o.cls)));
+          Array.iter (write_dyn wctx w) o.fields)
+  | Value.Darr a -> (
+      match check_seen wctx v with
+      | Some h ->
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_handle);
+          Msgbuf.write_uvarint w h
+      | None ->
+          Metrics.incr_ser_invocations wctx.wmetrics;
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_double_array);
+          Msgbuf.write_uvarint w (Array.length a.d);
+          Msgbuf.write_double_slice w a.d 0 (Array.length a.d))
+  | Value.Iarr a -> (
+      match check_seen wctx v with
+      | Some h ->
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_handle);
+          Msgbuf.write_uvarint w h
+      | None ->
+          Metrics.incr_ser_invocations wctx.wmetrics;
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_int_array);
+          Msgbuf.write_uvarint w (Array.length a.ia);
+          Msgbuf.write_int_slice w a.ia 0 (Array.length a.ia))
+  | Value.Rarr a -> (
+      match check_seen wctx v with
+      | Some h ->
+          charge_tag wctx (Typedesc.write_tag w Typedesc.Tag_handle);
+          Msgbuf.write_uvarint w h
+      | None ->
+          Metrics.incr_ser_invocations wctx.wmetrics;
+          let before = Msgbuf.length w in
+          ignore (Typedesc.write_tag w (Typedesc.Tag_obj_array 0));
+          Class_meta.write_ty wctx.wmeta w a.relem;
+          charge_tag wctx (Msgbuf.length w - before);
+          Msgbuf.write_uvarint w (Array.length a.ra);
+          Array.iter (write_dyn wctx w) a.ra)
+
+let rec read_dyn rctx r ~(cand : Value.t) : Value.t =
+  match Typedesc.read_tag r with
+  | Typedesc.Tag_null -> Value.Null
+  | Typedesc.Tag_bool -> Value.Bool (Msgbuf.read_bool r)
+  | Typedesc.Tag_int -> Value.Int (Msgbuf.read_varint r)
+  | Typedesc.Tag_double -> Value.Double (Msgbuf.read_double r)
+  | Typedesc.Tag_string ->
+      let v = Value.Str (Msgbuf.read_string r) in
+      charge_alloc rctx v;
+      v
+  | Typedesc.Tag_handle -> handle_value rctx (Msgbuf.read_uvarint r)
+  | Typedesc.Tag_object wire_id ->
+      let cls = (Class_meta.of_wire_id rctx.rmeta wire_id).Class_meta.cid in
+      let nfields =
+        Array.length (Class_meta.cls rctx.rmeta cls).Class_meta.fields
+      in
+      let target, cand_fields =
+        match cand with
+        | Value.Obj o when o.cls = cls && Array.length o.fields = nfields ->
+            charge_reuse rctx;
+            (o, Some (Array.copy o.fields))
+        | _ ->
+            let o = Value.new_obj ~cls ~nfields in
+            charge_alloc rctx (Value.Obj o);
+            (o, None)
+      in
+      register_handle rctx (Value.Obj target);
+      for i = 0 to nfields - 1 do
+        let fc = match cand_fields with Some c -> c.(i) | None -> Value.Null in
+        target.fields.(i) <- read_dyn rctx r ~cand:fc
+      done;
+      Value.Obj target
+  | Typedesc.Tag_double_array ->
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:8 "double[]" in
+      let target =
+        match cand with
+        | Value.Darr a when Array.length a.d = n ->
+            charge_reuse rctx;
+            a
+        | _ ->
+            let a = Value.new_darr n in
+            charge_alloc rctx (Value.Darr a);
+            a
+      in
+      register_handle rctx (Value.Darr target);
+      Msgbuf.read_double_slice r target.d 0 n;
+      Value.Darr target
+  | Typedesc.Tag_int_array ->
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "int[]" in
+      let target =
+        match cand with
+        | Value.Iarr a when Array.length a.ia = n ->
+            charge_reuse rctx;
+            a
+        | _ ->
+            let a = Value.new_iarr n in
+            charge_alloc rctx (Value.Iarr a);
+            a
+      in
+      register_handle rctx (Value.Iarr target);
+      Msgbuf.read_int_slice r target.ia 0 n;
+      Value.Iarr target
+  | Typedesc.Tag_obj_array _ ->
+      let relem = Class_meta.read_ty rctx.rmeta r in
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "object[]" in
+      let target, cand_elems =
+        match cand with
+        | Value.Rarr a
+          when Array.length a.ra = n && Jir.Types.equal_ty a.relem relem ->
+            charge_reuse rctx;
+            (a, Some (Array.copy a.ra))
+        | _ ->
+            let a = Value.new_rarr relem n in
+            charge_alloc rctx (Value.Rarr a);
+            (a, None)
+      in
+      register_handle rctx (Value.Rarr target);
+      for i = 0 to n - 1 do
+        let ec = match cand_elems with Some c -> c.(i) | None -> Value.Null in
+        target.ra.(i) <- read_dyn rctx r ~cand:ec
+      done;
+      Value.Rarr target
+
+(* ------------------------------------------------------------------ *)
+(* plan-driven (call-site specific) serializer                         *)
+(* ------------------------------------------------------------------ *)
+
+(* reference markers for inlined steps: no type information, just
+   presence — and a handle when the cycle table is active *)
+let m_null = 0
+let m_inline = 1
+let m_handle = 2
+
+let confusion what v =
+  raise
+    (Type_confusion
+       (Printf.sprintf "%s: got %s" what
+          (match v with
+          | Value.Null -> "null"
+          | Value.Bool _ -> "bool"
+          | Value.Int _ -> "int"
+          | Value.Double _ -> "double"
+          | Value.Str _ -> "string"
+          | Value.Obj o -> Printf.sprintf "object(cls %d)" o.cls
+          | Value.Darr _ -> "double[]"
+          | Value.Iarr _ -> "int[]"
+          | Value.Rarr _ -> "object[]")))
+
+(* write the 0/1/2 marker; returns true when the body must follow *)
+let write_ref_marker wctx w v =
+  match v with
+  | Value.Null ->
+      Msgbuf.write_u8 w m_null;
+      false
+  | _ -> (
+      match check_seen wctx v with
+      | Some h ->
+          Msgbuf.write_u8 w m_handle;
+          Msgbuf.write_uvarint w h;
+          false
+      | None ->
+          Msgbuf.write_u8 w m_inline;
+          true)
+
+let rec write_step wctx w (step : Plan.step) (v : Value.t) =
+  match (step, v) with
+  | Plan.S_bool, Value.Bool b -> Msgbuf.write_bool w b
+  | Plan.S_int, Value.Int i -> Msgbuf.write_varint w i
+  | Plan.S_double, Value.Double f -> Msgbuf.write_double w f
+  | Plan.S_string, Value.Null -> Msgbuf.write_u8 w m_null
+  | Plan.S_string, Value.Str s ->
+      Msgbuf.write_u8 w m_inline;
+      Msgbuf.write_string w s
+  | Plan.S_null, Value.Null -> ()
+  | Plan.S_dyn, v -> write_dyn wctx w v
+  | Plan.S_ref d, v -> write_step wctx w wctx.wdefs.(d) v
+  | Plan.S_obj { cls; fields }, v ->
+      if write_ref_marker wctx w v then begin
+        match v with
+        | Value.Obj o when o.cls = cls ->
+            Array.iteri (fun i s -> write_step wctx w s o.fields.(i)) fields
+        | _ -> confusion (Printf.sprintf "S_obj(cls %d)" cls) v
+      end
+  | Plan.S_double_array, v ->
+      if write_ref_marker wctx w v then begin
+        match v with
+        | Value.Darr a ->
+            Msgbuf.write_uvarint w (Array.length a.d);
+            Msgbuf.write_double_slice w a.d 0 (Array.length a.d)
+        | _ -> confusion "S_double_array" v
+      end
+  | Plan.S_int_array, v ->
+      if write_ref_marker wctx w v then begin
+        match v with
+        | Value.Iarr a ->
+            Msgbuf.write_uvarint w (Array.length a.ia);
+            Msgbuf.write_int_slice w a.ia 0 (Array.length a.ia)
+        | _ -> confusion "S_int_array" v
+      end
+  | Plan.S_obj_array { elem }, v ->
+      if write_ref_marker wctx w v then begin
+        match v with
+        | Value.Rarr a ->
+            Msgbuf.write_uvarint w (Array.length a.ra);
+            Array.iter (write_step wctx w elem) a.ra
+        | _ -> confusion "S_obj_array" v
+      end
+  | (Plan.S_bool | Plan.S_int | Plan.S_double | Plan.S_null | Plan.S_string), v
+    ->
+      confusion "primitive step" v
+
+(* best-effort static element type of a step, for fresh array allocation *)
+let rec ty_of_step : Plan.step -> Jir.Types.ty = function
+  | Plan.S_bool -> Jir.Types.Tbool
+  | Plan.S_int -> Jir.Types.Tint
+  | Plan.S_double -> Jir.Types.Tdouble
+  | Plan.S_string -> Jir.Types.Tstring
+  | Plan.S_obj { cls; _ } -> Jir.Types.Tobject cls
+  | Plan.S_double_array -> Jir.Types.Tarray Jir.Types.Tdouble
+  | Plan.S_int_array -> Jir.Types.Tarray Jir.Types.Tint
+  | Plan.S_obj_array { elem } -> Jir.Types.Tarray (ty_of_step elem)
+  | Plan.S_null | Plan.S_dyn | Plan.S_ref _ -> Jir.Types.Tvoid
+
+let read_ref_marker rctx r =
+  match Msgbuf.read_u8 r with
+  | 0 -> `Null
+  | 1 -> `Inline
+  | 2 -> `Handle (handle_value rctx (Msgbuf.read_uvarint r))
+  | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad ref marker %d" n))
+
+let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
+  match step with
+  | Plan.S_bool -> Value.Bool (Msgbuf.read_bool r)
+  | Plan.S_int -> Value.Int (Msgbuf.read_varint r)
+  | Plan.S_double -> Value.Double (Msgbuf.read_double r)
+  | Plan.S_string -> (
+      match Msgbuf.read_u8 r with
+      | 0 -> Value.Null
+      | 1 ->
+          let v = Value.Str (Msgbuf.read_string r) in
+          charge_alloc rctx v;
+          v
+      | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad string marker %d" n)))
+  | Plan.S_null -> Value.Null
+  | Plan.S_dyn -> read_dyn rctx r ~cand
+  | Plan.S_ref d -> read_step rctx r rctx.rdefs.(d) ~cand
+  | Plan.S_obj { cls; fields } -> (
+      match read_ref_marker rctx r with
+      | `Null -> Value.Null
+      | `Handle v -> v
+      | `Inline ->
+          let nfields = Array.length fields in
+          let target, cand_fields =
+            match cand with
+            | Value.Obj o when o.cls = cls && Array.length o.fields = nfields ->
+                charge_reuse rctx;
+                (o, Some (Array.copy o.fields))
+            | _ ->
+                let o = Value.new_obj ~cls ~nfields in
+                charge_alloc rctx (Value.Obj o);
+                (o, None)
+          in
+          register_handle rctx (Value.Obj target);
+          Array.iteri
+            (fun i s ->
+              let fc =
+                match cand_fields with Some c -> c.(i) | None -> Value.Null
+              in
+              target.fields.(i) <- read_step rctx r s ~cand:fc)
+            fields;
+          Value.Obj target)
+  | Plan.S_double_array -> (
+      match read_ref_marker rctx r with
+      | `Null -> Value.Null
+      | `Handle v -> v
+      | `Inline ->
+          let n = checked_len r (Msgbuf.read_uvarint r) ~unit:8 "double[]" in
+          let target =
+            match cand with
+            | Value.Darr a when Array.length a.d = n ->
+                charge_reuse rctx;
+                a
+            | _ ->
+                let a = Value.new_darr n in
+                charge_alloc rctx (Value.Darr a);
+                a
+          in
+          register_handle rctx (Value.Darr target);
+          Msgbuf.read_double_slice r target.d 0 n;
+          Value.Darr target)
+  | Plan.S_int_array -> (
+      match read_ref_marker rctx r with
+      | `Null -> Value.Null
+      | `Handle v -> v
+      | `Inline ->
+          let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "int[]" in
+          let target =
+            match cand with
+            | Value.Iarr a when Array.length a.ia = n ->
+                charge_reuse rctx;
+                a
+            | _ ->
+                let a = Value.new_iarr n in
+                charge_alloc rctx (Value.Iarr a);
+                a
+          in
+          register_handle rctx (Value.Iarr target);
+          Msgbuf.read_int_slice r target.ia 0 n;
+          Value.Iarr target)
+  | Plan.S_obj_array { elem } -> (
+      match read_ref_marker rctx r with
+      | `Null -> Value.Null
+      | `Handle v -> v
+      | `Inline ->
+          let n =
+            checked_len r (Msgbuf.read_uvarint r) ~unit:(step_min_width elem)
+              "object[]"
+          in
+          let target, cand_elems =
+            match cand with
+            | Value.Rarr a when Array.length a.ra = n ->
+                charge_reuse rctx;
+                (a, Some (Array.copy a.ra))
+            | _ ->
+                let a = Value.new_rarr (ty_of_step elem) n in
+                charge_alloc rctx (Value.Rarr a);
+                (a, None)
+          in
+          register_handle rctx (Value.Rarr target);
+          for i = 0 to n - 1 do
+            let ec =
+              match cand_elems with Some c -> c.(i) | None -> Value.Null
+            in
+            target.ra.(i) <- read_step rctx r elem ~cand:ec
+          done;
+          Value.Rarr target)
+
+(* ------------------------------------------------------------------ *)
+(* compiled plans: partial evaluation of the step tree into closures   *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_write_in cache ~defs (step : Plan.step) :
+    wctx -> Msgbuf.writer -> Value.t -> unit =
+  match step with
+  | Plan.S_bool -> (
+      fun _ w v ->
+        match v with
+        | Value.Bool b -> Msgbuf.write_bool w b
+        | v -> confusion "S_bool" v)
+  | Plan.S_int -> (
+      fun _ w v ->
+        match v with
+        | Value.Int i -> Msgbuf.write_varint w i
+        | v -> confusion "S_int" v)
+  | Plan.S_double -> (
+      fun _ w v ->
+        match v with
+        | Value.Double f -> Msgbuf.write_double w f
+        | v -> confusion "S_double" v)
+  | Plan.S_string -> (
+      fun _ w v ->
+        match v with
+        | Value.Null -> Msgbuf.write_u8 w m_null
+        | Value.Str s ->
+            Msgbuf.write_u8 w m_inline;
+            Msgbuf.write_string w s
+        | v -> confusion "S_string" v)
+  | Plan.S_null -> (
+      fun _ _ v -> match v with Value.Null -> () | v -> confusion "S_null" v)
+  | Plan.S_dyn -> fun wctx w v -> write_dyn wctx w v
+  | Plan.S_ref d -> (
+      match Hashtbl.find_opt cache d with
+      | Some cell -> fun wctx w v -> !cell wctx w v
+      | None ->
+          let cell = ref (fun _ _ _ -> assert false) in
+          Hashtbl.add cache d cell;
+          let compiled = compile_write_in cache ~defs defs.(d) in
+          cell := compiled;
+          fun wctx w v -> !cell wctx w v)
+  | Plan.S_obj { cls; fields } ->
+      let compiled_fields =
+        Array.map (compile_write_in cache ~defs) fields
+      in
+      let nfields = Array.length compiled_fields in
+      fun wctx w v ->
+        if write_ref_marker wctx w v then begin
+          match v with
+          | Value.Obj o when o.cls = cls && Array.length o.fields = nfields ->
+              for i = 0 to nfields - 1 do
+                compiled_fields.(i) wctx w o.fields.(i)
+              done
+          | v -> confusion (Printf.sprintf "S_obj(cls %d)" cls) v
+        end
+  | Plan.S_double_array -> (
+      fun wctx w v ->
+        if write_ref_marker wctx w v then
+          match v with
+          | Value.Darr a ->
+              Msgbuf.write_uvarint w (Array.length a.d);
+              Msgbuf.write_double_slice w a.d 0 (Array.length a.d)
+          | v -> confusion "S_double_array" v)
+  | Plan.S_int_array -> (
+      fun wctx w v ->
+        if write_ref_marker wctx w v then
+          match v with
+          | Value.Iarr a ->
+              Msgbuf.write_uvarint w (Array.length a.ia);
+              Msgbuf.write_int_slice w a.ia 0 (Array.length a.ia)
+          | v -> confusion "S_int_array" v)
+  | Plan.S_obj_array { elem } ->
+      let compiled_elem = compile_write_in cache ~defs elem in
+      fun wctx w v ->
+        if write_ref_marker wctx w v then begin
+          match v with
+          | Value.Rarr a ->
+              Msgbuf.write_uvarint w (Array.length a.ra);
+              Array.iter (compiled_elem wctx w) a.ra
+          | v -> confusion "S_obj_array" v
+        end
+
+let compile_write ~defs step = compile_write_in (Hashtbl.create 4) ~defs step
+
+let rec compile_read_in cache ~defs (step : Plan.step) :
+    rctx -> Msgbuf.reader -> cand:Value.t -> Value.t =
+  match step with
+  | Plan.S_bool -> fun _ r ~cand:_ -> Value.Bool (Msgbuf.read_bool r)
+  | Plan.S_int -> fun _ r ~cand:_ -> Value.Int (Msgbuf.read_varint r)
+  | Plan.S_double -> fun _ r ~cand:_ -> Value.Double (Msgbuf.read_double r)
+  | Plan.S_string -> (
+      fun rctx r ~cand:_ ->
+        match Msgbuf.read_u8 r with
+        | 0 -> Value.Null
+        | 1 ->
+            let v = Value.Str (Msgbuf.read_string r) in
+            charge_alloc rctx v;
+            v
+        | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad string marker %d" n)))
+  | Plan.S_null -> fun _ _ ~cand:_ -> Value.Null
+  | Plan.S_dyn -> fun rctx r ~cand -> read_dyn rctx r ~cand
+  | Plan.S_ref d -> (
+      match Hashtbl.find_opt cache d with
+      | Some cell -> fun rctx r ~cand -> !cell rctx r ~cand
+      | None ->
+          let cell = ref (fun _ _ ~cand:_ -> assert false) in
+          Hashtbl.add cache d cell;
+          let compiled = compile_read_in cache ~defs defs.(d) in
+          cell := compiled;
+          fun rctx r ~cand -> !cell rctx r ~cand)
+  | Plan.S_obj { cls; fields } ->
+      let compiled_fields = Array.map (compile_read_in cache ~defs) fields in
+      let nfields = Array.length compiled_fields in
+      fun rctx r ~cand -> (
+        match read_ref_marker rctx r with
+        | `Null -> Value.Null
+        | `Handle v -> v
+        | `Inline ->
+            let target, cand_fields =
+              match cand with
+              | Value.Obj o when o.cls = cls && Array.length o.fields = nfields
+                ->
+                  charge_reuse rctx;
+                  (o, Some (Array.copy o.fields))
+              | _ ->
+                  let o = Value.new_obj ~cls ~nfields in
+                  charge_alloc rctx (Value.Obj o);
+                  (o, None)
+            in
+            register_handle rctx (Value.Obj target);
+            for i = 0 to nfields - 1 do
+              let fc =
+                match cand_fields with Some c -> c.(i) | None -> Value.Null
+              in
+              target.fields.(i) <- compiled_fields.(i) rctx r ~cand:fc
+            done;
+            Value.Obj target)
+  | Plan.S_double_array -> (
+      fun rctx r ~cand ->
+        match read_ref_marker rctx r with
+        | `Null -> Value.Null
+        | `Handle v -> v
+        | `Inline ->
+            let n = checked_len r (Msgbuf.read_uvarint r) ~unit:8 "double[]" in
+            let target =
+              match cand with
+              | Value.Darr a when Array.length a.d = n ->
+                  charge_reuse rctx;
+                  a
+              | _ ->
+                  let a = Value.new_darr n in
+                  charge_alloc rctx (Value.Darr a);
+                  a
+            in
+            register_handle rctx (Value.Darr target);
+            Msgbuf.read_double_slice r target.d 0 n;
+            Value.Darr target)
+  | Plan.S_int_array -> (
+      fun rctx r ~cand ->
+        match read_ref_marker rctx r with
+        | `Null -> Value.Null
+        | `Handle v -> v
+        | `Inline ->
+            let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "int[]" in
+            let target =
+              match cand with
+              | Value.Iarr a when Array.length a.ia = n ->
+                  charge_reuse rctx;
+                  a
+              | _ ->
+                  let a = Value.new_iarr n in
+                  charge_alloc rctx (Value.Iarr a);
+                  a
+            in
+            register_handle rctx (Value.Iarr target);
+            Msgbuf.read_int_slice r target.ia 0 n;
+            Value.Iarr target)
+  | Plan.S_obj_array { elem } ->
+      let compiled_elem = compile_read_in cache ~defs elem in
+      let elem_ty = ty_of_step elem in
+      fun rctx r ~cand -> (
+        match read_ref_marker rctx r with
+        | `Null -> Value.Null
+        | `Handle v -> v
+        | `Inline ->
+            let n =
+              checked_len r (Msgbuf.read_uvarint r) ~unit:(step_min_width elem)
+                "object[]"
+            in
+            let target, cand_elems =
+              match cand with
+              | Value.Rarr a when Array.length a.ra = n ->
+                  charge_reuse rctx;
+                  (a, Some (Array.copy a.ra))
+              | _ ->
+                  let a = Value.new_rarr elem_ty n in
+                  charge_alloc rctx (Value.Rarr a);
+                  (a, None)
+            in
+            register_handle rctx (Value.Rarr target);
+            for i = 0 to n - 1 do
+              let ec =
+                match cand_elems with Some c -> c.(i) | None -> Value.Null
+              in
+              target.ra.(i) <- compiled_elem rctx r ~cand:ec
+            done;
+            Value.Rarr target)
+
+let compile_read ~defs step = compile_read_in (Hashtbl.create 4) ~defs step

@@ -1,0 +1,74 @@
+(** Serialization engine.
+
+    One module covers the paper's two serializer families:
+
+    - {b dynamic} ([write_dyn]/[read_dyn]): the per-class generated
+      serializers of KaRMI/Manta ("class" in the tables).  Every heap
+      value is preceded by a compact wire type tag, every (de)serializer
+      entry counts as a dynamic invocation, and the cycle handle-table
+      is consulted per reference when enabled.
+    - {b plan-driven} ([write_step]/[read_step]): the call-site
+      specialized marshalers ("site").  Steps proven by the compiler
+      are inlined — no type tags, no dispatch accounting; only
+      {!Rmi_core.Plan.S_dyn} positions fall back to the dynamic path.
+
+    Writer and reader contexts agree on whether a cycle table is in
+    use; the marshaling engine derives that flag identically on both
+    sides from the plan and the optimization configuration.
+
+    Reading takes a {e reuse candidate} — the object graph deserialized
+    by the previous call at this site.  Where the candidate's shape
+    matches the incoming data it is overwritten in place (counted as
+    reused objects); everywhere else fresh allocations are counted with
+    their byte sizes, feeding the paper's "new MBytes" statistic. *)
+
+exception Type_confusion of string
+(** An inlined plan step met a value of a different class — i.e. the
+    static analysis promised a shape the runtime did not deliver. *)
+
+type wctx
+type rctx
+
+(** [wctx ~cycle] allocates the cycle handle-table iff [cycle].
+    [defs] is the plan's recursive-step definition table (needed when
+    the steps contain {!Rmi_core.Plan.S_ref}). *)
+val make_wctx :
+  ?defs:Rmi_core.Plan.step array ->
+  Class_meta.t -> Rmi_stats.Metrics.t -> cycle:bool -> wctx
+
+val make_rctx :
+  ?defs:Rmi_core.Plan.step array ->
+  Class_meta.t -> Rmi_stats.Metrics.t -> cycle:bool -> rctx
+
+(** {1 Dynamic (class-specific) serializers} *)
+
+val write_dyn : wctx -> Rmi_wire.Msgbuf.writer -> Value.t -> unit
+
+(** [read_dyn rctx r ~cand] deserializes, recycling [cand] where
+    possible ([Null] = no candidate). *)
+val read_dyn : rctx -> Rmi_wire.Msgbuf.reader -> cand:Value.t -> Value.t
+
+(** {1 Plan-driven (call-site specific) serializers} *)
+
+val write_step : wctx -> Rmi_wire.Msgbuf.writer -> Rmi_core.Plan.step -> Value.t -> unit
+val read_step :
+  rctx -> Rmi_wire.Msgbuf.reader -> Rmi_core.Plan.step -> cand:Value.t -> Value.t
+
+(** {1 Compiled plans}
+
+    [compile_write]/[compile_read] partially evaluate a step tree into
+    nested closures once — the runtime analogue of the paper's
+    generated marshaler code (and of the partial-evaluation approach it
+    cites): per call no step-tree interpretation remains, only direct
+    calls.  Semantics are identical to {!write_step}/{!read_step}
+    (checked by a differential property test). *)
+
+val compile_write :
+  defs:Rmi_core.Plan.step array ->
+  Rmi_core.Plan.step ->
+  wctx -> Rmi_wire.Msgbuf.writer -> Value.t -> unit
+
+val compile_read :
+  defs:Rmi_core.Plan.step array ->
+  Rmi_core.Plan.step ->
+  rctx -> Rmi_wire.Msgbuf.reader -> cand:Value.t -> Value.t

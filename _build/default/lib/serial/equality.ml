@@ -1,0 +1,50 @@
+let equal a b =
+  let assumed = Hashtbl.create 32 in
+  let rec go (a : Value.t) (b : Value.t) =
+    match (a, b) with
+    | Value.Null, Value.Null -> true
+    | Value.Bool x, Value.Bool y -> x = y
+    | Value.Int x, Value.Int y -> x = y
+    | Value.Double x, Value.Double y -> Float.equal x y
+    | Value.Str x, Value.Str y -> String.equal x y
+    | Value.Obj x, Value.Obj y ->
+        x.cls = y.cls
+        && Array.length x.fields = Array.length y.fields
+        && pairwise x.oid y.oid (fun () ->
+               let ok = ref true in
+               Array.iteri
+                 (fun i f -> if !ok then ok := go f y.fields.(i))
+                 x.fields;
+               !ok)
+    | Value.Darr x, Value.Darr y ->
+        Array.length x.d = Array.length y.d
+        && pairwise x.did y.did (fun () ->
+               let ok = ref true in
+               Array.iteri
+                 (fun i f -> if !ok then ok := Float.equal f y.d.(i))
+                 x.d;
+               !ok)
+    | Value.Iarr x, Value.Iarr y ->
+        x.ia = y.ia || pairwise x.iid y.iid (fun () -> x.ia = y.ia)
+    | Value.Rarr x, Value.Rarr y ->
+        Array.length x.ra = Array.length y.ra
+        && pairwise x.rid y.rid (fun () ->
+               let ok = ref true in
+               Array.iteri (fun i e -> if !ok then ok := go e y.ra.(i)) x.ra;
+               !ok)
+    | _ -> false
+  and pairwise ida idb body =
+    if Hashtbl.mem assumed (ida, idb) then true
+    else begin
+      Hashtbl.add assumed (ida, idb) ();
+      body ()
+    end
+  in
+  go a b
+
+let check ~expected ~actual =
+  if equal expected actual then Ok ()
+  else
+    Error
+      (Format.asprintf "@[<v>values differ:@ expected %a@ actual   %a@]"
+         Value.pp expected Value.pp actual)

@@ -1,0 +1,12 @@
+(** Graph-aware structural equality on runtime values.
+
+    Object identities are ignored; cycles and sharing must be
+    isomorphic (two values are equal when corresponding nodes pair up
+    consistently).  The static element type annotation of reference
+    arrays is {e not} compared — the deserializer may reconstruct it
+    less precisely than the source — only shapes and payloads are. *)
+
+val equal : Value.t -> Value.t -> bool
+
+(** Alcotest-style checker with a diff-ish failure message. *)
+val check : expected:Value.t -> actual:Value.t -> (unit, string) result

@@ -1,0 +1,219 @@
+open Rmi_wire
+module Metrics = Rmi_stats.Metrics
+
+(* wire codes *)
+let k_null = 0
+let k_bool = 1
+let k_int = 2
+let k_double = 3
+let k_string = 4
+let k_object_desc = 5 (* full class descriptor follows *)
+let k_object_ref = 6 (* back-reference to an already-sent descriptor *)
+let k_darr = 7
+let k_iarr = 8
+let k_rarr = 9
+let k_handle = 10
+
+type wctx = {
+  wmeta : Class_meta.t;
+  wmetrics : Metrics.t;
+  wcycle : int Handle_table.t;  (* object identity -> handle *)
+  sent_descs : (int, int) Hashtbl.t;  (* class id -> descriptor index *)
+}
+
+type rctx = {
+  rmeta : Class_meta.t;
+  rmetrics : Metrics.t;
+  mutable handles : Value.t list;  (* reversed *)
+  mutable nhandles : int;
+  mutable descs : Class_meta.cls list;  (* reversed *)
+  mutable ndescs : int;
+}
+
+let make_wctx wmeta wmetrics =
+  {
+    wmeta;
+    wmetrics;
+    wcycle = Handle_table.create ~metrics:wmetrics ();
+    sent_descs = Hashtbl.create 8;
+  }
+
+let make_rctx rmeta rmetrics =
+  { rmeta; rmetrics; handles = []; nhandles = 0; descs = []; ndescs = 0 }
+
+let add_handle rctx v =
+  rctx.handles <- v :: rctx.handles;
+  rctx.nhandles <- rctx.nhandles + 1;
+  Metrics.add_cycle_lookups rctx.rmetrics 1
+
+let handle rctx idx =
+  Metrics.add_cycle_lookups rctx.rmetrics 1;
+  if idx < 0 || idx >= rctx.nhandles then
+    raise (Msgbuf.Underflow (Printf.sprintf "bad handle %d" idx));
+  List.nth rctx.handles (rctx.nhandles - 1 - idx)
+
+(* writes the full java-ish class descriptor: name plus field names —
+   this verbosity is exactly what KaRMI/Manta removed *)
+let write_class_info wctx w cls =
+  let before = Msgbuf.length w in
+  (match Hashtbl.find_opt wctx.sent_descs cls with
+  | Some idx ->
+      Msgbuf.write_u8 w k_object_ref;
+      Msgbuf.write_uvarint w idx
+  | None ->
+      let c = Class_meta.cls wctx.wmeta cls in
+      Hashtbl.add wctx.sent_descs cls (Hashtbl.length wctx.sent_descs);
+      Msgbuf.write_u8 w k_object_desc;
+      Msgbuf.write_string w c.Class_meta.cname;
+      Msgbuf.write_uvarint w (Array.length c.Class_meta.fields);
+      Array.iter
+        (fun (f : Class_meta.field) -> Msgbuf.write_string w f.Class_meta.fname)
+        c.Class_meta.fields);
+  Metrics.add_type_bytes wctx.wmetrics (Msgbuf.length w - before)
+
+let check_seen wctx v =
+  match Value.identity v with
+  | None -> None
+  | Some id -> (
+      match Handle_table.lookup wctx.wcycle id with
+      | Some h -> Some h
+      | None ->
+          Handle_table.add wctx.wcycle id (Handle_table.next_handle wctx.wcycle);
+          None)
+
+let rec write wctx w (v : Value.t) =
+  let seen_or body =
+    match check_seen wctx v with
+    | Some h ->
+        Msgbuf.write_u8 w k_handle;
+        Msgbuf.write_uvarint w h
+    | None ->
+        Metrics.incr_ser_invocations wctx.wmetrics;
+        body ()
+  in
+  match v with
+  | Value.Null -> Msgbuf.write_u8 w k_null
+  | Value.Bool b ->
+      Msgbuf.write_u8 w k_bool;
+      Msgbuf.write_bool w b
+  | Value.Int i ->
+      Msgbuf.write_u8 w k_int;
+      Msgbuf.write_varint w i
+  | Value.Double f ->
+      Msgbuf.write_u8 w k_double;
+      Msgbuf.write_double w f
+  | Value.Str s ->
+      Msgbuf.write_u8 w k_string;
+      Msgbuf.write_string w s
+  | Value.Obj o ->
+      seen_or (fun () ->
+          (* introspection: locate the class, walk its field table *)
+          write_class_info wctx w o.cls;
+          Array.iter (write wctx w) o.fields)
+  | Value.Darr a ->
+      seen_or (fun () ->
+          Msgbuf.write_u8 w k_darr;
+          Msgbuf.write_uvarint w (Array.length a.d);
+          Msgbuf.write_double_slice w a.d 0 (Array.length a.d))
+  | Value.Iarr a ->
+      seen_or (fun () ->
+          Msgbuf.write_u8 w k_iarr;
+          Msgbuf.write_uvarint w (Array.length a.ia);
+          Msgbuf.write_int_slice w a.ia 0 (Array.length a.ia))
+  | Value.Rarr a ->
+      seen_or (fun () ->
+          Msgbuf.write_u8 w k_rarr;
+          let before = Msgbuf.length w in
+          Class_meta.write_ty wctx.wmeta w a.relem;
+          Metrics.add_type_bytes wctx.wmetrics (Msgbuf.length w - before);
+          Msgbuf.write_uvarint w (Array.length a.ra);
+          Array.iter (write wctx w) a.ra)
+
+(* shallow per-node accounting: children are charged when visited *)
+let charge_alloc rctx (v : Value.t) =
+  Metrics.incr_allocs rctx.rmetrics;
+  Metrics.add_new_bytes rctx.rmetrics
+    (match v with
+    | Value.Str s -> 16 + String.length s
+    | Value.Obj o -> 16 + (8 * Array.length o.fields)
+    | Value.Darr a -> 16 + (8 * Array.length a.d)
+    | Value.Iarr a -> 16 + (8 * Array.length a.ia)
+    | Value.Rarr a -> 16 + (8 * Array.length a.ra)
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Double _ -> 0)
+
+let checked_len r n ~unit what =
+  (* division avoids overflow for hostile 63-bit lengths *)
+  if n < 0 || n > Msgbuf.remaining r / unit then
+    raise (Msgbuf.Underflow (Printf.sprintf "%s: bad length %d" what n));
+  n
+
+let rec read rctx r : Value.t =
+  match Msgbuf.read_u8 r with
+  | c when c = k_null -> Value.Null
+  | c when c = k_bool -> Value.Bool (Msgbuf.read_bool r)
+  | c when c = k_int -> Value.Int (Msgbuf.read_varint r)
+  | c when c = k_double -> Value.Double (Msgbuf.read_double r)
+  | c when c = k_string ->
+      let v = Value.Str (Msgbuf.read_string r) in
+      charge_alloc rctx v;
+      v
+  | c when c = k_handle -> handle rctx (Msgbuf.read_uvarint r)
+  | c when c = k_object_desc || c = k_object_ref ->
+      (* put the code back conceptually: re-dispatch into read_class *)
+      let saved = c in
+      let cls =
+        if saved = k_object_ref then begin
+          let idx = Msgbuf.read_uvarint r in
+          if idx < 0 || idx >= rctx.ndescs then
+            raise (Msgbuf.Underflow "bad class descriptor ref");
+          List.nth rctx.descs (rctx.ndescs - 1 - idx)
+        end
+        else begin
+          let name = Msgbuf.read_string r in
+          let nfields = Msgbuf.read_uvarint r in
+          for _ = 1 to nfields do
+            ignore (Msgbuf.read_string r)
+          done;
+          match Class_meta.find rctx.rmeta name with
+          | Some cmeta ->
+              rctx.descs <- cmeta :: rctx.descs;
+              rctx.ndescs <- rctx.ndescs + 1;
+              cmeta
+          | None -> raise (Msgbuf.Underflow "unknown class")
+        end
+      in
+      let o =
+        Value.new_obj ~cls:cls.Class_meta.cid
+          ~nfields:(Array.length cls.Class_meta.fields)
+      in
+      charge_alloc rctx (Value.Obj o);
+      add_handle rctx (Value.Obj o);
+      for i = 0 to Array.length o.fields - 1 do
+        o.fields.(i) <- read rctx r
+      done;
+      Value.Obj o
+  | c when c = k_darr ->
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:8 "double[]" in
+      let a = Value.new_darr n in
+      charge_alloc rctx (Value.Darr a);
+      add_handle rctx (Value.Darr a);
+      Msgbuf.read_double_slice r a.d 0 n;
+      Value.Darr a
+  | c when c = k_iarr ->
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "int[]" in
+      let a = Value.new_iarr n in
+      charge_alloc rctx (Value.Iarr a);
+      add_handle rctx (Value.Iarr a);
+      Msgbuf.read_int_slice r a.ia 0 n;
+      Value.Iarr a
+  | c when c = k_rarr ->
+      let relem = Class_meta.read_ty rctx.rmeta r in
+      let n = checked_len r (Msgbuf.read_uvarint r) ~unit:1 "object[]" in
+      let a = Value.new_rarr relem n in
+      charge_alloc rctx (Value.Rarr a);
+      add_handle rctx (Value.Rarr a);
+      for i = 0 to n - 1 do
+        a.ra.(i) <- read rctx r
+      done;
+      Value.Rarr a
+  | c -> raise (Msgbuf.Underflow (Printf.sprintf "bad introspect code %d" c))

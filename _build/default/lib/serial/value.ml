@@ -1,0 +1,97 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Double of float
+  | Str of string
+  | Obj of obj
+  | Darr of darr
+  | Iarr of iarr
+  | Rarr of rarr
+
+and obj = { cls : Jir.Types.class_id; fields : t array; oid : int }
+and darr = { d : float array; did : int }
+and iarr = { ia : int array; iid : int }
+and rarr = { relem : Jir.Types.ty; ra : t array; rid : int }
+
+let counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add counter 1
+
+let new_obj ~cls ~nfields = { cls; fields = Array.make nfields Null; oid = fresh_id () }
+let new_darr n = { d = Array.make n 0.0; did = fresh_id () }
+let new_iarr n = { ia = Array.make n 0; iid = fresh_id () }
+let new_rarr relem n = { relem; ra = Array.make n Null; rid = fresh_id () }
+
+let identity = function
+  | Obj o -> Some o.oid
+  | Darr a -> Some a.did
+  | Iarr a -> Some a.iid
+  | Rarr a -> Some a.rid
+  | Str _ | Null | Bool _ | Int _ | Double _ -> None
+
+let shallow_bytes = function
+  | Null | Bool _ | Int _ | Double _ -> 0
+  | Str s -> 16 + String.length s
+  | Obj o -> 16 + (8 * Array.length o.fields)
+  | Darr a -> 16 + (8 * Array.length a.d)
+  | Iarr a -> 16 + (8 * Array.length a.ia)
+  | Rarr a -> 16 + (8 * Array.length a.ra)
+
+let fold_graph f acc v =
+  (* visit each heap node once, immediates every time they appear *)
+  let seen = Hashtbl.create 16 in
+  let rec go acc v =
+    match identity v with
+    | Some id when Hashtbl.mem seen id -> acc
+    | Some id ->
+        Hashtbl.add seen id ();
+        let acc = f acc v in
+        (match v with
+        | Obj o -> Array.fold_left go acc o.fields
+        | Rarr a -> Array.fold_left go acc a.ra
+        | Darr _ | Iarr _ | Str _ | Null | Bool _ | Int _ | Double _ -> acc)
+    | None -> (
+        match v with
+        | Str _ -> f acc v
+        | Null | Bool _ | Int _ | Double _ -> acc
+        | Obj _ | Darr _ | Iarr _ | Rarr _ -> assert false)
+  in
+  go acc v
+
+let byte_size v = fold_graph (fun acc v -> acc + shallow_bytes v) 0 v
+let count_nodes v = fold_graph (fun acc _ -> acc + 1) 0 v
+
+let pp ppf v =
+  let seen = Hashtbl.create 16 in
+  let rec go ppf v =
+    match v with
+    | Null -> Format.pp_print_string ppf "null"
+    | Bool b -> Format.pp_print_bool ppf b
+    | Int i -> Format.pp_print_int ppf i
+    | Double f -> Format.fprintf ppf "%g" f
+    | Str s -> Format.fprintf ppf "%S" s
+    | Obj o ->
+        if Hashtbl.mem seen o.oid then Format.fprintf ppf "<#%d>" o.oid
+        else begin
+          Hashtbl.add seen o.oid ();
+          Format.fprintf ppf "obj@%d(cls %d){%a}" o.oid o.cls
+            (Format.pp_print_seq
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               go)
+            (Array.to_seq o.fields)
+        end
+    | Darr a ->
+        Format.fprintf ppf "double[%d]" (Array.length a.d)
+    | Iarr a -> Format.fprintf ppf "int[%d]" (Array.length a.ia)
+    | Rarr a ->
+        if Hashtbl.mem seen a.rid then Format.fprintf ppf "<#%d>" a.rid
+        else begin
+          Hashtbl.add seen a.rid ();
+          Format.fprintf ppf "[%a]"
+            (Format.pp_print_seq
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               go)
+            (Array.to_seq a.ra)
+        end
+  in
+  go ppf v

@@ -1,0 +1,49 @@
+(** Runtime values of the distributed object system.
+
+    These are the values applications hand to the RMI runtime; they
+    mirror the JIR type system (objects with flat field layout, typed
+    arrays, immutable strings).  Every heap value carries a
+    process-unique identity used by the serializer's cycle table.
+
+    Double and int arrays use unboxed OCaml arrays so bulk
+    (de)serialization can move whole slices — the payload path the
+    paper's array benchmark exercises. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Double of float
+  | Str of string
+  | Obj of obj
+  | Darr of darr  (** double[] *)
+  | Iarr of iarr  (** int[] *)
+  | Rarr of rarr  (** arrays of references or booleans *)
+
+and obj = { cls : Jir.Types.class_id; fields : t array; oid : int }
+and darr = { d : float array; did : int }
+and iarr = { ia : int array; iid : int }
+and rarr = { relem : Jir.Types.ty; ra : t array; rid : int }
+
+(** Fresh identity; thread-safe. *)
+val fresh_id : unit -> int
+
+(** [new_obj ~cls ~nfields] with all fields [Null]. *)
+val new_obj : cls:Jir.Types.class_id -> nfields:int -> obj
+
+val new_darr : int -> darr
+val new_iarr : int -> iarr
+val new_rarr : Jir.Types.ty -> int -> rarr
+
+(** Identity of a heap value ([None] for immediates). *)
+val identity : t -> int option
+
+(** Approximate heap footprint in bytes (object header 16 + 8 per
+    field/element), the unit of the paper's "new MBytes" statistic. *)
+val byte_size : t -> int
+
+(** Number of heap nodes (objects, arrays, strings) in the graph,
+    counting shared nodes once. *)
+val count_nodes : t -> int
+
+val pp : Format.formatter -> t -> unit

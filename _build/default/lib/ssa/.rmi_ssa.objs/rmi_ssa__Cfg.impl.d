@@ -1,0 +1,1 @@
+lib/ssa/cfg.ml: Array Jir List

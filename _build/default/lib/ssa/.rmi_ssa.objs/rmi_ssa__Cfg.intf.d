@@ -1,0 +1,1 @@
+lib/ssa/cfg.mli: Jir

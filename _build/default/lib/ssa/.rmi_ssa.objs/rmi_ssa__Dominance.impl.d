@@ -1,0 +1,1 @@
+lib/ssa/dominance.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/ssa/liveness.ml: Array Cfg Int Jir List Set

@@ -1,0 +1,1 @@
+lib/ssa/liveness.mli: Cfg Jir Set

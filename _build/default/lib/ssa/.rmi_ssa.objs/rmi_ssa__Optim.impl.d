@@ -1,0 +1,1 @@
+lib/ssa/optim.ml: Array Cfg Hashtbl Instr Jir List Printf Program Ssa Types

@@ -1,0 +1,1 @@
+lib/ssa/optim.mli: Jir

@@ -1,0 +1,1 @@
+lib/ssa/ssa.ml: Array Cfg Dominance Hashtbl Instr Int Jir List Liveness Map Program

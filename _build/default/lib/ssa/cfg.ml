@@ -1,0 +1,36 @@
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;
+  rpo_index : int array;
+}
+
+let of_method (m : Jir.Program.method_decl) =
+  let nblocks = Array.length m.blocks in
+  let succs =
+    Array.map (fun (b : Jir.Instr.block) -> Jir.Instr.successors b.term) m.blocks
+  in
+  let preds = Array.make nblocks [] in
+  Array.iteri
+    (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+    succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  (* postorder DFS from the entry *)
+  let visited = Array.make nblocks false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  if nblocks > 0 then dfs 0;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make nblocks (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  { nblocks; succs; preds; rpo; rpo_index }
+
+let is_reachable t b = t.rpo_index.(b) >= 0
+let entry _ = 0

@@ -1,0 +1,16 @@
+(** Control-flow graph view of a JIR method. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;  (** reachable blocks in reverse postorder from entry *)
+  rpo_index : int array;  (** position in [rpo]; [-1] if unreachable *)
+}
+
+val of_method : Jir.Program.method_decl -> t
+
+val is_reachable : t -> int -> bool
+
+(** Entry block (always 0). *)
+val entry : t -> int

@@ -1,0 +1,80 @@
+type t = {
+  cfg : Cfg.t;
+  idoms : int array;  (* -1 = none/unreachable; entry maps to itself *)
+  kids : int list array;
+  frontiers : int list array;
+}
+
+let compute (cfg : Cfg.t) =
+  let n = cfg.nblocks in
+  let idoms = Array.make n (-1) in
+  if n > 0 then begin
+    idoms.(0) <- 0;
+    (* intersect in reverse-postorder ranks: higher rpo index = later *)
+    let rank b = cfg.rpo_index.(b) in
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rank !a > rank !b do
+          a := idoms.(!a)
+        done;
+        while rank !b > rank !a do
+          b := idoms.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let processed_preds =
+              List.filter
+                (fun p -> Cfg.is_reachable cfg p && idoms.(p) >= 0)
+                cfg.preds.(b)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idoms.(b) <> new_idom then begin
+                  idoms.(b) <- new_idom;
+                  changed := true
+                end
+          end)
+        cfg.rpo
+    done
+  end;
+  let kids = Array.make n [] in
+  for b = n - 1 downto 1 do
+    if Cfg.is_reachable cfg b && idoms.(b) >= 0 then
+      kids.(idoms.(b)) <- b :: kids.(idoms.(b))
+  done;
+  let frontiers = Array.make n [] in
+  for b = 0 to n - 1 do
+    if Cfg.is_reachable cfg b && List.length cfg.preds.(b) >= 2 then
+      List.iter
+        (fun p ->
+          if Cfg.is_reachable cfg p then begin
+            let runner = ref p in
+            while !runner <> idoms.(b) do
+              if not (List.mem b frontiers.(!runner)) then
+                frontiers.(!runner) <- b :: frontiers.(!runner);
+              runner := idoms.(!runner)
+            done
+          end)
+        cfg.preds.(b)
+  done;
+  { cfg; idoms; kids; frontiers }
+
+let idom t b =
+  if b = 0 || t.idoms.(b) < 0 then None else Some t.idoms.(b)
+
+let dominates t a b =
+  let rec up b = if b = a then true else if b = 0 then false else up t.idoms.(b) in
+  Cfg.is_reachable t.cfg a && Cfg.is_reachable t.cfg b && up b
+
+let children t b = t.kids.(b)
+let frontier t b = t.frontiers.(b)

@@ -1,0 +1,24 @@
+(** Dominator tree and dominance frontiers.
+
+    Immediate dominators via the iterative algorithm of Cooper, Harvey
+    and Kennedy ("A Simple, Fast Dominance Algorithm"); frontiers via
+    the standard two-predecessor walk.  Both are the ingredients of
+    SSA construction (Cytron et al. [6], which the paper's heap
+    analysis step 1 relies on). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** [idom t b] immediate dominator; [None] for the entry block and for
+    unreachable blocks. *)
+val idom : t -> int -> int option
+
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+val dominates : t -> int -> int -> bool
+
+(** Children in the dominator tree. *)
+val children : t -> int -> int list
+
+(** [frontier t b] dominance frontier of [b]. *)
+val frontier : t -> int -> int list

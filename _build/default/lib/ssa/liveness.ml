@@ -1,0 +1,60 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  ins : Int_set.t array;
+  outs : Int_set.t array;
+  use : Int_set.t array;
+  def : Int_set.t array;
+}
+
+let block_use_def (blk : Jir.Instr.block) =
+  (* upward-exposed uses and definitions, instruction order *)
+  let use = ref Int_set.empty and def = ref Int_set.empty in
+  let note_uses vs =
+    List.iter (fun v -> if not (Int_set.mem v !def) then use := Int_set.add v !use) vs
+  in
+  List.iter
+    (fun i ->
+      note_uses (Jir.Instr.uses_of_instr i);
+      match Jir.Instr.def_of_instr i with
+      | Some d -> def := Int_set.add d !def
+      | None -> ())
+    blk.body;
+  note_uses (Jir.Instr.uses_of_terminator blk.term);
+  (!use, !def)
+
+let compute (cfg : Cfg.t) (m : Jir.Program.method_decl) =
+  let n = cfg.nblocks in
+  let use = Array.make n Int_set.empty and def = Array.make n Int_set.empty in
+  Array.iteri
+    (fun b blk ->
+      let u, d = block_use_def blk in
+      use.(b) <- u;
+      def.(b) <- d)
+    m.blocks;
+  let ins = Array.make n Int_set.empty and outs = Array.make n Int_set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for fast convergence *)
+    for i = Array.length cfg.rpo - 1 downto 0 do
+      let b = cfg.rpo.(i) in
+      let out =
+        List.fold_left
+          (fun acc s -> Int_set.union acc ins.(s))
+          Int_set.empty cfg.succs.(b)
+      in
+      let inn = Int_set.union use.(b) (Int_set.diff out def.(b)) in
+      if not (Int_set.equal out outs.(b) && Int_set.equal inn ins.(b)) then begin
+        outs.(b) <- out;
+        ins.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { ins; outs; use; def }
+
+let live_in t b = t.ins.(b)
+let live_out t b = t.outs.(b)
+let uses t b = t.use.(b)
+let defs t b = t.def.(b)

@@ -1,0 +1,17 @@
+(** Per-block variable liveness (backward dataflow).
+
+    Used to prune SSA phi placement: a phi for [v] at block [b] is only
+    needed when [v] is live into [b]. *)
+
+module Int_set : Set.S with type elt = int
+
+type t
+
+val compute : Cfg.t -> Jir.Program.method_decl -> t
+
+val live_in : t -> int -> Int_set.t
+val live_out : t -> int -> Int_set.t
+
+(** Variables read (before any redefinition) / written by a block. *)
+val uses : t -> int -> Int_set.t
+val defs : t -> int -> Int_set.t

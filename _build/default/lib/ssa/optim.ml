@@ -1,0 +1,193 @@
+open Jir
+open Instr
+
+(* constant evaluation mirroring Interp exactly; None = cannot fold *)
+let fold_binop op l r =
+  match (op, l, r) with
+  | Add, Int a, Int b -> Some (Int (a + b))
+  | Sub, Int a, Int b -> Some (Int (a - b))
+  | Mul, Int a, Int b -> Some (Int (a * b))
+  | Div, Int a, Int b when b <> 0 -> Some (Int (a / b))
+  | Rem, Int a, Int b when b <> 0 -> Some (Int (a mod b))
+  | Band, Int a, Int b -> Some (Int (a land b))
+  | Bor, Int a, Int b -> Some (Int (a lor b))
+  | Bxor, Int a, Int b -> Some (Int (a lxor b))
+  | Shl, Int a, Int b -> Some (Int (a lsl (b land 62)))
+  | Shr, Int a, Int b -> Some (Int (a asr (b land 62)))
+  | Add, Double a, Double b -> Some (Double (a +. b))
+  | Sub, Double a, Double b -> Some (Double (a -. b))
+  | Mul, Double a, Double b -> Some (Double (a *. b))
+  | Div, Double a, Double b -> Some (Double (a /. b))
+  | Lt, Int a, Int b -> Some (Bool (a < b))
+  | Le, Int a, Int b -> Some (Bool (a <= b))
+  | Gt, Int a, Int b -> Some (Bool (a > b))
+  | Ge, Int a, Int b -> Some (Bool (a >= b))
+  | Lt, Double a, Double b -> Some (Bool (a < b))
+  | Le, Double a, Double b -> Some (Bool (a <= b))
+  | Gt, Double a, Double b -> Some (Bool (a > b))
+  | Ge, Double a, Double b -> Some (Bool (a >= b))
+  | Eq, Int a, Int b -> Some (Bool (a = b))
+  | Ne, Int a, Int b -> Some (Bool (a <> b))
+  | Eq, Bool a, Bool b -> Some (Bool (a = b))
+  | Ne, Bool a, Bool b -> Some (Bool (a <> b))
+  | Eq, Double a, Double b -> Some (Bool (a = b))
+  | Ne, Double a, Double b -> Some (Bool (a <> b))
+  | Eq, Null, Null -> Some (Bool true)
+  | Ne, Null, Null -> Some (Bool false)
+  | _ -> None
+
+let fold_unop op v =
+  match (op, v) with
+  | Neg, Int i -> Some (Int (-i))
+  | Neg, Double f -> Some (Double (-.f))
+  | Not, Bool b -> Some (Bool (not b))
+  | I2d, Int i -> Some (Double (float_of_int i))
+  | _ -> None
+
+let is_const = function
+  | Null | Bool _ | Int _ | Double _ | Str _ -> true
+  | Var _ -> false
+
+(* one rewrite round; returns the number of changes *)
+let round (m : Program.method_decl) =
+  let changes = ref 0 in
+  (* 1. gather substitutions from single-definition SSA vars *)
+  let subst : (Types.var, operand) Hashtbl.t = Hashtbl.create 16 in
+  let note dst op = Hashtbl.replace subst dst op in
+  Array.iter
+    (fun (blk : block) ->
+      List.iter
+        (fun (phi : phi) ->
+          (* a phi whose inputs are all the same operand is a copy *)
+          match phi.pargs with
+          | (_, first) :: rest when List.for_all (fun (_, o) -> o = first) rest
+            ->
+              note phi.pdst first
+          | _ -> ())
+        blk.phis;
+      List.iter
+        (fun instr ->
+          match instr with
+          | Move { dst; src } -> note dst src
+          | Binop { dst; op; lhs; rhs } when is_const lhs && is_const rhs -> (
+              match fold_binop op lhs rhs with
+              | Some c -> note dst c
+              | None -> ())
+          | Unop { dst; op; src } when is_const src -> (
+              match fold_unop op src with Some c -> note dst c | None -> ())
+          | _ -> ())
+        blk.body)
+    m.blocks;
+  (* resolve substitution chains (bounded by the table size) *)
+  let rec resolve depth op =
+    match op with
+    | Var v when depth < Hashtbl.length subst + 1 -> (
+        match Hashtbl.find_opt subst v with
+        | Some op' when op' <> op -> resolve (depth + 1) op'
+        | _ -> op)
+    | _ -> op
+  in
+  let apply op =
+    let op' = resolve 0 op in
+    if op' <> op then incr changes;
+    op'
+  in
+  (* 2. rewrite all uses *)
+  Array.iter
+    (fun (blk : block) ->
+      blk.phis <-
+        List.map
+          (fun (phi : phi) ->
+            { phi with pargs = List.map (fun (l, o) -> (l, apply o)) phi.pargs })
+          blk.phis;
+      blk.body <- List.map (map_uses apply) blk.body;
+      blk.term <- map_uses_terminator apply blk.term)
+    m.blocks;
+  (* 3. prune constant branches *)
+  Array.iter
+    (fun (blk : block) ->
+      match blk.term with
+      | Br { cond = Bool true; ifso; _ } ->
+          blk.term <- Jmp ifso;
+          incr changes
+      | Br { cond = Bool false; ifnot; _ } ->
+          blk.term <- Jmp ifnot;
+          incr changes
+      | _ -> ())
+    m.blocks;
+  (* 3b. drop phi inputs from predecessors that no longer branch here *)
+  let cfg = Cfg.of_method m in
+  Array.iteri
+    (fun bi (blk : block) ->
+      blk.phis <-
+        List.map
+          (fun (phi : phi) ->
+            let pargs =
+              List.filter (fun (l, _) -> List.mem l cfg.Cfg.preds.(bi)) phi.pargs
+            in
+            if List.length pargs <> List.length phi.pargs then incr changes;
+            { phi with pargs })
+          blk.phis)
+    m.blocks;
+  (* 4. dead pure code elimination *)
+  let used = Hashtbl.create 64 in
+  let mark op = match op with Var v -> Hashtbl.replace used v () | _ -> () in
+  Array.iter
+    (fun (blk : block) ->
+      List.iter
+        (fun (phi : phi) -> List.iter (fun (_, o) -> mark o) phi.pargs)
+        blk.phis;
+      List.iter
+        (fun i ->
+          List.iter (fun v -> mark (Var v)) (uses_of_instr i))
+        blk.body;
+      List.iter (fun v -> mark (Var v)) (uses_of_terminator blk.term))
+    m.blocks;
+  let removable = function
+    | Binop { dst; op = Div | Rem; rhs; _ } -> (
+        (* integer division faults on zero: only remove when the divisor
+           provably cannot be zero *)
+        match rhs with
+        | Int n when n <> 0 -> not (Hashtbl.mem used dst)
+        | Double _ -> not (Hashtbl.mem used dst)
+        | _ -> false)
+    | Move { dst; _ } | Unop { dst; _ } | Binop { dst; _ }
+    | Load_static { dst; _ } | New_str { dst; _ } | Alloc { dst; _ } ->
+        not (Hashtbl.mem used dst)
+    (* Array_length and the load instructions can fault (null/bounds):
+       never removed *)
+    | Alloc_array { dst; len = Int n; _ } when n >= 0 ->
+        (* a provably non-faulting allocation *)
+        not (Hashtbl.mem used dst)
+    | _ -> false
+  in
+  Array.iter
+    (fun (blk : block) ->
+      let before = List.length blk.body in
+      blk.body <- List.filter (fun i -> not (removable i)) blk.body;
+      changes := !changes + (before - List.length blk.body);
+      let phis_before = List.length blk.phis in
+      blk.phis <-
+        List.filter (fun (phi : phi) -> Hashtbl.mem used phi.pdst) blk.phis;
+      changes := !changes + (phis_before - List.length blk.phis))
+    m.blocks;
+  !changes
+
+let simplify_method (m : Program.method_decl) =
+  if not (Ssa.is_ssa m) then
+    invalid_arg
+      (Printf.sprintf "Optim.simplify_method: %s is not in SSA form"
+         m.Program.mname);
+  let total = ref 0 in
+  let rec go budget =
+    if budget > 0 then begin
+      let n = round m in
+      total := !total + n;
+      if n > 0 then go (budget - 1)
+    end
+  in
+  go 10;
+  !total
+
+let simplify (p : Program.t) =
+  Array.fold_left (fun acc m -> acc + simplify_method m) 0 p.methods

@@ -1,0 +1,21 @@
+(** Scalar SSA optimizations: constant folding, copy propagation,
+    constant-branch pruning and dead pure-code elimination.
+
+    These run after {!Ssa.convert_method} (single definitions are
+    assumed; [simplify_method] refuses non-SSA input).  Semantics are
+    preserved exactly: arithmetic folds mirror the interpreter
+    (including shift masking), folds that would fault (division by
+    zero) are left in place, and instructions that can fault at runtime
+    (field/element loads, array allocations with possibly-negative
+    lengths) are never removed.
+
+    The paper's backend runs on an optimizing compiler (Manta); this
+    pass stands in for the scalar cleanups such a compiler would give
+    the marshaling code for free. *)
+
+(** Number of rewrites applied (0 = already minimal).
+    @raise Invalid_argument on non-SSA input. *)
+val simplify_method : Jir.Program.method_decl -> int
+
+(** Simplify every method to a fixpoint; total rewrites. *)
+val simplify : Jir.Program.t -> int

@@ -1,0 +1,181 @@
+open Jir
+
+module Int_set = Liveness.Int_set
+module Int_map = Map.Make (Int)
+
+let convert_method (m : Program.method_decl) =
+  let cfg = Cfg.of_method m in
+  let dom = Dominance.compute cfg in
+  let live = Liveness.compute cfg m in
+  let n = cfg.nblocks in
+  let nvars_orig = Array.length m.var_types in
+
+  (* 1. definition sites per original variable (params define at entry) *)
+  let def_blocks = Array.make nvars_orig Int_set.empty in
+  Array.iteri
+    (fun b (blk : Instr.block) ->
+      List.iter
+        (fun i ->
+          match Instr.def_of_instr i with
+          | Some d -> def_blocks.(d) <- Int_set.add b def_blocks.(d)
+          | None -> ())
+        blk.body)
+    m.blocks;
+  for p = 0 to Array.length m.params - 1 do
+    def_blocks.(p) <- Int_set.add 0 def_blocks.(p)
+  done;
+
+  (* 2. phi placement at the iterated dominance frontier, pruned by
+     liveness *)
+  let phis_at = Array.make n Int_map.empty in
+  (* block -> orig var -> unit (placed) *)
+  for v = 0 to nvars_orig - 1 do
+    let work = ref (Int_set.elements def_blocks.(v)) in
+    let placed = ref Int_set.empty in
+    let in_work = ref (Int_set.of_list !work) in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | b :: rest ->
+          work := rest;
+          List.iter
+            (fun y ->
+              if
+                (not (Int_set.mem y !placed))
+                && Cfg.is_reachable cfg y
+                && Int_set.mem v (Liveness.live_in live y)
+              then begin
+                placed := Int_set.add y !placed;
+                phis_at.(y) <- Int_map.add v () phis_at.(y);
+                if not (Int_set.mem y !in_work) then begin
+                  in_work := Int_set.add y !in_work;
+                  work := y :: !work
+                end
+              end)
+            (Dominance.frontier dom b)
+    done
+  done;
+
+  (* 3. renaming over the dominator tree *)
+  let var_tys = ref [] (* new vars, reversed *) in
+  let next_var = ref nvars_orig in
+  let fresh ty =
+    let v = !next_var in
+    incr next_var;
+    var_tys := ty :: !var_tys;
+    v
+  in
+  let stacks = Array.make nvars_orig [] in
+  (* original id itself is the entry version *)
+  for v = 0 to nvars_orig - 1 do
+    stacks.(v) <- [ v ]
+  done;
+  let top v =
+    if v < nvars_orig then match stacks.(v) with t :: _ -> t | [] -> v else v
+  in
+  (* per block: pending phi info (orig var, fresh dst, edge values) *)
+  let phi_dst = Array.make n Int_map.empty in
+  let phi_inputs : (int, (int * int * Instr.operand) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* block -> list of (orig var, pred, operand) *)
+  let record_phi_input b v pred op =
+    let cell =
+      match Hashtbl.find_opt phi_inputs b with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add phi_inputs b c;
+          c
+    in
+    (* replace a previous entry for the same (v, pred) — duplicate edges
+       from one predecessor carry the same value *)
+    cell := (v, pred, op) :: List.filter (fun (v', p', _) -> not (v' = v && p' = pred)) !cell
+  in
+  let rewrite_operand = function
+    | Instr.Var v -> Instr.Var (top v)
+    | op -> op
+  in
+  let rec rename b =
+    let blk = m.blocks.(b) in
+    let pushed = ref [] in
+    (* phi definitions *)
+    Int_map.iter
+      (fun v () ->
+        let d = fresh m.var_types.(v) in
+        phi_dst.(b) <- Int_map.add v d phi_dst.(b);
+        stacks.(v) <- d :: stacks.(v);
+        pushed := v :: !pushed)
+      phis_at.(b);
+    (* body *)
+    let new_body =
+      List.map
+        (fun i ->
+          let i = Instr.map_uses rewrite_operand i in
+          match Instr.def_of_instr i with
+          | Some d when d < nvars_orig ->
+              let nd = fresh m.var_types.(d) in
+              stacks.(d) <- nd :: stacks.(d);
+              pushed := d :: !pushed;
+              Instr.map_def (fun _ -> nd) i
+          | Some _ | None -> i)
+        blk.body
+    in
+    blk.body <- new_body;
+    blk.term <- Instr.map_uses_terminator rewrite_operand blk.term;
+    (* feed phi inputs of successors *)
+    List.iter
+      (fun s ->
+        Int_map.iter
+          (fun v () -> record_phi_input s v b (Instr.Var (top v)))
+          phis_at.(s))
+      cfg.succs.(b);
+    (* recurse over dominator-tree children *)
+    List.iter rename (Dominance.children dom b);
+    (* pop *)
+    List.iter
+      (fun v -> stacks.(v) <- List.tl stacks.(v))
+      !pushed
+  in
+  if n > 0 then rename 0;
+
+  (* 4. materialise phi nodes *)
+  Array.iteri
+    (fun b (blk : Instr.block) ->
+      if not (Int_map.is_empty phis_at.(b)) then begin
+        let inputs =
+          match Hashtbl.find_opt phi_inputs b with Some c -> !c | None -> []
+        in
+        let phis =
+          Int_map.fold
+            (fun v () acc ->
+              let pdst = Int_map.find v phi_dst.(b) in
+              let pargs =
+                List.filter_map
+                  (fun (v', pred, op) -> if v' = v then Some (pred, op) else None)
+                  inputs
+              in
+              { Instr.pdst; pargs } :: acc)
+            phis_at.(b) []
+        in
+        blk.phis <- phis
+      end)
+    m.blocks;
+
+  (* 5. extend the variable type table *)
+  m.var_types <- Array.append m.var_types (Array.of_list (List.rev !var_tys))
+
+let convert (p : Program.t) = Array.iter convert_method p.methods
+
+let is_ssa (m : Program.method_decl) =
+  let defined = Hashtbl.create 64 in
+  let ok = ref true in
+  let note d = if Hashtbl.mem defined d then ok := false else Hashtbl.add defined d () in
+  Array.iter
+    (fun (blk : Instr.block) ->
+      List.iter (fun (phi : Instr.phi) -> note phi.pdst) blk.phis;
+      List.iter
+        (fun i -> match Instr.def_of_instr i with Some d -> note d | None -> ())
+        blk.body)
+    m.blocks;
+  !ok

@@ -1,0 +1,18 @@
+(** Pruned SSA construction (Cytron et al. [6] with liveness pruning).
+
+    Rewrites a method in place: phi nodes are inserted at the iterated
+    dominance frontier of each variable's definition blocks (only where
+    the variable is live-in), and every definition receives a fresh
+    virtual register.  Variable [v]'s entry value (parameter or the
+    implicit zero/null initialisation) keeps the original id [v], so
+    parameter indices survive conversion — the heap analysis depends on
+    that. *)
+
+val convert_method : Jir.Program.method_decl -> unit
+
+(** Converts every method of the program. Idempotent in effect but not
+    meant to be run twice; use [is_ssa] to guard. *)
+val convert : Jir.Program.t -> unit
+
+(** Every variable has at most one definition (phi or instruction). *)
+val is_ssa : Jir.Program.method_decl -> bool

@@ -1,0 +1,57 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let default_aligns ncols =
+  List.init ncols (fun i -> if i = 0 then Left else Right)
+
+let render ~headers ?aligns rows =
+  let ncols = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Ascii_table.render: row %d has %d cells, expected %d"
+             i (List.length row) ncols))
+    rows;
+  let aligns =
+    match aligns with Some a when List.length a = ncols -> a | _ -> default_aligns ncols
+  in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  account headers;
+  List.iter account rows;
+  let line row =
+    let cells =
+      List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print ~title ~headers ?aligns rows =
+  print_endline title;
+  print_endline (render ~headers ?aligns rows)

@@ -1,0 +1,15 @@
+(** Minimal ASCII table rendering used by the benchmark harness to
+    print the paper's tables. *)
+
+type align = Left | Right
+
+(** [render ~headers ?aligns rows] lays the table out with one column
+    per header, padding cells to the widest entry.  [aligns] defaults
+    to left for the first column and right for the rest, matching the
+    paper's table style.
+
+    @raise Invalid_argument if a row's width differs from [headers]. *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~title ~headers rows] renders with a title line on stdout. *)
+val print : title:string -> headers:string list -> ?aligns:align list -> string list list -> unit

@@ -1,0 +1,117 @@
+type t = {
+  remote_rpcs : int Atomic.t;
+  local_rpcs : int Atomic.t;
+  reused_objs : int Atomic.t;
+  new_bytes : int Atomic.t;
+  cycle_lookups : int Atomic.t;
+  ser_invocations : int Atomic.t;
+  msgs_sent : int Atomic.t;
+  bytes_sent : int Atomic.t;
+  type_bytes : int Atomic.t;
+  allocs : int Atomic.t;
+}
+
+type snapshot = {
+  remote_rpcs : int;
+  local_rpcs : int;
+  reused_objs : int;
+  new_bytes : int;
+  cycle_lookups : int;
+  ser_invocations : int;
+  msgs_sent : int;
+  bytes_sent : int;
+  type_bytes : int;
+  allocs : int;
+}
+
+let create () : t =
+  {
+    remote_rpcs = Atomic.make 0;
+    local_rpcs = Atomic.make 0;
+    reused_objs = Atomic.make 0;
+    new_bytes = Atomic.make 0;
+    cycle_lookups = Atomic.make 0;
+    ser_invocations = Atomic.make 0;
+    msgs_sent = Atomic.make 0;
+    bytes_sent = Atomic.make 0;
+    type_bytes = Atomic.make 0;
+    allocs = Atomic.make 0;
+  }
+
+let reset (t : t) =
+  Atomic.set t.remote_rpcs 0;
+  Atomic.set t.local_rpcs 0;
+  Atomic.set t.reused_objs 0;
+  Atomic.set t.new_bytes 0;
+  Atomic.set t.cycle_lookups 0;
+  Atomic.set t.ser_invocations 0;
+  Atomic.set t.msgs_sent 0;
+  Atomic.set t.bytes_sent 0;
+  Atomic.set t.type_bytes 0;
+  Atomic.set t.allocs 0
+
+let add a n = ignore (Atomic.fetch_and_add a n)
+
+let incr_remote_rpcs (t : t) = add t.remote_rpcs 1
+let incr_local_rpcs (t : t) = add t.local_rpcs 1
+let add_reused_objs (t : t) n = add t.reused_objs n
+let add_new_bytes (t : t) n = add t.new_bytes n
+let add_cycle_lookups (t : t) n = add t.cycle_lookups n
+let incr_ser_invocations (t : t) = add t.ser_invocations 1
+let incr_msgs_sent (t : t) = add t.msgs_sent 1
+let add_bytes_sent (t : t) n = add t.bytes_sent n
+let add_type_bytes (t : t) n = add t.type_bytes n
+let incr_allocs (t : t) = add t.allocs 1
+
+let snapshot (t : t) =
+  {
+    remote_rpcs = Atomic.get t.remote_rpcs;
+    local_rpcs = Atomic.get t.local_rpcs;
+    reused_objs = Atomic.get t.reused_objs;
+    new_bytes = Atomic.get t.new_bytes;
+    cycle_lookups = Atomic.get t.cycle_lookups;
+    ser_invocations = Atomic.get t.ser_invocations;
+    msgs_sent = Atomic.get t.msgs_sent;
+    bytes_sent = Atomic.get t.bytes_sent;
+    type_bytes = Atomic.get t.type_bytes;
+    allocs = Atomic.get t.allocs;
+  }
+
+let zero =
+  {
+    remote_rpcs = 0;
+    local_rpcs = 0;
+    reused_objs = 0;
+    new_bytes = 0;
+    cycle_lookups = 0;
+    ser_invocations = 0;
+    msgs_sent = 0;
+    bytes_sent = 0;
+    type_bytes = 0;
+    allocs = 0;
+  }
+
+let map2 f a b =
+  {
+    remote_rpcs = f a.remote_rpcs b.remote_rpcs;
+    local_rpcs = f a.local_rpcs b.local_rpcs;
+    reused_objs = f a.reused_objs b.reused_objs;
+    new_bytes = f a.new_bytes b.new_bytes;
+    cycle_lookups = f a.cycle_lookups b.cycle_lookups;
+    ser_invocations = f a.ser_invocations b.ser_invocations;
+    msgs_sent = f a.msgs_sent b.msgs_sent;
+    bytes_sent = f a.bytes_sent b.bytes_sent;
+    type_bytes = f a.type_bytes b.type_bytes;
+    allocs = f a.allocs b.allocs;
+  }
+
+let diff later earlier = map2 ( - ) later earlier
+let merge a b = map2 ( + ) a b
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
+     cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
+     allocs=%d@]"
+    s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
+    s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs

@@ -1,0 +1,52 @@
+(** Runtime event counters for the RMI system.
+
+    The paper's Tables 4, 6 and 8 report per-application statistics:
+    reused objects, local/remote RPCs, megabytes allocated by
+    deserialization, and cycle-table lookups.  A [Metrics.t] holds one
+    atomic counter per statistic so that machines running in separate
+    domains can update them concurrently. *)
+
+type t
+
+(** A point-in-time copy of all counters. *)
+type snapshot = {
+  remote_rpcs : int;      (** RMIs whose target lived on another machine *)
+  local_rpcs : int;       (** RMIs whose target happened to be local *)
+  reused_objs : int;      (** objects recycled by the reuse cache *)
+  new_bytes : int;        (** bytes allocated by deserialization *)
+  cycle_lookups : int;    (** handle-table probes during (de)serialization *)
+  ser_invocations : int;  (** dynamic calls into per-class serializers *)
+  msgs_sent : int;        (** network messages *)
+  bytes_sent : int;       (** network payload bytes *)
+  type_bytes : int;       (** bytes of wire type information *)
+  allocs : int;           (** objects allocated by deserialization *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** Counter increments; [n] defaults to 1 (or the byte count). *)
+
+val incr_remote_rpcs : t -> unit
+val incr_local_rpcs : t -> unit
+val add_reused_objs : t -> int -> unit
+val add_new_bytes : t -> int -> unit
+val add_cycle_lookups : t -> int -> unit
+val incr_ser_invocations : t -> unit
+val incr_msgs_sent : t -> unit
+val add_bytes_sent : t -> int -> unit
+val add_type_bytes : t -> int -> unit
+val incr_allocs : t -> unit
+
+val snapshot : t -> snapshot
+
+val zero : snapshot
+
+(** [diff later earlier] subtracts counter-wise. *)
+val diff : snapshot -> snapshot -> snapshot
+
+(** [merge a b] adds counter-wise; used to combine per-machine metrics. *)
+val merge : snapshot -> snapshot -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/wire/handle_table.ml: Hashtbl Rmi_stats

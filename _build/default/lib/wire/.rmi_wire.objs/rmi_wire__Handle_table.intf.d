@@ -1,0 +1,1 @@
+lib/wire/handle_table.mli: Rmi_stats

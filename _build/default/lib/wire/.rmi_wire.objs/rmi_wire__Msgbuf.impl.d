@@ -1,0 +1,1 @@
+lib/wire/msgbuf.ml: Array Bytes Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/wire/protocol.ml: Format Msgbuf Printf

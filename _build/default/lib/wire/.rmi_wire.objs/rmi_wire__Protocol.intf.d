@@ -1,0 +1,1 @@
+lib/wire/protocol.mli: Format Msgbuf

@@ -1,0 +1,1 @@
+lib/wire/typedesc.ml: Array Format Hashtbl Msgbuf Printf

@@ -1,0 +1,1 @@
+lib/wire/typedesc.mli: Format Msgbuf

@@ -1,0 +1,28 @@
+type 'v t = {
+  table : (int, 'v) Hashtbl.t;
+  metrics : Rmi_stats.Metrics.t option;
+  mutable count : int;
+}
+
+let create ?metrics () = { table = Hashtbl.create 64; metrics; count = 0 }
+
+let charge t =
+  match t.metrics with
+  | Some m -> Rmi_stats.Metrics.add_cycle_lookups m 1
+  | None -> ()
+
+let lookup t key =
+  charge t;
+  Hashtbl.find_opt t.table key
+
+let add t key v =
+  charge t;
+  Hashtbl.replace t.table key v;
+  t.count <- t.count + 1
+
+let next_handle t = t.count
+let size t = t.count
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.count <- 0

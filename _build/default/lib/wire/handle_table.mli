@@ -1,0 +1,32 @@
+(** The serializer-side cycle-detection table.
+
+    RMI serialization must detect when an object is reached a second
+    time (a cycle or shared subgraph) and emit a back-reference handle
+    instead of re-serializing it.  The paper's optimization 3.2 is
+    precisely about *not* building this table when the compiler proves
+    the argument graph acyclic — so the table's probe count is a
+    first-class statistic ([Metrics.cycle_lookups]).
+
+    Keys are unique object identities (each runtime object carries a
+    per-process unique [int] id).  On the deserializer side the dual
+    structure maps wire handles back to reconstructed objects. *)
+
+type 'v t
+
+(** [create metrics] builds an empty table that charges its probes to
+    [metrics] (pass [None] to leave probes unaccounted, e.g. tests). *)
+val create : ?metrics:Rmi_stats.Metrics.t -> unit -> 'v t
+
+(** [lookup t key] probes the table, counting one cycle lookup. *)
+val lookup : 'v t -> int -> 'v option
+
+(** [add t key v] registers [key]; counts one cycle lookup (RMI adds
+    every serialized object reference to the hash, per the paper). *)
+val add : 'v t -> int -> 'v -> unit
+
+(** [next_handle t] returns the wire handle the next added object will
+    receive (a dense counter starting at 0). *)
+val next_handle : 'v t -> int
+
+val size : 'v t -> int
+val reset : 'v t -> unit

@@ -1,0 +1,169 @@
+type writer = { mutable buf : bytes; mutable len : int }
+type reader = { data : bytes; limit : int; mutable pos : int }
+
+exception Underflow of string
+
+let create_writer ?(initial_capacity = 256) () =
+  { buf = Bytes.create (max 16 initial_capacity); len = 0 }
+
+let clear w = w.len <- 0
+let length w = w.len
+
+let ensure w extra =
+  let needed = w.len + extra in
+  if needed > Bytes.length w.buf then begin
+    let cap = ref (Bytes.length w.buf) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.create !cap in
+    Bytes.blit w.buf 0 fresh 0 w.len;
+    w.buf <- fresh
+  end
+
+let write_u8 w v =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (v land 0xff));
+  w.len <- w.len + 1
+
+let write_bool w b = write_u8 w (if b then 1 else 0)
+
+let write_uvarint w v =
+  if v < 0 then invalid_arg "Msgbuf.write_uvarint: negative";
+  let rec go v =
+    if v < 0x80 then write_u8 w v
+    else begin
+      write_u8 w (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+(* Signed varints use zigzag encoding computed in 64-bit arithmetic so
+   the whole OCaml int range (including [min_int]) round-trips. Small
+   non-negative values take the single-byte fast path. *)
+let write_uvarint64 w v =
+  let rec go v =
+    if Int64.logand v (Int64.lognot 0x7fL) = 0L then write_u8 w (Int64.to_int v)
+    else begin
+      write_u8 w (0x80 lor (Int64.to_int (Int64.logand v 0x7fL)));
+      go (Int64.shift_right_logical v 7)
+    end
+  in
+  go v
+
+let write_varint w v =
+  if v >= 0 && v < 64 then write_u8 w (v lsl 1)
+  else
+    let v64 = Int64.of_int v in
+    let zz = Int64.logxor (Int64.shift_left v64 1) (Int64.shift_right v64 63) in
+    write_uvarint64 w zz
+
+let write_double w f =
+  ensure w 8;
+  Bytes.set_int64_le w.buf w.len (Int64.bits_of_float f);
+  w.len <- w.len + 8
+
+let write_string w s =
+  let n = String.length s in
+  write_uvarint w n;
+  ensure w n;
+  Bytes.blit_string s 0 w.buf w.len n;
+  w.len <- w.len + n
+
+let write_double_slice w a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Msgbuf.write_double_slice";
+  ensure w (len * 8);
+  for i = 0 to len - 1 do
+    Bytes.set_int64_le w.buf (w.len + (i * 8))
+      (Int64.bits_of_float (Array.unsafe_get a (pos + i)))
+  done;
+  w.len <- w.len + (len * 8)
+
+let write_int_slice w a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Msgbuf.write_int_slice";
+  for i = pos to pos + len - 1 do
+    write_varint w a.(i)
+  done
+
+let contents w = Bytes.sub w.buf 0 w.len
+let unsafe_storage w = w.buf
+
+let reader_of_bytes data = { data; limit = Bytes.length data; pos = 0 }
+let reader_of_writer w = { data = w.buf; limit = w.len; pos = 0 }
+
+let remaining r = r.limit - r.pos
+
+(* overflow-safe bounds check: hostile lengths can be near max_int *)
+let check r n what =
+  if n < 0 || n > r.limit - r.pos then raise (Underflow what)
+
+let read_u8 r =
+  check r 1 "u8";
+  let v = Char.code (Bytes.unsafe_get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_bool r =
+  match read_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Underflow (Printf.sprintf "bool: invalid byte %d" n))
+
+let read_uvarint r =
+  let rec go shift acc =
+    if shift > 63 then raise (Underflow "uvarint: too long");
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_uvarint64 r =
+  let rec go shift acc =
+    if shift > 63 then raise (Underflow "uvarint64: too long");
+    let b = read_u8 r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0L
+
+let read_varint r =
+  let zz = read_uvarint64 r in
+  let v64 =
+    Int64.logxor (Int64.shift_right_logical zz 1)
+      (Int64.neg (Int64.logand zz 1L))
+  in
+  Int64.to_int v64
+
+let read_double r =
+  check r 8 "double";
+  let v = Int64.float_of_bits (Bytes.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_string r =
+  let n = read_uvarint r in
+  check r n "string";
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_double_slice r a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Msgbuf.read_double_slice";
+  check r (len * 8) "double slice";
+  for i = 0 to len - 1 do
+    Array.unsafe_set a (pos + i)
+      (Int64.float_of_bits (Bytes.get_int64_le r.data (r.pos + (i * 8))))
+  done;
+  r.pos <- r.pos + (len * 8)
+
+let read_int_slice r a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Msgbuf.read_int_slice";
+  for i = pos to pos + len - 1 do
+    a.(i) <- read_varint r
+  done

@@ -1,0 +1,74 @@
+(** Growable byte buffers for building and reading RMI messages.
+
+    A [writer] appends primitives in a compact little-endian format;
+    a [reader] consumes them in the same order.  Integers use
+    LEB128-style varints (with zigzag encoding for signed values) so
+    that the small type tags and lengths that dominate RMI protocol
+    traffic stay small on the wire — the compact encoding KaRMI [15]
+    and the paper's Manta-JavaParty runtime use. *)
+
+type writer
+type reader
+
+exception Underflow of string
+(** Raised by read operations when the buffer is exhausted or a value
+    is malformed. *)
+
+(** {1 Writing} *)
+
+val create_writer : ?initial_capacity:int -> unit -> writer
+
+val clear : writer -> unit
+
+(** Number of bytes written so far. *)
+val length : writer -> int
+
+val write_u8 : writer -> int -> unit
+val write_bool : writer -> bool -> unit
+
+(** Unsigned LEB128 varint; argument must be non-negative. *)
+val write_uvarint : writer -> int -> unit
+
+(** Zigzag-encoded signed varint; full [int] range. *)
+val write_varint : writer -> int -> unit
+
+(** 64-bit IEEE double, little endian. *)
+val write_double : writer -> float -> unit
+
+(** Length-prefixed UTF-8 bytes. *)
+val write_string : writer -> string -> unit
+
+(** [write_double_slice w a pos len] appends [len] doubles of [a]
+    starting at [pos] without intermediate boxing. *)
+val write_double_slice : writer -> float array -> int -> int -> unit
+
+val write_int_slice : writer -> int array -> int -> int -> unit
+
+(** Snapshot the written bytes. *)
+val contents : writer -> bytes
+
+(** Direct access to the underlying storage (first [length] bytes are
+    valid); used by transports to avoid a copy. *)
+val unsafe_storage : writer -> bytes
+
+(** {1 Reading} *)
+
+val reader_of_bytes : bytes -> reader
+
+(** [reader_of_writer w] reads over [w]'s storage without copying. *)
+val reader_of_writer : writer -> reader
+
+(** Bytes remaining to be read. *)
+val remaining : reader -> int
+
+val read_u8 : reader -> int
+val read_bool : reader -> bool
+val read_uvarint : reader -> int
+val read_varint : reader -> int
+val read_double : reader -> float
+val read_string : reader -> string
+
+(** [read_double_slice r a pos len] fills [a.(pos..pos+len-1)]. *)
+val read_double_slice : reader -> float array -> int -> int -> unit
+
+val read_int_slice : reader -> int array -> int -> int -> unit

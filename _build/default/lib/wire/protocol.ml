@@ -1,0 +1,56 @@
+type kind = Request | Reply | Ack | Exn_reply
+
+type header = {
+  kind : kind;
+  src : int;
+  seq : int;
+  target_obj : int;
+  method_id : int;
+  callsite : int;
+  nargs : int;
+}
+
+let kind_code = function Request -> 0 | Reply -> 1 | Ack -> 2 | Exn_reply -> 3
+
+let kind_of_code = function
+  | 0 -> Request
+  | 1 -> Reply
+  | 2 -> Ack
+  | 3 -> Exn_reply
+  | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad message kind %d" n))
+
+let write_header w h =
+  Msgbuf.write_u8 w (kind_code h.kind);
+  Msgbuf.write_uvarint w h.src;
+  Msgbuf.write_uvarint w h.seq;
+  Msgbuf.write_varint w h.target_obj;
+  Msgbuf.write_varint w h.method_id;
+  Msgbuf.write_varint w h.callsite;
+  Msgbuf.write_uvarint w h.nargs
+
+let read_header r =
+  let kind = kind_of_code (Msgbuf.read_u8 r) in
+  let src = Msgbuf.read_uvarint r in
+  let seq = Msgbuf.read_uvarint r in
+  let target_obj = Msgbuf.read_varint r in
+  let method_id = Msgbuf.read_varint r in
+  let callsite = Msgbuf.read_varint r in
+  let nargs = Msgbuf.read_uvarint r in
+  { kind; src; seq; target_obj; method_id; callsite; nargs }
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Request -> "request"
+    | Reply -> "reply"
+    | Ack -> "ack"
+    | Exn_reply -> "exn-reply")
+
+let pp_header ppf h =
+  Format.fprintf ppf "{%a src=%d seq=%d obj=%d meth=%d site=%d nargs=%d}" pp_kind h.kind h.src
+    h.seq h.target_obj h.method_id h.callsite h.nargs
+
+let header_size h =
+  let w = Msgbuf.create_writer ~initial_capacity:32 () in
+  write_header w h;
+  Msgbuf.length w

@@ -1,0 +1,35 @@
+(** Message framing for the RMI transport.
+
+    Every network message carries a small header: the kind of message
+    (request / reply / ack), the destination object, the method or
+    call-site being invoked, and a sequence number used to match
+    replies to outstanding requests.  The payload that follows the
+    header is opaque serialized argument/return data. *)
+
+type kind =
+  | Request  (** invoke a method; expects [Reply] or [Ack] *)
+  | Reply    (** carries a serialized return value *)
+  | Ack      (** return value ignored at the call site: empty reply *)
+  | Exn_reply  (** remote raised; payload is the exception message *)
+
+type header = {
+  kind : kind;
+  src : int;          (** sending machine (where replies go) *)
+  seq : int;          (** request sequence number, echoed by the reply *)
+  target_obj : int;   (** exported object id on the destination machine *)
+  method_id : int;    (** registry index of the callee method *)
+  callsite : int;     (** call-site id (selects the specialized plan);
+                          [-1] for class-generic marshaling *)
+  nargs : int;        (** argument count, for generic unmarshaling *)
+}
+
+val write_header : Msgbuf.writer -> header -> unit
+
+(** @raise Msgbuf.Underflow on a malformed header. *)
+val read_header : Msgbuf.reader -> header
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_header : Format.formatter -> header -> unit
+
+(** Size in bytes of an encoded header (varint-dependent). *)
+val header_size : header -> int

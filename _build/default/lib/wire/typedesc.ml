@@ -1,0 +1,100 @@
+type type_id = int
+
+type tag =
+  | Tag_null
+  | Tag_bool
+  | Tag_int
+  | Tag_double
+  | Tag_string
+  | Tag_object of type_id
+  | Tag_obj_array of type_id
+  | Tag_double_array
+  | Tag_int_array
+  | Tag_handle
+
+type registry = {
+  by_name : (string, type_id) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () = { by_name = Hashtbl.create 32; by_id = Array.make 32 ""; next = 0 }
+
+let register reg name =
+  match Hashtbl.find_opt reg.by_name name with
+  | Some id -> id
+  | None ->
+      let id = reg.next in
+      reg.next <- id + 1;
+      if id >= Array.length reg.by_id then begin
+        let fresh = Array.make (2 * Array.length reg.by_id) "" in
+        Array.blit reg.by_id 0 fresh 0 (Array.length reg.by_id);
+        reg.by_id <- fresh
+      end;
+      reg.by_id.(id) <- name;
+      Hashtbl.replace reg.by_name name id;
+      id
+
+let id_of_name reg name = Hashtbl.find_opt reg.by_name name
+
+let name_of_id reg id =
+  if id >= 0 && id < reg.next then Some reg.by_id.(id) else None
+
+let cardinal reg = reg.next
+
+(* Tag byte values; class ids follow as a varint where applicable. *)
+let k_null = 0
+let k_bool = 1
+let k_int = 2
+let k_double = 3
+let k_string = 4
+let k_object = 5
+let k_obj_array = 6
+let k_double_array = 7
+let k_int_array = 8
+let k_handle = 9
+
+let write_tag w tag =
+  let before = Msgbuf.length w in
+  (match tag with
+  | Tag_null -> Msgbuf.write_u8 w k_null
+  | Tag_bool -> Msgbuf.write_u8 w k_bool
+  | Tag_int -> Msgbuf.write_u8 w k_int
+  | Tag_double -> Msgbuf.write_u8 w k_double
+  | Tag_string -> Msgbuf.write_u8 w k_string
+  | Tag_object id ->
+      Msgbuf.write_u8 w k_object;
+      Msgbuf.write_uvarint w id
+  | Tag_obj_array id ->
+      Msgbuf.write_u8 w k_obj_array;
+      Msgbuf.write_uvarint w id
+  | Tag_double_array -> Msgbuf.write_u8 w k_double_array
+  | Tag_int_array -> Msgbuf.write_u8 w k_int_array
+  | Tag_handle -> Msgbuf.write_u8 w k_handle);
+  Msgbuf.length w - before
+
+let read_tag r =
+  let b = Msgbuf.read_u8 r in
+  if b = k_null then Tag_null
+  else if b = k_bool then Tag_bool
+  else if b = k_int then Tag_int
+  else if b = k_double then Tag_double
+  else if b = k_string then Tag_string
+  else if b = k_object then Tag_object (Msgbuf.read_uvarint r)
+  else if b = k_obj_array then Tag_obj_array (Msgbuf.read_uvarint r)
+  else if b = k_double_array then Tag_double_array
+  else if b = k_int_array then Tag_int_array
+  else if b = k_handle then Tag_handle
+  else raise (Msgbuf.Underflow (Printf.sprintf "unknown tag byte %d" b))
+
+let pp_tag ppf = function
+  | Tag_null -> Format.pp_print_string ppf "null"
+  | Tag_bool -> Format.pp_print_string ppf "bool"
+  | Tag_int -> Format.pp_print_string ppf "int"
+  | Tag_double -> Format.pp_print_string ppf "double"
+  | Tag_string -> Format.pp_print_string ppf "string"
+  | Tag_object id -> Format.fprintf ppf "object#%d" id
+  | Tag_obj_array id -> Format.fprintf ppf "object#%d[]" id
+  | Tag_double_array -> Format.pp_print_string ppf "double[]"
+  | Tag_int_array -> Format.pp_print_string ppf "int[]"
+  | Tag_handle -> Format.pp_print_string ppf "handle"

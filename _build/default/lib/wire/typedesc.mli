@@ -1,0 +1,41 @@
+(** Wire type descriptors.
+
+    Sun RMI ships a full serialized class descriptor per object type;
+    Manta-JavaParty (like KaRMI) hashes every type down to a single
+    small integer.  A [registry] maps runtime class names to such
+    compact ids and back, and both sides of the wire must agree —
+    which they do here because the registry is built deterministically
+    from the program's class table. *)
+
+type type_id = int
+
+(** Primitive/value tags written before dynamically-typed values. *)
+type tag =
+  | Tag_null
+  | Tag_bool
+  | Tag_int
+  | Tag_double
+  | Tag_string
+  | Tag_object of type_id  (** instance of a registered class *)
+  | Tag_obj_array of type_id
+  | Tag_double_array
+  | Tag_int_array
+  | Tag_handle  (** back-reference to an already-serialized object *)
+
+type registry
+
+val create : unit -> registry
+
+(** [register reg name] assigns the next id; idempotent per name. *)
+val register : registry -> string -> type_id
+
+val id_of_name : registry -> string -> type_id option
+val name_of_id : registry -> type_id -> string option
+val cardinal : registry -> int
+
+(** Tag codecs.  [write_tag] also reports how many bytes of pure type
+    information were emitted (for the harness's type-byte counter). *)
+val write_tag : Msgbuf.writer -> tag -> int
+val read_tag : Msgbuf.reader -> tag
+
+val pp_tag : Format.formatter -> tag -> unit

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Builder Instr Jir List Printf Program Types

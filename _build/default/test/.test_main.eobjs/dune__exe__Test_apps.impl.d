@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App_common Array Array_bench Escape_analysis Format Linked_list List Lu Optimizer Printf Rmi_apps Rmi_core Rmi_runtime Rmi_stats Seq Superopt Webserver

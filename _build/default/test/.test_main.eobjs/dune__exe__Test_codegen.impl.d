@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Builder Codegen Fixtures Format Heap_analysis Jir List Optimizer Plan Printf Rmi_core Rmi_ssa String

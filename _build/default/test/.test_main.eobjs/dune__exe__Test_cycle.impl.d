@@ -1,0 +1,1 @@
+test/test_cycle.ml: Alcotest Builder Fixtures Jir Rmi_core Rmi_ssa

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Bytes Char Class_meta Codec Equality Format Introspect Jir List Printf QCheck QCheck_alcotest Rmi_core Rmi_serial Rmi_stats Rmi_wire String Value

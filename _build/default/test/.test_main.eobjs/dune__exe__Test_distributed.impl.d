@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Array Format Fun Jfront Jir List Printf QCheck QCheck_alcotest Rmi_runtime Rmi_serial Rmi_stats Test_soundness

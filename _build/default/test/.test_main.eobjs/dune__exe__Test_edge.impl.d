@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Builder Instr Interp Jir Program QCheck QCheck_alcotest Rmi_core Rmi_serial Rmi_stats Rmi_wire Typecheck

@@ -1,0 +1,1 @@
+test/test_escape.ml: Alcotest Builder Fixtures Format Jir List Rmi_core Rmi_ssa

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Bytes Config Fabric Hashtbl Jir Node Remote_ref Rmi_net Rmi_runtime Rmi_serial Rmi_stats String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Fun List Printf Rmi_harness Rmi_runtime Rmi_stats String

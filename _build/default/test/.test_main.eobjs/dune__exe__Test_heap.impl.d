@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Builder Fixtures Jir List Program Rmi_core Rmi_ssa Types

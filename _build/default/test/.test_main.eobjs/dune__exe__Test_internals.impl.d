@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Array Builder Fixtures Format Instr Jir List Pretty Printf Program Rmi_core Rmi_runtime Rmi_ssa String Types

@@ -1,0 +1,1 @@
+test/test_jfront.ml: Alcotest Array Jfront Jir List Printf QCheck QCheck_alcotest Rmi_core

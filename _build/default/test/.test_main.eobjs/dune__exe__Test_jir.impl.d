@@ -1,0 +1,1 @@
+test/test_jir.ml: Alcotest Array Builder Fixtures Format Instr Interp Jir List Printf Program String Typecheck

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Cluster Costmodel Domain List Mailbox Option Printf Rmi_net Rmi_stats Unix

@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Builder Fixtures Format Fun Instr Interp Jir List Pretty Program QCheck QCheck_alcotest Rmi_core Rmi_ssa String Test_soundness Typecheck

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Config Fabric Format Hashtbl Jir List Node Printf Registry Remote_ref Rmi_core Rmi_runtime Rmi_serial Rmi_stats String Trace

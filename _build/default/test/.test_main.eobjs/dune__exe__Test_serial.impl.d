@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Array Class_meta Codec Equality Format Introspect Jir List Printf QCheck QCheck_alcotest Rmi_core Rmi_serial Rmi_stats Rmi_wire Value

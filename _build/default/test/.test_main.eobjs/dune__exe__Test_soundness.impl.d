@@ -1,0 +1,1 @@
+test/test_soundness.ml: Array Builder Format Hashtbl Interp Jir List Printf Program QCheck QCheck_alcotest Rmi_core Rmi_ssa String Typecheck Types

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Builder Fixtures Instr Interp Jir List Printf Program Rmi_ssa

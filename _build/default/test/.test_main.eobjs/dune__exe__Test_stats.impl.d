@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Domain List Rmi_stats String

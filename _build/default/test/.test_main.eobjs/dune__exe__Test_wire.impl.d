@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Format Handle_table Int64 List Msgbuf Printf Protocol QCheck QCheck_alcotest Rmi_stats Rmi_wire String Typedesc

@@ -1,0 +1,423 @@
+(* Application tests: every workload must compute the right answer
+   under every optimization configuration, and the runtime statistics
+   must show the shapes the paper's tables report. *)
+
+open Rmi_apps
+module Config = Rmi_runtime.Config
+module Fabric = Rmi_runtime.Fabric
+module Metrics = Rmi_stats.Metrics
+
+let mode = Fabric.Sync
+
+(* --- linked list (Table 1) --- *)
+
+let list_params = { Linked_list.elements = 20; repetitions = 10 }
+
+let list_correct_all_configs () =
+  List.iter
+    (fun config ->
+      let r = Linked_list.run ~config ~mode list_params in
+      Alcotest.(check int)
+        (Printf.sprintf "[%s] cells" config.Config.name)
+        (list_params.elements * list_params.repetitions)
+        r.Linked_list.cells_received)
+    Config.all
+
+let list_shape () =
+  let run config = (Linked_list.run ~config ~mode list_params).Linked_list.stats in
+  let s_class = run Config.class_ in
+  let s_site = run Config.site in
+  let s_cycle = run Config.site_cycle in
+  let s_reuse = run Config.site_reuse in
+  (* site sheds wire type information *)
+  Alcotest.(check bool) "site < class type bytes" true
+    (s_site.Metrics.type_bytes < s_class.Metrics.type_bytes);
+  (* the list is conservatively cyclic: cycle elimination cannot help *)
+  Alcotest.(check bool) "cycle lookups survive (false positive)" true
+    (s_cycle.Metrics.cycle_lookups > 0);
+  Alcotest.(check int) "cycle == site lookups" s_site.Metrics.cycle_lookups
+    s_cycle.Metrics.cycle_lookups;
+  (* reuse recycles all cells after the first repetition *)
+  Alcotest.(check int) "reused cells"
+    (list_params.elements * (list_params.repetitions - 1))
+    s_reuse.Metrics.reused_objs;
+  Alcotest.(check bool) "reuse cuts allocations" true
+    (s_reuse.Metrics.allocs < s_site.Metrics.allocs);
+  Alcotest.(check bool) "reuse cuts new bytes" true
+    (s_reuse.Metrics.new_bytes < s_site.Metrics.new_bytes)
+
+(* --- 2d array (Table 2) --- *)
+
+let arr_params = { Array_bench.n = 8; repetitions = 10 }
+
+let array_correct_all_configs () =
+  let n = arr_params.Array_bench.n in
+  let expected =
+    float_of_int arr_params.Array_bench.repetitions
+    *. (float_of_int ((n * n) * ((n * n) - 1)) /. 2.0)
+  in
+  List.iter
+    (fun config ->
+      let r = Array_bench.run ~config ~mode arr_params in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "[%s] sum" config.Config.name)
+        expected r.Array_bench.sum_received)
+    Config.all
+
+let array_shape () =
+  let run config = (Array_bench.run ~config ~mode arr_params).Array_bench.stats in
+  let s_class = run Config.class_ in
+  let s_site = run Config.site in
+  let s_cycle = run Config.site_cycle in
+  let s_full = run Config.site_reuse_cycle in
+  Alcotest.(check bool) "site < class bytes on wire" true
+    (s_site.Metrics.bytes_sent < s_class.Metrics.bytes_sent);
+  Alcotest.(check bool) "site < class serializer calls" true
+    (s_site.Metrics.ser_invocations < s_class.Metrics.ser_invocations);
+  (* the array is provably acyclic: all lookups vanish *)
+  Alcotest.(check int) "no cycle lookups" 0 s_cycle.Metrics.cycle_lookups;
+  Alcotest.(check bool) "site still pays lookups" true
+    (s_site.Metrics.cycle_lookups > 0);
+  (* full opt: after the first repetition nothing is allocated *)
+  Alcotest.(check int) "allocs = first rep only"
+    (arr_params.Array_bench.n + 1)
+    s_full.Metrics.allocs
+
+(* --- LU (Tables 3 and 4) --- *)
+
+let lu_params = { Lu.n = 64; block_size = 8 }
+
+let lu_correct_all_configs () =
+  List.iter
+    (fun config ->
+      let r = Lu.run ~config ~mode lu_params in
+      Alcotest.(check bool)
+        (Printf.sprintf "[%s] residual %g small" config.Config.name r.Lu.residual)
+        true
+        (r.Lu.residual < 1e-9))
+    Config.all
+
+let lu_sequential_sanity () =
+  (* LU of a known 2x2: A = [[4,2],[2,3]] -> L21 = 0.5, U22 = 2 *)
+  let a = [| [| 4.0; 2.0 |]; [| 2.0; 3.0 |] |] in
+  Lu.lu_sequential a;
+  Alcotest.(check (float 1e-12)) "u11" 4.0 a.(0).(0);
+  Alcotest.(check (float 1e-12)) "u12" 2.0 a.(0).(1);
+  Alcotest.(check (float 1e-12)) "l21" 0.5 a.(1).(0);
+  Alcotest.(check (float 1e-12)) "u22" 2.0 a.(1).(1)
+
+let lu_shape () =
+  let run config = (Lu.run ~config ~mode lu_params).Lu.stats in
+  let s_site = run Config.site in
+  let s_cycle = run Config.site_cycle in
+  let s_reuse = run Config.site_reuse in
+  (* Table 4: local and remote rpcs both large (round-robin placement) *)
+  Alcotest.(check bool) "local rpcs" true (s_site.Metrics.local_rpcs > 0);
+  Alcotest.(check bool) "remote rpcs" true (s_site.Metrics.remote_rpcs > 0);
+  let ratio =
+    float_of_int s_site.Metrics.local_rpcs /. float_of_int s_site.Metrics.remote_rpcs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly even split (%.2f)" ratio)
+    true
+    (ratio > 0.3 && ratio < 3.0);
+  (* blocks are acyclic: lookups vanish entirely *)
+  Alcotest.(check int) "cycle lookups removed" 0 s_cycle.Metrics.cycle_lookups;
+  (* argument reuse slashes deserialization allocation (348 -> 87 MB in
+     the paper); returns are not reusable so some allocation remains *)
+  Alcotest.(check bool) "reused objects" true (s_reuse.Metrics.reused_objs > 0);
+  Alcotest.(check bool) "new bytes reduced by > 2x" true
+    (s_reuse.Metrics.new_bytes * 2 < s_site.Metrics.new_bytes);
+  Alcotest.(check bool) "but not zero (returns still allocate)" true
+    (s_reuse.Metrics.new_bytes > 0)
+
+(* --- superoptimizer (Tables 5 and 6) --- *)
+
+let so_params =
+  { Superopt.default_params with max_len = 1; max_candidates = max_int }
+
+let superopt_finds_known_equivalences () =
+  let r = Superopt.run ~config:Config.site_reuse_cycle ~mode so_params in
+  let has op =
+    List.exists
+      (fun p ->
+        Array.length p = 1
+        && p.(0).Superopt.Isa.op = op
+        && p.(0).Superopt.Isa.rd = 0)
+      r.Superopt.matches
+  in
+  (* r0 = r0 - r0 is also r0 = r0 ^ r0 and r0 = loadi 0 *)
+  Alcotest.(check bool) "xor r0 r0 r0 found" true (has Superopt.Isa.Xor);
+  Alcotest.(check bool) "sub r0 r0 r0 found" true (has Superopt.Isa.Sub);
+  Alcotest.(check bool) "loadi r0 #0 found" true (has Superopt.Isa.Loadi);
+  Alcotest.(check bool) "mov not matched" false (has Superopt.Isa.Mov)
+
+let superopt_same_matches_all_configs () =
+  let matches config =
+    (Superopt.run ~config ~mode so_params).Superopt.matches
+    |> List.map (Format.asprintf "%a" Superopt.Isa.pp_prog)
+  in
+  let baseline = matches Config.class_ in
+  List.iter
+    (fun config ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "[%s] matches" config.Config.name)
+        baseline (matches config))
+    Config.all
+
+let superopt_shape () =
+  let run config = (Superopt.run ~config ~mode so_params).Superopt.stats in
+  let s_site = run Config.site in
+  let s_cycle = run Config.site_cycle in
+  let s_reuse = run Config.site_reuse in
+  (* Table 6: cycle elimination removes tens of lookups per candidate *)
+  Alcotest.(check int) "cycle lookups removed" 0 s_cycle.Metrics.cycle_lookups;
+  Alcotest.(check bool) "many lookups otherwise" true
+    (s_site.Metrics.cycle_lookups > 10 * s_site.Metrics.remote_rpcs);
+  (* the queue store defeats reuse: nothing is recycled *)
+  Alcotest.(check int) "no reuse possible" 0 s_reuse.Metrics.reused_objs
+
+let isa_executes () =
+  let open Superopt.Isa in
+  let regs = [| 5; 7; 9 |] in
+  exec [| { op = Add; rd = 0; rs1 = 1; rs2 = 2 } |] regs;
+  Alcotest.(check int) "add" 16 regs.(0);
+  exec [| { op = Loadi; rd = 2; rs1 = 1; rs2 = 0 } |] regs;
+  Alcotest.(check int) "loadi" 1 regs.(2);
+  exec [| { op = Not; rd = 1; rs1 = 1; rs2 = 0 } |] regs;
+  Alcotest.(check int) "not" (lnot 7) regs.(1)
+
+let isa_identity_family () =
+  (* classic single-instruction identities: and/or/mov on the same
+     register all behave as the identity on r0 *)
+  let open Superopt.Isa in
+  let idish =
+    [
+      [| { op = Mov; rd = 0; rs1 = 0; rs2 = 0 } |];
+      [| { op = And; rd = 0; rs1 = 0; rs2 = 0 } |];
+      [| { op = Or; rd = 0; rs1 = 0; rs2 = 0 } |];
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "identity family" true (equivalent a b))
+        idish)
+    idish;
+  (* shifting by r0 is not the identity in general *)
+  Alcotest.(check bool) "shl not identity" false
+    (equivalent (List.hd idish) [| { op = Shl; rd = 0; rs1 = 0; rs2 = 0 } |])
+
+let isa_equivalence () =
+  let open Superopt.Isa in
+  let zero1 = [| { op = Sub; rd = 0; rs1 = 0; rs2 = 0 } |] in
+  let zero2 = [| { op = Xor; rd = 0; rs1 = 0; rs2 = 0 } |] in
+  let double = [| { op = Add; rd = 0; rs1 = 0; rs2 = 0 } |] in
+  let shl1 =
+    [|
+      { op = Loadi; rd = 1; rs1 = 1; rs2 = 0 };
+      { op = Shl; rd = 0; rs1 = 0; rs2 = 1 };
+    |]
+  in
+  Alcotest.(check bool) "sub == xor (zeroing)" true (equivalent zero1 zero2);
+  Alcotest.(check bool) "zero != double" false (equivalent zero1 double);
+  (* x + x == x << 1, but shl1 clobbers r1 so they are NOT equivalent *)
+  Alcotest.(check bool) "double != shl (clobbers r1)" false
+    (equivalent double shl1)
+
+let isa_enumeration_counts () =
+  let open Superopt.Isa in
+  let count l = Seq.length (enumerate ~max_len:l) in
+  let singles = count 1 in
+  (* 7 three-operand ops * 3 * 9, + 4 two-operand (mov/neg/not/ld) * 3 * 3,
+     + loadi 3 * 4, + st 3 * 3 *)
+  Alcotest.(check int) "single instructions"
+    ((7 * 27) + (4 * 9) + 12 + 9)
+    singles;
+  Alcotest.(check int) "pairs" (singles + (singles * singles)) (count 2)
+
+let isa_memory_semantics () =
+  let open Superopt.Isa in
+  (* st [r0], r1 ; ld r2, [r0] moves r1 into r2 through memory *)
+  let regs = [| 0; 42; 7 |] in
+  let mem = Array.make msize 0 in
+  exec_mem
+    [| { op = St; rd = 0; rs1 = 0; rs2 = 1 }; { op = Ld; rd = 2; rs1 = 0; rs2 = 0 } |]
+    regs mem;
+  Alcotest.(check int) "store+load roundtrip" 42 regs.(2);
+  Alcotest.(check int) "memory written" 42 mem.(0);
+  (* programs differing only in a memory side effect are NOT equivalent *)
+  let store = [| { op = St; rd = 0; rs1 = 0; rs2 = 1 } |] in
+  let nothing = [| { op = Mov; rd = 0; rs1 = 0; rs2 = 0 } |] in
+  Alcotest.(check bool) "memory effects distinguish" false
+    (equivalent store nothing);
+  (* ...and a store is equivalent to itself *)
+  Alcotest.(check bool) "store self-equivalent" true (equivalent store store)
+
+(* --- webserver (Tables 7 and 8) --- *)
+
+let web_params = { Webserver.pages = 8; page_bytes = 256; requests = 64 }
+
+let web_correct_all_configs () =
+  List.iter
+    (fun config ->
+      let r = Webserver.run ~config ~mode web_params in
+      Alcotest.(check int)
+        (Printf.sprintf "[%s] bytes served" config.Config.name)
+        (web_params.page_bytes / 8 * 8 * web_params.requests)
+        r.Webserver.bytes_served)
+    Config.all
+
+let web_shape () =
+  let run config = (Webserver.run ~config ~mode web_params).Webserver.stats in
+  let s_site = run Config.site in
+  let s_cycle = run Config.site_cycle in
+  let s_full = run Config.site_reuse_cycle in
+  (* Table 8: both cycle-free directions -> zero lookups *)
+  Alcotest.(check int) "no cycle lookups" 0 s_cycle.Metrics.cycle_lookups;
+  Alcotest.(check bool) "lookups without elision" true
+    (s_site.Metrics.cycle_lookups > 0);
+  (* half local, half remote *)
+  Alcotest.(check int) "even split" s_full.Metrics.local_rpcs
+    s_full.Metrics.remote_rpcs;
+  (* with reuse, allocation settles: only the first traversal of each
+     (site, direction) allocates *)
+  Alcotest.(check bool) "reuse recycles" true (s_full.Metrics.reused_objs > 0);
+  Alcotest.(check bool) "allocation nearly vanishes" true
+    (s_full.Metrics.allocs * 4 < s_site.Metrics.allocs)
+
+(* --- analysis decisions match the paper's narrative --- *)
+
+let analysis_decisions () =
+  let decision compiled site =
+    match Rmi_core.Optimizer.decision_for compiled.App_common.opt site with
+    | Some d -> d
+    | None -> Alcotest.fail "no decision"
+  in
+  let open Rmi_core in
+  (* linked list: cyclic (false positive), reusable *)
+  let d = decision (Linked_list.compiled ()) (Linked_list.callsite ()) in
+  Alcotest.(check bool) "list may be cyclic" false d.Optimizer.args_acyclic;
+  Alcotest.(check bool) "list reusable" true
+    (Escape_analysis.is_reusable d.Optimizer.arg_escape.(0));
+  (* 2d array: acyclic and reusable (Figure 13) *)
+  let d = decision (Array_bench.compiled ()) (Array_bench.callsite ()) in
+  Alcotest.(check bool) "array acyclic" true d.Optimizer.args_acyclic;
+  Alcotest.(check bool) "array reusable" true
+    (Escape_analysis.is_reusable d.Optimizer.arg_escape.(0));
+  (* LU: acyclic, args reusable, return (stored into matrix) not *)
+  let d = decision (Lu.compiled ()) (Lu.callsite ()) in
+  Alcotest.(check bool) "lu acyclic" true d.Optimizer.args_acyclic;
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "lu arg reusable" true (Escape_analysis.is_reusable v))
+    d.Optimizer.arg_escape;
+  Alcotest.(check bool) "lu return not reusable" false
+    (Escape_analysis.is_reusable d.Optimizer.ret_escape);
+  (* superoptimizer: acyclic, queued argument not reusable *)
+  let accept_site, _ = Superopt.callsites () in
+  let d = decision (Superopt.compiled ()) accept_site in
+  Alcotest.(check bool) "superopt acyclic" true d.Optimizer.args_acyclic;
+  Alcotest.(check bool) "superopt arg escapes" false
+    (Escape_analysis.is_reusable d.Optimizer.arg_escape.(0));
+  (* webserver: both directions cycle-free and reusable *)
+  let d = decision (Webserver.compiled ()) (Webserver.callsite ()) in
+  Alcotest.(check bool) "web args acyclic" true d.Optimizer.args_acyclic;
+  Alcotest.(check bool) "web ret acyclic" true d.Optimizer.ret_acyclic;
+  Alcotest.(check bool) "web url reusable" true
+    (Escape_analysis.is_reusable d.Optimizer.arg_escape.(0));
+  Alcotest.(check bool) "web page reusable" true
+    (Escape_analysis.is_reusable d.Optimizer.ret_escape)
+
+(* --- beyond two machines --- *)
+
+let four_machine_webserver () =
+  let r =
+    Webserver.run ~machines:4 ~config:Config.site_reuse_cycle ~mode web_params
+  in
+  Alcotest.(check int) "bytes served"
+    (web_params.page_bytes / 8 * 8 * web_params.requests)
+    r.Webserver.bytes_served;
+  let s = r.Webserver.stats in
+  (* 1/4 of the requests land on the master's own slave *)
+  Alcotest.(check bool) "local < remote" true
+    (s.Metrics.local_rpcs * 2 < s.Metrics.remote_rpcs)
+
+let four_machine_lu () =
+  let r = Lu.run ~machines:4 ~config:Config.site_reuse_cycle ~mode lu_params in
+  Alcotest.(check bool)
+    (Printf.sprintf "residual %g" r.Lu.residual)
+    true (r.Lu.residual < 1e-9)
+
+let three_machine_superopt () =
+  let r =
+    Superopt.run ~machines:3 ~config:Config.site_reuse_cycle ~mode so_params
+  in
+  let baseline = Superopt.run ~config:Config.site_reuse_cycle ~mode so_params in
+  Alcotest.(check int) "same matches as 2 machines"
+    (List.length baseline.Superopt.matches)
+    (List.length r.Superopt.matches)
+
+(* --- parallel-mode spot check --- *)
+
+let parallel_spot_check () =
+  let r =
+    Array_bench.run ~config:Config.site_reuse_cycle ~mode:Fabric.Parallel
+      arr_params
+  in
+  let n = arr_params.Array_bench.n in
+  let expected =
+    float_of_int arr_params.Array_bench.repetitions
+    *. (float_of_int ((n * n) * ((n * n) - 1)) /. 2.0)
+  in
+  Alcotest.(check (float 1e-6)) "parallel sum" expected r.Array_bench.sum_received
+
+let suite =
+  [
+    ( "apps.linked_list",
+      [
+        Alcotest.test_case "correct under all configs" `Quick list_correct_all_configs;
+        Alcotest.test_case "statistic shape (Table 1)" `Quick list_shape;
+      ] );
+    ( "apps.array",
+      [
+        Alcotest.test_case "correct under all configs" `Quick array_correct_all_configs;
+        Alcotest.test_case "statistic shape (Table 2)" `Quick array_shape;
+      ] );
+    ( "apps.lu",
+      [
+        Alcotest.test_case "sequential 2x2" `Quick lu_sequential_sanity;
+        Alcotest.test_case "matches sequential under all configs" `Quick
+          lu_correct_all_configs;
+        Alcotest.test_case "statistic shape (Table 4)" `Quick lu_shape;
+      ] );
+    ( "apps.superopt",
+      [
+        Alcotest.test_case "isa executes" `Quick isa_executes;
+        Alcotest.test_case "isa equivalence" `Quick isa_equivalence;
+        Alcotest.test_case "isa identity family" `Quick isa_identity_family;
+        Alcotest.test_case "enumeration counts" `Quick isa_enumeration_counts;
+        Alcotest.test_case "memory semantics" `Quick isa_memory_semantics;
+        Alcotest.test_case "finds known equivalences" `Quick
+          superopt_finds_known_equivalences;
+        Alcotest.test_case "same matches under all configs" `Quick
+          superopt_same_matches_all_configs;
+        Alcotest.test_case "statistic shape (Table 6)" `Quick superopt_shape;
+      ] );
+    ( "apps.webserver",
+      [
+        Alcotest.test_case "correct under all configs" `Quick web_correct_all_configs;
+        Alcotest.test_case "statistic shape (Table 8)" `Quick web_shape;
+      ] );
+    ( "apps.analysis",
+      [ Alcotest.test_case "verdicts match the paper" `Quick analysis_decisions ] );
+    ( "apps.parallel",
+      [ Alcotest.test_case "domain-mode spot check" `Quick parallel_spot_check ] );
+    ( "apps.scaling",
+      [
+        Alcotest.test_case "webserver on 4 machines" `Quick four_machine_webserver;
+        Alcotest.test_case "LU on 4 machines" `Quick four_machine_lu;
+        Alcotest.test_case "superopt on 3 machines" `Quick three_machine_superopt;
+      ] );
+  ]

@@ -1,0 +1,269 @@
+(* Plan-generation tests: the inlined marshaler shapes of Figures 6 and
+   13, dynamic fallbacks, inlining budgets, and the optimizer driver. *)
+
+open Rmi_core
+module HA = Heap_analysis
+
+let analyze prog =
+  Rmi_ssa.Ssa.convert prog;
+  HA.analyze prog
+
+let callsite_of r site =
+  match HA.callsite r site with
+  | Some cs -> cs
+  | None -> Alcotest.fail "callsite not found"
+
+let plan_step_str s = Format.asprintf "%a" Plan.pp_step s
+
+let fig13_array_plan () =
+  let fx = Fixtures.array2d () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  let plan = Codegen.plan_for r cs in
+  (* the generated marshaler of Figure 13: outer object array of double
+     arrays, no cycle table, argument reusable, ack-only reply *)
+  (match plan.Plan.args with
+  | [| Plan.S_obj_array { elem = Plan.S_double_array } |] -> ()
+  | [| s |] -> Alcotest.failf "unexpected step %s" (plan_step_str s)
+  | _ -> Alcotest.fail "expected one arg");
+  Alcotest.(check bool) "cycle table removed" false plan.Plan.cycle_args;
+  Alcotest.(check bool) "reuse enabled" true plan.Plan.reuse_args.(0);
+  Alcotest.(check bool) "ack-only reply" true (plan.Plan.ret = None)
+
+let fig5_per_callsite_specialization () =
+  let fx = Fixtures.fig5 () in
+  Rmi_ssa.Ssa.convert fx.f5_prog;
+  let r = HA.analyze fx.f5_prog in
+  match fx.f5_sites with
+  | [ s1; s2 ] ->
+      let p1 = Codegen.plan_for r (callsite_of r s1) in
+      let p2 = Codegen.plan_for r (callsite_of r s2) in
+      (* callsite 1 passes Derived1, callsite 2 passes Derived2 whose
+         field p is itself inlined as Derived1 (paper Figure 6) *)
+      (match p1.Plan.args.(0) with
+      | Plan.S_obj { cls; fields } ->
+          Alcotest.(check int) "derived1 inferred" fx.f5_derived1 cls;
+          Alcotest.(check int) "one int field" 1 (Array.length fields);
+          Alcotest.(check bool) "int field inline" true (fields.(0) = Plan.S_int)
+      | s -> Alcotest.failf "site1: unexpected %s" (plan_step_str s));
+      (match p2.Plan.args.(0) with
+      | Plan.S_obj { cls; fields } ->
+          Alcotest.(check int) "derived2 inferred" fx.f5_derived2 cls;
+          (match fields.(0) with
+          | Plan.S_obj { cls; fields = inner } ->
+              Alcotest.(check int) "p field inlined as Derived1" fx.f5_derived1 cls;
+              Alcotest.(check bool) "inner int inline" true (inner.(0) = Plan.S_int)
+          | s -> Alcotest.failf "site2 field: unexpected %s" (plan_step_str s))
+      | s -> Alcotest.failf "site2: unexpected %s" (plan_step_str s))
+  | _ -> Alcotest.fail "expected two callsites"
+
+let recursive_type_becomes_self_reference () =
+  (* the linked list's next field points back into the same allocation
+     site: the plan must tie the knot with a recursive definition — the
+     paper's direct untagged recursive serializer call — rather than
+     unrolling or falling all the way back to the dynamic path *)
+  let fx = Fixtures.linked_list () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  let plan = Codegen.plan_for r cs in
+  (match plan.Plan.args.(0) with
+  | Plan.S_ref d -> (
+      match plan.Plan.defs.(d) with
+      | Plan.S_obj { fields = [| Plan.S_ref d' |]; _ } ->
+          Alcotest.(check int) "next recurses on the same def" d d'
+      | s -> Alcotest.failf "unexpected def %s" (plan_step_str s))
+  | s -> Alcotest.failf "unexpected %s" (plan_step_str s));
+  Alcotest.(check bool) "cycle table kept" true plan.Plan.cycle_args;
+  Alcotest.(check bool) "still reusable" true plan.Plan.reuse_args.(0)
+
+let mixed_types_fall_back_to_dyn () =
+  (* one callsite whose argument can be two different classes *)
+  let open Jir in
+  let b = Builder.create () in
+  let base = Builder.declare_class b "Base" in
+  let d1 = Builder.declare_class b ~super:base "D1" in
+  let d2 = Builder.declare_class b ~super:base "D2" in
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let foo =
+    Builder.declare_method b ~owner:work ~name:"Work.foo" ~params:[ Tobject base ]
+      ~ret:Tvoid ()
+  in
+  Builder.define b foo (fun mb -> Builder.ret mb None);
+  let go = Builder.declare_method b ~name:"go" ~params:[ Tbool ] ~ret:Tvoid () in
+  Builder.define b go (fun mb ->
+      let w = Builder.alloc mb work in
+      let x = Builder.fresh mb (Tobject base) in
+      Builder.if_ mb
+        (Var (Builder.param mb 0))
+        (fun () ->
+          let o = Builder.alloc mb d1 in
+          Builder.move mb x (Var o))
+        (fun () ->
+          let o = Builder.alloc mb d2 in
+          Builder.move mb x (Var o));
+      Builder.rcall_ignore mb (Var w) foo [ Var x ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let plan = Codegen.plan_for r (callsite_of r fx.s_site) in
+  Alcotest.(check bool) "ambiguous type -> dyn" true
+    (plan.Plan.args.(0) = Plan.S_dyn)
+
+let depth_budget_respected () =
+  (* a deep chain of distinct classes: inlining stops at the depth cap *)
+  let open Jir in
+  let b = Builder.create () in
+  let depth = 12 in
+  let classes = Array.init depth (fun i -> Builder.declare_class b (Printf.sprintf "C%d" i)) in
+  let fields =
+    Array.init (depth - 1) (fun i ->
+        Builder.add_field b classes.(i) "next" (Tobject classes.(i + 1)))
+  in
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let foo =
+    Builder.declare_method b ~owner:work ~name:"Work.foo"
+      ~params:[ Tobject classes.(0) ] ~ret:Tvoid ()
+  in
+  Builder.define b foo (fun mb -> Builder.ret mb None);
+  let go = Builder.declare_method b ~name:"go" ~params:[] ~ret:Tvoid () in
+  Builder.define b go (fun mb ->
+      let w = Builder.alloc mb work in
+      let objs = Array.map (fun c -> Builder.alloc mb c) classes in
+      for i = 0 to depth - 2 do
+        Builder.store_field mb objs.(i) fields.(i) (Var objs.(i + 1))
+      done;
+      Builder.rcall_ignore mb (Var w) foo [ Var objs.(0) ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let config = { Codegen.max_inline_depth = 3; max_plan_size = 1000 } in
+  let plan = Codegen.plan_for ~config r (callsite_of r fx.s_site) in
+  let rec max_depth = function
+    | Plan.S_obj { fields; _ } ->
+        1 + Array.fold_left (fun acc s -> max acc (max_depth s)) 0 fields
+    | Plan.S_obj_array { elem } -> 1 + max_depth elem
+    | _ -> 0
+  in
+  Alcotest.(check bool) "inline depth capped" true
+    (max_depth plan.Plan.args.(0) <= 4);
+  (* with a generous depth the whole chain inlines *)
+  let config = { Codegen.max_inline_depth = 20; max_plan_size = 1000 } in
+  let plan2 = Codegen.plan_for ~config r (callsite_of r fx.s_site) in
+  Alcotest.(check bool) "full inline at depth 20" true
+    (max_depth plan2.Plan.args.(0) >= depth - 1)
+
+let size_budget_falls_back () =
+  let fx = Fixtures.array2d () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  let config = { Codegen.max_inline_depth = 8; max_plan_size = 1 } in
+  let plan = Codegen.plan_for ~config r cs in
+  Alcotest.(check bool) "budget forces dyn" true (plan.Plan.args.(0) = Plan.S_dyn)
+
+let statically_null_field () =
+  (* a field no allocation ever reaches serializes as zero bytes *)
+  let open Jir in
+  let b = Builder.create () in
+  let leaf = Builder.declare_class b "Leaf" in
+  let node = Builder.declare_class b "Node" in
+  let used = Builder.add_field b node "used" Tint in
+  let unused = Builder.add_field b node "unused" (Tobject leaf) in
+  ignore used;
+  ignore unused;
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let foo =
+    Builder.declare_method b ~owner:work ~name:"Work.foo" ~params:[ Tobject node ]
+      ~ret:Tvoid ()
+  in
+  Builder.define b foo (fun mb -> Builder.ret mb None);
+  let go = Builder.declare_method b ~name:"go" ~params:[] ~ret:Tvoid () in
+  Builder.define b go (fun mb ->
+      let w = Builder.alloc mb work in
+      let n = Builder.alloc mb node in
+      Builder.store_field mb n used (Int 5);
+      Builder.rcall_ignore mb (Var w) foo [ Var n ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let plan = Codegen.plan_for r (callsite_of r fx.s_site) in
+  match plan.Plan.args.(0) with
+  | Plan.S_obj { fields = [| Plan.S_int; Plan.S_null |]; _ } -> ()
+  | s -> Alcotest.failf "unexpected %s" (plan_step_str s)
+
+let recursion_through_arrays () =
+  (* a tree whose children live in an object array: when the recursion
+     closes over the same allocation sites, the plan must tie the knot
+     (here the root and the children are distinct sites holding a shared
+     array site, so the array's element step recurses on the child) *)
+  let open Jir in
+  let b = Builder.create () in
+  let node = Builder.declare_class b "Node" in
+  let kids = Builder.add_field b node "kids" (Tarray (Tobject node)) in
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let foo =
+    Builder.declare_method b ~owner:work ~name:"Work.foo" ~params:[ Tobject node ]
+      ~ret:Tvoid ()
+  in
+  Builder.define b foo (fun mb -> Builder.ret mb None);
+  let go = Builder.declare_method b ~name:"go" ~params:[] ~ret:Tvoid () in
+  Builder.define b go (fun mb ->
+      let w = Builder.alloc mb work in
+      let root = Builder.alloc mb node in
+      let arr = Builder.alloc_array mb (Tobject node) (Int 2) in
+      (* self-recursive shape: the root's own site is an element *)
+      Builder.store_elem mb arr (Int 0) (Var root);
+      Builder.store_field mb root kids (Var arr);
+      Builder.rcall_ignore mb (Var w) foo [ Var root ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let plan = Codegen.plan_for r (callsite_of r fx.s_site) in
+  (match plan.Plan.args.(0) with
+  | Plan.S_ref d -> (
+      match plan.Plan.defs.(d) with
+      | Plan.S_obj { fields = [| Plan.S_obj_array { elem = Plan.S_ref d' } |]; _ }
+        ->
+          Alcotest.(check int) "knot tied through the array" d d'
+      | s -> Alcotest.failf "unexpected def %s" (plan_step_str s))
+  | s -> Alcotest.failf "unexpected %s" (plan_step_str s));
+  Alcotest.(check bool) "cyclic verdict" true plan.Plan.cycle_args
+
+let optimizer_driver_end_to_end () =
+  let fx = Fixtures.array2d () in
+  let opt = Optimizer.run fx.s_prog in
+  Alcotest.(check int) "one decision" 1 (List.length opt.Optimizer.decisions);
+  let d = List.hd opt.Optimizer.decisions in
+  Alcotest.(check bool) "acyclic" true d.Optimizer.args_acyclic;
+  Alcotest.(check bool) "reusable" true
+    (Rmi_core.Escape_analysis.is_reusable d.Optimizer.arg_escape.(0));
+  (* report renders without raising and mentions the callsite *)
+  let report = Optimizer.report opt in
+  Alcotest.(check bool) "report nonempty" true (String.length report > 50);
+  (* unknown sites fall back to a generic plan *)
+  let generic = Optimizer.plan_for_site opt 9999 ~nargs:2 ~has_ret:true in
+  Alcotest.(check bool) "generic cycle on" true generic.Plan.cycle_args;
+  Alcotest.(check bool) "generic dyn" true (generic.Plan.args.(0) = Plan.S_dyn)
+
+let plan_size_accounting () =
+  let p = Plan.generic ~callsite:0 ~nargs:3 ~has_ret:true in
+  Alcotest.(check int) "generic size" 4 (Plan.size p)
+
+let suite =
+  [
+    ( "codegen.plans",
+      [
+        Alcotest.test_case "figure 13 array marshaler" `Quick fig13_array_plan;
+        Alcotest.test_case "figure 5/6 per-callsite specialization" `Quick
+          fig5_per_callsite_specialization;
+        Alcotest.test_case "recursive type -> self reference" `Quick
+          recursive_type_becomes_self_reference;
+        Alcotest.test_case "ambiguous type -> dyn" `Quick mixed_types_fall_back_to_dyn;
+        Alcotest.test_case "inline depth budget" `Quick depth_budget_respected;
+        Alcotest.test_case "plan size budget" `Quick size_budget_falls_back;
+        Alcotest.test_case "statically null field" `Quick statically_null_field;
+        Alcotest.test_case "recursion through arrays" `Quick recursion_through_arrays;
+        Alcotest.test_case "plan size accounting" `Quick plan_size_accounting;
+      ] );
+    ( "codegen.optimizer",
+      [ Alcotest.test_case "end to end driver" `Quick optimizer_driver_end_to_end ] );
+  ]

@@ -1,0 +1,137 @@
+(* Cycle-analysis tests: Figures 8 and 9 (detection required), the
+   acyclic array case (detection removable), and the paper's admitted
+   false positive on linked lists. *)
+
+module HA = Rmi_core.Heap_analysis
+module CA = Rmi_core.Cycle_analysis
+
+let analyze prog =
+  Rmi_ssa.Ssa.convert prog;
+  HA.analyze prog
+
+let callsite_of r site =
+  match HA.callsite r site with
+  | Some cs -> cs
+  | None -> Alcotest.fail "callsite not found"
+
+let verdict = Alcotest.testable CA.pp_verdict ( = )
+
+let fig8_aliased_args () =
+  let fx = Fixtures.fig8 () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "same object twice -> may be cyclic" CA.May_be_cyclic
+    (CA.args_verdict r cs)
+
+let fig9_self_reference () =
+  let fx = Fixtures.fig9 () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "self reference -> may be cyclic" CA.May_be_cyclic
+    (CA.args_verdict r cs)
+
+let linked_list_false_positive () =
+  (* the paper's conclusion: linked lists are 'mistakenly identified as
+     having cycles' because every cell comes from one allocation site *)
+  let fx = Fixtures.linked_list () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "linked list conservatively cyclic" CA.May_be_cyclic
+    (CA.args_verdict r cs)
+
+let array2d_acyclic () =
+  let fx = Fixtures.array2d () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "double[][] acyclic -> cycle table removed"
+    CA.Acyclic (CA.args_verdict r cs)
+
+let fig2_tree_acyclic () =
+  (* direct use of the root traversal on the figure-2 graph *)
+  let fx = Fixtures.fig2 () in
+  let r = analyze fx.f2_prog in
+  let foo_var = Fixtures.alloc_dst fx.f2_prog fx.f2_main fx.f2_foo_cls in
+  let roots = [ HA.var_set r fx.f2_main foo_var ] in
+  Alcotest.check verdict "figure 2 tree" CA.Acyclic
+    (CA.of_roots (HA.graph r) roots)
+
+let distinct_sites_not_cyclic () =
+  (* two distinct objects passed as two args: no number repeats *)
+  let open Jir in
+  let b = Builder.create () in
+  let base = Builder.declare_class b "Base" in
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let bar =
+    Builder.declare_method b ~owner:work ~name:"Work.bar"
+      ~params:[ Tobject base; Tobject base ] ~ret:Tvoid ()
+  in
+  Builder.define b bar (fun mb -> Builder.ret mb None);
+  let foo = Builder.declare_method b ~name:"foo" ~params:[] ~ret:Tvoid () in
+  Builder.define b foo (fun mb ->
+      let w = Builder.alloc mb work in
+      let b1 = Builder.alloc mb base in
+      let b2 = Builder.alloc mb base in
+      Builder.rcall_ignore mb (Var w) bar [ Var b1; Var b2 ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "distinct objects" CA.Acyclic (CA.args_verdict r cs)
+
+let shared_subobject_conservative () =
+  (* DAG sharing (two holders pointing at one payload) is conservatively
+     flagged: the seen-twice rule cannot tell sharing from cycles *)
+  let open Jir in
+  let b = Builder.create () in
+  let payload = Builder.declare_class b "Payload" in
+  let holder = Builder.declare_class b "Holder" in
+  let fld = Builder.add_field b holder "p" (Tobject payload) in
+  let work = Builder.declare_class b ~remote:true "Work" in
+  let bar =
+    Builder.declare_method b ~owner:work ~name:"Work.bar"
+      ~params:[ Tobject holder; Tobject holder ] ~ret:Tvoid ()
+  in
+  Builder.define b bar (fun mb -> Builder.ret mb None);
+  let foo = Builder.declare_method b ~name:"foo" ~params:[] ~ret:Tvoid () in
+  Builder.define b foo (fun mb ->
+      let w = Builder.alloc mb work in
+      let p = Builder.alloc mb payload in
+      let h1 = Builder.alloc mb holder in
+      let h2 = Builder.alloc mb holder in
+      Builder.store_field mb h1 fld (Var p);
+      Builder.store_field mb h2 fld (Var p);
+      Builder.rcall_ignore mb (Var w) bar [ Var h1; Var h2 ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "shared payload flagged" CA.May_be_cyclic
+    (CA.args_verdict r cs)
+
+let return_verdicts () =
+  let fx = Fixtures.returned_value () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.check verdict "returned page acyclic" CA.Acyclic (CA.ret_verdict r cs)
+
+let empty_roots_acyclic () =
+  let g = Rmi_core.Heap_graph.create () in
+  Alcotest.check verdict "nothing to serialize" CA.Acyclic (CA.of_roots g [])
+
+let suite =
+  [
+    ( "cycle.analysis",
+      [
+        Alcotest.test_case "figure 8: aliased arguments" `Quick fig8_aliased_args;
+        Alcotest.test_case "figure 9: self reference" `Quick fig9_self_reference;
+        Alcotest.test_case "linked list false positive" `Quick
+          linked_list_false_positive;
+        Alcotest.test_case "2d array acyclic" `Quick array2d_acyclic;
+        Alcotest.test_case "figure 2 tree acyclic" `Quick fig2_tree_acyclic;
+        Alcotest.test_case "distinct sites acyclic" `Quick distinct_sites_not_cyclic;
+        Alcotest.test_case "DAG sharing conservative" `Quick
+          shared_subobject_conservative;
+        Alcotest.test_case "return verdict" `Quick return_verdicts;
+        Alcotest.test_case "empty roots" `Quick empty_roots_acyclic;
+      ] );
+  ]

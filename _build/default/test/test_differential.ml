@@ -1,0 +1,249 @@
+(* Differential and adversarial serializer tests.
+
+   Differential: the three serializer families (introspective,
+   class-specific/dynamic, call-site plan) must reconstruct structurally
+   identical values from the same input.
+
+   Adversarial: feeding arbitrary bytes to any deserializer must raise
+   a clean protocol error (Underflow) — never crash, hang, or allocate
+   absurd amounts.  This exercises the length validation on every array
+   path. *)
+
+open Rmi_serial
+module Msgbuf = Rmi_wire.Msgbuf
+module Metrics = Rmi_stats.Metrics
+module Plan = Rmi_core.Plan
+
+let meta =
+  Class_meta.make
+    [
+      ("Cell", [ ("next", Jir.Types.Tobject 0) ]);
+      ("Pair", [ ("a", Jir.Types.Tint); ("b", Jir.Types.Tobject 0) ]);
+    ]
+
+(* random acyclic values over the Cell/Pair world *)
+let gen_value =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) small_int;
+        map (fun f -> Value.Double f) float;
+        map (fun s -> Value.Str s) (string_size (int_bound 8));
+        map
+          (fun fs ->
+            let a = Value.new_darr (List.length fs) in
+            List.iteri (fun i f -> a.Value.d.(i) <- f) fs;
+            Value.Darr a)
+          (list_size (int_bound 6) float);
+        map
+          (fun is ->
+            let a = Value.new_iarr (List.length is) in
+            List.iteri (fun i x -> a.Value.ia.(i) <- x) is;
+            Value.Iarr a)
+          (list_size (int_bound 6) int);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 2,
+              map
+                (fun next ->
+                  let c = Value.new_obj ~cls:0 ~nfields:1 in
+                  c.Value.fields.(0) <- next;
+                  Value.Obj c)
+                (self (depth - 1)) );
+            ( 1,
+              map2
+                (fun i next ->
+                  let p = Value.new_obj ~cls:1 ~nfields:2 in
+                  p.Value.fields.(0) <- Value.Int i;
+                  p.Value.fields.(1) <- next;
+                  Value.Obj p)
+                small_int
+                (self (depth - 1)) );
+            ( 1,
+              map
+                (fun elems ->
+                  let a =
+                    Value.new_rarr (Jir.Types.Tobject 0) (List.length elems)
+                  in
+                  List.iteri (fun i e -> a.Value.ra.(i) <- e) elems;
+                  Value.Rarr a)
+                (list_size (int_bound 4) (self (depth - 1))) );
+          ])
+    3
+
+let arb_value = QCheck.make ~print:(Format.asprintf "%a" Value.pp) gen_value
+
+let via_introspect v =
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Introspect.write (Introspect.make_wctx meta m) w v;
+  Introspect.read (Introspect.make_rctx meta m) (Msgbuf.reader_of_writer w)
+
+let via_dyn v =
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Codec.write_dyn (Codec.make_wctx meta m ~cycle:true) w v;
+  Codec.read_dyn (Codec.make_rctx meta m ~cycle:true) (Msgbuf.reader_of_writer w)
+    ~cand:Value.Null
+
+let via_plan v =
+  (* the S_dyn plan step must behave identically to the dynamic path *)
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Codec.write_step (Codec.make_wctx meta m ~cycle:true) w Plan.S_dyn v;
+  Codec.read_step
+    (Codec.make_rctx meta m ~cycle:true)
+    (Msgbuf.reader_of_writer w) Plan.S_dyn ~cand:Value.Null
+
+(* the step plan used for compiled-vs-interpreted comparison: a
+   recursive Cell chain with a dynamic escape hatch *)
+let chain_step = Plan.S_ref 0
+let chain_defs = [| Plan.S_obj { cls = 0; fields = [| Plan.S_ref 0 |] } |]
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make ~name:"compiled plan = interpreted plan (bytes and value)"
+    ~count:400
+    QCheck.(small_nat)
+    (fun len ->
+      (* a pure Cell chain of random length fits the recursive plan *)
+      let rec chain k =
+        if k = 0 then Value.Null
+        else begin
+          let c = Value.new_obj ~cls:0 ~nfields:1 in
+          c.Value.fields.(0) <- chain (k - 1);
+          Value.Obj c
+        end
+      in
+      let v =
+        match chain (len + 1) with Value.Null -> assert false | v -> v
+      in
+      let m = Metrics.create () in
+      let w1 = Msgbuf.create_writer () in
+      Codec.write_step
+        (Codec.make_wctx ~defs:chain_defs meta m ~cycle:true)
+        w1 chain_step v;
+      let w2 = Msgbuf.create_writer () in
+      (Codec.compile_write ~defs:chain_defs chain_step)
+        (Codec.make_wctx ~defs:chain_defs meta m ~cycle:true)
+        w2 v;
+      let same_bytes = Bytes.equal (Msgbuf.contents w1) (Msgbuf.contents w2) in
+      let r1 =
+        Codec.read_step
+          (Codec.make_rctx ~defs:chain_defs meta m ~cycle:true)
+          (Msgbuf.reader_of_writer w1) chain_step ~cand:Value.Null
+      in
+      let r2 =
+        (Codec.compile_read ~defs:chain_defs chain_step)
+          (Codec.make_rctx ~defs:chain_defs meta m ~cycle:true)
+          (Msgbuf.reader_of_writer w2) ~cand:Value.Null
+      in
+      same_bytes && Equality.equal r1 r2 && Equality.equal v r1)
+
+let prop_three_families_agree =
+  QCheck.Test.make ~name:"introspect = dyn = plan on random graphs" ~count:400
+    arb_value
+    (fun v ->
+      let a = via_introspect v and b = via_dyn v and c = via_plan v in
+      Equality.equal v a && Equality.equal a b && Equality.equal b c)
+
+(* --- adversarial inputs ------------------------------------------------ *)
+
+let gen_bytes = QCheck.Gen.(map Bytes.of_string (string_size (int_bound 64)))
+
+let arb_bytes =
+  QCheck.make
+    ~print:(fun b ->
+      String.concat " "
+        (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+           (List.of_seq (Bytes.to_seq b))))
+    gen_bytes
+
+let fuzz_dyn =
+  QCheck.Test.make ~name:"dyn deserializer survives random bytes" ~count:2000
+    arb_bytes
+    (fun bytes ->
+      let m = Metrics.create () in
+      match
+        Codec.read_dyn
+          (Codec.make_rctx meta m ~cycle:true)
+          (Msgbuf.reader_of_bytes bytes) ~cand:Value.Null
+      with
+      | (_ : Value.t) -> true
+      | exception Msgbuf.Underflow _ -> true)
+
+let fuzz_introspect =
+  QCheck.Test.make ~name:"introspect deserializer survives random bytes"
+    ~count:2000 arb_bytes
+    (fun bytes ->
+      let m = Metrics.create () in
+      match
+        Introspect.read (Introspect.make_rctx meta m) (Msgbuf.reader_of_bytes bytes)
+      with
+      | (_ : Value.t) -> true
+      | exception Msgbuf.Underflow _ -> true)
+
+let fuzz_plan =
+  let step =
+    Plan.S_obj
+      { cls = 1; fields = [| Plan.S_int; Plan.S_obj_array { elem = Plan.S_double_array } |] }
+  in
+  QCheck.Test.make ~name:"plan deserializer survives random bytes" ~count:2000
+    arb_bytes
+    (fun bytes ->
+      let m = Metrics.create () in
+      match
+        Codec.read_step
+          (Codec.make_rctx meta m ~cycle:true)
+          (Msgbuf.reader_of_bytes bytes) step ~cand:Value.Null
+      with
+      | (_ : Value.t) -> true
+      | exception Msgbuf.Underflow _ -> true)
+
+let fuzz_header =
+  QCheck.Test.make ~name:"protocol header survives random bytes" ~count:2000
+    arb_bytes
+    (fun bytes ->
+      match Rmi_wire.Protocol.read_header (Msgbuf.reader_of_bytes bytes) with
+      | (_ : Rmi_wire.Protocol.header) -> true
+      | exception Msgbuf.Underflow _ -> true)
+
+let hostile_length_rejected () =
+  (* a handcrafted message claiming a 2^60-element double array *)
+  let w = Msgbuf.create_writer () in
+  ignore (Rmi_wire.Typedesc.write_tag w Rmi_wire.Typedesc.Tag_double_array);
+  Msgbuf.write_uvarint w (1 lsl 60);
+  let m = Metrics.create () in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Codec.read_dyn
+            (Codec.make_rctx meta m ~cycle:true)
+            (Msgbuf.reader_of_writer w) ~cand:Value.Null);
+       false
+     with Msgbuf.Underflow _ -> true)
+
+let suite =
+  [
+    ( "differential",
+      [
+        QCheck_alcotest.to_alcotest prop_three_families_agree;
+        QCheck_alcotest.to_alcotest prop_compiled_equals_interpreted;
+      ] );
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest fuzz_dyn;
+        QCheck_alcotest.to_alcotest fuzz_introspect;
+        QCheck_alcotest.to_alcotest fuzz_plan;
+        QCheck_alcotest.to_alcotest fuzz_header;
+        Alcotest.test_case "hostile length rejected" `Quick hostile_length_rejected;
+      ] );
+  ]

@@ -1,0 +1,194 @@
+(* Escape/reuse-analysis tests: Figures 10 and 11 plus the scenarios the
+   paper's applications rely on (queued arguments escape, returned pages
+   are reusable at the caller). *)
+
+module HA = Rmi_core.Heap_analysis
+module EA = Rmi_core.Escape_analysis
+
+let analyze prog =
+  Rmi_ssa.Ssa.convert prog;
+  HA.analyze prog
+
+let callsite_of r site =
+  match HA.callsite r site with
+  | Some cs -> cs
+  | None -> Alcotest.fail "callsite not found"
+
+let fig10_argument_reusable () =
+  let fx = Fixtures.fig10 () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] ->
+      Alcotest.(check bool)
+        (Format.asprintf "double[] arg reusable, got %a" EA.pp_verdict v)
+        true (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let fig11_static_store_escapes () =
+  let fx = Fixtures.fig11 () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] -> Alcotest.(check bool) "Bar escapes via Data static" false (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let queued_argument_escapes () =
+  (* the superoptimizer pattern: the callee pushes the received object
+     into a queue (an array reachable from a static) *)
+  let open Jir in
+  let b = Builder.create () in
+  let prog_cls = Builder.declare_class b "Prog" in
+  let tester = Builder.declare_class b ~remote:true "Tester" in
+  let queue = Builder.declare_static b "Tester.queue" (Tarray (Tobject prog_cls)) in
+  let init = Builder.declare_method b ~name:"init" ~params:[] ~ret:Tvoid () in
+  Builder.define b init (fun mb ->
+      let q = Builder.alloc_array mb (Tobject prog_cls) (Int 16) in
+      Builder.store_static mb queue (Var q);
+      Builder.ret mb None);
+  let accept =
+    Builder.declare_method b ~owner:tester ~name:"Tester.accept"
+      ~params:[ Tobject prog_cls ] ~ret:Tvoid ()
+  in
+  Builder.define b accept (fun mb ->
+      let q = Builder.load_static mb queue in
+      Builder.store_elem mb q (Int 0) (Var (Builder.param mb 0)));
+  let producer = Builder.declare_method b ~name:"producer" ~params:[] ~ret:Tvoid () in
+  Builder.define b producer (fun mb ->
+      Builder.call_ignore mb init [];
+      let t = Builder.alloc mb tester in
+      let p = Builder.alloc mb prog_cls in
+      Builder.rcall_ignore mb (Var t) accept [ Var p ];
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] -> Alcotest.(check bool) "queued arg escapes" false (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let returned_value_reusable_at_caller () =
+  (* webserver pattern: page = server.get(); the caller only reads it *)
+  let fx = Fixtures.returned_value () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  let v = EA.ret_verdict r cs in
+  Alcotest.(check bool)
+    (Format.asprintf "returned page reusable, got %a" EA.pp_verdict v)
+    true (EA.is_reusable v)
+
+let returned_value_stored_escapes () =
+  (* caller stashes the result in a static: no reuse *)
+  let open Jir in
+  let b = Builder.create () in
+  let page = Builder.declare_class b "Page" in
+  let server = Builder.declare_class b ~remote:true "Server" in
+  let last = Builder.declare_static b "last" (Tobject page) in
+  let get =
+    Builder.declare_method b ~owner:server ~name:"Server.get" ~params:[]
+      ~ret:(Tobject page) ()
+  in
+  Builder.define b get (fun mb ->
+      let p = Builder.alloc mb page in
+      Builder.ret mb (Some (Var p)));
+  let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+  Builder.define b caller (fun mb ->
+      let s = Builder.alloc mb server in
+      (match Builder.rcall mb (Var s) get [] with
+      | Some p -> Builder.store_static mb last (Var p)
+      | None -> assert false);
+      Builder.ret mb None);
+  let fx = Fixtures.one_site (Builder.finish b) in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  Alcotest.(check bool) "stored result escapes" false
+    (EA.is_reusable (EA.ret_verdict r cs))
+
+let argument_returned_escapes () =
+  (* the callee echoes the argument back: it is part of the return
+     value, so the argument objects cannot be recycled *)
+  let fx = Fixtures.fig3 () in
+  let r = analyze fx.f3_prog in
+  let cs = callsite_of r fx.f3_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] ->
+      Alcotest.(check bool) "echoed argument escapes" false (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let linked_list_argument_reusable () =
+  (* paper Table 1: reuse gives the big win on the linked list because
+     the callee never captures it *)
+  let fx = Fixtures.linked_list () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] ->
+      Alcotest.(check bool)
+        (Format.asprintf "list reusable, got %a" EA.pp_verdict v)
+        true (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let array_argument_reusable () =
+  let fx = Fixtures.array2d () in
+  let r = analyze fx.s_prog in
+  let cs = callsite_of r fx.s_site in
+  match EA.arg_verdicts r cs with
+  | [| v |] -> Alcotest.(check bool) "array reusable" true (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let forwarded_rmi_escapes () =
+  (* callee forwards the argument over another RMI: conservative escape *)
+  let open Jir in
+  let b = Builder.create () in
+  let data = Builder.declare_class b "Data" in
+  let sink = Builder.declare_class b ~remote:true "Sink" in
+  let consume =
+    Builder.declare_method b ~owner:sink ~name:"Sink.consume"
+      ~params:[ Tobject data ] ~ret:Tvoid ()
+  in
+  Builder.define b consume (fun mb -> Builder.ret mb None);
+  let relay = Builder.declare_class b ~remote:true "Relay" in
+  let fwd =
+    Builder.declare_method b ~owner:relay ~name:"Relay.forward"
+      ~params:[ Tobject data ] ~ret:Tvoid ()
+  in
+  Builder.define b fwd (fun mb ->
+      let s = Builder.alloc mb sink in
+      Builder.rcall_ignore mb (Var s) consume [ Var (Builder.param mb 0) ]);
+  let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+  Builder.define b caller (fun mb ->
+      let rl = Builder.alloc mb relay in
+      let d = Builder.alloc mb data in
+      Builder.rcall_ignore mb (Var rl) fwd [ Var d ];
+      Builder.ret mb None);
+  let prog = Builder.finish b in
+  let r = analyze prog in
+  (* find the caller->forward callsite *)
+  let cs =
+    List.find
+      (fun (cs : HA.callsite_info) -> cs.callee = fwd)
+      (HA.callsites r)
+  in
+  match EA.arg_verdicts r cs with
+  | [| v |] -> Alcotest.(check bool) "forwarded arg escapes" false (EA.is_reusable v)
+  | _ -> Alcotest.fail "expected one argument"
+
+let suite =
+  [
+    ( "escape.analysis",
+      [
+        Alcotest.test_case "figure 10: argument reusable" `Quick
+          fig10_argument_reusable;
+        Alcotest.test_case "figure 11: static store escapes" `Quick
+          fig11_static_store_escapes;
+        Alcotest.test_case "queued argument escapes" `Quick queued_argument_escapes;
+        Alcotest.test_case "returned value reusable at caller" `Quick
+          returned_value_reusable_at_caller;
+        Alcotest.test_case "stored return value escapes" `Quick
+          returned_value_stored_escapes;
+        Alcotest.test_case "echoed argument escapes" `Quick argument_returned_escapes;
+        Alcotest.test_case "linked list reusable" `Quick linked_list_argument_reusable;
+        Alcotest.test_case "2d array reusable" `Quick array_argument_reusable;
+        Alcotest.test_case "forwarded-over-RMI escapes" `Quick forwarded_rmi_escapes;
+      ] );
+  ]

@@ -1,0 +1,154 @@
+(* Failure injection: the runtime must degrade cleanly when the network
+   corrupts, truncates or drops messages. *)
+
+open Rmi_runtime
+module Value = Rmi_serial.Value
+module Metrics = Rmi_stats.Metrics
+
+let meta = Rmi_serial.Class_meta.make [ ("Box", [ ("v", Jir.Types.Tint) ]) ]
+
+let m_incr = 1
+
+let make_fabric ?(mode = Fabric.Sync) () =
+  let metrics = Metrics.create () in
+  let fabric =
+    Fabric.create ~mode ~n:2 ~meta ~config:Config.class_
+      ~plans:(Hashtbl.create 4) ~metrics ()
+  in
+  for i = 0 to 1 do
+    Node.export (Fabric.node fabric i) ~obj:0 ~meth:m_incr ~has_ret:true
+      (fun args ->
+        match args.(0) with
+        | Value.Obj o -> (
+            match o.fields.(0) with
+            | Value.Int v ->
+                let b = Value.new_obj ~cls:0 ~nfields:1 in
+                b.fields.(0) <- Value.Int (v + 1);
+                Some (Value.Obj b)
+            | _ -> failwith "bad box")
+        | _ -> failwith "bad arg")
+  done;
+  fabric
+
+let box v =
+  let b = Value.new_obj ~cls:0 ~nfields:1 in
+  b.fields.(0) <- Value.Int v;
+  Value.Obj b
+
+let call fabric =
+  Node.call (Fabric.node fabric 0)
+    ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+    ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]
+
+(* reach into the fabric's cluster through a fresh one: the fabric owns
+   its cluster privately, so fault hooks are installed via the node's
+   cluster — exposed through Fabric for tests *)
+
+let truncated_payload_is_clean_error () =
+  let metrics = Metrics.create () in
+  let cluster = Rmi_net.Cluster.create ~n:2 metrics in
+  (* build nodes directly so the cluster handle stays in reach *)
+  let plans = Hashtbl.create 4 in
+  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  Node.set_pump n0 (fun () -> Node.serve_pending n1);
+  Node.set_pump n1 (fun () -> Node.serve_pending n0);
+  Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
+  (* truncate request payloads (keep the header intact) *)
+  Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
+      if dest = 1 && Bytes.length msg > 8 then Some (Bytes.sub msg 0 8)
+      else Some msg);
+  Alcotest.(check bool) "clean remote error" true
+    (try
+       ignore
+         (Node.call n0
+            ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+            ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]);
+       false
+     with Node.Remote_exception msg ->
+       String.length msg > 0);
+  (* remove the fault: the same machines keep working *)
+  Rmi_net.Cluster.clear_fault_hook cluster;
+  match
+    Node.call n0
+      ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+      ~meth:m_incr ~callsite:1 ~has_ret:true [| box 7 |]
+  with
+  | Some v -> Alcotest.(check bool) "recovered" true (Rmi_serial.Equality.equal v (box 7))
+  | None -> Alcotest.fail "no reply after recovery"
+
+let dropped_message_detected_as_deadlock () =
+  let metrics = Metrics.create () in
+  let cluster = Rmi_net.Cluster.create ~n:2 metrics in
+  let plans = Hashtbl.create 4 in
+  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  Node.set_pump n0 (fun () -> Node.serve_pending n1);
+  Node.set_pump n1 (fun () -> Node.serve_pending n0);
+  Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
+  (* drop every request to machine 1 *)
+  Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest _ ->
+      if dest = 1 then None else assert false);
+  Alcotest.(check bool) "deadlock detected" true
+    (try
+       ignore
+         (Node.call n0
+            ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+            ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]);
+       false
+     with Node.Deadlock _ -> true)
+
+let garbage_header_is_ignored () =
+  let metrics = Metrics.create () in
+  let cluster = Rmi_net.Cluster.create ~n:2 metrics in
+  let plans = Hashtbl.create 4 in
+  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  Node.set_pump n0 (fun () -> Node.serve_pending n1);
+  Node.set_pump n1 (fun () -> Node.serve_pending n0);
+  Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
+  (* inject pure garbage ahead of a real exchange *)
+  Rmi_net.Cluster.send cluster ~src:0 ~dest:1 (Bytes.of_string "\xff\xfe");
+  match
+    Node.call n0
+      ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+      ~meth:m_incr ~callsite:1 ~has_ret:true [| box 3 |]
+  with
+  | Some v ->
+      Alcotest.(check bool) "garbage skipped, call served" true
+        (Rmi_serial.Equality.equal v (box 3))
+  | None -> Alcotest.fail "no reply"
+
+let handler_exception_does_not_kill_worker () =
+  (* repeated remote failures in parallel mode; the worker must survive
+     them all *)
+  let fabric = make_fabric ~mode:Fabric.Parallel () in
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:9 ~has_ret:true (fun _ ->
+      failwith "boom");
+  Fabric.run fabric (fun fabric ->
+      let caller = Fabric.node fabric 0 in
+      for _ = 1 to 10 do
+        (try
+           ignore
+             (Node.call caller
+                ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+                ~meth:9 ~callsite:1 ~has_ret:true [||])
+         with Node.Remote_exception _ -> ())
+      done;
+      match call fabric with
+      | Some v -> Alcotest.(check bool) "alive" true (Rmi_serial.Equality.equal v (box 2))
+      | None -> Alcotest.fail "worker died")
+
+let suite =
+  [
+    ( "faults",
+      [
+        Alcotest.test_case "truncated payload -> clean error + recovery" `Quick
+          truncated_payload_is_clean_error;
+        Alcotest.test_case "dropped message -> deadlock detection" `Quick
+          dropped_message_detected_as_deadlock;
+        Alcotest.test_case "garbage header ignored" `Quick garbage_header_is_ignored;
+        Alcotest.test_case "handler exceptions don't kill workers" `Quick
+          handler_exception_does_not_kill_worker;
+      ] );
+  ]

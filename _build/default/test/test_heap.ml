@@ -1,0 +1,285 @@
+(* Heap-analysis tests reproducing the paper's Section 2 examples:
+   Figure 2 (graph shape) and Figures 3/4 (remote-call cloning loop
+   terminated by the (logical, physical) tuples). *)
+
+open Jir
+module HA = Rmi_core.Heap_analysis
+module HG = Rmi_core.Heap_graph
+module Int_set = HA.Int_set
+
+let analyze prog =
+  Rmi_ssa.Ssa.convert prog;
+  HA.analyze prog
+
+let fig2_graph_shape () =
+  let fx = Fixtures.fig2 () in
+  let r = analyze fx.f2_prog in
+  let g = HA.graph r in
+  (* five allocation sites: Foo, Bar, double[][][], double[][], double[] *)
+  Alcotest.(check int) "five nodes" 5 (HG.num_nodes g);
+  let foo_var = Fixtures.alloc_dst fx.f2_prog fx.f2_main fx.f2_foo_cls in
+  let foo_set = HA.var_set r fx.f2_main foo_var in
+  Alcotest.(check int) "foo points to one node" 1 (Int_set.cardinal foo_set);
+  let foo_node = Int_set.choose foo_set in
+  let bar_idx = Program.flat_index fx.f2_prog fx.f2_bar_fld in
+  let a_idx = Program.flat_index fx.f2_prog fx.f2_a_fld in
+  let bar_targets = HG.targets g foo_node (HG.Field bar_idx) in
+  let a_targets = HG.targets g foo_node (HG.Field a_idx) in
+  Alcotest.(check int) "one bar target" 1 (Int_set.cardinal bar_targets);
+  Alcotest.(check int) "one array target" 1 (Int_set.cardinal a_targets);
+  (* the array chain: a -> [] -> [] -> double[] and the nodes represent
+     allocation sites, not the 2x3 actual arrays (paper's point) *)
+  let a3 = Int_set.choose a_targets in
+  let a2 = HG.targets g a3 HG.Elem in
+  Alcotest.(check int) "double[][][] has one element site" 1 (Int_set.cardinal a2);
+  let a1 = HG.targets g (Int_set.choose a2) HG.Elem in
+  Alcotest.(check int) "double[][] has one element site" 1 (Int_set.cardinal a1);
+  let leaf = HG.targets g (Int_set.choose a1) HG.Elem in
+  Alcotest.(check int) "double[] is a leaf" 0 (Int_set.cardinal leaf);
+  (* node types *)
+  (match (HG.node g a3).nty with
+  | Tarray (Tarray (Tarray Tdouble)) -> ()
+  | ty -> Alcotest.failf "bad type %s" (Types.ty_to_string ty))
+
+let fig3_terminates_with_tuples () =
+  let fx = Fixtures.fig3 () in
+  let r = analyze fx.f3_prog in
+  let g = HA.graph r in
+  (* the data-flow loop of Figure 3 must converge: nodes are bounded by
+     physical-number dedup per callsite+direction (Figure 4's fix) *)
+  Alcotest.(check bool) "bounded node count" true (HG.num_nodes g <= 8);
+  Alcotest.(check bool) "few passes" true (HA.iterations r < 50);
+  (* Figure 4's final state: t's set holds the original allocation (2)
+     and a return-value clone (4), both with the same physical site *)
+  match HA.callsite r fx.f3_site with
+  | None -> Alcotest.fail "callsite not analyzed"
+  | Some cs ->
+      let arg0 = cs.HA.arg_sets.(0) in
+      Alcotest.(check int) "t has exactly 2 allocation numbers" 2
+        (Int_set.cardinal arg0);
+      let physes =
+        Int_set.elements arg0 |> List.map (fun n -> (HG.node g n).HG.phys)
+      in
+      (match physes with
+      | [ p1; p2 ] -> Alcotest.(check int) "same physical site" p1 p2
+      | _ -> assert false);
+      (* the callee's formal got a distinct clone (paper's number 3) *)
+      let formal = cs.HA.param_clone_sets.(0) in
+      Alcotest.(check int) "one clone at the formal" 1 (Int_set.cardinal formal);
+      Alcotest.(check bool) "clone is a fresh logical number" true
+        (Int_set.disjoint formal arg0)
+
+let clones_isolate_callee_stores () =
+  (* mutation through the callee's formal must not pollute the caller's
+     nodes in the approximation, mirroring deep-copy semantics *)
+  let b = Builder.create () in
+  let box = Builder.declare_class b "Box" in
+  let payload = Builder.declare_class b "Payload" in
+  let fld = Builder.add_field b box "p" (Tobject payload) in
+  let svc = Builder.declare_class b ~remote:true "Svc" in
+  let fill =
+    Builder.declare_method b ~owner:svc ~name:"Svc.fill" ~params:[ Tobject box ]
+      ~ret:Tvoid ()
+  in
+  Builder.define b fill (fun mb ->
+      let fresh = Builder.alloc mb payload in
+      Builder.store_field mb (Builder.param mb 0) fld (Var fresh));
+  let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+  Builder.define b caller (fun mb ->
+      let s = Builder.alloc mb svc in
+      let o = Builder.alloc mb box in
+      Builder.rcall_ignore mb (Var s) fill [ Var o ];
+      Builder.ret mb None);
+  let prog = Builder.finish b in
+  let r = analyze prog in
+  let g = HA.graph r in
+  let idx = Program.flat_index prog fld in
+  (* caller-side box node: field p must stay empty (callee filled only
+     the clone) *)
+  let box_set = HA.var_set r caller (Fixtures.alloc_dst prog caller box) in
+  Alcotest.(check bool) "caller box tracked" false (Int_set.is_empty box_set);
+  Int_set.iter
+    (fun n ->
+      Alcotest.(check int) "caller box untouched" 0
+        (Int_set.cardinal (HG.targets g n (HG.Field idx))))
+    box_set;
+  (* ...while the callee's clone did receive the payload edge *)
+  let cs = List.hd (HA.callsites r) in
+  let clone_set = cs.HA.param_clone_sets.(0) in
+  Alcotest.(check bool) "clone has payload" true
+    (Int_set.exists
+       (fun n -> not (Int_set.is_empty (HG.targets g n (HG.Field idx))))
+       clone_set)
+
+let local_calls_share_nodes () =
+  (* in contrast to the RMI case, a local call lets the callee's store
+     show through *)
+  let b = Builder.create () in
+  let box = Builder.declare_class b "Box" in
+  let payload = Builder.declare_class b "Payload" in
+  let fld = Builder.add_field b box "p" (Tobject payload) in
+  let fill =
+    Builder.declare_method b ~name:"fill" ~params:[ Tobject box ] ~ret:Tvoid ()
+  in
+  Builder.define b fill (fun mb ->
+      let fresh = Builder.alloc mb payload in
+      Builder.store_field mb (Builder.param mb 0) fld (Var fresh));
+  let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+  Builder.define b caller (fun mb ->
+      let o = Builder.alloc mb box in
+      Builder.call_ignore mb fill [ Var o ];
+      Builder.ret mb None);
+  let prog = Builder.finish b in
+  let r = analyze prog in
+  let g = HA.graph r in
+  let idx = Program.flat_index prog fld in
+  let box_set = HA.var_set r caller (Fixtures.alloc_dst prog caller box) in
+  let n = Int_set.choose box_set in
+  Alcotest.(check int) "local store visible" 1
+    (Int_set.cardinal (HG.targets g n (HG.Field idx)))
+
+let statics_tracked () =
+  let fx = Fixtures.fig11 () in
+  let r = analyze fx.s_prog in
+  (* the static Foo.d must point at (the clone of) the Data node *)
+  let prog = fx.s_prog in
+  let sid = (Program.static_decl prog 0).sid in
+  let set = HA.static_set r sid in
+  Alcotest.(check bool) "static set non-empty" false (Int_set.is_empty set)
+
+let return_sets_flow () =
+  let fx = Fixtures.returned_value () in
+  let r = analyze fx.s_prog in
+  match HA.callsite r fx.s_site with
+  | None -> Alcotest.fail "no callsite"
+  | Some cs ->
+      Alcotest.(check bool) "callee returns a node" false
+        (Int_set.is_empty cs.HA.ret_set);
+      Alcotest.(check bool) "caller got a clone" false
+        (Int_set.is_empty cs.HA.ret_clone_set);
+      Alcotest.(check bool) "clone distinct from callee node" true
+        (Int_set.disjoint cs.HA.ret_set cs.HA.ret_clone_set)
+
+let requires_ssa () =
+  let fx = Fixtures.fig2 () in
+  (* not converted: analyze must refuse (the builder emits multiple
+     assignments to the loop counter in general) *)
+  let fx3 = Fixtures.fig3 () in
+  ignore fx;
+  try
+    ignore (HA.analyze fx3.f3_prog);
+    Alcotest.fail "expected Invalid_argument for non-SSA input"
+  with Invalid_argument _ -> ()
+
+let analysis_is_deterministic () =
+  let run () =
+    let fx = Fixtures.linked_list () in
+    let r = analyze fx.s_prog in
+    HG.num_nodes (HA.graph r)
+  in
+  Alcotest.(check int) "same node count" (run ()) (run ())
+
+(* the paper's Section 2 argument, as an executable ablation: with the
+   naive (Share) treatment of remote calls, the callee's store shows
+   through into the caller's approximation — precisely the imprecision
+   (and semantic wrongness) the (logical, physical) cloning fixes *)
+let naive_semantics_pollutes_caller () =
+  let build () =
+    let b = Builder.create () in
+    let box = Builder.declare_class b "Box" in
+    let payload = Builder.declare_class b "Payload" in
+    let fld = Builder.add_field b box "p" (Tobject payload) in
+    let svc = Builder.declare_class b ~remote:true "Svc" in
+    let fill =
+      Builder.declare_method b ~owner:svc ~name:"Svc.fill"
+        ~params:[ Tobject box ] ~ret:Tvoid ()
+    in
+    Builder.define b fill (fun mb ->
+        let fresh = Builder.alloc mb payload in
+        Builder.store_field mb (Builder.param mb 0) fld (Var fresh));
+    let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+    Builder.define b caller (fun mb ->
+        let s = Builder.alloc mb svc in
+        let o = Builder.alloc mb box in
+        Builder.rcall_ignore mb (Var s) fill [ Var o ];
+        Builder.ret mb None);
+    let prog = Builder.finish b in
+    Rmi_ssa.Ssa.convert prog;
+    (prog, caller, box, fld)
+  in
+  let field_targets semantics =
+    let prog, caller, box, fld = build () in
+    let r = HA.analyze ~remote_semantics:semantics prog in
+    let g = HA.graph r in
+    let idx = Program.flat_index prog fld in
+    let box_set = HA.var_set r caller (Fixtures.alloc_dst prog caller box) in
+    Int_set.fold
+      (fun n acc -> acc + Int_set.cardinal (HG.targets g n (HG.Field idx)))
+      box_set 0
+  in
+  Alcotest.(check int) "clone semantics: caller stays clean" 0
+    (field_targets `Clone);
+  Alcotest.(check bool) "naive semantics: callee store leaks into caller" true
+    (field_targets `Share > 0)
+
+let naive_semantics_degrades_reuse () =
+  (* the caller retains its argument in a static while the callee only
+     reads it.  RMI's deep copy makes the callee's copy private, so
+     under the correct Clone semantics the argument is reusable; the
+     naive Share treatment aliases the formal with the caller's
+     (static-reachable) object and reuse is lost — exactly the
+     precision Section 2's cloning buys *)
+  let build () =
+    let b = Builder.create () in
+    let box = Builder.declare_class b "Box" in
+    let keep = Builder.declare_static b "keep" (Tobject box) in
+    let svc = Builder.declare_class b ~remote:true "Svc" in
+    let read =
+      Builder.declare_method b ~owner:svc ~name:"Svc.read"
+        ~params:[ Tobject box ] ~ret:Tvoid ()
+    in
+    Builder.define b read (fun mb -> Builder.ret mb None);
+    let caller = Builder.declare_method b ~name:"caller" ~params:[] ~ret:Tvoid () in
+    Builder.define b caller (fun mb ->
+        let s = Builder.alloc mb svc in
+        let o = Builder.alloc mb box in
+        Builder.store_static mb keep (Var o);
+        Builder.rcall_ignore mb (Var s) read [ Var o ];
+        Builder.ret mb None);
+    let prog = Builder.finish b in
+    Rmi_ssa.Ssa.convert prog;
+    prog
+  in
+  let verdict semantics =
+    let r = HA.analyze ~remote_semantics:semantics (build ()) in
+    let cs = List.hd (HA.callsites r) in
+    (Rmi_core.Escape_analysis.arg_verdicts r cs).(0)
+  in
+  Alcotest.(check bool) "clone: callee copy is private, reusable" true
+    (Rmi_core.Escape_analysis.is_reusable (verdict `Clone));
+  Alcotest.(check bool) "naive: formal aliases the retained object" false
+    (Rmi_core.Escape_analysis.is_reusable (verdict `Share))
+
+let suite =
+  [
+    ( "heap.analysis",
+      [
+        Alcotest.test_case "figure 2 graph shape" `Quick fig2_graph_shape;
+        Alcotest.test_case "figures 3/4 tuple termination" `Quick
+          fig3_terminates_with_tuples;
+        Alcotest.test_case "clones isolate callee stores" `Quick
+          clones_isolate_callee_stores;
+        Alcotest.test_case "local calls share nodes" `Quick local_calls_share_nodes;
+        Alcotest.test_case "statics tracked" `Quick statics_tracked;
+        Alcotest.test_case "return sets flow back" `Quick return_sets_flow;
+        Alcotest.test_case "requires SSA input" `Quick requires_ssa;
+        Alcotest.test_case "deterministic" `Quick analysis_is_deterministic;
+      ] );
+    ( "heap.naive-ablation",
+      [
+        Alcotest.test_case "naive semantics pollutes the caller" `Quick
+          naive_semantics_pollutes_caller;
+        Alcotest.test_case "naive semantics degrades reuse" `Quick
+          naive_semantics_degrades_reuse;
+      ] );
+  ]

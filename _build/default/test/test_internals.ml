@@ -1,0 +1,228 @@
+(* Coverage for the smaller public surfaces: pretty printers, program
+   helpers, dominance on loopy CFGs, heap-graph utilities, and config
+   lookup. *)
+
+open Jir
+module B = Builder
+module HG = Rmi_core.Heap_graph
+module Int_set = HG.Int_set
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- pretty printer --- *)
+
+let pretty_prints_program () =
+  let fx = Fixtures.fig5 () in
+  let s = Format.asprintf "@[<v>%a@]" Pretty.pp_program fx.f5_prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "class Base"; "class Derived1 extends Base"; "remote class Work";
+      "rcall"; "new Derived2" ]
+
+let pretty_prints_ssa_phis () =
+  let fx = Fixtures.fig3 () in
+  Rmi_ssa.Ssa.convert fx.f3_prog;
+  let zoo = Program.method_decl fx.f3_prog fx.f3_zoo in
+  let s = Pretty.method_to_string fx.f3_prog zoo in
+  Alcotest.(check bool) "shows phi" true (contains s "phi(");
+  Alcotest.(check bool) "shows callsite" true (contains s "callsite")
+
+(* --- program helpers --- *)
+
+let three_level_hierarchy () =
+  let b = B.create () in
+  let a = B.declare_class b "A" in
+  let fa = B.add_field b a "fa" Tint in
+  let b2 = B.declare_class b ~super:a "B" in
+  let fb = B.add_field b b2 "fb" Tint in
+  let c = B.declare_class b ~super:b2 "C" in
+  let fc = B.add_field b c "fc" Tint in
+  let m = B.declare_method b ~name:"noop" ~params:[] ~ret:Tvoid () in
+  B.define b m (fun mb -> B.ret mb None);
+  (B.finish b, a, b2, c, fa, fb, fc)
+
+let flat_layout_three_levels () =
+  let prog, _, _, c, fa, fb, fc = three_level_hierarchy () in
+  Alcotest.(check int) "fa at 0" 0 (Program.flat_index prog fa);
+  Alcotest.(check int) "fb at 1" 1 (Program.flat_index prog fb);
+  Alcotest.(check int) "fc at 2" 2 (Program.flat_index prog fc);
+  Alcotest.(check int) "C has 3 flat fields" 3
+    (Array.length (Program.all_fields prog c))
+
+let subclass_and_assignability () =
+  let prog, a, b2, c, _, _, _ = three_level_hierarchy () in
+  Alcotest.(check bool) "C <= A" true (Program.is_subclass prog ~sub:c ~super:a);
+  Alcotest.(check bool) "A <= C fails" false
+    (Program.is_subclass prog ~sub:a ~super:c);
+  Alcotest.(check bool) "C assignable to B" true
+    (Program.assignable prog ~src:(Tobject c) ~dst:(Tobject b2));
+  (* arrays are invariant *)
+  Alcotest.(check bool) "C[] not assignable to A[]" false
+    (Program.assignable prog ~src:(Tarray (Tobject c)) ~dst:(Tarray (Tobject a)))
+
+let find_field_through_chain () =
+  let prog, _, _, c, _, _, _ = three_level_hierarchy () in
+  (match Program.find_field prog c "fa" with
+  | Some fld ->
+      Alcotest.(check int) "fa declared by A" 0 fld.Types.fcls;
+      Alcotest.(check int) "flat position" 0 (Program.flat_index prog fld)
+  | None -> Alcotest.fail "fa not found");
+  Alcotest.(check bool) "missing field" true
+    (Program.find_field prog c "nope" = None)
+
+let remote_method_listing () =
+  let fx = Fixtures.fig8 () in
+  let remotes = Program.remote_methods fx.s_prog in
+  Alcotest.(check int) "one remote method" 1 (List.length remotes);
+  Alcotest.(check string) "it is Work.bar" "Work.bar"
+    (List.hd remotes).Program.mname
+
+(* --- dominance on a loop --- *)
+
+let dominance_on_loop () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[ Tint ] ~ret:Tint () in
+  B.define b f (fun mb ->
+      let acc = B.fresh mb Tint in
+      B.move mb acc (Int 0);
+      B.loop_up mb ~from:(Int 0) ~limit:(Var (B.param mb 0)) (fun i ->
+          let s = B.binop mb Instr.Add (Var acc) (Var i) in
+          B.move mb acc (Var s));
+      B.ret mb (Some (Var acc)));
+  let prog = B.finish b in
+  let m = Program.method_decl prog f in
+  let cfg = Rmi_ssa.Cfg.of_method m in
+  let dom = Rmi_ssa.Dominance.compute cfg in
+  (* the loop header (block 1, target of the back edge) dominates the
+     body and the exit *)
+  let header = 1 in
+  Alcotest.(check bool) "header has 2 preds" true
+    (List.length cfg.Rmi_ssa.Cfg.preds.(header) = 2);
+  Array.iteri
+    (fun bi _ ->
+      if Rmi_ssa.Cfg.is_reachable cfg bi && bi <> 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "entry dominates L%d" bi)
+          true
+          (Rmi_ssa.Dominance.dominates dom 0 bi))
+    m.Program.blocks;
+  (* the back-edge source is dominated by the header *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "header dominates back-edge source" true
+        (Rmi_ssa.Dominance.dominates dom header p || p = 0))
+    cfg.Rmi_ssa.Cfg.preds.(header)
+
+let is_ssa_detects_double_assign () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[] ~ret:Tint () in
+  B.define b f (fun mb ->
+      let x = B.fresh mb Tint in
+      B.move mb x (Int 1);
+      B.move mb x (Int 2);
+      B.ret mb (Some (Var x)));
+  let prog = B.finish b in
+  Alcotest.(check bool) "not ssa" false
+    (Rmi_ssa.Ssa.is_ssa (Program.method_decl prog f))
+
+(* --- heap graph utilities --- *)
+
+let heap_graph_utilities () =
+  let g = HG.create () in
+  let a = HG.add_node g ~phys:0 ~ty:(Tobject 0) in
+  let b = HG.add_node g ~phys:1 ~ty:(Tobject 0) in
+  let c = HG.add_node g ~phys:2 ~ty:(Tobject 0) in
+  Alcotest.(check bool) "edge added" true (HG.add_edge g ~src:a ~key:(HG.Field 0) ~dst:b);
+  Alcotest.(check bool) "edge dedup" false (HG.add_edge g ~src:a ~key:(HG.Field 0) ~dst:b);
+  ignore (HG.add_edge g ~src:b ~key:(HG.Field 0) ~dst:c);
+  ignore (HG.add_edge g ~src:c ~key:(HG.Field 0) ~dst:a);
+  (* reachability through the cycle terminates and is complete *)
+  let r = HG.reachable g (Int_set.singleton a) in
+  Alcotest.(check int) "all three reachable" 3 (Int_set.cardinal r);
+  (* predecessors *)
+  let preds = HG.predecessors_of_set g (Int_set.singleton b) in
+  Alcotest.(check bool) "a precedes b" true (Int_set.mem a preds);
+  Alcotest.(check bool) "c does not" false (Int_set.mem c preds);
+  (* printing renders every node *)
+  let s = Format.asprintf "@[<v>%a@]" HG.pp g in
+  Alcotest.(check bool) "mentions node 2" true (contains s "node 2")
+
+let heap_graph_dot_export () =
+  let fx = Fixtures.array2d () in
+  Rmi_ssa.Ssa.convert fx.s_prog;
+  let r = Rmi_core.Heap_analysis.analyze fx.s_prog in
+  let dot =
+    HG.to_dot ~names:(Program.class_name fx.s_prog)
+      (Rmi_core.Heap_analysis.graph r)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("dot mentions " ^ needle) true (contains dot needle))
+    [ "digraph heap"; "double[][]"; "ArrayBench"; "->" ]
+
+let heap_graph_rejects_bad_nodes () =
+  let g = HG.create () in
+  Alcotest.(check bool) "bad node" true
+    (try
+       ignore (HG.node g 3);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- runtime config lookup --- *)
+
+let config_lookup () =
+  List.iter
+    (fun (c : Rmi_runtime.Config.t) ->
+      match Rmi_runtime.Config.find c.Rmi_runtime.Config.name with
+      | Some c' -> Alcotest.(check string) "roundtrip" c.name c'.Rmi_runtime.Config.name
+      | None -> Alcotest.failf "missing %s" c.name)
+    Rmi_runtime.Config.all;
+  Alcotest.(check bool) "unknown" true (Rmi_runtime.Config.find "nope" = None)
+
+(* --- plan pretty printing --- *)
+
+let plan_pretty () =
+  let fx = Fixtures.linked_list () in
+  Rmi_ssa.Ssa.convert fx.s_prog;
+  let r = Rmi_core.Heap_analysis.analyze fx.s_prog in
+  let cs = List.hd (Rmi_core.Heap_analysis.callsites r) in
+  let plan = Rmi_core.Codegen.plan_for r cs in
+  let s = Format.asprintf "%a" Rmi_core.Plan.pp plan in
+  Alcotest.(check bool) "shows recursion" true (contains s "rec#");
+  Alcotest.(check bool) "shows cycle flag" true (contains s "cycle_args=true")
+
+let suite =
+  [
+    ( "internals.pretty",
+      [
+        Alcotest.test_case "program printer" `Quick pretty_prints_program;
+        Alcotest.test_case "ssa phis printed" `Quick pretty_prints_ssa_phis;
+        Alcotest.test_case "plan printer" `Quick plan_pretty;
+      ] );
+    ( "internals.program",
+      [
+        Alcotest.test_case "three-level flat layout" `Quick flat_layout_three_levels;
+        Alcotest.test_case "subclassing and assignability" `Quick
+          subclass_and_assignability;
+        Alcotest.test_case "find_field through chain" `Quick find_field_through_chain;
+        Alcotest.test_case "remote method listing" `Quick remote_method_listing;
+      ] );
+    ( "internals.ssa",
+      [
+        Alcotest.test_case "dominance on a loop" `Quick dominance_on_loop;
+        Alcotest.test_case "is_ssa detects double assign" `Quick
+          is_ssa_detects_double_assign;
+      ] );
+    ( "internals.heap_graph",
+      [
+        Alcotest.test_case "utilities" `Quick heap_graph_utilities;
+        Alcotest.test_case "dot export" `Quick heap_graph_dot_export;
+        Alcotest.test_case "bad node rejected" `Quick heap_graph_rejects_bad_nodes;
+      ] );
+    ( "internals.config",
+      [ Alcotest.test_case "lookup" `Quick config_lookup ] );
+  ]

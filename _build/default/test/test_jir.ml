@@ -1,0 +1,334 @@
+(* Builder, typechecker and reference-interpreter tests, including the
+   RMI deep-copy parameter semantics the analyses must respect. *)
+
+open Jir
+module B = Builder
+
+let build_arith () =
+  let b = B.create () in
+  let add2 = B.declare_method b ~name:"add2" ~params:[ Tint; Tint ] ~ret:Tint () in
+  B.define b add2 (fun mb ->
+      let s = B.binop mb Instr.Add (Var (B.param mb 0)) (Var (B.param mb 1)) in
+      B.ret mb (Some (Var s)));
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tint () in
+  B.define b main (fun mb ->
+      match B.call mb add2 [ Int 40; Int 2 ] with
+      | Some r -> B.ret mb (Some (Var r))
+      | None -> assert false);
+  (B.finish b, main)
+
+let interp_arith () =
+  let prog, main = build_arith () in
+  Typecheck.check_exn prog;
+  let st = Interp.create prog in
+  match Interp.run st main [] with
+  | Interp.Vint 42 -> ()
+  | v -> Alcotest.failf "expected 42, got %a" Interp.pp_value v
+
+let interp_loop () =
+  (* sum 0..9 via the structured loop helper *)
+  let b = B.create () in
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tint () in
+  B.define b main (fun mb ->
+      let acc = B.fresh mb Tint in
+      B.move mb acc (Int 0);
+      B.loop_up mb ~from:(Int 0) ~limit:(Int 10) (fun i ->
+          let s = B.binop mb Instr.Add (Var acc) (Var i) in
+          B.move mb acc (Var s));
+      B.ret mb (Some (Var acc)));
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  let st = Interp.create prog in
+  match Interp.run st main [] with
+  | Interp.Vint 45 -> ()
+  | v -> Alcotest.failf "expected 45, got %a" Interp.pp_value v
+
+let interp_branches () =
+  let b = B.create () in
+  let abs = B.declare_method b ~name:"abs" ~params:[ Tint ] ~ret:Tint () in
+  B.define b abs (fun mb ->
+      let x = B.param mb 0 in
+      let neg = B.binop mb Instr.Lt (Var x) (Int 0) in
+      let result = B.fresh mb Tint in
+      B.if_ mb (Var neg)
+        (fun () ->
+          let n = B.unop mb Instr.Neg (Var x) in
+          B.move mb result (Var n))
+        (fun () -> B.move mb result (Var x));
+      B.ret mb (Some (Var result)));
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  let st = Interp.create prog in
+  List.iter
+    (fun (input, expect) ->
+      match Interp.run st abs [ Interp.Vint input ] with
+      | Interp.Vint v -> Alcotest.(check int) (Printf.sprintf "abs %d" input) expect v
+      | v -> Alcotest.failf "expected int, got %a" Interp.pp_value v)
+    [ (5, 5); (-5, 5); (0, 0); (-1, 1) ]
+
+let interp_objects_and_fields () =
+  let b = B.create () in
+  let point = B.declare_class b "Point" in
+  let fx = B.add_field b point "x" Tint in
+  let fy = B.add_field b point "y" Tint in
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tint () in
+  B.define b main (fun mb ->
+      let p = B.alloc mb point in
+      B.store_field mb p fx (Int 3);
+      B.store_field mb p fy (Int 4);
+      let x = B.load_field mb p fx in
+      let y = B.load_field mb p fy in
+      let s = B.binop mb Instr.Add (Var x) (Var y) in
+      B.ret mb (Some (Var s)));
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  match Interp.run (Interp.create prog) main [] with
+  | Interp.Vint 7 -> ()
+  | v -> Alcotest.failf "expected 7, got %a" Interp.pp_value v
+
+let interp_inherited_fields () =
+  let b = B.create () in
+  let base = B.declare_class b "Base" in
+  let fb = B.add_field b base "b" Tint in
+  let derived = B.declare_class b ~super:base "Derived" in
+  let fd = B.add_field b derived "d" Tint in
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tint () in
+  B.define b main (fun mb ->
+      let o = B.alloc mb derived in
+      B.store_field mb o fb (Int 10);
+      B.store_field mb o fd (Int 32);
+      let x = B.load_field mb o fb in
+      let y = B.load_field mb o fd in
+      let s = B.binop mb Instr.Add (Var x) (Var y) in
+      B.ret mb (Some (Var s)));
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  Alcotest.(check int) "flat layout"
+    1
+    (Program.flat_index prog fd);
+  match Interp.run (Interp.create prog) main [] with
+  | Interp.Vint 42 -> ()
+  | v -> Alcotest.failf "expected 42, got %a" Interp.pp_value v
+
+(* The key semantic test: a remote call mutating its parameter must not
+   affect the caller's object (deep copy), while a local call does. *)
+let rmi_deep_copy_semantics () =
+  let b = B.create () in
+  let box = B.declare_class b "Box" in
+  let fv = B.add_field b box "v" Tint in
+  let svc = B.declare_class b ~remote:true "Svc" in
+  let mutate =
+    B.declare_method b ~owner:svc ~name:"Svc.mutate" ~params:[ Tobject box ]
+      ~ret:Tvoid ()
+  in
+  B.define b mutate (fun mb -> B.store_field mb (B.param mb 0) fv (Int 99));
+  let mutate_local =
+    B.declare_method b ~name:"mutate_local" ~params:[ Tobject box ] ~ret:Tvoid ()
+  in
+  B.define b mutate_local (fun mb -> B.store_field mb (B.param mb 0) fv (Int 99));
+  let via_rmi = B.declare_method b ~name:"via_rmi" ~params:[] ~ret:Tint () in
+  B.define b via_rmi (fun mb ->
+      let s = B.alloc mb svc in
+      let o = B.alloc mb box in
+      B.store_field mb o fv (Int 1);
+      B.rcall_ignore mb (Var s) mutate [ Var o ];
+      let v = B.load_field mb o fv in
+      B.ret mb (Some (Var v)));
+  let via_local = B.declare_method b ~name:"via_local" ~params:[] ~ret:Tint () in
+  B.define b via_local (fun mb ->
+      let o = B.alloc mb box in
+      B.store_field mb o fv (Int 1);
+      B.call_ignore mb mutate_local [ Var o ];
+      let v = B.load_field mb o fv in
+      B.ret mb (Some (Var v)));
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  let st = Interp.create prog in
+  (match Interp.run st via_rmi [] with
+  | Interp.Vint 1 -> ()
+  | v -> Alcotest.failf "RMI must not mutate caller object, got %a" Interp.pp_value v);
+  (match Interp.run st via_local [] with
+  | Interp.Vint 99 -> ()
+  | v -> Alcotest.failf "local call must mutate, got %a" Interp.pp_value v);
+  Alcotest.(check int) "one remote call" 1 (Interp.remote_calls st)
+
+let rmi_return_is_copy () =
+  let b = B.create () in
+  let box = B.declare_class b "Box" in
+  let fv = B.add_field b box "v" Tint in
+  let holder = B.declare_static b "holder" (Tobject box) in
+  let svc = B.declare_class b ~remote:true "Svc" in
+  let give =
+    B.declare_method b ~owner:svc ~name:"Svc.give" ~params:[] ~ret:(Tobject box) ()
+  in
+  B.define b give (fun mb ->
+      let o = B.alloc mb box in
+      B.store_field mb o fv (Int 7);
+      B.store_static mb holder (Var o);
+      B.ret mb (Some (Var o)));
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tint () in
+  B.define b main (fun mb ->
+      let s = B.alloc mb svc in
+      match B.rcall mb (Var s) give [] with
+      | Some got ->
+          (* mutating the received copy must not affect the callee's
+             object stashed in the static *)
+          B.store_field mb got fv (Int 1000);
+          let h = B.load_static mb holder in
+          let v = B.load_field mb h fv in
+          B.ret mb (Some (Var v))
+      | None -> assert false);
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  match Interp.run (Interp.create prog) main [] with
+  | Interp.Vint 7 -> ()
+  | v -> Alcotest.failf "expected callee copy untouched (7), got %a" Interp.pp_value v
+
+let deep_copy_preserves_sharing () =
+  let open Interp in
+  (* build diamond: root -> [x; x] *)
+  let x = Vobj { ocls = 0; ofields = [| Vint 5 |]; oid = 1; osite = 0 } in
+  let root = Varr { aelem = Tobject 0; adata = [| x; x |]; aid = 2; asite = 1 } in
+  match deep_copy root with
+  | Varr { adata = [| Vobj a; Vobj b |]; _ } ->
+      Alcotest.(check bool) "sharing preserved" true (a == b);
+      Alcotest.(check bool) "copied, not aliased" true
+        (match x with Vobj o -> not (o == a) | _ -> false)
+  | v -> Alcotest.failf "unexpected copy %a" pp_value v
+
+let deep_copy_preserves_cycles () =
+  let open Interp in
+  let o = { ocls = 0; ofields = [| Vnull |]; oid = 10; osite = 0 } in
+  o.ofields.(0) <- Vobj o;
+  match deep_copy (Vobj o) with
+  | Vobj c ->
+      (match c.ofields.(0) with
+      | Vobj c' -> Alcotest.(check bool) "cycle preserved" true (c == c')
+      | v -> Alcotest.failf "expected self reference, got %a" pp_value v);
+      Alcotest.(check bool) "value_equal across cycle" true
+        (value_equal (Vobj o) (Vobj c))
+  | v -> Alcotest.failf "unexpected copy %a" pp_value v
+
+let typecheck_rejects_bad_programs () =
+  (* remote call to a method of a non-remote class *)
+  let b = B.create () in
+  let plain = B.declare_class b "Plain" in
+  let m =
+    B.declare_method b ~owner:plain ~name:"Plain.m" ~params:[] ~ret:Tvoid ()
+  in
+  B.define b m (fun mb -> B.ret mb None);
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tvoid () in
+  B.define b main (fun mb ->
+      let o = B.alloc mb plain in
+      B.rcall_ignore mb (Var o) m [];
+      B.ret mb None);
+  let prog = B.finish b in
+  match Typecheck.check prog with
+  | [] -> Alcotest.fail "expected a typecheck error"
+  | errs ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions non-remote" true
+        (List.exists
+           (fun (e : Typecheck.error) -> contains e.what "non-remote")
+           errs)
+
+let typecheck_rejects_arity () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[ Tint ] ~ret:Tvoid () in
+  B.define b f (fun mb -> B.ret mb None);
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tvoid () in
+  B.define b main (fun mb ->
+      B.call_ignore mb f [];
+      B.ret mb None);
+  let prog = B.finish b in
+  Alcotest.(check bool) "arity error" true (Typecheck.check prog <> [])
+
+let typecheck_accepts_fixtures () =
+  List.iter
+    (fun (name, prog) ->
+      match Typecheck.check prog with
+      | [] -> ()
+      | errs ->
+          Alcotest.failf "%s: %s" name
+            (String.concat "; "
+               (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) errs)))
+    [
+      ("fig2", (Fixtures.fig2 ()).f2_prog);
+      ("fig3", (Fixtures.fig3 ()).f3_prog);
+      ("fig5", (Fixtures.fig5 ()).f5_prog);
+      ("fig8", (Fixtures.fig8 ()).s_prog);
+      ("fig9", (Fixtures.fig9 ()).s_prog);
+      ("fig10", (Fixtures.fig10 ()).s_prog);
+      ("fig11", (Fixtures.fig11 ()).s_prog);
+      ("linked_list", (Fixtures.linked_list ()).s_prog);
+      ("array2d", (Fixtures.array2d ()).s_prog);
+      ("returned_value", (Fixtures.returned_value ()).s_prog);
+    ]
+
+let builder_rejects_double_define () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[] ~ret:Tvoid () in
+  B.define b f (fun mb -> B.ret mb None);
+  try
+    B.define b f (fun mb -> B.ret mb None);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let builder_implicit_return_on_open_blocks () =
+  (* blocks left open (e.g. the unreachable join after an if whose
+     branches both return) get a zero-value return implicitly *)
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[] ~ret:Tint () in
+  B.define b f (fun _ -> ());
+  let prog = B.finish b in
+  Typecheck.check_exn prog;
+  match Interp.run (Interp.create prog) f [] with
+  | Interp.Vint 0 -> ()
+  | v -> Alcotest.failf "expected implicit 0, got %a" Interp.pp_value v
+
+let step_limit_guards_infinite_loops () =
+  let b = B.create () in
+  let main = B.declare_method b ~name:"main" ~params:[] ~ret:Tvoid () in
+  B.define b main (fun mb ->
+      let l = B.new_block mb in
+      B.jmp mb l;
+      B.switch_to mb l;
+      B.jmp mb l);
+  let prog = B.finish b in
+  let st = Interp.create ~step_limit:1000 prog in
+  Alcotest.check_raises "step limit" Interp.Step_limit_exceeded (fun () ->
+      ignore (Interp.run st main []))
+
+let suite =
+  [
+    ( "jir.interp",
+      [
+        Alcotest.test_case "arith + local call" `Quick interp_arith;
+        Alcotest.test_case "structured loop" `Quick interp_loop;
+        Alcotest.test_case "branches" `Quick interp_branches;
+        Alcotest.test_case "objects and fields" `Quick interp_objects_and_fields;
+        Alcotest.test_case "inherited field layout" `Quick interp_inherited_fields;
+        Alcotest.test_case "RMI deep-copy semantics" `Quick rmi_deep_copy_semantics;
+        Alcotest.test_case "RMI return is a copy" `Quick rmi_return_is_copy;
+        Alcotest.test_case "deep copy preserves sharing" `Quick deep_copy_preserves_sharing;
+        Alcotest.test_case "deep copy preserves cycles" `Quick deep_copy_preserves_cycles;
+        Alcotest.test_case "step limit" `Quick step_limit_guards_infinite_loops;
+      ] );
+    ( "jir.typecheck",
+      [
+        Alcotest.test_case "rejects remote call to plain class" `Quick
+          typecheck_rejects_bad_programs;
+        Alcotest.test_case "rejects arity mismatch" `Quick typecheck_rejects_arity;
+        Alcotest.test_case "accepts all paper fixtures" `Quick typecheck_accepts_fixtures;
+      ] );
+    ( "jir.builder",
+      [
+        Alcotest.test_case "rejects double define" `Quick builder_rejects_double_define;
+        Alcotest.test_case "implicit return for open blocks" `Quick
+          builder_implicit_return_on_open_blocks;
+      ] );
+  ]

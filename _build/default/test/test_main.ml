@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "rmi-repro"
+    (Test_wire.suite @ Test_jir.suite @ Test_ssa.suite @ Test_heap.suite
+   @ Test_cycle.suite @ Test_escape.suite @ Test_codegen.suite
+   @ Test_serial.suite @ Test_runtime.suite @ Test_apps.suite
+   @ Test_net.suite @ Test_stats.suite @ Test_harness.suite
+   @ Test_soundness.suite @ Test_jfront.suite @ Test_differential.suite @ Test_faults.suite @ Test_internals.suite @ Test_edge.suite @ Test_distributed.suite @ Test_optim.suite)

@@ -1,0 +1,140 @@
+(* Network substrate tests: mailboxes (including cross-domain blocking
+   delivery), the cluster, and the cost model. *)
+
+open Rmi_net
+module Metrics = Rmi_stats.Metrics
+
+let mailbox_fifo () =
+  let box = Mailbox.create () in
+  Alcotest.(check bool) "empty" true (Mailbox.is_empty box);
+  Mailbox.send box (Bytes.of_string "a");
+  Mailbox.send box (Bytes.of_string "b");
+  Alcotest.(check int) "two queued" 2 (Mailbox.length box);
+  Alcotest.(check (option string)) "a first" (Some "a")
+    (Option.map Bytes.to_string (Mailbox.try_recv box));
+  Alcotest.(check string) "b second (blocking)" "b"
+    (Bytes.to_string (Mailbox.recv_blocking box));
+  Alcotest.(check (option string)) "drained" None
+    (Option.map Bytes.to_string (Mailbox.try_recv box))
+
+let mailbox_cross_domain () =
+  (* a receiver blocked in recv_blocking must wake when another domain
+     sends *)
+  let box = Mailbox.create () in
+  let receiver = Domain.spawn (fun () -> Bytes.to_string (Mailbox.recv_blocking box)) in
+  (* give the receiver a moment to block *)
+  Unix.sleepf 0.01;
+  Mailbox.send box (Bytes.of_string "wake up");
+  Alcotest.(check string) "delivered" "wake up" (Domain.join receiver)
+
+let mailbox_many_messages_cross_domain () =
+  let box = Mailbox.create () in
+  let n = 1000 in
+  let receiver =
+    Domain.spawn (fun () ->
+        let total = ref 0 in
+        for _ = 1 to n do
+          total := !total + Bytes.length (Mailbox.recv_blocking box)
+        done;
+        !total)
+  in
+  let sent = ref 0 in
+  for i = 1 to n do
+    let len = 1 + (i mod 7) in
+    sent := !sent + len;
+    Mailbox.send box (Bytes.create len)
+  done;
+  Alcotest.(check int) "all bytes delivered" !sent (Domain.join receiver)
+
+let cluster_counts_traffic () =
+  let m = Metrics.create () in
+  let c = Cluster.create ~n:3 m in
+  Alcotest.(check int) "size" 3 (Cluster.size c);
+  Cluster.send c ~src:0 ~dest:2 (Bytes.create 10);
+  Cluster.send c ~src:2 ~dest:0 (Bytes.create 32);
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "messages" 2 s.Metrics.msgs_sent;
+  Alcotest.(check int) "bytes" 42 s.Metrics.bytes_sent;
+  Alcotest.(check bool) "pending" true (Cluster.pending_anywhere c);
+  Alcotest.(check bool) "machine 2 has one" true
+    (Cluster.try_recv c ~self:2 <> None);
+  Alcotest.(check bool) "machine 1 has none" true
+    (Cluster.try_recv c ~self:1 = None)
+
+let cluster_rejects_bad_ids () =
+  let m = Metrics.create () in
+  let c = Cluster.create ~n:2 m in
+  Alcotest.(check bool) "bad dest" true
+    (try
+       Cluster.send c ~src:0 ~dest:5 Bytes.empty;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero machines" true
+    (try
+       ignore (Cluster.create ~n:0 m);
+       false
+     with Invalid_argument _ -> true)
+
+let costmodel_components () =
+  let model = Costmodel.myrinet_2003 in
+  Alcotest.(check (float 1e-12)) "zero counters" 0.0
+    (Costmodel.modeled_seconds model Metrics.zero);
+  (* per the paper: one optimized RMI is ~40 us = 2 messages + dispatch *)
+  let one_rmi =
+    { Metrics.zero with Metrics.msgs_sent = 2; remote_rpcs = 1; bytes_sent = 64 }
+  in
+  let t = Costmodel.modeled_seconds model one_rmi *. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "one rmi ~ 40us (%.1f)" t)
+    true
+    (t > 20.0 && t < 60.0);
+  (* allocation cost: the paper's 0.1 us per object *)
+  let allocs =
+    { Metrics.zero with Metrics.allocs = 100 }
+  in
+  Alcotest.(check (float 1e-9)) "100 allocs = 10us" 1e-5
+    (Costmodel.modeled_seconds model allocs)
+
+let costmodel_breakdown_sorted () =
+  let model = Costmodel.myrinet_2003 in
+  let s =
+    { Metrics.zero with Metrics.msgs_sent = 100; cycle_lookups = 10; allocs = 1 }
+  in
+  match Costmodel.breakdown model s with
+  | (label, top) :: rest ->
+      Alcotest.(check string) "messages dominate" "messages" label;
+      List.iter
+        (fun (_, v) -> Alcotest.(check bool) "descending" true (v <= top))
+        rest
+  | [] -> Alcotest.fail "empty breakdown"
+
+let costmodel_monotone_in_counters () =
+  let model = Costmodel.myrinet_2003 in
+  let base =
+    { Metrics.zero with Metrics.msgs_sent = 10; bytes_sent = 1000; allocs = 5 }
+  in
+  let more = { base with Metrics.cycle_lookups = 1000 } in
+  Alcotest.(check bool) "more lookups cost more" true
+    (Costmodel.modeled_seconds model more > Costmodel.modeled_seconds model base)
+
+let suite =
+  [
+    ( "net.mailbox",
+      [
+        Alcotest.test_case "fifo order" `Quick mailbox_fifo;
+        Alcotest.test_case "cross-domain wakeup" `Quick mailbox_cross_domain;
+        Alcotest.test_case "1000 messages across domains" `Quick
+          mailbox_many_messages_cross_domain;
+      ] );
+    ( "net.cluster",
+      [
+        Alcotest.test_case "traffic counted" `Quick cluster_counts_traffic;
+        Alcotest.test_case "bad ids rejected" `Quick cluster_rejects_bad_ids;
+      ] );
+    ( "net.costmodel",
+      [
+        Alcotest.test_case "paper constants" `Quick costmodel_components;
+        Alcotest.test_case "breakdown sorted" `Quick costmodel_breakdown_sorted;
+        Alcotest.test_case "monotone" `Quick costmodel_monotone_in_counters;
+      ] );
+  ]

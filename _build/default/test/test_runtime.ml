@@ -1,0 +1,437 @@
+(* End-to-end RMI runtime tests: calls across the simulated cluster in
+   both execution modes, under every optimization configuration. *)
+
+open Rmi_runtime
+module Value = Rmi_serial.Value
+module Metrics = Rmi_stats.Metrics
+module Plan = Rmi_core.Plan
+
+let meta =
+  Rmi_serial.Class_meta.make
+    [
+      ("Cell", [ ("next", Jir.Types.Tobject 0) ]);
+      ("Box", [ ("v", Jir.Types.Tint) ]);
+    ]
+
+let no_plans () : (int, Plan.t) Hashtbl.t = Hashtbl.create 4
+
+let make_fabric ?(mode = Fabric.Sync) ?(plans = no_plans ()) ?(config = Config.class_)
+    ?(n = 2) () =
+  let metrics = Metrics.create () in
+  Fabric.create ~mode ~n ~meta ~config ~plans ~metrics ()
+
+(* exported method ids for the tests *)
+let m_incr = 1 (* Box -> Box with v+1 *)
+let m_sum = 2 (* double[] -> double *)
+let m_void = 3 (* fire and forget *)
+let m_boom = 4 (* always raises *)
+
+let export_all fabric =
+  for i = 0 to Fabric.size fabric - 1 do
+    let node = Fabric.node fabric i in
+    Node.export node ~obj:0 ~meth:m_incr ~has_ret:true (fun args ->
+        match args.(0) with
+        | Value.Obj o ->
+            let b = Value.new_obj ~cls:1 ~nfields:1 in
+            (b.fields.(0) <-
+               (match o.fields.(0) with
+               | Value.Int v -> Value.Int (v + 1)
+               | _ -> Value.Int 0));
+            Some (Value.Obj b)
+        | _ -> failwith "expected Box");
+    Node.export node ~obj:0 ~meth:m_sum ~has_ret:true (fun args ->
+        match args.(0) with
+        | Value.Darr a ->
+            Some (Value.Double (Array.fold_left ( +. ) 0.0 a.d))
+        | _ -> failwith "expected double[]");
+    Node.export node ~obj:0 ~meth:m_void ~has_ret:false (fun _ -> None);
+    Node.export node ~obj:0 ~meth:m_boom ~has_ret:true (fun _ ->
+        failwith "kaboom")
+  done
+
+let box v =
+  let b = Value.new_obj ~cls:1 ~nfields:1 in
+  b.fields.(0) <- Value.Int v;
+  Value.Obj b
+
+let call_roundtrip_all_configs () =
+  List.iter
+    (fun config ->
+      let fabric = make_fabric ~config () in
+      export_all fabric;
+      Fabric.run fabric (fun fabric ->
+          let caller = Fabric.node fabric 0 in
+          let dest = Remote_ref.make ~machine:1 ~obj:0 in
+          match
+            Node.call caller ~dest ~meth:m_incr ~callsite:100 ~has_ret:true
+              [| box 41 |]
+          with
+          | Some (Value.Obj o) -> (
+              match o.fields.(0) with
+              | Value.Int 42 -> ()
+              | v ->
+                  Alcotest.failf "[%s] expected 42, got %a" config.Config.name
+                    Value.pp v)
+          | v ->
+              Alcotest.failf "[%s] unexpected result %s" config.Config.name
+                (match v with None -> "None" | Some v -> Format.asprintf "%a" Value.pp v)))
+    Config.all
+
+let parallel_mode_roundtrip () =
+  let fabric = make_fabric ~mode:Fabric.Parallel () in
+  export_all fabric;
+  Fabric.run fabric (fun fabric ->
+      let caller = Fabric.node fabric 0 in
+      let dest = Remote_ref.make ~machine:1 ~obj:0 in
+      for i = 0 to 49 do
+        match
+          Node.call caller ~dest ~meth:m_incr ~callsite:100 ~has_ret:true
+            [| box i |]
+        with
+        | Some (Value.Obj o) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "call %d" i)
+              true
+              (o.fields.(0) = Value.Int (i + 1))
+        | _ -> Alcotest.fail "bad reply"
+      done)
+
+let remote_exception_propagates () =
+  let fabric = make_fabric () in
+  export_all fabric;
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  Alcotest.(check bool) "raises Remote_exception" true
+    (try
+       ignore (Node.call caller ~dest ~meth:m_boom ~callsite:1 ~has_ret:true [||]);
+       false
+     with Node.Remote_exception msg -> msg = "kaboom")
+
+let unknown_method_reports () =
+  (* an unknown (obj, method) pair must produce a clean remote error on
+     the caller, not take down the serving machine *)
+  List.iter
+    (fun mode ->
+      let fabric = make_fabric ~mode () in
+      export_all fabric;
+      Fabric.run fabric (fun fabric ->
+          let caller = Fabric.node fabric 0 in
+          let dest = Remote_ref.make ~machine:1 ~obj:9 in
+          Alcotest.(check bool) "raises" true
+            (try
+               ignore
+                 (Node.call caller ~dest ~meth:77 ~callsite:1 ~has_ret:true [||]);
+               false
+             with Node.Remote_exception _ -> true);
+          (* the machine still serves afterwards *)
+          let ok = Remote_ref.make ~machine:1 ~obj:0 in
+          match
+            Node.call caller ~dest:ok ~meth:m_incr ~callsite:1 ~has_ret:true
+              [| box 1 |]
+          with
+          | Some (Value.Obj o) ->
+              Alcotest.(check bool) "still alive" true
+                (o.fields.(0) = Value.Int 2)
+          | _ -> Alcotest.fail "machine died"))
+    [ Fabric.Sync; Fabric.Parallel ]
+
+let local_call_clones () =
+  (* an RMI to an object on the same machine must still deep-copy *)
+  let fabric = make_fabric () in
+  let node0 = Fabric.node fabric 0 in
+  let received = ref Value.Null in
+  Node.export node0 ~obj:5 ~meth:m_void ~has_ret:false (fun args ->
+      received := args.(0);
+      (match args.(0) with
+      | Value.Obj o -> o.fields.(0) <- Value.Int 999 (* mutate the copy *)
+      | _ -> ());
+      None);
+  let mine = box 7 in
+  let dest = Remote_ref.make ~machine:0 ~obj:5 in
+  ignore (Node.call node0 ~dest ~meth:m_void ~callsite:2 ~has_ret:false [| mine |]);
+  (* callee got an equal value... *)
+  (match !received with
+  | Value.Obj o ->
+      Alcotest.(check bool) "callee saw 999 after its own mutation" true
+        (o.fields.(0) = Value.Int 999)
+  | _ -> Alcotest.fail "no value received");
+  (* ...but the caller's object is untouched *)
+  (match mine with
+  | Value.Obj o -> Alcotest.(check bool) "caller untouched" true (o.fields.(0) = Value.Int 7)
+  | _ -> assert false);
+  let s = Metrics.snapshot (Fabric.metrics fabric) in
+  Alcotest.(check int) "counted as local rpc" 1 s.Metrics.local_rpcs;
+  Alcotest.(check int) "no remote rpcs" 0 s.Metrics.remote_rpcs;
+  Alcotest.(check int) "no network messages" 0 s.Metrics.msgs_sent
+
+let ack_only_when_return_ignored () =
+  (* a site plan with ret = None must produce a smaller reply than a
+     class-mode call that serializes the unused return value *)
+  let bytes_with config plans =
+    let fabric = make_fabric ~config ~plans () in
+    export_all fabric;
+    let caller = Fabric.node fabric 0 in
+    let dest = Remote_ref.make ~machine:1 ~obj:0 in
+    ignore
+      (Node.call caller ~dest ~meth:m_incr ~callsite:7 ~has_ret:true [| box 1 |]);
+    (Metrics.snapshot (Fabric.metrics fabric)).Metrics.bytes_sent
+  in
+  let plans = no_plans () in
+  let site_plan =
+    {
+      (Plan.generic ~callsite:7 ~nargs:1 ~has_ret:false) with
+      Plan.args = [| Plan.S_obj { cls = 1; fields = [| Plan.S_int |] } |];
+      cycle_args = false;
+      cycle_ret = false;
+    }
+  in
+  Hashtbl.replace plans 7 site_plan;
+  let class_bytes = bytes_with Config.class_ (no_plans ()) in
+  let site_bytes = bytes_with Config.site_cycle plans in
+  Alcotest.(check bool)
+    (Printf.sprintf "site %d < class %d" site_bytes class_bytes)
+    true (site_bytes < class_bytes)
+
+let reuse_cache_on_callee () =
+  (* repeated calls at one site with a reusable plan: after the first
+     call, the callee allocates nothing *)
+  let plans = no_plans () in
+  let plan =
+    {
+      Plan.callsite = 9;
+      defs = [||];
+      args = [| Plan.S_double_array |];
+      ret = Some Plan.S_double;
+      cycle_args = false;
+      cycle_ret = false;
+      reuse_args = [| true |];
+      reuse_ret = false;
+    }
+  in
+  Hashtbl.replace plans 9 plan;
+  let fabric = make_fabric ~config:Config.site_reuse_cycle ~plans () in
+  export_all fabric;
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let payload () =
+    let a = Value.new_darr 100 in
+    Array.iteri (fun i _ -> a.d.(i) <- float_of_int i) a.d;
+    Value.Darr a
+  in
+  let call () =
+    match Node.call caller ~dest ~meth:m_sum ~callsite:9 ~has_ret:true [| payload () |] with
+    | Some (Value.Double d) -> d
+    | _ -> Alcotest.fail "bad reply"
+  in
+  let first = call () in
+  let s1 = Metrics.snapshot (Fabric.metrics fabric) in
+  let second = call () in
+  let third = call () in
+  let s3 = Metrics.snapshot (Fabric.metrics fabric) in
+  Alcotest.(check (float 1e-9)) "sum stable" first second;
+  Alcotest.(check (float 1e-9)) "sum stable 2" first third;
+  Alcotest.(check int) "first call allocated once" 1 s1.Metrics.allocs;
+  Alcotest.(check int) "later calls reused" 2
+    (Metrics.diff s3 s1).Metrics.reused_objs;
+  Alcotest.(check int) "no further allocs" 0 (Metrics.diff s3 s1).Metrics.allocs
+
+let nested_rmi_no_deadlock () =
+  (* machine 0 calls machine 1 whose handler calls back into machine 0:
+     the GM-style polling in await_reply must serve the nested request *)
+  List.iter
+    (fun mode ->
+      let fabric = make_fabric ~mode ~n:2 () in
+      let node0 = Fabric.node fabric 0 and node1 = Fabric.node fabric 1 in
+      Node.export node0 ~obj:0 ~meth:m_incr ~has_ret:true (fun args ->
+          match args.(0) with
+          | Value.Obj o -> (
+              match o.fields.(0) with
+              | Value.Int v -> Some (box (v + 1))
+              | _ -> failwith "bad box")
+          | _ -> failwith "bad arg");
+      Node.export node1 ~obj:0 ~meth:m_sum ~has_ret:true (fun args ->
+          (* bounce back to machine 0 *)
+          let dest = Remote_ref.make ~machine:0 ~obj:0 in
+          match
+            Node.call node1 ~dest ~meth:m_incr ~callsite:30 ~has_ret:true
+              [| args.(0) |]
+          with
+          | Some v -> Some v
+          | None -> failwith "no nested reply");
+      Fabric.run fabric (fun fabric ->
+          let caller = Fabric.node fabric 0 in
+          let dest = Remote_ref.make ~machine:1 ~obj:0 in
+          match
+            Node.call caller ~dest ~meth:m_sum ~callsite:31 ~has_ret:true
+              [| box 10 |]
+          with
+          | Some (Value.Obj o) ->
+              Alcotest.(check bool) "nested result" true (o.fields.(0) = Value.Int 11)
+          | _ -> Alcotest.fail "bad nested reply"))
+    [ Fabric.Sync; Fabric.Parallel ]
+
+let rpc_counters () =
+  let fabric = make_fabric () in
+  export_all fabric;
+  let caller = Fabric.node fabric 0 in
+  let remote = Remote_ref.make ~machine:1 ~obj:0 in
+  let local = Remote_ref.make ~machine:0 ~obj:0 in
+  for _ = 1 to 5 do
+    ignore (Node.call caller ~dest:remote ~meth:m_void ~callsite:3 ~has_ret:false [| box 0 |])
+  done;
+  for _ = 1 to 3 do
+    ignore (Node.call caller ~dest:local ~meth:m_void ~callsite:4 ~has_ret:false [| box 0 |])
+  done;
+  let s = Metrics.snapshot (Fabric.metrics fabric) in
+  Alcotest.(check int) "remote rpcs" 5 s.Metrics.remote_rpcs;
+  Alcotest.(check int) "local rpcs" 3 s.Metrics.local_rpcs;
+  (* each remote rpc = request + reply message *)
+  Alcotest.(check int) "messages" 10 s.Metrics.msgs_sent
+
+let registry_round_robin () =
+  let fabric = make_fabric ~n:3 () in
+  let reg = Registry.create fabric in
+  let spec =
+    [ { Registry.meth = m_incr; has_ret = true;
+        handler =
+          (fun args ->
+            match args.(0) with
+            | Value.Obj o -> (
+                match o.fields.(0) with
+                | Value.Int v -> Some (box (v + 1))
+                | _ -> failwith "bad box")
+            | _ -> failwith "bad arg") } ]
+  in
+  let refs = List.init 6 (fun _ -> Registry.new_remote reg spec) in
+  (* placement cycles over the machines, object ids are unique *)
+  let machines = List.map (fun r -> r.Remote_ref.machine) refs in
+  Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 0; 1; 2 ] machines;
+  let objs = List.map (fun r -> r.Remote_ref.obj) refs in
+  Alcotest.(check (list int)) "unique ids" [ 0; 1; 2; 3; 4; 5 ] objs;
+  Alcotest.(check int) "exported count" 6 (Registry.exported reg);
+  (* every placed object is callable *)
+  let caller = Fabric.node fabric 0 in
+  List.iter
+    (fun dest ->
+      match Node.call caller ~dest ~meth:m_incr ~callsite:50 ~has_ret:true [| box 1 |] with
+      | Some (Value.Obj o) ->
+          Alcotest.(check bool) "answered" true (o.fields.(0) = Value.Int 2)
+      | _ -> Alcotest.fail "no reply")
+    refs;
+  Alcotest.(check bool) "explicit placement" true
+    ((Registry.new_remote_on reg ~machine:2 spec).Remote_ref.machine = 2)
+
+let reset_caches_forgets_candidates () =
+  (* after reset, the next call at a reuse-enabled site must allocate
+     afresh instead of recycling *)
+  let plans = no_plans () in
+  let plan =
+    {
+      Plan.callsite = 21;
+      defs = [||];
+      args = [| Plan.S_double_array |];
+      ret = None;
+      cycle_args = false;
+      cycle_ret = false;
+      reuse_args = [| true |];
+      reuse_ret = false;
+    }
+  in
+  Hashtbl.replace plans 21 plan;
+  let fabric = make_fabric ~config:Config.site_reuse_cycle ~plans () in
+  let callee = Fabric.node fabric 1 in
+  Node.export callee ~obj:0 ~meth:m_void ~has_ret:false (fun _ -> None);
+  let caller = Fabric.node fabric 0 in
+  let payload () = Value.Darr (Value.new_darr 16) in
+  let call () =
+    ignore
+      (Node.call caller
+         ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+         ~meth:m_void ~callsite:21 ~has_ret:false [| payload () |])
+  in
+  call ();
+  call ();
+  let s1 = Metrics.snapshot (Fabric.metrics fabric) in
+  Alcotest.(check int) "second call reused" 1 s1.Metrics.reused_objs;
+  Node.reset_caches callee;
+  call ();
+  let s2 = Metrics.snapshot (Fabric.metrics fabric) in
+  Alcotest.(check int) "post-reset call allocates" 0
+    (Metrics.diff s2 s1).Metrics.reused_objs;
+  Alcotest.(check int) "fresh allocation" 1 (Metrics.diff s2 s1).Metrics.allocs
+
+let trace_records_events () =
+  let fabric = make_fabric () in
+  export_all fabric;
+  let tr = Trace.create () in
+  Node.set_trace (Fabric.node fabric 0) tr;
+  Node.set_trace (Fabric.node fabric 1) tr;
+  let caller = Fabric.node fabric 0 in
+  let remote = Remote_ref.make ~machine:1 ~obj:0 in
+  let local = Remote_ref.make ~machine:0 ~obj:0 in
+  for _ = 1 to 3 do
+    ignore (Node.call caller ~dest:remote ~meth:m_incr ~callsite:11 ~has_ret:true [| box 1 |])
+  done;
+  ignore (Node.call caller ~dest:local ~meth:m_incr ~callsite:12 ~has_ret:true [| box 1 |]);
+  (* 4 starts + 4 ends + 3 remote serves (local path doesn't dispatch) *)
+  Alcotest.(check int) "event count" 11 (Trace.length tr);
+  let starts, ends, serves =
+    List.fold_left
+      (fun (s, e, v) (entry : Trace.entry) ->
+        match entry.Trace.event with
+        | Trace.Call_start _ -> (s + 1, e, v)
+        | Trace.Call_end _ -> (s, e + 1, v)
+        | Trace.Served _ -> (s, e, v + 1))
+      (0, 0, 0) (Trace.entries tr)
+  in
+  Alcotest.(check (list int)) "event breakdown" [ 4; 4; 3 ] [ starts; ends; serves ];
+  (* timestamps are monotone in recording order *)
+  let rec monotone = function
+    | (a : Trace.entry) :: (b : Trace.entry) :: rest ->
+        a.Trace.at_us <= b.Trace.at_us && monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone timestamps" true (monotone (Trace.entries tr));
+  (* rendering and summary mention the callsites *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render has site 11" true
+    (contains (Trace.render tr) "site=11");
+  let summary = Trace.summary tr in
+  Alcotest.(check bool) "summary has both sites" true
+    (contains summary "11" && contains summary "12");
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let suite =
+  [
+    ( "runtime.calls",
+      [
+        Alcotest.test_case "roundtrip under all 5 configs" `Quick
+          call_roundtrip_all_configs;
+        Alcotest.test_case "parallel (domains) mode" `Quick parallel_mode_roundtrip;
+        Alcotest.test_case "remote exception" `Quick remote_exception_propagates;
+        Alcotest.test_case "unknown method" `Quick unknown_method_reports;
+        Alcotest.test_case "local call clones" `Quick local_call_clones;
+        Alcotest.test_case "nested RMI no deadlock" `Quick nested_rmi_no_deadlock;
+        Alcotest.test_case "rpc counters" `Quick rpc_counters;
+      ] );
+    ( "runtime.optimizations",
+      [
+        Alcotest.test_case "ack when return ignored" `Quick
+          ack_only_when_return_ignored;
+        Alcotest.test_case "callee reuse cache" `Quick reuse_cache_on_callee;
+      ] );
+    ( "runtime.registry",
+      [ Alcotest.test_case "round-robin placement" `Quick registry_round_robin ] );
+    ( "runtime.trace",
+      [ Alcotest.test_case "events recorded" `Quick trace_records_events ] );
+    ( "runtime.caches",
+      [
+        Alcotest.test_case "reset_caches forgets candidates" `Quick
+          reset_caches_forgets_candidates;
+      ] );
+  ]

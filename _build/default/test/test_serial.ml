@@ -1,0 +1,354 @@
+(* Serializer tests: dynamic and plan-driven roundtrips, cycle and
+   sharing preservation, reuse-candidate behaviour, the introspective
+   baseline, and random-graph properties. *)
+
+open Rmi_serial
+module Plan = Rmi_core.Plan
+module Msgbuf = Rmi_wire.Msgbuf
+module Metrics = Rmi_stats.Metrics
+
+(* a small class world: Cell{next: Cell}, Pair{a: int, b: Cell} *)
+let meta =
+  Class_meta.make
+    [
+      ("Cell", [ ("next", Jir.Types.Tobject 0) ]);
+      ("Pair", [ ("a", Jir.Types.Tint); ("b", Jir.Types.Tobject 0) ]);
+    ]
+
+let roundtrip_dyn ?(cycle = true) v =
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  let wctx = Codec.make_wctx meta m ~cycle in
+  Codec.write_dyn wctx w v;
+  let rctx = Codec.make_rctx meta m ~cycle in
+  Codec.read_dyn rctx (Msgbuf.reader_of_writer w) ~cand:Value.Null
+
+let roundtrip_step ?(cycle = true) ?(cand = Value.Null) step v =
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  let wctx = Codec.make_wctx meta m ~cycle in
+  Codec.write_step wctx w step v;
+  let rctx = Codec.make_rctx meta m ~cycle in
+  Codec.read_step rctx (Msgbuf.reader_of_writer w) step ~cand
+
+let check_equal what expected actual =
+  match Equality.check ~expected ~actual with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let prims_roundtrip () =
+  List.iter
+    (fun v -> check_equal "prim" v (roundtrip_dyn v))
+    [
+      Value.Null; Value.Bool true; Value.Bool false; Value.Int 42;
+      Value.Int (-7); Value.Double 3.25; Value.Str "hello";
+    ]
+
+let object_roundtrip () =
+  let cell = Value.new_obj ~cls:0 ~nfields:1 in
+  let pair = Value.new_obj ~cls:1 ~nfields:2 in
+  pair.fields.(0) <- Value.Int 5;
+  pair.fields.(1) <- Value.Obj cell;
+  check_equal "pair" (Value.Obj pair) (roundtrip_dyn (Value.Obj pair))
+
+let cyclic_roundtrip () =
+  let a = Value.new_obj ~cls:0 ~nfields:1 in
+  let b = Value.new_obj ~cls:0 ~nfields:1 in
+  a.fields.(0) <- Value.Obj b;
+  b.fields.(0) <- Value.Obj a;
+  let copy = roundtrip_dyn (Value.Obj a) in
+  check_equal "2-cycle" (Value.Obj a) copy;
+  (* the copy must be cyclic too, not an infinite unrolling *)
+  match copy with
+  | Value.Obj a' -> (
+      match a'.fields.(0) with
+      | Value.Obj b' -> (
+          match b'.fields.(0) with
+          | Value.Obj a'' -> Alcotest.(check bool) "closed cycle" true (a'' == a')
+          | v -> Alcotest.failf "bad cycle %a" Value.pp v)
+      | v -> Alcotest.failf "bad cycle %a" Value.pp v)
+  | v -> Alcotest.failf "bad root %a" Value.pp v
+
+let sharing_preserved () =
+  let shared = Value.new_obj ~cls:0 ~nfields:1 in
+  let arr = Value.new_rarr (Jir.Types.Tobject 0) 2 in
+  arr.ra.(0) <- Value.Obj shared;
+  arr.ra.(1) <- Value.Obj shared;
+  match roundtrip_dyn (Value.Rarr arr) with
+  | Value.Rarr a' -> (
+      match (a'.ra.(0), a'.ra.(1)) with
+      | Value.Obj x, Value.Obj y ->
+          Alcotest.(check bool) "same object" true (x == y)
+      | _ -> Alcotest.fail "expected objects")
+  | v -> Alcotest.failf "bad root %a" Value.pp v
+
+let double_array_roundtrip () =
+  let a = Value.new_darr 64 in
+  Array.iteri (fun i _ -> a.d.(i) <- float_of_int i *. 1.5) a.d;
+  check_equal "darr" (Value.Darr a) (roundtrip_dyn (Value.Darr a));
+  check_equal "darr step" (Value.Darr a)
+    (roundtrip_step Plan.S_double_array (Value.Darr a))
+
+let plan_obj_roundtrip () =
+  let step =
+    Plan.S_obj { cls = 1; fields = [| Plan.S_int; Plan.S_obj { cls = 0; fields = [| Plan.S_null |] } |] }
+  in
+  let cell = Value.new_obj ~cls:0 ~nfields:1 in
+  let pair = Value.new_obj ~cls:1 ~nfields:2 in
+  pair.fields.(0) <- Value.Int 99;
+  pair.fields.(1) <- Value.Obj cell;
+  check_equal "plan pair" (Value.Obj pair) (roundtrip_step step (Value.Obj pair))
+
+let plan_nested_array () =
+  (* the Figure 13 shape: double[][] *)
+  let step = Plan.S_obj_array { elem = Plan.S_double_array } in
+  let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 4 in
+  for i = 0 to 3 do
+    let inner = Value.new_darr 4 in
+    Array.iteri (fun j _ -> inner.d.(j) <- float_of_int ((i * 4) + j)) inner.d;
+    outer.ra.(i) <- Value.Darr inner
+  done;
+  check_equal "double[][]" (Value.Rarr outer)
+    (roundtrip_step ~cycle:false step (Value.Rarr outer))
+
+let plan_wire_smaller_than_dyn () =
+  (* site-specific plans must remove type bytes from the wire *)
+  let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 16 in
+  for i = 0 to 15 do
+    outer.ra.(i) <- Value.Darr (Value.new_darr 16)
+  done;
+  let m = Metrics.create () in
+  let size_with write =
+    let w = Msgbuf.create_writer () in
+    write w;
+    Msgbuf.length w
+  in
+  let dyn_size =
+    size_with (fun w ->
+        Codec.write_dyn (Codec.make_wctx meta m ~cycle:true) w (Value.Rarr outer))
+  in
+  let plan_size =
+    size_with (fun w ->
+        Codec.write_step
+          (Codec.make_wctx meta m ~cycle:false)
+          w
+          (Plan.S_obj_array { elem = Plan.S_double_array })
+          (Value.Rarr outer))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "plan %d < dyn %d bytes" plan_size dyn_size)
+    true (plan_size < dyn_size)
+
+let cycle_lookups_elided () =
+  let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 8 in
+  for i = 0 to 7 do
+    outer.ra.(i) <- Value.Darr (Value.new_darr 8)
+  done;
+  let step = Plan.S_obj_array { elem = Plan.S_double_array } in
+  let count cycle =
+    let m = Metrics.create () in
+    let w = Msgbuf.create_writer () in
+    Codec.write_step (Codec.make_wctx meta m ~cycle) w step (Value.Rarr outer);
+    let rctx = Codec.make_rctx meta m ~cycle in
+    ignore (Codec.read_step rctx (Msgbuf.reader_of_writer w) step ~cand:Value.Null);
+    (Metrics.snapshot m).Metrics.cycle_lookups
+  in
+  Alcotest.(check int) "no lookups when elided" 0 (count false);
+  Alcotest.(check bool) "lookups otherwise" true (count true > 0)
+
+let reuse_hits_matching_shape () =
+  let mk () =
+    let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 3 in
+    for i = 0 to 2 do
+      outer.ra.(i) <- Value.Darr (Value.new_darr 5)
+    done;
+    outer
+  in
+  let step = Plan.S_obj_array { elem = Plan.S_double_array } in
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Codec.write_step (Codec.make_wctx meta m ~cycle:false) w step (Value.Rarr (mk ()));
+  let cand = Value.Rarr (mk ()) in
+  let cand_id = match cand with Value.Rarr a -> a.rid | _ -> assert false in
+  Metrics.reset m;
+  let rctx = Codec.make_rctx meta m ~cycle:false in
+  let got = Codec.read_step rctx (Msgbuf.reader_of_writer w) step ~cand in
+  (match got with
+  | Value.Rarr a -> Alcotest.(check int) "same array object" cand_id a.rid
+  | v -> Alcotest.failf "bad root %a" Value.pp v);
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "4 reused (outer + 3 inner)" 4 s.Metrics.reused_objs;
+  Alcotest.(check int) "no allocations" 0 s.Metrics.allocs
+
+let reuse_falls_back_on_mismatch () =
+  (* cached arrays of the wrong length must be reallocated (the paper:
+     "If an array size is mismatched ... a new array is allocated") *)
+  let step = Plan.S_double_array in
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  let incoming = Value.new_darr 8 in
+  Codec.write_step (Codec.make_wctx meta m ~cycle:false) w step (Value.Darr incoming);
+  Metrics.reset m;
+  let rctx = Codec.make_rctx meta m ~cycle:false in
+  let cand = Value.Darr (Value.new_darr 4) in
+  (match Codec.read_step rctx (Msgbuf.reader_of_writer w) step ~cand with
+  | Value.Darr a -> Alcotest.(check int) "fresh length" 8 (Array.length a.d)
+  | v -> Alcotest.failf "bad %a" Value.pp v);
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "no reuse" 0 s.Metrics.reused_objs;
+  Alcotest.(check int) "one allocation" 1 s.Metrics.allocs
+
+let reuse_through_dyn_list () =
+  (* the linked-list case: reuse works through the dynamic serializer *)
+  let rec make_list n =
+    if n = 0 then Value.Null
+    else begin
+      let c = Value.new_obj ~cls:0 ~nfields:1 in
+      c.fields.(0) <- make_list (n - 1);
+      Value.Obj c
+    end
+  in
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  Codec.write_dyn (Codec.make_wctx meta m ~cycle:true) w (make_list 10);
+  let cand = make_list 10 in
+  Metrics.reset m;
+  let rctx = Codec.make_rctx meta m ~cycle:true in
+  let got = Codec.read_dyn rctx (Msgbuf.reader_of_writer w) ~cand in
+  check_equal "list" (make_list 10) got;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "all 10 cells reused" 10 s.Metrics.reused_objs;
+  Alcotest.(check int) "no allocs" 0 s.Metrics.allocs
+
+let introspect_roundtrip_and_cost () =
+  let pair = Value.new_obj ~cls:1 ~nfields:2 in
+  pair.fields.(0) <- Value.Int 5;
+  pair.fields.(1) <- Value.Obj (Value.new_obj ~cls:0 ~nfields:1) ;
+  let m_intro = Metrics.create () in
+  let w1 = Msgbuf.create_writer () in
+  Introspect.write (Introspect.make_wctx meta m_intro) w1 (Value.Obj pair);
+  let got =
+    Introspect.read (Introspect.make_rctx meta m_intro) (Msgbuf.reader_of_writer w1)
+  in
+  check_equal "introspect" (Value.Obj pair) got;
+  (* introspection ships class names: more type bytes than the compact
+     class-specific serializer *)
+  let m_dyn = Metrics.create () in
+  let w2 = Msgbuf.create_writer () in
+  Codec.write_dyn (Codec.make_wctx meta m_dyn ~cycle:true) w2 (Value.Obj pair);
+  let tb m = (Metrics.snapshot m).Metrics.type_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "introspect %d > class %d type bytes" (tb m_intro) (tb m_dyn))
+    true
+    (tb m_intro > tb m_dyn)
+
+let type_confusion_raises () =
+  let m = Metrics.create () in
+  let w = Msgbuf.create_writer () in
+  let wctx = Codec.make_wctx meta m ~cycle:false in
+  let cell = Value.new_obj ~cls:0 ~nfields:1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Codec.write_step wctx w
+         (Plan.S_obj { cls = 1; fields = [| Plan.S_int; Plan.S_null |] })
+         (Value.Obj cell);
+       false
+     with Codec.Type_confusion _ -> true)
+
+(* random acyclic value graphs for property tests *)
+let gen_value =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Double f) float;
+        map (fun s -> Value.Str s) (string_size (int_bound 12));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            ( 1,
+              map
+                (fun next ->
+                  let c = Value.new_obj ~cls:0 ~nfields:1 in
+                  c.fields.(0) <- next;
+                  Value.Obj c)
+                (self (depth - 1)) );
+            ( 1,
+              map2
+                (fun i next ->
+                  let p = Value.new_obj ~cls:1 ~nfields:2 in
+                  p.fields.(0) <- Value.Int i;
+                  p.fields.(1) <- next;
+                  Value.Obj p)
+                int
+                (self (depth - 1)) );
+            ( 1,
+              map
+                (fun fs ->
+                  let a = Value.new_darr (List.length fs) in
+                  List.iteri (fun i f -> a.d.(i) <- f) fs;
+                  Value.Darr a)
+                (list_size (int_bound 8) float) );
+          ]
+        )
+    4
+
+let arb_value = QCheck.make ~print:(Format.asprintf "%a" Value.pp) gen_value
+
+let prop_dyn_roundtrip =
+  QCheck.Test.make ~name:"dynamic serializer roundtrips random graphs" ~count:300
+    arb_value
+    (fun v -> Equality.equal v (roundtrip_dyn v))
+
+let prop_dyn_roundtrip_nocycle =
+  QCheck.Test.make ~name:"acyclic graphs roundtrip without cycle table"
+    ~count:300 arb_value
+    (fun v -> Equality.equal v (roundtrip_dyn ~cycle:false v))
+
+let prop_reuse_preserves_value =
+  QCheck.Test.make ~name:"any candidate still deserializes correctly" ~count:300
+    (QCheck.pair arb_value arb_value)
+    (fun (v, cand) ->
+      let m = Metrics.create () in
+      let w = Msgbuf.create_writer () in
+      Codec.write_dyn (Codec.make_wctx meta m ~cycle:true) w v;
+      let rctx = Codec.make_rctx meta m ~cycle:true in
+      let got = Codec.read_dyn rctx (Msgbuf.reader_of_writer w) ~cand in
+      Equality.equal v got)
+
+let suite =
+  [
+    ( "serial.codec",
+      [
+        Alcotest.test_case "primitives" `Quick prims_roundtrip;
+        Alcotest.test_case "objects" `Quick object_roundtrip;
+        Alcotest.test_case "cycles preserved" `Quick cyclic_roundtrip;
+        Alcotest.test_case "sharing preserved" `Quick sharing_preserved;
+        Alcotest.test_case "double arrays" `Quick double_array_roundtrip;
+        Alcotest.test_case "plan object" `Quick plan_obj_roundtrip;
+        Alcotest.test_case "plan double[][] (fig 13)" `Quick plan_nested_array;
+        Alcotest.test_case "plan wire smaller than dyn" `Quick plan_wire_smaller_than_dyn;
+        Alcotest.test_case "cycle lookups elided" `Quick cycle_lookups_elided;
+        Alcotest.test_case "type confusion raises" `Quick type_confusion_raises;
+        QCheck_alcotest.to_alcotest prop_dyn_roundtrip;
+        QCheck_alcotest.to_alcotest prop_dyn_roundtrip_nocycle;
+      ] );
+    ( "serial.reuse",
+      [
+        Alcotest.test_case "reuse hits matching shape" `Quick reuse_hits_matching_shape;
+        Alcotest.test_case "size mismatch reallocates" `Quick reuse_falls_back_on_mismatch;
+        Alcotest.test_case "reuse through dynamic list" `Quick reuse_through_dyn_list;
+        QCheck_alcotest.to_alcotest prop_reuse_preserves_value;
+      ] );
+    ( "serial.introspect",
+      [ Alcotest.test_case "roundtrip and type-byte cost" `Quick introspect_roundtrip_and_cost ] );
+  ]

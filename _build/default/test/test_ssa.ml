@@ -1,0 +1,174 @@
+(* CFG, dominance and SSA-construction tests.  SSA conversion must also
+   preserve program behaviour — checked by interpreting before/after. *)
+
+open Jir
+module B = Builder
+module Cfg = Rmi_ssa.Cfg
+module Dominance = Rmi_ssa.Dominance
+module Liveness = Rmi_ssa.Liveness
+
+(* diamond CFG: entry -> (then | else) -> join *)
+let diamond_method () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[ Tbool ] ~ret:Tint () in
+  B.define b f (fun mb ->
+      let x = B.fresh mb Tint in
+      B.if_ mb
+        (Var (B.param mb 0))
+        (fun () -> B.move mb x (Int 1))
+        (fun () -> B.move mb x (Int 2));
+      B.ret mb (Some (Var x)));
+  (B.finish b, f)
+
+let cfg_shape () =
+  let prog, f = diamond_method () in
+  let m = Program.method_decl prog f in
+  let cfg = Cfg.of_method m in
+  Alcotest.(check int) "4 blocks" 4 cfg.Cfg.nblocks;
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] cfg.Cfg.succs.(0);
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare cfg.Cfg.preds.(3));
+  Alcotest.(check bool) "all reachable" true
+    (List.for_all (Cfg.is_reachable cfg) [ 0; 1; 2; 3 ])
+
+let dominance_diamond () =
+  let prog, f = diamond_method () in
+  let m = Program.method_decl prog f in
+  let cfg = Cfg.of_method m in
+  let dom = Dominance.compute cfg in
+  Alcotest.(check (option int)) "idom entry" None (Dominance.idom dom 0);
+  Alcotest.(check (option int)) "idom then" (Some 0) (Dominance.idom dom 1);
+  Alcotest.(check (option int)) "idom else" (Some 0) (Dominance.idom dom 2);
+  Alcotest.(check (option int)) "idom join" (Some 0) (Dominance.idom dom 3);
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (Dominance.dominates dom 0) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "then does not dominate join" false
+    (Dominance.dominates dom 1 3);
+  Alcotest.(check (list int)) "DF(then) = {join}" [ 3 ] (Dominance.frontier dom 1);
+  Alcotest.(check (list int)) "DF(else) = {join}" [ 3 ] (Dominance.frontier dom 2)
+
+let ssa_places_phi_at_join () =
+  let prog, f = diamond_method () in
+  let m = Program.method_decl prog f in
+  Rmi_ssa.Ssa.convert_method m;
+  Alcotest.(check bool) "is ssa" true (Rmi_ssa.Ssa.is_ssa m);
+  let join = m.Program.blocks.(3) in
+  Alcotest.(check int) "one phi at join" 1 (List.length join.Instr.phis);
+  match join.Instr.phis with
+  | [ { Instr.pargs; _ } ] ->
+      Alcotest.(check int) "two phi inputs" 2 (List.length pargs)
+  | _ -> assert false
+
+let ssa_preserves_behaviour_diamond () =
+  let run_with b =
+    let prog, f = diamond_method () in
+    let m = Program.method_decl prog f in
+    if b then Rmi_ssa.Ssa.convert_method m;
+    let st = Interp.create prog in
+    ( Interp.run st f [ Interp.Vbool true ],
+      Interp.run st f [ Interp.Vbool false ] )
+  in
+  let before = run_with false and after = run_with true in
+  Alcotest.(check bool) "same results" true (before = after);
+  match after with
+  | Interp.Vint 1, Interp.Vint 2 -> ()
+  | _ -> Alcotest.fail "unexpected values"
+
+let loop_method () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"sum_to" ~params:[ Tint ] ~ret:Tint () in
+  B.define b f (fun mb ->
+      let acc = B.fresh mb Tint in
+      B.move mb acc (Int 0);
+      B.loop_up mb ~from:(Int 0) ~limit:(Var (B.param mb 0)) (fun i ->
+          let s = B.binop mb Instr.Add (Var acc) (Var i) in
+          B.move mb acc (Var s));
+      B.ret mb (Some (Var acc)));
+  (B.finish b, f)
+
+let ssa_preserves_behaviour_loop () =
+  let prog, f = loop_method () in
+  let m = Program.method_decl prog f in
+  let st = Interp.create prog in
+  let before = Interp.run st f [ Interp.Vint 10 ] in
+  Rmi_ssa.Ssa.convert_method m;
+  Alcotest.(check bool) "is ssa" true (Rmi_ssa.Ssa.is_ssa m);
+  let st2 = Interp.create prog in
+  let after = Interp.run st2 f [ Interp.Vint 10 ] in
+  (match (before, after) with
+  | Interp.Vint 45, Interp.Vint 45 -> ()
+  | _ -> Alcotest.fail "loop result changed");
+  (* a loop header needs phis for both i and acc *)
+  let has_phi =
+    Array.exists (fun (b : Instr.block) -> b.phis <> []) m.Program.blocks
+  in
+  Alcotest.(check bool) "loop has phis" true has_phi
+
+let ssa_idempotent_on_straightline () =
+  let b = B.create () in
+  let f = B.declare_method b ~name:"f" ~params:[ Tint ] ~ret:Tint () in
+  B.define b f (fun mb ->
+      let x = B.binop mb Instr.Add (Var (B.param mb 0)) (Int 1) in
+      B.ret mb (Some (Var x)));
+  let prog = B.finish b in
+  let m = Program.method_decl prog f in
+  Alcotest.(check bool) "already ssa" true (Rmi_ssa.Ssa.is_ssa m);
+  Rmi_ssa.Ssa.convert_method m;
+  Alcotest.(check bool) "no phis added" true
+    (Array.for_all (fun (b : Instr.block) -> b.Instr.phis = []) m.Program.blocks)
+
+let liveness_loop () =
+  let prog, f = loop_method () in
+  let m = Program.method_decl prog f in
+  let cfg = Cfg.of_method m in
+  let live = Liveness.compute cfg m in
+  (* the accumulator must be live into the loop header (block 1) *)
+  let header_live = Liveness.live_in live 1 in
+  Alcotest.(check bool) "acc live into header" true
+    (not (Liveness.Int_set.is_empty header_live))
+
+let whole_program_conversion () =
+  let fx = Fixtures.fig3 () in
+  Rmi_ssa.Ssa.convert fx.f3_prog;
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in ssa" m.Program.mname)
+        true (Rmi_ssa.Ssa.is_ssa m))
+    fx.f3_prog.Program.methods
+
+let ssa_preserves_rmi_program () =
+  (* run the fig3 loop before and after conversion: both must terminate
+     and perform the same number of remote calls *)
+  let fx = Fixtures.fig3 ~iterations:5 () in
+  let st = Interp.create fx.f3_prog in
+  ignore (Interp.run st fx.f3_zoo []);
+  let before = Interp.remote_calls st in
+  Rmi_ssa.Ssa.convert fx.f3_prog;
+  let st2 = Interp.create fx.f3_prog in
+  ignore (Interp.run st2 fx.f3_zoo []);
+  Alcotest.(check int) "same rmi count" before (Interp.remote_calls st2);
+  Alcotest.(check int) "5 rmis" 5 before
+
+let suite =
+  [
+    ( "ssa.cfg",
+      [
+        Alcotest.test_case "diamond shape" `Quick cfg_shape;
+        Alcotest.test_case "dominance" `Quick dominance_diamond;
+      ] );
+    ( "ssa.construction",
+      [
+        Alcotest.test_case "phi at join" `Quick ssa_places_phi_at_join;
+        Alcotest.test_case "behaviour preserved (diamond)" `Quick
+          ssa_preserves_behaviour_diamond;
+        Alcotest.test_case "behaviour preserved (loop)" `Quick
+          ssa_preserves_behaviour_loop;
+        Alcotest.test_case "no phis on straightline code" `Quick
+          ssa_idempotent_on_straightline;
+        Alcotest.test_case "whole-program conversion" `Quick whole_program_conversion;
+        Alcotest.test_case "RMI program preserved" `Quick ssa_preserves_rmi_program;
+      ] );
+    ( "ssa.liveness",
+      [ Alcotest.test_case "accumulator live into loop" `Quick liveness_loop ] );
+  ]

@@ -1,0 +1,115 @@
+(* Metrics and table-rendering tests. *)
+
+module Metrics = Rmi_stats.Metrics
+module Ascii_table = Rmi_stats.Ascii_table
+
+let counters_accumulate () =
+  let m = Metrics.create () in
+  Metrics.incr_remote_rpcs m;
+  Metrics.incr_remote_rpcs m;
+  Metrics.incr_local_rpcs m;
+  Metrics.add_reused_objs m 10;
+  Metrics.add_new_bytes m 1024;
+  Metrics.add_cycle_lookups m 3;
+  Metrics.incr_ser_invocations m;
+  Metrics.incr_msgs_sent m;
+  Metrics.add_bytes_sent m 256;
+  Metrics.add_type_bytes m 7;
+  Metrics.incr_allocs m;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "remote" 2 s.Metrics.remote_rpcs;
+  Alcotest.(check int) "local" 1 s.Metrics.local_rpcs;
+  Alcotest.(check int) "reused" 10 s.Metrics.reused_objs;
+  Alcotest.(check int) "new bytes" 1024 s.Metrics.new_bytes;
+  Alcotest.(check int) "cycle" 3 s.Metrics.cycle_lookups;
+  Alcotest.(check int) "ser" 1 s.Metrics.ser_invocations;
+  Alcotest.(check int) "msgs" 1 s.Metrics.msgs_sent;
+  Alcotest.(check int) "bytes" 256 s.Metrics.bytes_sent;
+  Alcotest.(check int) "type bytes" 7 s.Metrics.type_bytes;
+  Alcotest.(check int) "allocs" 1 s.Metrics.allocs
+
+let reset_zeroes () =
+  let m = Metrics.create () in
+  Metrics.add_bytes_sent m 100;
+  Metrics.reset m;
+  Alcotest.(check bool) "zero after reset" true (Metrics.snapshot m = Metrics.zero)
+
+let diff_and_merge () =
+  let m = Metrics.create () in
+  Metrics.add_bytes_sent m 100;
+  let s1 = Metrics.snapshot m in
+  Metrics.add_bytes_sent m 50;
+  Metrics.incr_allocs m;
+  let s2 = Metrics.snapshot m in
+  let d = Metrics.diff s2 s1 in
+  Alcotest.(check int) "diff bytes" 50 d.Metrics.bytes_sent;
+  Alcotest.(check int) "diff allocs" 1 d.Metrics.allocs;
+  let merged = Metrics.merge s1 d in
+  Alcotest.(check bool) "merge restores" true (merged = s2)
+
+let concurrent_updates () =
+  (* atomic counters must not lose updates across domains *)
+  let m = Metrics.create () in
+  let worker () =
+    for _ = 1 to 10_000 do
+      Metrics.incr_msgs_sent m
+    done
+  in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  Alcotest.(check int) "no lost updates" 20_000
+    (Metrics.snapshot m).Metrics.msgs_sent
+
+let table_renders_aligned () =
+  let s =
+    Ascii_table.render ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "20000" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  let widths = List.map String.length (List.filter (fun l -> l <> "") lines) in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "equal widths" w w') rest
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "contains header" true
+    (let rec has i =
+       i + 4 <= String.length s && (String.sub s i 4 = "name" || has (i + 1))
+     in
+     has 0)
+
+let table_rejects_ragged_rows () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Ascii_table.render ~headers:[ "a"; "b" ] [ [ "only-one" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let table_alignment_modes () =
+  let s =
+    Ascii_table.render ~headers:[ "l"; "r" ]
+      ~aligns:[ Ascii_table.Left; Ascii_table.Right ]
+      [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  (* right-aligned column pads on the left *)
+  Alcotest.(check bool) "right aligned" true
+    (let rec has i =
+       i + 4 <= String.length s && (String.sub s i 4 = "|  1" || has (i + 1))
+     in
+     has 0)
+
+let suite =
+  [
+    ( "stats.metrics",
+      [
+        Alcotest.test_case "counters accumulate" `Quick counters_accumulate;
+        Alcotest.test_case "reset" `Quick reset_zeroes;
+        Alcotest.test_case "diff/merge" `Quick diff_and_merge;
+        Alcotest.test_case "concurrent updates" `Quick concurrent_updates;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "aligned output" `Quick table_renders_aligned;
+        Alcotest.test_case "ragged rows rejected" `Quick table_rejects_ragged_rows;
+        Alcotest.test_case "alignment modes" `Quick table_alignment_modes;
+      ] );
+  ]

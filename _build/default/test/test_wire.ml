@@ -1,0 +1,235 @@
+(* Unit and property tests for the wire substrate: buffers, varints,
+   type descriptors, handle tables, message framing. *)
+
+open Rmi_wire
+
+let roundtrip_ints () =
+  let w = Msgbuf.create_writer () in
+  let values = [ 0; 1; -1; 63; 64; -64; 127; 128; 300; -300; max_int; min_int ] in
+  List.iter (Msgbuf.write_varint w) values;
+  let r = Msgbuf.reader_of_writer w in
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "varint %d" v) v (Msgbuf.read_varint r))
+    values;
+  Alcotest.(check int) "drained" 0 (Msgbuf.remaining r)
+
+let roundtrip_mixed () =
+  let w = Msgbuf.create_writer ~initial_capacity:4 () in
+  Msgbuf.write_u8 w 200;
+  Msgbuf.write_bool w true;
+  Msgbuf.write_bool w false;
+  Msgbuf.write_double w 3.14159;
+  Msgbuf.write_string w "hello RMI";
+  Msgbuf.write_string w "";
+  Msgbuf.write_uvarint w 123456;
+  let r = Msgbuf.reader_of_writer w in
+  Alcotest.(check int) "u8" 200 (Msgbuf.read_u8 r);
+  Alcotest.(check bool) "true" true (Msgbuf.read_bool r);
+  Alcotest.(check bool) "false" false (Msgbuf.read_bool r);
+  Alcotest.(check (float 1e-12)) "double" 3.14159 (Msgbuf.read_double r);
+  Alcotest.(check string) "string" "hello RMI" (Msgbuf.read_string r);
+  Alcotest.(check string) "empty string" "" (Msgbuf.read_string r);
+  Alcotest.(check int) "uvarint" 123456 (Msgbuf.read_uvarint r)
+
+let double_slices () =
+  let w = Msgbuf.create_writer () in
+  let a = Array.init 37 (fun i -> float_of_int i *. 0.5) in
+  Msgbuf.write_double_slice w a 0 37;
+  Msgbuf.write_double_slice w a 10 5;
+  let r = Msgbuf.reader_of_writer w in
+  let b = Array.make 37 0.0 in
+  Msgbuf.read_double_slice r b 0 37;
+  Alcotest.(check bool) "full slice" true (a = b);
+  let c = Array.make 5 0.0 in
+  Msgbuf.read_double_slice r c 0 5;
+  Alcotest.(check bool) "partial slice" true (Array.sub a 10 5 = c)
+
+let underflow_raises () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_u8 w 7;
+  let r = Msgbuf.reader_of_writer w in
+  ignore (Msgbuf.read_u8 r);
+  Alcotest.check_raises "underflow"
+    (Msgbuf.Underflow "u8")
+    (fun () -> ignore (Msgbuf.read_u8 r))
+
+let bad_bool_raises () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_u8 w 9;
+  let r = Msgbuf.reader_of_writer w in
+  Alcotest.check_raises "bad bool"
+    (Msgbuf.Underflow "bool: invalid byte 9")
+    (fun () -> ignore (Msgbuf.read_bool r))
+
+let clear_resets () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_string w "abc";
+  Msgbuf.clear w;
+  Alcotest.(check int) "cleared" 0 (Msgbuf.length w);
+  Msgbuf.write_u8 w 1;
+  Alcotest.(check int) "one byte" 1 (Msgbuf.length w)
+
+let negative_uvarint_rejected () =
+  let w = Msgbuf.create_writer () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Msgbuf.write_uvarint: negative")
+    (fun () -> Msgbuf.write_uvarint w (-1))
+
+(* --- type descriptors --- *)
+
+let typedesc_registry () =
+  let reg = Typedesc.create () in
+  let a = Typedesc.register reg "Foo" in
+  let b = Typedesc.register reg "Bar" in
+  let a' = Typedesc.register reg "Foo" in
+  Alcotest.(check int) "idempotent" a a';
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check (option string)) "name back" (Some "Bar") (Typedesc.name_of_id reg b);
+  Alcotest.(check (option int)) "id back" (Some a) (Typedesc.id_of_name reg "Foo");
+  Alcotest.(check int) "cardinal" 2 (Typedesc.cardinal reg);
+  Alcotest.(check (option string)) "unknown id" None (Typedesc.name_of_id reg 99)
+
+let tag_roundtrip () =
+  let tags =
+    Typedesc.
+      [
+        Tag_null; Tag_bool; Tag_int; Tag_double; Tag_string; Tag_object 0;
+        Tag_object 12345; Tag_obj_array 3; Tag_double_array; Tag_int_array;
+        Tag_handle;
+      ]
+  in
+  let w = Msgbuf.create_writer () in
+  let sizes = List.map (Typedesc.write_tag w) tags in
+  List.iter (fun s -> Alcotest.(check bool) "tag has bytes" true (s >= 1)) sizes;
+  let r = Msgbuf.reader_of_writer w in
+  List.iter
+    (fun expect ->
+      let got = Typedesc.read_tag r in
+      Alcotest.(check string) "tag"
+        (Format.asprintf "%a" Typedesc.pp_tag expect)
+        (Format.asprintf "%a" Typedesc.pp_tag got))
+    tags
+
+(* --- handle tables --- *)
+
+let handle_table_counts () =
+  let m = Rmi_stats.Metrics.create () in
+  let t = Handle_table.create ~metrics:m () in
+  Alcotest.(check (option int)) "miss" None (Handle_table.lookup t 5);
+  Handle_table.add t 5 41;
+  Alcotest.(check (option int)) "hit" (Some 41) (Handle_table.lookup t 5);
+  Alcotest.(check int) "handles dense" 1 (Handle_table.next_handle t);
+  let s = Rmi_stats.Metrics.snapshot m in
+  Alcotest.(check int) "3 probes charged" 3 s.Rmi_stats.Metrics.cycle_lookups;
+  Handle_table.reset t;
+  Alcotest.(check (option int)) "reset" None (Handle_table.lookup t 5)
+
+(* --- protocol framing --- *)
+
+let header_roundtrip () =
+  let open Protocol in
+  let cases =
+    [
+      { kind = Request; src = 0; seq = 0; target_obj = 0; method_id = 0; callsite = -1; nargs = 0 };
+      { kind = Reply; src = 1; seq = 42; target_obj = 7; method_id = 3; callsite = 12; nargs = 2 };
+      { kind = Ack; src = 3; seq = 1000000; target_obj = -1; method_id = 255; callsite = 0; nargs = 7 };
+      { kind = Exn_reply; src = 2; seq = 1; target_obj = 2; method_id = 3; callsite = 4; nargs = 1 };
+    ]
+  in
+  List.iter
+    (fun h ->
+      let w = Msgbuf.create_writer () in
+      write_header w h;
+      let r = Msgbuf.reader_of_writer w in
+      let h' = read_header r in
+      Alcotest.(check string) "header"
+        (Format.asprintf "%a" pp_header h)
+        (Format.asprintf "%a" pp_header h');
+      Alcotest.(check int) "size" (Msgbuf.length w) (header_size h))
+    cases
+
+(* --- properties --- *)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrips any int" ~count:1000
+    QCheck.int
+    (fun v ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_varint w v;
+      Msgbuf.read_varint (Msgbuf.reader_of_writer w) = v)
+
+let prop_uvarint_roundtrip =
+  QCheck.Test.make ~name:"uvarint roundtrips non-negative ints" ~count:1000
+    QCheck.(map abs int)
+    (fun v ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_uvarint w v;
+      Msgbuf.read_uvarint (Msgbuf.reader_of_writer w) = v)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrips" ~count:500 QCheck.string
+    (fun s ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_string w s;
+      String.equal (Msgbuf.read_string (Msgbuf.reader_of_writer w)) s)
+
+let prop_sequence_roundtrip =
+  QCheck.Test.make ~name:"heterogeneous sequences roundtrip" ~count:300
+    QCheck.(list (pair int (option string)))
+    (fun items ->
+      let w = Msgbuf.create_writer () in
+      List.iter
+        (fun (i, so) ->
+          Msgbuf.write_varint w i;
+          match so with
+          | Some s ->
+              Msgbuf.write_bool w true;
+              Msgbuf.write_string w s
+          | None -> Msgbuf.write_bool w false)
+        items;
+      let r = Msgbuf.reader_of_writer w in
+      List.for_all
+        (fun (i, so) ->
+          let i' = Msgbuf.read_varint r in
+          let so' =
+            if Msgbuf.read_bool r then Some (Msgbuf.read_string r) else None
+          in
+          i = i' && so = so')
+        items)
+
+let prop_double_roundtrip =
+  QCheck.Test.make ~name:"doubles roundtrip bit-exactly" ~count:500
+    QCheck.float
+    (fun f ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_double w f;
+      let f' = Msgbuf.read_double (Msgbuf.reader_of_writer w) in
+      Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+
+let suite =
+  [
+    ( "wire.msgbuf",
+      [
+        Alcotest.test_case "varint corner cases" `Quick roundtrip_ints;
+        Alcotest.test_case "mixed primitives" `Quick roundtrip_mixed;
+        Alcotest.test_case "double slices" `Quick double_slices;
+        Alcotest.test_case "underflow raises" `Quick underflow_raises;
+        Alcotest.test_case "bad bool raises" `Quick bad_bool_raises;
+        Alcotest.test_case "clear resets" `Quick clear_resets;
+        Alcotest.test_case "negative uvarint rejected" `Quick negative_uvarint_rejected;
+        QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+        QCheck_alcotest.to_alcotest prop_uvarint_roundtrip;
+        QCheck_alcotest.to_alcotest prop_string_roundtrip;
+        QCheck_alcotest.to_alcotest prop_sequence_roundtrip;
+        QCheck_alcotest.to_alcotest prop_double_roundtrip;
+      ] );
+    ( "wire.typedesc",
+      [
+        Alcotest.test_case "registry" `Quick typedesc_registry;
+        Alcotest.test_case "tag roundtrip" `Quick tag_roundtrip;
+      ] );
+    ( "wire.handle_table",
+      [ Alcotest.test_case "lookups counted" `Quick handle_table_counts ] );
+    ( "wire.protocol",
+      [ Alcotest.test_case "header roundtrip" `Quick header_roundtrip ] );
+  ]
