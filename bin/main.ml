@@ -240,6 +240,56 @@ let trace_cmd =
        ~doc:"Run a small traced workload and print the RMI event timeline and              per-call-site latency summary.")
     Term.(const run $ const ())
 
+(* "--faults seed=N[,drop=F,dup=F,reorder=F,corrupt=F,delay=K]":
+   reliable transport over a seeded lossy network *)
+let faults_conv =
+  let parse s =
+    let profile = ref Rmi_net.Fault_sim.default_lossy in
+    let seed = ref None in
+    try
+      String.split_on_char ',' s
+      |> List.iter (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> failwith kv
+             | Some i ->
+                 let k = String.sub kv 0 i in
+                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                 let f () = float_of_string v in
+                 let p = !profile in
+                 (match k with
+                 | "seed" -> seed := Some (int_of_string v)
+                 | "drop" -> profile := { p with Rmi_net.Fault_sim.drop = f () }
+                 | "dup" -> profile := { p with Rmi_net.Fault_sim.duplicate = f () }
+                 | "reorder" -> profile := { p with Rmi_net.Fault_sim.reorder = f () }
+                 | "corrupt" -> profile := { p with Rmi_net.Fault_sim.corrupt = f () }
+                 | "delay" -> profile := { p with Rmi_net.Fault_sim.max_delay = int_of_string v }
+                 | _ -> failwith k));
+      match !seed with
+      | Some seed -> Ok (seed, !profile)
+      | None -> Error (`Msg "--faults needs seed=N")
+    with _ ->
+      Error (`Msg (Printf.sprintf "bad --faults spec %S (want e.g. seed=42,drop=0.2)" s))
+  in
+  let print ppf ((seed, p) : int * Rmi_net.Fault_sim.profile) =
+    Format.fprintf ppf "seed=%d,drop=%g,dup=%g,reorder=%g,corrupt=%g,delay=%d"
+      seed p.Rmi_net.Fault_sim.drop p.Rmi_net.Fault_sim.duplicate
+      p.Rmi_net.Fault_sim.reorder p.Rmi_net.Fault_sim.corrupt
+      p.Rmi_net.Fault_sim.max_delay
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Run over the reliable transport with a seeded fault schedule on \
+           every link, e.g. $(b,seed=42) or \
+           $(b,seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,delay=3). \
+           The same seed replays the exact same schedule.  Omitted \
+           probabilities default to a moderate lossy profile.")
+
 let run_cmd =
   let file_arg =
     Arg.(
@@ -272,7 +322,7 @@ let run_cmd =
       & info [ "config" ] ~docv:"CONFIG"
           ~doc:"Optimization configuration (the paper's table rows).")
   in
-  let run file entry machines config mode =
+  let run file entry machines config mode faults =
     let ic = open_in_bin file in
     let src = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -289,8 +339,15 @@ let run_cmd =
             Printf.eprintf "%s: entry %s takes parameters\n" file entry;
             exit 1
         | Some m ->
+            let config, faults =
+              match faults with
+              | None -> (config, None)
+              | Some (seed, profile) ->
+                  ( Rmi_runtime.Config.with_reliable config,
+                    Some (Rmi_net.Fault_sim.create ~seed ~n:machines profile) )
+            in
             let r =
-              Rmi_runtime.Distributed.run ~config ~mode ~machines prog
+              Rmi_runtime.Distributed.run ~config ~mode ~machines ?faults prog
                 ~entry:m.Jir.Program.mid []
             in
             Format.printf "%s = %a@." entry Jir.Interp.pp_value
@@ -307,13 +364,20 @@ let run_cmd =
               s.Rmi_stats.Metrics.cycle_lookups s.Rmi_stats.Metrics.bytes_sent;
             Format.printf "wall: %.4fs  modeled: %.4fs@."
               r.Rmi_runtime.Distributed.wall_seconds
-              (Rmi_net.Costmodel.modeled_seconds Rmi_net.Costmodel.myrinet_2003 s))
+              (Rmi_net.Costmodel.modeled_seconds Rmi_net.Costmodel.myrinet_2003 s);
+            if faults <> None then
+              Format.printf
+                "reliability: retries=%d timeouts=%d dup_drops=%d acks=%d@."
+                s.Rmi_stats.Metrics.retries s.Rmi_stats.Metrics.timeouts
+                s.Rmi_stats.Metrics.dup_drops s.Rmi_stats.Metrics.acks_sent)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Compile a source file and execute it as a distributed program:           machine 0 runs the entry method, remote objects are placed           round-robin, and every RMI crosses the simulated cluster through           the selected optimization configuration.")
-    Term.(const run $ file_arg $ entry_arg $ machines_arg $ config_arg $ mode_arg)
+    Term.(
+      const run $ file_arg $ entry_arg $ machines_arg $ config_arg $ mode_arg
+      $ faults_arg)
 
 let cmds =
   [

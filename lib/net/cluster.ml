@@ -1,42 +1,283 @@
+type transport = Raw | Reliable of params
+and params = { rto : int; backoff_cap : int; max_attempts : int }
+
+let default_params = { rto = 2; backoff_cap = 32; max_attempts = 12 }
+
+type idle_outcome =
+  | Retransmitted of int
+  | Waiting
+  | Gave_up of int list
+  | Dead
+  | Raw_transport
+
+(* a sent-but-unacknowledged data frame, waiting on its retransmit
+   timer *)
+type pending = {
+  frame : bytes;
+  mutable attempts : int;
+  mutable rto_now : int;
+  mutable due : int;  (* tick at which the timer expires *)
+}
+
+type link_tx = {
+  mutable next_lseq : int;
+  unacked : (int, pending) Hashtbl.t;
+}
+
+type link_rx = { seen : (int, unit) Hashtbl.t }
+
+type rel = {
+  params : params;
+  tx : link_tx array array;  (* tx.(src).(dest) *)
+  rx : link_rx array array;  (* rx.(self).(src) *)
+  mutable tick : int;
+  lock : Mutex.t;
+}
+
 type t = {
   n : int;
   boxes : Mailbox.t array;
   metrics : Rmi_stats.Metrics.t;
   mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
+  mutable sim : Fault_sim.t option;
+  rel : rel option;
 }
 
-let create ~n metrics =
+let create ?(transport = Raw) ~n metrics =
   if n < 1 then invalid_arg "Cluster.create: need at least one machine";
-  { n; boxes = Array.init n (fun _ -> Mailbox.create ()); metrics; fault = None }
+  let rel =
+    match transport with
+    | Raw -> None
+    | Reliable params ->
+        Some
+          {
+            params;
+            tx =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ ->
+                      { next_lseq = 0; unacked = Hashtbl.create 8 }));
+            rx =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ -> { seen = Hashtbl.create 64 }));
+            tick = 0;
+            lock = Mutex.create ();
+          }
+  in
+  {
+    n;
+    boxes = Array.init n (fun _ -> Mailbox.create ());
+    metrics;
+    fault = None;
+    sim = None;
+    rel;
+  }
 
 let size t = t.n
 let metrics t = t.metrics
+
+let transport t =
+  match t.rel with None -> Raw | Some rel -> Reliable rel.params
+
+let is_reliable t = t.rel <> None
 
 let check t who =
   if who < 0 || who >= t.n then
     invalid_arg (Printf.sprintf "Cluster: bad machine id %d" who)
 
+(* ------------------------------------------------------------------ *)
+(* the physical layer: fault hook, then fault schedule, then mailbox   *)
+(* ------------------------------------------------------------------ *)
+
+let transmit t ~src ~dest frame =
+  let frames =
+    match t.fault with
+    | None -> [ frame ]
+    | Some hook -> (
+        match hook ~src ~dest frame with Some f -> [ f ] | None -> [])
+  in
+  let frames =
+    match t.sim with
+    | None -> frames
+    | Some sim ->
+        List.concat_map (fun f -> Fault_sim.on_send sim ~src ~dest f) frames
+  in
+  List.iter (Mailbox.send t.boxes.(dest)) frames
+
 let send t ~src ~dest msg =
   check t src;
   check t dest;
+  (* logical-traffic accounting, identical under both transports:
+     payload bytes, counted once — retransmissions and acks go to their
+     own counters *)
   Rmi_stats.Metrics.incr_msgs_sent t.metrics;
   Rmi_stats.Metrics.add_bytes_sent t.metrics (Bytes.length msg);
-  match t.fault with
-  | None -> Mailbox.send t.boxes.(dest) msg
-  | Some hook -> (
-      match hook ~src ~dest msg with
-      | Some delivered -> Mailbox.send t.boxes.(dest) delivered
-      | None -> () (* dropped on the wire *))
+  match t.rel with
+  | None -> transmit t ~src ~dest msg
+  | Some rel ->
+      Mutex.lock rel.lock;
+      let ltx = rel.tx.(src).(dest) in
+      let lseq = ltx.next_lseq in
+      ltx.next_lseq <- lseq + 1;
+      let frame = Envelope.encode ~kind:Data ~src ~lseq ~payload:msg in
+      Hashtbl.replace ltx.unacked lseq
+        {
+          frame;
+          attempts = 1;
+          rto_now = rel.params.rto;
+          due = rel.tick + rel.params.rto;
+        };
+      Mutex.unlock rel.lock;
+      transmit t ~src ~dest frame
 
-let set_fault_hook t hook = t.fault <- Some hook
-let clear_fault_hook t = t.fault <- None
+(* ------------------------------------------------------------------ *)
+(* receive path: unwrap envelopes, ack data, suppress duplicates       *)
+(* ------------------------------------------------------------------ *)
+
+(* [Some payload] to hand to the upper layer, [None] when the frame was
+   consumed here (ack, duplicate, or checksum failure) *)
+let filter_frame t rel ~self raw =
+  match Envelope.decode raw with
+  | None ->
+      (* garbled on the wire; the sender's timer recovers it *)
+      None
+  | Some ({ Envelope.kind = Ack; src; lseq }, _) ->
+      Mutex.lock rel.lock;
+      Hashtbl.remove rel.tx.(self).(src).unacked lseq;
+      Mutex.unlock rel.lock;
+      None
+  | Some ({ Envelope.kind = Data; src; lseq }, payload) ->
+      (* always ack, even duplicates: the earlier ack may have been
+         lost *)
+      Rmi_stats.Metrics.incr_acks_sent t.metrics;
+      transmit t ~src:self ~dest:src
+        (Envelope.encode ~kind:Ack ~src:self ~lseq ~payload:Bytes.empty);
+      Mutex.lock rel.lock;
+      let seen = rel.rx.(self).(src).seen in
+      let dup = Hashtbl.mem seen lseq in
+      if not dup then Hashtbl.add seen lseq ();
+      Mutex.unlock rel.lock;
+      if dup then begin
+        Rmi_stats.Metrics.incr_dup_drops t.metrics;
+        None
+      end
+      else Some payload
 
 let try_recv t ~self =
   check t self;
-  Mailbox.try_recv t.boxes.(self)
+  match t.rel with
+  | None -> Mailbox.try_recv t.boxes.(self)
+  | Some rel ->
+      let rec go () =
+        match Mailbox.try_recv t.boxes.(self) with
+        | None -> None
+        | Some raw -> (
+            match filter_frame t rel ~self raw with
+            | Some payload -> Some payload
+            | None -> go ())
+      in
+      go ()
+
+let recv_deadline t ~self ~seconds =
+  check t self;
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    let remain = deadline -. Unix.gettimeofday () in
+    if remain <= 0.0 then None
+    else
+      match Mailbox.recv_deadline t.boxes.(self) ~seconds:remain with
+      | None -> None
+      | Some raw -> (
+          match t.rel with
+          | None -> Some raw
+          | Some rel -> (
+              match filter_frame t rel ~self raw with
+              | Some payload -> Some payload
+              | None -> go ()))
+  in
+  go ()
+
+let pending_anywhere t = Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
+
+(* ------------------------------------------------------------------ *)
+(* the retransmit clock                                                *)
+(* ------------------------------------------------------------------ *)
+
+let idle t ~self =
+  check t self;
+  match t.rel with
+  | None -> Raw_transport
+  | Some rel ->
+      Mutex.lock rel.lock;
+      rel.tick <- rel.tick + 1;
+      let resend = ref [] in
+      let gave_up = ref [] in
+      let unacked = ref 0 in
+      Array.iteri
+        (fun src row ->
+          Array.iteri
+            (fun dest ltx ->
+              let expired = ref [] in
+              Hashtbl.iter
+                (fun lseq p ->
+                  if p.due > rel.tick then incr unacked
+                  else if p.attempts >= rel.params.max_attempts then
+                    expired := lseq :: !expired
+                  else begin
+                    p.attempts <- p.attempts + 1;
+                    p.rto_now <- min (p.rto_now * 2) rel.params.backoff_cap;
+                    p.due <- rel.tick + p.rto_now;
+                    incr unacked;
+                    resend := (src, dest, p.frame) :: !resend
+                  end)
+                ltx.unacked;
+              List.iter
+                (fun lseq ->
+                  Hashtbl.remove ltx.unacked lseq;
+                  Rmi_stats.Metrics.incr_timeouts t.metrics;
+                  gave_up := dest :: !gave_up)
+                !expired)
+            row)
+        rel.tx;
+      Mutex.unlock rel.lock;
+      List.iter
+        (fun (src, dest, frame) ->
+          Rmi_stats.Metrics.incr_retries t.metrics;
+          transmit t ~src ~dest frame)
+        (List.rev !resend);
+      if !gave_up <> [] then Gave_up (List.sort_uniq compare !gave_up)
+      else if !resend <> [] then Retransmitted (List.length !resend)
+      else if
+        !unacked = 0
+        && (match t.sim with
+           | None -> true
+           | Some sim -> Fault_sim.held_frames sim = 0)
+        && not (pending_anywhere t)
+      then Dead
+      else Waiting
 
 let recv_blocking t ~self =
   check t self;
-  Mailbox.recv_blocking t.boxes.(self)
+  match t.rel with
+  | None -> Mailbox.recv_blocking t.boxes.(self)
+  | Some _ ->
+      (* chop the wait into slices so a blocked machine keeps driving
+         its own retransmit timers (a server whose reply was dropped
+         must resend it even though it is only receiving) *)
+      let rec go () =
+        match recv_deadline t ~self ~seconds:0.002 with
+        | Some payload -> payload
+        | None ->
+            ignore (idle t ~self);
+            go ()
+      in
+      go ()
 
-let pending_anywhere t = Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
+(* ------------------------------------------------------------------ *)
+(* fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_faults t sim = t.sim <- Some sim
+let clear_faults t = t.sim <- None
+let faults t = t.sim
+let set_fault_hook t hook = t.fault <- Some hook
+let clear_fault_hook t = t.fault <- None

@@ -4,30 +4,94 @@
     payload bytes to the metrics — the counters the cost model turns
     into modeled seconds.  Receiving polls, like the paper's modified
     GM layer ("polling is performed instead of condition
-    synchronization"). *)
+    synchronization").
+
+    Two transports:
+
+    - [Raw] reproduces the paper's Myrinet/GM assumption: every frame
+      sent is delivered, in order, uncorrupted.  Zero overhead; this is
+      what the paper-reproduction tables run on.
+    - [Reliable] layers a link-level ARQ between the logical message
+      and the mailbox: each payload travels in an {!Envelope} carrying
+      a per-link sequence number and a checksum, receivers acknowledge
+      every data frame and suppress duplicates (at-most-once delivery
+      to the upper layer), and senders retransmit unacknowledged frames
+      with capped exponential backoff when {!idle} is driven.  Combined
+      with {!set_faults} this survives drops, duplication, reordering
+      and corruption — and replays deterministically from the fault
+      seed.
+
+    Metrics accounting is identical under both transports: [msgs_sent]
+    and [bytes_sent] count each logical message once (payload bytes
+    only).  Retransmissions, acks, duplicate suppressions and abandoned
+    frames go to the dedicated [retries]/[acks_sent]/[dup_drops]/
+    [timeouts] counters, so the lossless reliable path is
+    byte-identical to [Raw] in the paper's tables. *)
+
+type transport = Raw | Reliable of params
+
+and params = {
+  rto : int;           (** idle ticks before the first retransmit *)
+  backoff_cap : int;   (** upper bound on the doubled timeout *)
+  max_attempts : int;  (** transmissions before a frame is abandoned *)
+}
+
+val default_params : params
+
+(** What {!idle} did; see {!idle}. *)
+type idle_outcome =
+  | Retransmitted of int  (** this many frames were retransmitted *)
+  | Waiting  (** unacked frames exist but none was due yet *)
+  | Gave_up of int list
+      (** these destinations exhausted [max_attempts]; the frames were
+          abandoned and counted as [timeouts] *)
+  | Dead  (** nothing in flight anywhere: no unacked frame, no held
+              frame, every mailbox empty — waiting cannot succeed *)
+  | Raw_transport  (** [idle] is meaningless under [Raw] *)
 
 type t
 
-val create : n:int -> Rmi_stats.Metrics.t -> t
+val create : ?transport:transport -> n:int -> Rmi_stats.Metrics.t -> t
 
 val size : t -> int
 val metrics : t -> Rmi_stats.Metrics.t
+val transport : t -> transport
+val is_reliable : t -> bool
 
 (** [send t ~src ~dest msg]; self-sends are allowed (loopback). *)
 val send : t -> src:int -> dest:int -> bytes -> unit
 
 val try_recv : t -> self:int -> bytes option
 
-(** Blocks until a message for [self] arrives. *)
+(** Blocks until a message for [self] arrives.  Under [Reliable] the
+    wait is chopped into short slices that drive {!idle}, so a blocked
+    server keeps retransmitting its own unacked replies. *)
 val recv_blocking : t -> self:int -> bytes
+
+(** Timed {!recv_blocking}; [None] after [seconds] of silence. *)
+val recv_deadline : t -> self:int -> seconds:float -> bytes option
+
+(** Advance the retransmit clock by one tick and retransmit every
+    unacked frame whose timer expired.  Callers invoke this when they
+    are idle (nothing to receive, no progress to pump); under the
+    synchronous fabric those idle polls are deterministic, so the whole
+    recovery schedule replays exactly. *)
+val idle : t -> self:int -> idle_outcome
 
 (** Any message pending anywhere? (deadlock diagnostics) *)
 val pending_anywhere : t -> bool
 
-(** Fault injection for tests: the hook sees every message about to be
-    delivered and may pass it through ([Some msg]), corrupt it
+(** Install a seeded fault schedule on the physical layer (applies to
+    data frames, acks and retransmissions alike). *)
+val set_faults : t -> Fault_sim.t -> unit
+
+val clear_faults : t -> unit
+val faults : t -> Fault_sim.t option
+
+(** Fault injection for tests: the hook sees every physical frame about
+    to be delivered and may pass it through ([Some msg]), corrupt it
     ([Some other]) or drop it ([None]).  Metrics still count the
-    original send. *)
+    original send.  Runs before the {!Fault_sim} stage. *)
 val set_fault_hook : t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
 
 val clear_fault_hook : t -> unit

@@ -1,0 +1,26 @@
+(** Link-layer framing for the reliable transport.
+
+    Every physical frame on a reliable cluster is either [Data]
+    (carries an opaque RPC message as payload) or [Ack] (acknowledges a
+    [Data] frame's link sequence number; empty payload).  A checksum
+    over the header fields and payload lets the receiver detect the
+    simulator's bit flips and drop the frame, leaving recovery to the
+    sender's retransmit timer. *)
+
+type kind = Data | Ack
+
+type t = {
+  kind : kind;
+  src : int;   (** sending machine — where [Ack]s go back to *)
+  lseq : int;  (** per-(src,dest)-link sequence number *)
+}
+
+val encode : kind:kind -> src:int -> lseq:int -> payload:bytes -> bytes
+
+(** [None] when the frame is garbled: bad magic, bad kind, truncated,
+    or checksum mismatch. *)
+val decode : bytes -> (t * bytes) option
+
+(** Framing bytes added on top of a payload of the given size (for
+    overhead accounting in tests). *)
+val overhead : src:int -> lseq:int -> payload_len:int -> int

@@ -1,0 +1,148 @@
+type profile = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  max_delay : int;
+}
+
+let default_lossy =
+  { drop = 0.12; duplicate = 0.08; reorder = 0.12; corrupt = 0.08; max_delay = 3 }
+
+let lossless =
+  { drop = 0.0; duplicate = 0.0; reorder = 0.0; corrupt = 0.0; max_delay = 1 }
+
+(* one splitmix64 stream per directed link, so the schedule of a link
+   depends only on the seed and on that link's frame sequence — not on
+   how sends interleave across links *)
+type link = {
+  mutable state : int64;
+  mutable held : (int * bytes) list;  (* sends-to-go before release *)
+  mutable count : int;                (* frames sent on this link *)
+}
+
+type t = {
+  seed : int;
+  n : int;
+  profile : profile;
+  links : link array;
+  log : Buffer.t;
+  lock : Mutex.t;
+}
+
+let mix_init seed idx =
+  Int64.add
+    (Int64.mul (Int64.of_int (idx + 1)) 0x9E3779B97F4A7C15L)
+    (Int64.mul (Int64.of_int seed) 0xBF58476D1CE4E5B9L)
+
+let create ~seed ~n profile =
+  if n < 1 then invalid_arg "Fault_sim.create: need at least one machine";
+  if profile.max_delay < 1 then invalid_arg "Fault_sim.create: max_delay >= 1";
+  {
+    seed;
+    n;
+    profile;
+    links =
+      Array.init (n * n) (fun idx ->
+          { state = mix_init seed idx; held = []; count = 0 });
+    log = Buffer.create 256;
+    lock = Mutex.create ();
+  }
+
+let seed t = t.seed
+
+let next_u64 link =
+  link.state <- Int64.add link.state 0x9E3779B97F4A7C15L;
+  let z = link.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float link =
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next_u64 link) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+(* a non-negative native int: 62 random bits, so Int64.to_int cannot
+   wrap into the sign bit of OCaml's 63-bit int *)
+let nat link = Int64.to_int (Int64.shift_right_logical (next_u64 link) 2)
+
+let logf t fmt = Printf.ksprintf (fun s -> Buffer.add_string t.log s) fmt
+
+let on_send t ~src ~dest frame =
+  if src < 0 || src >= t.n || dest < 0 || dest >= t.n then
+    invalid_arg "Fault_sim.on_send: bad machine id";
+  Mutex.lock t.lock;
+  let link = t.links.((src * t.n) + dest) in
+  link.count <- link.count + 1;
+  let frameno = link.count in
+  (* a fixed number of samples per frame, drawn whether or not each
+     fault fires, keeps the stream aligned across replays *)
+  let u_drop = unit_float link in
+  let u_dup = unit_float link in
+  let u_hold = unit_float link in
+  let u_corrupt = unit_float link in
+  let s_delay = nat link in
+  let s_pos = nat link in
+  let p = t.profile in
+  let frame =
+    if u_corrupt < p.corrupt && Bytes.length frame > 0 then begin
+      let frame = Bytes.copy frame in
+      let pos = s_pos mod Bytes.length frame in
+      let bit = s_pos / Bytes.length frame mod 8 in
+      Bytes.set frame pos
+        (Char.chr (Char.code (Bytes.get frame pos) lxor (1 lsl bit)));
+      logf t "%d->%d #%d corrupt %d.%d\n" src dest frameno pos bit;
+      frame
+    end
+    else frame
+  in
+  let now =
+    if u_drop < p.drop then begin
+      logf t "%d->%d #%d drop\n" src dest frameno;
+      []
+    end
+    else if u_hold < p.reorder then begin
+      let k = 1 + (s_delay mod p.max_delay) in
+      link.held <- link.held @ [ (k, frame) ];
+      logf t "%d->%d #%d hold %d\n" src dest frameno k;
+      []
+    end
+    else if u_dup < p.duplicate then begin
+      logf t "%d->%d #%d dup\n" src dest frameno;
+      [ frame; frame ]
+    end
+    else [ frame ]
+  in
+  (* age held frames; expired ones release after the current frame,
+     which is what actually reorders the link *)
+  let released = ref [] in
+  link.held <-
+    List.filter_map
+      (fun (k, f) ->
+        if k <= 1 then begin
+          released := f :: !released;
+          logf t "%d->%d release\n" src dest;
+          None
+        end
+        else Some (k - 1, f))
+      link.held;
+  let out = now @ List.rev !released in
+  Mutex.unlock t.lock;
+  out
+
+let held_frames t =
+  Mutex.lock t.lock;
+  let n = Array.fold_left (fun acc l -> acc + List.length l.held) 0 t.links in
+  Mutex.unlock t.lock;
+  n
+
+let digest t =
+  Mutex.lock t.lock;
+  let s = Buffer.contents t.log in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,51 @@
+(** Deterministic fault-schedule simulator for the cluster interconnect.
+
+    The paper's testbed (Myrinet/GM) delivers messages reliably and in
+    order, so Manta's RMI never has to survive loss.  To grow the
+    runtime toward lossy production networks we substitute a seeded
+    simulator: every physical frame crossing a link may be dropped,
+    duplicated, corrupted (one bit flipped), or held back for a bounded
+    number of later sends on the same link (delay/reordering).
+
+    Every decision is drawn from a per-link splitmix64 stream derived
+    from one [seed], and a fixed number of samples is consumed per
+    frame regardless of outcome, so the schedule for a given workload
+    is a pure function of [(seed, per-link frame sequence)].  Any
+    failing run replays exactly from its seed, and [digest] renders the
+    full decision log so two runs can be compared byte-for-byte. *)
+
+type profile = {
+  drop : float;       (** probability a frame vanishes *)
+  duplicate : float;  (** probability a frame is delivered twice *)
+  reorder : float;    (** probability a frame is held back (reordered) *)
+  corrupt : float;    (** probability one bit of the frame is flipped *)
+  max_delay : int;    (** held frames release after <= this many later
+                          sends on the same link (>= 1) *)
+}
+
+(** Moderate loss on every fault axis; what [--faults seed=N] uses. *)
+val default_lossy : profile
+
+(** All probabilities zero: the simulator becomes a pass-through. *)
+val lossless : profile
+
+type t
+
+(** [create ~seed ~n profile] simulates the [n*n] directed links of an
+    [n]-machine cluster. *)
+val create : seed:int -> n:int -> profile -> t
+
+val seed : t -> int
+
+(** [on_send t ~src ~dest frame] applies the link's next scheduled
+    faults and returns the frames to deliver now, in order: the current
+    frame's survivors followed by any previously held frames whose
+    delay just expired.  May return [[]] (dropped or held). *)
+val on_send : t -> src:int -> dest:int -> bytes -> bytes list
+
+(** Frames currently held for delayed delivery (diagnostics). *)
+val held_frames : t -> int
+
+(** The decision log so far, one line per fault decision.  Two runs of
+    the same workload from the same seed produce equal digests. *)
+val digest : t -> string

@@ -23,6 +23,24 @@ let recv_blocking t =
   Mutex.unlock t.m;
   msg
 
+let recv_deadline t ~seconds =
+  (* OCaml's Condition has no timed wait; poll with short sleeps.  Only
+     the reliable transport's retransmit driver uses this, with
+     millisecond deadlines. *)
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait () =
+    match try_recv t with
+    | Some msg -> Some msg
+    | None ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Thread.yield ();
+          Unix.sleepf 5e-5;
+          wait ()
+        end
+  in
+  wait ()
+
 let is_empty t =
   Mutex.lock t.m;
   let e = Queue.is_empty t.q in

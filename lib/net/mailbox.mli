@@ -17,6 +17,11 @@ val try_recv : t -> bytes option
     arrives (sends signal it), releasing the processor meanwhile. *)
 val recv_blocking : t -> bytes
 
+(** Like {!recv_blocking} but gives up after [seconds]; used by the
+    reliable transport so blocked machines can drive their retransmit
+    timers. *)
+val recv_deadline : t -> seconds:float -> bytes option
+
 val is_empty : t -> bool
 
 (** Messages currently queued. *)

@@ -1,23 +1,29 @@
 type serializer = Class_specific | Site_specific
+type transport = Raw | Reliable
 
 type t = {
   name : string;
   serializer : serializer;
   elide_cycle : bool;
   reuse : bool;
+  transport : transport;
 }
 
 let class_ =
-  { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false }
+  { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
+    transport = Raw }
 
 let site =
-  { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false }
+  { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
+    transport = Raw }
 
 let site_cycle =
-  { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false }
+  { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
+    transport = Raw }
 
 let site_reuse =
-  { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true }
+  { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
+    transport = Raw }
 
 let site_reuse_cycle =
   {
@@ -25,7 +31,10 @@ let site_reuse_cycle =
     serializer = Site_specific;
     elide_cycle = true;
     reuse = true;
+    transport = Raw;
   }
+
+let with_reliable t = { t with transport = Reliable }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

@@ -8,11 +8,22 @@ type serializer =
   | Site_specific
       (** the paper's call-site specialized marshalers *)
 
+type transport =
+  | Raw
+      (** the paper's Myrinet/GM assumption: lossless in-order
+          delivery.  All paper-reproduction tables run on this. *)
+  | Reliable
+      (** link-level ack/retransmit with at-most-once delivery; the
+          runtime survives drops, duplication, reordering and
+          corruption (see {!Rmi_net.Cluster} and DESIGN.md's
+          "Reliability substitution") *)
+
 type t = {
   name : string;  (** the paper's row label, e.g. "site + reuse" *)
   serializer : serializer;
   elide_cycle : bool;  (** honor the cycle analysis verdict (Sec. 3.2) *)
   reuse : bool;  (** honor the escape analysis verdict (Sec. 3.3) *)
+  transport : transport;
 }
 
 val class_ : t
@@ -21,8 +32,11 @@ val site_cycle : t
 val site_reuse : t
 val site_reuse_cycle : t
 
-(** The five rows in paper order. *)
+(** The five rows in paper order (all on the [Raw] transport). *)
 val all : t list
+
+(** Same optimization row, but over the reliable transport. *)
+val with_reliable : t -> t
 
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -18,7 +18,7 @@ type placement = {
 }
 
 let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync) ?(machines = 2)
-    prog ~entry args =
+    ?faults prog ~entry args =
   let opt = Rmi_core.Optimizer.run prog in
   let meta = Rmi_serial.Class_meta.of_program prog in
   let plans = Hashtbl.create 16 in
@@ -27,7 +27,9 @@ let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync) ?(machines = 2
       Hashtbl.replace plans d.plan.Plan.callsite d.plan)
     opt.decisions;
   let metrics = Rmi_stats.Metrics.create () in
-  let fabric = Fabric.create ~mode ~n:machines ~meta ~config ~plans ~metrics () in
+  let fabric =
+    Fabric.create ~mode ?faults ~n:machines ~meta ~config ~plans ~metrics ()
+  in
   let placement =
     { registry = Registry.create fabric; table = Hashtbl.create 16;
       mutex = Mutex.create () }

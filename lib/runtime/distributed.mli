@@ -36,6 +36,7 @@ val run :
   ?config:Config.t ->
   ?mode:Fabric.mode ->
   ?machines:int ->
+  ?faults:Rmi_net.Fault_sim.t ->
   Jir.Program.t ->
   entry:Jir.Types.method_id ->
   Jir.Interp.value list ->

@@ -8,8 +8,14 @@ type t = {
   mutable started : bool;
 }
 
-let create ?(mode = Sync) ~n ~meta ~config ~plans ~metrics () =
-  let cluster = Rmi_net.Cluster.create ~n metrics in
+let create ?(mode = Sync) ?faults ~n ~meta ~config ~plans ~metrics () =
+  let transport =
+    match config.Config.transport with
+    | Config.Raw -> Rmi_net.Cluster.Raw
+    | Config.Reliable -> Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params
+  in
+  let cluster = Rmi_net.Cluster.create ~transport ~n metrics in
+  Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
   let nodes =
     Array.init n (fun id -> Node.create cluster ~id ~meta ~config ~plans)
   in
@@ -38,6 +44,7 @@ let node t i =
   t.nodes.(i)
 
 let metrics t = Rmi_net.Cluster.metrics t.cluster
+let cluster t = t.cluster
 
 let start t =
   match t.fmode with

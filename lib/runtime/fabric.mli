@@ -15,8 +15,14 @@ type mode = Sync | Parallel
 
 type t
 
+(** The cluster transport follows [config.transport]: [Raw] for the
+    paper's lossless path, [Reliable] for the ack/retransmit layer.
+    [?faults] installs a seeded fault schedule on the physical links
+    (meaningful with the reliable transport; the raw path does not
+    recover from loss). *)
 val create :
   ?mode:mode ->
+  ?faults:Rmi_net.Fault_sim.t ->
   n:int ->
   meta:Rmi_serial.Class_meta.t ->
   config:Config.t ->
@@ -29,6 +35,10 @@ val mode : t -> mode
 val size : t -> int
 val node : t -> int -> Node.t
 val metrics : t -> Rmi_stats.Metrics.t
+
+(** The underlying interconnect (for fault installation and transport
+    inspection in tests and tools). *)
+val cluster : t -> Rmi_net.Cluster.t
 
 (** Start worker domains (no-op in [Sync] mode). *)
 val start : t -> unit

@@ -14,6 +14,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 exception Remote_exception of string
 exception No_such_method of string
 exception Deadlock of string
+exception Rpc_timeout of string
 
 let shutdown_method = -99
 
@@ -366,6 +367,15 @@ let send_shutdown t ~dest =
    quiescent cluster is an immediate deadlock; in parallel mode we
    block on the mailbox until the reply (or a nested request) lands. *)
 let await_reply t seq =
+  (* consecutive idle rounds in which nothing at all was in flight;
+     only meaningful without a pump, where other domains may simply be
+     busy executing a handler *)
+  let dead_rounds = ref 0 in
+  let stash_or_serve msg =
+    dispatch t msg (function
+      | `Served -> ()
+      | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r))
+  in
   let rec loop () =
     match Hashtbl.find_opt t.stash seq with
     | Some (hdr, r) ->
@@ -374,26 +384,66 @@ let await_reply t seq =
     | None -> (
         match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
         | Some msg ->
-            dispatch t msg (function
-              | `Served -> ()
-              | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+            stash_or_serve msg;
             loop ()
         | None ->
             if t.has_pump then
               if t.pump () then loop ()
               else if Rmi_net.Cluster.pending_anywhere t.cluster then loop ()
-              else
-                raise
-                  (Deadlock
-                     (Printf.sprintf "machine %d: no reply for seq %d and the                                       cluster is quiescent" t.nid seq))
+              else drive_transport ~quiescent:true
+            else if Rmi_net.Cluster.is_reliable t.cluster then
+              (* parallel mode over the reliable transport: wait in
+                 short slices so this machine keeps its retransmit
+                 timers running *)
+              match
+                Rmi_net.Cluster.recv_deadline t.cluster ~self:t.nid
+                  ~seconds:0.002
+              with
+              | Some msg ->
+                  stash_or_serve msg;
+                  loop ()
+              | None -> drive_transport ~quiescent:false
             else begin
               let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
-              dispatch t msg (function
-                | `Served -> ()
-                | `Reply (hdr, r) ->
-                    Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+              stash_or_serve msg;
               loop ()
             end)
+  and drive_transport ~quiescent =
+    let timed_out dests detail =
+      trace_event t (Trace.Timeout { machine = t.nid; dests });
+      raise
+        (Rpc_timeout
+           (Printf.sprintf "machine %d: no reply for seq %d: %s" t.nid seq
+              detail))
+    in
+    match Rmi_net.Cluster.idle t.cluster ~self:t.nid with
+    | Rmi_net.Cluster.Raw_transport ->
+        if quiescent then
+          raise
+            (Deadlock
+               (Printf.sprintf "machine %d: no reply for seq %d and the                                 cluster is quiescent" t.nid seq))
+        else loop ()
+    | Rmi_net.Cluster.Retransmitted n ->
+        dead_rounds := 0;
+        trace_event t (Trace.Retry { machine = t.nid; frames = n });
+        loop ()
+    | Rmi_net.Cluster.Waiting ->
+        dead_rounds := 0;
+        loop ()
+    | Rmi_net.Cluster.Gave_up dests ->
+        timed_out dests
+          (Printf.sprintf "frames to machine(s) %s exhausted their retransmit                           budget"
+             (String.concat "," (List.map string_of_int dests)))
+    | Rmi_net.Cluster.Dead ->
+        if quiescent then
+          (* synchronous mode: this thread is the whole cluster, so an
+             empty network can never produce the reply *)
+          timed_out [] "nothing left in flight"
+        else begin
+          incr dead_rounds;
+          if !dead_rounds > 500 then timed_out [] "nothing left in flight"
+          else loop ()
+        end
   in
   loop ()
 

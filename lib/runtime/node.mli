@@ -25,6 +25,13 @@ exception Remote_exception of string
 exception No_such_method of string
 exception Deadlock of string
 
+(** A call over the reliable transport gave up: some frame exhausted
+    its retransmit budget (partitioned link), or nothing was left in
+    flight and the reply can no longer arrive.  Raised instead of
+    hanging or [Deadlock] when the cluster transport is
+    [Config.Reliable]. *)
+exception Rpc_timeout of string
+
 val create :
   Rmi_net.Cluster.t ->
   id:int ->
@@ -48,7 +55,8 @@ val export : t -> obj:int -> meth:int -> has_ret:bool -> handler -> unit
 
 (** [call t ~dest ~meth ~callsite ~has_ret args].
     @raise Remote_exception when the remote handler raised
-    @raise Deadlock when no progress is possible for ~10 s *)
+    @raise Deadlock when no progress is possible (raw transport)
+    @raise Rpc_timeout when the reliable transport gives up on the call *)
 val call :
   t ->
   dest:Remote_ref.t ->

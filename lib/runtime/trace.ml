@@ -2,6 +2,8 @@ type event =
   | Call_start of { machine : int; dest : int; meth : int; callsite : int; local : bool }
   | Call_end of { machine : int; callsite : int; elapsed_us : float }
   | Served of { machine : int; src : int; meth : int; callsite : int }
+  | Retry of { machine : int; frames : int }
+  | Timeout of { machine : int; dests : int list }
 
 type entry = { seq : int; at_us : float; event : event }
 
@@ -50,6 +52,12 @@ let pp_event ppf = function
   | Served { machine; src; meth; callsite } ->
       Format.fprintf ppf "m%d served meth=%d site=%d for m%d" machine meth
         callsite src
+  | Retry { machine; frames } ->
+      Format.fprintf ppf "m%d retransmitted %d frame%s" machine frames
+        (if frames = 1 then "" else "s")
+  | Timeout { machine; dests } ->
+      Format.fprintf ppf "m%d timed out waiting on %s" machine
+        (String.concat "," (List.map (Printf.sprintf "m%d") dests))
 
 let render ?(limit = 200) t =
   let buf = Buffer.create 512 in
@@ -84,7 +92,7 @@ let summary t =
           total := !total +. elapsed_us;
           if elapsed_us < !mn then mn := elapsed_us;
           if elapsed_us > !mx then mx := elapsed_us
-      | Call_start _ | Served _ -> ())
+      | Call_start _ | Served _ | Retry _ | Timeout _ -> ())
     (entries t);
   let rows =
     Hashtbl.fold

@@ -14,6 +14,12 @@ type event =
   | Call_start of { machine : int; dest : int; meth : int; callsite : int; local : bool }
   | Call_end of { machine : int; callsite : int; elapsed_us : float }
   | Served of { machine : int; src : int; meth : int; callsite : int }
+  | Retry of { machine : int; frames : int }
+      (** the reliable transport retransmitted [frames] unacked frames
+          while [machine] was idle-waiting *)
+  | Timeout of { machine : int; dests : int list }
+      (** a frame to each of [dests] exhausted its retransmit budget;
+          the awaited call fails with {!Node.Rpc_timeout} *)
 
 type entry = {
   seq : int;  (** global order of recording *)

@@ -9,6 +9,10 @@ type t = {
   bytes_sent : int Atomic.t;
   type_bytes : int Atomic.t;
   allocs : int Atomic.t;
+  retries : int Atomic.t;
+  timeouts : int Atomic.t;
+  dup_drops : int Atomic.t;
+  acks_sent : int Atomic.t;
 }
 
 type snapshot = {
@@ -22,6 +26,10 @@ type snapshot = {
   bytes_sent : int;
   type_bytes : int;
   allocs : int;
+  retries : int;
+  timeouts : int;
+  dup_drops : int;
+  acks_sent : int;
 }
 
 let create () : t =
@@ -36,6 +44,10 @@ let create () : t =
     bytes_sent = Atomic.make 0;
     type_bytes = Atomic.make 0;
     allocs = Atomic.make 0;
+    retries = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    dup_drops = Atomic.make 0;
+    acks_sent = Atomic.make 0;
   }
 
 let reset (t : t) =
@@ -48,7 +60,11 @@ let reset (t : t) =
   Atomic.set t.msgs_sent 0;
   Atomic.set t.bytes_sent 0;
   Atomic.set t.type_bytes 0;
-  Atomic.set t.allocs 0
+  Atomic.set t.allocs 0;
+  Atomic.set t.retries 0;
+  Atomic.set t.timeouts 0;
+  Atomic.set t.dup_drops 0;
+  Atomic.set t.acks_sent 0
 
 let add a n = ignore (Atomic.fetch_and_add a n)
 
@@ -62,6 +78,10 @@ let incr_msgs_sent (t : t) = add t.msgs_sent 1
 let add_bytes_sent (t : t) n = add t.bytes_sent n
 let add_type_bytes (t : t) n = add t.type_bytes n
 let incr_allocs (t : t) = add t.allocs 1
+let incr_retries (t : t) = add t.retries 1
+let incr_timeouts (t : t) = add t.timeouts 1
+let incr_dup_drops (t : t) = add t.dup_drops 1
+let incr_acks_sent (t : t) = add t.acks_sent 1
 
 let snapshot (t : t) =
   {
@@ -75,6 +95,10 @@ let snapshot (t : t) =
     bytes_sent = Atomic.get t.bytes_sent;
     type_bytes = Atomic.get t.type_bytes;
     allocs = Atomic.get t.allocs;
+    retries = Atomic.get t.retries;
+    timeouts = Atomic.get t.timeouts;
+    dup_drops = Atomic.get t.dup_drops;
+    acks_sent = Atomic.get t.acks_sent;
   }
 
 let zero =
@@ -89,6 +113,10 @@ let zero =
     bytes_sent = 0;
     type_bytes = 0;
     allocs = 0;
+    retries = 0;
+    timeouts = 0;
+    dup_drops = 0;
+    acks_sent = 0;
   }
 
 let map2 f a b =
@@ -103,6 +131,10 @@ let map2 f a b =
     bytes_sent = f a.bytes_sent b.bytes_sent;
     type_bytes = f a.type_bytes b.type_bytes;
     allocs = f a.allocs b.allocs;
+    retries = f a.retries b.retries;
+    timeouts = f a.timeouts b.timeouts;
+    dup_drops = f a.dup_drops b.dup_drops;
+    acks_sent = f a.acks_sent b.acks_sent;
   }
 
 let diff later earlier = map2 ( - ) later earlier
@@ -112,6 +144,7 @@ let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
-     allocs=%d@]"
+     allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
-    s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs
+    s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
+    s.timeouts s.dup_drops s.acks_sent

@@ -20,6 +20,10 @@ type snapshot = {
   bytes_sent : int;       (** network payload bytes *)
   type_bytes : int;       (** bytes of wire type information *)
   allocs : int;           (** objects allocated by deserialization *)
+  retries : int;          (** frames retransmitted by the reliable transport *)
+  timeouts : int;         (** frames abandoned after exhausting retransmits *)
+  dup_drops : int;        (** duplicate frames suppressed by at-most-once dedup *)
+  acks_sent : int;        (** link-level acknowledgements sent *)
 }
 
 val create : unit -> t
@@ -38,6 +42,16 @@ val incr_msgs_sent : t -> unit
 val add_bytes_sent : t -> int -> unit
 val add_type_bytes : t -> int -> unit
 val incr_allocs : t -> unit
+
+(** Reliable-transport counters.  These never touch the logical-traffic
+    counters above: [msgs_sent]/[bytes_sent] count each logical message
+    once, so the lossless reliable path reports byte-identical traffic
+    to the raw path. *)
+
+val incr_retries : t -> unit
+val incr_timeouts : t -> unit
+val incr_dup_drops : t -> unit
+val incr_acks_sent : t -> unit
 
 val snapshot : t -> snapshot
 

@@ -96,7 +96,91 @@ let dropped_message_detected_as_deadlock () =
             ~dest:(Remote_ref.make ~machine:1 ~obj:0)
             ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]);
        false
-     with Node.Deadlock _ -> true)
+     with Node.Deadlock _ -> true);
+  (* the raw transport never retransmits or times out — those counters
+     belong to the reliable layer alone *)
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check int) "raw path: no retries" 0 s.Metrics.retries;
+  Alcotest.(check int) "raw path: no timeouts" 0 s.Metrics.timeouts
+
+(* a 2-machine pair over the reliable transport, for the recovery
+   cases below *)
+let reliable_pair () =
+  let metrics = Metrics.create () in
+  let cluster =
+    Rmi_net.Cluster.create
+      ~transport:(Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params)
+      ~n:2 metrics
+  in
+  let plans = Hashtbl.create 4 in
+  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  Node.set_pump n0 (fun () -> Node.serve_pending n1);
+  Node.set_pump n1 (fun () -> Node.serve_pending n0);
+  Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args ->
+      match args.(0) with
+      | Value.Obj o -> (
+          match o.Value.fields.(0) with
+          | Value.Int v ->
+              let b = Value.new_obj ~cls:0 ~nfields:1 in
+              b.Value.fields.(0) <- Value.Int (v + 1);
+              Some (Value.Obj b)
+          | _ -> failwith "bad box")
+      | _ -> failwith "bad arg");
+  (metrics, cluster, n0)
+
+let transient_drops_recovered_and_counted () =
+  let metrics, cluster, n0 = reliable_pair () in
+  (* drop the first three frames toward machine 1, then heal the link *)
+  let dropped = ref 0 in
+  Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
+      if dest = 1 && !dropped < 3 then begin
+        incr dropped;
+        None
+      end
+      else Some msg);
+  (match
+     Node.call n0
+       ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+       ~meth:m_incr ~callsite:1 ~has_ret:true [| box 41 |]
+   with
+  | Some v ->
+      Alcotest.(check bool) "recovered result" true
+        (Rmi_serial.Equality.equal v (box 42))
+  | None -> Alcotest.fail "no reply despite retransmission");
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check bool) "retries counted" true (s.Metrics.retries >= 1);
+  Alcotest.(check int) "no timeouts on a healed link" 0 s.Metrics.timeouts
+
+let permanent_partition_times_out_cleanly () =
+  let metrics, cluster, n0 = reliable_pair () in
+  (* machine 1 is unreachable forever; recv_blocking must not hang —
+     the call has to surface a clean Rpc_timeout *)
+  Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
+      if dest = 1 then None else Some msg);
+  Alcotest.(check bool) "clean timeout" true
+    (try
+       ignore
+         (Node.call n0
+            ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+            ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]);
+       false
+     with Node.Rpc_timeout msg -> String.length msg > 0);
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check bool) "retransmit budget spent" true
+    (s.Metrics.retries >= Rmi_net.Cluster.default_params.Rmi_net.Cluster.max_attempts - 1);
+  Alcotest.(check bool) "abandoned frame counted" true (s.Metrics.timeouts >= 1);
+  (* the partition heals: the same pair keeps working *)
+  Rmi_net.Cluster.clear_fault_hook cluster;
+  match
+    Node.call n0
+      ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+      ~meth:m_incr ~callsite:1 ~has_ret:true [| box 7 |]
+  with
+  | Some v ->
+      Alcotest.(check bool) "recovered after heal" true
+        (Rmi_serial.Equality.equal v (box 8))
+  | None -> Alcotest.fail "no reply after heal"
 
 let garbage_header_is_ignored () =
   let metrics = Metrics.create () in
@@ -147,6 +231,10 @@ let suite =
           truncated_payload_is_clean_error;
         Alcotest.test_case "dropped message -> deadlock detection" `Quick
           dropped_message_detected_as_deadlock;
+        Alcotest.test_case "reliable: transient drops recovered + counted"
+          `Quick transient_drops_recovered_and_counted;
+        Alcotest.test_case "reliable: permanent partition -> clean timeout"
+          `Quick permanent_partition_times_out_cleanly;
         Alcotest.test_case "garbage header ignored" `Quick garbage_header_is_ignored;
         Alcotest.test_case "handler exceptions don't kill workers" `Quick
           handler_exception_does_not_kill_worker;

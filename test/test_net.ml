@@ -46,6 +46,69 @@ let mailbox_many_messages_cross_domain () =
   done;
   Alcotest.(check int) "all bytes delivered" !sent (Domain.join receiver)
 
+let mailbox_recv_deadline () =
+  let box = Mailbox.create () in
+  Alcotest.(check (option string)) "times out empty" None
+    (Option.map Bytes.to_string (Mailbox.recv_deadline box ~seconds:0.005));
+  Mailbox.send box (Bytes.of_string "x");
+  Alcotest.(check (option string)) "immediate when queued" (Some "x")
+    (Option.map Bytes.to_string (Mailbox.recv_deadline box ~seconds:0.005))
+
+let envelope_roundtrip () =
+  let payload = Bytes.of_string "hello rmi" in
+  let frame = Envelope.encode ~kind:Envelope.Data ~src:3 ~lseq:77 ~payload in
+  (match Envelope.decode frame with
+  | Some ({ Envelope.kind = Data; src = 3; lseq = 77 }, p) ->
+      Alcotest.(check string) "payload intact" "hello rmi" (Bytes.to_string p)
+  | _ -> Alcotest.fail "roundtrip failed");
+  (* an ack frame has no payload *)
+  (match
+     Envelope.decode
+       (Envelope.encode ~kind:Envelope.Ack ~src:0 ~lseq:5 ~payload:Bytes.empty)
+   with
+  | Some ({ Envelope.kind = Ack; src = 0; lseq = 5 }, p) ->
+      Alcotest.(check int) "empty payload" 0 (Bytes.length p)
+  | _ -> Alcotest.fail "ack roundtrip failed");
+  (* any single flipped bit must be caught by the checksum *)
+  for pos = 0 to Bytes.length frame - 1 do
+    for bit = 0 to 7 do
+      let bad = Bytes.copy frame in
+      Bytes.set bad pos
+        (Char.chr (Char.code (Bytes.get bad pos) lxor (1 lsl bit)));
+      match Envelope.decode bad with
+      | None -> ()
+      | Some _ ->
+          Alcotest.fail
+            (Printf.sprintf "flip at %d.%d went undetected" pos bit)
+    done
+  done
+
+let fault_sim_deterministic () =
+  let feed sim =
+    List.concat_map
+      (fun i -> Fault_sim.on_send sim ~src:0 ~dest:1 (Bytes.make 8 (Char.chr i)))
+      (List.init 64 (fun i -> i))
+  in
+  let a = Fault_sim.create ~seed:99 ~n:2 Fault_sim.default_lossy in
+  let b = Fault_sim.create ~seed:99 ~n:2 Fault_sim.default_lossy in
+  let da = feed a and db = feed b in
+  Alcotest.(check bool) "same seed, same deliveries" true (da = db);
+  Alcotest.(check string) "same seed, same digest" (Fault_sim.digest a)
+    (Fault_sim.digest b);
+  let c = Fault_sim.create ~seed:100 ~n:2 Fault_sim.default_lossy in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (feed c <> da || Fault_sim.digest c <> Fault_sim.digest a)
+
+let fault_sim_lossless_is_passthrough () =
+  let sim = Fault_sim.create ~seed:1 ~n:2 Fault_sim.lossless in
+  let frame = Bytes.of_string "frame" in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "delivered unchanged" true
+      (Fault_sim.on_send sim ~src:1 ~dest:0 frame = [ frame ])
+  done;
+  Alcotest.(check string) "no fault decisions logged" "" (Fault_sim.digest sim);
+  Alcotest.(check int) "nothing held" 0 (Fault_sim.held_frames sim)
+
 let cluster_counts_traffic () =
   let m = Metrics.create () in
   let c = Cluster.create ~n:3 m in
@@ -125,6 +188,18 @@ let suite =
         Alcotest.test_case "cross-domain wakeup" `Quick mailbox_cross_domain;
         Alcotest.test_case "1000 messages across domains" `Quick
           mailbox_many_messages_cross_domain;
+        Alcotest.test_case "timed receive" `Quick mailbox_recv_deadline;
+      ] );
+    ( "net.envelope",
+      [
+        Alcotest.test_case "roundtrip + every bit flip detected" `Quick
+          envelope_roundtrip;
+      ] );
+    ( "net.fault_sim",
+      [
+        Alcotest.test_case "seeded determinism" `Quick fault_sim_deterministic;
+        Alcotest.test_case "lossless profile is a pass-through" `Quick
+          fault_sim_lossless_is_passthrough;
       ] );
     ( "net.cluster",
       [

@@ -381,7 +381,8 @@ let trace_records_events () =
         match entry.Trace.event with
         | Trace.Call_start _ -> (s + 1, e, v)
         | Trace.Call_end _ -> (s, e + 1, v)
-        | Trace.Served _ -> (s, e, v + 1))
+        | Trace.Served _ -> (s, e, v + 1)
+        | Trace.Retry _ | Trace.Timeout _ -> (s, e, v))
       (0, 0, 0) (Trace.entries tr)
   in
   Alcotest.(check (list int)) "event breakdown" [ 4; 4; 3 ] [ starts; ends; serves ];
