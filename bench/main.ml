@@ -11,14 +11,14 @@
 
 open Bechamel
 open Toolkit
-module Config = Rmi_runtime.Config
-module Fabric = Rmi_runtime.Fabric
-module Node = Rmi_runtime.Node
-module Value = Rmi_serial.Value
-module Codec = Rmi_serial.Codec
-module Metrics = Rmi_stats.Metrics
-module Plan = Rmi_core.Plan
-module Msgbuf = Rmi_wire.Msgbuf
+module Config = Rmi.Config
+module Fabric = Rmi.Fabric
+module Node = Rmi.Node
+module Value = Rmi.Value
+module Codec = Rmi.Internals.Codec
+module Metrics = Rmi.Metrics
+module Plan = Rmi.Internals.Plan
+module Msgbuf = Rmi.Internals.Msgbuf
 
 (* ------------------------------------------------------------------ *)
 (* per-table RMI units                                                 *)
@@ -61,7 +61,7 @@ let list_unit config =
     ~call:(fun caller ->
       ignore
         (Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:false [| head |]))
 
 let array_unit config =
@@ -82,7 +82,7 @@ let array_unit config =
     ~call:(fun caller ->
       ignore
         (Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:false [| matrix |]))
 
 let lu_unit config =
@@ -108,7 +108,7 @@ let lu_unit config =
     ~call:(fun caller ->
       ignore
         (Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:true [| a; col; row |]))
 
 let superopt_unit config =
@@ -144,7 +144,7 @@ let superopt_unit config =
     ~call:(fun caller ->
       ignore
         (Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:accept_site ~has_ret:false [| candidate |]))
 
 let web_unit config =
@@ -170,15 +170,71 @@ let web_unit config =
     ~call:(fun caller ->
       ignore
         (Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+           ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:true [| url |]))
+
+(* ------------------------------------------------------------------ *)
+(* pipelined units: one window of async calls per measured run         *)
+(* ------------------------------------------------------------------ *)
+
+let list_pipelined_unit config ~window =
+  let compiled = Rmi_apps.Linked_list.compiled () in
+  let meth = meth_named compiled "Foo.send" in
+  let site = Rmi_apps.Linked_list.callsite () in
+  let head =
+    let rec go acc k =
+      if k = 0 then acc
+      else begin
+        let c = Value.new_obj ~cls:0 ~nfields:1 in
+        c.Value.fields.(0) <- acc;
+        go (Value.Obj c) (k - 1)
+      end
+    in
+    go Value.Null 100
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
+          None))
+    ~call:(fun caller ->
+      let dest = Rmi.Remote_ref.make ~machine:1 ~obj:0 in
+      let futures =
+        List.init window (fun _ ->
+            Node.call_async caller ~dest ~meth ~callsite:site ~has_ret:false
+              [| head |])
+      in
+      ignore (Node.Future.all futures : Value.t option list))
+
+let array_pipelined_unit config ~window =
+  let compiled = Rmi_apps.Array_bench.compiled () in
+  let meth = meth_named compiled "ArrayBench.send" in
+  let site = Rmi_apps.Array_bench.callsite () in
+  let matrix =
+    let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) 16 in
+    for i = 0 to 15 do
+      outer.Value.ra.(i) <- Value.Darr (Value.new_darr 16)
+    done;
+    Value.Rarr outer
+  in
+  rmi_unit compiled ~config
+    ~export:(fun fabric ->
+      Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
+          None))
+    ~call:(fun caller ->
+      let dest = Rmi.Remote_ref.make ~machine:1 ~obj:0 in
+      let futures =
+        List.init window (fun _ ->
+            Node.call_async caller ~dest ~meth ~callsite:site ~has_ret:false
+              [| matrix |])
+      in
+      ignore (Node.Future.all futures : Value.t option list))
 
 (* ------------------------------------------------------------------ *)
 (* ablation micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
 let ablation_meta =
-  Rmi_serial.Class_meta.make
+  Rmi.Internals.Class_meta.make
     [ ("Cell", [ ("next", Jir.Types.Tobject 0); ("v", Jir.Types.Tint) ]) ]
 
 let deep_chain n =
@@ -256,15 +312,37 @@ let ablation_wire_introspect () =
   let m = Metrics.create () in
   fun () ->
     let w = Msgbuf.create_writer () in
-    Rmi_serial.Introspect.write (Rmi_serial.Introspect.make_wctx ablation_meta m) w v
+    Rmi.Internals.Introspect.write (Rmi.Internals.Introspect.make_wctx ablation_meta m) w v
 
 (* ------------------------------------------------------------------ *)
 (* runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let tests =
+let tests ~pipeline ~batch ~window =
   let t name f = Test.make ~name (Staged.stage (f ())) in
-  [
+  (if pipeline then
+     let label suffix = Printf.sprintf "pipeline:%s/window%d" suffix window in
+     [
+       t (label "list") (fun () ->
+           list_pipelined_unit Config.site_reuse_cycle ~window);
+       t (label "array") (fun () ->
+           array_pipelined_unit Config.site_reuse_cycle ~window);
+     ]
+     @
+     if batch then
+       [
+         t (label "list+batch") (fun () ->
+             list_pipelined_unit
+               (Config.with_batching Config.site_reuse_cycle)
+               ~window);
+         t (label "array+batch") (fun () ->
+             array_pipelined_unit
+               (Config.with_batching Config.site_reuse_cycle)
+               ~window);
+       ]
+     else []
+   else [])
+  @ [
     (* one Test.make per paper table: baseline vs fully optimized *)
     t "table1:list/class" (fun () -> list_unit Config.class_);
     t "table1:list/site+reuse+cycle" (fun () -> list_unit Config.site_reuse_cycle);
@@ -290,14 +368,15 @@ let tests =
     t "ablation:wire/class-tags" ablation_dispatch_dyn;
   ]
 
-let run_benchmarks () =
+let run_benchmarks ~pipeline ~batch ~window () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
   let raw_results =
-    Benchmark.all cfg instances (Test.make_grouped ~name:"rmi" tests)
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"rmi" (tests ~pipeline ~batch ~window))
   in
   let results = Analyze.all ols Instance.monotonic_clock raw_results in
   let rows =
@@ -314,12 +393,12 @@ let run_benchmarks () =
   in
   print_endline "Bechamel micro-benchmarks (ns per RMI / per operation):";
   print_endline
-    (Rmi_stats.Ascii_table.render
+    (Rmi.Ascii_table.render
        ~headers:[ "benchmark"; "ns/run" ]
        (List.map (fun (n, ns) -> [ n; Printf.sprintf "%.0f" ns ]) rows))
 
 let run_tables () =
-  let module E = Rmi_harness.Experiment in
+  let module E = Rmi.Experiment in
   let timing t =
     print_endline (E.render_timing t);
     print_endline "shape vs paper:";
@@ -332,22 +411,46 @@ let run_tables () =
   timing t3;
   print_endline
     (E.stats_table ~id:"table4" ~title:"Table 4: LU runtime statistics" t3
-       Rmi_harness.Paper_data.table4_stats);
+       Rmi.Paper_data.table4_stats);
   let t5 = E.table5 () in
   timing t5;
   print_endline
     (E.stats_table ~id:"table6"
        ~title:"Table 6: Superoptimizer runtime statistics" t5
-       Rmi_harness.Paper_data.table6_stats);
+       Rmi.Paper_data.table6_stats);
   let t7 = E.table7 () in
   timing t7;
   print_endline
     (E.stats_table ~id:"table8" ~title:"Table 8: Webserver runtime statistics" t7
-       Rmi_harness.Paper_data.table8_stats)
+       Rmi.Paper_data.table8_stats)
 
-let () =
-  run_benchmarks ();
+let main pipeline batch window =
+  run_benchmarks ~pipeline ~batch ~window ();
   print_newline ();
+  if pipeline then begin
+    print_endline "=== Pipelining / batching comparison ===";
+    print_newline ();
+    List.iter
+      (fun report ->
+        print_endline (Rmi.Experiment.render_pipeline report);
+        print_newline ())
+      (Rmi.Experiment.pipeline_compare ~window ())
+  end;
   print_endline "=== Paper tables (small scale; --scale paper via bin/main.exe) ===";
   print_newline ();
   run_tables ()
+
+let () =
+  let open Cmdliner in
+  let info =
+    Cmd.info "rmi-bench"
+      ~doc:
+        "Bechamel micro-benchmarks and paper-table reproduction.  \
+         $(b,--pipeline) adds futures-based windows (and the \
+         pipelining/batching comparison tables); $(b,--batch) adds the \
+         coalescing variants."
+  in
+  let term =
+    Term.(const main $ Rmi.Cli.pipeline_arg $ Rmi.Cli.batch_arg $ Rmi.Cli.window_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

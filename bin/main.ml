@@ -1,35 +1,16 @@
 (* rmi-experiments: reproduce the paper's Tables 1-8 from the command
    line.  `rmi-experiments all` prints every table paper-vs-measured;
    `rmi-experiments report` prints the compiler's per-call-site
-   analysis decisions for every application model. *)
+   analysis decisions for every application model;
+   `rmi-experiments pipeline` compares synchronous, pipelined and
+   batched issue of the transmission microbenchmarks. *)
 
 open Cmdliner
-module E = Rmi_harness.Experiment
+module E = Rmi.Experiment
+module Cli = Rmi.Cli
 
-let scale_conv =
-  Arg.enum [ ("small", E.Small); ("paper", E.Paper) ]
-
-let mode_conv =
-  Arg.enum
-    [ ("sync", Rmi_runtime.Fabric.Sync); ("parallel", Rmi_runtime.Fabric.Parallel) ]
-
-let scale_arg =
-  Arg.(
-    value
-    & opt scale_conv E.Small
-    & info [ "scale" ] ~docv:"SCALE"
-        ~doc:
-          "Workload size: $(b,small) finishes in seconds, $(b,paper) uses the \
-           paper's sizes (1024 LU matrix, full search space, 100k requests).")
-
-let mode_arg =
-  Arg.(
-    value
-    & opt mode_conv Rmi_runtime.Fabric.Sync
-    & info [ "mode" ] ~docv:"MODE"
-        ~doc:
-          "Cluster execution: $(b,sync) single-threaded deterministic, \
-           $(b,parallel) one OCaml domain per machine (the paper's 2 CPUs).")
+let scale_arg = Cli.scale_arg
+let mode_arg = Cli.mode_arg
 
 let print_timing_and_shape t =
   print_endline (E.render_timing t);
@@ -46,7 +27,7 @@ let run_table3_4 scale mode ~want3 ~want4 =
   if want4 then
     print_endline
       (E.stats_table ~id:"table4" ~title:"Table 4: LU runtime statistics" t
-         Rmi_harness.Paper_data.table4_stats)
+         Rmi.Paper_data.table4_stats)
 
 let run_table5_6 scale mode ~want5 ~want6 =
   let t = E.table5 ~scale ~mode () in
@@ -54,7 +35,7 @@ let run_table5_6 scale mode ~want5 ~want6 =
   if want6 then
     print_endline
       (E.stats_table ~id:"table6" ~title:"Table 6: Superoptimizer runtime statistics" t
-         Rmi_harness.Paper_data.table6_stats)
+         Rmi.Paper_data.table6_stats)
 
 let run_table7_8 scale mode ~want7 ~want8 =
   let t = E.table7 ~scale ~mode () in
@@ -62,7 +43,7 @@ let run_table7_8 scale mode ~want7 ~want8 =
   if want8 then
     print_endline
       (E.stats_table ~id:"table8" ~title:"Table 8: Webserver runtime statistics" t
-         Rmi_harness.Paper_data.table8_stats)
+         Rmi.Paper_data.table8_stats)
 
 let table_cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ mode_arg)
@@ -78,6 +59,22 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table of the evaluation (1-8).")
     Term.(const run $ scale_arg $ mode_arg)
+
+let pipeline_cmd =
+  let run scale mode window =
+    List.iter
+      (fun report ->
+        print_endline (E.render_pipeline report);
+        print_newline ())
+      (E.pipeline_compare ~scale ~mode ~window ())
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Run the transmission microbenchmarks three ways — synchronous \
+          calls, pipelined futures, pipelined futures + request batching — \
+          and compare wire messages, modeled seconds and checksums.")
+    Term.(const run $ scale_arg $ mode_arg $ Cli.window_arg)
 
 let report_cmd =
   let run () =
@@ -158,20 +155,20 @@ let breakdown_cmd =
   let run scale mode =
     (* cost-model component breakdown for the fully optimized run of
        each application *)
-    let model = Rmi_net.Costmodel.myrinet_2003 in
-    let show name (stats : Rmi_stats.Metrics.snapshot) =
+    let model = Rmi.Costmodel.myrinet_2003 in
+    let show name (stats : Rmi.Metrics.snapshot) =
       Printf.printf "\n%s (site + reuse + cycle):\n" name;
       List.iter
         (fun (label, seconds) ->
           if seconds > 0.0 then
             Printf.printf "  %-18s %10.6f s\n" label seconds)
-        (Rmi_net.Costmodel.breakdown model stats)
+        (Rmi.Costmodel.breakdown model stats)
     in
     let t1 = E.table1 ~scale ~mode () in
     let t2 = E.table2 ~scale ~mode () in
     let full t =
       (List.find
-         (fun r -> r.E.config.Rmi_runtime.Config.name = "site + reuse + cycle")
+         (fun r -> r.E.config.Rmi.Config.name = "site + reuse + cycle")
          t.E.rows)
         .E.stats
     in
@@ -188,20 +185,20 @@ let trace_cmd =
   let run () =
     (* a small traced webserver run: 64 retrievals over 2 machines *)
     let compiled = Rmi_apps.Webserver.compiled () in
-    let metrics = Rmi_stats.Metrics.create () in
+    let metrics = Rmi.Metrics.create () in
     let fabric =
-      Rmi_runtime.Fabric.create ~mode:Rmi_runtime.Fabric.Sync ~n:2
+      Rmi.Fabric.create ~mode:Rmi.Fabric.Sync ~n:2
         ~meta:compiled.Rmi_apps.App_common.meta
-        ~config:Rmi_runtime.Config.site_reuse_cycle
+        ~config:Rmi.Config.site_reuse_cycle
         ~plans:compiled.Rmi_apps.App_common.plans ~metrics ()
     in
-    let tr = Rmi_runtime.Trace.create () in
+    let tr = Rmi.Trace.create () in
     for m = 0 to 1 do
-      Rmi_runtime.Node.set_trace (Rmi_runtime.Fabric.node fabric m) tr
+      Rmi.Node.set_trace (Rmi.Fabric.node fabric m) tr
     done;
     (* reuse the library workload through its public entry is simplest:
        run a few manual calls against exported pages *)
-    let module Value = Rmi_serial.Value in
+    let module Value = Rmi.Value in
     let meth =
       Jfront.Lower.method_named compiled.Rmi_apps.App_common.prog
         "Slave.get_page"
@@ -212,83 +209,33 @@ let trace_cmd =
       | _ -> failwith "unexpected callsites"
     in
     for m = 0 to 1 do
-      Rmi_runtime.Node.export
-        (Rmi_runtime.Fabric.node fabric m)
+      Rmi.Node.export
+        (Rmi.Fabric.node fabric m)
         ~obj:0 ~meth ~has_ret:true
         (fun _ ->
           let p = Value.new_obj ~cls:1 ~nfields:1 in
           p.Value.fields.(0) <- Value.Iarr (Value.new_iarr 64);
           Some (Value.Obj p))
     done;
-    let caller = Rmi_runtime.Fabric.node fabric 0 in
+    let caller = Rmi.Fabric.node fabric 0 in
     for r = 0 to 63 do
       let u = Value.new_obj ~cls:0 ~nfields:1 in
       u.Value.fields.(0) <- Value.Iarr (Value.new_iarr 8);
       ignore
-        (Rmi_runtime.Node.call caller
-           ~dest:(Rmi_runtime.Remote_ref.make ~machine:(r mod 2) ~obj:0)
+        (Rmi.Node.call caller
+           ~dest:(Rmi.Remote_ref.make ~machine:(r mod 2) ~obj:0)
            ~meth ~callsite:site ~has_ret:true [| Value.Obj u |])
     done;
     print_endline "first events:";
-    print_string (Rmi_runtime.Trace.render ~limit:12 tr);
+    print_string (Rmi.Trace.render ~limit:12 tr);
     print_endline "";
     print_endline "per-callsite latency summary:";
-    print_endline (Rmi_runtime.Trace.summary tr)
+    print_endline (Rmi.Trace.summary tr)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a small traced workload and print the RMI event timeline and              per-call-site latency summary.")
     Term.(const run $ const ())
-
-(* "--faults seed=N[,drop=F,dup=F,reorder=F,corrupt=F,delay=K]":
-   reliable transport over a seeded lossy network *)
-let faults_conv =
-  let parse s =
-    let profile = ref Rmi_net.Fault_sim.default_lossy in
-    let seed = ref None in
-    try
-      String.split_on_char ',' s
-      |> List.iter (fun kv ->
-             match String.index_opt kv '=' with
-             | None -> failwith kv
-             | Some i ->
-                 let k = String.sub kv 0 i in
-                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-                 let f () = float_of_string v in
-                 let p = !profile in
-                 (match k with
-                 | "seed" -> seed := Some (int_of_string v)
-                 | "drop" -> profile := { p with Rmi_net.Fault_sim.drop = f () }
-                 | "dup" -> profile := { p with Rmi_net.Fault_sim.duplicate = f () }
-                 | "reorder" -> profile := { p with Rmi_net.Fault_sim.reorder = f () }
-                 | "corrupt" -> profile := { p with Rmi_net.Fault_sim.corrupt = f () }
-                 | "delay" -> profile := { p with Rmi_net.Fault_sim.max_delay = int_of_string v }
-                 | _ -> failwith k));
-      match !seed with
-      | Some seed -> Ok (seed, !profile)
-      | None -> Error (`Msg "--faults needs seed=N")
-    with _ ->
-      Error (`Msg (Printf.sprintf "bad --faults spec %S (want e.g. seed=42,drop=0.2)" s))
-  in
-  let print ppf ((seed, p) : int * Rmi_net.Fault_sim.profile) =
-    Format.fprintf ppf "seed=%d,drop=%g,dup=%g,reorder=%g,corrupt=%g,delay=%d"
-      seed p.Rmi_net.Fault_sim.drop p.Rmi_net.Fault_sim.duplicate
-      p.Rmi_net.Fault_sim.reorder p.Rmi_net.Fault_sim.corrupt
-      p.Rmi_net.Fault_sim.max_delay
-  in
-  Arg.conv (parse, print)
-
-let faults_arg =
-  Arg.(
-    value
-    & opt (some faults_conv) None
-    & info [ "faults" ] ~docv:"SPEC"
-        ~doc:
-          "Run over the reliable transport with a seeded fault schedule on \
-           every link, e.g. $(b,seed=42) or \
-           $(b,seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,delay=3). \
-           The same seed replays the exact same schedule.  Omitted \
-           probabilities default to a moderate lossy profile.")
 
 let run_cmd =
   let file_arg =
@@ -310,19 +257,7 @@ let run_cmd =
       & opt int 2
       & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
   in
-  let config_arg =
-    Arg.(
-      value
-      & opt
-          (enum
-             (List.map
-                (fun (c : Rmi_runtime.Config.t) -> (c.Rmi_runtime.Config.name, c))
-                Rmi_runtime.Config.all))
-          Rmi_runtime.Config.site_reuse_cycle
-      & info [ "config" ] ~docv:"CONFIG"
-          ~doc:"Optimization configuration (the paper's table rows).")
-  in
-  let run file entry machines config mode faults =
+  let run file entry machines config mode faults batch =
     let ic = open_in_bin file in
     let src = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -339,45 +274,40 @@ let run_cmd =
             Printf.eprintf "%s: entry %s takes parameters\n" file entry;
             exit 1
         | Some m ->
-            let config, faults =
-              match faults with
-              | None -> (config, None)
-              | Some (seed, profile) ->
-                  ( Rmi_runtime.Config.with_reliable config,
-                    Some (Rmi_net.Fault_sim.create ~seed ~n:machines profile) )
-            in
+            let config, faults = Cli.apply_faults ~machines config faults in
+            let config = if batch then Rmi.Config.with_batching config else config in
             let r =
-              Rmi_runtime.Distributed.run ~config ~mode ~machines ?faults prog
+              Rmi.Distributed.run ~config ~mode ~machines ?faults prog
                 ~entry:m.Jir.Program.mid []
             in
             Format.printf "%s = %a@." entry Jir.Interp.pp_value
-              r.Rmi_runtime.Distributed.value;
-            let s = r.Rmi_runtime.Distributed.stats in
+              r.Rmi.Distributed.value;
+            let s = r.Rmi.Distributed.stats in
             Format.printf "machines=%d  config=%s  remote objects=%d@." machines
-              config.Rmi_runtime.Config.name
-              r.Rmi_runtime.Distributed.remote_objects;
+              config.Rmi.Config.name
+              r.Rmi.Distributed.remote_objects;
             Format.printf
               "rpcs: %d remote + %d local; reused objs=%d; allocs=%d; cycle \
                lookups=%d; wire bytes=%d@."
-              s.Rmi_stats.Metrics.remote_rpcs s.Rmi_stats.Metrics.local_rpcs
-              s.Rmi_stats.Metrics.reused_objs s.Rmi_stats.Metrics.allocs
-              s.Rmi_stats.Metrics.cycle_lookups s.Rmi_stats.Metrics.bytes_sent;
+              s.Rmi.Metrics.remote_rpcs s.Rmi.Metrics.local_rpcs
+              s.Rmi.Metrics.reused_objs s.Rmi.Metrics.allocs
+              s.Rmi.Metrics.cycle_lookups s.Rmi.Metrics.bytes_sent;
             Format.printf "wall: %.4fs  modeled: %.4fs@."
-              r.Rmi_runtime.Distributed.wall_seconds
-              (Rmi_net.Costmodel.modeled_seconds Rmi_net.Costmodel.myrinet_2003 s);
+              r.Rmi.Distributed.wall_seconds
+              (Rmi.Costmodel.modeled_seconds Rmi.Costmodel.myrinet_2003 s);
             if faults <> None then
               Format.printf
                 "reliability: retries=%d timeouts=%d dup_drops=%d acks=%d@."
-                s.Rmi_stats.Metrics.retries s.Rmi_stats.Metrics.timeouts
-                s.Rmi_stats.Metrics.dup_drops s.Rmi_stats.Metrics.acks_sent)
+                s.Rmi.Metrics.retries s.Rmi.Metrics.timeouts
+                s.Rmi.Metrics.dup_drops s.Rmi.Metrics.acks_sent)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Compile a source file and execute it as a distributed program:           machine 0 runs the entry method, remote objects are placed           round-robin, and every RMI crosses the simulated cluster through           the selected optimization configuration.")
     Term.(
-      const run $ file_arg $ entry_arg $ machines_arg $ config_arg $ mode_arg
-      $ faults_arg)
+      const run $ file_arg $ entry_arg $ machines_arg $ Cli.config_arg
+      $ mode_arg $ Cli.faults_arg $ Cli.batch_arg)
 
 let cmds =
   [
@@ -396,6 +326,7 @@ let cmds =
     table_cmd "table8" "Webserver statistics (Table 8)." (fun s m ->
         run_table7_8 s m ~want7:false ~want8:true);
     all_cmd;
+    pipeline_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

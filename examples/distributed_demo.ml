@@ -57,18 +57,18 @@ let () =
   let entry = Jfront.Lower.method_named prog "Driver.main" in
   Format.printf "running Driver.main on a 3-machine cluster...@.";
   let r =
-    Rmi_runtime.Distributed.run ~config:Rmi_runtime.Config.site_reuse_cycle
-      ~mode:Rmi_runtime.Fabric.Sync ~machines:3 prog ~entry []
+    Rmi.Distributed.run ~config:Rmi.Config.site_reuse_cycle
+      ~mode:Rmi.Fabric.Sync ~machines:3 prog ~entry []
   in
-  Format.printf "main() = %a@." Jir.Interp.pp_value r.Rmi_runtime.Distributed.value;
+  Format.printf "main() = %a@." Jir.Interp.pp_value r.Rmi.Distributed.value;
   Format.printf
     "remote objects placed: %d; rpcs: %d remote + %d local; reused objs: %d; \
      cycle lookups: %d@."
-    r.Rmi_runtime.Distributed.remote_objects
-    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.remote_rpcs
-    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.local_rpcs
-    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.reused_objs
-    r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.cycle_lookups;
+    r.Rmi.Distributed.remote_objects
+    r.Rmi.Distributed.stats.Rmi.Metrics.remote_rpcs
+    r.Rmi.Distributed.stats.Rmi.Metrics.local_rpcs
+    r.Rmi.Distributed.stats.Rmi.Metrics.reused_objs
+    r.Rmi.Distributed.stats.Rmi.Metrics.cycle_lookups;
   (* sanity: the distributed result equals the interpreter's built-in
      RMI simulation *)
   let prog2 = Jfront.Lower.compile source in
@@ -78,4 +78,4 @@ let () =
       []
   in
   Format.printf "matches the interpreter oracle: %b@."
-    (Jir.Interp.value_equal oracle r.Rmi_runtime.Distributed.value)
+    (Jir.Interp.value_equal oracle r.Rmi.Distributed.value)

@@ -8,21 +8,21 @@ let () =
   Format.printf
     "Sending a %dx%d double[][] %d times under each configuration:@.@."
     params.n params.n params.repetitions;
-  let model = Rmi_net.Costmodel.myrinet_2003 in
+  let model = Rmi.Costmodel.myrinet_2003 in
   List.iter
     (fun config ->
       let r =
-        Rmi_apps.Array_bench.run ~config ~mode:Rmi_runtime.Fabric.Sync params
+        Rmi_apps.Array_bench.run ~config ~mode:Rmi.Fabric.Sync params
       in
       let s = r.Rmi_apps.Array_bench.stats in
       Format.printf
         "%-22s wall %.4fs  modeled %.4fs  wire %7d B  type info %5d B  cycle \
          lookups %6d  allocs %5d@."
-        config.Rmi_runtime.Config.name r.Rmi_apps.Array_bench.wall_seconds
-        (Rmi_net.Costmodel.modeled_seconds model s)
-        s.Rmi_stats.Metrics.bytes_sent s.Rmi_stats.Metrics.type_bytes
-        s.Rmi_stats.Metrics.cycle_lookups s.Rmi_stats.Metrics.allocs)
-    Rmi_runtime.Config.all;
+        config.Rmi.Config.name r.Rmi_apps.Array_bench.wall_seconds
+        (Rmi.Costmodel.modeled_seconds model s)
+        s.Rmi.Metrics.bytes_sent s.Rmi.Metrics.type_bytes
+        s.Rmi.Metrics.cycle_lookups s.Rmi.Metrics.allocs)
+    Rmi.Config.all;
   (* show the generated Figure-13 plan *)
   let compiled = Rmi_apps.Array_bench.compiled () in
   let site = Rmi_apps.Array_bench.callsite () in

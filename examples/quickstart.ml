@@ -11,9 +11,9 @@
 
 open Jir
 module B = Builder
-module Value = Rmi_serial.Value
-module Node = Rmi_runtime.Node
-module Fabric = Rmi_runtime.Fabric
+module Value = Rmi.Value
+module Node = Rmi.Node
+module Fabric = Rmi.Fabric
 
 let () =
   (* -- 1. the program model ---------------------------------------- *)
@@ -61,10 +61,10 @@ let () =
     | [ (_, s, _, _, _) ] -> s
     | _ -> assert false
   in
-  let metrics = Rmi_stats.Metrics.create () in
+  let metrics = Rmi.Metrics.create () in
   let fabric =
     Fabric.create ~mode:Fabric.Sync ~n:2 ~meta:compiled.meta
-      ~config:Rmi_runtime.Config.site_reuse_cycle ~plans:compiled.plans ~metrics
+      ~config:Rmi.Config.site_reuse_cycle ~plans:compiled.plans ~metrics
       ()
   in
   (* the service lives on machine 1 *)
@@ -87,12 +87,27 @@ let () =
   let p = Value.new_obj ~cls:point ~nfields:2 in
   p.Value.fields.(0) <- Value.Double 1.5;
   p.Value.fields.(1) <- Value.Double (-2.5);
+  let dest = Rmi.Remote_ref.make ~machine:1 ~obj:0 in
   (match
-     Node.call caller
-       ~dest:(Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
-       ~meth:mirror ~callsite:site ~has_ret:true [| Value.Obj p |]
+     Node.call caller ~dest ~meth:mirror ~callsite:site ~has_ret:true
+       [| Value.Obj p |]
    with
   | Some q -> Format.printf "mirror(1.5, -2.5) = %a@." Value.pp q
   | None -> print_endline "no reply");
-  let s = Rmi_stats.Metrics.snapshot metrics in
-  Format.printf "metrics: %a@." Rmi_stats.Metrics.pp s
+
+  (* -- 4. the same call, asynchronously ----------------------------- *)
+  (* several calls go out before any reply is awaited; replies
+     correlate by sequence number, so the order of awaits is free *)
+  let futures =
+    List.init 3 (fun _ ->
+        Node.call_async caller ~dest ~meth:mirror ~callsite:site ~has_ret:true
+          [| Value.Obj p |])
+  in
+  List.iteri
+    (fun i result ->
+      match result with
+      | Some q -> Format.printf "future %d resolved: %a@." i Value.pp q
+      | None -> Format.printf "future %d: no value@." i)
+    (Rmi.Future.all futures);
+  let s = Rmi.Metrics.snapshot metrics in
+  Format.printf "metrics: %a@." Rmi.Metrics.pp s

@@ -50,15 +50,15 @@ let () =
   List.iter
     (fun config ->
       let r =
-        Rmi_runtime.Distributed.run ~config ~mode:Rmi_runtime.Fabric.Sync prog
+        Rmi.Distributed.run ~config ~mode:Rmi.Fabric.Sync prog
           ~entry []
       in
       Format.printf
         "%-22s main() = %a   reused %4d objs, %5d allocs, %5d cycle lookups, \
          %6d wire bytes@."
-        config.Rmi_runtime.Config.name Jir.Interp.pp_value r.Rmi_runtime.Distributed.value
-        r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.reused_objs
-        r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.allocs
-        r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.cycle_lookups
-        r.Rmi_runtime.Distributed.stats.Rmi_stats.Metrics.bytes_sent)
-    Rmi_runtime.Config.all
+        config.Rmi.Config.name Jir.Interp.pp_value r.Rmi.Distributed.value
+        r.Rmi.Distributed.stats.Rmi.Metrics.reused_objs
+        r.Rmi.Distributed.stats.Rmi.Metrics.allocs
+        r.Rmi.Distributed.stats.Rmi.Metrics.cycle_lookups
+        r.Rmi.Distributed.stats.Rmi.Metrics.bytes_sent)
+    Rmi.Config.all

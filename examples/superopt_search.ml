@@ -14,8 +14,8 @@ let () =
   in
   Format.printf "target: %a@." Isa.pp_prog target;
   let r =
-    Rmi_apps.Superopt.run ~config:Rmi_runtime.Config.site_reuse_cycle
-      ~mode:Rmi_runtime.Fabric.Sync params
+    Rmi_apps.Superopt.run ~config:Rmi.Config.site_reuse_cycle
+      ~mode:Rmi.Fabric.Sync params
   in
   Format.printf "tested %d candidate sequences over RMI@."
     r.Rmi_apps.Superopt.candidates_tested;
@@ -28,5 +28,5 @@ let () =
   Format.printf
     "@.RMI statistics: %d remote, %d local rpcs; %d cycle lookups (the compiler \
      removed the rest); %d objects reused@."
-    s.Rmi_stats.Metrics.remote_rpcs s.Rmi_stats.Metrics.local_rpcs
-    s.Rmi_stats.Metrics.cycle_lookups s.Rmi_stats.Metrics.reused_objs
+    s.Rmi.Metrics.remote_rpcs s.Rmi.Metrics.local_rpcs
+    s.Rmi.Metrics.cycle_lookups s.Rmi.Metrics.reused_objs

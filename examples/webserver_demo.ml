@@ -13,14 +13,14 @@ let () =
   List.iter
     (fun config ->
       let r =
-        Rmi_apps.Webserver.run ~config ~mode:Rmi_runtime.Fabric.Parallel params
+        Rmi_apps.Webserver.run ~config ~mode:Rmi.Fabric.Parallel params
       in
       let s = r.Rmi_apps.Webserver.stats in
       Format.printf
         "%-22s %8.2f us/page   reused objs %6d   new MBytes %6.2f   cycle \
          lookups %6d@."
-        config.Rmi_runtime.Config.name r.Rmi_apps.Webserver.us_per_page
-        s.Rmi_stats.Metrics.reused_objs
-        (float_of_int s.Rmi_stats.Metrics.new_bytes /. 1048576.0)
-        s.Rmi_stats.Metrics.cycle_lookups)
-    Rmi_runtime.Config.all
+        config.Rmi.Config.name r.Rmi_apps.Webserver.us_per_page
+        s.Rmi.Metrics.reused_objs
+        (float_of_int s.Rmi.Metrics.new_bytes /. 1048576.0)
+        s.Rmi.Metrics.cycle_lookups)
+    Rmi.Config.all

@@ -67,29 +67,60 @@ let matrix_sum = function
         0.0 outer.Value.ra
   | _ -> failwith "array_bench: malformed matrix"
 
+let setup fabric total =
+  let callee = Rmi_runtime.Fabric.node fabric 1 in
+  Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
+      let s = matrix_sum args.(0) in
+      let rec add () =
+        let cur = Atomic.get total in
+        if not (Atomic.compare_and_set total cur (cur +. s)) then add ()
+      in
+      add ();
+      None);
+  (Rmi_runtime.Fabric.node fabric 0, Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+
 let run ~config ~mode params =
   let compiled = compiled () in
   let site = callsite () in
   let sum, wall, stats =
     App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
         let total = Atomic.make 0.0 in
-        let callee = Rmi_runtime.Fabric.node fabric 1 in
-        Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
-            let s = matrix_sum args.(0) in
-            let rec add () =
-              let cur = Atomic.get total in
-              if not (Atomic.compare_and_set total cur (cur +. s)) then add ()
-            in
-            add ();
-            None);
-        let caller = Rmi_runtime.Fabric.node fabric 0 in
-        let dest = Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0 in
+        let caller, dest = setup fabric total in
         let matrix = make_matrix params.n in
         for _ = 1 to params.repetitions do
           ignore
             (Node.call caller ~dest ~meth:(m_send ()) ~callsite:site ~has_ret:false
                [| matrix |])
         done;
+        Atomic.get total)
+  in
+  { wall_seconds = wall; stats; sum_received = sum }
+
+let run_pipelined ?(window = 16) ~config ~mode params =
+  if window < 1 then invalid_arg "array_bench: window must be >= 1";
+  let compiled = compiled () in
+  let site = callsite () in
+  let sum, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
+        let total = Atomic.make 0.0 in
+        let caller, dest = setup fabric total in
+        let matrix = make_matrix params.n in
+        (* issue [window] sends back-to-back, then settle the whole
+           window; with batching on, each burst coalesces into a couple
+           of envelopes instead of [window] *)
+        let rec go remaining =
+          if remaining > 0 then begin
+            let k = min window remaining in
+            let futures =
+              List.init k (fun _ ->
+                  Node.call_async caller ~dest ~meth:(m_send ())
+                    ~callsite:site ~has_ret:false [| matrix |])
+            in
+            ignore (Node.Future.all futures : Value.t option list);
+            go (remaining - k)
+          end
+        in
+        go params.repetitions;
         Atomic.get total)
   in
   { wall_seconds = wall; stats; sum_received = sum }

@@ -24,3 +24,15 @@ val run :
   mode:Rmi_runtime.Fabric.mode ->
   params ->
   result
+
+(** Same workload, but issued through {!Rmi_runtime.Node.call_async}:
+    [window] (default 16) sends go out back-to-back before the whole
+    window is awaited.  Combine with [Config.with_batching] to coalesce
+    each burst into a handful of wire envelopes.  The checksum is
+    identical to {!run}'s. *)
+val run_pipelined :
+  ?window:int ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

@@ -72,24 +72,52 @@ let rec list_length = function
   | Value.Obj o -> 1 + list_length o.fields.(0)
   | _ -> failwith "linked_list: malformed list"
 
+let setup fabric received =
+  let callee = Rmi_runtime.Fabric.node fabric 1 in
+  Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
+      ignore (Atomic.fetch_and_add received (list_length args.(0)));
+      None);
+  (Rmi_runtime.Fabric.node fabric 0, Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
+
 let run ~config ~mode params =
   let compiled = compiled () in
   let site = callsite () in
   let received, wall, stats =
     App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
         let received = Atomic.make 0 in
-        let callee = Rmi_runtime.Fabric.node fabric 1 in
-        Node.export callee ~obj:0 ~meth:(m_send ()) ~has_ret:false (fun args ->
-            ignore (Atomic.fetch_and_add received (list_length args.(0)));
-            None);
-        let caller = Rmi_runtime.Fabric.node fabric 0 in
-        let dest = Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0 in
+        let caller, dest = setup fabric received in
         let head = make_list params.elements in
         for _ = 1 to params.repetitions do
           ignore
             (Node.call caller ~dest ~meth:(m_send ()) ~callsite:site ~has_ret:false
                [| head |])
         done;
+        Atomic.get received)
+  in
+  { wall_seconds = wall; stats; cells_received = received }
+
+let run_pipelined ?(window = 16) ~config ~mode params =
+  if window < 1 then invalid_arg "linked_list: window must be >= 1";
+  let compiled = compiled () in
+  let site = callsite () in
+  let received, wall, stats =
+    App_common.run_timed compiled ~config ~mode ~n:2 (fun fabric ->
+        let received = Atomic.make 0 in
+        let caller, dest = setup fabric received in
+        let head = make_list params.elements in
+        let rec go remaining =
+          if remaining > 0 then begin
+            let k = min window remaining in
+            let futures =
+              List.init k (fun _ ->
+                  Node.call_async caller ~dest ~meth:(m_send ())
+                    ~callsite:site ~has_ret:false [| head |])
+            in
+            ignore (Node.Future.all futures : Value.t option list);
+            go (remaining - k)
+          end
+        in
+        go params.repetitions;
         Atomic.get received)
   in
   { wall_seconds = wall; stats; cells_received = received }

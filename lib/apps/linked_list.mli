@@ -27,3 +27,14 @@ val run :
   mode:Rmi_runtime.Fabric.mode ->
   params ->
   result
+
+(** Same workload through {!Rmi_runtime.Node.call_async}: [window]
+    (default 16) sends per burst, then the burst is awaited.  Combine
+    with [Config.with_batching] to coalesce bursts into single
+    envelopes.  The checksum is identical to {!run}'s. *)
+val run_pipelined :
+  ?window:int ->
+  config:Rmi_runtime.Config.t ->
+  mode:Rmi_runtime.Fabric.mode ->
+  params ->
+  result

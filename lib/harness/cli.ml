@@ -1,0 +1,118 @@
+open Cmdliner
+module Config = Rmi_runtime.Config
+module Fabric = Rmi_runtime.Fabric
+module Fault_sim = Rmi_net.Fault_sim
+
+let scale_conv = Arg.enum [ ("small", Experiment.Small); ("paper", Experiment.Paper) ]
+let mode_conv = Arg.enum [ ("sync", Fabric.Sync); ("parallel", Fabric.Parallel) ]
+
+let config_conv =
+  Arg.enum (List.map (fun (c : Config.t) -> (c.Config.name, c)) Config.all)
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv Experiment.Small
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Workload size: $(b,small) finishes in seconds, $(b,paper) uses the \
+           paper's sizes (1024 LU matrix, full search space, 100k requests).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Fabric.Sync
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Cluster execution: $(b,sync) single-threaded deterministic, \
+           $(b,parallel) one OCaml domain per machine (the paper's 2 CPUs).")
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Config.site_reuse_cycle
+    & info [ "config" ] ~docv:"CONFIG"
+        ~doc:"Optimization configuration (the paper's table rows).")
+
+let window_arg =
+  Arg.(
+    value
+    & opt int 16
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "Pipelining depth: how many asynchronous calls are issued \
+           back-to-back before the window is awaited.")
+
+let pipeline_arg =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "Issue the workload's RMIs through $(b,call_async) futures \
+           (windows of $(b,--window) calls) instead of one synchronous \
+           call at a time.")
+
+let batch_arg =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Coalesce small same-destination requests/replies into single \
+           wire envelopes (one modeled per-message latency per batch).")
+
+(* "--faults seed=N[,drop=F,dup=F,reorder=F,corrupt=F,delay=K]":
+   reliable transport over a seeded lossy network *)
+let faults_conv =
+  let parse s =
+    let profile = ref Fault_sim.default_lossy in
+    let seed = ref None in
+    try
+      String.split_on_char ',' s
+      |> List.iter (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> failwith kv
+             | Some i ->
+                 let k = String.sub kv 0 i in
+                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                 let f () = float_of_string v in
+                 let p = !profile in
+                 (match k with
+                 | "seed" -> seed := Some (int_of_string v)
+                 | "drop" -> profile := { p with Fault_sim.drop = f () }
+                 | "dup" -> profile := { p with Fault_sim.duplicate = f () }
+                 | "reorder" -> profile := { p with Fault_sim.reorder = f () }
+                 | "corrupt" -> profile := { p with Fault_sim.corrupt = f () }
+                 | "delay" ->
+                     profile := { p with Fault_sim.max_delay = int_of_string v }
+                 | _ -> failwith k));
+      match !seed with
+      | Some seed -> Ok (seed, !profile)
+      | None -> Error (`Msg "--faults needs seed=N")
+    with _ ->
+      Error
+        (`Msg (Printf.sprintf "bad --faults spec %S (want e.g. seed=42,drop=0.2)" s))
+  in
+  let print ppf ((seed, p) : int * Fault_sim.profile) =
+    Format.fprintf ppf "seed=%d,drop=%g,dup=%g,reorder=%g,corrupt=%g,delay=%d"
+      seed p.Fault_sim.drop p.Fault_sim.duplicate p.Fault_sim.reorder
+      p.Fault_sim.corrupt p.Fault_sim.max_delay
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Run over the reliable transport with a seeded fault schedule on \
+           every link, e.g. $(b,seed=42) or \
+           $(b,seed=7,drop=0.2,dup=0.1,reorder=0.1,corrupt=0.05,delay=3). \
+           The same seed replays the exact same schedule.  Omitted \
+           probabilities default to a moderate lossy profile.")
+
+let apply_faults ~machines config = function
+  | None -> (config, None)
+  | Some (seed, profile) ->
+      ( Config.with_reliable config,
+        Some (Fault_sim.create ~seed ~n:machines profile) )

@@ -1,0 +1,43 @@
+(** Shared Cmdliner vocabulary for the experiment binaries.
+
+    [bin/main.ml] (the $(b,rmi-experiments) driver) and
+    [bench/main.ml] accept the same workload knobs; the converters and
+    argument definitions live here so the two front ends cannot
+    drift. *)
+
+open Cmdliner
+
+(** [small]/[paper] (see {!Experiment.scale}). *)
+val scale_conv : Experiment.scale Arg.conv
+
+(** [sync]/[parallel] (see {!Rmi_runtime.Fabric.mode}). *)
+val mode_conv : Rmi_runtime.Fabric.mode Arg.conv
+
+(** One of the five paper configuration rows, by name. *)
+val config_conv : Rmi_runtime.Config.t Arg.conv
+
+val scale_arg : Experiment.scale Term.t
+val mode_arg : Rmi_runtime.Fabric.mode Term.t
+val config_arg : Rmi_runtime.Config.t Term.t
+
+(** [--window N]: pipelining depth, default 16. *)
+val window_arg : int Term.t
+
+(** [--pipeline]: issue RMIs as futures in windows. *)
+val pipeline_arg : bool Term.t
+
+(** [--batch]: coalesce small messages into batch envelopes. *)
+val batch_arg : bool Term.t
+
+(** Parses ["seed=N,drop=F,dup=F,reorder=F,corrupt=F,delay=K"]. *)
+val faults_conv : (int * Rmi_net.Fault_sim.profile) Arg.conv
+
+val faults_arg : (int * Rmi_net.Fault_sim.profile) option Term.t
+
+(** Fold a parsed [--faults] value into a configuration: switches the
+    transport to reliable and builds the seeded fault schedule. *)
+val apply_faults :
+  machines:int ->
+  Rmi_runtime.Config.t ->
+  (int * Rmi_net.Fault_sim.profile) option ->
+  Rmi_runtime.Config.t * Rmi_net.Fault_sim.t option

@@ -170,6 +170,125 @@ let table7 ?(scale = Small) ?(mode = Fabric.Sync) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* pipelining / batching comparison                                    *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline_row = {
+  variant : string;
+  p_stats : Metrics.snapshot;
+  p_modeled : float;
+  p_wall : float;
+  checksum : float;
+}
+
+type pipeline_report = { p_title : string; p_rows : pipeline_row list }
+
+let pipeline_row variant (wall, stats, checksum) =
+  {
+    variant;
+    p_stats = stats;
+    p_modeled = Costmodel.modeled_seconds model stats;
+    p_wall = wall;
+    checksum;
+  }
+
+(* the same N-RMI workload three ways: synchronous, pipelined futures,
+   pipelined futures over coalescing envelopes.  The checksum column
+   proves all three computed the same thing; msgs_sent x the cost
+   model's per-message latency is where batching pays. *)
+let pipeline_compare ?(scale = Small) ?(mode = Fabric.Sync) ?(window = 16) () =
+  let config = Config.site_reuse_cycle in
+  let batched = Config.with_batching config in
+  let array_report =
+    let params =
+      match scale with
+      | Small -> { Rmi_apps.Array_bench.n = 16; repetitions = 200 }
+      | Paper -> { Rmi_apps.Array_bench.n = 16; repetitions = 2000 }
+    in
+    let of_result (r : Rmi_apps.Array_bench.result) =
+      (r.wall_seconds, r.stats, r.sum_received)
+    in
+    {
+      p_title =
+        Printf.sprintf
+          "2D array transmission, %dx%d, %d repetitions, window %d"
+          params.n params.n params.repetitions window;
+      p_rows =
+        [
+          pipeline_row "sequential"
+            (of_result (Rmi_apps.Array_bench.run ~config ~mode params));
+          pipeline_row "pipelined"
+            (of_result
+               (Rmi_apps.Array_bench.run_pipelined ~window ~config ~mode params));
+          pipeline_row "pipelined + batch"
+            (of_result
+               (Rmi_apps.Array_bench.run_pipelined ~window ~config:batched
+                  ~mode params));
+        ];
+    }
+  in
+  let list_report =
+    let params =
+      match scale with
+      | Small -> { Rmi_apps.Linked_list.elements = 100; repetitions = 200 }
+      | Paper -> { Rmi_apps.Linked_list.elements = 100; repetitions = 2000 }
+    in
+    let of_result (r : Rmi_apps.Linked_list.result) =
+      (r.wall_seconds, r.stats, float_of_int r.cells_received)
+    in
+    {
+      p_title =
+        Printf.sprintf "LinkedList, %d elements, %d repetitions, window %d"
+          params.elements params.repetitions window;
+      p_rows =
+        [
+          pipeline_row "sequential"
+            (of_result (Rmi_apps.Linked_list.run ~config ~mode params));
+          pipeline_row "pipelined"
+            (of_result
+               (Rmi_apps.Linked_list.run_pipelined ~window ~config ~mode params));
+          pipeline_row "pipelined + batch"
+            (of_result
+               (Rmi_apps.Linked_list.run_pipelined ~window ~config:batched
+                  ~mode params));
+        ];
+    }
+  in
+  [ array_report; list_report ]
+
+let render_pipeline (r : pipeline_report) =
+  let headers =
+    [
+      "variant"; "msgs"; "batches"; "max inflight"; "bytes"; "model s";
+      "wall s"; "checksum";
+    ]
+  in
+  let base =
+    match r.p_rows with row :: _ -> Some row.checksum | [] -> None
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let ok =
+          match base with
+          | Some c -> if Float.equal c row.checksum then "" else "  MISMATCH"
+          | None -> ""
+        in
+        [
+          row.variant;
+          string_of_int row.p_stats.Metrics.msgs_sent;
+          string_of_int row.p_stats.Metrics.batches_sent;
+          string_of_int row.p_stats.Metrics.outstanding_hwm;
+          string_of_int row.p_stats.Metrics.bytes_sent;
+          Printf.sprintf "%.4f" row.p_modeled;
+          Printf.sprintf "%.4f" row.p_wall;
+          Printf.sprintf "%.0f%s" row.checksum ok;
+        ])
+      r.p_rows
+  in
+  r.p_title ^ "\n" ^ Rmi_stats.Ascii_table.render ~headers rows
+
+(* ------------------------------------------------------------------ *)
 (* rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 

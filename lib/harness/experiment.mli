@@ -49,6 +49,32 @@ val stats_table :
   string
 (** Rendered paper-vs-measured statistics table. *)
 
+(** One variant of the pipelining comparison: the same workload run
+    synchronously, through futures, or through futures + batching. *)
+type pipeline_row = {
+  variant : string;  (** "sequential" / "pipelined" / "pipelined + batch" *)
+  p_stats : Rmi_stats.Metrics.snapshot;
+  p_modeled : float;
+  p_wall : float;
+  checksum : float;  (** must be identical across the three variants *)
+}
+
+type pipeline_report = { p_title : string; p_rows : pipeline_row list }
+
+(** Run the two transmission microbenchmarks (Tables 1/2 workloads)
+    under [site + reuse + cycle] in all three issue disciplines.
+    [window] asynchronous calls are in flight per burst (default 16).
+    Batching shrinks [msgs_sent] — and with it the cost model's
+    per-message latency charges — while every checksum stays equal. *)
+val pipeline_compare :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?window:int ->
+  unit ->
+  pipeline_report list
+
+val render_pipeline : pipeline_report -> string
+
 (** Render a timing table (paper vs modeled vs wall). *)
 val render_timing : timing_table -> string
 

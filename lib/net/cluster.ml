@@ -34,6 +34,14 @@ type rel = {
   lock : Mutex.t;
 }
 
+(* per-(src,dest) coalescing buffers; one flush = one wire envelope =
+   one reliable seq/ack unit *)
+type batcher = {
+  max_bytes : int;  (* flush a link as soon as it buffers this much *)
+  bufs : (int * int, bytes list ref * int ref) Hashtbl.t;
+  bmutex : Mutex.t;
+}
+
 type t = {
   n : int;
   boxes : Mailbox.t array;
@@ -41,6 +49,11 @@ type t = {
   mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
   mutable sim : Fault_sim.t option;
   rel : rel option;
+  mutable batcher : batcher option;
+  (* messages unpacked from an already-received batch envelope, served
+     ahead of the mailbox *)
+  inbox : bytes Queue.t array;
+  imutex : Mutex.t array;
 }
 
 let create ?(transport = Raw) ~n metrics =
@@ -70,6 +83,9 @@ let create ?(transport = Raw) ~n metrics =
     fault = None;
     sim = None;
     rel;
+    batcher = None;
+    inbox = Array.init n (fun _ -> Queue.create ());
+    imutex = Array.init n (fun _ -> Mutex.create ());
   }
 
 let size t = t.n
@@ -103,6 +119,27 @@ let transmit t ~src ~dest frame =
   in
   List.iter (Mailbox.send t.boxes.(dest)) frames
 
+(* ship one wire frame (a single message or a batch envelope) through
+   the configured transport; all metrics accounting happens above *)
+let send_frame t ~src ~dest frame =
+  match t.rel with
+  | None -> transmit t ~src ~dest frame
+  | Some rel ->
+      Mutex.lock rel.lock;
+      let ltx = rel.tx.(src).(dest) in
+      let lseq = ltx.next_lseq in
+      ltx.next_lseq <- lseq + 1;
+      let envelope = Envelope.encode ~kind:Data ~src ~lseq ~payload:frame in
+      Hashtbl.replace ltx.unacked lseq
+        {
+          frame = envelope;
+          attempts = 1;
+          rto_now = rel.params.rto;
+          due = rel.tick + rel.params.rto;
+        };
+      Mutex.unlock rel.lock;
+      transmit t ~src ~dest envelope
+
 let send t ~src ~dest msg =
   check t src;
   check t dest;
@@ -111,27 +148,139 @@ let send t ~src ~dest msg =
      own counters *)
   Rmi_stats.Metrics.incr_msgs_sent t.metrics;
   Rmi_stats.Metrics.add_bytes_sent t.metrics (Bytes.length msg);
-  match t.rel with
-  | None -> transmit t ~src ~dest msg
-  | Some rel ->
-      Mutex.lock rel.lock;
-      let ltx = rel.tx.(src).(dest) in
-      let lseq = ltx.next_lseq in
-      ltx.next_lseq <- lseq + 1;
-      let frame = Envelope.encode ~kind:Data ~src ~lseq ~payload:msg in
-      Hashtbl.replace ltx.unacked lseq
-        {
-          frame;
-          attempts = 1;
-          rto_now = rel.params.rto;
-          due = rel.tick + rel.params.rto;
-        };
-      Mutex.unlock rel.lock;
-      transmit t ~src ~dest frame
+  Rmi_stats.Metrics.incr_unbatched t.metrics;
+  send_frame t ~src ~dest msg
 
 (* ------------------------------------------------------------------ *)
-(* receive path: unwrap envelopes, ack data, suppress duplicates       *)
+(* batching: coalesce small messages per destination link              *)
 (* ------------------------------------------------------------------ *)
+
+let default_batch_bytes = 4096
+
+let enable_batching ?(max_bytes = default_batch_bytes) t =
+  if max_bytes < 1 then invalid_arg "Cluster.enable_batching: max_bytes < 1";
+  t.batcher <-
+    Some { max_bytes; bufs = Hashtbl.create 16; bmutex = Mutex.create () }
+
+let batching_enabled t = t.batcher <> None
+
+(* one buffered group becomes one wire frame: a batch of [k] messages
+   pays a single per-message latency in the cost model (msgs_sent + 1)
+   while bytes_sent still counts every logical payload byte *)
+let flush_group t ~src ~dest msgs bytes =
+  let k = List.length msgs in
+  Rmi_stats.Metrics.incr_msgs_sent t.metrics;
+  Rmi_stats.Metrics.add_bytes_sent t.metrics bytes;
+  Rmi_stats.Metrics.record_batch t.metrics ~msgs:k;
+  let frame =
+    match msgs with
+    | [ m ] -> m
+    | _ -> Rmi_wire.Protocol.encode_batch msgs
+  in
+  send_frame t ~src ~dest frame;
+  (dest, k, bytes)
+
+let flush t ~src =
+  check t src;
+  match t.batcher with
+  | None -> []
+  | Some b ->
+      Mutex.lock b.bmutex;
+      let groups =
+        Hashtbl.fold
+          (fun (s, d) (msgs, bytes) acc ->
+            if s = src && !msgs <> [] then (d, List.rev !msgs, !bytes) :: acc
+            else acc)
+          b.bufs []
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      List.iter (fun (d, _, _) -> Hashtbl.remove b.bufs (src, d)) groups;
+      Mutex.unlock b.bmutex;
+      List.map (fun (dest, msgs, bytes) -> flush_group t ~src ~dest msgs bytes)
+        groups
+
+let disable_batching t =
+  (match t.batcher with
+  | None -> ()
+  | Some _ ->
+      for src = 0 to t.n - 1 do
+        ignore (flush t ~src)
+      done);
+  t.batcher <- None
+
+let send_buffered t ~src ~dest msg =
+  check t src;
+  check t dest;
+  match t.batcher with
+  | None ->
+      send t ~src ~dest msg;
+      []
+  | Some b ->
+      Mutex.lock b.bmutex;
+      let msgs, bytes =
+        match Hashtbl.find_opt b.bufs (src, dest) with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref [], ref 0) in
+            Hashtbl.replace b.bufs (src, dest) cell;
+            cell
+      in
+      msgs := msg :: !msgs;
+      bytes := !bytes + Bytes.length msg;
+      let over =
+        if !bytes >= b.max_bytes then begin
+          let group = (List.rev !msgs, !bytes) in
+          Hashtbl.remove b.bufs (src, dest);
+          Some group
+        end
+        else None
+      in
+      Mutex.unlock b.bmutex;
+      match over with
+      | None -> []
+      | Some (msgs, bytes) -> [ flush_group t ~src ~dest msgs bytes ]
+
+let buffered_anywhere t =
+  match t.batcher with
+  | None -> false
+  | Some b ->
+      Mutex.lock b.bmutex;
+      let any = Hashtbl.fold (fun _ (msgs, _) acc -> acc || !msgs <> []) b.bufs false in
+      Mutex.unlock b.bmutex;
+      any
+
+(* ------------------------------------------------------------------ *)
+(* receive path: unwrap envelopes, ack data, suppress duplicates,      *)
+(* split batch frames                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pop_inbox t ~self =
+  Mutex.lock t.imutex.(self);
+  let m =
+    if Queue.is_empty t.inbox.(self) then None
+    else Some (Queue.pop t.inbox.(self))
+  in
+  Mutex.unlock t.imutex.(self);
+  m
+
+(* [payload] just came off the wire for [self]: either a single
+   message, handed straight up, or a batch envelope whose first message
+   is returned and whose rest queue up ahead of the mailbox *)
+let unpack t ~self payload =
+  if not (Rmi_wire.Protocol.is_batch payload) then Some payload
+  else
+    match Rmi_wire.Protocol.decode_batch payload with
+    | None | Some [] ->
+        (* garbled batch on the raw transport: drop it whole, like any
+           other corrupt frame *)
+        None
+    | Some (first :: rest) ->
+        if rest <> [] then begin
+          Mutex.lock t.imutex.(self);
+          List.iter (fun m -> Queue.push m t.inbox.(self)) rest;
+          Mutex.unlock t.imutex.(self)
+        end;
+        Some first
 
 (* [Some payload] to hand to the upper layer, [None] when the frame was
    consumed here (ack, duplicate, or checksum failure) *)
@@ -164,39 +313,66 @@ let filter_frame t rel ~self raw =
 
 let try_recv t ~self =
   check t self;
-  match t.rel with
-  | None -> Mailbox.try_recv t.boxes.(self)
-  | Some rel ->
-      let rec go () =
-        match Mailbox.try_recv t.boxes.(self) with
-        | None -> None
-        | Some raw -> (
-            match filter_frame t rel ~self raw with
-            | Some payload -> Some payload
-            | None -> go ())
-      in
-      go ()
+  match pop_inbox t ~self with
+  | Some m -> Some m
+  | None -> (
+      match t.rel with
+      | None ->
+          let rec go () =
+            match Mailbox.try_recv t.boxes.(self) with
+            | None -> None
+            | Some raw -> (
+                match unpack t ~self raw with
+                | Some m -> Some m
+                | None -> go ())
+          in
+          go ()
+      | Some rel ->
+          let rec go () =
+            match Mailbox.try_recv t.boxes.(self) with
+            | None -> None
+            | Some raw -> (
+                match filter_frame t rel ~self raw with
+                | Some payload -> (
+                    match unpack t ~self payload with
+                    | Some m -> Some m
+                    | None -> go ())
+                | None -> go ())
+          in
+          go ())
 
 let recv_deadline t ~self ~seconds =
   check t self;
-  let deadline = Unix.gettimeofday () +. seconds in
-  let rec go () =
-    let remain = deadline -. Unix.gettimeofday () in
-    if remain <= 0.0 then None
-    else
-      match Mailbox.recv_deadline t.boxes.(self) ~seconds:remain with
-      | None -> None
-      | Some raw -> (
-          match t.rel with
-          | None -> Some raw
-          | Some rel -> (
-              match filter_frame t rel ~self raw with
-              | Some payload -> Some payload
-              | None -> go ()))
-  in
-  go ()
+  match pop_inbox t ~self with
+  | Some m -> Some m
+  | None ->
+      let deadline = Unix.gettimeofday () +. seconds in
+      let rec go () =
+        let remain = deadline -. Unix.gettimeofday () in
+        if remain <= 0.0 then None
+        else
+          match Mailbox.recv_deadline t.boxes.(self) ~seconds:remain with
+          | None -> None
+          | Some raw -> (
+              match t.rel with
+              | None -> (
+                  match unpack t ~self raw with
+                  | Some m -> Some m
+                  | None -> go ())
+              | Some rel -> (
+                  match filter_frame t rel ~self raw with
+                  | Some payload -> (
+                      match unpack t ~self payload with
+                      | Some m -> Some m
+                      | None -> go ())
+                  | None -> go ()))
+      in
+      go ()
 
-let pending_anywhere t = Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
+let pending_anywhere t =
+  Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
+  || Array.exists (fun q -> not (Queue.is_empty q)) t.inbox
+  || buffered_anywhere t
 
 (* ------------------------------------------------------------------ *)
 (* the retransmit clock                                                *)
@@ -257,20 +433,28 @@ let idle t ~self =
 
 let recv_blocking t ~self =
   check t self;
-  match t.rel with
-  | None -> Mailbox.recv_blocking t.boxes.(self)
-  | Some _ ->
-      (* chop the wait into slices so a blocked machine keeps driving
-         its own retransmit timers (a server whose reply was dropped
-         must resend it even though it is only receiving) *)
-      let rec go () =
-        match recv_deadline t ~self ~seconds:0.002 with
-        | Some payload -> payload
-        | None ->
-            ignore (idle t ~self);
-            go ()
-      in
-      go ()
+  match pop_inbox t ~self with
+  | Some m -> m
+  | None -> (
+      match t.rel with
+      | None ->
+          let rec go () =
+            let raw = Mailbox.recv_blocking t.boxes.(self) in
+            match unpack t ~self raw with Some m -> m | None -> go ()
+          in
+          go ()
+      | Some _ ->
+          (* chop the wait into slices so a blocked machine keeps driving
+             its own retransmit timers (a server whose reply was dropped
+             must resend it even though it is only receiving) *)
+          let rec go () =
+            match recv_deadline t ~self ~seconds:0.002 with
+            | Some payload -> payload
+            | None ->
+                ignore (idle t ~self);
+                go ()
+          in
+          go ())
 
 (* ------------------------------------------------------------------ *)
 (* fault injection                                                     *)

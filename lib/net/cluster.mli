@@ -61,6 +61,46 @@ val is_reliable : t -> bool
 (** [send t ~src ~dest msg]; self-sends are allowed (loopback). *)
 val send : t -> src:int -> dest:int -> bytes -> unit
 
+(** {1 Request batching}
+
+    With batching enabled, {!send_buffered} coalesces messages per
+    (src, dest) link; {!flush} ships each link's buffered group as one
+    wire frame (a {!Rmi_wire.Protocol} batch envelope when the group
+    has two or more messages).  One flushed group is one physical
+    frame: under [Reliable] it occupies a single envelope seq/ack unit,
+    so loss, duplication and retransmission treat the whole batch
+    atomically and at-most-once delivery still holds per logical
+    message.
+
+    Accounting: a flushed group counts {e one} [msgs_sent] and the sum
+    of its logical payload bytes — the cost model therefore charges one
+    per-message latency per batch.  Batch framing overhead is excluded
+    from [bytes_sent], mirroring how {!Envelope} overhead is excluded
+    on the reliable path. *)
+
+val default_batch_bytes : int
+
+(** Start coalescing [send_buffered] messages (default threshold
+    {!default_batch_bytes}).  A link auto-flushes as soon as it buffers
+    [max_bytes]. *)
+val enable_batching : ?max_bytes:int -> t -> unit
+
+(** Flush everything buffered, then stop coalescing. *)
+val disable_batching : t -> unit
+
+val batching_enabled : t -> bool
+
+(** [send_buffered t ~src ~dest msg] queues [msg] on the (src, dest)
+    batch buffer (or falls back to {!send} when batching is off).
+    Returns the links auto-flushed by the byte threshold as
+    [(dest, messages, bytes)] triples — usually empty. *)
+val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
+
+(** [flush t ~src] ships every non-empty batch buffer whose source is
+    [src]; returns one [(dest, messages, bytes)] triple per flushed
+    link, in ascending [dest] order. *)
+val flush : t -> src:int -> (int * int * int) list
+
 val try_recv : t -> self:int -> bytes option
 
 (** Blocks until a message for [self] arrives.  Under [Reliable] the
@@ -78,7 +118,9 @@ val recv_deadline : t -> self:int -> seconds:float -> bytes option
     recovery schedule replays exactly. *)
 val idle : t -> self:int -> idle_outcome
 
-(** Any message pending anywhere? (deadlock diagnostics) *)
+(** Any message pending anywhere — queued in a mailbox, unpacked from a
+    batch but not yet consumed, or buffered awaiting a flush?
+    (deadlock diagnostics) *)
 val pending_anywhere : t -> bool
 
 (** Install a seeded fault schedule on the physical layer (applies to

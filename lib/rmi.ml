@@ -1,0 +1,25 @@
+module Config = Rmi_runtime.Config
+module Remote_ref = Rmi_runtime.Remote_ref
+module Value = Rmi_serial.Value
+module Node = Rmi_runtime.Node
+module Future = Rmi_runtime.Node.Future
+module Fabric = Rmi_runtime.Fabric
+module Distributed = Rmi_runtime.Distributed
+module Trace = Rmi_runtime.Trace
+module Metrics = Rmi_stats.Metrics
+module Ascii_table = Rmi_stats.Ascii_table
+module Costmodel = Rmi_net.Costmodel
+module Fault_sim = Rmi_net.Fault_sim
+module Experiment = Rmi_harness.Experiment
+module Paper_data = Rmi_harness.Paper_data
+module Cli = Rmi_harness.Cli
+
+module Internals = struct
+  module Cluster = Rmi_net.Cluster
+  module Protocol = Rmi_wire.Protocol
+  module Msgbuf = Rmi_wire.Msgbuf
+  module Codec = Rmi_serial.Codec
+  module Introspect = Rmi_serial.Introspect
+  module Class_meta = Rmi_serial.Class_meta
+  module Plan = Rmi_core.Plan
+end

@@ -7,23 +7,24 @@ type t = {
   elide_cycle : bool;
   reuse : bool;
   transport : transport;
+  batching : bool;
 }
 
 let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
-    transport = Raw }
+    transport = Raw; batching = false }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
-    transport = Raw }
+    transport = Raw; batching = false }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
-    transport = Raw }
+    transport = Raw; batching = false }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
-    transport = Raw }
+    transport = Raw; batching = false }
 
 let site_reuse_cycle =
   {
@@ -32,9 +33,11 @@ let site_reuse_cycle =
     elide_cycle = true;
     reuse = true;
     transport = Raw;
+    batching = false;
   }
 
 let with_reliable t = { t with transport = Reliable }
+let with_batching t = { t with batching = true }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

@@ -24,6 +24,11 @@ type t = {
   elide_cycle : bool;  (** honor the cycle analysis verdict (Sec. 3.2) *)
   reuse : bool;  (** honor the escape analysis verdict (Sec. 3.3) *)
   transport : transport;
+  batching : bool;
+      (** coalesce small same-destination requests/replies into one
+          envelope (see {!Rmi_net.Cluster} batching); off for every
+          paper-table preset so the sequential accounting is
+          untouched *)
 }
 
 val class_ : t
@@ -37,6 +42,9 @@ val all : t list
 
 (** Same optimization row, but over the reliable transport. *)
 val with_reliable : t -> t
+
+(** Same optimization row, with request/reply batching enabled. *)
+val with_batching : t -> t
 
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ let create ?(mode = Sync) ?faults ~n ~meta ~config ~plans ~metrics () =
     | Config.Reliable -> Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params
   in
   let cluster = Rmi_net.Cluster.create ~transport ~n metrics in
+  if config.Config.batching then Rmi_net.Cluster.enable_batching cluster;
   Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
   let nodes =
     Array.init n (fun id -> Node.create cluster ~id ~meta ~config ~plans)

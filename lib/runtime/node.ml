@@ -40,7 +40,9 @@ type t = {
   handlers : (int * int, export_entry) Hashtbl.t;
   handlers_mutex : Mutex.t;  (* exports may come from other domains *)
   mutable seq : int;
-  stash : (int, Protocol.header * Msgbuf.reader) Hashtbl.t;
+  (* every in-flight asynchronous call, keyed on the request seq that
+     the reply header echoes back *)
+  outstanding : (int, pending) Hashtbl.t;
   arg_caches : (int, Value.t option array) Hashtbl.t;
   ret_caches : (int, Value.t) Hashtbl.t;
   compiled_plans : (int, compiled_plan) Hashtbl.t;
@@ -49,6 +51,21 @@ type t = {
   mutable shutdown : bool;
   mutable trace : Trace.t option;
 }
+
+and pending = {
+  pc_seq : int;
+  pc_callsite : int;
+  pc_dest : int;
+  pc_cp : compiled_plan;
+  pc_node : t;
+  pc_started : float;
+  mutable pc_state : pending_state;
+}
+
+and pending_state =
+  | Pending
+  | Resolved of Value.t option
+  | Failed of exn
 
 let create cluster ~id ~meta ~config ~plans =
   {
@@ -60,7 +77,7 @@ let create cluster ~id ~meta ~config ~plans =
     handlers = Hashtbl.create 16;
     handlers_mutex = Mutex.create ();
     seq = 0;
-    stash = Hashtbl.create 8;
+    outstanding = Hashtbl.create 8;
     arg_caches = Hashtbl.create 16;
     ret_caches = Hashtbl.create 16;
     compiled_plans = Hashtbl.create 16;
@@ -258,6 +275,75 @@ let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
   | Protocol.Request -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* sending: direct, or through the per-link batch buffers              *)
+(* ------------------------------------------------------------------ *)
+
+let send_msg t ~dest payload =
+  if Rmi_net.Cluster.batching_enabled t.cluster then
+    List.iter
+      (fun (d, msgs, bytes) ->
+        trace_event t (Trace.Batch_flush { machine = t.nid; dest = d; msgs; bytes }))
+      (Rmi_net.Cluster.send_buffered t.cluster ~src:t.nid ~dest payload)
+  else Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest payload
+
+(* ship whatever this machine has coalesced; a no-op when batching is
+   off or the buffers are empty *)
+let flush_self t =
+  if Rmi_net.Cluster.batching_enabled t.cluster then
+    List.iter
+      (fun (d, msgs, bytes) ->
+        trace_event t (Trace.Batch_flush { machine = t.nid; dest = d; msgs; bytes }))
+      (Rmi_net.Cluster.flush t.cluster ~src:t.nid)
+
+(* ------------------------------------------------------------------ *)
+(* the outstanding-request table                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_pending p = match p.pc_state with Pending -> true | _ -> false
+
+let resolve_future t (p : pending) state =
+  Hashtbl.remove t.outstanding p.pc_seq;
+  p.pc_state <- state;
+  trace_event t
+    (Trace.Future_resolved
+       { machine = t.nid; seq = p.pc_seq; callsite = p.pc_callsite;
+         failed = (match state with Failed _ -> true | _ -> false) });
+  match state with
+  | Failed _ -> ()
+  | _ ->
+      trace_event t
+        (Trace.Call_end
+           { machine = t.nid; callsite = p.pc_callsite;
+             elapsed_us = (Unix.gettimeofday () -. p.pc_started) *. 1e6 })
+
+(* a reply/ack/exn-reply landed: settle whichever future asked for it.
+   Replies can arrive in any order relative to the issue order — the
+   seq in the echoed header is the correlation key. *)
+let handle_reply t (hdr : Protocol.header) r =
+  match Hashtbl.find_opt t.outstanding hdr.Protocol.seq with
+  | None ->
+      (* no one is waiting: a duplicate suppressed late, or a reply to
+         an abandoned (timed-out) call; drop it *)
+      Log.debug (fun m ->
+          m "machine %d: dropping unexpected reply seq=%d" t.nid
+            hdr.Protocol.seq)
+  | Some p ->
+      let state =
+        match unmarshal_ret t p.pc_cp ~callsite:p.pc_callsite hdr r with
+        | v -> Resolved v
+        | exception e -> Failed e
+      in
+      resolve_future t p state
+
+(* fail every in-flight call matched by [sel]; their exceptions
+   re-raise at await time *)
+let fail_outstanding t sel mk_exn =
+  let victims =
+    Hashtbl.fold (fun _ p acc -> if sel p then p :: acc else acc) t.outstanding []
+  in
+  List.iter (fun p -> resolve_future t p (Failed (mk_exn p))) victims
+
+(* ------------------------------------------------------------------ *)
 (* serving                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -268,7 +354,7 @@ let serve_request t (hdr : Protocol.header) r =
       let w = Msgbuf.create_writer () in
       Protocol.write_header w { hdr with Protocol.kind = Protocol.Exn_reply };
       Msgbuf.write_string w msg;
-      Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:hdr.src (Msgbuf.contents w)
+      send_msg t ~dest:hdr.src (Msgbuf.contents w)
     in
     match find_handler t (hdr.target_obj, hdr.method_id) with
     | None ->
@@ -305,7 +391,7 @@ let serve_request t (hdr : Protocol.header) r =
              instead of taking the serving machine down *)
           exn_reply ("malformed request: " ^ msg)
     in
-    Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:hdr.src (Msgbuf.contents reply)
+    send_msg t ~dest:hdr.src (Msgbuf.contents reply)
   end
 
 let dispatch t msg k =
@@ -326,25 +412,31 @@ let dispatch t msg k =
           k `Served
       | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply -> k (`Reply (hdr, r)))
 
+let consume t msg =
+  dispatch t msg (function
+    | `Served -> ()
+    | `Reply (hdr, r) -> handle_reply t hdr r)
+
 let serve_pending t =
   let rec go served =
     match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
     | None -> served
     | Some msg ->
-        dispatch t msg (function
-          | `Served -> ()
-          | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r));
+        consume t msg;
         go true
   in
-  go false
+  let served = go false in
+  (* replies produced above may be sitting in this machine's batch
+     buffers: ship them so the callers can make progress *)
+  flush_self t;
+  served
 
 let serve_loop t =
   t.shutdown <- false;
   while not t.shutdown do
     let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
-    dispatch t msg (function
-      | `Served -> ()
-      | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r))
+    consume t msg;
+    flush_self t
   done
 
 let send_shutdown t ~dest =
@@ -359,32 +451,36 @@ let send_shutdown t ~dest =
       callsite = -1;
       nargs = 0;
     };
-  Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest (Msgbuf.contents w)
+  (* through the batch buffer so it cannot overtake coalesced traffic *)
+  send_msg t ~dest (Msgbuf.contents w);
+  flush_self t
 
-(* Await a reply for [seq], serving interleaved requests meanwhile —
+(* ------------------------------------------------------------------ *)
+(* the progress engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Await the settlement of [p], serving interleaved requests meanwhile —
    the paper's GM-style progress while a data request is outstanding.
    In synchronous mode the pump runs the other machines directly and a
    quiescent cluster is an immediate deadlock; in parallel mode we
    block on the mailbox until the reply (or a nested request) lands. *)
-let await_reply t seq =
+let await_pending (p : pending) =
+  let t = p.pc_node in
   (* consecutive idle rounds in which nothing at all was in flight;
      only meaningful without a pump, where other domains may simply be
      busy executing a handler *)
   let dead_rounds = ref 0 in
-  let stash_or_serve msg =
-    dispatch t msg (function
-      | `Served -> ()
-      | `Reply (hdr, r) -> Hashtbl.replace t.stash hdr.Protocol.seq (hdr, r))
-  in
   let rec loop () =
-    match Hashtbl.find_opt t.stash seq with
-    | Some (hdr, r) ->
-        Hashtbl.remove t.stash seq;
-        (hdr, r)
-    | None -> (
+    match p.pc_state with
+    | Resolved v -> v
+    | Failed e -> raise e
+    | Pending -> (
+        (* anything we coalesced — including p's own request — must be
+           on the wire before we idle-wait for the answer *)
+        flush_self t;
         match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
         | Some msg ->
-            stash_or_serve msg;
+            consume t msg;
             loop ()
         | None ->
             if t.has_pump then
@@ -400,28 +496,41 @@ let await_reply t seq =
                   ~seconds:0.002
               with
               | Some msg ->
-                  stash_or_serve msg;
+                  consume t msg;
                   loop ()
               | None -> drive_transport ~quiescent:false
             else begin
               let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
-              stash_or_serve msg;
+              consume t msg;
               loop ()
             end)
   and drive_transport ~quiescent =
     let timed_out dests detail =
       trace_event t (Trace.Timeout { machine = t.nid; dests });
-      raise
-        (Rpc_timeout
-           (Printf.sprintf "machine %d: no reply for seq %d: %s" t.nid seq
-              detail))
+      (* the reply can no longer arrive for ANY call routed at those
+         destinations (or any call at all when nothing is in flight):
+         fail them all so each awaiter sees its own Rpc_timeout *)
+      let sel =
+        match dests with
+        | [] -> fun _ -> true
+        | ds -> fun q -> List.mem q.pc_dest ds
+      in
+      fail_outstanding t sel (fun q ->
+          Rpc_timeout
+            (Printf.sprintf "machine %d: no reply for seq %d: %s" t.nid
+               q.pc_seq detail));
+      (* p itself may be unaffected (different destination): keep
+         waiting for its reply *)
+      loop ()
     in
     match Rmi_net.Cluster.idle t.cluster ~self:t.nid with
     | Rmi_net.Cluster.Raw_transport ->
-        if quiescent then
-          raise
-            (Deadlock
-               (Printf.sprintf "machine %d: no reply for seq %d and the                                 cluster is quiescent" t.nid seq))
+        if quiescent then begin
+          fail_outstanding t (fun _ -> true) (fun q ->
+              Deadlock
+                (Printf.sprintf "machine %d: no reply for seq %d and the                                 cluster is quiescent" t.nid q.pc_seq));
+          loop ()
+        end
         else loop ()
     | Rmi_net.Cluster.Retransmitted n ->
         dead_rounds := 0;
@@ -447,19 +556,36 @@ let await_reply t seq =
   in
   loop ()
 
+(* nonblocking settlement check: drain the mailbox (and, in synchronous
+   mode, give the rest of the cluster one pump) without ever idling *)
+let peek_pending (p : pending) =
+  let t = p.pc_node in
+  (if is_pending p then begin
+     flush_self t;
+     let rec drain () =
+       match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+       | Some msg ->
+           consume t msg;
+           drain ()
+       | None -> ()
+     in
+     drain ();
+     if is_pending p && t.has_pump then begin
+       ignore (t.pump () : bool);
+       drain ()
+     end
+   end);
+  match p.pc_state with
+  | Pending -> None
+  | Resolved v -> Some v
+  | Failed e -> raise e
+
 (* ------------------------------------------------------------------ *)
 (* calling                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let call t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
-  let call_started = Unix.gettimeofday () in
-  let finish result =
-    trace_event t
-      (Trace.Call_end
-         { machine = t.nid; callsite;
-           elapsed_us = (Unix.gettimeofday () -. call_started) *. 1e6 });
-    result
-  in
+let call_async t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
+  let started = Unix.gettimeofday () in
   trace_event t
     (Trace.Call_start
        { machine = t.nid; dest = dest.Remote_ref.machine; meth; callsite;
@@ -487,33 +613,68 @@ let call t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
       nargs;
     }
   in
+  let p =
+    {
+      pc_seq = t.seq;
+      pc_callsite = callsite;
+      pc_dest = dest.Remote_ref.machine;
+      pc_cp = cp;
+      pc_node = t;
+      pc_started = started;
+      pc_state = Pending;
+    }
+  in
+  trace_event t
+    (Trace.Future_created
+       { machine = t.nid; seq = p.pc_seq; callsite;
+         dest = dest.Remote_ref.machine });
   if dest.Remote_ref.machine = t.nid then begin
-    (* same machine: clone through the serializer, skip the wire *)
+    (* same machine: clone through the serializer, skip the wire; runs
+       eagerly, with any exception captured for the await *)
     Metrics.incr_local_rpcs (metrics t);
-    let w = marshal_args t cp header args in
-    let r = Msgbuf.reader_of_writer w in
-    let (_ : Protocol.header) = Protocol.read_header r in
-    let entry =
-      match find_handler t (dest.Remote_ref.obj, meth) with
-      | Some e -> e
-      | None ->
-          raise
-            (No_such_method
-               (Printf.sprintf "machine %d has no (obj %d, method %d)" t.nid
-                  dest.Remote_ref.obj meth))
+    let state =
+      match
+        let w = marshal_args t cp header args in
+        let r = Msgbuf.reader_of_writer w in
+        let (_ : Protocol.header) = Protocol.read_header r in
+        let entry =
+          match find_handler t (dest.Remote_ref.obj, meth) with
+          | Some e -> e
+          | None ->
+              raise
+                (No_such_method
+                   (Printf.sprintf "machine %d has no (obj %d, method %d)"
+                      t.nid dest.Remote_ref.obj meth))
+        in
+        let call_args = unmarshal_args t cp ~callsite r in
+        let ret = entry.fn call_args in
+        let wr = marshal_ret t cp header ret in
+        let rr = Msgbuf.reader_of_writer wr in
+        let rhdr = Protocol.read_header rr in
+        unmarshal_ret t cp ~callsite rhdr rr
+      with
+      | v -> Resolved v
+      | exception e -> Failed e
     in
-    let call_args = unmarshal_args t cp ~callsite r in
-    let ret = entry.fn call_args in
-    let wr = marshal_ret t cp header ret in
-    let rr = Msgbuf.reader_of_writer wr in
-    let rhdr = Protocol.read_header rr in
-    finish (unmarshal_ret t cp ~callsite rhdr rr)
+    resolve_future t p state;
+    p
   end
   else begin
     Metrics.incr_remote_rpcs (metrics t);
     let w = marshal_args t cp header args in
-    Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest:dest.Remote_ref.machine
-      (Msgbuf.contents w);
-    let rhdr, r = await_reply t t.seq in
-    finish (unmarshal_ret t cp ~callsite rhdr r)
+    Hashtbl.replace t.outstanding p.pc_seq p;
+    Metrics.record_outstanding (metrics t) (Hashtbl.length t.outstanding);
+    send_msg t ~dest:dest.Remote_ref.machine (Msgbuf.contents w);
+    p
   end
+
+module Future = struct
+  type nonrec t = pending
+
+  let await = await_pending
+  let peek = peek_pending
+  let all ps = List.map await_pending ps
+end
+
+let call t ~dest ~meth ~callsite ~has_ret args =
+  await_pending (call_async t ~dest ~meth ~callsite ~has_ret args)

@@ -53,7 +53,52 @@ val set_pump : t -> (unit -> bool) -> unit
     every machine. *)
 val export : t -> obj:int -> meth:int -> has_ret:bool -> handler -> unit
 
-(** [call t ~dest ~meth ~callsite ~has_ret args].
+(** A promise for the result of one asynchronous call, keyed on the
+    request's protocol sequence number (replies echo it back).  All
+    failures — [Remote_exception] from the handler, [Rpc_timeout] /
+    [Deadlock] from the transport, [No_such_method] on a local call —
+    are captured in the future and re-raised when it is awaited, not
+    when the call is issued. *)
+module Future : sig
+  type t
+
+  (** Block until the future settles, serving interleaved requests and
+      driving the transport meanwhile (the same progress engine a
+      synchronous call polls).  Returns the unmarshaled result.
+      @raise Remote_exception when the remote handler raised
+      @raise Deadlock when no progress is possible (raw transport)
+      @raise Rpc_timeout when the reliable transport gives up *)
+  val await : t -> Rmi_serial.Value.t option
+
+  (** Nonblocking: drain whatever has already arrived (plus one pump in
+      synchronous mode) and report [Some result] if the future settled,
+      [None] if it is still in flight.  Raises like {!await} when the
+      future settled with a failure. *)
+  val peek : t -> Rmi_serial.Value.t option option
+
+  (** [await] each future, returning the results in the order the list
+      was given (replies may arrive in any order). *)
+  val all : t list -> Rmi_serial.Value.t option list
+end
+
+(** [call_async t ~dest ~meth ~callsite ~has_ret args] ships the
+    request and returns immediately with a {!Future.t}; an unbounded
+    number of calls may be in flight per node.  With batching enabled
+    (see {!Config.with_batching}) the request is coalesced into the
+    per-destination batch buffer and goes out on the next flush point —
+    an explicit await, a serve cycle, or the byte threshold.  Local
+    calls execute eagerly; their outcome still surfaces at await. *)
+val call_async :
+  t ->
+  dest:Remote_ref.t ->
+  meth:int ->
+  callsite:int ->
+  has_ret:bool ->
+  Rmi_serial.Value.t array ->
+  Future.t
+
+(** [call t ~dest ~meth ~callsite ~has_ret args] is
+    [call_async ... |> Future.await].
     @raise Remote_exception when the remote handler raised
     @raise Deadlock when no progress is possible (raw transport)
     @raise Rpc_timeout when the reliable transport gives up on the call *)

@@ -4,6 +4,9 @@ type event =
   | Served of { machine : int; src : int; meth : int; callsite : int }
   | Retry of { machine : int; frames : int }
   | Timeout of { machine : int; dests : int list }
+  | Future_created of { machine : int; seq : int; callsite : int; dest : int }
+  | Future_resolved of { machine : int; seq : int; callsite : int; failed : bool }
+  | Batch_flush of { machine : int; dest : int; msgs : int; bytes : int }
 
 type entry = { seq : int; at_us : float; event : event }
 
@@ -58,6 +61,16 @@ let pp_event ppf = function
   | Timeout { machine; dests } ->
       Format.fprintf ppf "m%d timed out waiting on %s" machine
         (String.concat "," (List.map (Printf.sprintf "m%d") dests))
+  | Future_created { machine; seq; callsite; dest } ->
+      Format.fprintf ppf "m%d future seq=%d site=%d -> m%d" machine seq
+        callsite dest
+  | Future_resolved { machine; seq; callsite; failed } ->
+      Format.fprintf ppf "m%d future seq=%d site=%d %s" machine seq callsite
+        (if failed then "failed" else "resolved")
+  | Batch_flush { machine; dest; msgs; bytes } ->
+      Format.fprintf ppf "m%d flushed %d msg%s (%d B) -> m%d" machine msgs
+        (if msgs = 1 then "" else "s")
+        bytes dest
 
 let render ?(limit = 200) t =
   let buf = Buffer.create 512 in
@@ -92,7 +105,8 @@ let summary t =
           total := !total +. elapsed_us;
           if elapsed_us < !mn then mn := elapsed_us;
           if elapsed_us > !mx then mx := elapsed_us
-      | Call_start _ | Served _ | Retry _ | Timeout _ -> ())
+      | Call_start _ | Served _ | Retry _ | Timeout _ | Future_created _
+      | Future_resolved _ | Batch_flush _ -> ())
     (entries t);
   let rows =
     Hashtbl.fold

@@ -20,6 +20,15 @@ type event =
   | Timeout of { machine : int; dests : int list }
       (** a frame to each of [dests] exhausted its retransmit budget;
           the awaited call fails with {!Node.Rpc_timeout} *)
+  | Future_created of { machine : int; seq : int; callsite : int; dest : int }
+      (** an asynchronous call was issued; [seq] correlates with its
+          [Future_resolved] event *)
+  | Future_resolved of { machine : int; seq : int; callsite : int; failed : bool }
+      (** the reply for [seq] arrived ([failed = false]) or the call
+          captured an exception to re-raise at await time *)
+  | Batch_flush of { machine : int; dest : int; msgs : int; bytes : int }
+      (** [machine] shipped [msgs] coalesced messages ([bytes] logical
+          payload bytes) to [dest] as one envelope *)
 
 type entry = {
   seq : int;  (** global order of recording *)

@@ -1,3 +1,23 @@
+(* batch-size histogram buckets: sizes 1,2,3,4,5-8,9-16,17-32,33+ *)
+let hist_buckets = 8
+
+let hist_bucket size =
+  if size <= 4 then size - 1
+  else if size <= 8 then 4
+  else if size <= 16 then 5
+  else if size <= 32 then 6
+  else 7
+
+let hist_bucket_label = function
+  | 0 -> "1"
+  | 1 -> "2"
+  | 2 -> "3"
+  | 3 -> "4"
+  | 4 -> "5-8"
+  | 5 -> "9-16"
+  | 6 -> "17-32"
+  | _ -> "33+"
+
 type t = {
   remote_rpcs : int Atomic.t;
   local_rpcs : int Atomic.t;
@@ -13,6 +33,11 @@ type t = {
   timeouts : int Atomic.t;
   dup_drops : int Atomic.t;
   acks_sent : int Atomic.t;
+  batches_sent : int Atomic.t;
+  batched_msgs : int Atomic.t;
+  unbatched_msgs : int Atomic.t;
+  outstanding_hwm : int Atomic.t;
+  batch_hist : int Atomic.t array;
 }
 
 type snapshot = {
@@ -30,6 +55,11 @@ type snapshot = {
   timeouts : int;
   dup_drops : int;
   acks_sent : int;
+  batches_sent : int;
+  batched_msgs : int;
+  unbatched_msgs : int;
+  outstanding_hwm : int;
+  batch_hist : int array;
 }
 
 let create () : t =
@@ -48,6 +78,11 @@ let create () : t =
     timeouts = Atomic.make 0;
     dup_drops = Atomic.make 0;
     acks_sent = Atomic.make 0;
+    batches_sent = Atomic.make 0;
+    batched_msgs = Atomic.make 0;
+    unbatched_msgs = Atomic.make 0;
+    outstanding_hwm = Atomic.make 0;
+    batch_hist = Array.init hist_buckets (fun _ -> Atomic.make 0);
   }
 
 let reset (t : t) =
@@ -64,7 +99,12 @@ let reset (t : t) =
   Atomic.set t.retries 0;
   Atomic.set t.timeouts 0;
   Atomic.set t.dup_drops 0;
-  Atomic.set t.acks_sent 0
+  Atomic.set t.acks_sent 0;
+  Atomic.set t.batches_sent 0;
+  Atomic.set t.batched_msgs 0;
+  Atomic.set t.unbatched_msgs 0;
+  Atomic.set t.outstanding_hwm 0;
+  Array.iter (fun a -> Atomic.set a 0) t.batch_hist
 
 let add a n = ignore (Atomic.fetch_and_add a n)
 
@@ -83,6 +123,27 @@ let incr_timeouts (t : t) = add t.timeouts 1
 let incr_dup_drops (t : t) = add t.dup_drops 1
 let incr_acks_sent (t : t) = add t.acks_sent 1
 
+let record_batch (t : t) ~msgs =
+  if msgs >= 1 then begin
+    add t.batch_hist.(hist_bucket msgs) 1;
+    if msgs = 1 then add t.unbatched_msgs 1
+    else begin
+      add t.batches_sent 1;
+      add t.batched_msgs msgs
+    end
+  end
+
+let incr_unbatched (t : t) = add t.unbatched_msgs 1
+
+let record_outstanding (t : t) depth =
+  (* monotone max, CAS loop so concurrent domains never lose a peak *)
+  let rec go () =
+    let cur = Atomic.get t.outstanding_hwm in
+    if depth > cur && not (Atomic.compare_and_set t.outstanding_hwm cur depth)
+    then go ()
+  in
+  go ()
+
 let snapshot (t : t) =
   {
     remote_rpcs = Atomic.get t.remote_rpcs;
@@ -99,6 +160,11 @@ let snapshot (t : t) =
     timeouts = Atomic.get t.timeouts;
     dup_drops = Atomic.get t.dup_drops;
     acks_sent = Atomic.get t.acks_sent;
+    batches_sent = Atomic.get t.batches_sent;
+    batched_msgs = Atomic.get t.batched_msgs;
+    unbatched_msgs = Atomic.get t.unbatched_msgs;
+    outstanding_hwm = Atomic.get t.outstanding_hwm;
+    batch_hist = Array.map Atomic.get t.batch_hist;
   }
 
 let zero =
@@ -117,6 +183,11 @@ let zero =
     timeouts = 0;
     dup_drops = 0;
     acks_sent = 0;
+    batches_sent = 0;
+    batched_msgs = 0;
+    unbatched_msgs = 0;
+    outstanding_hwm = 0;
+    batch_hist = Array.make hist_buckets 0;
   }
 
 let map2 f a b =
@@ -135,16 +206,34 @@ let map2 f a b =
     timeouts = f a.timeouts b.timeouts;
     dup_drops = f a.dup_drops b.dup_drops;
     acks_sent = f a.acks_sent b.acks_sent;
+    batches_sent = f a.batches_sent b.batches_sent;
+    batched_msgs = f a.batched_msgs b.batched_msgs;
+    unbatched_msgs = f a.unbatched_msgs b.unbatched_msgs;
+    outstanding_hwm = f a.outstanding_hwm b.outstanding_hwm;
+    batch_hist = Array.map2 f a.batch_hist b.batch_hist;
   }
 
 let diff later earlier = map2 ( - ) later earlier
 let merge a b = map2 ( + ) a b
 
+let pp_batch_hist ppf hist =
+  let any = Array.exists (fun c -> c > 0) hist in
+  if any then begin
+    Format.fprintf ppf "@ batch_hist=[";
+    Array.iteri
+      (fun i c ->
+        if c > 0 then Format.fprintf ppf " %s:%d" (hist_bucket_label i) c)
+      hist;
+    Format.fprintf ppf " ]"
+  end
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
-     allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@]"
+     allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
-    s.timeouts s.dup_drops s.acks_sent
+    s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
+    s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist

@@ -24,7 +24,22 @@ type snapshot = {
   timeouts : int;         (** frames abandoned after exhausting retransmits *)
   dup_drops : int;        (** duplicate frames suppressed by at-most-once dedup *)
   acks_sent : int;        (** link-level acknowledgements sent *)
+  batches_sent : int;     (** envelopes that coalesced >= 2 logical messages *)
+  batched_msgs : int;     (** logical messages that travelled inside a batch *)
+  unbatched_msgs : int;   (** logical messages that travelled alone *)
+  outstanding_hwm : int;  (** pipelining high-water mark: most async calls
+                              simultaneously awaiting replies on one node *)
+  batch_hist : int array; (** flush-size histogram; see {!hist_bucket_label} *)
 }
+
+(** Number of batch-size histogram buckets ([batch_hist] length). *)
+val hist_buckets : int
+
+(** Bucket index a flush of [size] messages is counted under. *)
+val hist_bucket : int -> int
+
+(** Human-readable size range of a bucket, e.g. ["5-8"]. *)
+val hist_bucket_label : int -> string
 
 val create : unit -> t
 
@@ -52,6 +67,23 @@ val incr_retries : t -> unit
 val incr_timeouts : t -> unit
 val incr_dup_drops : t -> unit
 val incr_acks_sent : t -> unit
+
+(** Batching and pipelining counters.  Like the reliability counters,
+    these never touch [msgs_sent]/[bytes_sent]: a batch envelope counts
+    as one message whose bytes are the sum of its logical payloads, so
+    unbatched runs report exactly the paper-table traffic. *)
+
+(** [record_batch t ~msgs] accounts one flushed envelope that carried
+    [msgs] logical messages: updates the histogram and either
+    [unbatched_msgs] (singleton) or [batches_sent]/[batched_msgs]. *)
+val record_batch : t -> msgs:int -> unit
+
+(** One logical message sent outside the batching path. *)
+val incr_unbatched : t -> unit
+
+(** [record_outstanding t depth] raises the outstanding-call
+    high-water mark to [depth] if it is a new maximum. *)
+val record_outstanding : t -> int -> unit
 
 val snapshot : t -> snapshot
 

@@ -54,3 +54,37 @@ let header_size h =
   let w = Msgbuf.create_writer ~initial_capacity:32 () in
   write_header w h;
   Msgbuf.length w
+
+(* ------------------------------------------------------------------ *)
+(* batch frames                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* the batch tag occupies the code point just above the header kinds,
+   so the first byte of any frame says whether it is a single message
+   (0-3) or a coalesced envelope (4) *)
+let batch_code = 4
+
+let is_batch frame = Bytes.length frame > 0 && Char.code (Bytes.get frame 0) = batch_code
+
+let encode_batch msgs =
+  let total = List.fold_left (fun acc m -> acc + Bytes.length m) 0 msgs in
+  let w = Msgbuf.create_writer ~initial_capacity:(total + 16) () in
+  Msgbuf.write_u8 w batch_code;
+  Msgbuf.write_uvarint w (List.length msgs);
+  List.iter (fun m -> Msgbuf.write_string w (Bytes.to_string m)) msgs;
+  Msgbuf.contents w
+
+let decode_batch frame =
+  match
+    let r = Msgbuf.reader_of_bytes frame in
+    if Msgbuf.read_u8 r <> batch_code then None
+    else
+      let n = Msgbuf.read_uvarint r in
+      let rec go acc k =
+        if k = 0 then Some (List.rev acc)
+        else go (Bytes.of_string (Msgbuf.read_string r) :: acc) (k - 1)
+      in
+      go [] n
+  with
+  | exception Msgbuf.Underflow _ -> None
+  | v -> v

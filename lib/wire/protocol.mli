@@ -33,3 +33,24 @@ val pp_header : Format.formatter -> header -> unit
 
 (** Size in bytes of an encoded header (varint-dependent). *)
 val header_size : header -> int
+
+(** {1 Batch frames}
+
+    The transport may coalesce several complete messages (header +
+    payload each) bound for the same destination into one {e batch
+    frame}, so the interconnect charges a single per-message latency
+    for the whole group.  A batch frame is distinguished from a single
+    message by its first byte: header kinds encode as 0-3, a batch as
+    4, so [is_batch] decides with one byte of lookahead. *)
+
+(** [true] iff the frame is a coalesced envelope. *)
+val is_batch : bytes -> bool
+
+(** [encode_batch msgs] frames the messages (each a complete
+    header+payload encoding) as one envelope.  [msgs] must be
+    non-empty. *)
+val encode_batch : bytes list -> bytes
+
+(** Inverse of {!encode_batch}; [None] when the frame is not a batch or
+    is truncated. *)
+val decode_batch : bytes -> bytes list option

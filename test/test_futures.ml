@@ -1,0 +1,283 @@
+(* Asynchronous RMI: futures, pipelining and request batching.
+
+   Everything here goes through the Rmi facade — the same surface
+   applications use.  The properties: pipelined (and batched) issue
+   returns exactly the sequential results in issue order, every remote
+   body executes exactly once per logical call (also over lossy links),
+   failures surface at await time, and batching pays fewer cost-model
+   per-message latencies without touching the byte accounting. *)
+
+module Config = Rmi.Config
+module Fabric = Rmi.Fabric
+module Node = Rmi.Node
+module Future = Rmi.Future
+module Value = Rmi.Value
+module Metrics = Rmi.Metrics
+
+let meta =
+  Rmi.Internals.Class_meta.make [ ("Box", [ ("v", Jir.Types.Tint) ]) ]
+
+let m_double = 1
+let m_boom = 2
+let m_nested = 3
+let m_echo = 4
+
+let box v =
+  let b = Value.new_obj ~cls:0 ~nfields:1 in
+  b.fields.(0) <- Value.Int v;
+  Value.Obj b
+
+let unbox = function
+  | Some (Value.Obj o) -> (
+      match o.Value.fields.(0) with
+      | Value.Int v -> v
+      | _ -> Alcotest.fail "bad box field")
+  | _ -> Alcotest.fail "no boxed reply"
+
+(* a 2-machine fabric; machine 1 exports "2v+1" and records how many
+   times each logical id executed *)
+let make_pair ?faults ~config () =
+  let metrics = Metrics.create () in
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ~n:2 ~meta ~config
+      ~plans:(Hashtbl.create 4) ~metrics ?faults ()
+  in
+  let execs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_double ~has_ret:true
+    (fun args ->
+      match args.(0) with
+      | Value.Obj o -> (
+          match o.Value.fields.(0) with
+          | Value.Int v ->
+              Hashtbl.replace execs v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt execs v));
+              Some (box ((2 * v) + 1))
+          | _ -> failwith "bad box")
+      | _ -> failwith "bad arg");
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_boom ~has_ret:true
+    (fun _ -> failwith "kaboom");
+  (metrics, fabric, execs)
+
+let dest = Rmi.Remote_ref.make ~machine:1 ~obj:0
+
+let issue caller id =
+  Node.call_async caller ~dest ~meth:m_double ~callsite:1 ~has_ret:true
+    [| box id |]
+
+(* issue [ids] in windows of [window] async calls, await each window *)
+let pipelined_results ~window caller ids =
+  let rec go acc = function
+    | [] -> List.concat (List.rev acc)
+    | ids ->
+        let rec split k = function
+          | x :: rest when k > 0 ->
+              let chunk, tail = split (k - 1) rest in
+              (x :: chunk, tail)
+          | rest -> ([], rest)
+        in
+        let chunk, rest = split window ids in
+        let futures = List.map (issue caller) chunk in
+        go (List.map unbox (Future.all futures) :: acc) rest
+  in
+  go [] ids
+
+let ids = List.init 20 (fun i -> i + 1)
+let expected = List.map (fun v -> (2 * v) + 1) ids
+
+let exactly_once execs ids =
+  List.for_all (fun id -> Hashtbl.find_opt execs id = Some 1) ids
+
+(* ------------------------------------------------------------------ *)
+(* deterministic cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pipelined_matches_sequential_all_configs () =
+  List.iter
+    (fun base ->
+      List.iter
+        (fun config ->
+          let _, fabric, execs = make_pair ~config () in
+          let results = pipelined_results ~window:7 (Fabric.node fabric 0) ids in
+          Alcotest.(check (list int))
+            (config.Config.name ^ " results") expected results;
+          Alcotest.(check bool)
+            (config.Config.name ^ " exactly-once") true (exactly_once execs ids))
+        [ base; Config.with_batching base ])
+    Config.all
+
+let await_order_is_free () =
+  let _, fabric, execs = make_pair ~config:Config.class_ () in
+  let caller = Fabric.node fabric 0 in
+  let futures = List.map (issue caller) ids in
+  (* awaiting in reverse: replies resolve whatever future they belong
+     to, regardless of which one is being awaited *)
+  let reversed = List.rev_map Future.await (List.rev futures) in
+  Alcotest.(check (list int)) "reverse await, issue order results" expected
+    (List.map unbox reversed);
+  Alcotest.(check bool) "exactly-once" true (exactly_once execs ids)
+
+let future_all_preserves_order () =
+  let _, fabric, _ = make_pair ~config:(Config.with_batching Config.site) () in
+  let caller = Fabric.node fabric 0 in
+  let futures = List.map (issue caller) [ 5; 3; 9; 1 ] in
+  Alcotest.(check (list int)) "list order = issue order" [ 11; 7; 19; 3 ]
+    (List.map unbox (Future.all futures))
+
+let exception_surfaces_at_await () =
+  let _, fabric, _ = make_pair ~config:Config.class_ () in
+  let caller = Fabric.node fabric 0 in
+  (* issue must not raise, even though the handler always will *)
+  let boom =
+    Node.call_async caller ~dest ~meth:m_boom ~callsite:2 ~has_ret:true [||]
+  in
+  let fine = issue caller 10 in
+  Alcotest.(check int) "later call unaffected" 21 (unbox (Future.await fine));
+  Alcotest.(check bool) "await raises Remote_exception" true
+    (try
+       ignore (Future.await boom);
+       false
+     with Node.Remote_exception msg -> msg = "kaboom");
+  (* a failed future keeps its exception across repeated awaits *)
+  Alcotest.(check bool) "failure is sticky" true
+    (try
+       ignore (Future.await boom);
+       false
+     with Node.Remote_exception _ -> true)
+
+let local_failure_captured_not_thrown () =
+  let _, fabric, _ = make_pair ~config:Config.class_ () in
+  let caller = Fabric.node fabric 0 in
+  let self = Rmi.Remote_ref.make ~machine:0 ~obj:0 in
+  (* machine 0 exports nothing: a local call to a missing method must
+     capture No_such_method in the future, not throw at issue time *)
+  let f =
+    Node.call_async caller ~dest:self ~meth:m_double ~callsite:3 ~has_ret:true
+      [| box 1 |]
+  in
+  Alcotest.(check bool) "raised only at await" true
+    (try
+       ignore (Future.await f);
+       false
+     with Node.No_such_method _ -> true)
+
+let peek_is_nonblocking () =
+  let _, fabric, _ = make_pair ~config:(Config.with_batching Config.class_) () in
+  let caller = Fabric.node fabric 0 in
+  let f = issue caller 4 in
+  (* poll: peek either already sees the value or resolves it within a
+     few pumps; it must never deadlock or raise on a pending future *)
+  let rec poll n =
+    match Future.peek f with
+    | Some v -> v
+    | None when n > 0 -> poll (n - 1)
+    | None -> Alcotest.fail "peek never resolved"
+  in
+  Alcotest.(check int) "peeked value" 9 (unbox (poll 100));
+  Alcotest.(check int) "await after peek" 9 (unbox (Future.await f))
+
+let nested_callback_while_outstanding () =
+  let _, fabric, execs = make_pair ~config:Config.class_ () in
+  let caller = Fabric.node fabric 0 in
+  let callee = Fabric.node fabric 1 in
+  (* machine 0 serves echo; machine 1's nested method calls back into
+     machine 0 before replying *)
+  Node.export caller ~obj:0 ~meth:m_echo ~has_ret:true (fun args ->
+      Some args.(0));
+  Node.export callee ~obj:0 ~meth:m_nested ~has_ret:true (fun args ->
+      let back = Rmi.Remote_ref.make ~machine:0 ~obj:0 in
+      Node.call callee ~dest:back ~meth:m_echo ~callsite:9 ~has_ret:true
+        [| args.(0) |]);
+  (* several plain futures outstanding, then a nested one: serving the
+     callback must not disturb the outstanding table *)
+  let plain = List.map (issue caller) [ 1; 2; 3 ] in
+  let nested =
+    Node.call_async caller ~dest ~meth:m_nested ~callsite:8 ~has_ret:true
+      [| box 77 |]
+  in
+  Alcotest.(check int) "nested echo" 77 (unbox (Future.await nested));
+  Alcotest.(check (list int)) "outstanding futures unharmed" [ 3; 5; 7 ]
+    (List.map unbox (Future.all plain));
+  Alcotest.(check bool) "exactly-once" true (exactly_once execs [ 1; 2; 3 ])
+
+(* batching accounting: same logical traffic, fewer wire envelopes,
+   strictly less modeled time; sequential runs stay untouched *)
+let batching_reduces_messages_not_bytes () =
+  let run config issue_mode =
+    let metrics, fabric, _ = make_pair ~config () in
+    let caller = Fabric.node fabric 0 in
+    let results =
+      match issue_mode with
+      | `Sequential ->
+          List.map
+            (fun id ->
+              unbox
+                (Node.call caller ~dest ~meth:m_double ~callsite:1
+                   ~has_ret:true [| box id |]))
+            ids
+      | `Pipelined window -> pipelined_results ~window caller ids
+    in
+    (results, Metrics.snapshot metrics)
+  in
+  let seq_results, seq = run Config.class_ `Sequential in
+  let pip_results, pip = run (Config.with_batching Config.class_) (`Pipelined 10) in
+  Alcotest.(check (list int)) "same results" seq_results pip_results;
+  Alcotest.(check int) "sequential: 2 msgs per call"
+    (2 * List.length ids) seq.Metrics.msgs_sent;
+  Alcotest.(check int) "same logical bytes" seq.Metrics.bytes_sent
+    pip.Metrics.bytes_sent;
+  Alcotest.(check bool) "fewer wire envelopes" true
+    (pip.Metrics.msgs_sent < seq.Metrics.msgs_sent);
+  Alcotest.(check bool) "batches counted" true (pip.Metrics.batches_sent > 0);
+  Alcotest.(check bool) "window depth observed" true
+    (pip.Metrics.outstanding_hwm >= 10);
+  Alcotest.(check int) "sequential runs never batch" 0 seq.Metrics.batches_sent;
+  let model = Rmi.Costmodel.myrinet_2003 in
+  Alcotest.(check bool) "modeled seconds shrink" true
+    (Rmi.Costmodel.modeled_seconds model pip
+    < Rmi.Costmodel.modeled_seconds model seq)
+
+(* ------------------------------------------------------------------ *)
+(* property: lossy links, batched pipelined issue                      *)
+(* ------------------------------------------------------------------ *)
+
+let reliable_batched = Config.with_batching (Config.with_reliable Config.class_)
+
+let check_seed seed =
+  let faults = Rmi.Fault_sim.create ~seed ~n:2 Rmi.Fault_sim.default_lossy in
+  let _, fabric, execs = make_pair ~faults ~config:reliable_batched () in
+  let results = pipelined_results ~window:6 (Fabric.node fabric 0) ids in
+  results = expected && exactly_once execs ids
+
+let prop_faulty_pipelined_batched =
+  QCheck.Test.make
+    ~name:"300 fault seeds: batched pipelined = sequential, exactly-once"
+    ~count:300
+    QCheck.(int_bound 1_000_000)
+    check_seed
+
+let fixed_seed_regression () =
+  Alcotest.(check bool) "seed 90210 recovers" true (check_seed 90210)
+
+let suite =
+  [
+    ( "futures",
+      [
+        Alcotest.test_case "pipelined = sequential (all configs +/- batching)"
+          `Quick pipelined_matches_sequential_all_configs;
+        Alcotest.test_case "await order is free" `Quick await_order_is_free;
+        Alcotest.test_case "Future.all preserves issue order" `Quick
+          future_all_preserves_order;
+        Alcotest.test_case "exceptions surface at await" `Quick
+          exception_surfaces_at_await;
+        Alcotest.test_case "local failure captured, not thrown" `Quick
+          local_failure_captured_not_thrown;
+        Alcotest.test_case "peek is nonblocking" `Quick peek_is_nonblocking;
+        Alcotest.test_case "nested callback with futures outstanding" `Quick
+          nested_callback_while_outstanding;
+        Alcotest.test_case "batching: fewer envelopes, same bytes" `Quick
+          batching_reduces_messages_not_bytes;
+        QCheck_alcotest.to_alcotest prop_faulty_pipelined_batched;
+        Alcotest.test_case "fixed-seed regression (90210)" `Quick
+          fixed_seed_regression;
+      ] );
+  ]

@@ -373,19 +373,24 @@ let trace_records_events () =
     ignore (Node.call caller ~dest:remote ~meth:m_incr ~callsite:11 ~has_ret:true [| box 1 |])
   done;
   ignore (Node.call caller ~dest:local ~meth:m_incr ~callsite:12 ~has_ret:true [| box 1 |]);
-  (* 4 starts + 4 ends + 3 remote serves (local path doesn't dispatch) *)
-  Alcotest.(check int) "event count" 11 (Trace.length tr);
-  let starts, ends, serves =
+  (* every call = start + future-created + future-resolved + end;
+     plus 3 remote serves (the local path doesn't dispatch) *)
+  Alcotest.(check int) "event count" 19 (Trace.length tr);
+  let starts, ends, serves, created, resolved =
     List.fold_left
-      (fun (s, e, v) (entry : Trace.entry) ->
+      (fun (s, e, v, c, d) (entry : Trace.entry) ->
         match entry.Trace.event with
-        | Trace.Call_start _ -> (s + 1, e, v)
-        | Trace.Call_end _ -> (s, e + 1, v)
-        | Trace.Served _ -> (s, e, v + 1)
-        | Trace.Retry _ | Trace.Timeout _ -> (s, e, v))
-      (0, 0, 0) (Trace.entries tr)
+        | Trace.Call_start _ -> (s + 1, e, v, c, d)
+        | Trace.Call_end _ -> (s, e + 1, v, c, d)
+        | Trace.Served _ -> (s, e, v + 1, c, d)
+        | Trace.Future_created _ -> (s, e, v, c + 1, d)
+        | Trace.Future_resolved _ -> (s, e, v, c, d + 1)
+        | Trace.Retry _ | Trace.Timeout _ | Trace.Batch_flush _ ->
+            (s, e, v, c, d))
+      (0, 0, 0, 0, 0) (Trace.entries tr)
   in
-  Alcotest.(check (list int)) "event breakdown" [ 4; 4; 3 ] [ starts; ends; serves ];
+  Alcotest.(check (list int)) "event breakdown" [ 4; 4; 3; 4; 4 ]
+    [ starts; ends; serves; created; resolved ];
   (* timestamps are monotone in recording order *)
   let rec monotone = function
     | (a : Trace.entry) :: (b : Trace.entry) :: rest ->
