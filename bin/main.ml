@@ -61,20 +61,70 @@ let all_cmd =
     Term.(const run $ scale_arg $ mode_arg)
 
 let pipeline_cmd =
-  let run scale mode window =
+  let run scale mode window faults =
+    let reports = E.pipeline_compare ~scale ~mode ~window ?faults () in
     List.iter
       (fun report ->
         print_endline (E.render_pipeline report);
         print_newline ())
-      (E.pipeline_compare ~scale ~mode ~window ())
+      reports;
+    (* under --faults the checksums must still agree across variants *)
+    let mismatched =
+      List.exists
+        (fun (r : E.pipeline_report) ->
+          match r.E.p_rows with
+          | [] -> false
+          | first :: rest ->
+              List.exists
+                (fun (row : E.pipeline_row) ->
+                  not (Float.equal row.E.checksum first.E.checksum))
+                rest)
+        reports
+    in
+    if mismatched then begin
+      prerr_endline "pipeline: checksum mismatch between variants";
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:
          "Run the transmission microbenchmarks three ways — synchronous \
           calls, pipelined futures, pipelined futures + request batching — \
-          and compare wire messages, modeled seconds and checksums.")
-    Term.(const run $ scale_arg $ mode_arg $ Cli.window_arg)
+          and compare wire messages, modeled seconds and checksums.  \
+          Composes with $(b,--faults): the same comparison over a seeded \
+          lossy reliable transport, exiting nonzero if any checksum \
+          diverges.")
+    Term.(const run $ scale_arg $ mode_arg $ Cli.window_arg $ Cli.faults_arg)
+
+let crash_cmd =
+  let run seed crashes calls window =
+    let r = E.crash_compare ~seed ~crashes ~calls ~window () in
+    print_endline (E.render_crash r);
+    let durable_ok =
+      List.exists
+        (fun (row : E.crash_row) ->
+          String.equal row.E.c_variant "durable crash" && row.E.c_ok)
+        r.E.c_rows
+    in
+    if not (durable_ok && r.E.c_replay_equal) then begin
+      prerr_endline
+        "crash: durable run diverged from fault-free baseline or replay";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Run the crash/restart/failover comparison: a pipelined echo \
+          workload fault-free, under a seeded durable server crash \
+          (exactly-once across the restart), and under the same schedule \
+          with an amnesiac server.  Exits nonzero when the durable run \
+          diverges from the baseline or fails to replay byte-identically \
+          — the CI crash-seed matrix gates on this.")
+    Term.(
+      const run $ Cli.seed_arg $ Cli.crashes_arg $ Cli.calls_arg
+      $ Cli.window_arg)
 
 let report_cmd =
   let run () =
@@ -327,6 +377,7 @@ let cmds =
         run_table7_8 s m ~want7:false ~want8:true);
     all_cmd;
     pipeline_cmd;
+    crash_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

@@ -19,9 +19,11 @@ val compile : Jir.Program.t -> compiled
 
 (** One measured run: fresh metrics, fresh fabric, timed body.
     Returns the body's result, wall-clock seconds and the metric
-    snapshot. *)
+    snapshot.  [faults] installs a seeded fault schedule on the fabric's
+    links (meaningful with a reliable-transport [config]). *)
 val run_timed :
   compiled ->
+  ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   n:int ->

@@ -19,7 +19,11 @@ type result = {
 val compiled : unit -> App_common.compiled
 val callsite : unit -> int
 
+(** [faults] installs a seeded fault schedule on the cluster links
+    (pair with [Config.with_reliable]); the checksum must come out the
+    same as a fault-free run. *)
 val run :
+  ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->
@@ -32,6 +36,7 @@ val run :
     identical to {!run}'s. *)
 val run_pipelined :
   ?window:int ->
+  ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->

@@ -22,7 +22,11 @@ val compiled : unit -> App_common.compiled
 (** The model's single remote call site. *)
 val callsite : unit -> int
 
+(** [faults] installs a seeded fault schedule on the cluster links
+    (pair with [Config.with_reliable]); the checksum must come out the
+    same as a fault-free run. *)
 val run :
+  ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->
@@ -34,6 +38,7 @@ val run :
     envelopes.  The checksum is identical to {!run}'s. *)
 val run_pipelined :
   ?window:int ->
+  ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->

@@ -116,3 +116,26 @@ let apply_faults ~machines config = function
   | Some (seed, profile) ->
       ( Config.with_reliable config,
         Some (Fault_sim.create ~seed ~n:machines profile) )
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the crash/restart schedule.  The same seed replays the \
+           exact same schedule; CI sweeps a seed matrix with it.")
+
+let crashes_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "crashes" ] ~docv:"K"
+        ~doc:"How many crash/restart pairs the seeded schedule contains.")
+
+let calls_arg =
+  Arg.(
+    value
+    & opt int 80
+    & info [ "calls" ] ~docv:"N"
+        ~doc:"How many echo RMIs the crash workload issues.")

@@ -41,3 +41,12 @@ val apply_faults :
   Rmi_runtime.Config.t ->
   (int * Rmi_net.Fault_sim.profile) option ->
   Rmi_runtime.Config.t * Rmi_net.Fault_sim.t option
+
+(** [--seed N]: crash-schedule seed, default 42. *)
+val seed_arg : int Term.t
+
+(** [--crashes K]: crash/restart pairs in the schedule, default 1. *)
+val crashes_arg : int Term.t
+
+(** [--calls N]: RMIs the crash workload issues, default 80. *)
+val calls_arg : int Term.t

@@ -1,7 +1,11 @@
 module Config = Rmi_runtime.Config
 module Fabric = Rmi_runtime.Fabric
+module Node = Rmi_runtime.Node
+module Remote_ref = Rmi_runtime.Remote_ref
 module Metrics = Rmi_stats.Metrics
 module Costmodel = Rmi_net.Costmodel
+module Fault_sim = Rmi_net.Fault_sim
+module Value = Rmi_serial.Value
 
 type scale = Small | Paper
 
@@ -195,10 +199,30 @@ let pipeline_row variant (wall, stats, checksum) =
 (* the same N-RMI workload three ways: synchronous, pipelined futures,
    pipelined futures over coalescing envelopes.  The checksum column
    proves all three computed the same thing; msgs_sent x the cost
-   model's per-message latency is where batching pays. *)
-let pipeline_compare ?(scale = Small) ?(mode = Fabric.Sync) ?(window = 16) () =
-  let config = Config.site_reuse_cycle in
+   model's per-message latency is where batching pays.
+
+   [faults] composes the comparison with a seeded lossy network: every
+   variant switches to the reliable transport and gets a {e fresh}
+   simulator from the same seed (the schedules diverge with the
+   traffic, the checksums must not). *)
+let pipeline_compare ?(scale = Small) ?(mode = Fabric.Sync) ?(window = 16)
+    ?faults () =
+  let config =
+    match faults with
+    | None -> Config.site_reuse_cycle
+    | Some _ -> Config.with_reliable Config.site_reuse_cycle
+  in
   let batched = Config.with_batching config in
+  let sim () =
+    match faults with
+    | None -> None
+    | Some (seed, profile) -> Some (Fault_sim.create ~seed ~n:2 profile)
+  in
+  let fault_suffix =
+    match faults with
+    | None -> ""
+    | Some (seed, _) -> Printf.sprintf ", faults seed=%d" seed
+  in
   let array_report =
     let params =
       match scale with
@@ -211,19 +235,21 @@ let pipeline_compare ?(scale = Small) ?(mode = Fabric.Sync) ?(window = 16) () =
     {
       p_title =
         Printf.sprintf
-          "2D array transmission, %dx%d, %d repetitions, window %d"
-          params.n params.n params.repetitions window;
+          "2D array transmission, %dx%d, %d repetitions, window %d%s"
+          params.n params.n params.repetitions window fault_suffix;
       p_rows =
         [
           pipeline_row "sequential"
-            (of_result (Rmi_apps.Array_bench.run ~config ~mode params));
+            (of_result
+               (Rmi_apps.Array_bench.run ?faults:(sim ()) ~config ~mode params));
           pipeline_row "pipelined"
             (of_result
-               (Rmi_apps.Array_bench.run_pipelined ~window ~config ~mode params));
+               (Rmi_apps.Array_bench.run_pipelined ~window ?faults:(sim ())
+                  ~config ~mode params));
           pipeline_row "pipelined + batch"
             (of_result
-               (Rmi_apps.Array_bench.run_pipelined ~window ~config:batched
-                  ~mode params));
+               (Rmi_apps.Array_bench.run_pipelined ~window ?faults:(sim ())
+                  ~config:batched ~mode params));
         ];
     }
   in
@@ -238,19 +264,21 @@ let pipeline_compare ?(scale = Small) ?(mode = Fabric.Sync) ?(window = 16) () =
     in
     {
       p_title =
-        Printf.sprintf "LinkedList, %d elements, %d repetitions, window %d"
-          params.elements params.repetitions window;
+        Printf.sprintf "LinkedList, %d elements, %d repetitions, window %d%s"
+          params.elements params.repetitions window fault_suffix;
       p_rows =
         [
           pipeline_row "sequential"
-            (of_result (Rmi_apps.Linked_list.run ~config ~mode params));
+            (of_result
+               (Rmi_apps.Linked_list.run ?faults:(sim ()) ~config ~mode params));
           pipeline_row "pipelined"
             (of_result
-               (Rmi_apps.Linked_list.run_pipelined ~window ~config ~mode params));
+               (Rmi_apps.Linked_list.run_pipelined ~window ?faults:(sim ())
+                  ~config ~mode params));
           pipeline_row "pipelined + batch"
             (of_result
-               (Rmi_apps.Linked_list.run_pipelined ~window ~config:batched
-                  ~mode params));
+               (Rmi_apps.Linked_list.run_pipelined ~window ?faults:(sim ())
+                  ~config:batched ~mode params));
         ];
     }
   in
@@ -287,6 +315,175 @@ let render_pipeline (r : pipeline_report) =
       r.p_rows
   in
   r.p_title ^ "\n" ^ Rmi_stats.Ascii_table.render ~headers rows
+
+(* ------------------------------------------------------------------ *)
+(* crash / restart / failover comparison                               *)
+(* ------------------------------------------------------------------ *)
+
+type crash_row = {
+  c_variant : string;
+  c_stats : Metrics.snapshot;
+  c_checksum : int;
+  c_executions : int;
+  c_failed : int;
+  c_ok : bool;
+}
+
+type crash_report = {
+  c_title : string;
+  c_rows : crash_row list;
+  c_digest : string;
+  c_replay_equal : bool;
+}
+
+let crash_meta =
+  lazy (Rmi_serial.Class_meta.make [ ("Box", [ ("v", Jir.Types.Tint) ]) ])
+
+let crash_box v =
+  let b = Value.new_obj ~cls:0 ~nfields:1 in
+  b.Value.fields.(0) <- Value.Int v;
+  Value.Obj b
+
+let m_echo = 1
+
+(* [calls] pipelined echo RMIs from machine 0 to machine 1 over the
+   reliable transport, optionally under a crash schedule.  Returns the
+   reply checksum, how often the handler actually ran (exactly-once
+   evidence) and how many calls failed despite retries. *)
+let run_crash_variant ?sim ~calls ~window () =
+  let metrics = Metrics.create () in
+  let config =
+    (* a restart outage can outlast one transport budget; give the RPC
+       layer enough resends to ride through it *)
+    Config.with_failover
+      { Config.default_failover with Config.max_call_retries = 4 }
+      (Config.with_reliable Config.class_)
+  in
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ?faults:sim ~n:2
+      ~meta:(Lazy.force crash_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
+      ()
+  in
+  let execs = ref 0 in
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_echo ~has_ret:true
+    (fun args ->
+      incr execs;
+      match args.(0) with
+      | Value.Obj o -> (
+          match o.Value.fields.(0) with
+          | Value.Int v -> Some (Value.Int (v + 1))
+          | _ -> failwith "bad box")
+      | _ -> failwith "bad arg");
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let sum = ref 0 and failed = ref 0 in
+  Fabric.run fabric (fun _ ->
+      let i = ref 1 in
+      while !i <= calls do
+        let k = min window (calls - !i + 1) in
+        let futures =
+          List.init k (fun j ->
+              Node.call_async caller ~dest ~meth:m_echo ~callsite:1
+                ~has_ret:true [| crash_box (!i + j) |])
+        in
+        List.iter
+          (fun f ->
+            match Node.Future.await f with
+            | Some (Value.Int v) -> sum := !sum + v
+            | Some _ | None -> incr failed
+            | exception (Node.Rpc_timeout _ | Node.Peer_down _) ->
+                incr failed)
+          futures;
+        i := !i + k
+      done);
+  (Metrics.snapshot metrics, !sum, !execs, !failed)
+
+(* the same workload three ways: fault-free, under a seeded durable
+   crash/restart schedule (results and execution counts must match the
+   baseline exactly — the reply cache survives), and under the same
+   schedule with an amnesiac victim (retried calls may re-execute).
+   The durable run is replayed from its seed to pin determinism. *)
+let crash_compare ?(seed = 42) ?(crashes = 1) ?(calls = 80) ?(window = 8) () =
+  let sim durability =
+    let s = Fault_sim.create ~seed ~n:2 Fault_sim.lossless in
+    Fault_sim.set_crash_plan s
+      (Fault_sim.seeded_crash_plan ~seed ~n:2 ~crashes ~durability ());
+    s
+  in
+  let base_stats, base_sum, base_execs, base_failed =
+    run_crash_variant ~calls ~window ()
+  in
+  let dsim = sim Fault_sim.Durable in
+  let d_stats, d_sum, d_execs, d_failed =
+    run_crash_variant ~sim:dsim ~calls ~window ()
+  in
+  let dsim2 = sim Fault_sim.Durable in
+  let _, d_sum2, _, _ = run_crash_variant ~sim:dsim2 ~calls ~window () in
+  let asim = sim Fault_sim.Amnesia in
+  let a_stats, a_sum, a_execs, a_failed =
+    run_crash_variant ~sim:asim ~calls ~window ()
+  in
+  let row variant (stats, sum, execs, failed) =
+    {
+      c_variant = variant;
+      c_stats = stats;
+      c_checksum = sum;
+      c_executions = execs;
+      c_failed = failed;
+      c_ok = sum = base_sum && failed = 0;
+    }
+  in
+  {
+    c_title =
+      Printf.sprintf
+        "crash/restart: %d echo calls, window %d, seed %d, %d crash(es)" calls
+        window seed crashes;
+    c_rows =
+      [
+        row "fault-free" (base_stats, base_sum, base_execs, base_failed);
+        row "durable crash" (d_stats, d_sum, d_execs, d_failed);
+        row "amnesia crash" (a_stats, a_sum, a_execs, a_failed);
+      ];
+    c_digest = Fault_sim.digest dsim;
+    c_replay_equal =
+      String.equal (Fault_sim.digest dsim) (Fault_sim.digest dsim2)
+      && d_sum = d_sum2;
+  }
+
+let render_crash (r : crash_report) =
+  let headers =
+    [
+      "variant"; "checksum"; "failed"; "handler execs"; "crashes"; "restarts";
+      "rpc retries"; "cache hits"; "stale drops";
+    ]
+  in
+  let base =
+    match r.c_rows with row :: _ -> Some row.c_checksum | [] -> None
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let ok =
+          match base with
+          | Some c -> if c = row.c_checksum then "" else "  MISMATCH"
+          | None -> ""
+        in
+        [
+          row.c_variant;
+          Printf.sprintf "%d%s" row.c_checksum ok;
+          string_of_int row.c_failed;
+          string_of_int row.c_executions;
+          string_of_int row.c_stats.Metrics.crashes;
+          string_of_int row.c_stats.Metrics.restarts;
+          string_of_int row.c_stats.Metrics.call_retries;
+          string_of_int row.c_stats.Metrics.reply_cache_hits;
+          string_of_int row.c_stats.Metrics.stale_drops;
+        ])
+      r.c_rows
+  in
+  Printf.sprintf "%s\n%s\nseeded replay byte-identical: %s" r.c_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.c_replay_equal then "yes" else "NO")
 
 (* ------------------------------------------------------------------ *)
 (* rendering                                                           *)

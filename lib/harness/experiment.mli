@@ -65,15 +65,51 @@ type pipeline_report = { p_title : string; p_rows : pipeline_row list }
     under [site + reuse + cycle] in all three issue disciplines.
     [window] asynchronous calls are in flight per burst (default 16).
     Batching shrinks [msgs_sent] — and with it the cost model's
-    per-message latency charges — while every checksum stays equal. *)
+    per-message latency charges — while every checksum stays equal.
+    [faults] (a seed and a link-fault profile) additionally runs every
+    variant over the reliable transport with a seeded lossy schedule:
+    the wire counters change, the checksums must not. *)
 val pipeline_compare :
   ?scale:scale ->
   ?mode:Rmi_runtime.Fabric.mode ->
   ?window:int ->
+  ?faults:int * Rmi_net.Fault_sim.profile ->
   unit ->
   pipeline_report list
 
 val render_pipeline : pipeline_report -> string
+
+(** One variant of the crash/failover comparison. *)
+type crash_row = {
+  c_variant : string;  (** "fault-free" / "durable crash" / "amnesia crash" *)
+  c_stats : Rmi_stats.Metrics.snapshot;
+  c_checksum : int;  (** sum of all echo replies *)
+  c_executions : int;  (** how often the server handler actually ran *)
+  c_failed : int;  (** calls that failed despite retries *)
+  c_ok : bool;  (** checksum matches fault-free and nothing failed *)
+}
+
+type crash_report = {
+  c_title : string;
+  c_rows : crash_row list;
+  c_digest : string;  (** the durable run's full fault-decision log *)
+  c_replay_equal : bool;
+      (** replaying the durable run from its seed reproduced the digest
+          and checksum byte-for-byte *)
+}
+
+(** Run a pipelined echo workload fault-free, under a seeded durable
+    crash/restart of the server, and under the same schedule with an
+    amnesiac server (its reply cache dies with it).  The durable row
+    must match the fault-free row in checksum {e and} handler execution
+    count (exactly-once across the crash); the amnesia row is where
+    re-execution shows up.  The durable schedule is run twice to prove
+    seeded replay. *)
+val crash_compare :
+  ?seed:int -> ?crashes:int -> ?calls:int -> ?window:int -> unit ->
+  crash_report
+
+val render_crash : crash_report -> string
 
 (** Render a timing table (paper vs modeled vs wall). *)
 val render_timing : timing_table -> string

@@ -10,6 +10,35 @@ type idle_outcome =
   | Dead
   | Raw_transport
 
+(* ------------------------------------------------------------------ *)
+(* failure detector                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type peer_health = Alive | Suspect | Down
+
+type hb_params = { ping_every : int; suspect_after : int; down_after : int }
+
+let default_hb = { ping_every = 8; suspect_after = 16; down_after = 48 }
+
+type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+
+type process_event =
+  | Proc_crashed of { machine : int; durability : Fault_sim.durability }
+  | Proc_restarted of {
+      machine : int;
+      epoch : int;
+      durability : Fault_sim.durability;
+    }
+
+(* what [self] believes about [peer]: when it last heard anything, how
+   it is classified, and the highest incarnation seen (the fence) *)
+type det_cell = {
+  mutable last_heard : int;
+  mutable last_ping : int;
+  mutable health : peer_health;
+  mutable known_epoch : int;
+}
+
 (* a sent-but-unacknowledged data frame, waiting on its retransmit
    timer *)
 type pending = {
@@ -28,8 +57,10 @@ type link_rx = { seen : (int, unit) Hashtbl.t }
 
 type rel = {
   params : params;
-  tx : link_tx array array;  (* tx.(src).(dest) *)
-  rx : link_rx array array;  (* rx.(self).(src) *)
+  tx : link_tx array array;   (* tx.(src).(dest) *)
+  rx : link_rx array array;   (* rx.(self).(src) *)
+  det : det_cell array array; (* det.(self).(peer) *)
+  mutable hb : hb_params;
   mutable tick : int;
   lock : Mutex.t;
 }
@@ -54,6 +85,8 @@ type t = {
      ahead of the mailbox *)
   inbox : bytes Queue.t array;
   imutex : Mutex.t array;
+  mutable process_hooks : (process_event -> unit) list;
+  mutable peer_hooks : (self:int -> peer:int -> peer_event -> unit) list;
 }
 
 let create ?(transport = Raw) ~n metrics =
@@ -72,6 +105,16 @@ let create ?(transport = Raw) ~n metrics =
             rx =
               Array.init n (fun _ ->
                   Array.init n (fun _ -> { seen = Hashtbl.create 64 }));
+            det =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ ->
+                      {
+                        last_heard = 0;
+                        last_ping = 0;
+                        health = Alive;
+                        known_epoch = 0;
+                      }));
+            hb = default_hb;
             tick = 0;
             lock = Mutex.create ();
           }
@@ -86,6 +129,8 @@ let create ?(transport = Raw) ~n metrics =
     batcher = None;
     inbox = Array.init n (fun _ -> Queue.create ());
     imutex = Array.init n (fun _ -> Mutex.create ());
+    process_hooks = [];
+    peer_hooks = [];
   }
 
 let size t = t.n
@@ -100,9 +145,88 @@ let check t who =
   if who < 0 || who >= t.n then
     invalid_arg (Printf.sprintf "Cluster: bad machine id %d" who)
 
+let on_process_event t f = t.process_hooks <- t.process_hooks @ [ f ]
+let on_peer_event t f = t.peer_hooks <- t.peer_hooks @ [ f ]
+let fire_process t ev = List.iter (fun f -> f ev) t.process_hooks
+let fire_peer t ~self ~peer ev =
+  List.iter (fun f -> f ~self ~peer ev) t.peer_hooks
+
+(* the epoch stamped on frames machine [m] emits *)
+let self_epoch t m =
+  match t.sim with None -> 0 | Some sim -> Fault_sim.epoch_of sim m
+
+let set_detector t hb =
+  match t.rel with None -> () | Some rel -> rel.hb <- hb
+
+let peer_health t ~self ~peer =
+  check t self;
+  check t peer;
+  match t.rel with None -> Alive | Some rel -> rel.det.(self).(peer).health
+
 (* ------------------------------------------------------------------ *)
 (* the physical layer: fault hook, then fault schedule, then mailbox   *)
 (* ------------------------------------------------------------------ *)
+
+(* a machine just crashed: everything it held in flight dies with it —
+   mailbox, unpacked-batch inbox, unflushed batch buffers, link send
+   state and dedup memory.  Peers' state about it survives (their
+   retransmit timers are the recovery path). *)
+let wipe_machine t m =
+  Mailbox.clear t.boxes.(m);
+  Mutex.lock t.imutex.(m);
+  Queue.clear t.inbox.(m);
+  Mutex.unlock t.imutex.(m);
+  (match t.batcher with
+  | None -> ()
+  | Some b ->
+      Mutex.lock b.bmutex;
+      let gone =
+        Hashtbl.fold
+          (fun (s, d) _ acc -> if s = m then (s, d) :: acc else acc)
+          b.bufs []
+      in
+      List.iter (Hashtbl.remove b.bufs) gone;
+      Mutex.unlock b.bmutex);
+  match t.rel with
+  | None -> ()
+  | Some rel ->
+      Mutex.lock rel.lock;
+      Array.iter
+        (fun ltx ->
+          ltx.next_lseq <- 0;
+          Hashtbl.reset ltx.unacked)
+        rel.tx.(m);
+      Array.iter (fun lrx -> Hashtbl.reset lrx.seen) rel.rx.(m);
+      Array.iter
+        (fun d ->
+          d.last_heard <- rel.tick;
+          d.last_ping <- rel.tick;
+          d.health <- Alive)
+        rel.det.(m);
+      Mutex.unlock rel.lock
+
+(* drain crash/restart events from the simulator and apply them; called
+   after every physical transmission (the only place the frame clock
+   advances) and at the top of [idle] *)
+let poll_crashes t =
+  match t.sim with
+  | None -> ()
+  | Some sim -> (
+      match Fault_sim.take_transitions sim with
+      | [] -> ()
+      | transitions ->
+          List.iter
+            (fun tr ->
+              match tr with
+              | Fault_sim.Crashed { machine; durability } ->
+                  Rmi_stats.Metrics.incr_crashes t.metrics;
+                  wipe_machine t machine;
+                  fire_process t (Proc_crashed { machine; durability })
+              | Fault_sim.Restarted { machine; epoch; durability } ->
+                  Rmi_stats.Metrics.incr_restarts t.metrics;
+                  fire_process t
+                    (Proc_restarted { machine; epoch; durability }))
+            transitions)
 
 let transmit t ~src ~dest frame =
   let frames =
@@ -117,7 +241,15 @@ let transmit t ~src ~dest frame =
     | Some sim ->
         List.concat_map (fun f -> Fault_sim.on_send sim ~src ~dest f) frames
   in
-  List.iter (Mailbox.send t.boxes.(dest)) frames
+  List.iter (Mailbox.send t.boxes.(dest)) frames;
+  (* a send may have pushed the frame clock over a scheduled crash *)
+  poll_crashes t
+
+(* test/diagnostic backdoor: deliver a raw frame to [dest]'s mailbox,
+   bypassing hook, simulator and link state *)
+let inject_frame t ~dest frame =
+  check t dest;
+  Mailbox.send t.boxes.(dest) frame
 
 (* ship one wire frame (a single message or a batch envelope) through
    the configured transport; all metrics accounting happens above *)
@@ -129,7 +261,10 @@ let send_frame t ~src ~dest frame =
       let ltx = rel.tx.(src).(dest) in
       let lseq = ltx.next_lseq in
       ltx.next_lseq <- lseq + 1;
-      let envelope = Envelope.encode ~kind:Data ~src ~lseq ~payload:frame in
+      let envelope =
+        Envelope.encode ~kind:Data ~src ~epoch:(self_epoch t src) ~lseq
+          ~payload:frame ()
+      in
       Hashtbl.replace ltx.unacked lseq
         {
           frame = envelope;
@@ -250,8 +385,8 @@ let buffered_anywhere t =
       any
 
 (* ------------------------------------------------------------------ *)
-(* receive path: unwrap envelopes, ack data, suppress duplicates,      *)
-(* split batch frames                                                  *)
+(* receive path: unwrap envelopes, fence stale incarnations, ack data, *)
+(* answer heartbeats, suppress duplicates, split batch frames          *)
 (* ------------------------------------------------------------------ *)
 
 let pop_inbox t ~self =
@@ -283,33 +418,74 @@ let unpack t ~self payload =
         Some first
 
 (* [Some payload] to hand to the upper layer, [None] when the frame was
-   consumed here (ack, duplicate, or checksum failure) *)
+   consumed here (ack, heartbeat, duplicate, stale epoch, or checksum
+   failure) *)
 let filter_frame t rel ~self raw =
   match Envelope.decode raw with
   | None ->
       (* garbled on the wire; the sender's timer recovers it *)
       None
-  | Some ({ Envelope.kind = Ack; src; lseq }, _) ->
+  | Some ({ Envelope.kind; src; epoch; lseq }, payload) ->
       Mutex.lock rel.lock;
-      Hashtbl.remove rel.tx.(self).(src).unacked lseq;
+      let d = rel.det.(self).(src) in
+      (* fence: a frame from an incarnation older than the best one we
+         have seen is a ghost of a dead process *)
+      let stale = epoch < d.known_epoch in
+      let recovered = ref false in
+      if not stale then begin
+        if epoch > d.known_epoch then begin
+          d.known_epoch <- epoch;
+          (* the new incarnation restarts its lseq space at 0, so the
+             old dedup memory would wrongly swallow its fresh frames *)
+          Hashtbl.reset rel.rx.(self).(src).seen
+        end;
+        d.last_heard <- rel.tick;
+        if d.health <> Alive then begin
+          d.health <- Alive;
+          recovered := true
+        end
+      end;
       Mutex.unlock rel.lock;
-      None
-  | Some ({ Envelope.kind = Data; src; lseq }, payload) ->
-      (* always ack, even duplicates: the earlier ack may have been
-         lost *)
-      Rmi_stats.Metrics.incr_acks_sent t.metrics;
-      transmit t ~src:self ~dest:src
-        (Envelope.encode ~kind:Ack ~src:self ~lseq ~payload:Bytes.empty);
-      Mutex.lock rel.lock;
-      let seen = rel.rx.(self).(src).seen in
-      let dup = Hashtbl.mem seen lseq in
-      if not dup then Hashtbl.add seen lseq ();
-      Mutex.unlock rel.lock;
-      if dup then begin
-        Rmi_stats.Metrics.incr_dup_drops t.metrics;
+      if !recovered then fire_peer t ~self ~peer:src Peer_recovered;
+      if stale then begin
+        Rmi_stats.Metrics.incr_stale_drops t.metrics;
         None
       end
-      else Some payload
+      else
+        match kind with
+        | Envelope.Hb ->
+            (* answered reactively on the receive path so liveness works
+               in both Sync (pump-driven) and Parallel modes *)
+            if lseq = Envelope.hb_ping then begin
+              Rmi_stats.Metrics.incr_heartbeats_sent t.metrics;
+              transmit t ~src:self ~dest:src
+                (Envelope.encode ~kind:Hb ~src:self
+                   ~epoch:(self_epoch t self) ~lseq:Envelope.hb_pong
+                   ~payload:Bytes.empty ())
+            end;
+            None
+        | Envelope.Ack ->
+            Mutex.lock rel.lock;
+            Hashtbl.remove rel.tx.(self).(src).unacked lseq;
+            Mutex.unlock rel.lock;
+            None
+        | Envelope.Data ->
+            (* always ack, even duplicates: the earlier ack may have
+               been lost *)
+            Rmi_stats.Metrics.incr_acks_sent t.metrics;
+            transmit t ~src:self ~dest:src
+              (Envelope.encode ~kind:Ack ~src:self ~epoch:(self_epoch t self)
+                 ~lseq ~payload:Bytes.empty ());
+            Mutex.lock rel.lock;
+            let seen = rel.rx.(self).(src).seen in
+            let dup = Hashtbl.mem seen lseq in
+            if not dup then Hashtbl.add seen lseq ();
+            Mutex.unlock rel.lock;
+            if dup then begin
+              Rmi_stats.Metrics.incr_dup_drops t.metrics;
+              None
+            end
+            else Some payload
 
 let try_recv t ~self =
   check t self;
@@ -343,7 +519,10 @@ let try_recv t ~self =
 
 let recv_deadline t ~self ~seconds =
   check t self;
-  match pop_inbox t ~self with
+  (* one non-blocking pass first, so a zero or negative deadline still
+     drains anything already deliverable instead of returning None with
+     messages sitting in the mailbox *)
+  match try_recv t ~self with
   | Some m -> Some m
   | None ->
       let deadline = Unix.gettimeofday () +. seconds in
@@ -375,11 +554,51 @@ let pending_anywhere t =
   || buffered_anywhere t
 
 (* ------------------------------------------------------------------ *)
-(* the retransmit clock                                                *)
+(* the retransmit + failure-detector clock                             *)
 (* ------------------------------------------------------------------ *)
+
+(* sweep the detector on the shared tick: demote quiet peers and decide
+   which pings are due; returns (pings, events) to act on lock-free.
+   The sweep covers every observer machine, matching the global
+   retransmit clock: in Sync mode only the driving machine ever calls
+   [idle], but it drives everyone's timers. *)
+let detector_sweep t rel =
+  let pings = ref [] in
+  let events = ref [] in
+  let down m =
+    match t.sim with None -> false | Some sim -> Fault_sim.is_down sim m
+  in
+  Array.iteri
+    (fun observer row ->
+      if not (down observer) then
+        Array.iteri
+          (fun peer d ->
+            if observer <> peer then begin
+              let quiet = rel.tick - d.last_heard in
+              if quiet >= rel.hb.down_after && d.health = Suspect then begin
+                d.health <- Down;
+                events := (observer, peer, Peer_confirmed_down) :: !events
+              end
+              else if quiet >= rel.hb.suspect_after && d.health = Alive
+              then begin
+                d.health <- Suspect;
+                events := (observer, peer, Peer_suspected) :: !events
+              end;
+              if
+                quiet >= rel.hb.ping_every
+                && rel.tick - d.last_ping >= rel.hb.ping_every
+              then begin
+                d.last_ping <- rel.tick;
+                pings := (observer, peer) :: !pings
+              end
+            end)
+          row)
+    rel.det;
+  (List.rev !pings, List.rev !events)
 
 let idle t ~self =
   check t self;
+  poll_crashes t;
   match t.rel with
   | None -> Raw_transport
   | Some rel ->
@@ -414,12 +633,29 @@ let idle t ~self =
                 !expired)
             row)
         rel.tx;
+      let pings, events = detector_sweep t rel in
       Mutex.unlock rel.lock;
       List.iter
         (fun (src, dest, frame) ->
           Rmi_stats.Metrics.incr_retries t.metrics;
           transmit t ~src ~dest frame)
         (List.rev !resend);
+      List.iter
+        (fun (observer, peer) ->
+          Rmi_stats.Metrics.incr_heartbeats_sent t.metrics;
+          transmit t ~src:observer ~dest:peer
+            (Envelope.encode ~kind:Hb ~src:observer
+               ~epoch:(self_epoch t observer) ~lseq:Envelope.hb_ping
+               ~payload:Bytes.empty ()))
+        pings;
+      List.iter
+        (fun (observer, peer, ev) ->
+          (match ev with
+          | Peer_suspected -> Rmi_stats.Metrics.incr_suspects t.metrics
+          | Peer_confirmed_down -> Rmi_stats.Metrics.incr_peer_downs t.metrics
+          | Peer_recovered -> ());
+          fire_peer t ~self:observer ~peer ev)
+        events;
       if !gave_up <> [] then Gave_up (List.sort_uniq compare !gave_up)
       else if !resend <> [] then Retransmitted (List.length !resend)
       else if

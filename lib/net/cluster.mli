@@ -49,9 +49,65 @@ type idle_outcome =
               frame, every mailbox empty — waiting cannot succeed *)
   | Raw_transport  (** [idle] is meaningless under [Raw] *)
 
+(** {1 Failure detection}
+
+    Under [Reliable], every machine keeps a per-peer liveness record
+    driven by the shared {!idle} tick: any valid frame from a peer
+    (data, ack, heartbeat) refreshes it to [Alive]; a peer quiet for
+    [suspect_after] ticks is demoted to [Suspect] and for [down_after]
+    ticks to [Down].  Quiet peers are probed with ping/pong heartbeat
+    frames so an idle-but-alive peer is never falsely convicted: pongs
+    are answered reactively on the receive path, which works in both
+    Sync (pump-driven) and Parallel modes.  A frame from a newer
+    incarnation ([epoch]) resets the link's dedup memory; frames from
+    an older incarnation are fenced (dropped and counted as
+    [stale_drops]). *)
+
+type peer_health = Alive | Suspect | Down
+
+type hb_params = {
+  ping_every : int;     (** ticks between pings to a quiet peer *)
+  suspect_after : int;  (** quiet ticks before Alive -> Suspect *)
+  down_after : int;     (** quiet ticks before Suspect -> Down *)
+}
+
+val default_hb : hb_params
+
+type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+
+(** Crash-simulator events surfaced to the runtime after the transport
+    has wiped the machine's in-flight state. *)
+type process_event =
+  | Proc_crashed of { machine : int; durability : Fault_sim.durability }
+  | Proc_restarted of {
+      machine : int;
+      epoch : int;
+      durability : Fault_sim.durability;
+    }
+
 type t
 
 val create : ?transport:transport -> n:int -> Rmi_stats.Metrics.t -> t
+
+(** What [self] currently believes about [peer]; always [Alive] under
+    [Raw]. *)
+val peer_health : t -> self:int -> peer:int -> peer_health
+
+(** Override the failure-detector thresholds (no-op under [Raw]). *)
+val set_detector : t -> hb_params -> unit
+
+(** The incarnation number machine [m] currently stamps on its frames:
+    0 without a simulator or before its first restart. *)
+val self_epoch : t -> int -> int
+
+(** [f] runs on every detector transition, after the detector state was
+    updated.  Hooks must not send messages. *)
+val on_peer_event : t -> (self:int -> peer:int -> peer_event -> unit) -> unit
+
+(** [f] runs on every simulated crash/restart, after the machine's
+    mailbox, batch buffers and link state were wiped.  Hooks must not
+    send messages — nodes use this to drop volatile caches. *)
+val on_process_event : t -> (process_event -> unit) -> unit
 
 val size : t -> int
 val metrics : t -> Rmi_stats.Metrics.t
@@ -102,6 +158,11 @@ val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
 val flush : t -> src:int -> (int * int * int) list
 
 val try_recv : t -> self:int -> bytes option
+
+(** Deliver a raw frame straight into [dest]'s mailbox, bypassing the
+    fault hook, the simulator and all link state.  A test/diagnostic
+    backdoor (e.g. forging a stale-epoch envelope). *)
+val inject_frame : t -> dest:int -> bytes -> unit
 
 (** Blocks until a message for [self] arrives.  Under [Reliable] the
     wait is chopped into short slices that drive {!idle}, so a blocked

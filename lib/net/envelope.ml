@@ -1,15 +1,15 @@
 open Rmi_wire
 
-type kind = Data | Ack
+type kind = Data | Ack | Hb
 
-type t = { kind : kind; src : int; lseq : int }
+type t = { kind : kind; src : int; epoch : int; lseq : int }
 
 let magic = 0xC7
-let kind_code = function Data -> 0 | Ack -> 1
+let kind_code = function Data -> 0 | Ack -> 1 | Hb -> 2
 
 (* FNV-1a over the header fields and payload, folded to 30 bits so the
    uvarint encoding stays short *)
-let checksum ~kc ~src ~lseq payload =
+let checksum ~kc ~src ~epoch ~lseq payload =
   let h = ref 0xcbf29ce484222325L in
   let mix b =
     h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L
@@ -19,19 +19,23 @@ let checksum ~kc ~src ~lseq payload =
     mix (src asr (i * 8))
   done;
   for i = 0 to 7 do
+    mix (epoch asr (i * 8))
+  done;
+  for i = 0 to 7 do
     mix (lseq asr (i * 8))
   done;
   Bytes.iter (fun c -> mix (Char.code c)) payload;
   Int64.to_int (Int64.logand !h 0x3FFFFFFFL)
 
-let encode ~kind ~src ~lseq ~payload =
+let encode ~kind ~src ?(epoch = 0) ~lseq ~payload () =
   let w = Msgbuf.create_writer ~initial_capacity:(Bytes.length payload + 16) () in
   let kc = kind_code kind in
   Msgbuf.write_u8 w magic;
   Msgbuf.write_u8 w kc;
   Msgbuf.write_uvarint w src;
+  Msgbuf.write_uvarint w epoch;
   Msgbuf.write_uvarint w lseq;
-  Msgbuf.write_uvarint w (checksum ~kc ~src ~lseq payload);
+  Msgbuf.write_uvarint w (checksum ~kc ~src ~epoch ~lseq payload);
   Msgbuf.write_string w (Bytes.to_string payload);
   Msgbuf.contents w
 
@@ -41,23 +45,30 @@ let decode frame =
     if Msgbuf.read_u8 r <> magic then None
     else
       let kc = Msgbuf.read_u8 r in
-      let kind = match kc with 0 -> Some Data | 1 -> Some Ack | _ -> None in
+      let kind =
+        match kc with 0 -> Some Data | 1 -> Some Ack | 2 -> Some Hb | _ -> None
+      in
       match kind with
       | None -> None
       | Some kind ->
           let src = Msgbuf.read_uvarint r in
+          let epoch = Msgbuf.read_uvarint r in
           let lseq = Msgbuf.read_uvarint r in
           let csum = Msgbuf.read_uvarint r in
           let payload = Bytes.of_string (Msgbuf.read_string r) in
-          if csum = checksum ~kc ~src ~lseq payload then
-            Some ({ kind; src; lseq }, payload)
+          if csum = checksum ~kc ~src ~epoch ~lseq payload then
+            Some ({ kind; src; epoch; lseq }, payload)
           else None
   with
   | exception Msgbuf.Underflow _ -> None
   | v -> v
 
+(* heartbeat frames: lseq 0 = ping, lseq 1 = pong; empty payload *)
+let hb_ping = 0
+let hb_pong = 1
+
 let overhead ~src ~lseq ~payload_len =
   let frame =
-    encode ~kind:Data ~src ~lseq ~payload:(Bytes.create payload_len)
+    encode ~kind:Data ~src ~lseq ~payload:(Bytes.create payload_len) ()
   in
   Bytes.length frame - payload_len

@@ -1,25 +1,41 @@
 (** Link-layer framing for the reliable transport.
 
-    Every physical frame on a reliable cluster is either [Data]
-    (carries an opaque RPC message as payload) or [Ack] (acknowledges a
-    [Data] frame's link sequence number; empty payload).  A checksum
-    over the header fields and payload lets the receiver detect the
-    simulator's bit flips and drop the frame, leaving recovery to the
-    sender's retransmit timer. *)
+    Every physical frame on a reliable cluster is [Data] (carries an
+    opaque RPC message as payload), [Ack] (acknowledges a [Data]
+    frame's link sequence number; empty payload) or [Hb] (a failure
+    detector heartbeat: [lseq = hb_ping] asks "are you alive",
+    [lseq = hb_pong] answers; empty payload).  A checksum over the
+    header fields and payload lets the receiver detect the simulator's
+    bit flips and drop the frame, leaving recovery to the sender's
+    retransmit timer.
 
-type kind = Data | Ack
+    [epoch] is the sender's incarnation number: 0 until the crash
+    simulator restarts the machine, then bumped on every restart.
+    Receivers fence frames whose epoch is lower than the highest one
+    seen from that peer, so packets from a dead incarnation (delayed in
+    a reorder queue, or retransmitted by stale state) can never be
+    mistaken for fresh traffic. *)
+
+type kind = Data | Ack | Hb
 
 type t = {
   kind : kind;
   src : int;   (** sending machine — where [Ack]s go back to *)
+  epoch : int; (** sender's incarnation number (0 = never crashed) *)
   lseq : int;  (** per-(src,dest)-link sequence number *)
 }
 
-val encode : kind:kind -> src:int -> lseq:int -> payload:bytes -> bytes
+val encode :
+  kind:kind -> src:int -> ?epoch:int -> lseq:int -> payload:bytes -> unit ->
+  bytes
 
 (** [None] when the frame is garbled: bad magic, bad kind, truncated,
     or checksum mismatch. *)
 val decode : bytes -> (t * bytes) option
+
+(** [lseq] values distinguishing the two [Hb] frame roles. *)
+val hb_ping : int
+val hb_pong : int
 
 (** Framing bytes added on top of a payload of the given size (for
     overhead accounting in tests). *)

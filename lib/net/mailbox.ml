@@ -41,6 +41,11 @@ let recv_deadline t ~seconds =
   in
   wait ()
 
+let clear t =
+  Mutex.lock t.m;
+  Queue.clear t.q;
+  Mutex.unlock t.m
+
 let is_empty t =
   Mutex.lock t.m;
   let e = Queue.is_empty t.q in

@@ -22,6 +22,10 @@ val recv_blocking : t -> bytes
     timers. *)
 val recv_deadline : t -> seconds:float -> bytes option
 
+(** Discard everything queued — the crash simulator's view of losing a
+    machine's in-flight inbox. *)
+val clear : t -> unit
+
 val is_empty : t -> bool
 
 (** Messages currently queued. *)

@@ -4,6 +4,7 @@ module Value = Rmi_serial.Value
 module Node = Rmi_runtime.Node
 module Future = Rmi_runtime.Node.Future
 module Fabric = Rmi_runtime.Fabric
+module Registry = Rmi_runtime.Registry
 module Distributed = Rmi_runtime.Distributed
 module Trace = Rmi_runtime.Trace
 module Metrics = Rmi_stats.Metrics

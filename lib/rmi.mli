@@ -38,6 +38,7 @@ module Node : sig
   exception No_such_method of string
   exception Deadlock of string
   exception Rpc_timeout of string
+  exception Peer_down of string
 
   val id : t -> int
   val config : t -> Config.t
@@ -59,8 +60,12 @@ module Node : sig
 
   (** Issue a call without waiting; any number may be in flight.  With
       {!Config.with_batching}, bursts of requests coalesce into single
-      wire envelopes. *)
+      wire envelopes.  [deadline] (seconds, default
+      [Config.failover.call_deadline]) bounds the call end to end: the
+      future always settles — with the reply, [Rpc_timeout] or
+      [Peer_down] — rather than hang. *)
   val call_async :
+    ?deadline:float ->
     t ->
     dest:Remote_ref.t ->
     meth:int ->
@@ -72,8 +77,11 @@ module Node : sig
   (** [call_async ... |> Future.await].
       @raise Remote_exception when the remote handler raised
       @raise Deadlock when no progress is possible (raw transport)
-      @raise Rpc_timeout when the reliable transport gives up *)
+      @raise Rpc_timeout when the reliable transport gives up
+      @raise Peer_down when retries/failover were exhausted or the
+      peer's circuit breaker is open *)
   val call :
+    ?deadline:float ->
     t ->
     dest:Remote_ref.t ->
     meth:int ->
@@ -81,6 +89,10 @@ module Node : sig
     has_ret:bool ->
     Value.t array ->
     Value.t option
+
+  (** Register a (primary -> replica) failover mapping on this node;
+      normally done for every node by {!Registry.new_replicated}. *)
+  val set_replica : t -> primary:int -> replica:int -> unit
 
   (** Drop all reuse caches (between benchmark configurations). *)
   val reset_caches : t -> unit
@@ -92,6 +104,7 @@ end
 
 module Future = Rmi_runtime.Node.Future
 module Fabric = Rmi_runtime.Fabric
+module Registry = Rmi_runtime.Registry
 module Distributed = Rmi_runtime.Distributed
 module Trace = Rmi_runtime.Trace
 module Metrics = Rmi_stats.Metrics

@@ -1,6 +1,23 @@
 type serializer = Class_specific | Site_specific
 type transport = Raw | Reliable
 
+type failover = {
+  call_deadline : float;
+  max_call_retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  reply_cache_cap : int;
+}
+
+let default_failover =
+  {
+    call_deadline = 30.0;
+    max_call_retries = 2;
+    breaker_threshold = 3;
+    breaker_cooldown = 0.25;
+    reply_cache_cap = 4096;
+  }
+
 type t = {
   name : string;
   serializer : serializer;
@@ -8,23 +25,24 @@ type t = {
   reuse : bool;
   transport : transport;
   batching : bool;
+  failover : failover;
 }
 
 let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
-    transport = Raw; batching = false }
+    transport = Raw; batching = false; failover = default_failover }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
-    transport = Raw; batching = false }
+    transport = Raw; batching = false; failover = default_failover }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
-    transport = Raw; batching = false }
+    transport = Raw; batching = false; failover = default_failover }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
-    transport = Raw; batching = false }
+    transport = Raw; batching = false; failover = default_failover }
 
 let site_reuse_cycle =
   {
@@ -34,10 +52,12 @@ let site_reuse_cycle =
     reuse = true;
     transport = Raw;
     batching = false;
+    failover = default_failover;
   }
 
 let with_reliable t = { t with transport = Reliable }
 let with_batching t = { t with batching = true }
+let with_failover failover t = { t with failover }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

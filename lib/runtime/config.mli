@@ -18,6 +18,30 @@ type transport =
           corruption (see {!Rmi_net.Cluster} and DESIGN.md's
           "Reliability substitution") *)
 
+(** Client-side failure policy (PR 3): how long a call may take end to
+    end, how often the node re-sends a request after the transport gave
+    up, and when a persistently failing peer trips the circuit
+    breaker. *)
+type failover = {
+  call_deadline : float;
+      (** seconds a [call_async] may stay unresolved before it fails
+          with [Rpc_timeout]; overridable per call *)
+  max_call_retries : int;
+      (** RPC-level resends (each restarting the transport's full
+          retransmit budget) before the call fails with [Peer_down] *)
+  breaker_threshold : int;
+      (** consecutive transport-level failures to one peer before its
+          circuit breaker opens *)
+  breaker_cooldown : float;
+      (** seconds an open breaker fast-fails new calls before letting a
+          probe call through (half-open) *)
+  reply_cache_cap : int;
+      (** server-side reply-cache entries kept for request dedup;
+          oldest entries are evicted first *)
+}
+
+val default_failover : failover
+
 type t = {
   name : string;  (** the paper's row label, e.g. "site + reuse" *)
   serializer : serializer;
@@ -29,6 +53,9 @@ type t = {
           envelope (see {!Rmi_net.Cluster} batching); off for every
           paper-table preset so the sequential accounting is
           untouched *)
+  failover : failover;
+      (** client-side deadline/retry/breaker policy; only consulted by
+          the failure paths, so fault-free runs are unaffected *)
 }
 
 val class_ : t
@@ -45,6 +72,9 @@ val with_reliable : t -> t
 
 (** Same optimization row, with request/reply batching enabled. *)
 val with_batching : t -> t
+
+(** Same optimization row, with this failure policy. *)
+val with_failover : failover -> t -> t
 
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ exception Remote_exception of string
 exception No_such_method of string
 exception Deadlock of string
 exception Rpc_timeout of string
+exception Peer_down of string
 
 let shutdown_method = -99
 
@@ -31,6 +32,9 @@ type compiled_plan = {
   cp_read_ret : (Codec.rctx -> Msgbuf.reader -> cand:Value.t -> Value.t) option;
 }
 
+(* per-peer circuit breaker: [opened_at < 0] means closed *)
+type breaker = { mutable consecutive : int; mutable opened_at : float }
+
 type t = {
   cluster : Rmi_net.Cluster.t;
   nid : int;
@@ -46,6 +50,14 @@ type t = {
   arg_caches : (int, Value.t option array) Hashtbl.t;
   ret_caches : (int, Value.t) Hashtbl.t;
   compiled_plans : (int, compiled_plan) Hashtbl.t;
+  (* server-side reply cache, keyed (client, client-epoch, seq): a
+     retried request is answered from here instead of re-executing the
+     handler — exactly-once across crashes when the cache is durable *)
+  reply_cache : (int * int * int, bytes) Hashtbl.t;
+  reply_order : (int * int * int) Queue.t;  (* FIFO eviction order *)
+  (* failover routing: primary machine -> replica machine *)
+  replicas : (int, int) Hashtbl.t;
+  breakers : (int, breaker) Hashtbl.t;
   mutable pump : unit -> bool;
   mutable has_pump : bool;
   mutable shutdown : bool;
@@ -55,10 +67,15 @@ type t = {
 and pending = {
   pc_seq : int;
   pc_callsite : int;
-  pc_dest : int;
+  mutable pc_dest : int;  (* may be retargeted to a replica *)
+  pc_primary : int;       (* the originally addressed machine *)
   pc_cp : compiled_plan;
   pc_node : t;
   pc_started : float;
+  pc_deadline : float;
+  mutable pc_request : bytes;
+  (* the encoded request, kept for RPC retries *)
+  mutable pc_attempts : int;
   mutable pc_state : pending_state;
 }
 
@@ -67,25 +84,65 @@ and pending_state =
   | Resolved of Value.t option
   | Failed of exn
 
+let reset_caches t =
+  Hashtbl.reset t.arg_caches;
+  Hashtbl.reset t.ret_caches
+
+let trace_event t event =
+  match t.trace with Some tr -> Trace.record tr event | None -> ()
+
 let create cluster ~id ~meta ~config ~plans =
-  {
-    cluster;
-    nid = id;
-    meta;
-    cfg = config;
-    plans;
-    handlers = Hashtbl.create 16;
-    handlers_mutex = Mutex.create ();
-    seq = 0;
-    outstanding = Hashtbl.create 8;
-    arg_caches = Hashtbl.create 16;
-    ret_caches = Hashtbl.create 16;
-    compiled_plans = Hashtbl.create 16;
-    pump = (fun () -> false);
-    has_pump = false;
-    shutdown = false;
-    trace = None;
-  }
+  let t =
+    {
+      cluster;
+      nid = id;
+      meta;
+      cfg = config;
+      plans;
+      handlers = Hashtbl.create 16;
+      handlers_mutex = Mutex.create ();
+      seq = 0;
+      outstanding = Hashtbl.create 8;
+      arg_caches = Hashtbl.create 16;
+      ret_caches = Hashtbl.create 16;
+      compiled_plans = Hashtbl.create 16;
+      reply_cache = Hashtbl.create 64;
+      reply_order = Queue.create ();
+      replicas = Hashtbl.create 4;
+      breakers = Hashtbl.create 4;
+      pump = (fun () -> false);
+      has_pump = false;
+      shutdown = false;
+      trace = None;
+    }
+  in
+  (* crash semantics: process memory (reuse caches) always dies with the
+     node; the reply cache survives only the Durable variant, which
+     models a cache on stable storage *)
+  Rmi_net.Cluster.on_process_event cluster (function
+    | Rmi_net.Cluster.Proc_crashed { machine; durability }
+      when machine = t.nid ->
+        trace_event t
+          (Trace.Crash
+             { machine; amnesia = durability = Rmi_net.Fault_sim.Amnesia });
+        reset_caches t;
+        if durability = Rmi_net.Fault_sim.Amnesia then begin
+          Hashtbl.reset t.reply_cache;
+          Queue.clear t.reply_order
+        end
+    | Rmi_net.Cluster.Proc_restarted { machine; epoch; _ }
+      when machine = t.nid ->
+        trace_event t (Trace.Restart { machine; epoch })
+    | _ -> ());
+  Rmi_net.Cluster.on_peer_event cluster (fun ~self ~peer ev ->
+      if self = t.nid then
+        match ev with
+        | Rmi_net.Cluster.Peer_suspected ->
+            trace_event t (Trace.Suspect { machine = self; peer })
+        | Rmi_net.Cluster.Peer_confirmed_down ->
+            trace_event t (Trace.Peer_down { machine = self; peer })
+        | Rmi_net.Cluster.Peer_recovered -> ());
+  t
 
 let id t = t.nid
 let config t = t.cfg
@@ -94,9 +151,6 @@ let set_pump t pump =
   t.has_pump <- true
 
 let set_trace t trace = t.trace <- Some trace
-
-let trace_event t event =
-  match t.trace with Some tr -> Trace.record tr event | None -> ()
 
 let export t ~obj ~meth ~has_ret fn =
   Mutex.lock t.handlers_mutex;
@@ -192,10 +246,6 @@ let take_ret_cand t ~callsite =
   | None -> Value.Null
 
 let restore_ret_cand t ~callsite v = Hashtbl.replace t.ret_caches callsite v
-
-let reset_caches t =
-  Hashtbl.reset t.arg_caches;
-  Hashtbl.reset t.ret_caches
 
 (* ------------------------------------------------------------------ *)
 (* marshaling                                                          *)
@@ -301,9 +351,65 @@ let flush_self t =
 
 let is_pending p = match p.pc_state with Pending -> true | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* failover policy: replicas and per-peer circuit breakers             *)
+(* ------------------------------------------------------------------ *)
+
+let set_replica t ~primary ~replica =
+  if primary = replica then invalid_arg "Node.set_replica: primary = replica";
+  Hashtbl.replace t.replicas primary replica
+
+let breaker_for t dest =
+  match Hashtbl.find_opt t.breakers dest with
+  | Some b -> b
+  | None ->
+      let b = { consecutive = 0; opened_at = -1.0 } in
+      Hashtbl.replace t.breakers dest b;
+      b
+
+(* may this node issue a call to [dest] right now?  An open breaker
+   fast-fails until the cooldown expires, then lets one probe through
+   half-open (primed so the next failure re-opens immediately) *)
+let breaker_allows t ~dest ~now =
+  match Hashtbl.find_opt t.breakers dest with
+  | None -> true
+  | Some b ->
+      if b.opened_at < 0.0 then true
+      else if
+        now -. b.opened_at >= t.cfg.Config.failover.Config.breaker_cooldown
+      then begin
+        b.opened_at <- -1.0;
+        b.consecutive <- t.cfg.Config.failover.Config.breaker_threshold - 1;
+        true
+      end
+      else false
+
+let breaker_failure t dest =
+  let b = breaker_for t dest in
+  b.consecutive <- b.consecutive + 1;
+  if
+    b.consecutive >= t.cfg.Config.failover.Config.breaker_threshold
+    && b.opened_at < 0.0
+  then begin
+    b.opened_at <- Unix.gettimeofday ();
+    trace_event t (Trace.Breaker_open { machine = t.nid; peer = dest })
+  end
+
+let breaker_success t dest =
+  match Hashtbl.find_opt t.breakers dest with
+  | None -> ()
+  | Some b ->
+      b.consecutive <- 0;
+      b.opened_at <- -1.0
+
 let resolve_future t (p : pending) state =
   Hashtbl.remove t.outstanding p.pc_seq;
   p.pc_state <- state;
+  (* any response — value or remote exception — proves the peer alive *)
+  (match state with
+  | Resolved _ | Failed (Remote_exception _) | Failed (No_such_method _) ->
+      if p.pc_dest <> t.nid then breaker_success t p.pc_dest
+  | _ -> ());
   trace_event t
     (Trace.Future_resolved
        { machine = t.nid; seq = p.pc_seq; callsite = p.pc_callsite;
@@ -347,6 +453,20 @@ let fail_outstanding t sel mk_exn =
 (* serving                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* remember [reply] for this request so an RPC-level retry is answered
+   without re-executing the handler; bounded FIFO so paper-scale
+   benchmark runs cannot grow without limit *)
+let cache_reply t key reply =
+  let cap = t.cfg.Config.failover.Config.reply_cache_cap in
+  if cap > 0 then begin
+    if not (Hashtbl.mem t.reply_cache key) then begin
+      Queue.push key t.reply_order;
+      if Queue.length t.reply_order > cap then
+        Hashtbl.remove t.reply_cache (Queue.pop t.reply_order)
+    end;
+    Hashtbl.replace t.reply_cache key reply
+  end
+
 let serve_request t (hdr : Protocol.header) r =
   if hdr.method_id = shutdown_method then t.shutdown <- true
   else begin
@@ -356,42 +476,71 @@ let serve_request t (hdr : Protocol.header) r =
       Msgbuf.write_string w msg;
       send_msg t ~dest:hdr.src (Msgbuf.contents w)
     in
-    match find_handler t (hdr.target_obj, hdr.method_id) with
-    | None ->
-        exn_reply_now
-          (Printf.sprintf "machine %d has no (obj %d, method %d)" t.nid
-             hdr.target_obj hdr.method_id)
-    | Some entry ->
-    trace_event t
-      (Trace.Served
-         { machine = t.nid; src = hdr.src; meth = hdr.method_id;
-           callsite = hdr.callsite });
-    (* both sides derive the effective plan identically: the compiler
-       plan under site mode, the tag-carrying generic plan otherwise *)
-    let cp =
-      compiled_for t ~callsite:hdr.callsite ~nargs:hdr.nargs
-        ~has_ret:entry.has_ret
+    (* the reply cache only matters where requests can be retried — the
+       reliable transport; the raw paper-table path skips it entirely *)
+    let cache_key =
+      if Rmi_net.Cluster.is_reliable t.cluster then
+        Some (hdr.src, hdr.epoch, hdr.seq)
+      else None
     in
-    let exn_reply msg =
-      let w = Msgbuf.create_writer () in
-      Protocol.write_header w { hdr with Protocol.kind = Protocol.Exn_reply };
-      Msgbuf.write_string w msg;
-      w
+    let cached =
+      match cache_key with
+      | None -> None
+      | Some key -> Hashtbl.find_opt t.reply_cache key
     in
-    let reply =
-      try
-        let args = unmarshal_args t cp ~callsite:hdr.callsite r in
-        let ret = entry.fn args in
-        marshal_ret t cp hdr ret
-      with
-      | Codec.Type_confusion msg | Failure msg | Remote_exception msg ->
-          exn_reply msg
-      | Msgbuf.Underflow msg ->
-          (* corrupt or truncated request payload: report it cleanly
-             instead of taking the serving machine down *)
-          exn_reply ("malformed request: " ^ msg)
-    in
-    send_msg t ~dest:hdr.src (Msgbuf.contents reply)
+    match cached with
+    | Some reply ->
+        (* an RPC-level retry of a request this node already executed
+           (its reply was lost, or a failover raced a slow primary):
+           replay the stored reply, exactly-once preserved *)
+        Metrics.incr_reply_cache_hits (metrics t);
+        send_msg t ~dest:hdr.src reply
+    | None -> (
+        match find_handler t (hdr.target_obj, hdr.method_id) with
+        | None ->
+            exn_reply_now
+              (Printf.sprintf "machine %d has no (obj %d, method %d)" t.nid
+                 hdr.target_obj hdr.method_id)
+        | Some entry ->
+            trace_event t
+              (Trace.Served
+                 { machine = t.nid; src = hdr.src; meth = hdr.method_id;
+                   callsite = hdr.callsite });
+            (* both sides derive the effective plan identically: the
+               compiler plan under site mode, the tag-carrying generic
+               plan otherwise *)
+            let cp =
+              compiled_for t ~callsite:hdr.callsite ~nargs:hdr.nargs
+                ~has_ret:entry.has_ret
+            in
+            let exn_reply msg =
+              let w = Msgbuf.create_writer () in
+              Protocol.write_header w
+                { hdr with Protocol.kind = Protocol.Exn_reply };
+              Msgbuf.write_string w msg;
+              w
+            in
+            let reply =
+              try
+                let args = unmarshal_args t cp ~callsite:hdr.callsite r in
+                let ret = entry.fn args in
+                marshal_ret t cp hdr ret
+              with
+              | Codec.Type_confusion msg | Failure msg | Remote_exception msg
+                ->
+                  exn_reply msg
+              | Msgbuf.Underflow msg ->
+                  (* corrupt or truncated request payload: report it
+                     cleanly instead of taking the serving machine down *)
+                  exn_reply ("malformed request: " ^ msg)
+            in
+            let reply = Msgbuf.contents reply in
+            (* stored before the reply leaves: execution and cache entry
+               are atomic with respect to a crash at frame granularity *)
+            (match cache_key with
+            | Some key -> cache_reply t key reply
+            | None -> ());
+            send_msg t ~dest:hdr.src reply)
   end
 
 let dispatch t msg k =
@@ -445,6 +594,7 @@ let send_shutdown t ~dest =
     {
       Protocol.kind = Protocol.Request;
       src = t.nid;
+      epoch = Rmi_net.Cluster.self_epoch t.cluster t.nid;
       seq = 0;
       target_obj = 0;
       method_id = shutdown_method;
@@ -464,6 +614,77 @@ let send_shutdown t ~dest =
    In synchronous mode the pump runs the other machines directly and a
    quiescent cluster is an immediate deadlock; in parallel mode we
    block on the mailbox until the reply (or a nested request) lands. *)
+(* one transport cycle on [q]'s request exhausted its retransmit
+   budget (or the cluster went quiescent with [q] unanswered): retry,
+   fail over to a replica, or give up according to the failure policy *)
+let transport_failed t (q : pending) detail =
+  let now = Unix.gettimeofday () in
+  breaker_failure t q.pc_dest;
+  if now >= q.pc_deadline then begin
+    trace_event t (Trace.Timeout { machine = t.nid; dests = [ q.pc_dest ] });
+    resolve_future t q
+      (Failed
+         (Rpc_timeout
+            (Printf.sprintf "machine %d: seq %d missed its deadline: %s" t.nid
+               q.pc_seq detail)))
+  end
+  else if q.pc_attempts > t.cfg.Config.failover.Config.max_call_retries then begin
+    trace_event t (Trace.Timeout { machine = t.nid; dests = [ q.pc_dest ] });
+    resolve_future t q
+      (Failed
+         (Peer_down
+            (Printf.sprintf
+               "machine %d: seq %d: machine %d unreachable after %d attempts: %s"
+               t.nid q.pc_seq q.pc_dest q.pc_attempts detail)))
+  end
+  else begin
+    q.pc_attempts <- q.pc_attempts + 1;
+    (* fail over once the primary is confirmed Down, or on the final
+       retry — whichever comes first — provided a replica exists *)
+    (match Hashtbl.find_opt t.replicas q.pc_primary with
+    | Some replica
+      when q.pc_dest <> replica
+           && (Rmi_net.Cluster.peer_health t.cluster ~self:t.nid
+                 ~peer:q.pc_dest
+               = Rmi_net.Cluster.Down
+              || q.pc_attempts > t.cfg.Config.failover.Config.max_call_retries
+              ) ->
+        Metrics.incr_failovers (metrics t);
+        trace_event t
+          (Trace.Failover
+             { machine = t.nid; seq = q.pc_seq; primary = q.pc_primary;
+               replica });
+        q.pc_dest <- replica
+    | _ -> ());
+    Metrics.incr_call_retries (metrics t);
+    trace_event t
+      (Trace.Call_retry
+         { machine = t.nid; seq = q.pc_seq; dest = q.pc_dest;
+           attempt = q.pc_attempts });
+    (* same seq and epoch: the server's reply cache dedups it if the
+       original was executed and only the reply was lost *)
+    send_msg t ~dest:q.pc_dest q.pc_request
+  end
+
+(* fail every outstanding call whose end-to-end deadline has passed,
+   whatever the transport is doing *)
+let sweep_deadlines t =
+  let now = Unix.gettimeofday () in
+  let victims =
+    Hashtbl.fold
+      (fun _ q acc -> if now >= q.pc_deadline then q :: acc else acc)
+      t.outstanding []
+  in
+  List.iter
+    (fun q ->
+      trace_event t (Trace.Timeout { machine = t.nid; dests = [ q.pc_dest ] });
+      resolve_future t q
+        (Failed
+           (Rpc_timeout
+              (Printf.sprintf "machine %d: seq %d missed its deadline" t.nid
+                 q.pc_seq))))
+    victims
+
 let await_pending (p : pending) =
   let t = p.pc_node in
   (* consecutive idle rounds in which nothing at all was in flight;
@@ -505,22 +726,21 @@ let await_pending (p : pending) =
               loop ()
             end)
   and drive_transport ~quiescent =
-    let timed_out dests detail =
-      trace_event t (Trace.Timeout { machine = t.nid; dests });
-      (* the reply can no longer arrive for ANY call routed at those
-         destinations (or any call at all when nothing is in flight):
-         fail them all so each awaiter sees its own Rpc_timeout *)
-      let sel =
-        match dests with
-        | [] -> fun _ -> true
-        | ds -> fun q -> List.mem q.pc_dest ds
+    (* end-to-end deadlines fire whatever the transport is doing, so no
+       future can outlive its budget *)
+    sweep_deadlines t;
+    (* every outstanding call routed at a destination the transport gave
+       up on goes through the failure policy: RPC retry, failover to a
+       replica, or Peer_down/Rpc_timeout *)
+    let gave_up dests detail =
+      let victims =
+        Hashtbl.fold
+          (fun _ q acc -> if List.mem q.pc_dest dests then q :: acc else acc)
+          t.outstanding []
       in
-      fail_outstanding t sel (fun q ->
-          Rpc_timeout
-            (Printf.sprintf "machine %d: no reply for seq %d: %s" t.nid
-               q.pc_seq detail));
-      (* p itself may be unaffected (different destination): keep
-         waiting for its reply *)
+      List.iter (fun q -> transport_failed t q detail) victims;
+      (* retried requests may be sitting in the batch buffers *)
+      flush_self t;
       loop ()
     in
     match Rmi_net.Cluster.idle t.cluster ~self:t.nid with
@@ -540,17 +760,26 @@ let await_pending (p : pending) =
         dead_rounds := 0;
         loop ()
     | Rmi_net.Cluster.Gave_up dests ->
-        timed_out dests
+        dead_rounds := 0;
+        gave_up dests
           (Printf.sprintf "frames to machine(s) %s exhausted their retransmit                           budget"
              (String.concat "," (List.map string_of_int dests)))
     | Rmi_net.Cluster.Dead ->
+        (* nothing in flight anywhere yet calls are outstanding: their
+           requests (or replies) died with a crashed machine — e.g. an
+           amnesia restart that lost an acked-but-unanswered request.
+           Resending is the only road to progress. *)
+        let dests =
+          List.sort_uniq compare
+            (Hashtbl.fold (fun _ q acc -> q.pc_dest :: acc) t.outstanding [])
+        in
         if quiescent then
           (* synchronous mode: this thread is the whole cluster, so an
-             empty network can never produce the reply *)
-          timed_out [] "nothing left in flight"
+             empty network can never produce the reply by waiting *)
+          gave_up dests "nothing left in flight"
         else begin
           incr dead_rounds;
-          if !dead_rounds > 500 then timed_out [] "nothing left in flight"
+          if !dead_rounds > 500 then gave_up dests "nothing left in flight"
           else loop ()
         end
   in
@@ -584,7 +813,8 @@ let peek_pending (p : pending) =
 (* calling                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let call_async t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
+let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
+    args =
   let started = Unix.gettimeofday () in
   trace_event t
     (Trace.Call_start
@@ -606,6 +836,7 @@ let call_async t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
     {
       Protocol.kind = Protocol.Request;
       src = t.nid;
+      epoch = Rmi_net.Cluster.self_epoch t.cluster t.nid;
       seq = t.seq;
       target_obj = dest.Remote_ref.obj;
       method_id = meth;
@@ -613,14 +844,23 @@ let call_async t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
       nargs;
     }
   in
+  let budget =
+    match deadline with
+    | Some d -> d
+    | None -> t.cfg.Config.failover.Config.call_deadline
+  in
   let p =
     {
       pc_seq = t.seq;
       pc_callsite = callsite;
       pc_dest = dest.Remote_ref.machine;
+      pc_primary = dest.Remote_ref.machine;
       pc_cp = cp;
       pc_node = t;
       pc_started = started;
+      pc_deadline = started +. budget;
+      pc_request = Bytes.empty;
+      pc_attempts = 1;
       pc_state = Pending;
     }
   in
@@ -659,12 +899,25 @@ let call_async t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret args =
     resolve_future t p state;
     p
   end
+  else if not (breaker_allows t ~dest:dest.Remote_ref.machine ~now:started)
+  then begin
+    (* circuit open: fail fast without touching the wire, so a dead
+       peer costs one exception instead of a full retransmit budget *)
+    Metrics.incr_breaker_fastfails (metrics t);
+    resolve_future t p
+      (Failed
+         (Peer_down
+            (Printf.sprintf "machine %d: circuit open to machine %d" t.nid
+               dest.Remote_ref.machine)));
+    p
+  end
   else begin
     Metrics.incr_remote_rpcs (metrics t);
     let w = marshal_args t cp header args in
+    p.pc_request <- Msgbuf.contents w;
     Hashtbl.replace t.outstanding p.pc_seq p;
     Metrics.record_outstanding (metrics t) (Hashtbl.length t.outstanding);
-    send_msg t ~dest:dest.Remote_ref.machine (Msgbuf.contents w);
+    send_msg t ~dest:dest.Remote_ref.machine p.pc_request;
     p
   end
 
@@ -676,5 +929,5 @@ module Future = struct
   let all ps = List.map await_pending ps
 end
 
-let call t ~dest ~meth ~callsite ~has_ret args =
-  await_pending (call_async t ~dest ~meth ~callsite ~has_ret args)
+let call ?deadline t ~dest ~meth ~callsite ~has_ret args =
+  await_pending (call_async ?deadline t ~dest ~meth ~callsite ~has_ret args)

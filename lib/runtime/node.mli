@@ -32,6 +32,13 @@ exception Deadlock of string
     [Config.Reliable]. *)
 exception Rpc_timeout of string
 
+(** The peer was retried [Config.failover.max_call_retries] times (each
+    retry restarting the transport's full retransmit budget, failing
+    over to a registered replica when one exists) and still never
+    answered — or its circuit breaker is open and the call fast-failed
+    without touching the wire. *)
+exception Peer_down of string
+
 val create :
   Rmi_net.Cluster.t ->
   id:int ->
@@ -87,8 +94,14 @@ end
     (see {!Config.with_batching}) the request is coalesced into the
     per-destination batch buffer and goes out on the next flush point —
     an explicit await, a serve cycle, or the byte threshold.  Local
-    calls execute eagerly; their outcome still surfaces at await. *)
+    calls execute eagerly; their outcome still surfaces at await.
+
+    [deadline] (seconds, default [Config.failover.call_deadline]) bounds
+    the call end to end: across transport give-ups, RPC retries and
+    failovers, the future settles — with the reply, [Rpc_timeout] or
+    [Peer_down] — rather than hang. *)
 val call_async :
+  ?deadline:float ->
   t ->
   dest:Remote_ref.t ->
   meth:int ->
@@ -101,8 +114,11 @@ val call_async :
     [call_async ... |> Future.await].
     @raise Remote_exception when the remote handler raised
     @raise Deadlock when no progress is possible (raw transport)
-    @raise Rpc_timeout when the reliable transport gives up on the call *)
+    @raise Rpc_timeout when the reliable transport gives up on the call
+    @raise Peer_down when retries/failover were exhausted or the peer's
+    circuit breaker is open *)
 val call :
+  ?deadline:float ->
   t ->
   dest:Remote_ref.t ->
   meth:int ->
@@ -110,6 +126,12 @@ val call :
   has_ret:bool ->
   Rmi_serial.Value.t array ->
   Rmi_serial.Value.t option
+
+(** [set_replica t ~primary ~replica] tells this node that objects it
+    addresses on machine [primary] are also exported (same object and
+    method ids) on machine [replica]; when [primary] is [Down] — or on
+    the final retry — in-flight calls are re-sent there. *)
+val set_replica : t -> primary:int -> replica:int -> unit
 
 (** Serve every queued request; [true] if at least one was served. *)
 val serve_pending : t -> bool

@@ -27,4 +27,22 @@ let new_remote t specs =
   t.rr <- (t.rr + 1) mod Fabric.size t.fabric;
   new_remote_on t ~machine specs
 
+let new_replicated t ~primary ~replica specs =
+  if primary = replica then
+    invalid_arg "Registry: primary and replica must differ";
+  if replica < 0 || replica >= Fabric.size t.fabric then
+    invalid_arg (Printf.sprintf "Registry: bad machine %d" replica);
+  let r = new_remote_on t ~machine:primary specs in
+  (* same object id on the replica, so a retargeted request resolves
+     without any client-side translation *)
+  let rnode = Fabric.node t.fabric replica in
+  List.iter
+    (fun { meth; has_ret; handler } ->
+      Node.export rnode ~obj:r.Remote_ref.obj ~meth ~has_ret handler)
+    specs;
+  for m = 0 to Fabric.size t.fabric - 1 do
+    Node.set_replica (Fabric.node t.fabric m) ~primary ~replica
+  done;
+  r
+
 let exported t = t.next_obj

@@ -29,5 +29,13 @@ val new_remote : t -> method_spec list -> Remote_ref.t
 (** Like [new_remote] with explicit placement. *)
 val new_remote_on : t -> machine:int -> method_spec list -> Remote_ref.t
 
+(** [new_replicated t ~primary ~replica specs] places the object on
+    [primary], exports the same handlers under the same object id on
+    [replica], and registers the (primary -> replica) failover mapping
+    on every node (see {!Node.set_replica}).  Handlers must be
+    stateless or replica-synchronized by the caller. *)
+val new_replicated :
+  t -> primary:int -> replica:int -> method_spec list -> Remote_ref.t
+
 (** Number of objects exported so far. *)
 val exported : t -> int

@@ -7,6 +7,13 @@ type event =
   | Future_created of { machine : int; seq : int; callsite : int; dest : int }
   | Future_resolved of { machine : int; seq : int; callsite : int; failed : bool }
   | Batch_flush of { machine : int; dest : int; msgs : int; bytes : int }
+  | Crash of { machine : int; amnesia : bool }
+  | Restart of { machine : int; epoch : int }
+  | Suspect of { machine : int; peer : int }
+  | Peer_down of { machine : int; peer : int }
+  | Call_retry of { machine : int; seq : int; dest : int; attempt : int }
+  | Failover of { machine : int; seq : int; primary : int; replica : int }
+  | Breaker_open of { machine : int; peer : int }
 
 type entry = { seq : int; at_us : float; event : event }
 
@@ -71,6 +78,23 @@ let pp_event ppf = function
       Format.fprintf ppf "m%d flushed %d msg%s (%d B) -> m%d" machine msgs
         (if msgs = 1 then "" else "s")
         bytes dest
+  | Crash { machine; amnesia } ->
+      Format.fprintf ppf "m%d crashed%s" machine
+        (if amnesia then " (amnesia)" else " (durable)")
+  | Restart { machine; epoch } ->
+      Format.fprintf ppf "m%d restarted epoch=%d" machine epoch
+  | Suspect { machine; peer } ->
+      Format.fprintf ppf "m%d suspects m%d" machine peer
+  | Peer_down { machine; peer } ->
+      Format.fprintf ppf "m%d confirms m%d down" machine peer
+  | Call_retry { machine; seq; dest; attempt } ->
+      Format.fprintf ppf "m%d retry seq=%d -> m%d (attempt %d)" machine seq
+        dest attempt
+  | Failover { machine; seq; primary; replica } ->
+      Format.fprintf ppf "m%d failover seq=%d m%d -> m%d" machine seq primary
+        replica
+  | Breaker_open { machine; peer } ->
+      Format.fprintf ppf "m%d breaker open for m%d" machine peer
 
 let render ?(limit = 200) t =
   let buf = Buffer.create 512 in
@@ -106,7 +130,8 @@ let summary t =
           if elapsed_us < !mn then mn := elapsed_us;
           if elapsed_us > !mx then mx := elapsed_us
       | Call_start _ | Served _ | Retry _ | Timeout _ | Future_created _
-      | Future_resolved _ | Batch_flush _ -> ())
+      | Future_resolved _ | Batch_flush _ | Crash _ | Restart _ | Suspect _
+      | Peer_down _ | Call_retry _ | Failover _ | Breaker_open _ -> ())
     (entries t);
   let rows =
     Hashtbl.fold

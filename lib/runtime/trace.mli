@@ -29,6 +29,23 @@ type event =
   | Batch_flush of { machine : int; dest : int; msgs : int; bytes : int }
       (** [machine] shipped [msgs] coalesced messages ([bytes] logical
           payload bytes) to [dest] as one envelope *)
+  | Crash of { machine : int; amnesia : bool }
+      (** the simulator killed [machine]; [amnesia] = its reply cache
+          died with it *)
+  | Restart of { machine : int; epoch : int }
+      (** [machine] came back as incarnation [epoch] *)
+  | Suspect of { machine : int; peer : int }
+      (** [machine]'s failure detector demoted [peer] to Suspect *)
+  | Peer_down of { machine : int; peer : int }
+      (** [machine]'s failure detector confirmed [peer] Down *)
+  | Call_retry of { machine : int; seq : int; dest : int; attempt : int }
+      (** the transport gave up on seq's request; the node re-sent it *)
+  | Failover of { machine : int; seq : int; primary : int; replica : int }
+      (** a retried call was retargeted from [primary] to its
+          registered [replica] *)
+  | Breaker_open of { machine : int; peer : int }
+      (** [peer] failed [breaker_threshold] calls in a row; new calls
+          to it fast-fail until the cooldown expires *)
 
 type entry = {
   seq : int;  (** global order of recording *)

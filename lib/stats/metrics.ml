@@ -33,6 +33,16 @@ type t = {
   timeouts : int Atomic.t;
   dup_drops : int Atomic.t;
   acks_sent : int Atomic.t;
+  crashes : int Atomic.t;
+  restarts : int Atomic.t;
+  heartbeats_sent : int Atomic.t;
+  stale_drops : int Atomic.t;
+  suspects : int Atomic.t;
+  peer_downs : int Atomic.t;
+  call_retries : int Atomic.t;
+  failovers : int Atomic.t;
+  breaker_fastfails : int Atomic.t;
+  reply_cache_hits : int Atomic.t;
   batches_sent : int Atomic.t;
   batched_msgs : int Atomic.t;
   unbatched_msgs : int Atomic.t;
@@ -55,6 +65,16 @@ type snapshot = {
   timeouts : int;
   dup_drops : int;
   acks_sent : int;
+  crashes : int;
+  restarts : int;
+  heartbeats_sent : int;
+  stale_drops : int;
+  suspects : int;
+  peer_downs : int;
+  call_retries : int;
+  failovers : int;
+  breaker_fastfails : int;
+  reply_cache_hits : int;
   batches_sent : int;
   batched_msgs : int;
   unbatched_msgs : int;
@@ -78,6 +98,16 @@ let create () : t =
     timeouts = Atomic.make 0;
     dup_drops = Atomic.make 0;
     acks_sent = Atomic.make 0;
+    crashes = Atomic.make 0;
+    restarts = Atomic.make 0;
+    heartbeats_sent = Atomic.make 0;
+    stale_drops = Atomic.make 0;
+    suspects = Atomic.make 0;
+    peer_downs = Atomic.make 0;
+    call_retries = Atomic.make 0;
+    failovers = Atomic.make 0;
+    breaker_fastfails = Atomic.make 0;
+    reply_cache_hits = Atomic.make 0;
     batches_sent = Atomic.make 0;
     batched_msgs = Atomic.make 0;
     unbatched_msgs = Atomic.make 0;
@@ -100,6 +130,16 @@ let reset (t : t) =
   Atomic.set t.timeouts 0;
   Atomic.set t.dup_drops 0;
   Atomic.set t.acks_sent 0;
+  Atomic.set t.crashes 0;
+  Atomic.set t.restarts 0;
+  Atomic.set t.heartbeats_sent 0;
+  Atomic.set t.stale_drops 0;
+  Atomic.set t.suspects 0;
+  Atomic.set t.peer_downs 0;
+  Atomic.set t.call_retries 0;
+  Atomic.set t.failovers 0;
+  Atomic.set t.breaker_fastfails 0;
+  Atomic.set t.reply_cache_hits 0;
   Atomic.set t.batches_sent 0;
   Atomic.set t.batched_msgs 0;
   Atomic.set t.unbatched_msgs 0;
@@ -122,6 +162,16 @@ let incr_retries (t : t) = add t.retries 1
 let incr_timeouts (t : t) = add t.timeouts 1
 let incr_dup_drops (t : t) = add t.dup_drops 1
 let incr_acks_sent (t : t) = add t.acks_sent 1
+let incr_crashes (t : t) = add t.crashes 1
+let incr_restarts (t : t) = add t.restarts 1
+let incr_heartbeats_sent (t : t) = add t.heartbeats_sent 1
+let incr_stale_drops (t : t) = add t.stale_drops 1
+let incr_suspects (t : t) = add t.suspects 1
+let incr_peer_downs (t : t) = add t.peer_downs 1
+let incr_call_retries (t : t) = add t.call_retries 1
+let incr_failovers (t : t) = add t.failovers 1
+let incr_breaker_fastfails (t : t) = add t.breaker_fastfails 1
+let incr_reply_cache_hits (t : t) = add t.reply_cache_hits 1
 
 let record_batch (t : t) ~msgs =
   if msgs >= 1 then begin
@@ -160,6 +210,16 @@ let snapshot (t : t) =
     timeouts = Atomic.get t.timeouts;
     dup_drops = Atomic.get t.dup_drops;
     acks_sent = Atomic.get t.acks_sent;
+    crashes = Atomic.get t.crashes;
+    restarts = Atomic.get t.restarts;
+    heartbeats_sent = Atomic.get t.heartbeats_sent;
+    stale_drops = Atomic.get t.stale_drops;
+    suspects = Atomic.get t.suspects;
+    peer_downs = Atomic.get t.peer_downs;
+    call_retries = Atomic.get t.call_retries;
+    failovers = Atomic.get t.failovers;
+    breaker_fastfails = Atomic.get t.breaker_fastfails;
+    reply_cache_hits = Atomic.get t.reply_cache_hits;
     batches_sent = Atomic.get t.batches_sent;
     batched_msgs = Atomic.get t.batched_msgs;
     unbatched_msgs = Atomic.get t.unbatched_msgs;
@@ -183,6 +243,16 @@ let zero =
     timeouts = 0;
     dup_drops = 0;
     acks_sent = 0;
+    crashes = 0;
+    restarts = 0;
+    heartbeats_sent = 0;
+    stale_drops = 0;
+    suspects = 0;
+    peer_downs = 0;
+    call_retries = 0;
+    failovers = 0;
+    breaker_fastfails = 0;
+    reply_cache_hits = 0;
     batches_sent = 0;
     batched_msgs = 0;
     unbatched_msgs = 0;
@@ -206,6 +276,16 @@ let map2 f a b =
     timeouts = f a.timeouts b.timeouts;
     dup_drops = f a.dup_drops b.dup_drops;
     acks_sent = f a.acks_sent b.acks_sent;
+    crashes = f a.crashes b.crashes;
+    restarts = f a.restarts b.restarts;
+    heartbeats_sent = f a.heartbeats_sent b.heartbeats_sent;
+    stale_drops = f a.stale_drops b.stale_drops;
+    suspects = f a.suspects b.suspects;
+    peer_downs = f a.peer_downs b.peer_downs;
+    call_retries = f a.call_retries b.call_retries;
+    failovers = f a.failovers b.failovers;
+    breaker_fastfails = f a.breaker_fastfails b.breaker_fastfails;
+    reply_cache_hits = f a.reply_cache_hits b.reply_cache_hits;
     batches_sent = f a.batches_sent b.batches_sent;
     batched_msgs = f a.batched_msgs b.batched_msgs;
     unbatched_msgs = f a.unbatched_msgs b.unbatched_msgs;
@@ -227,13 +307,30 @@ let pp_batch_hist ppf hist =
     Format.fprintf ppf " ]"
   end
 
+let pp_robustness ppf s =
+  (* crash/failover counters only appear once something failed, so
+     fault-free paper-table output is unchanged *)
+  if
+    s.crashes + s.restarts + s.heartbeats_sent + s.stale_drops + s.suspects
+    + s.peer_downs + s.call_retries + s.failovers + s.breaker_fastfails
+    + s.reply_cache_hits > 0
+  then
+    Format.fprintf ppf
+      "@ crashes=%d restarts=%d heartbeats=%d stale_drops=%d suspects=%d \
+       peer_downs=%d@ call_retries=%d failovers=%d breaker_fastfails=%d \
+       reply_cache_hits=%d"
+      s.crashes s.restarts s.heartbeats_sent s.stale_drops s.suspects
+      s.peer_downs s.call_retries s.failovers s.breaker_fastfails
+      s.reply_cache_hits
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
      allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
-     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a@]"
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
     s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
     s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist
+    pp_robustness s

@@ -24,6 +24,16 @@ type snapshot = {
   timeouts : int;         (** frames abandoned after exhausting retransmits *)
   dup_drops : int;        (** duplicate frames suppressed by at-most-once dedup *)
   acks_sent : int;        (** link-level acknowledgements sent *)
+  crashes : int;          (** simulated process crashes observed *)
+  restarts : int;         (** simulated process restarts observed *)
+  heartbeats_sent : int;  (** failure-detector pings and pongs sent *)
+  stale_drops : int;      (** frames fenced for carrying an old incarnation *)
+  suspects : int;         (** peers demoted Alive -> Suspect by the detector *)
+  peer_downs : int;       (** peers confirmed Down by the detector *)
+  call_retries : int;     (** RPC-level request resends after transport gave up *)
+  failovers : int;        (** calls retargeted from a primary to its replica *)
+  breaker_fastfails : int;(** calls failed immediately by an open circuit breaker *)
+  reply_cache_hits : int; (** retried requests served from the reply cache *)
   batches_sent : int;     (** envelopes that coalesced >= 2 logical messages *)
   batched_msgs : int;     (** logical messages that travelled inside a batch *)
   unbatched_msgs : int;   (** logical messages that travelled alone *)
@@ -67,6 +77,21 @@ val incr_retries : t -> unit
 val incr_timeouts : t -> unit
 val incr_dup_drops : t -> unit
 val incr_acks_sent : t -> unit
+
+(** Crash, failure-detector and failover counters (PR 3).  Like the
+    reliability counters they never touch the logical-traffic counters:
+    heartbeats and fenced frames are transport plumbing, not messages. *)
+
+val incr_crashes : t -> unit
+val incr_restarts : t -> unit
+val incr_heartbeats_sent : t -> unit
+val incr_stale_drops : t -> unit
+val incr_suspects : t -> unit
+val incr_peer_downs : t -> unit
+val incr_call_retries : t -> unit
+val incr_failovers : t -> unit
+val incr_breaker_fastfails : t -> unit
+val incr_reply_cache_hits : t -> unit
 
 (** Batching and pipelining counters.  Like the reliability counters,
     these never touch [msgs_sent]/[bytes_sent]: a batch envelope counts

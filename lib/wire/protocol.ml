@@ -3,6 +3,7 @@ type kind = Request | Reply | Ack | Exn_reply
 type header = {
   kind : kind;
   src : int;
+  epoch : int;
   seq : int;
   target_obj : int;
   method_id : int;
@@ -22,6 +23,7 @@ let kind_of_code = function
 let write_header w h =
   Msgbuf.write_u8 w (kind_code h.kind);
   Msgbuf.write_uvarint w h.src;
+  Msgbuf.write_uvarint w h.epoch;
   Msgbuf.write_uvarint w h.seq;
   Msgbuf.write_varint w h.target_obj;
   Msgbuf.write_varint w h.method_id;
@@ -31,12 +33,13 @@ let write_header w h =
 let read_header r =
   let kind = kind_of_code (Msgbuf.read_u8 r) in
   let src = Msgbuf.read_uvarint r in
+  let epoch = Msgbuf.read_uvarint r in
   let seq = Msgbuf.read_uvarint r in
   let target_obj = Msgbuf.read_varint r in
   let method_id = Msgbuf.read_varint r in
   let callsite = Msgbuf.read_varint r in
   let nargs = Msgbuf.read_uvarint r in
-  { kind; src; seq; target_obj; method_id; callsite; nargs }
+  { kind; src; epoch; seq; target_obj; method_id; callsite; nargs }
 
 let pp_kind ppf k =
   Format.pp_print_string ppf
@@ -47,7 +50,9 @@ let pp_kind ppf k =
     | Exn_reply -> "exn-reply")
 
 let pp_header ppf h =
-  Format.fprintf ppf "{%a src=%d seq=%d obj=%d meth=%d site=%d nargs=%d}" pp_kind h.kind h.src
+  Format.fprintf ppf "{%a src=%d%s seq=%d obj=%d meth=%d site=%d nargs=%d}"
+    pp_kind h.kind h.src
+    (if h.epoch = 0 then "" else Printf.sprintf " epoch=%d" h.epoch)
     h.seq h.target_obj h.method_id h.callsite h.nargs
 
 let header_size h =

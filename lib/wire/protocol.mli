@@ -15,6 +15,10 @@ type kind =
 type header = {
   kind : kind;
   src : int;          (** sending machine (where replies go) *)
+  epoch : int;        (** caller's incarnation number; together with
+                          [(src, seq)] it keys the server's reply cache,
+                          so a restarted client reusing sequence numbers
+                          can never be served a predecessor's reply *)
   seq : int;          (** request sequence number, echoed by the reply *)
   target_obj : int;   (** exported object id on the destination machine *)
   method_id : int;    (** registry index of the callee method *)

@@ -155,23 +155,38 @@ let transient_drops_recovered_and_counted () =
 let permanent_partition_times_out_cleanly () =
   let metrics, cluster, n0 = reliable_pair () in
   (* machine 1 is unreachable forever; recv_blocking must not hang —
-     the call has to surface a clean Rpc_timeout *)
+     after the RPC-level retries are spent the call has to surface a
+     clean Peer_down *)
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
       if dest = 1 then None else Some msg);
-  Alcotest.(check bool) "clean timeout" true
+  Alcotest.(check bool) "clean peer-down" true
     (try
        ignore
          (Node.call n0
             ~dest:(Remote_ref.make ~machine:1 ~obj:0)
             ~meth:m_incr ~callsite:1 ~has_ret:true [| box 1 |]);
        false
-     with Node.Rpc_timeout msg -> String.length msg > 0);
+     with Node.Peer_down msg -> String.length msg > 0);
   let s = Metrics.snapshot metrics in
   Alcotest.(check bool) "retransmit budget spent" true
     (s.Metrics.retries >= Rmi_net.Cluster.default_params.Rmi_net.Cluster.max_attempts - 1);
   Alcotest.(check bool) "abandoned frame counted" true (s.Metrics.timeouts >= 1);
-  (* the partition heals: the same pair keeps working *)
+  (* the repeated transport failures opened machine 1's circuit
+     breaker: a call issued inside the cooldown fast-fails without
+     touching the wire *)
+  (try
+     ignore
+       (Node.call n0
+          ~dest:(Remote_ref.make ~machine:1 ~obj:0)
+          ~meth:m_incr ~callsite:1 ~has_ret:true [| box 2 |]);
+     Alcotest.fail "expected a breaker fast-fail"
+   with Node.Peer_down _ -> ());
+  Alcotest.(check bool) "fast-fail counted" true
+    ((Metrics.snapshot metrics).Metrics.breaker_fastfails >= 1);
+  (* the partition heals and the cooldown passes: the half-open probe
+     goes through and the same pair keeps working *)
   Rmi_net.Cluster.clear_fault_hook cluster;
+  Unix.sleepf 0.3;
   match
     Node.call n0
       ~dest:(Remote_ref.make ~machine:1 ~obj:0)

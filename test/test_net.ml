@@ -56,17 +56,20 @@ let mailbox_recv_deadline () =
 
 let envelope_roundtrip () =
   let payload = Bytes.of_string "hello rmi" in
-  let frame = Envelope.encode ~kind:Envelope.Data ~src:3 ~lseq:77 ~payload in
+  let frame =
+    Envelope.encode ~kind:Envelope.Data ~src:3 ~epoch:2 ~lseq:77 ~payload ()
+  in
   (match Envelope.decode frame with
-  | Some ({ Envelope.kind = Data; src = 3; lseq = 77 }, p) ->
+  | Some ({ Envelope.kind = Data; src = 3; epoch = 2; lseq = 77 }, p) ->
       Alcotest.(check string) "payload intact" "hello rmi" (Bytes.to_string p)
   | _ -> Alcotest.fail "roundtrip failed");
-  (* an ack frame has no payload *)
+  (* an ack frame has no payload; epoch defaults to 0 *)
   (match
      Envelope.decode
-       (Envelope.encode ~kind:Envelope.Ack ~src:0 ~lseq:5 ~payload:Bytes.empty)
+       (Envelope.encode ~kind:Envelope.Ack ~src:0 ~lseq:5 ~payload:Bytes.empty
+          ())
    with
-  | Some ({ Envelope.kind = Ack; src = 0; lseq = 5 }, p) ->
+  | Some ({ Envelope.kind = Ack; src = 0; epoch = 0; lseq = 5 }, p) ->
       Alcotest.(check int) "empty payload" 0 (Bytes.length p)
   | _ -> Alcotest.fail "ack roundtrip failed");
   (* any single flipped bit must be caught by the checksum *)
@@ -108,6 +111,104 @@ let fault_sim_lossless_is_passthrough () =
   done;
   Alcotest.(check string) "no fault decisions logged" "" (Fault_sim.digest sim);
   Alcotest.(check int) "nothing held" 0 (Fault_sim.held_frames sim)
+
+(* the decision log for one known seed, pinned byte-for-byte: any
+   change to the sampling order, the log format or the crash machinery
+   that silently reshuffles schedules fails here first *)
+let fault_sim_digest_pinned () =
+  let sim = Fault_sim.create ~seed:7 ~n:2 Fault_sim.default_lossy in
+  Fault_sim.set_crash_plan sim
+    [
+      { Fault_sim.victim = 1; crash_at = 6; restart_after = Some 4;
+        durability = Fault_sim.Amnesia };
+    ];
+  for i = 1 to 12 do
+    ignore (Fault_sim.on_send sim ~src:0 ~dest:1 (Bytes.make 8 (Char.chr i)))
+  done;
+  Alcotest.(check string) "digest pinned for seed 7"
+    "0->1 #3 drop\n\
+     0->1 #5 drop\n\
+     crash m1 @6 amnesia outage=4\n\
+     0->1 dead-dest drop @6\n\
+     0->1 dead-dest drop @7\n\
+     0->1 dead-dest drop @8\n\
+     0->1 dead-dest drop @9\n\
+     restart m1 @10 epoch=1\n\
+     0->1 #7 hold 1\n\
+     0->1 release\n"
+    (Fault_sim.digest sim)
+
+let recv_deadline_edge_cases () =
+  let m = Metrics.create () in
+  let c = Cluster.create ~n:2 m in
+  (* zero and negative deadlines still drain an already-deliverable
+     frame (poll semantics), and return None — not hang — when empty *)
+  Cluster.send c ~src:0 ~dest:1 (Bytes.of_string "queued");
+  Alcotest.(check (option string)) "zero deadline drains" (Some "queued")
+    (Option.map Bytes.to_string (Cluster.recv_deadline c ~self:1 ~seconds:0.0));
+  Alcotest.(check (option string)) "zero deadline empty" None
+    (Option.map Bytes.to_string (Cluster.recv_deadline c ~self:1 ~seconds:0.0));
+  Cluster.send c ~src:0 ~dest:1 (Bytes.of_string "again");
+  Alcotest.(check (option string)) "negative deadline drains" (Some "again")
+    (Option.map Bytes.to_string
+       (Cluster.recv_deadline c ~self:1 ~seconds:(-1.0)));
+  Alcotest.(check (option string)) "negative deadline empty" None
+    (Option.map Bytes.to_string
+       (Cluster.recv_deadline c ~self:1 ~seconds:(-1.0)))
+
+let recv_deadline_expires_while_frames_held () =
+  (* every frame is held back one send by the reorder stage: a deadline
+     must expire cleanly while the only frame in the system is in the
+     simulator's hold queue, then the next send releases it *)
+  let m = Metrics.create () in
+  let c = Cluster.create ~n:2 m in
+  (* max_delay 2 and a seed whose first delay sample is 2: the frame
+     stays in the hold queue until the next send on the link *)
+  let seed =
+    let ok s =
+      let probe =
+        Fault_sim.create ~seed:s ~n:2
+          { Fault_sim.drop = 0.0; duplicate = 0.0; reorder = 1.0;
+            corrupt = 0.0; max_delay = 2 }
+      in
+      ignore (Fault_sim.on_send probe ~src:0 ~dest:1 (Bytes.of_string "x"));
+      Fault_sim.held_frames probe = 1
+    in
+    let rec find s = if ok s then s else find (s + 1) in
+    find 1
+  in
+  let sim =
+    Fault_sim.create ~seed ~n:2
+      { Fault_sim.drop = 0.0; duplicate = 0.0; reorder = 1.0; corrupt = 0.0;
+        max_delay = 2 }
+  in
+  Cluster.set_faults c sim;
+  Cluster.send c ~src:0 ~dest:1 (Bytes.of_string "held");
+  Alcotest.(check int) "frame held" 1 (Fault_sim.held_frames sim);
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (option string)) "deadline expires, frame still held" None
+    (Option.map Bytes.to_string
+       (Cluster.recv_deadline c ~self:1 ~seconds:0.02));
+  Alcotest.(check bool) "expired promptly" true
+    (Unix.gettimeofday () -. t0 < 5.0);
+  (* subsequent sends on the link age the hold queue and release the
+     frame; those sends may themselves be held, so flush until both the
+     held frame and the releasing frame have surfaced *)
+  Cluster.send c ~src:0 ~dest:1 (Bytes.of_string "release");
+  let seen = Hashtbl.create 4 in
+  let flushes = ref 0 in
+  while not (Hashtbl.mem seen "held" && Hashtbl.mem seen "release") do
+    (match Cluster.recv_deadline c ~self:1 ~seconds:0.05 with
+    | Some b -> Hashtbl.replace seen (Bytes.to_string b) ()
+    | None ->
+        incr flushes;
+        if !flushes > 8 then Alcotest.fail "held frame never released";
+        Cluster.send c ~src:0 ~dest:1
+          (Bytes.of_string (Printf.sprintf "flush%d" !flushes)))
+  done;
+  Alcotest.(check bool) "held frame surfaced" true (Hashtbl.mem seen "held");
+  Alcotest.(check bool) "releasing frame surfaced" true
+    (Hashtbl.mem seen "release")
 
 let cluster_counts_traffic () =
   let m = Metrics.create () in
@@ -200,11 +301,17 @@ let suite =
         Alcotest.test_case "seeded determinism" `Quick fault_sim_deterministic;
         Alcotest.test_case "lossless profile is a pass-through" `Quick
           fault_sim_lossless_is_passthrough;
+        Alcotest.test_case "digest pinned byte-for-byte" `Quick
+          fault_sim_digest_pinned;
       ] );
     ( "net.cluster",
       [
         Alcotest.test_case "traffic counted" `Quick cluster_counts_traffic;
         Alcotest.test_case "bad ids rejected" `Quick cluster_rejects_bad_ids;
+        Alcotest.test_case "recv_deadline zero/negative" `Quick
+          recv_deadline_edge_cases;
+        Alcotest.test_case "recv_deadline vs held frames" `Quick
+          recv_deadline_expires_while_frames_held;
       ] );
     ( "net.costmodel",
       [

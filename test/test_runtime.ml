@@ -385,7 +385,10 @@ let trace_records_events () =
         | Trace.Served _ -> (s, e, v + 1, c, d)
         | Trace.Future_created _ -> (s, e, v, c + 1, d)
         | Trace.Future_resolved _ -> (s, e, v, c, d + 1)
-        | Trace.Retry _ | Trace.Timeout _ | Trace.Batch_flush _ ->
+        | Trace.Retry _ | Trace.Timeout _ | Trace.Batch_flush _
+        | Trace.Crash _ | Trace.Restart _ | Trace.Suspect _
+        | Trace.Peer_down _ | Trace.Call_retry _ | Trace.Failover _
+        | Trace.Breaker_open _ ->
             (s, e, v, c, d))
       (0, 0, 0, 0, 0) (Trace.entries tr)
   in

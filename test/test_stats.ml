@@ -61,6 +61,139 @@ let concurrent_updates () =
   Alcotest.(check int) "no lost updates" 20_000
     (Metrics.snapshot m).Metrics.msgs_sent
 
+(* Build a snapshot whose every field holds a distinct value derived
+   from [k].  The record literal (no [with], no wildcard) makes this
+   test fail to compile whenever a counter is added to [snapshot]
+   without extending it — the same exhaustiveness [merge]/[diff] rely
+   on. *)
+let mk_snapshot k =
+  {
+    Metrics.remote_rpcs = k + 1;
+    local_rpcs = k + 2;
+    reused_objs = k + 3;
+    new_bytes = k + 4;
+    cycle_lookups = k + 5;
+    ser_invocations = k + 6;
+    msgs_sent = k + 7;
+    bytes_sent = k + 8;
+    type_bytes = k + 9;
+    allocs = k + 10;
+    retries = k + 11;
+    timeouts = k + 12;
+    dup_drops = k + 13;
+    acks_sent = k + 14;
+    crashes = k + 15;
+    restarts = k + 16;
+    heartbeats_sent = k + 17;
+    stale_drops = k + 18;
+    suspects = k + 19;
+    peer_downs = k + 20;
+    call_retries = k + 21;
+    failovers = k + 22;
+    breaker_fastfails = k + 23;
+    reply_cache_hits = k + 24;
+    batches_sent = k + 25;
+    batched_msgs = k + 26;
+    unbatched_msgs = k + 27;
+    outstanding_hwm = k + 28;
+    batch_hist = Array.init Metrics.hist_buckets (fun i -> k + 29 + i);
+  }
+
+let prop_merge_diff_laws =
+  QCheck.Test.make ~name:"merge/diff cover every counter (300 cases)"
+    ~count:300
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let sa = mk_snapshot a and sb = mk_snapshot b in
+      Metrics.merge Metrics.zero sa = sa
+      && Metrics.merge sa Metrics.zero = sa
+      && Metrics.diff sa Metrics.zero = sa
+      && Metrics.diff (Metrics.merge sa sb) sb = sa
+      && Metrics.merge sa sb = Metrics.merge sb sa)
+
+(* every mutator in the interface moves its counter, and [reset] puts
+   every one of them back to zero *)
+let every_counter_covered () =
+  let m = Metrics.create () in
+  Metrics.incr_remote_rpcs m;
+  Metrics.incr_local_rpcs m;
+  Metrics.add_reused_objs m 2;
+  Metrics.add_new_bytes m 3;
+  Metrics.add_cycle_lookups m 4;
+  Metrics.incr_ser_invocations m;
+  Metrics.incr_msgs_sent m;
+  Metrics.add_bytes_sent m 5;
+  Metrics.add_type_bytes m 6;
+  Metrics.incr_allocs m;
+  Metrics.incr_retries m;
+  Metrics.incr_timeouts m;
+  Metrics.incr_dup_drops m;
+  Metrics.incr_acks_sent m;
+  Metrics.incr_crashes m;
+  Metrics.incr_restarts m;
+  Metrics.incr_heartbeats_sent m;
+  Metrics.incr_stale_drops m;
+  Metrics.incr_suspects m;
+  Metrics.incr_peer_downs m;
+  Metrics.incr_call_retries m;
+  Metrics.incr_failovers m;
+  Metrics.incr_breaker_fastfails m;
+  Metrics.incr_reply_cache_hits m;
+  Metrics.record_batch m ~msgs:3;
+  Metrics.incr_unbatched m;
+  Metrics.record_outstanding m 7;
+  (* destructure without a wildcard: adding a snapshot field breaks
+     this match until the test covers it *)
+  let {
+    Metrics.remote_rpcs;
+    local_rpcs;
+    reused_objs;
+    new_bytes;
+    cycle_lookups;
+    ser_invocations;
+    msgs_sent;
+    bytes_sent;
+    type_bytes;
+    allocs;
+    retries;
+    timeouts;
+    dup_drops;
+    acks_sent;
+    crashes;
+    restarts;
+    heartbeats_sent;
+    stale_drops;
+    suspects;
+    peer_downs;
+    call_retries;
+    failovers;
+    breaker_fastfails;
+    reply_cache_hits;
+    batches_sent;
+    batched_msgs;
+    unbatched_msgs;
+    outstanding_hwm;
+    batch_hist;
+  } =
+    Metrics.snapshot m
+  in
+  List.iteri
+    (fun i v ->
+      if v <= 0 then Alcotest.failf "counter #%d not moved by its mutator" i)
+    [
+      remote_rpcs; local_rpcs; reused_objs; new_bytes; cycle_lookups;
+      ser_invocations; msgs_sent; bytes_sent; type_bytes; allocs; retries;
+      timeouts; dup_drops; acks_sent; crashes; restarts; heartbeats_sent;
+      stale_drops; suspects; peer_downs; call_retries; failovers;
+      breaker_fastfails; reply_cache_hits; batches_sent; batched_msgs;
+      unbatched_msgs; outstanding_hwm;
+    ];
+  Alcotest.(check bool) "histogram moved" true
+    (Array.exists (fun v -> v > 0) batch_hist);
+  Metrics.reset m;
+  Alcotest.(check bool) "reset restores zero on every counter" true
+    (Metrics.snapshot m = Metrics.zero)
+
 let table_renders_aligned () =
   let s =
     Ascii_table.render ~headers:[ "name"; "value" ]
@@ -105,6 +238,8 @@ let suite =
         Alcotest.test_case "reset" `Quick reset_zeroes;
         Alcotest.test_case "diff/merge" `Quick diff_and_merge;
         Alcotest.test_case "concurrent updates" `Quick concurrent_updates;
+        Alcotest.test_case "every counter covered" `Quick every_counter_covered;
+        QCheck_alcotest.to_alcotest prop_merge_diff_laws;
       ] );
     ( "stats.table",
       [
