@@ -126,6 +126,36 @@ let crash_cmd =
       const run $ Cli.seed_arg $ Cli.crashes_arg $ Cli.calls_arg
       $ Cli.window_arg)
 
+let tiers_cmd =
+  let tier_calls_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "calls" ] ~docv:"N"
+          ~doc:"How many swap RMIs each tier variant issues.")
+  in
+  let run calls window hot_threshold =
+    let r = E.tiers_compare ~calls ~window ~hot_threshold () in
+    print_endline (E.render_tiers r);
+    if not (r.E.t_equal && r.E.t_converged) then begin
+      prerr_endline
+        "tiers: adaptive run diverged from the generic/aot baselines or \
+         never reached the specialized plan";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "tiers"
+       ~doc:
+         "Run the same workload under all-generic marshaling, \
+          ahead-of-time specialized plans, and the adaptive tier \
+          (generic until hot, specialized after), printing the per-window \
+          warmup curve.  Exits nonzero unless all replies are \
+          byte-identical and the adaptive run converges to the AOT \
+          per-call wire cost — the CI tiers gate runs this.")
+    Term.(
+      const run $ tier_calls_arg $ Cli.window_arg $ Cli.hot_threshold_arg)
+
 let report_cmd =
   let run () =
     let apps =
@@ -150,12 +180,6 @@ let report_cmd =
     Term.(const run $ const ())
 
 let compile_cmd =
-  let file_arg =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Source file in the Java-like surface syntax.")
-  in
   let show_jir =
     Arg.(value & flag & info [ "jir" ] ~doc:"Also print the lowered JIR.")
   in
@@ -199,7 +223,7 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:
          "Compile a source file (Java-like syntax, see examples/*.jav) and           print the optimizer's per-call-site decisions.")
-    Term.(const run $ file_arg $ show_jir $ show_dot $ optimize)
+    Term.(const run $ Cli.file_arg $ show_jir $ show_dot $ optimize)
 
 let breakdown_cmd =
   let run scale mode =
@@ -288,26 +312,7 @@ let trace_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let file_arg =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Source file in the Java-like surface syntax.")
-  in
-  let entry_arg =
-    Arg.(
-      value
-      & opt string "Driver.main"
-      & info [ "entry" ] ~docv:"METHOD"
-          ~doc:"Qualified method to execute on machine 0 (must take no                 parameters).")
-  in
-  let machines_arg =
-    Arg.(
-      value
-      & opt int 2
-      & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
-  in
-  let run file entry machines config mode faults batch =
+  let run file entry machines config mode faults batch tier hot_threshold =
     let ic = open_in_bin file in
     let src = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -326,6 +331,7 @@ let run_cmd =
         | Some m ->
             let config, faults = Cli.apply_faults ~machines config faults in
             let config = if batch then Rmi.Config.with_batching config else config in
+            let config = Cli.apply_tier ~tier ~hot_threshold config in
             let r =
               Rmi.Distributed.run ~config ~mode ~machines ?faults prog
                 ~entry:m.Jir.Program.mid []
@@ -349,15 +355,21 @@ let run_cmd =
               Format.printf
                 "reliability: retries=%d timeouts=%d dup_drops=%d acks=%d@."
                 s.Rmi.Metrics.retries s.Rmi.Metrics.timeouts
-                s.Rmi.Metrics.dup_drops s.Rmi.Metrics.acks_sent)
+                s.Rmi.Metrics.dup_drops s.Rmi.Metrics.acks_sent;
+            if tier = Rmi.Config.Adaptive then
+              Format.printf
+                "tiers: promotions=%d deopts=%d plan cache hits=%d misses=%d@."
+                s.Rmi.Metrics.tier_promotions s.Rmi.Metrics.tier_deopts
+                s.Rmi.Metrics.plan_cache_hits s.Rmi.Metrics.plan_cache_misses)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Compile a source file and execute it as a distributed program:           machine 0 runs the entry method, remote objects are placed           round-robin, and every RMI crosses the simulated cluster through           the selected optimization configuration.")
     Term.(
-      const run $ file_arg $ entry_arg $ machines_arg $ Cli.config_arg
-      $ mode_arg $ Cli.faults_arg $ Cli.batch_arg)
+      const run $ Cli.file_arg $ Cli.entry_arg $ Cli.machines_arg
+      $ Cli.config_arg $ mode_arg $ Cli.faults_arg $ Cli.batch_arg
+      $ Cli.tier_arg $ Cli.hot_threshold_arg)
 
 let cmds =
   [
@@ -378,6 +390,7 @@ let cmds =
     all_cmd;
     pipeline_cmd;
     crash_cmd;
+    tiers_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

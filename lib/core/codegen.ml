@@ -194,4 +194,6 @@ let plan_for ?(config = default_config) r (cs : Heap_analysis.callsite_info) =
     cycle_ret = ret_cyclic;
     reuse_args;
     reuse_ret;
+    version = 1;
+    polluted = false;
   }

@@ -13,32 +13,87 @@ type t = {
   prog : Program.t;
   heap : Heap_analysis.result;
   decisions : decision list;
+  passes : Pass_manager.stat list;
 }
 
 let run ?(config = Codegen.default_config) ?(simplify = false) prog =
-  Typecheck.check_exn prog;
-  Array.iter
-    (fun m -> if not (Rmi_ssa.Ssa.is_ssa m) then Rmi_ssa.Ssa.convert_method m)
-    prog.Program.methods;
-  if simplify then ignore (Rmi_ssa.Optim.simplify prog);
-  let heap = Heap_analysis.analyze prog in
-  let decisions =
-    List.map
-      (fun cs ->
-        {
-          cs;
-          plan = Codegen.plan_for ~config heap cs;
-          args_acyclic =
-            Cycle_analysis.args_verdict heap cs = Cycle_analysis.Acyclic;
-          ret_acyclic =
-            (not cs.Heap_analysis.has_dst)
-            || Cycle_analysis.ret_verdict heap cs = Cycle_analysis.Acyclic;
-          arg_escape = Escape_analysis.arg_verdicts heap cs;
-          ret_escape = Escape_analysis.ret_verdict heap cs;
-        })
-      (Heap_analysis.callsites heap)
+  let pm = Pass_manager.create () in
+  Pass_manager.run pm ~name:"typecheck"
+    ~size:(fun () -> Array.length prog.Program.methods)
+    (fun () -> Typecheck.check_exn prog);
+  let converted =
+    Pass_manager.run pm ~name:"ssa"
+      ~size:(fun n -> n)
+      ~note:(fun n -> Printf.sprintf "%d method(s) converted" n)
+      (fun () ->
+        Array.fold_left
+          (fun acc m ->
+            if Rmi_ssa.Ssa.is_ssa m then acc
+            else begin
+              Rmi_ssa.Ssa.convert_method m;
+              acc + 1
+            end)
+          0 prog.Program.methods)
   in
-  { prog; heap; decisions }
+  ignore converted;
+  ignore
+    (Pass_manager.run pm ~name:"simplify"
+       ~size:(fun n -> n)
+       ~note:(fun n ->
+         if not simplify then "skipped"
+         else Printf.sprintf "%d rewrite(s)" n)
+       (fun () -> if simplify then Rmi_ssa.Optim.simplify prog else 0));
+  let heap =
+    Pass_manager.run pm ~name:"heap"
+      ~size:(fun h -> List.length (Heap_analysis.callsites h))
+      ~note:(fun h ->
+        Printf.sprintf "fixpoint in %d pass(es)" (Heap_analysis.iterations h))
+      (fun () -> Heap_analysis.analyze prog)
+  in
+  let css = Heap_analysis.callsites heap in
+  let cycles =
+    Pass_manager.run pm ~name:"cycle"
+      ~size:List.length
+      ~note:(fun l ->
+        Printf.sprintf "%d acyclic arg list(s)"
+          (List.length (List.filter fst l)))
+      (fun () ->
+        List.map
+          (fun cs ->
+            ( Cycle_analysis.args_verdict heap cs = Cycle_analysis.Acyclic,
+              (not cs.Heap_analysis.has_dst)
+              || Cycle_analysis.ret_verdict heap cs = Cycle_analysis.Acyclic ))
+          css)
+  in
+  let escapes =
+    Pass_manager.run pm ~name:"escape"
+      ~size:List.length
+      (fun () ->
+        List.map
+          (fun cs ->
+            ( Escape_analysis.arg_verdicts heap cs,
+              Escape_analysis.ret_verdict heap cs ))
+          css)
+  in
+  let plans =
+    Pass_manager.run pm ~name:"codegen"
+      ~size:(fun l -> List.fold_left (fun acc p -> acc + Plan.size p) 0 l)
+      ~note:(fun l -> Printf.sprintf "%d plan(s)" (List.length l))
+      (fun () -> List.map (Codegen.plan_for ~config heap) css)
+  in
+  let rec zip css cycles escapes plans =
+    match (css, cycles, escapes, plans) with
+    | [], [], [], [] -> []
+    | ( cs :: css,
+        (args_acyclic, ret_acyclic) :: cycles,
+        (arg_escape, ret_escape) :: escapes,
+        plan :: plans ) ->
+        { cs; plan; args_acyclic; ret_acyclic; arg_escape; ret_escape }
+        :: zip css cycles escapes plans
+    | _ -> assert false
+  in
+  let decisions = zip css cycles escapes plans in
+  { prog; heap; decisions; passes = Pass_manager.stats pm }
 
 let decision_for t site =
   List.find_opt (fun d -> d.cs.Heap_analysis.cs_site = site) t.decisions
@@ -54,6 +109,7 @@ let report t =
   add "RMI optimizer report: %d remote call site(s), heap fixpoint in %d pass(es)\n"
     (List.length t.decisions)
     (Heap_analysis.iterations t.heap);
+  add "\n%s" (Pass_manager.render t.passes);
   List.iter
     (fun d ->
       let cs = d.cs in

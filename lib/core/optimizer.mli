@@ -15,10 +15,15 @@ type t = {
   prog : Jir.Program.t;  (** the program, now in SSA form *)
   heap : Heap_analysis.result;
   decisions : decision list;
+  passes : Pass_manager.stat list;
+      (** per-pass timing/size statistics, in pipeline order:
+          typecheck, ssa, simplify, heap, cycle, escape, codegen *)
 }
 
 (** [run prog] mutates [prog] into SSA form.  With [~simplify:true] the
     scalar SSA cleanups ({!Rmi_ssa.Optim}) run before the analyses.
+    The pipeline is staged through {!Pass_manager}, one named pass per
+    stage; the recorded stats land in {!t.passes}.
     @raise Failure when the program does not typecheck. *)
 val run : ?config:Codegen.config -> ?simplify:bool -> Jir.Program.t -> t
 

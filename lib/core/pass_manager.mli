@@ -1,0 +1,40 @@
+(** Named compiler passes with per-pass timing and size statistics.
+
+    The seed's [Optimizer.run] was one opaque function; the pass
+    manager makes the pipeline explicit
+    (typecheck -> ssa -> simplify -> heap -> cycle -> escape -> codegen)
+    so each stage can be timed, sized and reported individually, and so
+    the {!Plan_store} can re-run the same pipeline on demand when a hot
+    call site needs a specialized plan compiled at runtime. *)
+
+(** Statistics for one executed pass. *)
+type stat = {
+  pass_name : string;
+  pass_ms : float;  (** wall-clock milliseconds spent in the pass *)
+  pass_size : int;  (** pass-specific output measure (nodes, plans, ...) *)
+  pass_note : string;  (** short free-form detail, may be [""] *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [run t ~name ?size ?note f] executes [f ()], records a {!stat}
+    named [name] whose size and note are computed from the result, and
+    returns the result.  Exceptions from [f] propagate without
+    recording a stat. *)
+val run :
+  t ->
+  name:string ->
+  ?size:('a -> int) ->
+  ?note:('a -> string) ->
+  (unit -> 'a) ->
+  'a
+
+(** Executed passes in execution order. *)
+val stats : t -> stat list
+
+val total_ms : t -> float
+
+(** Render a per-pass timing/size table via {!Rmi_stats.Ascii_table}. *)
+val render : stat list -> string

@@ -20,7 +20,11 @@ type t = {
   cycle_ret : bool;
   reuse_args : bool array;
   reuse_ret : bool;
+  version : int;
+  polluted : bool;
 }
+
+let generic_version = 0
 
 let generic ~callsite ~nargs ~has_ret =
   {
@@ -32,7 +36,48 @@ let generic ~callsite ~nargs ~has_ret =
     cycle_ret = true;
     reuse_args = Array.make nargs false;
     reuse_ret = false;
+    version = generic_version;
+    polluted = false;
   }
+
+type position = [ `Arg of int | `Ret ]
+
+let pp_position ppf = function
+  | `Arg i -> Format.fprintf ppf "arg%d" i
+  | `Ret -> Format.pp_print_string ppf "ret"
+
+let widen t (pos : position) =
+  (* a widened position loses its static promises entirely: dynamic
+     step, cycle table back on, reuse off — S_dyn never raises
+     Type_confusion, so widening always makes forward progress *)
+  match pos with
+  | `Arg i ->
+      if i < 0 || i >= Array.length t.args then
+        invalid_arg "Plan.widen: argument index out of range";
+      let args = Array.copy t.args in
+      args.(i) <- S_dyn;
+      let reuse_args = Array.copy t.reuse_args in
+      reuse_args.(i) <- false;
+      {
+        t with
+        args;
+        reuse_args;
+        cycle_args = true;
+        version = t.version + 1;
+        polluted = true;
+      }
+  | `Ret ->
+      (match t.ret with
+      | None -> invalid_arg "Plan.widen: no return position"
+      | Some _ ->
+          {
+            t with
+            ret = Some S_dyn;
+            cycle_ret = true;
+            reuse_ret = false;
+            version = t.version + 1;
+            polluted = true;
+          })
 
 let rec step_size = function
   | S_bool | S_int | S_double | S_string | S_null | S_double_array | S_int_array
@@ -66,9 +111,10 @@ let rec pp_step ppf = function
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v2>plan@%d:@ args=[%a]@ ret=%a@ cycle_args=%b cycle_ret=%b \
+    "@[<v2>plan@%d (v%d%s):@ args=[%a]@ ret=%a@ cycle_args=%b cycle_ret=%b \
      reuse_args=[%s] reuse_ret=%b@]"
-    t.callsite
+    t.callsite t.version
+    (if t.polluted then ", polluted" else "")
     (Format.pp_print_seq
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        pp_step)

@@ -40,11 +40,35 @@ type t = {
   cycle_ret : bool;
   reuse_args : bool array;  (** per-argument reuse cache at the callee *)
   reuse_ret : bool;  (** return-value reuse cache at the caller *)
+  version : int;
+      (** encoding version negotiated on the wire: 0 is the generic
+          plan, 1 the ahead-of-time compiled plan, and each
+          deoptimization ({!widen}) bumps it by one *)
+  polluted : bool;
+      (** at least one position has been widened after a runtime value
+          broke the plan's static promise *)
 }
+
+(** Version number carried by {!generic} plans (always [0]). *)
+val generic_version : int
 
 (** A maximally pessimistic plan: every value dynamic, cycle detection
     on, no reuse — what a per-class (non-call-site) system would do. *)
 val generic : callsite:Jir.Types.site -> nargs:int -> has_ret:bool -> t
+
+(** A serialization position inside a plan. *)
+type position = [ `Arg of int | `Ret ]
+
+val pp_position : Format.formatter -> position -> unit
+
+(** [widen t pos] is [t] with [pos] demoted to [S_dyn]: the dynamic
+    serializer never raises [Type_confusion], so the repaired plan is
+    guaranteed to make progress.  The cycle table is re-enabled and
+    reuse disabled for that side (conservative: the dynamic encoding
+    carries handles), [version] is bumped and [polluted] set.
+    @raise Invalid_argument on an out-of-range argument index or
+    widening [`Ret] of an ack-only plan. *)
+val widen : t -> position -> t
 
 (** Number of [step] nodes (diagnostic; the paper's inliner rejects
     oversized marshalers). *)

@@ -1,0 +1,121 @@
+type outcome = Hit | Compiled | Invalidated
+
+type source = {
+  src_hash : Jir.Types.site -> string option;
+  src_compile : Jir.Types.site -> Plan.t option;
+}
+
+type entry = {
+  mutable e_hash : string;
+  e_plans : (int, Plan.t) Hashtbl.t;  (* version -> plan *)
+  mutable e_latest : int;
+}
+
+type t = {
+  source : source;
+  entries : (Jir.Types.site, entry) Hashtbl.t;
+  mutex : Mutex.t;  (* nodes may live in separate domains *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_invalidations : int;
+}
+
+let create source =
+  {
+    source;
+    entries = Hashtbl.create 16;
+    mutex = Mutex.create ();
+    n_hits = 0;
+    n_misses = 0;
+    n_invalidations = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let fresh_entry hash (plan : Plan.t) =
+  let e_plans = Hashtbl.create 4 in
+  Hashtbl.replace e_plans plan.Plan.version plan;
+  { e_hash = hash; e_plans; e_latest = plan.Plan.version }
+
+let get t ~site =
+  match t.source.src_hash site with
+  | None -> None
+  | Some hash ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.entries site with
+          | Some e when e.e_hash = hash ->
+              t.n_hits <- t.n_hits + 1;
+              (match Hashtbl.find_opt e.e_plans e.e_latest with
+              | Some plan -> Some (plan, Hit)
+              | None -> None)
+          | existing -> (
+              match t.source.src_compile site with
+              | None -> None
+              | Some plan ->
+                  t.n_misses <- t.n_misses + 1;
+                  let outcome =
+                    match existing with
+                    | None -> Compiled
+                    | Some _ ->
+                        t.n_invalidations <- t.n_invalidations + 1;
+                        Invalidated
+                  in
+                  (* stale versions are dropped wholesale: widened
+                     descendants of an outdated plan are outdated too *)
+                  Hashtbl.replace t.entries site (fresh_entry hash plan);
+                  Some (plan, outcome)))
+
+let version t ~site v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries site with
+      | None -> None
+      | Some e -> Hashtbl.find_opt e.e_plans v)
+
+let publish t (plan : Plan.t) =
+  let site = plan.Plan.callsite in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries site with
+      | None ->
+          let hash =
+            match t.source.src_hash site with Some h -> h | None -> ""
+          in
+          Hashtbl.replace t.entries site (fresh_entry hash plan)
+      | Some e ->
+          Hashtbl.replace e.e_plans plan.Plan.version plan;
+          if plan.Plan.version > e.e_latest then
+            e.e_latest <- plan.Plan.version)
+
+let hits t = locked t (fun () -> t.n_hits)
+let misses t = locked t (fun () -> t.n_misses)
+let invalidations t = locked t (fun () -> t.n_invalidations)
+
+let source_of_optimizer ?config (opt : Optimizer.t) =
+  let prog = opt.Optimizer.prog in
+  let slice_hash site =
+    match Optimizer.decision_for opt site with
+    | None -> None
+    | Some d ->
+        let caller =
+          Jir.Program.method_decl prog d.Optimizer.cs.Heap_analysis.caller
+        in
+        let callee =
+          Jir.Program.method_decl prog d.Optimizer.cs.Heap_analysis.callee
+        in
+        (* the slice a plan depends on: both method bodies and every
+           class layout (field order feeds S_obj steps).  The records
+           are mutable, so editing them changes the digest. *)
+        Some
+          (Digest.string
+             (Marshal.to_string
+                (caller, callee, prog.Jir.Program.classes)
+                []))
+  in
+  let compile site =
+    let opt' = Optimizer.run ?config prog in
+    match Optimizer.decision_for opt' site with
+    | Some d -> Some d.Optimizer.plan
+    | None -> None
+  in
+  { src_hash = slice_hash; src_compile = compile }

@@ -1,0 +1,62 @@
+(** Content-addressed cache of serialization plans, one entry per call
+    site.
+
+    The store decouples "which plan does this site use" from "when was
+    it compiled": the runtime starts sites on {!Plan.generic}, asks the
+    store for the specialized plan when a site turns hot, and publishes
+    widened (deoptimized) plans back so every node — and a node
+    restarted after a crash — re-learns the repaired encoding instead
+    of re-hitting the same [Type_confusion].
+
+    Entries are keyed by call site and guarded by a content hash of the
+    program slice the plan was compiled from (caller body, callee body,
+    class layouts).  If the slice changes — a method edited, a class
+    relaid — the next {!get} notices the stale hash, drops every cached
+    version and recompiles through the pass manager. *)
+
+type t
+
+(** How a {!get} was satisfied. *)
+type outcome =
+  | Hit  (** cached plan returned, hash still valid *)
+  | Compiled  (** first request for this site: compiled and cached *)
+  | Invalidated
+      (** hash changed: stale versions dropped, plan recompiled *)
+
+(** Where plans come from.  [src_hash site] is [None] when the source
+    knows nothing about the site (the store then answers [None] too);
+    [src_compile site] runs the compiler pipeline for one site. *)
+type source = {
+  src_hash : Jir.Types.site -> string option;
+  src_compile : Jir.Types.site -> Plan.t option;
+}
+
+val create : source -> t
+
+(** [get t ~site] returns the current latest plan for [site] together
+    with how it was obtained, or [None] when the source cannot compile
+    the site at all. *)
+val get : t -> site:Jir.Types.site -> (Plan.t * outcome) option
+
+(** [version t ~site v] looks up one specific cached plan version
+    (e.g. to decode a request tagged with an older encoding). *)
+val version : t -> site:Jir.Types.site -> int -> Plan.t option
+
+(** [publish t plan] records [plan] under [(plan.callsite,
+    plan.version)] and makes it the site's latest when its version is
+    the highest seen.  Used by the deoptimizer to share widened plans. *)
+val publish : t -> Plan.t -> unit
+
+(** Lifetime counters. *)
+
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+
+(** [source_of_optimizer ?config opt] builds a source over an analyzed
+    program: the hash covers the caller's and callee's method bodies
+    plus every class layout (the records are mutable, so editing a
+    method or class changes the hash and invalidates the entry), and
+    compilation re-runs {!Optimizer.run} — through the pass manager —
+    on the current state of the program. *)
+val source_of_optimizer : ?config:Codegen.config -> Optimizer.t -> source

@@ -117,6 +117,51 @@ let apply_faults ~machines config = function
       ( Config.with_reliable config,
         Some (Fault_sim.create ~seed ~n:machines profile) )
 
+let tier_conv = Arg.enum [ ("aot", Config.Aot); ("adaptive", Config.Adaptive) ]
+
+let tier_arg =
+  Arg.(
+    value
+    & opt tier_conv Config.Aot
+    & info [ "tier" ] ~docv:"TIER"
+        ~doc:
+          "Plan acquisition: $(b,aot) gives every call site its compiled \
+           plan from call one (the paper's static model), $(b,adaptive) \
+           starts sites on the generic plan and promotes them to the \
+           specialized plan once hot.")
+
+let hot_threshold_arg =
+  Arg.(
+    value
+    & opt int Config.default_hot_threshold
+    & info [ "hot-threshold" ] ~docv:"N"
+        ~doc:
+          "Invocations of one call site before the adaptive tier promotes \
+           it to the specialized plan.")
+
+let apply_tier ~tier ~hot_threshold config =
+  match tier with
+  | Config.Aot -> Config.with_tier Config.Aot config
+  | Config.Adaptive -> Config.with_adaptive ~hot_threshold config
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Source file in the Java-like surface syntax.")
+
+let entry_arg =
+  Arg.(
+    value
+    & opt string "Driver.main"
+    & info [ "entry" ] ~docv:"METHOD"
+        ~doc:
+          "Qualified method to execute on machine 0 (must take no \
+           parameters).")
+
+let machines_arg =
+  Arg.(value & opt int 2 & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
+
 let seed_arg =
   Arg.(
     value

@@ -42,6 +42,33 @@ val apply_faults :
   (int * Rmi_net.Fault_sim.profile) option ->
   Rmi_runtime.Config.t * Rmi_net.Fault_sim.t option
 
+(** [aot]/[adaptive] (see {!Rmi_runtime.Config.tier}). *)
+val tier_conv : Rmi_runtime.Config.tier Arg.conv
+
+(** [--tier TIER]: how call sites obtain their plans, default [aot]. *)
+val tier_arg : Rmi_runtime.Config.tier Term.t
+
+(** [--hot-threshold N]: adaptive promotion threshold, default
+    {!Rmi_runtime.Config.default_hot_threshold}. *)
+val hot_threshold_arg : int Term.t
+
+(** Fold parsed [--tier]/[--hot-threshold] values into a
+    configuration. *)
+val apply_tier :
+  tier:Rmi_runtime.Config.tier ->
+  hot_threshold:int ->
+  Rmi_runtime.Config.t ->
+  Rmi_runtime.Config.t
+
+(** Positional [FILE]: a source file in the Java-like surface syntax. *)
+val file_arg : string Term.t
+
+(** [--entry METHOD]: qualified entry method, default ["Driver.main"]. *)
+val entry_arg : string Term.t
+
+(** [--machines N]: cluster size, default 2. *)
+val machines_arg : int Term.t
+
 (** [--seed N]: crash-schedule seed, default 42. *)
 val seed_arg : int Term.t
 

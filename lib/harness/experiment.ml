@@ -6,6 +6,7 @@ module Metrics = Rmi_stats.Metrics
 module Costmodel = Rmi_net.Costmodel
 module Fault_sim = Rmi_net.Fault_sim
 module Value = Rmi_serial.Value
+module Plan = Rmi_core.Plan
 
 type scale = Small | Paper
 
@@ -484,6 +485,248 @@ let render_crash (r : crash_report) =
   Printf.sprintf "%s\n%s\nseeded replay byte-identical: %s" r.c_title
     (Rmi_stats.Ascii_table.render ~headers rows)
     (if r.c_replay_equal then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
+(* tier comparison: generic vs AOT vs adaptive                         *)
+(* ------------------------------------------------------------------ *)
+
+type tier_window = { w_calls : int; w_bytes : int; w_msgs : int }
+
+type tier_row = {
+  t_variant : string;
+  t_stats : Metrics.snapshot;
+  t_digest : string;
+  t_windows : tier_window list;
+}
+
+type tier_report = {
+  t_title : string;
+  t_rows : tier_row list;
+  t_equal : bool;
+  t_converged : bool;
+}
+
+let tier_meta =
+  lazy
+    (Rmi_serial.Class_meta.make
+       [ ("Pair", [ ("a", Jir.Types.Tint); ("b", Jir.Types.Tint) ]) ])
+
+let m_swap = 1
+let tier_site = 1
+
+(* the compiled plan an AOT run would install for the swap site: both
+   the argument and the return are a statically-known Pair *)
+let tier_plan =
+  let pair = Plan.S_obj { cls = 0; fields = [| Plan.S_int; Plan.S_int |] } in
+  {
+    Plan.callsite = tier_site;
+    defs = [||];
+    args = [| pair |];
+    ret = Some pair;
+    cycle_args = false;
+    cycle_ret = false;
+    reuse_args = [| false |];
+    reuse_ret = false;
+    version = 1;
+    polluted = false;
+  }
+
+let tier_pair a b =
+  let p = Value.new_obj ~cls:0 ~nfields:2 in
+  p.Value.fields.(0) <- Value.Int a;
+  p.Value.fields.(1) <- Value.Int b;
+  Value.Obj p
+
+(* structural rendering for the reply digest: [Value.pp] prints global
+   allocation ids, which differ between variants even for equal values *)
+let rec tier_render buf v =
+  match v with
+  | Value.Null -> Buffer.add_string buf "null"
+  | Value.Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Value.Int i -> Buffer.add_string buf (string_of_int i)
+  | Value.Double f -> Buffer.add_string buf (string_of_float f)
+  | Value.Str s -> Buffer.add_string buf s
+  | Value.Obj o ->
+      Buffer.add_string buf (Printf.sprintf "obj(%d){" o.Value.cls);
+      Array.iter
+        (fun f ->
+          tier_render buf f;
+          Buffer.add_char buf ';')
+        o.Value.fields;
+      Buffer.add_char buf '}'
+  | Value.Darr a ->
+      Buffer.add_string buf "d[";
+      Array.iter (fun x -> Buffer.add_string buf (string_of_float x ^ ";")) a.Value.d;
+      Buffer.add_char buf ']'
+  | Value.Iarr a ->
+      Buffer.add_string buf "i[";
+      Array.iter (fun x -> Buffer.add_string buf (string_of_int x ^ ";")) a.Value.ia;
+      Buffer.add_char buf ']'
+  | Value.Rarr a ->
+      Buffer.add_string buf "r[";
+      Array.iter
+        (fun x ->
+          tier_render buf x;
+          Buffer.add_char buf ';')
+        a.Value.ra;
+      Buffer.add_char buf ']'
+
+(* [calls] swap RMIs from machine 0 to machine 1, snapshotting the wire
+   counters every [window] calls: the per-window byte deltas are the
+   warmup curve.  Replies are folded into an order-sensitive digest so
+   the three variants can be compared byte for byte. *)
+let run_tier_variant ~config ~calls ~window =
+  let metrics = Metrics.create () in
+  let plans = Hashtbl.create 4 in
+  Hashtbl.replace plans tier_site tier_plan;
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ~n:2 ~meta:(Lazy.force tier_meta) ~config
+      ~plans ~metrics ()
+  in
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_swap ~has_ret:true
+    (fun args ->
+      match args.(0) with
+      | Value.Obj o ->
+          let a = o.Value.fields.(0) and b = o.Value.fields.(1) in
+          let r = Value.new_obj ~cls:0 ~nfields:2 in
+          r.Value.fields.(0) <- b;
+          r.Value.fields.(1) <- a;
+          Some (Value.Obj r)
+      | _ -> failwith "bad pair");
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let buf = Buffer.create 256 in
+  let windows = ref [] in
+  let last_bytes = ref 0 and last_msgs = ref 0 in
+  Fabric.run fabric (fun _ ->
+      for i = 1 to calls do
+        (match
+           Node.call caller ~dest ~meth:m_swap ~callsite:tier_site
+             ~has_ret:true
+             [| tier_pair i (i * 3) |]
+         with
+        | Some v ->
+            tier_render buf v;
+            Buffer.add_char buf ';'
+        | None -> Buffer.add_string buf "none;");
+        if i mod window = 0 || i = calls then begin
+          let s = Metrics.snapshot metrics in
+          windows :=
+            {
+              w_calls = (if i mod window = 0 then window else i mod window);
+              w_bytes = s.Metrics.bytes_sent - !last_bytes;
+              w_msgs = s.Metrics.msgs_sent - !last_msgs;
+            }
+            :: !windows;
+          last_bytes := s.Metrics.bytes_sent;
+          last_msgs := s.Metrics.msgs_sent
+        end
+      done);
+  {
+    t_variant = config.Config.name;
+    t_stats = Metrics.snapshot metrics;
+    t_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+    t_windows = List.rev !windows;
+  }
+
+let tiers_compare ?(calls = 64) ?(window = 8) ?hot_threshold () =
+  let hot =
+    match hot_threshold with
+    | Some h -> h
+    | None -> Config.default_hot_threshold
+  in
+  let generic = { Config.class_ with Config.name = "generic" } in
+  let aot = { Config.site_reuse_cycle with Config.name = "aot" } in
+  let adaptive =
+    {
+      (Config.with_adaptive ~hot_threshold:hot Config.site_reuse_cycle) with
+      Config.name = "adaptive";
+    }
+  in
+  let rows =
+    List.map
+      (fun config -> run_tier_variant ~config ~calls ~window)
+      [ generic; aot; adaptive ]
+  in
+  let t_equal =
+    match rows with
+    | first :: rest ->
+        List.for_all (fun r -> String.equal r.t_digest first.t_digest) rest
+    | [] -> true
+  in
+  (* post-warmup the adaptive tier must spend exactly the AOT bytes per
+     window (same plan, same wire encoding) *)
+  let t_converged =
+    match rows with
+    | [ _; aot_row; ad_row ] -> (
+        match (List.rev aot_row.t_windows, List.rev ad_row.t_windows) with
+        | aw :: _, dw :: _ ->
+            aw.w_bytes = dw.w_bytes
+            && aw.w_msgs = dw.w_msgs
+            && ad_row.t_stats.Metrics.tier_promotions > 0
+        | _ -> false)
+    | _ -> false
+  in
+  {
+    t_title =
+      Printf.sprintf
+        "tiers: %d swap calls, warmup window %d, hot threshold %d" calls
+        window hot;
+    t_rows = rows;
+    t_equal;
+    t_converged;
+  }
+
+let render_tiers (r : tier_report) =
+  let headers =
+    [
+      "variant"; "bytes"; "msgs"; "promoted"; "deopts"; "cache h/m";
+      "digest";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          row.t_variant;
+          string_of_int row.t_stats.Metrics.bytes_sent;
+          string_of_int row.t_stats.Metrics.msgs_sent;
+          string_of_int row.t_stats.Metrics.tier_promotions;
+          string_of_int row.t_stats.Metrics.tier_deopts;
+          Printf.sprintf "%d/%d" row.t_stats.Metrics.plan_cache_hits
+            row.t_stats.Metrics.plan_cache_misses;
+          String.sub row.t_digest 0 12;
+        ])
+      r.t_rows
+  in
+  let curve =
+    let windows_of v =
+      match List.find_opt (fun row -> String.equal row.t_variant v) r.t_rows with
+      | Some row -> row.t_windows
+      | None -> []
+    in
+    let gw = windows_of "generic"
+    and aw = windows_of "aot"
+    and dw = windows_of "adaptive" in
+    let n = List.length dw in
+    let cell ws i =
+      match List.nth_opt ws i with
+      | Some w when w.w_calls > 0 ->
+          Printf.sprintf "%.1f" (float_of_int w.w_bytes /. float_of_int w.w_calls)
+      | _ -> "-"
+    in
+    Rmi_stats.Ascii_table.render
+      ~headers:[ "window"; "generic B/call"; "aot B/call"; "adaptive B/call" ]
+      (List.init n (fun i ->
+           [ string_of_int (i + 1); cell gw i; cell aw i; cell dw i ]))
+  in
+  Printf.sprintf
+    "%s\n%s\nwarmup curve (wire bytes per call, per window):\n%s\nreplies byte-identical: %s\nadaptive converged to aot: %s"
+    r.t_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    curve
+    (if r.t_equal then "yes" else "NO")
+    (if r.t_converged then "yes" else "NO")
 
 (* ------------------------------------------------------------------ *)
 (* rendering                                                           *)

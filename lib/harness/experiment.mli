@@ -111,6 +111,39 @@ val crash_compare :
 
 val render_crash : crash_report -> string
 
+(** One warmup window of the tier comparison: how many calls it covers
+    and what they cost on the wire. *)
+type tier_window = { w_calls : int; w_bytes : int; w_msgs : int }
+
+(** One variant of the tier comparison. *)
+type tier_row = {
+  t_variant : string;  (** "generic" / "aot" / "adaptive" *)
+  t_stats : Rmi_stats.Metrics.snapshot;
+  t_digest : string;  (** hex digest over every reply, in call order *)
+  t_windows : tier_window list;  (** the warmup curve, oldest first *)
+}
+
+type tier_report = {
+  t_title : string;
+  t_rows : tier_row list;
+  t_equal : bool;  (** all three reply digests identical *)
+  t_converged : bool;
+      (** the adaptive run promoted at least one site and its final
+          window costs exactly the AOT bytes and messages per call *)
+}
+
+(** Run the same swap workload three ways: all-generic marshaling
+    ([class]), the specialized plan from call one ([site + reuse +
+    cycle], the paper's static model), and the adaptive tier (generic
+    until [hot_threshold] calls, specialized after).  Per-window wire
+    deltas give the warmup curve; the replies must be byte-identical
+    across all three, and the adaptive run must end on AOT's per-call
+    wire cost — the CI tiers gate checks both. *)
+val tiers_compare :
+  ?calls:int -> ?window:int -> ?hot_threshold:int -> unit -> tier_report
+
+val render_tiers : tier_report -> string
+
 (** Render a timing table (paper vs modeled vs wall). *)
 val render_timing : timing_table -> string
 

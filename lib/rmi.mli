@@ -126,4 +126,7 @@ module Internals : sig
   module Introspect = Rmi_serial.Introspect
   module Class_meta = Rmi_serial.Class_meta
   module Plan = Rmi_core.Plan
+  module Plan_store = Rmi_core.Plan_store
+  module Pass_manager = Rmi_core.Pass_manager
+  module Optimizer = Rmi_core.Optimizer
 end

@@ -1,5 +1,8 @@
 type serializer = Class_specific | Site_specific
 type transport = Raw | Reliable
+type tier = Aot | Adaptive
+
+let default_hot_threshold = 8
 
 type failover = {
   call_deadline : float;
@@ -26,23 +29,29 @@ type t = {
   transport : transport;
   batching : bool;
   failover : failover;
+  tier : tier;
+  hot_threshold : int;
 }
 
 let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
-    transport = Raw; batching = false; failover = default_failover }
+    transport = Raw; batching = false; failover = default_failover;
+    tier = Aot; hot_threshold = default_hot_threshold }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
-    transport = Raw; batching = false; failover = default_failover }
+    transport = Raw; batching = false; failover = default_failover;
+    tier = Aot; hot_threshold = default_hot_threshold }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
-    transport = Raw; batching = false; failover = default_failover }
+    transport = Raw; batching = false; failover = default_failover;
+    tier = Aot; hot_threshold = default_hot_threshold }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
-    transport = Raw; batching = false; failover = default_failover }
+    transport = Raw; batching = false; failover = default_failover;
+    tier = Aot; hot_threshold = default_hot_threshold }
 
 let site_reuse_cycle =
   {
@@ -53,11 +62,18 @@ let site_reuse_cycle =
     transport = Raw;
     batching = false;
     failover = default_failover;
+    tier = Aot;
+    hot_threshold = default_hot_threshold;
   }
 
 let with_reliable t = { t with transport = Reliable }
 let with_batching t = { t with batching = true }
 let with_failover failover t = { t with failover }
+
+let with_adaptive ?(hot_threshold = default_hot_threshold) t =
+  { t with tier = Adaptive; hot_threshold }
+
+let with_tier tier t = { t with tier }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

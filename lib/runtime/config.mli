@@ -18,6 +18,20 @@ type transport =
           corruption (see {!Rmi_net.Cluster} and DESIGN.md's
           "Reliability substitution") *)
 
+(** How a node obtains the specialized serialization plans (PR 4). *)
+type tier =
+  | Aot
+      (** ahead of time: every site uses its compiled plan from call
+          one — the paper's static model, and the seed's behaviour *)
+  | Adaptive
+      (** every site starts on the generic plan, is promoted to its
+          specialized plan after {!t.hot_threshold} invocations, and is
+          deoptimized (position widened to the dynamic step) when a
+          runtime value breaks the plan's static promise *)
+
+(** Promotion threshold used by the presets (8 invocations). *)
+val default_hot_threshold : int
+
 (** Client-side failure policy (PR 3): how long a call may take end to
     end, how often the node re-sends a request after the transport gave
     up, and when a persistently failing peer trips the circuit
@@ -56,6 +70,13 @@ type t = {
   failover : failover;
       (** client-side deadline/retry/breaker policy; only consulted by
           the failure paths, so fault-free runs are unaffected *)
+  tier : tier;
+      (** [Aot] for every paper-table preset, so the published numbers
+          are untouched; [Adaptive] turns on hot-site promotion and
+          deoptimization *)
+  hot_threshold : int;
+      (** invocations of one call site before the adaptive tier
+          promotes it to the specialized plan *)
 }
 
 val class_ : t
@@ -75,6 +96,13 @@ val with_batching : t -> t
 
 (** Same optimization row, with this failure policy. *)
 val with_failover : failover -> t -> t
+
+(** Same optimization row on the adaptive tier: sites warm up on the
+    generic plan and specialize once hot. *)
+val with_adaptive : ?hot_threshold:int -> t -> t
+
+(** Same optimization row with this tier (threshold unchanged). *)
+val with_tier : tier -> t -> t
 
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -27,8 +27,19 @@ let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync) ?(machines = 2
       Hashtbl.replace plans d.plan.Plan.callsite d.plan)
     opt.decisions;
   let metrics = Rmi_stats.Metrics.create () in
+  (* adaptive runs get the compiler's plan cache so promotions are
+     served (and counted) through it; AOT runs don't need one *)
+  let plan_store =
+    match config.Config.tier with
+    | Config.Aot -> None
+    | Config.Adaptive ->
+        Some
+          (Rmi_core.Plan_store.create
+             (Rmi_core.Plan_store.source_of_optimizer opt))
+  in
   let fabric =
-    Fabric.create ~mode ?faults ~n:machines ~meta ~config ~plans ~metrics ()
+    Fabric.create ~mode ?faults ?plan_store ~n:machines ~meta ~config ~plans
+      ~metrics ()
   in
   let placement =
     { registry = Registry.create fabric; table = Hashtbl.create 16;

@@ -8,7 +8,7 @@ type t = {
   mutable started : bool;
 }
 
-let create ?(mode = Sync) ?faults ~n ~meta ~config ~plans ~metrics () =
+let create ?(mode = Sync) ?faults ?plan_store ~n ~meta ~config ~plans ~metrics () =
   let transport =
     match config.Config.transport with
     | Config.Raw -> Rmi_net.Cluster.Raw
@@ -18,7 +18,7 @@ let create ?(mode = Sync) ?faults ~n ~meta ~config ~plans ~metrics () =
   if config.Config.batching then Rmi_net.Cluster.enable_batching cluster;
   Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
   let nodes =
-    Array.init n (fun id -> Node.create cluster ~id ~meta ~config ~plans)
+    Array.init n (fun id -> Node.create ?plan_store cluster ~id ~meta ~config ~plans)
   in
   let t = { cluster; nodes; fmode = mode; domains = []; started = false } in
   (if mode = Sync then

@@ -19,10 +19,13 @@ type t
     paper's lossless path, [Reliable] for the ack/retransmit layer.
     [?faults] installs a seeded fault schedule on the physical links
     (meaningful with the reliable transport; the raw path does not
-    recover from loss). *)
+    recover from loss).  [?plan_store] hands every node the compiler's
+    plan cache so adaptive-tier promotions hit it and widened plans
+    survive node restarts (PR 4). *)
 val create :
   ?mode:mode ->
   ?faults:Rmi_net.Fault_sim.t ->
+  ?plan_store:Rmi_core.Plan_store.t ->
   n:int ->
   meta:Rmi_serial.Class_meta.t ->
   config:Config.t ->

@@ -35,12 +35,23 @@ type compiled_plan = {
 (* per-peer circuit breaker: [opened_at < 0] means closed *)
 type breaker = { mutable consecutive : int; mutable opened_at : float }
 
+(* adaptive-tier state of one call site on this node: how often it was
+   invoked, whether it crossed the hot threshold, and the compiled plan
+   it currently encodes with (generic until promoted, then specialized,
+   then a widened version after each deoptimization) *)
+type site_tier = {
+  mutable st_calls : int;
+  mutable st_promoted : bool;
+  mutable st_cp : compiled_plan;
+}
+
 type t = {
   cluster : Rmi_net.Cluster.t;
   nid : int;
   meta : Rmi_serial.Class_meta.t;
   cfg : Config.t;
   plans : (int, Plan.t) Hashtbl.t;
+  plan_store : Rmi_core.Plan_store.t option;
   handlers : (int * int, export_entry) Hashtbl.t;
   handlers_mutex : Mutex.t;  (* exports may come from other domains *)
   mutable seq : int;
@@ -49,7 +60,10 @@ type t = {
   outstanding : (int, pending) Hashtbl.t;
   arg_caches : (int, Value.t option array) Hashtbl.t;
   ret_caches : (int, Value.t) Hashtbl.t;
-  compiled_plans : (int, compiled_plan) Hashtbl.t;
+  (* keyed (callsite, plan version): a node may have to decode several
+     encoding generations of one site concurrently *)
+  compiled_plans : (int * int, compiled_plan) Hashtbl.t;
+  tiers : (int, site_tier) Hashtbl.t;
   (* server-side reply cache, keyed (client, client-epoch, seq): a
      retried request is answered from here instead of re-executing the
      handler — exactly-once across crashes when the cache is durable *)
@@ -69,7 +83,7 @@ and pending = {
   pc_callsite : int;
   mutable pc_dest : int;  (* may be retargeted to a replica *)
   pc_primary : int;       (* the originally addressed machine *)
-  pc_cp : compiled_plan;
+  mutable pc_cp : compiled_plan;  (* swapped when arg deopt widens the plan *)
   pc_node : t;
   pc_started : float;
   pc_deadline : float;
@@ -91,7 +105,7 @@ let reset_caches t =
 let trace_event t event =
   match t.trace with Some tr -> Trace.record tr event | None -> ()
 
-let create cluster ~id ~meta ~config ~plans =
+let create ?plan_store cluster ~id ~meta ~config ~plans =
   let t =
     {
       cluster;
@@ -99,6 +113,7 @@ let create cluster ~id ~meta ~config ~plans =
       meta;
       cfg = config;
       plans;
+      plan_store;
       handlers = Hashtbl.create 16;
       handlers_mutex = Mutex.create ();
       seq = 0;
@@ -106,6 +121,7 @@ let create cluster ~id ~meta ~config ~plans =
       arg_caches = Hashtbl.create 16;
       ret_caches = Hashtbl.create 16;
       compiled_plans = Hashtbl.create 16;
+      tiers = Hashtbl.create 16;
       reply_cache = Hashtbl.create 64;
       reply_order = Queue.create ();
       replicas = Hashtbl.create 4;
@@ -126,6 +142,9 @@ let create cluster ~id ~meta ~config ~plans =
           (Trace.Crash
              { machine; amnesia = durability = Rmi_net.Fault_sim.Amnesia });
         reset_caches t;
+        (* tier state is process memory: a restarted node starts every
+           site back on the generic plan and re-warms *)
+        Hashtbl.reset t.tiers;
         if durability = Rmi_net.Fault_sim.Amnesia then begin
           Hashtbl.reset t.reply_cache;
           Queue.clear t.reply_order
@@ -189,10 +208,14 @@ let compile_plan (plan : Plan.t) =
     cp_read_ret = Option.map (Codec.compile_read ~defs) plan.Plan.ret;
   }
 
-(* compiled once per (node, call site); the config is fixed per node so
-   the effective plan is stable *)
+(* compiled once per (node, call site, plan version); the config is
+   fixed per node so the effective plan per version is stable.  The
+   [nargs] recheck matters for version 0: class-generic traffic shares
+   callsite -1 across methods of different arity. *)
 let compiled_for t ~callsite ~nargs ~has_ret =
-  match Hashtbl.find_opt t.compiled_plans callsite with
+  let plan = effective_plan t ~callsite ~nargs ~has_ret in
+  let key = (callsite, plan.Plan.version) in
+  match Hashtbl.find_opt t.compiled_plans key with
   | Some cp when Array.length cp.cp_plan.Plan.args = nargs -> cp
   | _ ->
       (if site_mode t && not (Hashtbl.mem t.plans callsite) then
@@ -200,9 +223,145 @@ let compiled_for t ~callsite ~nargs ~has_ret =
              m
                "machine %d: no compiler plan for call site %d; falling back                 to the generic tag-carrying plan"
                t.nid callsite));
-      let cp = compile_plan (effective_plan t ~callsite ~nargs ~has_ret) in
-      Hashtbl.replace t.compiled_plans callsite cp;
+      let cp = compile_plan plan in
+      Hashtbl.replace t.compiled_plans key cp;
       cp
+
+(* compile [plan] and remember it under its (callsite, version) key *)
+let intern_plan t (plan : Plan.t) =
+  let key = (plan.Plan.callsite, plan.Plan.version) in
+  match Hashtbl.find_opt t.compiled_plans key with
+  | Some cp -> cp
+  | None ->
+      let cp = compile_plan plan in
+      Hashtbl.replace t.compiled_plans key cp;
+      cp
+
+let compiled_generic t ~callsite ~nargs ~has_ret =
+  let key = (callsite, Plan.generic_version) in
+  match Hashtbl.find_opt t.compiled_plans key with
+  | Some cp when Array.length cp.cp_plan.Plan.args = nargs -> cp
+  | _ ->
+      let cp = compile_plan (Plan.generic ~callsite ~nargs ~has_ret) in
+      Hashtbl.replace t.compiled_plans key cp;
+      cp
+
+let adaptive t =
+  site_mode t && t.cfg.Config.tier = Config.Adaptive
+
+(* resolve the plan a payload tagged [plan_ver] was encoded with:
+   compiled cache, then the shared plan table, then the plan store's
+   per-version history *)
+let resolve_version t ~callsite ~nargs ~has_ret ver =
+  if ver = Plan.generic_version then
+    (* 0 usually means "generic encoding", but legacy hand-built plans
+       (and the class-mode pseudo-plan) carry version 0 with a
+       plan-specific encoding; the effective plan for the site
+       disambiguates: if it is itself version 0, the peer encoded with
+       it, otherwise the peer's site was still cold and used the truly
+       generic steps *)
+    match compiled_for t ~callsite ~nargs ~has_ret with
+    | cp when cp.cp_plan.Plan.version = Plan.generic_version -> Some cp
+    | _ -> Some (compiled_generic t ~callsite ~nargs ~has_ret)
+  else
+    match Hashtbl.find_opt t.compiled_plans (callsite, ver) with
+    | Some cp -> Some cp
+    | None -> (
+        let from_table =
+          match Hashtbl.find_opt t.plans callsite with
+          | Some p when p.Plan.version = ver -> Some p
+          | _ -> None
+        in
+        let plan =
+          match from_table with
+          | Some p -> Some p
+          | None -> (
+              match t.plan_store with
+              | Some store ->
+                  Rmi_core.Plan_store.version store ~site:callsite ver
+              | None -> None)
+        in
+        match plan with Some p -> Some (intern_plan t p) | None -> None)
+
+(* deoptimization bookkeeping shared by the argument (caller) and
+   return (callee) paths: publish the widened plan so every node — and
+   this node after a restart — decodes and re-specializes with it *)
+let publish_widened t (widened : Plan.t) ~position =
+  Metrics.incr_tier_deopts (metrics t);
+  trace_event t
+    (Trace.Deopt
+       { machine = t.nid; callsite = widened.Plan.callsite; position;
+         version = widened.Plan.version });
+  Log.debug (fun m ->
+      m "machine %d: deopt site=%d at %s -> plan v%d" t.nid
+        widened.Plan.callsite position widened.Plan.version);
+  Hashtbl.replace t.plans widened.Plan.callsite widened;
+  (match t.plan_store with
+  | Some store -> Rmi_core.Plan_store.publish store widened
+  | None -> ());
+  intern_plan t widened
+
+(* ------------------------------------------------------------------ *)
+(* adaptive tier: per-site invocation counting and promotion           *)
+(* ------------------------------------------------------------------ *)
+
+let tier_for t ~callsite ~nargs ~has_ret =
+  match Hashtbl.find_opt t.tiers callsite with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          st_calls = 0;
+          st_promoted = false;
+          st_cp = compiled_generic t ~callsite ~nargs ~has_ret;
+        }
+      in
+      Hashtbl.replace t.tiers callsite st;
+      st
+
+(* the site crossed the hot threshold: fetch its specialized plan —
+   from the plan store (compiling on demand through the pass manager)
+   or the ahead-of-time table — and switch the site over to it *)
+let promote t st ~callsite ~nargs =
+  st.st_promoted <- true;
+  let plan =
+    match t.plan_store with
+    | Some store -> (
+        match Rmi_core.Plan_store.get store ~site:callsite with
+        | Some (p, outcome) ->
+            (match outcome with
+            | Rmi_core.Plan_store.Hit -> Metrics.incr_plan_cache_hits (metrics t)
+            | Rmi_core.Plan_store.Compiled | Rmi_core.Plan_store.Invalidated ->
+                Metrics.incr_plan_cache_misses (metrics t));
+            Some p
+        | None -> Hashtbl.find_opt t.plans callsite)
+    | None -> Hashtbl.find_opt t.plans callsite
+  in
+  match plan with
+  | Some p
+    when p.Plan.version > Plan.generic_version
+         && Array.length p.Plan.args = nargs ->
+      st.st_cp <- intern_plan t p;
+      Metrics.incr_tier_promotions (metrics t);
+      trace_event t
+        (Trace.Promote
+           { machine = t.nid; callsite; calls = st.st_calls;
+             version = p.Plan.version })
+  | _ ->
+      (* no specialized plan exists for this site: it stays generic *)
+      ()
+
+(* plan the tiered dispatcher uses for an outgoing call at [callsite] *)
+let dispatch_cp t ~callsite ~nargs ~has_ret =
+  if adaptive t then begin
+    let st = tier_for t ~callsite ~nargs ~has_ret in
+    st.st_calls <- st.st_calls + 1;
+    Metrics.record_site_call (metrics t) ~callsite;
+    if (not st.st_promoted) && st.st_calls >= t.cfg.Config.hot_threshold then
+      promote t st ~callsite ~nargs;
+    st.st_cp
+  end
+  else compiled_for t ~callsite ~nargs ~has_ret
 
 let eff_cycle_args t (plan : Plan.t) =
   if site_mode t && t.cfg.Config.elide_cycle then plan.cycle_args else true
@@ -251,7 +410,11 @@ let restore_ret_cand t ~callsite v = Hashtbl.replace t.ret_caches callsite v
 (* marshaling                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let marshal_args t cp header args =
+(* internal: [Type_confusion] with the offending argument position
+   attached, so the deoptimizer knows what to widen *)
+exception Arg_confusion of int * string
+
+let marshal_args_positional t cp header args =
   let plan = cp.cp_plan in
   let w = Msgbuf.create_writer ~initial_capacity:512 () in
   Protocol.write_header w header;
@@ -259,8 +422,50 @@ let marshal_args t cp header args =
     Codec.make_wctx ~defs:plan.Plan.defs t.meta (metrics t)
       ~cycle:(eff_cycle_args t plan)
   in
-  Array.iteri (fun i write -> write wctx w args.(i)) cp.cp_write_args;
+  Array.iteri
+    (fun i write ->
+      try write wctx w args.(i)
+      with Codec.Type_confusion msg ->
+        (* the aborted write may have registered objects in the cycle
+           table; reset so a replay cannot emit dangling handles *)
+        Codec.reset_wctx wctx;
+        raise (Arg_confusion (i, msg)))
+    cp.cp_write_args;
   w
+
+let marshal_args t cp header args =
+  try marshal_args_positional t cp header args
+  with Arg_confusion (_, msg) -> raise (Codec.Type_confusion msg)
+
+(* Adaptive encode: when a specialized plan's static promise is broken
+   by a runtime value, widen the offending argument to the dynamic
+   step, publish the repaired plan, and replay the write through it —
+   the RMI still succeeds, just via the dynamic serializer for that
+   position.  Terminates: each round widens one position and S_dyn
+   never raises.  Returns the (possibly widened) plan actually used and
+   the encoded request, whose header carries the matching version. *)
+let marshal_args_tiered t st cp header args =
+  if not (adaptive t) then (cp, header, marshal_args t cp header args)
+  else
+    let rec attempt cp header =
+      match marshal_args_positional t cp header args with
+      | w -> (cp, header, w)
+      | exception Arg_confusion (i, msg) ->
+          if cp.cp_plan.Plan.version = Plan.generic_version then
+            (* the generic plan cannot confuse types; re-raise *)
+            raise (Codec.Type_confusion msg)
+          else begin
+            let widened = Plan.widen cp.cp_plan (`Arg i) in
+            let cp' =
+              publish_widened t widened
+                ~position:(Format.asprintf "%a" Plan.pp_position (`Arg i))
+            in
+            (match st with Some st -> st.st_cp <- cp' | None -> ());
+            attempt cp'
+              { header with Protocol.plan_ver = widened.Plan.version }
+          end
+    in
+    attempt cp header
 
 let unmarshal_args t cp ~callsite r =
   let plan = cp.cp_plan in
@@ -303,7 +508,58 @@ let marshal_ret t cp header ret =
       write wctx w (Option.value v ~default:Value.Null);
       w
 
+(* Adaptive reply encode: a return value that breaks the specialized
+   plan deoptimizes the return position — widen, publish, replay — so
+   the caller still gets its reply (tagged with the widened version)
+   instead of an exception. *)
+let marshal_ret_tiered t cp header ret =
+  if not (adaptive t) then marshal_ret t cp header ret
+  else
+    let rec attempt cp (header : Protocol.header) =
+      match marshal_ret t cp header ret with
+      | w -> w
+      | exception Codec.Type_confusion msg ->
+          if cp.cp_plan.Plan.version = Plan.generic_version then
+            raise (Codec.Type_confusion msg)
+          else begin
+            let widened = Plan.widen cp.cp_plan `Ret in
+            let cp' = publish_widened t widened ~position:"ret" in
+            (* this site may also be called *from* this node *)
+            (match Hashtbl.find_opt t.tiers widened.Plan.callsite with
+            | Some st when st.st_promoted -> st.st_cp <- cp'
+            | _ -> ());
+            attempt cp'
+              { header with Protocol.plan_ver = widened.Plan.version }
+          end
+    in
+    attempt cp header
+
 let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
+  (* the reply announces which plan version encoded the return value;
+     a server that deoptimized mid-reply answers with a newer version
+     than the request carried *)
+  let cp =
+    if hdr.Protocol.plan_ver = cp.cp_plan.Plan.version then cp
+    else begin
+      let nargs = Array.length cp.cp_plan.Plan.args in
+      let has_ret = cp.cp_plan.Plan.ret <> None in
+      match resolve_version t ~callsite ~nargs ~has_ret hdr.Protocol.plan_ver with
+      | Some cp' ->
+          (* adopt the newer encoding for future calls at this site *)
+          (if adaptive t && hdr.Protocol.plan_ver > cp.cp_plan.Plan.version
+           then
+             match Hashtbl.find_opt t.tiers callsite with
+             | Some st when st.st_promoted -> st.st_cp <- cp'
+             | _ -> ());
+          cp'
+      | None ->
+          raise
+            (Remote_exception
+               (Printf.sprintf
+                  "machine %d: reply for site %d uses unknown plan version %d"
+                  t.nid callsite hdr.Protocol.plan_ver))
+    end
+  in
   let plan = cp.cp_plan in
   match hdr.kind with
   | Protocol.Ack -> None
@@ -506,13 +762,10 @@ let serve_request t (hdr : Protocol.header) r =
               (Trace.Served
                  { machine = t.nid; src = hdr.src; meth = hdr.method_id;
                    callsite = hdr.callsite });
-            (* both sides derive the effective plan identically: the
-               compiler plan under site mode, the tag-carrying generic
-               plan otherwise *)
-            let cp =
-              compiled_for t ~callsite:hdr.callsite ~nargs:hdr.nargs
-                ~has_ret:entry.has_ret
-            in
+            (* the request header says which plan version encoded the
+               arguments: version 0 is the generic tag-carrying plan,
+               higher versions resolve through the compiled cache, the
+               shared plan table or the plan store *)
             let exn_reply msg =
               let w = Msgbuf.create_writer () in
               Protocol.write_header w
@@ -521,18 +774,29 @@ let serve_request t (hdr : Protocol.header) r =
               w
             in
             let reply =
-              try
-                let args = unmarshal_args t cp ~callsite:hdr.callsite r in
-                let ret = entry.fn args in
-                marshal_ret t cp hdr ret
+              match
+                resolve_version t ~callsite:hdr.callsite ~nargs:hdr.nargs
+                  ~has_ret:entry.has_ret hdr.plan_ver
               with
-              | Codec.Type_confusion msg | Failure msg | Remote_exception msg
-                ->
-                  exn_reply msg
-              | Msgbuf.Underflow msg ->
-                  (* corrupt or truncated request payload: report it
-                     cleanly instead of taking the serving machine down *)
-                  exn_reply ("malformed request: " ^ msg)
+              | None ->
+                  exn_reply
+                    (Printf.sprintf
+                       "machine %d: unknown plan version %d for site %d" t.nid
+                       hdr.plan_ver hdr.callsite)
+              | Some cp -> (
+                  try
+                    let args = unmarshal_args t cp ~callsite:hdr.callsite r in
+                    let ret = entry.fn args in
+                    marshal_ret_tiered t cp hdr ret
+                  with
+                  | Codec.Type_confusion msg | Failure msg
+                  | Remote_exception msg ->
+                      exn_reply msg
+                  | Msgbuf.Underflow msg ->
+                      (* corrupt or truncated request payload: report it
+                         cleanly instead of taking the serving machine
+                         down *)
+                      exn_reply ("malformed request: " ^ msg))
             in
             let reply = Msgbuf.contents reply in
             (* stored before the reply leaves: execution and cache entry
@@ -600,6 +864,7 @@ let send_shutdown t ~dest =
       method_id = shutdown_method;
       callsite = -1;
       nargs = 0;
+      plan_ver = 0;
     };
   (* through the batch buffer so it cannot overtake coalesced traffic *)
   send_msg t ~dest (Msgbuf.contents w);
@@ -824,7 +1089,7 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
       m "machine %d: call meth=%d site=%d -> machine %d" t.nid meth callsite
         dest.Remote_ref.machine);
   let nargs = Array.length args in
-  let cp = compiled_for t ~callsite ~nargs ~has_ret in
+  let cp = dispatch_cp t ~callsite ~nargs ~has_ret in
   if Array.length cp.cp_plan.Plan.args <> nargs then
     invalid_arg
       (Printf.sprintf "Node.call: plan for site %d expects %d args, got %d"
@@ -842,6 +1107,7 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
       method_id = meth;
       callsite;
       nargs;
+      plan_ver = cp.cp_plan.Plan.version;
     }
   in
   let budget =
@@ -868,13 +1134,15 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
     (Trace.Future_created
        { machine = t.nid; seq = p.pc_seq; callsite;
          dest = dest.Remote_ref.machine });
+  let tier_st = if adaptive t then Hashtbl.find_opt t.tiers callsite else None in
   if dest.Remote_ref.machine = t.nid then begin
     (* same machine: clone through the serializer, skip the wire; runs
        eagerly, with any exception captured for the await *)
     Metrics.incr_local_rpcs (metrics t);
     let state =
       match
-        let w = marshal_args t cp header args in
+        let cp, header, w = marshal_args_tiered t tier_st cp header args in
+        p.pc_cp <- cp;
         let r = Msgbuf.reader_of_writer w in
         let (_ : Protocol.header) = Protocol.read_header r in
         let entry =
@@ -888,10 +1156,10 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
         in
         let call_args = unmarshal_args t cp ~callsite r in
         let ret = entry.fn call_args in
-        let wr = marshal_ret t cp header ret in
+        let wr = marshal_ret_tiered t cp header ret in
         let rr = Msgbuf.reader_of_writer wr in
         let rhdr = Protocol.read_header rr in
-        unmarshal_ret t cp ~callsite rhdr rr
+        unmarshal_ret t p.pc_cp ~callsite rhdr rr
       with
       | v -> Resolved v
       | exception e -> Failed e
@@ -913,7 +1181,8 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
   end
   else begin
     Metrics.incr_remote_rpcs (metrics t);
-    let w = marshal_args t cp header args in
+    let cp, _header, w = marshal_args_tiered t tier_st cp header args in
+    p.pc_cp <- cp;
     p.pc_request <- Msgbuf.contents w;
     Hashtbl.replace t.outstanding p.pc_seq p;
     Metrics.record_outstanding (metrics t) (Hashtbl.length t.outstanding);

@@ -39,7 +39,13 @@ exception Rpc_timeout of string
     without touching the wire. *)
 exception Peer_down of string
 
+(** [create ?plan_store cluster ~id ~meta ~config ~plans] builds one
+    machine.  [plans] is the fabric-shared plan table (call site ->
+    current plan); [plan_store] (PR 4), when given, backs the adaptive
+    tier's promotions with the compiler's content-hash-keyed plan cache
+    and records widened plans so they survive a node restart. *)
 val create :
+  ?plan_store:Rmi_core.Plan_store.t ->
   Rmi_net.Cluster.t ->
   id:int ->
   meta:Rmi_serial.Class_meta.t ->

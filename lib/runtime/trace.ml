@@ -14,6 +14,8 @@ type event =
   | Call_retry of { machine : int; seq : int; dest : int; attempt : int }
   | Failover of { machine : int; seq : int; primary : int; replica : int }
   | Breaker_open of { machine : int; peer : int }
+  | Promote of { machine : int; callsite : int; calls : int; version : int }
+  | Deopt of { machine : int; callsite : int; position : string; version : int }
 
 type entry = { seq : int; at_us : float; event : event }
 
@@ -95,6 +97,12 @@ let pp_event ppf = function
         replica
   | Breaker_open { machine; peer } ->
       Format.fprintf ppf "m%d breaker open for m%d" machine peer
+  | Promote { machine; callsite; calls; version } ->
+      Format.fprintf ppf "m%d promoted site=%d after %d calls (plan v%d)"
+        machine callsite calls version
+  | Deopt { machine; callsite; position; version } ->
+      Format.fprintf ppf "m%d deopt site=%d at %s -> plan v%d" machine
+        callsite position version
 
 let render ?(limit = 200) t =
   let buf = Buffer.create 512 in
@@ -131,7 +139,8 @@ let summary t =
           if elapsed_us > !mx then mx := elapsed_us
       | Call_start _ | Served _ | Retry _ | Timeout _ | Future_created _
       | Future_resolved _ | Batch_flush _ | Crash _ | Restart _ | Suspect _
-      | Peer_down _ | Call_retry _ | Failover _ | Breaker_open _ -> ())
+      | Peer_down _ | Call_retry _ | Failover _ | Breaker_open _ | Promote _
+      | Deopt _ -> ())
     (entries t);
   let rows =
     Hashtbl.fold

@@ -46,6 +46,13 @@ type event =
   | Breaker_open of { machine : int; peer : int }
       (** [peer] failed [breaker_threshold] calls in a row; new calls
           to it fast-fail until the cooldown expires *)
+  | Promote of { machine : int; callsite : int; calls : int; version : int }
+      (** the adaptive tier promoted [callsite] to specialized plan
+          version [version] after [calls] invocations *)
+  | Deopt of { machine : int; callsite : int; position : string; version : int }
+      (** a runtime value broke the specialized plan at [position]
+          ("arg2" / "ret"); the site now uses widened plan version
+          [version] *)
 
 type entry = {
   seq : int;  (** global order of recording *)

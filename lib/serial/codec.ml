@@ -28,6 +28,17 @@ let make_wctx ?(defs = [||]) wmeta wmetrics ~cycle =
     wdefs = defs;
   }
 
+(* An aborted write (Type_confusion mid-serialization) leaves objects
+   registered in the cycle table that never reached the wire; a reused
+   context would then emit dangling handles.  Resetting makes a writer
+   context safe to reuse after the exception. *)
+let reset_wctx wctx =
+  match wctx.wcycle with
+  | Some table -> Handle_table.reset table
+  | None -> ()
+
+let reset_rctx rctx = rctx.nhandles <- 0
+
 let make_rctx ?(defs = [||]) rmeta rmetrics ~cycle =
   {
     rmeta;

@@ -40,6 +40,18 @@ val make_rctx :
   ?defs:Rmi_core.Plan.step array ->
   Class_meta.t -> Rmi_stats.Metrics.t -> cycle:bool -> rctx
 
+(** [reset_wctx w] clears the cycle handle-table (a no-op without one).
+    Required before reusing a writer context whose previous write was
+    aborted by {!Type_confusion}: the aborted write may have registered
+    objects that never reached the wire, and a subsequent write would
+    encode dangling handles for them.  The tiered runtime calls this
+    before replaying a deoptimized call through the widened plan. *)
+val reset_wctx : wctx -> unit
+
+(** [reset_rctx r] forgets all registered handles, making a reader
+    context safe to reuse for an unrelated message. *)
+val reset_rctx : rctx -> unit
+
 (** {1 Dynamic (class-specific) serializers} *)
 
 val write_dyn : wctx -> Rmi_wire.Msgbuf.writer -> Value.t -> unit

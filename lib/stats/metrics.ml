@@ -48,6 +48,14 @@ type t = {
   unbatched_msgs : int Atomic.t;
   outstanding_hwm : int Atomic.t;
   batch_hist : int Atomic.t array;
+  tier_promotions : int Atomic.t;
+  tier_deopts : int Atomic.t;
+  plan_cache_hits : int Atomic.t;
+  plan_cache_misses : int Atomic.t;
+  (* per-call-site invocation counts (tiered dispatch); guarded by the
+     mutex because sites appear dynamically *)
+  site_calls : (int, int ref) Hashtbl.t;
+  site_mutex : Mutex.t;
 }
 
 type snapshot = {
@@ -80,6 +88,11 @@ type snapshot = {
   unbatched_msgs : int;
   outstanding_hwm : int;
   batch_hist : int array;
+  tier_promotions : int;
+  tier_deopts : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  site_calls : (int * int) list;  (** sorted by site, zero entries elided *)
 }
 
 let create () : t =
@@ -113,6 +126,12 @@ let create () : t =
     unbatched_msgs = Atomic.make 0;
     outstanding_hwm = Atomic.make 0;
     batch_hist = Array.init hist_buckets (fun _ -> Atomic.make 0);
+    tier_promotions = Atomic.make 0;
+    tier_deopts = Atomic.make 0;
+    plan_cache_hits = Atomic.make 0;
+    plan_cache_misses = Atomic.make 0;
+    site_calls = Hashtbl.create 16;
+    site_mutex = Mutex.create ();
   }
 
 let reset (t : t) =
@@ -144,7 +163,14 @@ let reset (t : t) =
   Atomic.set t.batched_msgs 0;
   Atomic.set t.unbatched_msgs 0;
   Atomic.set t.outstanding_hwm 0;
-  Array.iter (fun a -> Atomic.set a 0) t.batch_hist
+  Array.iter (fun a -> Atomic.set a 0) t.batch_hist;
+  Atomic.set t.tier_promotions 0;
+  Atomic.set t.tier_deopts 0;
+  Atomic.set t.plan_cache_hits 0;
+  Atomic.set t.plan_cache_misses 0;
+  Mutex.lock t.site_mutex;
+  Hashtbl.reset t.site_calls;
+  Mutex.unlock t.site_mutex
 
 let add a n = ignore (Atomic.fetch_and_add a n)
 
@@ -184,6 +210,28 @@ let record_batch (t : t) ~msgs =
   end
 
 let incr_unbatched (t : t) = add t.unbatched_msgs 1
+
+let incr_tier_promotions (t : t) = add t.tier_promotions 1
+let incr_tier_deopts (t : t) = add t.tier_deopts 1
+let incr_plan_cache_hits (t : t) = add t.plan_cache_hits 1
+let incr_plan_cache_misses (t : t) = add t.plan_cache_misses 1
+
+let record_site_call (t : t) ~callsite =
+  Mutex.lock t.site_mutex;
+  (match Hashtbl.find_opt t.site_calls callsite with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.site_calls callsite (ref 1));
+  Mutex.unlock t.site_mutex
+
+let site_call_count (t : t) ~callsite =
+  Mutex.lock t.site_mutex;
+  let n =
+    match Hashtbl.find_opt t.site_calls callsite with
+    | Some r -> !r
+    | None -> 0
+  in
+  Mutex.unlock t.site_mutex;
+  n
 
 let record_outstanding (t : t) depth =
   (* monotone max, CAS loop so concurrent domains never lose a peak *)
@@ -225,6 +273,17 @@ let snapshot (t : t) =
     unbatched_msgs = Atomic.get t.unbatched_msgs;
     outstanding_hwm = Atomic.get t.outstanding_hwm;
     batch_hist = Array.map Atomic.get t.batch_hist;
+    tier_promotions = Atomic.get t.tier_promotions;
+    tier_deopts = Atomic.get t.tier_deopts;
+    plan_cache_hits = Atomic.get t.plan_cache_hits;
+    plan_cache_misses = Atomic.get t.plan_cache_misses;
+    site_calls =
+      (Mutex.lock t.site_mutex;
+       let l =
+         Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.site_calls []
+       in
+       Mutex.unlock t.site_mutex;
+       List.sort compare (List.filter (fun (_, n) -> n <> 0) l));
   }
 
 let zero =
@@ -258,7 +317,26 @@ let zero =
     unbatched_msgs = 0;
     outstanding_hwm = 0;
     batch_hist = Array.make hist_buckets 0;
+    tier_promotions = 0;
+    tier_deopts = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    site_calls = [];
   }
+
+(* keywise [f] over two sorted assoc lists, treating a missing key as 0;
+   zero results are dropped so the canonical form stays comparable with
+   structural equality *)
+let assoc_map2 f a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, _) -> Hashtbl.replace tbl k ()) a;
+  List.iter (fun (k, _) -> Hashtbl.replace tbl k ()) b;
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  let get l k = match List.assoc_opt k l with Some v -> v | None -> 0 in
+  List.sort compare keys
+  |> List.filter_map (fun k ->
+         let v = f (get a k) (get b k) in
+         if v = 0 then None else Some (k, v))
 
 let map2 f a b =
   {
@@ -291,6 +369,11 @@ let map2 f a b =
     unbatched_msgs = f a.unbatched_msgs b.unbatched_msgs;
     outstanding_hwm = f a.outstanding_hwm b.outstanding_hwm;
     batch_hist = Array.map2 f a.batch_hist b.batch_hist;
+    tier_promotions = f a.tier_promotions b.tier_promotions;
+    tier_deopts = f a.tier_deopts b.tier_deopts;
+    plan_cache_hits = f a.plan_cache_hits b.plan_cache_hits;
+    plan_cache_misses = f a.plan_cache_misses b.plan_cache_misses;
+    site_calls = assoc_map2 f a.site_calls b.site_calls;
   }
 
 let diff later earlier = map2 ( - ) later earlier
@@ -323,14 +406,34 @@ let pp_robustness ppf s =
       s.peer_downs s.call_retries s.failovers s.breaker_fastfails
       s.reply_cache_hits
 
+let pp_tiers ppf s =
+  (* tiering counters only appear once adaptive dispatch ran, so
+     ahead-of-time paper-table output is unchanged *)
+  if
+    s.tier_promotions + s.tier_deopts + s.plan_cache_hits
+    + s.plan_cache_misses > 0
+    || s.site_calls <> []
+  then begin
+    Format.fprintf ppf
+      "@ tier_promotions=%d tier_deopts=%d plan_cache_hits=%d \
+       plan_cache_misses=%d"
+      s.tier_promotions s.tier_deopts s.plan_cache_hits s.plan_cache_misses;
+    if s.site_calls <> [] then begin
+      Format.fprintf ppf "@ site_calls=[";
+      List.iter (fun (cs, n) -> Format.fprintf ppf " cs%d:%d" cs n)
+        s.site_calls;
+      Format.fprintf ppf " ]"
+    end
+  end
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
      allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
-     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a@]"
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
     s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
     s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist
-    pp_robustness s
+    pp_robustness s pp_tiers s

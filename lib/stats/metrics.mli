@@ -40,6 +40,14 @@ type snapshot = {
   outstanding_hwm : int;  (** pipelining high-water mark: most async calls
                               simultaneously awaiting replies on one node *)
   batch_hist : int array; (** flush-size histogram; see {!hist_bucket_label} *)
+  tier_promotions : int;  (** call sites promoted generic -> specialized *)
+  tier_deopts : int;      (** specialized plans abandoned on Type_confusion *)
+  plan_cache_hits : int;  (** plan-store lookups answered from cache *)
+  plan_cache_misses : int;(** plan-store lookups that forced a compile *)
+  site_calls : (int * int) list;
+      (** adaptive-dispatch invocation counts per call site, sorted by
+          callsite id with zero entries elided (canonical form, so
+          snapshots compare with [=]) *)
 }
 
 (** Number of batch-size histogram buckets ([batch_hist] length). *)
@@ -109,6 +117,21 @@ val incr_unbatched : t -> unit
 (** [record_outstanding t depth] raises the outstanding-call
     high-water mark to [depth] if it is a new maximum. *)
 val record_outstanding : t -> int -> unit
+
+(** Tiered-specialization counters (PR 4).  Only the adaptive tier
+    touches them, so ahead-of-time runs keep byte-identical output. *)
+
+val incr_tier_promotions : t -> unit
+val incr_tier_deopts : t -> unit
+val incr_plan_cache_hits : t -> unit
+val incr_plan_cache_misses : t -> unit
+
+(** [record_site_call t ~callsite] counts one adaptive-tier dispatch at
+    [callsite] and returns nothing; read back with {!site_call_count}. *)
+val record_site_call : t -> callsite:int -> unit
+
+(** Current invocation count for [callsite] (0 if never seen). *)
+val site_call_count : t -> callsite:int -> int
 
 val snapshot : t -> snapshot
 

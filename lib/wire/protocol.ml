@@ -9,6 +9,7 @@ type header = {
   method_id : int;
   callsite : int;
   nargs : int;
+  plan_ver : int;
 }
 
 let kind_code = function Request -> 0 | Reply -> 1 | Ack -> 2 | Exn_reply -> 3
@@ -28,7 +29,8 @@ let write_header w h =
   Msgbuf.write_varint w h.target_obj;
   Msgbuf.write_varint w h.method_id;
   Msgbuf.write_varint w h.callsite;
-  Msgbuf.write_uvarint w h.nargs
+  Msgbuf.write_uvarint w h.nargs;
+  Msgbuf.write_uvarint w h.plan_ver
 
 let read_header r =
   let kind = kind_of_code (Msgbuf.read_u8 r) in
@@ -39,7 +41,8 @@ let read_header r =
   let method_id = Msgbuf.read_varint r in
   let callsite = Msgbuf.read_varint r in
   let nargs = Msgbuf.read_uvarint r in
-  { kind; src; epoch; seq; target_obj; method_id; callsite; nargs }
+  let plan_ver = Msgbuf.read_uvarint r in
+  { kind; src; epoch; seq; target_obj; method_id; callsite; nargs; plan_ver }
 
 let pp_kind ppf k =
   Format.pp_print_string ppf
@@ -50,10 +53,11 @@ let pp_kind ppf k =
     | Exn_reply -> "exn-reply")
 
 let pp_header ppf h =
-  Format.fprintf ppf "{%a src=%d%s seq=%d obj=%d meth=%d site=%d nargs=%d}"
+  Format.fprintf ppf "{%a src=%d%s seq=%d obj=%d meth=%d site=%d nargs=%d%s}"
     pp_kind h.kind h.src
     (if h.epoch = 0 then "" else Printf.sprintf " epoch=%d" h.epoch)
     h.seq h.target_obj h.method_id h.callsite h.nargs
+    (if h.plan_ver = 0 then "" else Printf.sprintf " plan_ver=%d" h.plan_ver)
 
 let header_size h =
   let w = Msgbuf.create_writer ~initial_capacity:32 () in

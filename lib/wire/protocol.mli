@@ -25,6 +25,14 @@ type header = {
   callsite : int;     (** call-site id (selects the specialized plan);
                           [-1] for class-generic marshaling *)
   nargs : int;        (** argument count, for generic unmarshaling *)
+  plan_ver : int;     (** plan version the payload was encoded with: 0
+                          is the generic (tag-carrying) encoding; [v > 0]
+                          selects specialized plan version [v] for the
+                          call site.  On a request it describes the
+                          arguments; on a reply, the return value — a
+                          server that deoptimized mid-reply tags the
+                          reply with the widened version so the caller
+                          decodes with the matching plan *)
 }
 
 val write_header : Msgbuf.writer -> header -> unit

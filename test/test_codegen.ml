@@ -248,6 +248,126 @@ let plan_size_accounting () =
   let p = Plan.generic ~callsite:0 ~nargs:3 ~has_ret:true in
   Alcotest.(check int) "generic size" 4 (Plan.size p)
 
+(* --- plan edge cases: the generic tier and deoptimization --- *)
+
+let generic_plan_invariants () =
+  let p = Plan.generic ~callsite:5 ~nargs:3 ~has_ret:true in
+  Alcotest.(check int) "version zero" Plan.generic_version p.Plan.version;
+  Alcotest.(check bool) "not polluted" false p.Plan.polluted;
+  Alcotest.(check bool) "all args dyn" true
+    (Array.for_all (fun s -> s = Plan.S_dyn) p.Plan.args);
+  Alcotest.(check bool) "ret dyn" true (p.Plan.ret = Some Plan.S_dyn);
+  Alcotest.(check bool) "cycle tables on" true
+    (p.Plan.cycle_args && p.Plan.cycle_ret);
+  Alcotest.(check bool) "no reuse" true
+    ((not p.Plan.reuse_ret)
+    && Array.for_all (fun r -> not r) p.Plan.reuse_args);
+  Alcotest.(check int) "no recursive defs" 0 (Array.length p.Plan.defs);
+  let ack = Plan.generic ~callsite:5 ~nargs:1 ~has_ret:false in
+  Alcotest.(check bool) "ack-only generic" true (ack.Plan.ret = None)
+
+let widen_invariants () =
+  let fx = Fixtures.array2d () in
+  let r = analyze fx.s_prog in
+  let plan = Codegen.plan_for r (callsite_of r fx.s_site) in
+  Alcotest.(check int) "compiled plans are version 1" 1 plan.Plan.version;
+  let w = Plan.widen plan (`Arg 0) in
+  Alcotest.(check int) "version bumped" 2 w.Plan.version;
+  Alcotest.(check bool) "polluted" true w.Plan.polluted;
+  Alcotest.(check bool) "position widened" true (w.Plan.args.(0) = Plan.S_dyn);
+  Alcotest.(check bool) "cycle table back on" true w.Plan.cycle_args;
+  Alcotest.(check bool) "reuse disabled" false w.Plan.reuse_args.(0);
+  (* widening is monotone: a second widening of the same ack-only plan
+     can only touch arguments *)
+  (match Plan.widen plan (`Arg 7) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range arg must be rejected");
+  match Plan.widen plan `Ret with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "widening the ret of an ack-only plan must be rejected"
+
+(* --- plan store: cache hits, publication, invalidation --- *)
+
+let store_of fx = Plan_store.create (Plan_store.source_of_optimizer (Optimizer.run fx.Fixtures.s_prog))
+
+let fresh_plan fx =
+  let opt = Optimizer.run fx.Fixtures.s_prog in
+  Optimizer.plan_for_site opt fx.Fixtures.s_site ~nargs:1 ~has_ret:false
+
+let plan_store_hit_and_publish () =
+  let fx = Fixtures.array2d () in
+  let store = store_of fx in
+  let site = fx.Fixtures.s_site in
+  (match Plan_store.get store ~site with
+  | Some (p, Plan_store.Compiled) ->
+      Alcotest.(check bool) "first get compiles the fresh plan" true
+        (p = fresh_plan fx)
+  | Some (_, _) -> Alcotest.fail "expected Compiled"
+  | None -> Alcotest.fail "site must compile");
+  (match Plan_store.get store ~site with
+  | Some (_, Plan_store.Hit) -> ()
+  | _ -> Alcotest.fail "second get must hit");
+  Alcotest.(check int) "one miss" 1 (Plan_store.misses store);
+  Alcotest.(check int) "one hit" 1 (Plan_store.hits store);
+  Alcotest.(check int) "no invalidation" 0 (Plan_store.invalidations store);
+  (* the deoptimizer publishes a widened plan: it becomes latest while
+     the older version stays addressable for in-flight decodes *)
+  let v1 = fresh_plan fx in
+  Plan_store.publish store (Plan.widen v1 (`Arg 0));
+  (match Plan_store.get store ~site with
+  | Some (p, Plan_store.Hit) ->
+      Alcotest.(check int) "widened plan is latest" 2 p.Plan.version;
+      Alcotest.(check bool) "latest is polluted" true p.Plan.polluted
+  | _ -> Alcotest.fail "expected a hit on the published plan");
+  match Plan_store.version store ~site 1 with
+  | Some p -> Alcotest.(check int) "old version addressable" 1 p.Plan.version
+  | None -> Alcotest.fail "version 1 must remain cached"
+
+let plan_store_invalidates_on_edit () =
+  let fx = Fixtures.array2d () in
+  let store = store_of fx in
+  let site = fx.Fixtures.s_site in
+  ignore (Plan_store.get store ~site);
+  Plan_store.publish store (Plan.widen (fresh_plan fx) (`Arg 0));
+  (* edit the caller's body slice: the content hash moves, so the next
+     get drops every cached version — widened descendants included —
+     and recompiles *)
+  Array.iter
+    (fun (m : Jir.Program.method_decl) ->
+      m.Jir.Program.var_types <-
+        Array.append m.Jir.Program.var_types [| Jir.Types.Tint |])
+    fx.Fixtures.s_prog.Jir.Program.methods;
+  (match Plan_store.get store ~site with
+  | Some (p, Plan_store.Invalidated) ->
+      Alcotest.(check int) "recompiled from scratch" 1 p.Plan.version;
+      Alcotest.(check bool) "pollution gone" false p.Plan.polluted
+  | _ -> Alcotest.fail "expected Invalidated");
+  Alcotest.(check int) "invalidation counted" 1
+    (Plan_store.invalidations store);
+  Alcotest.(check bool) "stale widened version dropped" true
+    (Plan_store.version store ~site 2 = None)
+
+(* cached ≡ fresh under any interleaving of edits and lookups *)
+let prop_cached_equals_fresh =
+  QCheck.Test.make ~name:"plan store: cached plan = fresh compile" ~count:60
+    QCheck.(small_list bool)
+    (fun edits ->
+      let fx = Fixtures.array2d () in
+      let store = store_of fx in
+      let site = fx.Fixtures.s_site in
+      List.for_all
+        (fun edit ->
+          if edit then
+            Array.iter
+              (fun (m : Jir.Program.method_decl) ->
+                m.Jir.Program.var_types <-
+                  Array.append m.Jir.Program.var_types [| Jir.Types.Tint |])
+              fx.Fixtures.s_prog.Jir.Program.methods;
+          match Plan_store.get store ~site with
+          | Some (cached, _) -> cached = fresh_plan fx
+          | None -> false)
+        edits)
+
 let suite =
   [
     ( "codegen.plans",
@@ -263,6 +383,16 @@ let suite =
         Alcotest.test_case "statically null field" `Quick statically_null_field;
         Alcotest.test_case "recursion through arrays" `Quick recursion_through_arrays;
         Alcotest.test_case "plan size accounting" `Quick plan_size_accounting;
+        Alcotest.test_case "generic plan invariants" `Quick generic_plan_invariants;
+        Alcotest.test_case "widen invariants" `Quick widen_invariants;
+      ] );
+    ( "codegen.plan_store",
+      [
+        Alcotest.test_case "hit, publish, versions" `Quick
+          plan_store_hit_and_publish;
+        Alcotest.test_case "program edit invalidates" `Quick
+          plan_store_invalidates_on_edit;
+        QCheck_alcotest.to_alcotest prop_cached_equals_fresh;
       ] );
     ( "codegen.optimizer",
       [ Alcotest.test_case "end to end driver" `Quick optimizer_driver_end_to_end ] );

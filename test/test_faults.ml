@@ -54,9 +54,9 @@ let truncated_payload_is_clean_error () =
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
-  (* truncate request payloads (keep the header intact) *)
+  (* truncate request payloads (keep the 9-byte header intact) *)
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
-      if dest = 1 && Bytes.length msg > 8 then Some (Bytes.sub msg 0 8)
+      if dest = 1 && Bytes.length msg > 9 then Some (Bytes.sub msg 0 9)
       else Some msg);
   Alcotest.(check bool) "clean remote error" true
     (try

@@ -206,6 +206,8 @@ let reuse_cache_on_callee () =
       cycle_ret = false;
       reuse_args = [| true |];
       reuse_ret = false;
+      version = 1;
+      polluted = false;
     }
   in
   Hashtbl.replace plans 9 plan;
@@ -335,6 +337,8 @@ let reset_caches_forgets_candidates () =
       cycle_ret = false;
       reuse_args = [| true |];
       reuse_ret = false;
+      version = 1;
+      polluted = false;
     }
   in
   Hashtbl.replace plans 21 plan;
@@ -388,7 +392,7 @@ let trace_records_events () =
         | Trace.Retry _ | Trace.Timeout _ | Trace.Batch_flush _
         | Trace.Crash _ | Trace.Restart _ | Trace.Suspect _
         | Trace.Peer_down _ | Trace.Call_retry _ | Trace.Failover _
-        | Trace.Breaker_open _ ->
+        | Trace.Breaker_open _ | Trace.Promote _ | Trace.Deopt _ ->
             (s, e, v, c, d))
       (0, 0, 0, 0, 0) (Trace.entries tr)
   in

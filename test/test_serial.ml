@@ -255,6 +255,46 @@ let type_confusion_raises () =
        false
      with Codec.Type_confusion _ -> true)
 
+let contexts_reusable_after_confusion () =
+  (* regression for the deoptimizer's replay path: a specialized write
+     that aborts mid-object leaves handles in the cycle table; after
+     [reset_wctx] the same contexts must serialize the same value
+     graph correctly, and the aborted attempt must not have bumped the
+     message counters *)
+  let m = Metrics.create () in
+  let wctx = Codec.make_wctx meta m ~cycle:true in
+  let rctx = Codec.make_rctx meta m ~cycle:true in
+  (* Pair{a:int, b:Cell} where b points back at a registered cell *)
+  let cell = Value.new_obj ~cls:0 ~nfields:1 in
+  let pair = Value.new_obj ~cls:1 ~nfields:2 in
+  pair.Value.fields.(0) <- Value.Int 7;
+  pair.Value.fields.(1) <- Value.Obj cell;
+  cell.Value.fields.(0) <- Value.Obj pair;
+  let lying_step =
+    (* promises b is statically a Pair: confusion at the inner object *)
+    Plan.S_obj
+      {
+        cls = 1;
+        fields = [| Plan.S_int; Plan.S_obj { cls = 1; fields = [||] } |];
+      }
+  in
+  let w = Msgbuf.create_writer () in
+  (match Codec.write_step wctx w lying_step (Value.Obj pair) with
+  | exception Codec.Type_confusion _ -> ()
+  | () -> Alcotest.fail "lying step must raise");
+  let before = Metrics.snapshot m in
+  Alcotest.(check int) "no message accounted for the abort" 0
+    before.Metrics.msgs_sent;
+  (* the aborted write registered [pair] in the handle table; without a
+     reset the retry would emit a dangling back-reference *)
+  Codec.reset_wctx wctx;
+  Codec.reset_rctx rctx;
+  let w = Msgbuf.create_writer () in
+  Codec.write_dyn wctx w (Value.Obj pair);
+  let got = Codec.read_dyn rctx (Msgbuf.reader_of_writer w) ~cand:Value.Null in
+  Alcotest.(check bool) "same contexts roundtrip the cycle" true
+    (Equality.equal (Value.Obj pair) got)
+
 (* random acyclic value graphs for property tests *)
 let gen_value =
   let open QCheck.Gen in
@@ -339,6 +379,8 @@ let suite =
         Alcotest.test_case "plan wire smaller than dyn" `Quick plan_wire_smaller_than_dyn;
         Alcotest.test_case "cycle lookups elided" `Quick cycle_lookups_elided;
         Alcotest.test_case "type confusion raises" `Quick type_confusion_raises;
+        Alcotest.test_case "contexts reusable after confusion" `Quick
+          contexts_reusable_after_confusion;
         QCheck_alcotest.to_alcotest prop_dyn_roundtrip;
         QCheck_alcotest.to_alcotest prop_dyn_roundtrip_nocycle;
       ] );

@@ -96,7 +96,14 @@ let mk_snapshot k =
     batched_msgs = k + 26;
     unbatched_msgs = k + 27;
     outstanding_hwm = k + 28;
-    batch_hist = Array.init Metrics.hist_buckets (fun i -> k + 29 + i);
+    tier_promotions = k + 29;
+    tier_deopts = k + 30;
+    plan_cache_hits = k + 31;
+    plan_cache_misses = k + 32;
+    batch_hist = Array.init Metrics.hist_buckets (fun i -> k + 33 + i);
+    (* keys sorted, values positive: [assoc_map2] drops zero entries and
+       returns a key-sorted list, so structural equality holds *)
+    site_calls = [ (1, k + 40); (7, k + 41) ];
   }
 
 let prop_merge_diff_laws =
@@ -142,6 +149,11 @@ let every_counter_covered () =
   Metrics.record_batch m ~msgs:3;
   Metrics.incr_unbatched m;
   Metrics.record_outstanding m 7;
+  Metrics.incr_tier_promotions m;
+  Metrics.incr_tier_deopts m;
+  Metrics.incr_plan_cache_hits m;
+  Metrics.incr_plan_cache_misses m;
+  Metrics.record_site_call m ~callsite:42;
   (* destructure without a wildcard: adding a snapshot field breaks
      this match until the test covers it *)
   let {
@@ -173,7 +185,12 @@ let every_counter_covered () =
     batched_msgs;
     unbatched_msgs;
     outstanding_hwm;
+    tier_promotions;
+    tier_deopts;
+    plan_cache_hits;
+    plan_cache_misses;
     batch_hist;
+    site_calls;
   } =
     Metrics.snapshot m
   in
@@ -186,10 +203,13 @@ let every_counter_covered () =
       timeouts; dup_drops; acks_sent; crashes; restarts; heartbeats_sent;
       stale_drops; suspects; peer_downs; call_retries; failovers;
       breaker_fastfails; reply_cache_hits; batches_sent; batched_msgs;
-      unbatched_msgs; outstanding_hwm;
+      unbatched_msgs; outstanding_hwm; tier_promotions; tier_deopts;
+      plan_cache_hits; plan_cache_misses;
     ];
   Alcotest.(check bool) "histogram moved" true
     (Array.exists (fun v -> v > 0) batch_hist);
+  Alcotest.(check (list (pair int int))) "site calls recorded"
+    [ (42, 1) ] site_calls;
   Metrics.reset m;
   Alcotest.(check bool) "reset restores zero on every counter" true
     (Metrics.snapshot m = Metrics.zero)

@@ -130,10 +130,10 @@ let header_roundtrip () =
   let open Protocol in
   let cases =
     [
-      { kind = Request; src = 0; epoch = 0; seq = 0; target_obj = 0; method_id = 0; callsite = -1; nargs = 0 };
-      { kind = Reply; src = 1; epoch = 0; seq = 42; target_obj = 7; method_id = 3; callsite = 12; nargs = 2 };
-      { kind = Ack; src = 3; epoch = 2; seq = 1000000; target_obj = -1; method_id = 255; callsite = 0; nargs = 7 };
-      { kind = Exn_reply; src = 2; epoch = 9; seq = 1; target_obj = 2; method_id = 3; callsite = 4; nargs = 1 };
+      { kind = Request; src = 0; epoch = 0; seq = 0; target_obj = 0; method_id = 0; callsite = -1; nargs = 0; plan_ver = 0 };
+      { kind = Reply; src = 1; epoch = 0; seq = 42; target_obj = 7; method_id = 3; callsite = 12; nargs = 2; plan_ver = 0 };
+      { kind = Ack; src = 3; epoch = 2; seq = 1000000; target_obj = -1; method_id = 255; callsite = 0; nargs = 7; plan_ver = 1 };
+      { kind = Exn_reply; src = 2; epoch = 9; seq = 1; target_obj = 2; method_id = 3; callsite = 4; nargs = 1; plan_ver = 130 };
     ]
   in
   List.iter
