@@ -25,8 +25,9 @@ module Msgbuf = Rmi.Internals.Msgbuf
 (* ------------------------------------------------------------------ *)
 
 (* builds a 2-machine Sync fabric for an app and returns a one-RMI
-   closure; all setup happens outside the measured region *)
-let rmi_unit (compiled : Rmi_apps.App_common.compiled) ~config ~export ~call =
+   closure plus the fabric's metrics; all setup happens outside the
+   measured region *)
+let rmi_unit_m (compiled : Rmi_apps.App_common.compiled) ~config ~export ~call =
   let metrics = Metrics.create () in
   let fabric =
     Fabric.create ~mode:Fabric.Sync ~n:2 ~meta:compiled.meta ~config
@@ -34,12 +35,15 @@ let rmi_unit (compiled : Rmi_apps.App_common.compiled) ~config ~export ~call =
   in
   export fabric;
   let caller = Fabric.node fabric 0 in
-  fun () -> call caller
+  ((fun () -> call caller), metrics)
+
+let rmi_unit compiled ~config ~export ~call =
+  fst (rmi_unit_m compiled ~config ~export ~call)
 
 let meth_named (compiled : Rmi_apps.App_common.compiled) name =
   Jfront.Lower.method_named compiled.Rmi_apps.App_common.prog name
 
-let list_unit config =
+let list_unit_m config =
   let compiled = Rmi_apps.Linked_list.compiled () in
   let meth = meth_named compiled "Foo.send" in
   let site = Rmi_apps.Linked_list.callsite () in
@@ -54,7 +58,7 @@ let list_unit config =
     in
     go Value.Null 100
   in
-  rmi_unit compiled ~config
+  rmi_unit_m compiled ~config
     ~export:(fun fabric ->
       Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
           None))
@@ -64,7 +68,9 @@ let list_unit config =
            ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:false [| head |]))
 
-let array_unit config =
+let list_unit config = fst (list_unit_m config)
+
+let array_unit_m config =
   let compiled = Rmi_apps.Array_bench.compiled () in
   let meth = meth_named compiled "ArrayBench.send" in
   let site = Rmi_apps.Array_bench.callsite () in
@@ -75,7 +81,7 @@ let array_unit config =
     done;
     Value.Rarr outer
   in
-  rmi_unit compiled ~config
+  rmi_unit_m compiled ~config
     ~export:(fun fabric ->
       Node.export (Fabric.node fabric 1) ~obj:0 ~meth ~has_ret:false (fun _ ->
           None))
@@ -84,6 +90,8 @@ let array_unit config =
         (Node.call caller
            ~dest:(Rmi.Remote_ref.make ~machine:1 ~obj:0)
            ~meth ~callsite:site ~has_ret:false [| matrix |]))
+
+let array_unit config = fst (array_unit_m config)
 
 let lu_unit config =
   let compiled = Rmi_apps.Lu.compiled () in
@@ -315,6 +323,115 @@ let ablation_wire_introspect () =
     Rmi.Internals.Introspect.write (Rmi.Internals.Introspect.make_wctx ablation_meta m) w v
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_wire.json: machine-readable zero-copy wire-path numbers       *)
+(* ------------------------------------------------------------------ *)
+
+(* One (workload, framing-mode) measurement: wall-clock ns per RMI plus
+   the allocation telemetry the zero-copy substitution is about. *)
+type wire_row = {
+  wb_workload : string;  (* "chain100" / "matrix16x16" *)
+  wb_mode : string;  (* "<transport>/<framing>" *)
+  wb_ns_per_op : float;
+  wb_copied_per_call : float;  (* Metrics.bytes_copied delta / calls *)
+  wb_minor_per_call : float;  (* Gc.minor_words delta / calls *)
+  wb_pool_hits : int;
+  wb_pool_misses : int;
+}
+
+let wire_measure ~calls (call, metrics) =
+  (* warmup covers plan compilation, pool priming, first envelopes *)
+  for _ = 1 to max 8 (calls / 8) do
+    call ()
+  done;
+  let s0 = Metrics.snapshot metrics in
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calls do
+    call ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let m1 = Gc.minor_words () in
+  let s1 = Metrics.snapshot metrics in
+  let fcalls = float_of_int calls in
+  ( (t1 -. t0) *. 1e9 /. fcalls,
+    float_of_int (s1.Metrics.bytes_copied - s0.Metrics.bytes_copied) /. fcalls,
+    (m1 -. m0) /. fcalls,
+    s1.Metrics.pool_hits - s0.Metrics.pool_hits,
+    s1.Metrics.pool_misses - s0.Metrics.pool_misses )
+
+let wire_modes =
+  let base = Config.site_reuse_cycle in
+  [
+    ("raw/legacy", Config.legacy_copy base);
+    ("raw/zero-copy", Config.with_zero_copy true base);
+    ("reliable/legacy", Config.legacy_copy (Config.with_reliable base));
+    ("reliable/zero-copy", Config.with_zero_copy true (Config.with_reliable base));
+  ]
+
+let wire_rows ~calls =
+  let workloads =
+    [ ("chain100", list_unit_m); ("matrix16x16", array_unit_m) ]
+  in
+  List.concat_map
+    (fun (wname, unit_m) ->
+      List.map
+        (fun (mname, config) ->
+          let ns, copied, minor, hits, misses =
+            wire_measure ~calls (unit_m config)
+          in
+          {
+            wb_workload = wname;
+            wb_mode = mname;
+            wb_ns_per_op = ns;
+            wb_copied_per_call = copied;
+            wb_minor_per_call = minor;
+            wb_pool_hits = hits;
+            wb_pool_misses = misses;
+          })
+        wire_modes)
+    workloads
+
+let wire_json ~calls rows =
+  let row r =
+    Printf.sprintf
+      "    { \"workload\": %S, \"mode\": %S, \"ns_per_op\": %.1f, \
+       \"bytes_copied_per_call\": %.1f, \"minor_words_per_call\": %.1f, \
+       \"pool_hits\": %d, \"pool_misses\": %d }"
+      r.wb_workload r.wb_mode r.wb_ns_per_op r.wb_copied_per_call
+      r.wb_minor_per_call r.wb_pool_hits r.wb_pool_misses
+  in
+  Printf.sprintf
+    "{\n  \"benchmark\": \"wire\",\n  \"calls\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    calls
+    (String.concat ",\n" (List.map row rows))
+
+let run_wire ~calls path =
+  let rows = wire_rows ~calls in
+  let oc = open_out path in
+  output_string oc (wire_json ~calls rows);
+  close_out oc;
+  print_endline "Zero-copy wire path (wall clock + allocation telemetry):";
+  print_endline
+    (Rmi.Ascii_table.render
+       ~headers:
+         [
+           "workload"; "mode"; "ns/op"; "copied B/call"; "minor w/call";
+           "pool hit"; "pool miss";
+         ]
+       (List.map
+          (fun r ->
+            [
+              r.wb_workload; r.wb_mode;
+              Printf.sprintf "%.0f" r.wb_ns_per_op;
+              Printf.sprintf "%.1f" r.wb_copied_per_call;
+              Printf.sprintf "%.1f" r.wb_minor_per_call;
+              string_of_int r.wb_pool_hits;
+              string_of_int r.wb_pool_misses;
+            ])
+          rows));
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,21 +541,25 @@ let run_tables () =
     (E.stats_table ~id:"table8" ~title:"Table 8: Webserver runtime statistics" t7
        Rmi.Paper_data.table8_stats)
 
-let main pipeline batch window =
-  run_benchmarks ~pipeline ~batch ~window ();
-  print_newline ();
-  if pipeline then begin
-    print_endline "=== Pipelining / batching comparison ===";
-    print_newline ();
-    List.iter
-      (fun report ->
-        print_endline (Rmi.Experiment.render_pipeline report);
-        print_newline ())
-      (Rmi.Experiment.pipeline_compare ~window ())
-  end;
-  print_endline "=== Paper tables (small scale; --scale paper via bin/main.exe) ===";
-  print_newline ();
-  run_tables ()
+let main pipeline batch window wire_json_path =
+  match wire_json_path with
+  | Some path -> run_wire ~calls:1024 path
+  | None ->
+      run_benchmarks ~pipeline ~batch ~window ();
+      print_newline ();
+      if pipeline then begin
+        print_endline "=== Pipelining / batching comparison ===";
+        print_newline ();
+        List.iter
+          (fun report ->
+            print_endline (Rmi.Experiment.render_pipeline report);
+            print_newline ())
+          (Rmi.Experiment.pipeline_compare ~window ())
+      end;
+      print_endline
+        "=== Paper tables (small scale; --scale paper via bin/main.exe) ===";
+      print_newline ();
+      run_tables ()
 
 let () =
   let open Cmdliner in
@@ -450,7 +571,18 @@ let () =
          pipelining/batching comparison tables); $(b,--batch) adds the \
          coalescing variants."
   in
+  let wire_json_arg =
+    let doc =
+      "Skip the bechamel suite: measure the Table 1/2 message shapes under \
+       legacy and zero-copy framing over raw and reliable links, and write \
+       the machine-readable rows (ns/op, copied bytes per call, minor words \
+       per call, pool traffic) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "wire-json" ] ~docv:"PATH" ~doc)
+  in
   let term =
-    Term.(const main $ Rmi.Cli.pipeline_arg $ Rmi.Cli.batch_arg $ Rmi.Cli.window_arg)
+    Term.(
+      const main $ Rmi.Cli.pipeline_arg $ Rmi.Cli.batch_arg $ Rmi.Cli.window_arg
+      $ wire_json_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -156,6 +156,45 @@ let tiers_cmd =
     Term.(
       const run $ tier_calls_arg $ Cli.window_arg $ Cli.hot_threshold_arg)
 
+let wirecost_cmd =
+  let wire_calls_arg =
+    Arg.(
+      value
+      & opt int 48
+      & info [ "calls" ] ~docv:"N"
+          ~doc:"How many RMIs each (workload, variant, framing) run issues.")
+  in
+  let wire_seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the lossy fault schedule of the reliable+faults \
+             variant; both framings replay it deterministically.")
+  in
+  let run calls window seed =
+    let r = E.wirecost_compare ~calls ~window ~seed () in
+    print_endline (E.render_wirecost r);
+    if not (r.E.u_frames_ok && r.E.u_results_ok && r.E.u_gate_ok) then begin
+      prerr_endline
+        "wirecost: zero-copy framing drifted from the legacy frames, \
+         results diverged, or the copy reduction missed the 50% gate";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "wirecost"
+       ~doc:
+         "Compare the legacy copy-based wire framing against the zero-copy \
+          pooled framing on the paper-table message shapes, over raw, \
+          reliable, batched and seeded-lossy links.  Digests every physical \
+          frame to prove both framings byte-identical on the wire, and \
+          exits nonzero on any frame or result drift — or if the enveloped \
+          variants cut fewer than 50% of the copied bytes per call.  The \
+          CI bench-smoke job gates on this.")
+    Term.(const run $ wire_calls_arg $ Cli.window_arg $ wire_seed_arg)
+
 let report_cmd =
   let run () =
     let apps =
@@ -391,6 +430,7 @@ let cmds =
     pipeline_cmd;
     crash_cmd;
     tiers_cmd;
+    wirecost_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

@@ -729,6 +729,280 @@ let render_tiers (r : tier_report) =
     (if r.t_converged then "yes" else "NO")
 
 (* ------------------------------------------------------------------ *)
+(* wirecost: legacy copy-based framing vs the zero-copy wire path      *)
+(* ------------------------------------------------------------------ *)
+
+type wire_run = {
+  u_digest : string;
+  u_checksum : float;
+  u_copied_per_call : float;
+  u_minor_per_call : float;
+  u_pool_hits : int;
+  u_pool_misses : int;
+  u_us_per_call : float;
+}
+
+type wire_row = {
+  wr_workload : string;
+  wr_variant : string;
+  wr_legacy : wire_run;
+  wr_zc : wire_run;
+  wr_gated : bool;
+}
+
+type wire_report = {
+  u_title : string;
+  u_rows : wire_row list;
+  u_frames_ok : bool;
+  u_results_ok : bool;
+  u_gate_ok : bool;
+}
+
+let wire_reduction r =
+  if r.wr_legacy.u_copied_per_call <= 0.0 then 0.0
+  else
+    100.0
+    *. (r.wr_legacy.u_copied_per_call -. r.wr_zc.u_copied_per_call)
+    /. r.wr_legacy.u_copied_per_call
+
+(* the paper-table message shapes: Table 1's linked chain and Table 2's
+   2D double matrix, sent through the generic serializer so the
+   comparison isolates the wire path from plan specialization *)
+let wire_meta =
+  lazy
+    (Rmi_serial.Class_meta.make
+       [ ("Cell", [ ("v", Jir.Types.Tint); ("next", Jir.Types.Tobject 0) ]) ])
+
+let wire_chain n =
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let c = Value.new_obj ~cls:0 ~nfields:2 in
+      c.Value.fields.(0) <- Value.Int k;
+      c.Value.fields.(1) <- acc;
+      go (Value.Obj c) (k - 1)
+    end
+  in
+  go Value.Null n
+
+let rec wire_chain_sum = function
+  | Value.Null -> 0
+  | Value.Obj o ->
+      (match o.Value.fields.(0) with Value.Int v -> v | _ -> 0)
+      + wire_chain_sum o.Value.fields.(1)
+  | _ -> 0
+
+let wire_matrix n =
+  let outer = Value.new_rarr (Jir.Types.Tarray Jir.Types.Tdouble) n in
+  for i = 0 to n - 1 do
+    let inner = Value.new_darr n in
+    for j = 0 to n - 1 do
+      inner.Value.d.(j) <- float_of_int ((i * n) + j)
+    done;
+    outer.Value.ra.(i) <- Value.Darr inner
+  done;
+  Value.Rarr outer
+
+let wire_matrix_sum = function
+  | Value.Rarr outer ->
+      Array.fold_left
+        (fun acc row ->
+          match row with
+          | Value.Darr inner -> acc +. Array.fold_left ( +. ) 0.0 inner.Value.d
+          | _ -> acc)
+        0.0 outer.Value.ra
+  | _ -> 0.0
+
+type wire_workload = {
+  ww_name : string;
+  ww_arg : Value.t lazy_t;
+  ww_fold : Value.t option -> float;
+  ww_handler : Value.t array -> Value.t option;
+}
+
+let wire_workloads =
+  [
+    {
+      ww_name = "chain100";
+      ww_arg = lazy (wire_chain 100);
+      ww_fold = (function Some (Value.Int v) -> float_of_int v | _ -> nan);
+      ww_handler =
+        (fun args -> Some (Value.Int (wire_chain_sum args.(0))));
+    };
+    {
+      ww_name = "matrix16x16";
+      ww_arg = lazy (wire_matrix 16);
+      ww_fold = (function Some (Value.Double v) -> v | _ -> nan);
+      ww_handler = (fun args -> Some (Value.Double (wire_matrix_sum args.(0))));
+    };
+  ]
+
+let m_wire = 1
+let wire_site = 1
+
+(* one framing mode of one variant: run [calls] RMIs, digest every
+   physical frame leaving the transmit path (the hook runs before the
+   fault-simulator stage, so legacy and zero-copy runs see the same
+   deterministic pre-fault frame stream) and report the per-call copy,
+   allocation and pool telemetry *)
+let run_wire_run ~config ?faults ~window ~calls (ww : wire_workload) =
+  let metrics = Metrics.create () in
+  let sim =
+    Option.map
+      (fun (seed, profile) -> Fault_sim.create ~seed ~n:2 profile)
+      faults
+  in
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ?faults:sim ~n:2
+      ~meta:(Lazy.force wire_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
+      ()
+  in
+  let digest = ref "" in
+  Rmi_net.Cluster.set_fault_hook (Fabric.cluster fabric)
+    (fun ~src:_ ~dest:_ frame ->
+      digest := Digest.string (!digest ^ Digest.bytes frame);
+      Some frame);
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_wire ~has_ret:true
+    ww.ww_handler;
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let arg = Lazy.force ww.ww_arg in
+  let checksum = ref 0.0 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Fabric.run fabric (fun _ ->
+      let i = ref 0 in
+      while !i < calls do
+        let k = min window (calls - !i) in
+        let futures =
+          List.init k (fun _ ->
+              Node.call_async caller ~dest ~meth:m_wire ~callsite:wire_site
+                ~has_ret:true [| arg |])
+        in
+        List.iter
+          (fun f -> checksum := !checksum +. ww.ww_fold (Node.Future.await f))
+          futures;
+        i := !i + k
+      done);
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let s = Metrics.snapshot metrics in
+  let per c = float_of_int c /. float_of_int calls in
+  {
+    u_digest =
+      (if String.length !digest = 0 then "-" else Digest.to_hex !digest);
+    u_checksum = !checksum;
+    u_copied_per_call = per s.Metrics.bytes_copied;
+    u_minor_per_call = minor /. float_of_int calls;
+    u_pool_hits = s.Metrics.pool_hits;
+    u_pool_misses = s.Metrics.pool_misses;
+    u_us_per_call = wall *. 1e6 /. float_of_int calls;
+  }
+
+(* every paper-table message shape x every transport variant, each run
+   under both framing modes.  The report's three verdicts are the
+   [wirecost] gate: byte-identical frame streams, byte-identical
+   results, and — on the enveloped variants, where the legacy path
+   snapshots the payload several times per frame — at least a 50% cut
+   in copied bytes per call *)
+let wirecost_compare ?(calls = 48) ?(window = 8) ?(seed = 42) () =
+  let base = Config.class_ in
+  let variants =
+    [
+      ("raw", base, None, 1, false);
+      ("reliable", Config.with_reliable base, None, 1, true);
+      ( "reliable+batch",
+        Config.with_batching (Config.with_reliable base),
+        None, window, true );
+      ( "reliable+faults",
+        Config.with_reliable base,
+        Some (seed, Fault_sim.default_lossy),
+        1, true );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun ww ->
+        List.map
+          (fun (vname, config, faults, win, gated) ->
+            let legacy =
+              run_wire_run ~config:(Config.legacy_copy config) ?faults
+                ~window:win ~calls ww
+            in
+            let zc =
+              run_wire_run ~config:(Config.with_zero_copy true config) ?faults
+                ~window:win ~calls ww
+            in
+            {
+              wr_workload = ww.ww_name;
+              wr_variant = vname;
+              wr_legacy = legacy;
+              wr_zc = zc;
+              wr_gated = gated;
+            })
+          variants)
+      wire_workloads
+  in
+  {
+    u_title =
+      Printf.sprintf
+        "wirecost: legacy copy framing vs zero-copy, %d calls, batch window \
+         %d, fault seed %d"
+        calls window seed;
+    u_rows = rows;
+    u_frames_ok =
+      List.for_all
+        (fun r -> String.equal r.wr_legacy.u_digest r.wr_zc.u_digest)
+        rows;
+    u_results_ok =
+      List.for_all
+        (fun r -> Float.equal r.wr_legacy.u_checksum r.wr_zc.u_checksum)
+        rows;
+    u_gate_ok =
+      List.for_all (fun r -> (not r.wr_gated) || wire_reduction r >= 50.0) rows;
+  }
+
+let render_wirecost (r : wire_report) =
+  let headers =
+    [
+      "workload"; "variant"; "copied B/call old"; "zc"; "cut";
+      "minor w/call old"; "zc"; "zc pool h/m"; "us/call old"; "zc"; "frames";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let cut = wire_reduction row in
+        let gate_note =
+          if row.wr_gated && cut < 50.0 then "  BELOW GATE" else ""
+        in
+        [
+          row.wr_workload;
+          row.wr_variant;
+          Printf.sprintf "%.1f" row.wr_legacy.u_copied_per_call;
+          Printf.sprintf "%.1f" row.wr_zc.u_copied_per_call;
+          Printf.sprintf "%.1f%%%s" cut gate_note;
+          Printf.sprintf "%.0f" row.wr_legacy.u_minor_per_call;
+          Printf.sprintf "%.0f" row.wr_zc.u_minor_per_call;
+          Printf.sprintf "%d/%d" row.wr_zc.u_pool_hits row.wr_zc.u_pool_misses;
+          Printf.sprintf "%.1f" row.wr_legacy.u_us_per_call;
+          Printf.sprintf "%.1f" row.wr_zc.u_us_per_call;
+          (if String.equal row.wr_legacy.u_digest row.wr_zc.u_digest then
+             "identical"
+           else "MISMATCH");
+        ])
+      r.u_rows
+  in
+  Printf.sprintf
+    "%s\n%s\nframe streams byte-identical: %s\nresults identical: %s\n>=50%% \
+     fewer copied bytes per call (enveloped variants): %s"
+    r.u_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.u_frames_ok then "yes" else "NO")
+    (if r.u_results_ok then "yes" else "NO")
+    (if r.u_gate_ok then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
 (* rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -144,6 +144,54 @@ val tiers_compare :
 
 val render_tiers : tier_report -> string
 
+(** One framing mode of one wirecost variant (PR 5). *)
+type wire_run = {
+  u_digest : string;
+      (** chained MD5 over every physical frame, in transmit order,
+          taken before the fault-simulator stage *)
+  u_checksum : float;  (** fold of all replies *)
+  u_copied_per_call : float;  (** [bytes_copied] per RMI *)
+  u_minor_per_call : float;  (** GC minor words per RMI *)
+  u_pool_hits : int;
+  u_pool_misses : int;
+  u_us_per_call : float;
+}
+
+(** One (workload, transport variant) pair, run under both framings. *)
+type wire_row = {
+  wr_workload : string;  (** "chain100" / "matrix16x16" *)
+  wr_variant : string;
+      (** "raw" / "reliable" / "reliable+batch" / "reliable+faults" *)
+  wr_legacy : wire_run;
+  wr_zc : wire_run;
+  wr_gated : bool;
+      (** enveloped variant: the >=50% copy-reduction gate applies *)
+}
+
+type wire_report = {
+  u_title : string;
+  u_rows : wire_row list;
+  u_frames_ok : bool;  (** every row's frame digests identical *)
+  u_results_ok : bool;  (** every row's checksums identical *)
+  u_gate_ok : bool;  (** every gated row cut copied bytes >= 50% *)
+}
+
+(** Percent reduction in copied bytes per call, legacy -> zero-copy. *)
+val wire_reduction : wire_row -> float
+
+(** Run the paper-table message shapes (Table 1's 100-cell chain,
+    Table 2's 16x16 double matrix) over raw, reliable, batched-reliable
+    and seeded-lossy-reliable links, each under the legacy copy-based
+    framing and the zero-copy framing.  Every physical frame is
+    digested on its way out (before the fault simulator), so
+    [u_frames_ok] proves the two framings byte-identical on the wire —
+    including under retransmission and batching — while
+    [u_copied_per_call] shows what the substitution saves. *)
+val wirecost_compare :
+  ?calls:int -> ?window:int -> ?seed:int -> unit -> wire_report
+
+val render_wirecost : wire_report -> string
+
 (** Render a timing table (paper vs modeled vs wall). *)
 val render_timing : timing_table -> string
 

@@ -77,19 +77,25 @@ type t = {
   n : int;
   boxes : Mailbox.t array;
   metrics : Rmi_stats.Metrics.t;
+  (* zero-copy wire path: frame envelopes in place around payloads
+     sitting in pooled writers, and hand payloads up as slices.  Off =
+     the pre-PR copy-based framing, kept for the wirecost comparison. *)
+  zero_copy : bool;
+  pool : Rmi_wire.Msgbuf.Pool.buffers;
   mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
   mutable sim : Fault_sim.t option;
   rel : rel option;
   mutable batcher : batcher option;
   (* messages unpacked from an already-received batch envelope, served
-     ahead of the mailbox *)
-  inbox : bytes Queue.t array;
+     ahead of the mailbox; [(frame, off, len)] slices sharing the frame
+     bytes so splitting a batch copies nothing *)
+  inbox : (bytes * int * int) Queue.t array;
   imutex : Mutex.t array;
   mutable process_hooks : (process_event -> unit) list;
   mutable peer_hooks : (self:int -> peer:int -> peer_event -> unit) list;
 }
 
-let create ?(transport = Raw) ~n metrics =
+let create ?(transport = Raw) ?(zero_copy = true) ~n metrics =
   if n < 1 then invalid_arg "Cluster.create: need at least one machine";
   let rel =
     match transport with
@@ -123,6 +129,8 @@ let create ?(transport = Raw) ~n metrics =
     n;
     boxes = Array.init n (fun _ -> Mailbox.create ());
     metrics;
+    zero_copy;
+    pool = Rmi_wire.Msgbuf.Pool.create ~metrics;
     fault = None;
     sim = None;
     rel;
@@ -135,6 +143,12 @@ let create ?(transport = Raw) ~n metrics =
 
 let size t = t.n
 let metrics t = t.metrics
+let zero_copy t = t.zero_copy
+let pool t = t.pool
+
+(* every physical payload copy on the wire path is charged here, under
+   both modes — the quantity the wirecost experiment compares *)
+let charge t n = Rmi_stats.Metrics.add_bytes_copied t.metrics n
 
 let transport t =
   match t.rel with None -> Raw | Some rel -> Reliable rel.params
@@ -251,8 +265,38 @@ let inject_frame t ~dest frame =
   check t dest;
   Mailbox.send t.boxes.(dest) frame
 
+(* control frames (acks, heartbeats): empty payload, so no payload
+   copies either way — but the zero-copy mode builds them in a pooled
+   writer instead of allocating a throwaway one per frame *)
+let control_frame t ~kind ~src ~lseq =
+  if t.zero_copy then
+    Rmi_wire.Msgbuf.Pool.with_writer t.pool (fun w ->
+        let start =
+          Envelope.encode_into w ~kind ~src ~epoch:(self_epoch t src) ~lseq
+            ~payload:Bytes.empty ()
+        in
+        Rmi_wire.Msgbuf.sub w ~off:start
+          ~len:(Rmi_wire.Msgbuf.length w - start))
+  else
+    Envelope.encode ~kind ~src ~epoch:(self_epoch t src) ~lseq
+      ~payload:Bytes.empty ()
+
+(* reserve the next link sequence number and register [envelope] for
+   retransmission; returns after the caller may transmit it *)
+let register_unacked rel ~lseq ~ltx envelope =
+  Hashtbl.replace ltx.unacked lseq
+    {
+      frame = envelope;
+      attempts = 1;
+      rto_now = rel.params.rto;
+      due = rel.tick + rel.params.rto;
+    }
+
 (* ship one wire frame (a single message or a batch envelope) through
-   the configured transport; all metrics accounting happens above *)
+   the configured transport — the legacy copy-based framing: the
+   payload is snapshotted three times on its way into an envelope
+   ([Bytes.to_string], the length-prefixed blit, and the final
+   [contents]), each charged to [bytes_copied] *)
 let send_frame t ~src ~dest frame =
   match t.rel with
   | None -> transmit t ~src ~dest frame
@@ -265,26 +309,92 @@ let send_frame t ~src ~dest frame =
         Envelope.encode ~kind:Data ~src ~epoch:(self_epoch t src) ~lseq
           ~payload:frame ()
       in
-      Hashtbl.replace ltx.unacked lseq
-        {
-          frame = envelope;
-          attempts = 1;
-          rto_now = rel.params.rto;
-          due = rel.tick + rel.params.rto;
-        };
+      charge t (3 * Bytes.length frame);
+      register_unacked rel ~lseq ~ltx envelope;
       Mutex.unlock rel.lock;
       transmit t ~src ~dest envelope
+
+(* zero-copy variant for a payload already materialized as bytes (a
+   buffered batch member, a resent request): one blit into a pooled
+   writer plus the single frame snapshot, instead of [send_frame]'s
+   three copies *)
+let send_frame_zc t ~src ~dest frame =
+  match t.rel with
+  | None -> transmit t ~src ~dest frame
+  | Some rel ->
+      let envelope =
+        Rmi_wire.Msgbuf.Pool.with_writer t.pool (fun w ->
+            Mutex.lock rel.lock;
+            let ltx = rel.tx.(src).(dest) in
+            let lseq = ltx.next_lseq in
+            ltx.next_lseq <- lseq + 1;
+            let start =
+              Envelope.encode_into w ~kind:Data ~src
+                ~epoch:(self_epoch t src) ~lseq ~payload:frame ()
+            in
+            let envelope =
+              Rmi_wire.Msgbuf.sub w ~off:start
+                ~len:(Rmi_wire.Msgbuf.length w - start)
+            in
+            charge t (Bytes.length frame + Bytes.length envelope);
+            register_unacked rel ~lseq ~ltx envelope;
+            Mutex.unlock rel.lock;
+            envelope)
+      in
+      transmit t ~src ~dest envelope
+
+(* the zero-copy fast path: the payload already sits in [w] after a
+   reserved {!Envelope.gap}, the envelope header is back-filled into
+   the gap in place, and the frame is snapshotted exactly once (the
+   immutable copy the mailbox and the retransmit buffer share) *)
+let send_frame_writer t ~src ~dest w ~payload_off =
+  let payload_len = Rmi_wire.Msgbuf.length w - payload_off in
+  match t.rel with
+  | None ->
+      let frame = Rmi_wire.Msgbuf.sub w ~off:payload_off ~len:payload_len in
+      charge t payload_len;
+      transmit t ~src ~dest frame
+  | Some rel ->
+      Mutex.lock rel.lock;
+      let ltx = rel.tx.(src).(dest) in
+      let lseq = ltx.next_lseq in
+      ltx.next_lseq <- lseq + 1;
+      let start =
+        Envelope.encode_around w ~kind:Data ~src ~epoch:(self_epoch t src)
+          ~lseq ~payload_off ()
+      in
+      let envelope =
+        Rmi_wire.Msgbuf.sub w ~off:start ~len:(Rmi_wire.Msgbuf.length w - start)
+      in
+      charge t (Bytes.length envelope);
+      register_unacked rel ~lseq ~ltx envelope;
+      Mutex.unlock rel.lock;
+      transmit t ~src ~dest envelope
+
+(* logical-traffic accounting, identical under both transports and both
+   framing modes: payload bytes, counted once — retransmissions and
+   acks go to their own counters *)
+let account_send t len =
+  Rmi_stats.Metrics.incr_msgs_sent t.metrics;
+  Rmi_stats.Metrics.add_bytes_sent t.metrics len;
+  Rmi_stats.Metrics.incr_unbatched t.metrics
 
 let send t ~src ~dest msg =
   check t src;
   check t dest;
-  (* logical-traffic accounting, identical under both transports:
-     payload bytes, counted once — retransmissions and acks go to their
-     own counters *)
-  Rmi_stats.Metrics.incr_msgs_sent t.metrics;
-  Rmi_stats.Metrics.add_bytes_sent t.metrics (Bytes.length msg);
-  Rmi_stats.Metrics.incr_unbatched t.metrics;
-  send_frame t ~src ~dest msg
+  account_send t (Bytes.length msg);
+  if t.zero_copy then send_frame_zc t ~src ~dest msg
+  else send_frame t ~src ~dest msg
+
+(* [send_writer t ~src ~dest w ~payload_off] ships the message sitting
+   in [w.(payload_off..length w)] — at least {!Envelope.gap} bytes must
+   have been reserved before [payload_off].  The writer's storage is
+   not referenced after the call returns. *)
+let send_writer t ~src ~dest w ~payload_off =
+  check t src;
+  check t dest;
+  account_send t (Rmi_wire.Msgbuf.length w - payload_off);
+  send_frame_writer t ~src ~dest w ~payload_off
 
 (* ------------------------------------------------------------------ *)
 (* batching: coalesce small messages per destination link              *)
@@ -301,18 +411,36 @@ let batching_enabled t = t.batcher <> None
 
 (* one buffered group becomes one wire frame: a batch of [k] messages
    pays a single per-message latency in the cost model (msgs_sent + 1)
-   while bytes_sent still counts every logical payload byte *)
+   while bytes_sent still counts every logical payload byte.  The
+   zero-copy mode assembles the batch directly in a gap-reserved pooled
+   writer (one blit per member) and envelopes it in place; the legacy
+   mode batches with [encode_batch] (three copies of the group) and
+   envelopes with [send_frame] (three more). *)
 let flush_group t ~src ~dest msgs bytes =
   let k = List.length msgs in
   Rmi_stats.Metrics.incr_msgs_sent t.metrics;
   Rmi_stats.Metrics.add_bytes_sent t.metrics bytes;
   Rmi_stats.Metrics.record_batch t.metrics ~msgs:k;
-  let frame =
-    match msgs with
-    | [ m ] -> m
-    | _ -> Rmi_wire.Protocol.encode_batch msgs
-  in
-  send_frame t ~src ~dest frame;
+  (if t.zero_copy then
+     match msgs with
+     | [ m ] -> send_frame_zc t ~src ~dest m
+     | _ ->
+         Rmi_wire.Msgbuf.Pool.with_writer t.pool (fun w ->
+             let payload_off = Envelope.gap in
+             ignore (Rmi_wire.Msgbuf.reserve w Envelope.gap : int);
+             Rmi_wire.Protocol.encode_batch_into w msgs;
+             charge t bytes;
+             send_frame_writer t ~src ~dest w ~payload_off)
+   else
+     let frame =
+       match msgs with
+       | [ m ] -> m
+       | _ ->
+           let f = Rmi_wire.Protocol.encode_batch msgs in
+           charge t (3 * bytes);
+           f
+     in
+     send_frame t ~src ~dest frame);
   (dest, k, bytes)
 
 let flush t ~src =
@@ -398,34 +526,69 @@ let pop_inbox t ~self =
   Mutex.unlock t.imutex.(self);
   m
 
-(* [payload] just came off the wire for [self]: either a single
+(* [(buf, off, len)] just came off the wire for [self]: either a single
    message, handed straight up, or a batch envelope whose first message
-   is returned and whose rest queue up ahead of the mailbox *)
-let unpack t ~self payload =
-  if not (Rmi_wire.Protocol.is_batch payload) then Some payload
-  else
-    match Rmi_wire.Protocol.decode_batch payload with
+   is returned and whose rest queue up ahead of the mailbox.  The
+   zero-copy mode splits the batch into slices sharing the frame bytes;
+   the legacy mode copies each sub-message out, as it always did. *)
+let unpack t ~self ((buf, off, len) as slice) =
+  if not (Rmi_wire.Protocol.is_batch_at buf ~off ~len) then Some slice
+  else if t.zero_copy then
+    match Rmi_wire.Protocol.decode_batch_slice buf ~off ~len with
     | None | Some [] ->
         (* garbled batch on the raw transport: drop it whole, like any
            other corrupt frame *)
         None
-    | Some (first :: rest) ->
+    | Some ((o, l) :: rest) ->
         if rest <> [] then begin
           Mutex.lock t.imutex.(self);
-          List.iter (fun m -> Queue.push m t.inbox.(self)) rest;
+          List.iter (fun (o, l) -> Queue.push (buf, o, l) t.inbox.(self)) rest;
           Mutex.unlock t.imutex.(self)
         end;
-        Some first
+        Some (buf, o, l)
+  else
+    let payload =
+      if off = 0 && len = Bytes.length buf then buf else Bytes.sub buf off len
+    in
+    match Rmi_wire.Protocol.decode_batch payload with
+    | None | Some [] -> None
+    | Some (first :: rest) ->
+        charge t
+          (List.fold_left
+             (fun acc m -> acc + Bytes.length m)
+             (Bytes.length first) rest);
+        if rest <> [] then begin
+          Mutex.lock t.imutex.(self);
+          List.iter
+            (fun m -> Queue.push (m, 0, Bytes.length m) t.inbox.(self))
+            rest;
+          Mutex.unlock t.imutex.(self)
+        end;
+        Some (first, 0, Bytes.length first)
 
-(* [Some payload] to hand to the upper layer, [None] when the frame was
+(* [Some slice] to hand to the upper layer, [None] when the frame was
    consumed here (ack, heartbeat, duplicate, stale epoch, or checksum
-   failure) *)
+   failure).  The zero-copy mode validates the checksum in place and
+   returns the payload as a slice of [raw]; the legacy mode copies the
+   payload out (charged). *)
 let filter_frame t rel ~self raw =
-  match Envelope.decode raw with
+  let decoded =
+    if t.zero_copy then
+      match Envelope.decode_slice raw ~off:0 ~len:(Bytes.length raw) with
+      | None -> None
+      | Some (env, (off, len)) -> Some (env, (raw, off, len))
+    else
+      match Envelope.decode raw with
+      | None -> None
+      | Some (env, payload) ->
+          charge t (Bytes.length payload);
+          Some (env, (payload, 0, Bytes.length payload))
+  in
+  match decoded with
   | None ->
       (* garbled on the wire; the sender's timer recovers it *)
       None
-  | Some ({ Envelope.kind; src; epoch; lseq }, payload) ->
+  | Some ({ Envelope.kind; src; epoch; lseq }, payload_slice) ->
       Mutex.lock rel.lock;
       let d = rel.det.(self).(src) in
       (* fence: a frame from an incarnation older than the best one we
@@ -459,9 +622,8 @@ let filter_frame t rel ~self raw =
             if lseq = Envelope.hb_ping then begin
               Rmi_stats.Metrics.incr_heartbeats_sent t.metrics;
               transmit t ~src:self ~dest:src
-                (Envelope.encode ~kind:Hb ~src:self
-                   ~epoch:(self_epoch t self) ~lseq:Envelope.hb_pong
-                   ~payload:Bytes.empty ())
+                (control_frame t ~kind:Envelope.Hb ~src:self
+                   ~lseq:Envelope.hb_pong)
             end;
             None
         | Envelope.Ack ->
@@ -474,8 +636,7 @@ let filter_frame t rel ~self raw =
                been lost *)
             Rmi_stats.Metrics.incr_acks_sent t.metrics;
             transmit t ~src:self ~dest:src
-              (Envelope.encode ~kind:Ack ~src:self ~epoch:(self_epoch t self)
-                 ~lseq ~payload:Bytes.empty ());
+              (control_frame t ~kind:Envelope.Ack ~src:self ~lseq);
             Mutex.lock rel.lock;
             let seen = rel.rx.(self).(src).seen in
             let dup = Hashtbl.mem seen lseq in
@@ -485,44 +646,50 @@ let filter_frame t rel ~self raw =
               Rmi_stats.Metrics.incr_dup_drops t.metrics;
               None
             end
-            else Some payload
+            else Some payload_slice
 
-let try_recv t ~self =
+(* a raw frame just arrived: run it through the transport filter (under
+   [Reliable]) and the batch splitter; [Some slice] when a message came
+   out of it *)
+let admit t ~self raw =
+  match t.rel with
+  | None -> unpack t ~self (raw, 0, Bytes.length raw)
+  | Some rel -> (
+      match filter_frame t rel ~self raw with
+      | Some payload_slice -> unpack t ~self payload_slice
+      | None -> None)
+
+let try_recv_slice t ~self =
   check t self;
   match pop_inbox t ~self with
   | Some m -> Some m
-  | None -> (
-      match t.rel with
-      | None ->
-          let rec go () =
-            match Mailbox.try_recv t.boxes.(self) with
-            | None -> None
-            | Some raw -> (
-                match unpack t ~self raw with
-                | Some m -> Some m
-                | None -> go ())
-          in
-          go ()
-      | Some rel ->
-          let rec go () =
-            match Mailbox.try_recv t.boxes.(self) with
-            | None -> None
-            | Some raw -> (
-                match filter_frame t rel ~self raw with
-                | Some payload -> (
-                    match unpack t ~self payload with
-                    | Some m -> Some m
-                    | None -> go ())
-                | None -> go ())
-          in
-          go ())
+  | None ->
+      let rec go () =
+        match Mailbox.try_recv t.boxes.(self) with
+        | None -> None
+        | Some raw -> (
+            match admit t ~self raw with Some m -> Some m | None -> go ())
+      in
+      go ()
 
-let recv_deadline t ~self ~seconds =
+(* snapshot a slice for the bytes-returning compatibility API; whole
+   frames pass through unchanged, so the legacy mode keeps its exact
+   pre-slice behavior *)
+let materialize t (buf, off, len) =
+  if off = 0 && len = Bytes.length buf then buf
+  else begin
+    charge t len;
+    Bytes.sub buf off len
+  end
+
+let try_recv t ~self = Option.map (materialize t) (try_recv_slice t ~self)
+
+let recv_deadline_slice t ~self ~seconds =
   check t self;
   (* one non-blocking pass first, so a zero or negative deadline still
      drains anything already deliverable instead of returning None with
      messages sitting in the mailbox *)
-  match try_recv t ~self with
+  match try_recv_slice t ~self with
   | Some m -> Some m
   | None ->
       let deadline = Unix.gettimeofday () +. seconds in
@@ -533,20 +700,12 @@ let recv_deadline t ~self ~seconds =
           match Mailbox.recv_deadline t.boxes.(self) ~seconds:remain with
           | None -> None
           | Some raw -> (
-              match t.rel with
-              | None -> (
-                  match unpack t ~self raw with
-                  | Some m -> Some m
-                  | None -> go ())
-              | Some rel -> (
-                  match filter_frame t rel ~self raw with
-                  | Some payload -> (
-                      match unpack t ~self payload with
-                      | Some m -> Some m
-                      | None -> go ())
-                  | None -> go ()))
+              match admit t ~self raw with Some m -> Some m | None -> go ())
       in
       go ()
+
+let recv_deadline t ~self ~seconds =
+  Option.map (materialize t) (recv_deadline_slice t ~self ~seconds)
 
 let pending_anywhere t =
   Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
@@ -644,9 +803,8 @@ let idle t ~self =
         (fun (observer, peer) ->
           Rmi_stats.Metrics.incr_heartbeats_sent t.metrics;
           transmit t ~src:observer ~dest:peer
-            (Envelope.encode ~kind:Hb ~src:observer
-               ~epoch:(self_epoch t observer) ~lseq:Envelope.hb_ping
-               ~payload:Bytes.empty ()))
+            (control_frame t ~kind:Envelope.Hb ~src:observer
+               ~lseq:Envelope.hb_ping))
         pings;
       List.iter
         (fun (observer, peer, ev) ->
@@ -667,7 +825,7 @@ let idle t ~self =
       then Dead
       else Waiting
 
-let recv_blocking t ~self =
+let recv_blocking_slice t ~self =
   check t self;
   match pop_inbox t ~self with
   | Some m -> m
@@ -676,7 +834,7 @@ let recv_blocking t ~self =
       | None ->
           let rec go () =
             let raw = Mailbox.recv_blocking t.boxes.(self) in
-            match unpack t ~self raw with Some m -> m | None -> go ()
+            match admit t ~self raw with Some m -> m | None -> go ()
           in
           go ()
       | Some _ ->
@@ -684,13 +842,15 @@ let recv_blocking t ~self =
              its own retransmit timers (a server whose reply was dropped
              must resend it even though it is only receiving) *)
           let rec go () =
-            match recv_deadline t ~self ~seconds:0.002 with
+            match recv_deadline_slice t ~self ~seconds:0.002 with
             | Some payload -> payload
             | None ->
                 ignore (idle t ~self);
                 go ()
           in
           go ())
+
+let recv_blocking t ~self = materialize t (recv_blocking_slice t ~self)
 
 (* ------------------------------------------------------------------ *)
 (* fault injection                                                     *)

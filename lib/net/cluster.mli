@@ -87,7 +87,24 @@ type process_event =
 
 type t
 
-val create : ?transport:transport -> n:int -> Rmi_stats.Metrics.t -> t
+(** [zero_copy] (default [true]) selects the wire framing mode:
+    envelopes and batch frames are built {e around} payloads sitting in
+    pooled writers ({!send_writer}, {!Envelope.encode_around}) and
+    received payloads are handed up as slices of the frame, so a
+    message body is snapshotted at most once per direction.  With
+    [zero_copy:false] the pre-existing copy-based framing is used.
+    Both modes produce byte-identical frames on the wire; every
+    physical payload copy either mode makes is charged to the
+    [bytes_copied] metric, which is how the [wirecost] experiment
+    compares them. *)
+val create :
+  ?transport:transport -> ?zero_copy:bool -> n:int -> Rmi_stats.Metrics.t -> t
+
+val zero_copy : t -> bool
+
+(** The cluster's shared writer/reader free-list pool (acquisitions
+    count [pool_hits]/[pool_misses]). *)
+val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
 
 (** What [self] currently believes about [peer]; always [Alive] under
     [Raw]. *)
@@ -116,6 +133,16 @@ val is_reliable : t -> bool
 
 (** [send t ~src ~dest msg]; self-sends are allowed (loopback). *)
 val send : t -> src:int -> dest:int -> bytes -> unit
+
+(** [send_writer t ~src ~dest w ~payload_off] ships the message sitting
+    in [w.(payload_off..length w)] without materializing it first: the
+    caller must have reserved at least {!Envelope.gap} bytes before
+    [payload_off], and under [Reliable] the envelope header is
+    back-filled into that gap in place.  [w]'s storage is not
+    referenced after the call returns (it is typically a pooled writer
+    released right after). *)
+val send_writer :
+  t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int -> unit
 
 (** {1 Request batching}
 
@@ -158,6 +185,20 @@ val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
 val flush : t -> src:int -> (int * int * int) list
 
 val try_recv : t -> self:int -> bytes option
+
+(** {1 Slice receive}
+
+    The zero-copy receive API: messages come back as [(frame, off,
+    len)] slices sharing the (immutable) received frame bytes, so
+    envelope payloads and batch sub-frames are never copied out.  The
+    bytes-returning functions above are materializing wrappers kept for
+    compatibility (and for the legacy framing mode, where the slice is
+    always a whole message and no extra copy happens). *)
+
+val try_recv_slice : t -> self:int -> (bytes * int * int) option
+val recv_blocking_slice : t -> self:int -> bytes * int * int
+val recv_deadline_slice :
+  t -> self:int -> seconds:float -> (bytes * int * int) option
 
 (** Deliver a raw frame straight into [dest]'s mailbox, bypassing the
     fault hook, the simulator and all link state.  A test/diagnostic

@@ -29,9 +29,45 @@ val encode :
   kind:kind -> src:int -> ?epoch:int -> lseq:int -> payload:bytes -> unit ->
   bytes
 
+(** {1 Zero-copy framing}
+
+    The copy-free path builds the envelope {e around} a payload that
+    already sits in a writer: reserve {!gap} bytes, write the payload
+    after them, then call {!encode_around} to back-fill the header
+    (right-justified against the payload, minimal varints) and return
+    the frame's start offset.  Frames built this way are byte-identical
+    to {!encode}'s output. *)
+
+(** Worst-case encoded header size; the gap to reserve before a
+    payload destined for {!encode_around}. *)
+val gap : int
+
+(** [encode_around w ~kind ~src ?epoch ~lseq ~payload_off ()] frames
+    [w.(payload_off..length w)] in place; at least {!gap} bytes before
+    [payload_off] must have been reserved.  Returns the frame's start
+    offset: the frame is [w.(start..length w)].
+    @raise Invalid_argument when the gap is too small. *)
+val encode_around :
+  Rmi_wire.Msgbuf.writer ->
+  kind:kind -> src:int -> ?epoch:int -> lseq:int -> payload_off:int -> unit ->
+  int
+
+(** [encode_into w ~payload ()] appends a whole envelope around a bytes
+    payload (one blit); returns the frame's start offset as for
+    {!encode_around}. *)
+val encode_into :
+  Rmi_wire.Msgbuf.writer ->
+  kind:kind -> src:int -> ?epoch:int -> lseq:int -> payload:bytes -> unit ->
+  int
+
 (** [None] when the frame is garbled: bad magic, bad kind, truncated,
     or checksum mismatch. *)
 val decode : bytes -> (t * bytes) option
+
+(** [decode_slice frame ~off ~len] is {!decode} over a slice of
+    [frame], returning the payload as an [(off, len)] slice instead of
+    a copy. *)
+val decode_slice : bytes -> off:int -> len:int -> (t * (int * int)) option
 
 (** [lseq] values distinguishing the two [Hb] frame roles. *)
 val hb_ping : int

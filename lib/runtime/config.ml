@@ -31,27 +31,28 @@ type t = {
   failover : failover;
   tier : tier;
   hot_threshold : int;
+  zero_copy : bool;
 }
 
 let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
 
 let site_reuse_cycle =
   {
@@ -64,6 +65,7 @@ let site_reuse_cycle =
     failover = default_failover;
     tier = Aot;
     hot_threshold = default_hot_threshold;
+    zero_copy = true;
   }
 
 let with_reliable t = { t with transport = Reliable }
@@ -74,6 +76,8 @@ let with_adaptive ?(hot_threshold = default_hot_threshold) t =
   { t with tier = Adaptive; hot_threshold }
 
 let with_tier tier t = { t with tier }
+let with_zero_copy zc t = { t with zero_copy = zc }
+let legacy_copy t = { t with zero_copy = false }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

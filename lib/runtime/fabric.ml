@@ -14,7 +14,10 @@ let create ?(mode = Sync) ?faults ?plan_store ~n ~meta ~config ~plans ~metrics (
     | Config.Raw -> Rmi_net.Cluster.Raw
     | Config.Reliable -> Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params
   in
-  let cluster = Rmi_net.Cluster.create ~transport ~n metrics in
+  let cluster =
+    Rmi_net.Cluster.create ~transport ~zero_copy:config.Config.zero_copy ~n
+      metrics
+  in
   if config.Config.batching then Rmi_net.Cluster.enable_batching cluster;
   Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
   let nodes =

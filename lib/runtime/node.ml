@@ -30,6 +30,13 @@ type compiled_plan = {
   cp_read_args : (Codec.rctx -> Msgbuf.reader -> cand:Value.t -> Value.t) array;
   cp_write_ret : (Codec.wctx -> Msgbuf.writer -> Value.t -> unit) option;
   cp_read_ret : (Codec.rctx -> Msgbuf.reader -> cand:Value.t -> Value.t) option;
+  (* codec contexts cached per plan (zero-copy mode): one wctx/rctx
+     pair keyed by the effective cycle flag, reset before each use, so
+     a hot call site stops allocating contexts and handle tables on
+     every RMI.  Safe because a node's marshal/unmarshal brackets run
+     to completion on its own thread before any nested use. *)
+  mutable cp_wctx : (bool * Codec.wctx) option;
+  mutable cp_rctx : (bool * Codec.rctx) option;
 }
 
 (* per-peer circuit breaker: [opened_at < 0] means closed *)
@@ -185,6 +192,48 @@ let find_handler t key =
 let metrics t = Rmi_net.Cluster.metrics t.cluster
 
 (* ------------------------------------------------------------------ *)
+(* zero-copy plumbing (PR 5)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let zc t = Rmi_net.Cluster.zero_copy t.cluster
+let node_pool t = Rmi_net.Cluster.pool t.cluster
+let gap = Rmi_net.Envelope.gap
+let charge t n = Metrics.add_bytes_copied (metrics t) n
+
+(* a writer positioned for the framing mode: pooled with the envelope
+   gap reserved under zero-copy (so the reliable transport can
+   back-fill its header in place), a fresh throwaway one otherwise *)
+let acquire_msg_writer ?(initial_capacity = 512) t =
+  if zc t then begin
+    let w = Msgbuf.Pool.acquire_writer (node_pool t) in
+    ignore (Msgbuf.reserve w gap : int);
+    w
+  end
+  else Msgbuf.create_writer ~initial_capacity ()
+
+let release_msg_writer t w =
+  if zc t then Msgbuf.Pool.release_writer (node_pool t) w
+
+(* the logical message sitting in [w] (after the gap in zc mode),
+   snapshotted; every such materialization is a physical payload copy
+   and is charged to [bytes_copied] in both framing modes *)
+let msg_of_writer t w =
+  if zc t then begin
+    let len = Msgbuf.length w - gap in
+    let msg = Msgbuf.sub w ~off:gap ~len in
+    charge t len;
+    msg
+  end
+  else begin
+    let msg = Msgbuf.contents w in
+    charge t (Bytes.length msg);
+    msg
+  end
+
+let reader_of_msg_writer t w =
+  Msgbuf.reader_of_writer ~off:(if zc t then gap else 0) w
+
+(* ------------------------------------------------------------------ *)
 (* plan selection and effective optimization flags                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -206,6 +255,8 @@ let compile_plan (plan : Plan.t) =
     cp_read_args = Array.map (Codec.compile_read ~defs) plan.Plan.args;
     cp_write_ret = Option.map (Codec.compile_write ~defs) plan.Plan.ret;
     cp_read_ret = Option.map (Codec.compile_read ~defs) plan.Plan.ret;
+    cp_wctx = None;
+    cp_rctx = None;
   }
 
 (* compiled once per (node, call site, plan version); the config is
@@ -414,24 +465,57 @@ let restore_ret_cand t ~callsite v = Hashtbl.replace t.ret_caches callsite v
    attached, so the deoptimizer knows what to widen *)
 exception Arg_confusion of int * string
 
+(* the plan's cached write context (zc mode), reset under the Codec
+   discipline before each use; a fresh context per call otherwise *)
+let wctx_for t cp ~cycle =
+  if not (zc t) then
+    Codec.make_wctx ~defs:cp.cp_plan.Plan.defs t.meta (metrics t) ~cycle
+  else
+    match cp.cp_wctx with
+    | Some (c, wctx) when c = cycle ->
+        Codec.reset_wctx wctx;
+        wctx
+    | _ ->
+        let wctx =
+          Codec.make_wctx ~defs:cp.cp_plan.Plan.defs t.meta (metrics t) ~cycle
+        in
+        cp.cp_wctx <- Some (cycle, wctx);
+        wctx
+
+let rctx_for t cp ~cycle =
+  if not (zc t) then
+    Codec.make_rctx ~defs:cp.cp_plan.Plan.defs t.meta (metrics t) ~cycle
+  else
+    match cp.cp_rctx with
+    | Some (c, rctx) when c = cycle ->
+        Codec.reset_rctx rctx;
+        rctx
+    | _ ->
+        let rctx =
+          Codec.make_rctx ~defs:cp.cp_plan.Plan.defs t.meta (metrics t) ~cycle
+        in
+        cp.cp_rctx <- Some (cycle, rctx);
+        rctx
+
 let marshal_args_positional t cp header args =
   let plan = cp.cp_plan in
-  let w = Msgbuf.create_writer ~initial_capacity:512 () in
-  Protocol.write_header w header;
-  let wctx =
-    Codec.make_wctx ~defs:plan.Plan.defs t.meta (metrics t)
-      ~cycle:(eff_cycle_args t plan)
-  in
-  Array.iteri
-    (fun i write ->
-      try write wctx w args.(i)
-      with Codec.Type_confusion msg ->
-        (* the aborted write may have registered objects in the cycle
-           table; reset so a replay cannot emit dangling handles *)
-        Codec.reset_wctx wctx;
-        raise (Arg_confusion (i, msg)))
-    cp.cp_write_args;
-  w
+  let w = acquire_msg_writer t in
+  try
+    Protocol.write_header w header;
+    let wctx = wctx_for t cp ~cycle:(eff_cycle_args t plan) in
+    Array.iteri
+      (fun i write ->
+        try write wctx w args.(i)
+        with Codec.Type_confusion msg ->
+          (* the aborted write may have registered objects in the cycle
+             table; reset so a replay cannot emit dangling handles *)
+          Codec.reset_wctx wctx;
+          raise (Arg_confusion (i, msg)))
+      cp.cp_write_args;
+    w
+  with e ->
+    release_msg_writer t w;
+    raise e
 
 let marshal_args t cp header args =
   try marshal_args_positional t cp header args
@@ -469,10 +553,7 @@ let marshal_args_tiered t st cp header args =
 
 let unmarshal_args t cp ~callsite r =
   let plan = cp.cp_plan in
-  let rctx =
-    Codec.make_rctx ~defs:plan.Plan.defs t.meta (metrics t)
-      ~cycle:(eff_cycle_args t plan)
-  in
+  let rctx = rctx_for t cp ~cycle:(eff_cycle_args t plan) in
   let nargs = Array.length plan.Plan.args in
   let roots =
     Array.mapi
@@ -493,20 +574,21 @@ let unmarshal_args t cp ~callsite r =
 
 let marshal_ret t cp header ret =
   let plan = cp.cp_plan in
-  let w = Msgbuf.create_writer ~initial_capacity:256 () in
-  match (cp.cp_write_ret, ret) with
-  | None, _ ->
-      Protocol.write_header w { header with Protocol.kind = Protocol.Ack };
-      w
-  | Some write, v ->
-      (* a void method under a value-bearing plan replies null *)
-      Protocol.write_header w { header with Protocol.kind = Protocol.Reply };
-      let wctx =
-        Codec.make_wctx ~defs:plan.Plan.defs t.meta (metrics t)
-          ~cycle:(eff_cycle_ret t plan)
-      in
-      write wctx w (Option.value v ~default:Value.Null);
-      w
+  let w = acquire_msg_writer ~initial_capacity:256 t in
+  try
+    match (cp.cp_write_ret, ret) with
+    | None, _ ->
+        Protocol.write_header w { header with Protocol.kind = Protocol.Ack };
+        w
+    | Some write, v ->
+        (* a void method under a value-bearing plan replies null *)
+        Protocol.write_header w { header with Protocol.kind = Protocol.Reply };
+        let wctx = wctx_for t cp ~cycle:(eff_cycle_ret t plan) in
+        write wctx w (Option.value v ~default:Value.Null);
+        w
+  with e ->
+    release_msg_writer t w;
+    raise e
 
 (* Adaptive reply encode: a return value that breaks the specialized
    plan deoptimizes the return position — widen, publish, replay — so
@@ -568,10 +650,7 @@ let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
       match cp.cp_read_ret with
       | None -> None
       | Some read ->
-          let rctx =
-            Codec.make_rctx ~defs:plan.Plan.defs t.meta (metrics t)
-              ~cycle:(eff_cycle_ret t plan)
-          in
+          let rctx = rctx_for t cp ~cycle:(eff_cycle_ret t plan) in
           let cand =
             if eff_reuse_ret t plan then take_ret_cand t ~callsite else Value.Null
           in
@@ -591,6 +670,27 @@ let send_msg t ~dest payload =
         trace_event t (Trace.Batch_flush { machine = t.nid; dest = d; msgs; bytes }))
       (Rmi_net.Cluster.send_buffered t.cluster ~src:t.nid ~dest payload)
   else Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest payload
+
+(* ship the message sitting in [w] (built by [acquire_msg_writer]).
+   [snapshot] is the message already materialized by the caller (the
+   retry copy of a request, a reply-cache entry) so paths that need
+   bytes anyway never copy twice.  In zero-copy mode without batching,
+   the reliable transport frames the writer's payload in place
+   ([Cluster.send_writer]); under the raw transport the one snapshot
+   doubles as the wire frame. *)
+let send_from_writer t ~dest ?snapshot w =
+  if (not (zc t)) || Rmi_net.Cluster.batching_enabled t.cluster then
+    let msg =
+      match snapshot with Some m -> m | None -> msg_of_writer t w
+    in
+    send_msg t ~dest msg
+  else
+    match snapshot with
+    | Some msg when not (Rmi_net.Cluster.is_reliable t.cluster) ->
+        Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest msg
+    | _ ->
+        Rmi_net.Cluster.send_writer t.cluster ~src:t.nid ~dest w
+          ~payload_off:gap
 
 (* ship whatever this machine has coalesced; a no-op when batching is
    off or the buffers are empty *)
@@ -727,10 +827,11 @@ let serve_request t (hdr : Protocol.header) r =
   if hdr.method_id = shutdown_method then t.shutdown <- true
   else begin
     let exn_reply_now msg =
-      let w = Msgbuf.create_writer () in
+      let w = acquire_msg_writer t in
       Protocol.write_header w { hdr with Protocol.kind = Protocol.Exn_reply };
       Msgbuf.write_string w msg;
-      send_msg t ~dest:hdr.src (Msgbuf.contents w)
+      send_from_writer t ~dest:hdr.src w;
+      release_msg_writer t w
     in
     (* the reply cache only matters where requests can be retried — the
        reliable transport; the raw paper-table path skips it entirely *)
@@ -767,7 +868,7 @@ let serve_request t (hdr : Protocol.header) r =
                higher versions resolve through the compiled cache, the
                shared plan table or the plan store *)
             let exn_reply msg =
-              let w = Msgbuf.create_writer () in
+              let w = acquire_msg_writer t in
               Protocol.write_header w
                 { hdr with Protocol.kind = Protocol.Exn_reply };
               Msgbuf.write_string w msg;
@@ -798,32 +899,44 @@ let serve_request t (hdr : Protocol.header) r =
                          down *)
                       exn_reply ("malformed request: " ^ msg))
             in
-            let reply = Msgbuf.contents reply in
-            (* stored before the reply leaves: execution and cache entry
-               are atomic with respect to a crash at frame granularity *)
             (match cache_key with
-            | Some key -> cache_reply t key reply
-            | None -> ());
-            send_msg t ~dest:hdr.src reply)
+            | Some key ->
+                (* snapshotted and stored before the reply leaves:
+                   execution and cache entry are atomic with respect to
+                   a crash at frame granularity *)
+                let snapshot = msg_of_writer t reply in
+                cache_reply t key snapshot;
+                send_from_writer t ~dest:hdr.src ~snapshot reply
+            | None -> send_from_writer t ~dest:hdr.src reply);
+            release_msg_writer t reply)
   end
 
-let dispatch t msg k =
-  match
-    let r = Msgbuf.reader_of_bytes msg in
-    let hdr = Protocol.read_header r in
-    (hdr, r)
-  with
+(* [msg] is a slice of the received frame — under zero-copy framing an
+   envelope payload or batch sub-message is read where it landed, never
+   copied out first; readers over it come from the cluster pool *)
+let dispatch t (buf, off, len) k =
+  let pooled = zc t in
+  let r =
+    if pooled then Msgbuf.Pool.acquire_reader (node_pool t) ~off ~len buf
+    else Msgbuf.reader_of_bytes ~off ~len buf
+  in
+  let release () =
+    if pooled then Msgbuf.Pool.release_reader (node_pool t) r
+  in
+  match Protocol.read_header r with
   | exception Msgbuf.Underflow _ ->
       (* a message whose header cannot be parsed has no reply address:
          drop it; a synchronous caller sees quiescence (Deadlock), a
          parallel one its own timeout *)
+      release ();
       k `Served
-  | hdr, r -> (
+  | hdr -> (
       match hdr.kind with
       | Protocol.Request ->
-          serve_request t hdr r;
+          Fun.protect ~finally:release (fun () -> serve_request t hdr r);
           k `Served
-      | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply -> k (`Reply (hdr, r)))
+      | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply ->
+          Fun.protect ~finally:release (fun () -> k (`Reply (hdr, r))))
 
 let consume t msg =
   dispatch t msg (function
@@ -832,7 +945,7 @@ let consume t msg =
 
 let serve_pending t =
   let rec go served =
-    match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+    match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
     | None -> served
     | Some msg ->
         consume t msg;
@@ -847,13 +960,13 @@ let serve_pending t =
 let serve_loop t =
   t.shutdown <- false;
   while not t.shutdown do
-    let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
+    let msg = Rmi_net.Cluster.recv_blocking_slice t.cluster ~self:t.nid in
     consume t msg;
     flush_self t
   done
 
 let send_shutdown t ~dest =
-  let w = Msgbuf.create_writer () in
+  let w = acquire_msg_writer t in
   Protocol.write_header w
     {
       Protocol.kind = Protocol.Request;
@@ -867,7 +980,8 @@ let send_shutdown t ~dest =
       plan_ver = 0;
     };
   (* through the batch buffer so it cannot overtake coalesced traffic *)
-  send_msg t ~dest (Msgbuf.contents w);
+  send_from_writer t ~dest w;
+  release_msg_writer t w;
   flush_self t
 
 (* ------------------------------------------------------------------ *)
@@ -964,7 +1078,7 @@ let await_pending (p : pending) =
         (* anything we coalesced — including p's own request — must be
            on the wire before we idle-wait for the answer *)
         flush_self t;
-        match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+        match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
         | Some msg ->
             consume t msg;
             loop ()
@@ -978,7 +1092,7 @@ let await_pending (p : pending) =
                  short slices so this machine keeps its retransmit
                  timers running *)
               match
-                Rmi_net.Cluster.recv_deadline t.cluster ~self:t.nid
+                Rmi_net.Cluster.recv_deadline_slice t.cluster ~self:t.nid
                   ~seconds:0.002
               with
               | Some msg ->
@@ -986,7 +1100,9 @@ let await_pending (p : pending) =
                   loop ()
               | None -> drive_transport ~quiescent:false
             else begin
-              let msg = Rmi_net.Cluster.recv_blocking t.cluster ~self:t.nid in
+              let msg =
+                Rmi_net.Cluster.recv_blocking_slice t.cluster ~self:t.nid
+              in
               consume t msg;
               loop ()
             end)
@@ -1057,7 +1173,7 @@ let peek_pending (p : pending) =
   (if is_pending p then begin
      flush_self t;
      let rec drain () =
-       match Rmi_net.Cluster.try_recv t.cluster ~self:t.nid with
+       match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
        | Some msg ->
            consume t msg;
            drain ()
@@ -1143,23 +1259,29 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
       match
         let cp, header, w = marshal_args_tiered t tier_st cp header args in
         p.pc_cp <- cp;
-        let r = Msgbuf.reader_of_writer w in
-        let (_ : Protocol.header) = Protocol.read_header r in
-        let entry =
-          match find_handler t (dest.Remote_ref.obj, meth) with
-          | Some e -> e
-          | None ->
-              raise
-                (No_such_method
-                   (Printf.sprintf "machine %d has no (obj %d, method %d)"
-                      t.nid dest.Remote_ref.obj meth))
-        in
-        let call_args = unmarshal_args t cp ~callsite r in
-        let ret = entry.fn call_args in
-        let wr = marshal_ret_tiered t cp header ret in
-        let rr = Msgbuf.reader_of_writer wr in
-        let rhdr = Protocol.read_header rr in
-        unmarshal_ret t p.pc_cp ~callsite rhdr rr
+        Fun.protect
+          ~finally:(fun () -> release_msg_writer t w)
+          (fun () ->
+            let r = reader_of_msg_writer t w in
+            let (_ : Protocol.header) = Protocol.read_header r in
+            let entry =
+              match find_handler t (dest.Remote_ref.obj, meth) with
+              | Some e -> e
+              | None ->
+                  raise
+                    (No_such_method
+                       (Printf.sprintf "machine %d has no (obj %d, method %d)"
+                          t.nid dest.Remote_ref.obj meth))
+            in
+            let call_args = unmarshal_args t cp ~callsite r in
+            let ret = entry.fn call_args in
+            let wr = marshal_ret_tiered t cp header ret in
+            Fun.protect
+              ~finally:(fun () -> release_msg_writer t wr)
+              (fun () ->
+                let rr = reader_of_msg_writer t wr in
+                let rhdr = Protocol.read_header rr in
+                unmarshal_ret t p.pc_cp ~callsite rhdr rr))
       with
       | v -> Resolved v
       | exception e -> Failed e
@@ -1183,10 +1305,13 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
     Metrics.incr_remote_rpcs (metrics t);
     let cp, _header, w = marshal_args_tiered t tier_st cp header args in
     p.pc_cp <- cp;
-    p.pc_request <- Msgbuf.contents w;
+    (* the one payload snapshot the zero-copy path makes: the stable
+       request bytes kept for RPC-level retries *)
+    p.pc_request <- msg_of_writer t w;
     Hashtbl.replace t.outstanding p.pc_seq p;
     Metrics.record_outstanding (metrics t) (Hashtbl.length t.outstanding);
-    send_msg t ~dest:dest.Remote_ref.machine p.pc_request;
+    send_from_writer t ~dest:dest.Remote_ref.machine ~snapshot:p.pc_request w;
+    release_msg_writer t w;
     p
   end
 

@@ -52,6 +52,9 @@ type t = {
   tier_deopts : int Atomic.t;
   plan_cache_hits : int Atomic.t;
   plan_cache_misses : int Atomic.t;
+  bytes_copied : int Atomic.t;
+  pool_hits : int Atomic.t;
+  pool_misses : int Atomic.t;
   (* per-call-site invocation counts (tiered dispatch); guarded by the
      mutex because sites appear dynamically *)
   site_calls : (int, int ref) Hashtbl.t;
@@ -92,6 +95,9 @@ type snapshot = {
   tier_deopts : int;
   plan_cache_hits : int;
   plan_cache_misses : int;
+  bytes_copied : int;
+  pool_hits : int;
+  pool_misses : int;
   site_calls : (int * int) list;  (** sorted by site, zero entries elided *)
 }
 
@@ -130,6 +136,9 @@ let create () : t =
     tier_deopts = Atomic.make 0;
     plan_cache_hits = Atomic.make 0;
     plan_cache_misses = Atomic.make 0;
+    bytes_copied = Atomic.make 0;
+    pool_hits = Atomic.make 0;
+    pool_misses = Atomic.make 0;
     site_calls = Hashtbl.create 16;
     site_mutex = Mutex.create ();
   }
@@ -168,6 +177,9 @@ let reset (t : t) =
   Atomic.set t.tier_deopts 0;
   Atomic.set t.plan_cache_hits 0;
   Atomic.set t.plan_cache_misses 0;
+  Atomic.set t.bytes_copied 0;
+  Atomic.set t.pool_hits 0;
+  Atomic.set t.pool_misses 0;
   Mutex.lock t.site_mutex;
   Hashtbl.reset t.site_calls;
   Mutex.unlock t.site_mutex
@@ -215,6 +227,9 @@ let incr_tier_promotions (t : t) = add t.tier_promotions 1
 let incr_tier_deopts (t : t) = add t.tier_deopts 1
 let incr_plan_cache_hits (t : t) = add t.plan_cache_hits 1
 let incr_plan_cache_misses (t : t) = add t.plan_cache_misses 1
+let add_bytes_copied (t : t) n = add t.bytes_copied n
+let incr_pool_hits (t : t) = add t.pool_hits 1
+let incr_pool_misses (t : t) = add t.pool_misses 1
 
 let record_site_call (t : t) ~callsite =
   Mutex.lock t.site_mutex;
@@ -277,6 +292,9 @@ let snapshot (t : t) =
     tier_deopts = Atomic.get t.tier_deopts;
     plan_cache_hits = Atomic.get t.plan_cache_hits;
     plan_cache_misses = Atomic.get t.plan_cache_misses;
+    bytes_copied = Atomic.get t.bytes_copied;
+    pool_hits = Atomic.get t.pool_hits;
+    pool_misses = Atomic.get t.pool_misses;
     site_calls =
       (Mutex.lock t.site_mutex;
        let l =
@@ -321,6 +339,9 @@ let zero =
     tier_deopts = 0;
     plan_cache_hits = 0;
     plan_cache_misses = 0;
+    bytes_copied = 0;
+    pool_hits = 0;
+    pool_misses = 0;
     site_calls = [];
   }
 
@@ -373,6 +394,9 @@ let map2 f a b =
     tier_deopts = f a.tier_deopts b.tier_deopts;
     plan_cache_hits = f a.plan_cache_hits b.plan_cache_hits;
     plan_cache_misses = f a.plan_cache_misses b.plan_cache_misses;
+    bytes_copied = f a.bytes_copied b.bytes_copied;
+    pool_hits = f a.pool_hits b.pool_hits;
+    pool_misses = f a.pool_misses b.pool_misses;
     site_calls = assoc_map2 f a.site_calls b.site_calls;
   }
 
@@ -426,14 +450,21 @@ let pp_tiers ppf s =
     end
   end
 
+let pp_wire ppf s =
+  (* zero-copy telemetry only appears once the wire path ran, so
+     serializer-only paper-table output is unchanged *)
+  if s.bytes_copied + s.pool_hits + s.pool_misses > 0 then
+    Format.fprintf ppf "@ bytes_copied=%d pool_hits=%d pool_misses=%d"
+      s.bytes_copied s.pool_hits s.pool_misses
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
      allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
-     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a@]"
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
     s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
     s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist
-    pp_robustness s pp_tiers s
+    pp_robustness s pp_tiers s pp_wire s

@@ -44,6 +44,9 @@ type snapshot = {
   tier_deopts : int;      (** specialized plans abandoned on Type_confusion *)
   plan_cache_hits : int;  (** plan-store lookups answered from cache *)
   plan_cache_misses : int;(** plan-store lookups that forced a compile *)
+  bytes_copied : int;     (** payload bytes physically copied on the wire path *)
+  pool_hits : int;        (** buffer acquisitions served from the free list *)
+  pool_misses : int;      (** buffer acquisitions that allocated fresh storage *)
   site_calls : (int * int) list;
       (** adaptive-dispatch invocation counts per call site, sorted by
           callsite id with zero entries elided (canonical form, so
@@ -125,6 +128,16 @@ val incr_tier_promotions : t -> unit
 val incr_tier_deopts : t -> unit
 val incr_plan_cache_hits : t -> unit
 val incr_plan_cache_misses : t -> unit
+
+(** Zero-copy wire-path telemetry (PR 5).  [bytes_copied] charges every
+    physical payload copy made while framing, batching or buffering a
+    message — the quantity the zero-copy path minimizes — while the pool
+    counters account writer/reader free-list reuse.  Like the transport
+    counters they never touch [msgs_sent]/[bytes_sent]. *)
+
+val add_bytes_copied : t -> int -> unit
+val incr_pool_hits : t -> unit
+val incr_pool_misses : t -> unit
 
 (** [record_site_call t ~callsite] counts one adaptive-tier dispatch at
     [callsite] and returns nothing; read back with {!site_call_count}. *)

@@ -1,5 +1,8 @@
 type writer = { mutable buf : bytes; mutable len : int }
-type reader = { data : bytes; limit : int; mutable pos : int }
+
+(* [data]/[limit] are mutable so pooled readers can be re-aimed at a new
+   buffer with [reset_reader] instead of allocating a fresh record *)
+type reader = { mutable data : bytes; mutable limit : int; mutable pos : int }
 
 exception Underflow of string
 
@@ -88,11 +91,77 @@ let write_int_slice w a pos len =
     write_varint w a.(i)
   done
 
+let write_bytes w b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Msgbuf.write_bytes";
+  ensure w len;
+  Bytes.blit b off w.buf w.len len;
+  w.len <- w.len + len
+
+(* [reserve w n] appends [n] zero bytes and returns their start offset;
+   callers back-fill them later with the [patch_*] primitives.  The gap
+   technique lets a frame header be written *around* an already-written
+   payload without copying it. *)
+let reserve w n =
+  if n < 0 then invalid_arg "Msgbuf.reserve";
+  ensure w n;
+  Bytes.fill w.buf w.len n '\000';
+  let at = w.len in
+  w.len <- w.len + n;
+  at
+
+let patch_u8 w ~at v =
+  if at < 0 || at >= w.len then invalid_arg "Msgbuf.patch_u8";
+  Bytes.unsafe_set w.buf at (Char.unsafe_chr (v land 0xff))
+
+(* width of [v] as a minimal unsigned LEB128 varint *)
+let uvarint_size v =
+  if v < 0 then invalid_arg "Msgbuf.uvarint_size";
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
+(* [patch_uvarint w ~at v] writes [v] as a minimal varint at absolute
+   offset [at] (inside already-written storage) and returns its width.
+   Minimal — never padded — so patched headers stay byte-identical to
+   ones produced by [write_uvarint]. *)
+let patch_uvarint w ~at v =
+  let n = uvarint_size v in
+  if at < 0 || at + n > w.len then invalid_arg "Msgbuf.patch_uvarint";
+  let rec go at v =
+    if v < 0x80 then Bytes.unsafe_set w.buf at (Char.unsafe_chr v)
+    else begin
+      Bytes.unsafe_set w.buf at (Char.unsafe_chr (0x80 lor (v land 0x7f)));
+      go (at + 1) (v lsr 7)
+    end
+  in
+  go at v;
+  n
+
 let contents w = Bytes.sub w.buf 0 w.len
+
+let sub w ~off ~len =
+  if off < 0 || len < 0 || off + len > w.len then invalid_arg "Msgbuf.sub";
+  Bytes.sub w.buf off len
+
 let unsafe_storage w = w.buf
 
-let reader_of_bytes data = { data; limit = Bytes.length data; pos = 0 }
-let reader_of_writer w = { data = w.buf; limit = w.len; pos = 0 }
+let reader_of_bytes ?(off = 0) ?len data =
+  let len = match len with Some n -> n | None -> Bytes.length data - off in
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Msgbuf.reader_of_bytes";
+  { data; limit = off + len; pos = off }
+
+let reader_of_writer ?(off = 0) w =
+  if off < 0 || off > w.len then invalid_arg "Msgbuf.reader_of_writer";
+  { data = w.buf; limit = w.len; pos = off }
+
+let reset_reader r ?(off = 0) ?len data =
+  let len = match len with Some n -> n | None -> Bytes.length data - off in
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Msgbuf.reset_reader";
+  r.data <- data;
+  r.limit <- off + len;
+  r.pos <- off
 
 let remaining r = r.limit - r.pos
 
@@ -144,6 +213,15 @@ let read_double r =
   r.pos <- r.pos + 8;
   v
 
+(* [skip r n what] advances past [n] bytes and returns their start
+   offset in the underlying buffer — how batch sub-frames are sliced
+   without copying *)
+let skip r n what =
+  check r n what;
+  let at = r.pos in
+  r.pos <- r.pos + n;
+  at
+
 let read_string r =
   let n = read_uvarint r in
   check r n "string";
@@ -167,3 +245,72 @@ let read_int_slice r a pos len =
   for i = pos to pos + len - 1 do
     a.(i) <- read_varint r
   done
+
+(* Free lists of writers and readers so steady-state RMI traffic reuses
+   buffer storage instead of allocating it per call — the Manta/GM
+   "message buffers come from a pool" discipline.  Mutex-guarded because
+   machines run in separate domains; a released writer keeps its grown
+   storage, so after warmup acquisitions stop allocating entirely. *)
+module Pool = struct
+  module Metrics = Rmi_stats.Metrics
+
+  type buffers = {
+    metrics : Metrics.t;
+    lock : Mutex.t;
+    mutable writers : writer list;
+    mutable readers : reader list;
+  }
+
+  let create ~metrics = { metrics; lock = Mutex.create (); writers = []; readers = [] }
+
+  let acquire_writer p =
+    Mutex.lock p.lock;
+    let w =
+      match p.writers with
+      | w :: rest ->
+          p.writers <- rest;
+          Metrics.incr_pool_hits p.metrics;
+          w
+      | [] ->
+          Metrics.incr_pool_misses p.metrics;
+          create_writer ~initial_capacity:512 ()
+    in
+    Mutex.unlock p.lock;
+    clear w;
+    w
+
+  let release_writer p w =
+    Mutex.lock p.lock;
+    p.writers <- w :: p.writers;
+    Mutex.unlock p.lock
+
+  (* [with_writer p f] runs [f] on a pooled writer and releases it even
+     on exceptions.  The writer's storage MUST NOT escape [f]: snapshot
+     anything long-lived with [sub]/[contents] first. *)
+  let with_writer p f =
+    let w = acquire_writer p in
+    Fun.protect ~finally:(fun () -> release_writer p w) (fun () -> f w)
+
+  let acquire_reader p ?off ?len data =
+    Mutex.lock p.lock;
+    let r =
+      match p.readers with
+      | r :: rest ->
+          p.readers <- rest;
+          Metrics.incr_pool_hits p.metrics;
+          r
+      | [] ->
+          Metrics.incr_pool_misses p.metrics;
+          { data = Bytes.empty; limit = 0; pos = 0 }
+    in
+    Mutex.unlock p.lock;
+    reset_reader r ?off ?len data;
+    r
+
+  let release_reader p r =
+    (* drop the data reference so the pool never pins a large frame *)
+    reset_reader r Bytes.empty;
+    Mutex.lock p.lock;
+    p.readers <- r :: p.readers;
+    Mutex.unlock p.lock
+end

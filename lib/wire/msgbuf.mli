@@ -44,8 +44,39 @@ val write_double_slice : writer -> float array -> int -> int -> unit
 
 val write_int_slice : writer -> int array -> int -> int -> unit
 
+(** [write_bytes w b off len] appends raw bytes of [b] (no length
+    prefix) — the blit used to splice an already-encoded message into a
+    frame in place. *)
+val write_bytes : writer -> bytes -> int -> int -> unit
+
+(** {1 Reserve / patch}
+
+    The zero-copy framing primitives: append placeholder bytes with
+    [reserve], write the payload after them, then back-fill lengths and
+    checksums with the [patch_*] family.  Patched varints are always
+    minimal (never padded), so a frame built this way is byte-identical
+    to one built by copying the payload through [write_string]. *)
+
+(** [reserve w n] appends [n] zero bytes and returns their start
+    offset. *)
+val reserve : writer -> int -> int
+
+(** [patch_u8 w ~at v] overwrites the byte at absolute offset [at]. *)
+val patch_u8 : writer -> at:int -> int -> unit
+
+(** Encoded width of a value as a minimal unsigned varint. *)
+val uvarint_size : int -> int
+
+(** [patch_uvarint w ~at v] writes [v] as a minimal unsigned varint at
+    absolute offset [at] (which must already be written) and returns
+    its width. *)
+val patch_uvarint : writer -> at:int -> int -> int
+
 (** Snapshot the written bytes. *)
 val contents : writer -> bytes
+
+(** [sub w ~off ~len] snapshots a slice of the written bytes. *)
+val sub : writer -> off:int -> len:int -> bytes
 
 (** Direct access to the underlying storage (first [length] bytes are
     valid); used by transports to avoid a copy. *)
@@ -53,13 +84,27 @@ val unsafe_storage : writer -> bytes
 
 (** {1 Reading} *)
 
-val reader_of_bytes : bytes -> reader
+(** [reader_of_bytes ?off ?len data] reads [len] bytes of [data]
+    starting at [off] (default: all of [data]) without copying — batch
+    sub-frames and envelope payloads are read in place this way. *)
+val reader_of_bytes : ?off:int -> ?len:int -> bytes -> reader
 
-(** [reader_of_writer w] reads over [w]'s storage without copying. *)
-val reader_of_writer : writer -> reader
+(** [reader_of_writer ?off w] reads over [w]'s storage without
+    copying, starting at [off] (default 0). *)
+val reader_of_writer : ?off:int -> writer -> reader
+
+(** [reset_reader r ?off ?len data] re-aims an existing reader at
+    [data], avoiding a record allocation (pooled-reader discipline,
+    mirroring [Codec.reset_rctx]). *)
+val reset_reader : reader -> ?off:int -> ?len:int -> bytes -> unit
 
 (** Bytes remaining to be read. *)
 val remaining : reader -> int
+
+(** [skip r n what] advances past [n] bytes and returns their start
+    offset in the underlying buffer ([what] labels the [Underflow] on
+    truncation) — used to slice sub-frames without copying. *)
+val skip : reader -> int -> string -> int
 
 val read_u8 : reader -> int
 val read_bool : reader -> bool
@@ -72,3 +117,34 @@ val read_string : reader -> string
 val read_double_slice : reader -> float array -> int -> int -> unit
 
 val read_int_slice : reader -> int array -> int -> int -> unit
+
+(** {1 Buffer pool}
+
+    Free lists of writers and readers shared by a cluster so that
+    steady-state calls reuse grown buffer storage instead of allocating
+    fresh buffers per message — the copy-free, pool-backed send path of
+    the paper's Manta/GM testbed.  Thread-safe; acquisitions are
+    counted as {!Rmi_stats.Metrics} [pool_hits]/[pool_misses]. *)
+module Pool : sig
+  type buffers
+
+  val create : metrics:Rmi_stats.Metrics.t -> buffers
+
+  (** [acquire_writer p] returns a cleared writer (pooled or fresh). *)
+  val acquire_writer : buffers -> writer
+
+  (** [release_writer p w] returns [w] to the free list.  Its storage
+      must no longer be referenced (snapshot with [sub]/[contents]
+      anything that outlives the release). *)
+  val release_writer : buffers -> writer -> unit
+
+  (** [with_writer p f] brackets [acquire_writer]/[release_writer]
+      around [f], releasing on exceptions too. *)
+  val with_writer : buffers -> (writer -> 'a) -> 'a
+
+  (** [acquire_reader p ?off ?len data] returns a pooled reader aimed
+      at [data] (see {!reader_of_bytes} for [off]/[len]). *)
+  val acquire_reader : buffers -> ?off:int -> ?len:int -> bytes -> reader
+
+  val release_reader : buffers -> reader -> unit
+end

@@ -75,6 +75,25 @@ let batch_code = 4
 
 let is_batch frame = Bytes.length frame > 0 && Char.code (Bytes.get frame 0) = batch_code
 
+let is_batch_at frame ~off ~len =
+  len > 0 && Char.code (Bytes.get frame off) = batch_code
+
+(* [encode_batch_into w msgs] appends the batch frame to [w] — a pooled
+   (and possibly gap-reserved) writer — blitting each message in place.
+   The per-message length prefix plus blit produces exactly the bytes
+   [write_string w (Bytes.to_string m)] used to, without the
+   intermediate string copy, so batch frames stay byte-identical across
+   the legacy and zero-copy paths. *)
+let encode_batch_into w msgs =
+  Msgbuf.write_u8 w batch_code;
+  Msgbuf.write_uvarint w (List.length msgs);
+  List.iter
+    (fun m ->
+      let n = Bytes.length m in
+      Msgbuf.write_uvarint w n;
+      Msgbuf.write_bytes w m 0 n)
+    msgs
+
 let encode_batch msgs =
   let total = List.fold_left (fun acc m -> acc + Bytes.length m) 0 msgs in
   let w = Msgbuf.create_writer ~initial_capacity:(total + 16) () in
@@ -83,17 +102,29 @@ let encode_batch msgs =
   List.iter (fun m -> Msgbuf.write_string w (Bytes.to_string m)) msgs;
   Msgbuf.contents w
 
-let decode_batch frame =
+(* [decode_batch_slice frame ~off ~len] splits the batch into
+   [(off, len)] slices of [frame] without copying the sub-messages. *)
+let decode_batch_slice frame ~off ~len =
   match
-    let r = Msgbuf.reader_of_bytes frame in
+    let r = Msgbuf.reader_of_bytes ~off ~len frame in
     if Msgbuf.read_u8 r <> batch_code then None
     else
       let n = Msgbuf.read_uvarint r in
       let rec go acc k =
         if k = 0 then Some (List.rev acc)
-        else go (Bytes.of_string (Msgbuf.read_string r) :: acc) (k - 1)
+        else begin
+          let mlen = Msgbuf.read_uvarint r in
+          let moff = Msgbuf.skip r mlen "batch sub-frame" in
+          go ((moff, mlen) :: acc) (k - 1)
+        end
       in
       go [] n
   with
   | exception Msgbuf.Underflow _ -> None
   | v -> v
+
+let decode_batch frame =
+  match decode_batch_slice frame ~off:0 ~len:(Bytes.length frame) with
+  | None -> None
+  | Some slices ->
+      Some (List.map (fun (off, len) -> Bytes.sub frame off len) slices)

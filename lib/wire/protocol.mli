@@ -58,11 +58,24 @@ val header_size : header -> int
 (** [true] iff the frame is a coalesced envelope. *)
 val is_batch : bytes -> bool
 
+(** Slice variant of {!is_batch} for payloads read in place. *)
+val is_batch_at : bytes -> off:int -> len:int -> bool
+
 (** [encode_batch msgs] frames the messages (each a complete
     header+payload encoding) as one envelope.  [msgs] must be
     non-empty. *)
 val encode_batch : bytes list -> bytes
 
+(** [encode_batch_into w msgs] appends the same frame to an existing
+    writer, blitting each message in place — the zero-copy batching
+    path.  Byte-identical to {!encode_batch}. *)
+val encode_batch_into : Msgbuf.writer -> bytes list -> unit
+
 (** Inverse of {!encode_batch}; [None] when the frame is not a batch or
     is truncated. *)
 val decode_batch : bytes -> bytes list option
+
+(** [decode_batch_slice frame ~off ~len] splits the batch at
+    [frame[off..off+len)] into [(off, len)] sub-message slices of
+    [frame], copy-free.  [None] as for {!decode_batch}. *)
+val decode_batch_slice : bytes -> off:int -> len:int -> (int * int) list option

@@ -100,6 +100,9 @@ let mk_snapshot k =
     tier_deopts = k + 30;
     plan_cache_hits = k + 31;
     plan_cache_misses = k + 32;
+    bytes_copied = k + 42;
+    pool_hits = k + 43;
+    pool_misses = k + 44;
     batch_hist = Array.init Metrics.hist_buckets (fun i -> k + 33 + i);
     (* keys sorted, values positive: [assoc_map2] drops zero entries and
        returns a key-sorted list, so structural equality holds *)
@@ -153,6 +156,9 @@ let every_counter_covered () =
   Metrics.incr_tier_deopts m;
   Metrics.incr_plan_cache_hits m;
   Metrics.incr_plan_cache_misses m;
+  Metrics.add_bytes_copied m 8;
+  Metrics.incr_pool_hits m;
+  Metrics.incr_pool_misses m;
   Metrics.record_site_call m ~callsite:42;
   (* destructure without a wildcard: adding a snapshot field breaks
      this match until the test covers it *)
@@ -189,6 +195,9 @@ let every_counter_covered () =
     tier_deopts;
     plan_cache_hits;
     plan_cache_misses;
+    bytes_copied;
+    pool_hits;
+    pool_misses;
     batch_hist;
     site_calls;
   } =
@@ -204,7 +213,7 @@ let every_counter_covered () =
       stale_drops; suspects; peer_downs; call_retries; failovers;
       breaker_fastfails; reply_cache_hits; batches_sent; batched_msgs;
       unbatched_msgs; outstanding_hwm; tier_promotions; tier_deopts;
-      plan_cache_hits; plan_cache_misses;
+      plan_cache_hits; plan_cache_misses; bytes_copied; pool_hits; pool_misses;
     ];
   Alcotest.(check bool) "histogram moved" true
     (Array.exists (fun v -> v > 0) batch_hist);

@@ -206,6 +206,209 @@ let prop_double_roundtrip =
       let f' = Msgbuf.read_double (Msgbuf.reader_of_writer w) in
       Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
 
+(* --- zigzag extremes and truncation --- *)
+
+let zigzag_extremes () =
+  (* zigzag must cover the full int range without overflow artifacts:
+     min_int maps to the largest unsigned code point *)
+  List.iter
+    (fun v ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_varint w v;
+      Alcotest.(check int)
+        (Printf.sprintf "varint %d" v)
+        v
+        (Msgbuf.read_varint (Msgbuf.reader_of_writer w)))
+    [ max_int; min_int; max_int - 1; min_int + 1; max_int / 2; min_int / 2 ];
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_uvarint w max_int;
+  Alcotest.(check int) "uvarint max_int" max_int
+    (Msgbuf.read_uvarint (Msgbuf.reader_of_writer w))
+
+let truncated_varint_underflows () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_varint w min_int;
+  (* a 10-byte encoding *)
+  let full = Msgbuf.contents w in
+  for len = 0 to Bytes.length full - 1 do
+    let r = Msgbuf.reader_of_bytes ~len full in
+    Alcotest.(check bool)
+      (Printf.sprintf "truncated at %d" len)
+      true
+      (try
+         ignore (Msgbuf.read_varint r : int);
+         false
+       with Msgbuf.Underflow _ -> true)
+  done
+
+(* --- offset readers and skip --- *)
+
+let reader_slices () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_u8 w 1;
+  Msgbuf.write_u8 w 2;
+  Msgbuf.write_u8 w 3;
+  Msgbuf.write_u8 w 4;
+  let data = Msgbuf.contents w in
+  let r = Msgbuf.reader_of_bytes ~off:1 ~len:2 data in
+  Alcotest.(check int) "slice remaining" 2 (Msgbuf.remaining r);
+  Alcotest.(check int) "first in slice" 2 (Msgbuf.read_u8 r);
+  Alcotest.(check int) "second in slice" 3 (Msgbuf.read_u8 r);
+  Alcotest.check_raises "slice end enforced" (Msgbuf.Underflow "u8") (fun () ->
+      ignore (Msgbuf.read_u8 r));
+  let r = Msgbuf.reader_of_bytes data in
+  let off = Msgbuf.skip r 3 "prefix" in
+  Alcotest.(check int) "skip returns start offset" 0 off;
+  Alcotest.(check int) "skip advances" 4 (Msgbuf.read_u8 r);
+  Alcotest.check_raises "skip past end" (Msgbuf.Underflow "tail") (fun () ->
+      ignore (Msgbuf.skip r 1 "tail"))
+
+(* --- reserve / patch --- *)
+
+let reserve_and_patch () =
+  let w = Msgbuf.create_writer () in
+  Msgbuf.write_u8 w 0xAA;
+  let at = Msgbuf.reserve w 3 in
+  Alcotest.(check int) "reserve offset" 1 at;
+  Msgbuf.write_u8 w 0xBB;
+  Msgbuf.patch_u8 w ~at 7;
+  let width = Msgbuf.patch_uvarint w ~at:(at + 1) 300 in
+  Alcotest.(check int) "patched varint minimal" (Msgbuf.uvarint_size 300) width;
+  let r = Msgbuf.reader_of_writer w in
+  Alcotest.(check int) "prefix intact" 0xAA (Msgbuf.read_u8 r);
+  Alcotest.(check int) "patched u8" 7 (Msgbuf.read_u8 r);
+  Alcotest.(check int) "patched uvarint" 300 (Msgbuf.read_uvarint r);
+  Alcotest.(check int) "suffix intact" 0xBB (Msgbuf.read_u8 r)
+
+let uvarint_size_matches_encoding () =
+  List.iter
+    (fun v ->
+      let w = Msgbuf.create_writer () in
+      Msgbuf.write_uvarint w v;
+      Alcotest.(check int)
+        (Printf.sprintf "size of %d" v)
+        (Msgbuf.length w) (Msgbuf.uvarint_size v))
+    [ 0; 1; 127; 128; 16383; 16384; 300; 123456; max_int ]
+
+(* --- buffer pool --- *)
+
+let pool_reuses_writers () =
+  let m = Rmi_stats.Metrics.create () in
+  let p = Msgbuf.Pool.create ~metrics:m in
+  let w1 = Msgbuf.Pool.acquire_writer p in
+  Msgbuf.write_string w1 "prime the storage";
+  Msgbuf.Pool.release_writer p w1;
+  let w2 = Msgbuf.Pool.acquire_writer p in
+  Alcotest.(check bool) "same writer object" true (w1 == w2);
+  Alcotest.(check int) "recycled writer is cleared" 0 (Msgbuf.length w2);
+  let s = Rmi_stats.Metrics.snapshot m in
+  Alcotest.(check int) "one miss (first acquire)" 1 s.Rmi_stats.Metrics.pool_misses;
+  Alcotest.(check int) "one hit (recycled)" 1 s.Rmi_stats.Metrics.pool_hits
+
+let pool_with_writer_releases_on_raise () =
+  let m = Rmi_stats.Metrics.create () in
+  let p = Msgbuf.Pool.create ~metrics:m in
+  let leaked = ref None in
+  (try
+     Msgbuf.Pool.with_writer p (fun w ->
+         leaked := Some w;
+         failwith "boom")
+   with Failure _ -> ());
+  let w = Msgbuf.Pool.acquire_writer p in
+  match !leaked with
+  | Some lw ->
+      Alcotest.(check bool) "writer back in pool after raise" true (w == lw)
+  | None -> Alcotest.fail "with_writer never ran"
+
+let pool_readers () =
+  let m = Rmi_stats.Metrics.create () in
+  let p = Msgbuf.Pool.create ~metrics:m in
+  let data = Bytes.of_string "\x05\x06\x07" in
+  let r1 = Msgbuf.Pool.acquire_reader p ~off:1 ~len:2 data in
+  Alcotest.(check int) "aimed at slice" 6 (Msgbuf.read_u8 r1);
+  Msgbuf.Pool.release_reader p r1;
+  let r2 = Msgbuf.Pool.acquire_reader p data in
+  Alcotest.(check bool) "reader recycled" true (r1 == r2);
+  Alcotest.(check int) "re-aimed at start" 5 (Msgbuf.read_u8 r2)
+
+(* --- zero-copy framing == copy framing, property-style --- *)
+
+module Envelope = Rmi_net.Envelope
+
+let envelope_kind_gen =
+  QCheck.Gen.oneofl [ Envelope.Data; Envelope.Ack; Envelope.Hb ]
+
+(* the headline substitution property: an envelope built in place
+   around a reserved gap is byte-for-byte the frame the copying encoder
+   produces, for any payload and any header values *)
+let prop_encode_around_equals_encode =
+  QCheck.Test.make ~name:"Envelope.encode_around == Envelope.encode" ~count:500
+    QCheck.(
+      make
+        Gen.(
+          quad envelope_kind_gen (int_bound 15) (int_bound 5)
+            (pair (int_bound 1_000_000) string)))
+    (fun (kind, src, epoch, (lseq, payload_s)) ->
+      let payload = Bytes.of_string payload_s in
+      let legacy = Envelope.encode ~kind ~src ~epoch ~lseq ~payload () in
+      let w = Msgbuf.create_writer () in
+      ignore (Msgbuf.reserve w Envelope.gap : int);
+      Msgbuf.write_bytes w payload 0 (Bytes.length payload);
+      let start =
+        Envelope.encode_around w ~kind ~src ~epoch ~lseq
+          ~payload_off:Envelope.gap ()
+      in
+      let zc = Msgbuf.sub w ~off:start ~len:(Msgbuf.length w - start) in
+      Bytes.equal legacy zc)
+
+let prop_encode_around_decodes =
+  QCheck.Test.make ~name:"encode_around frames decode to their payload"
+    ~count:200
+    QCheck.(pair (int_bound 1_000_000) string)
+    (fun (lseq, payload_s) ->
+      let payload = Bytes.of_string payload_s in
+      let w = Msgbuf.create_writer () in
+      ignore (Msgbuf.reserve w Envelope.gap : int);
+      Msgbuf.write_bytes w payload 0 (Bytes.length payload);
+      let start =
+        Envelope.encode_around w ~kind:Envelope.Data ~src:1 ~lseq
+          ~payload_off:Envelope.gap ()
+      in
+      let frame = Msgbuf.sub w ~off:start ~len:(Msgbuf.length w - start) in
+      match Envelope.decode frame with
+      | Some (h, p) ->
+          h.Envelope.kind = Envelope.Data
+          && h.Envelope.lseq = lseq
+          && Bytes.equal p payload
+      | None -> false)
+
+let encode_around_rejects_small_gap () =
+  let w = Msgbuf.create_writer () in
+  ignore (Msgbuf.reserve w 2 : int);
+  Msgbuf.write_u8 w 9;
+  Alcotest.(check bool) "raises Invalid_argument" true
+    (try
+       ignore
+         (Envelope.encode_around w ~kind:Envelope.Data ~src:0 ~lseq:0
+            ~payload_off:2 ()
+           : int);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_batch_into_equals_batch =
+  QCheck.Test.make ~name:"Protocol.encode_batch_into == encode_batch"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 8) string)
+    (fun msgs_s ->
+      let msgs = List.map Bytes.of_string msgs_s in
+      let legacy = Protocol.encode_batch msgs in
+      let w = Msgbuf.create_writer () in
+      (* an unrelated prefix proves the append is position-independent *)
+      Msgbuf.write_u8 w 0xEE;
+      Protocol.encode_batch_into w msgs;
+      let zc = Msgbuf.sub w ~off:1 ~len:(Msgbuf.length w - 1) in
+      Bytes.equal legacy zc)
+
 let suite =
   [
     ( "wire.msgbuf",
@@ -217,6 +420,13 @@ let suite =
         Alcotest.test_case "bad bool raises" `Quick bad_bool_raises;
         Alcotest.test_case "clear resets" `Quick clear_resets;
         Alcotest.test_case "negative uvarint rejected" `Quick negative_uvarint_rejected;
+        Alcotest.test_case "zigzag extremes" `Quick zigzag_extremes;
+        Alcotest.test_case "truncated varint underflows" `Quick
+          truncated_varint_underflows;
+        Alcotest.test_case "offset readers and skip" `Quick reader_slices;
+        Alcotest.test_case "reserve and patch" `Quick reserve_and_patch;
+        Alcotest.test_case "uvarint_size matches encoding" `Quick
+          uvarint_size_matches_encoding;
         QCheck_alcotest.to_alcotest prop_varint_roundtrip;
         QCheck_alcotest.to_alcotest prop_uvarint_roundtrip;
         QCheck_alcotest.to_alcotest prop_string_roundtrip;
@@ -227,6 +437,22 @@ let suite =
       [
         Alcotest.test_case "registry" `Quick typedesc_registry;
         Alcotest.test_case "tag roundtrip" `Quick tag_roundtrip;
+      ] );
+    ( "wire.pool",
+      [
+        Alcotest.test_case "writers recycled and counted" `Quick
+          pool_reuses_writers;
+        Alcotest.test_case "with_writer releases on raise" `Quick
+          pool_with_writer_releases_on_raise;
+        Alcotest.test_case "readers recycled and re-aimed" `Quick pool_readers;
+      ] );
+    ( "wire.zero_copy",
+      [
+        QCheck_alcotest.to_alcotest prop_encode_around_equals_encode;
+        QCheck_alcotest.to_alcotest prop_encode_around_decodes;
+        Alcotest.test_case "encode_around rejects small gap" `Quick
+          encode_around_rejects_small_gap;
+        QCheck_alcotest.to_alcotest prop_batch_into_equals_batch;
       ] );
     ( "wire.handle_table",
       [ Alcotest.test_case "lookups counted" `Quick handle_table_counts ] );
