@@ -195,6 +195,105 @@ let wirecost_cmd =
           CI bench-smoke job gates on this.")
     Term.(const run $ wire_calls_arg $ Cli.window_arg $ wire_seed_arg)
 
+let load_cmd =
+  let load_calls_arg =
+    Arg.(
+      value
+      & opt int 600
+      & info [ "calls" ] ~docv:"N"
+          ~doc:"How many RMIs each (workload, variant, domains) run issues.")
+  in
+  let load_window_arg =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Pipelining depth of the load client.")
+  in
+  let load_seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the lossy fault schedule of the reliable+faults \
+             variant; every domain count replays it deterministically.")
+  in
+  let spin_arg =
+    Arg.(
+      value
+      & opt int 24
+      & info [ "spin" ] ~docv:"K"
+          ~doc:
+            "Handler spin factor: the server re-folds each argument \
+             $(docv) times so dispatch is CPU-bound and worker count \
+             governs throughput.")
+  in
+  let speedup_floor_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "speedup-floor" ] ~docv:"X"
+          ~doc:
+            "Minimum matrix16x16/reliable throughput ratio, hi-domain \
+             over 1-domain, enforced when the host has the cores.")
+  in
+  let tail_tol_arg =
+    Arg.(
+      value
+      & opt float 8.0
+      & info [ "tail-tol" ] ~docv:"X"
+          ~doc:
+            "Maximum p999 latency ratio, hi-domain over 1-domain, \
+             enforced when the host has the cores.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to $(docv) (BENCH_load.json).")
+  in
+  let run calls window servers domains queue_depth spin seed speedup_floor
+      tail_tol json =
+    let r =
+      E.load_compare ~calls ~window ~servers ~domains ~queue_depth ~spin ~seed
+        ~speedup_floor ~tail_tol ()
+    in
+    print_endline (E.render_load r);
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (E.load_json r);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    if not r.E.l_gate_ok then begin
+      prerr_endline
+        "load: reply digests diverged across domain counts, or the \
+         multi-domain run missed the throughput/tail gate";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the paper-table message shapes (chain100, matrix16x16) \
+          from a pipelined client round-robin across $(b,--servers) \
+          machines, over reliable, batched and seeded-lossy links — once \
+          on the serial runtime and once on the work-stealing pool of \
+          $(b,--domains) worker domains with $(b,--queue-depth)-bounded \
+          admission.  Prints throughput and p50/p99/p999 client RTT per \
+          domain count and exits nonzero when any reply digest differs \
+          across domain counts, or (on hosts with the cores) when the \
+          pool misses the $(b,--speedup-floor) throughput gate or the \
+          $(b,--tail-tol) p999 bound.  The CI load-smoke job gates on \
+          this.")
+    Term.(
+      const run $ load_calls_arg $ load_window_arg $ Cli.servers_arg
+      $ Cli.domains_arg $ Cli.queue_depth_arg $ spin_arg $ load_seed_arg
+      $ speedup_floor_arg $ tail_tol_arg $ json_arg)
+
 let report_cmd =
   let run () =
     let apps =
@@ -431,6 +530,7 @@ let cmds =
     crash_cmd;
     tiers_cmd;
     wirecost_cmd;
+    load_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

@@ -39,33 +39,53 @@ let fresh_entry hash (plan : Plan.t) =
   Hashtbl.replace e_plans plan.Plan.version plan;
   { e_hash = hash; e_plans; e_latest = plan.Plan.version }
 
+(* under the lock: a cache probe only — never compiles *)
+let probe t ~site ~hash =
+  match Hashtbl.find_opt t.entries site with
+  | Some e when e.e_hash = hash ->
+      t.n_hits <- t.n_hits + 1;
+      (match Hashtbl.find_opt e.e_plans e.e_latest with
+      | Some plan -> `Hit plan
+      | None -> `Broken)
+  | Some _ -> `Stale
+  | None -> `Miss
+
 let get t ~site =
   match t.source.src_hash site with
   | None -> None
-  | Some hash ->
-      locked t (fun () ->
-          match Hashtbl.find_opt t.entries site with
-          | Some e when e.e_hash = hash ->
-              t.n_hits <- t.n_hits + 1;
-              (match Hashtbl.find_opt e.e_plans e.e_latest with
-              | Some plan -> Some (plan, Hit)
-              | None -> None)
-          | existing -> (
-              match t.source.src_compile site with
-              | None -> None
-              | Some plan ->
-                  t.n_misses <- t.n_misses + 1;
-                  let outcome =
-                    match existing with
-                    | None -> Compiled
-                    | Some _ ->
-                        t.n_invalidations <- t.n_invalidations + 1;
-                        Invalidated
-                  in
-                  (* stale versions are dropped wholesale: widened
-                     descendants of an outdated plan are outdated too *)
-                  Hashtbl.replace t.entries site (fresh_entry hash plan);
-                  Some (plan, outcome)))
+  | Some hash -> (
+      match locked t (fun () -> probe t ~site ~hash) with
+      | `Hit plan -> Some (plan, Hit)
+      | `Broken -> None
+      | `Stale | `Miss -> (
+          (* compile OUTSIDE the lock: [src_compile] reruns the
+             optimizer, and holding the mutex across it would serialize
+             every concurrently-promoting domain behind one compile *)
+          match t.source.src_compile site with
+          | None -> None
+          | Some plan ->
+              locked t (fun () ->
+                  (* double-check: another domain may have installed
+                     the same hash while we compiled — count its entry
+                     as our hit instead of clobbering plans it may
+                     already have widened *)
+                  match probe t ~site ~hash with
+                  | `Hit plan' -> Some (plan', Hit)
+                  | `Broken -> None
+                  | (`Stale | `Miss) as miss ->
+                      t.n_misses <- t.n_misses + 1;
+                      let outcome =
+                        match miss with
+                        | `Miss -> Compiled
+                        | `Stale ->
+                            t.n_invalidations <- t.n_invalidations + 1;
+                            Invalidated
+                      in
+                      (* stale versions are dropped wholesale: widened
+                         descendants of an outdated plan are outdated
+                         too *)
+                      Hashtbl.replace t.entries site (fresh_entry hash plan);
+                      Some (plan, outcome))))
 
 let version t ~site v =
   locked t (fun () ->

@@ -35,7 +35,14 @@ val create : source -> t
 
 (** [get t ~site] returns the current latest plan for [site] together
     with how it was obtained, or [None] when the source cannot compile
-    the site at all. *)
+    the site at all.
+
+    Safe to call from concurrent domains: the cache probe runs under
+    the store mutex but [src_compile] runs outside it, so one slow
+    compile never serializes the other domains' lookups.  When two
+    domains race to compile the same site, the first install wins and
+    the loser adopts it as a [Hit] — plans the winner already widened
+    are never clobbered. *)
 val get : t -> site:Jir.Types.site -> (Plan.t * outcome) option
 
 (** [version t ~site v] looks up one specific cached plan version

@@ -162,6 +162,32 @@ let entry_arg =
 let machines_arg =
   Arg.(value & opt int 2 & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the work-stealing dispatch pool.  $(b,1) \
+           keeps the paper's serial per-node serve loops; higher counts \
+           share every server's traffic across $(docv) OCaml domains.")
+
+let queue_depth_arg =
+  Arg.(
+    value
+    & opt int Config.default_queue_depth
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Admission bound: requests beyond $(docv) queued per server \
+           node are refused with a typed reject the client retries.")
+
+let servers_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "servers" ] ~docv:"N"
+        ~doc:"Server machines the load client round-robins across.")
+
 let seed_arg =
   Arg.(
     value

@@ -69,6 +69,18 @@ val entry_arg : string Term.t
 (** [--machines N]: cluster size, default 2. *)
 val machines_arg : int Term.t
 
+(** [--domains N]: worker domains for the dispatch pool, default 4;
+    1 keeps the paper's serial per-node serve loops. *)
+val domains_arg : int Term.t
+
+(** [--queue-depth N]: per-node admission bound, default
+    {!Rmi_runtime.Config.default_queue_depth}. *)
+val queue_depth_arg : int Term.t
+
+(** [--servers N]: server machines the load client round-robins
+    across, default 8. *)
+val servers_arg : int Term.t
+
 (** [--seed N]: crash-schedule seed, default 42. *)
 val seed_arg : int Term.t
 

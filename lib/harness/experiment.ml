@@ -1127,3 +1127,305 @@ let shape_summary t =
         (Printf.sprintf "winner matches paper (%s)" pname)
   | _ -> ());
   String.concat "\n" (List.rev !checks)
+
+(* ------------------------------------------------------------------ *)
+(* load: multi-domain dispatch throughput and tail latency (PR 6)      *)
+(* ------------------------------------------------------------------ *)
+
+type load_run = {
+  l_domains : int;
+  l_throughput : float;  (* completed calls per second *)
+  l_p50_us : float;
+  l_p99_us : float;
+  l_p999_us : float;
+  l_digest : string;  (* structural reply digest, issue order *)
+  l_dispatches : int;
+  l_steals : int;
+  l_rejects : int;
+  l_queue_hwm : int;
+}
+
+type load_row = {
+  lr_workload : string;
+  lr_variant : string;
+  lr_runs : load_run list;  (* ascending domain count *)
+}
+
+type load_report = {
+  l_title : string;
+  l_rows : load_row list;
+  l_servers : int;
+  l_calls : int;
+  l_hi_domains : int;
+  l_digest_ok : bool;
+  l_speedup : float;  (* matrix16x16/reliable: hi-domain vs 1-domain *)
+  l_speedup_floor : float;
+  l_tail_ratio : float;  (* p999 hi-domain / p999 1-domain *)
+  l_tail_tol : float;
+  l_cores_ok : bool;  (* host can actually run hi_domains + client *)
+  l_gate_ok : bool;
+}
+
+(* One cluster under load: one client (machine 0) drives [calls]
+   pipelined RMIs round-robin across [servers] served machines, every
+   reply folded into the structural digest in ISSUE order — so the
+   digest is independent of how the dispatch pool interleaved execution
+   and comparable across domain counts.  The handler re-folds its
+   argument [spin] times to give the servers a CPU-bound body: without
+   it the single client domain is the bottleneck and no worker count
+   could change throughput. *)
+let run_load_run ~config ?faults ~servers ~calls ~window ~spin
+    (ww : wire_workload) =
+  let metrics = Metrics.create () in
+  let n = servers + 1 in
+  let sim =
+    Option.map
+      (fun (seed, profile) -> Fault_sim.create ~seed ~n profile)
+      faults
+  in
+  let fabric =
+    Fabric.create ~mode:Fabric.Parallel ?faults:sim ~n
+      ~meta:(Lazy.force wire_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
+      ()
+  in
+  for s = 1 to servers do
+    Node.export (Fabric.node fabric s) ~obj:0 ~meth:m_wire ~has_ret:true
+      (fun args ->
+        let r = ref (ww.ww_handler args) in
+        for _ = 2 to spin do
+          r := ww.ww_handler args
+        done;
+        !r)
+  done;
+  let caller = Fabric.node fabric 0 in
+  let arg = Lazy.force ww.ww_arg in
+  let buf = Buffer.create 4096 in
+  let wall = ref 0.0 in
+  Fabric.run fabric (fun _ ->
+      let t0 = Unix.gettimeofday () in
+      let i = ref 0 in
+      while !i < calls do
+        let k = min window (calls - !i) in
+        let futures =
+          List.init k (fun j ->
+              let dest =
+                Remote_ref.make ~machine:(1 + ((!i + j) mod servers)) ~obj:0
+              in
+              Node.call_async caller ~dest ~meth:m_wire ~callsite:wire_site
+                ~has_ret:true [| arg |])
+        in
+        List.iter
+          (fun f ->
+            match Node.Future.await f with
+            | Some v ->
+                tier_render buf v;
+                Buffer.add_char buf ';'
+            | None -> Buffer.add_string buf "none;")
+          futures;
+        i := !i + k
+      done;
+      wall := Unix.gettimeofday () -. t0);
+  let s = Metrics.snapshot metrics in
+  let q p = Metrics.lat_quantile s.Metrics.lat_hist p /. 1e3 in
+  {
+    l_domains = config.Config.domains;
+    l_throughput =
+      (if !wall > 0.0 then float_of_int calls /. !wall else 0.0);
+    l_p50_us = q 0.5;
+    l_p99_us = q 0.99;
+    l_p999_us = q 0.999;
+    l_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+    l_dispatches = s.Metrics.dispatches;
+    l_steals = s.Metrics.steals;
+    l_rejects = s.Metrics.queue_rejects;
+    l_queue_hwm = s.Metrics.queue_depth_hwm;
+  }
+
+(* chain100/matrix16x16 x reliable/batched/faulty, each at one domain
+   and at [domains] domains.  Verdicts:
+   - digests byte-identical across domain counts on every row (always
+     enforced — this is the correctness substitution argument);
+   - on matrix16x16/reliable, hi-domain throughput >= [speedup_floor] x
+     single-domain and p999 within [tail_tol] x — enforced only when
+     the host has cores for client + [domains] workers
+     ([Domain.recommended_domain_count]); on smaller hosts the numbers
+     are reported but the perf verdict is recorded as skipped, since no
+     scheduler can extract parallel speedup from one core. *)
+let load_compare ?(calls = 600) ?(window = 32) ?(servers = 8)
+    ?(domains = 4) ?queue_depth ?(spin = 24) ?(seed = 42)
+    ?(speedup_floor = 2.0) ?(tail_tol = 8.0) () =
+  if servers < 1 then invalid_arg "load_compare: servers < 1";
+  if domains < 1 then invalid_arg "load_compare: domains < 1";
+  (* overload is expected under a bounded queue: a breaker tripping on
+     rejects mid-run would divert calls and fork the digest, so the
+     load runs raise the threshold out of reach *)
+  let failover =
+    { Config.default_failover with Config.breaker_threshold = max_int / 2 }
+  in
+  let base = Config.with_failover failover Config.class_ in
+  let variants =
+    [
+      ("reliable", Config.with_reliable base, None);
+      ("reliable+batch", Config.with_batching (Config.with_reliable base), None);
+      ( "reliable+faults",
+        Config.with_reliable base,
+        Some (seed, Fault_sim.default_lossy) );
+    ]
+  in
+  let domain_counts = if domains = 1 then [ 1 ] else [ 1; domains ] in
+  let rows =
+    List.concat_map
+      (fun ww ->
+        List.map
+          (fun (vname, config, faults) ->
+            let runs =
+              List.map
+                (fun d ->
+                  run_load_run
+                    ~config:(Config.with_domains ?queue_depth d config)
+                    ?faults ~servers ~calls ~window ~spin ww)
+                domain_counts
+            in
+            { lr_workload = ww.ww_name; lr_variant = vname; lr_runs = runs })
+          variants)
+      wire_workloads
+  in
+  let l_digest_ok =
+    List.for_all
+      (fun row ->
+        match row.lr_runs with
+        | first :: rest ->
+            List.for_all (fun r -> String.equal r.l_digest first.l_digest) rest
+        | [] -> true)
+      rows
+  in
+  let perf_row =
+    List.find_opt
+      (fun r ->
+        String.equal r.lr_workload "matrix16x16"
+        && String.equal r.lr_variant "reliable")
+      rows
+  in
+  let speedup, tail_ratio =
+    match perf_row with
+    | Some { lr_runs = base :: rest; _ } when rest <> [] ->
+        let hi = List.nth rest (List.length rest - 1) in
+        ( (if base.l_throughput > 0.0 then hi.l_throughput /. base.l_throughput
+           else 0.0),
+          if base.l_p999_us > 0.0 then hi.l_p999_us /. base.l_p999_us else 0.0
+        )
+    | _ -> (0.0, 0.0)
+  in
+  let cores_ok =
+    domains = 1 || Domain.recommended_domain_count () >= domains + 1
+  in
+  let perf_ok =
+    domains = 1
+    || (speedup >= speedup_floor && tail_ratio <= tail_tol)
+  in
+  {
+    l_title =
+      Printf.sprintf
+        "load: %d calls, window %d, %d servers, domains 1 vs %d, spin %d, \
+         fault seed %d"
+        calls window servers domains spin seed;
+    l_rows = rows;
+    l_servers = servers;
+    l_calls = calls;
+    l_hi_domains = domains;
+    l_digest_ok;
+    l_speedup = speedup;
+    l_speedup_floor = speedup_floor;
+    l_tail_ratio = tail_ratio;
+    l_tail_tol = tail_tol;
+    l_cores_ok = cores_ok;
+    l_gate_ok = l_digest_ok && ((not cores_ok) || perf_ok);
+  }
+
+let render_load (r : load_report) =
+  let headers =
+    [
+      "workload"; "variant"; "domains"; "rps"; "p50 us"; "p99 us";
+      "p999 us"; "dispatched"; "stolen"; "rejected"; "q hwm"; "digest";
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun row ->
+        List.map
+          (fun run ->
+            [
+              row.lr_workload;
+              row.lr_variant;
+              string_of_int run.l_domains;
+              Printf.sprintf "%.0f" run.l_throughput;
+              Printf.sprintf "%.0f" run.l_p50_us;
+              Printf.sprintf "%.0f" run.l_p99_us;
+              Printf.sprintf "%.0f" run.l_p999_us;
+              string_of_int run.l_dispatches;
+              string_of_int run.l_steals;
+              string_of_int run.l_rejects;
+              string_of_int run.l_queue_hwm;
+              String.sub run.l_digest 0 12;
+            ])
+          row.lr_runs)
+      r.l_rows
+  in
+  let perf_note =
+    if r.l_hi_domains = 1 then "skipped (single-domain run)"
+    else if not r.l_cores_ok then
+      Printf.sprintf
+        "reported only; not enforced (host recommends %d domains, run needs \
+         %d)"
+        (Domain.recommended_domain_count ())
+        (r.l_hi_domains + 1)
+    else "enforced"
+  in
+  Printf.sprintf
+    "%s\n%s\nreply digests identical across domain counts: %s\nmatrix16x16 \
+     speedup at %d domains: %.2fx (floor %.1fx)\np999 ratio: %.2fx \
+     (tolerance %.1fx)\nperf gate: %s\ngate: %s"
+    r.l_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.l_digest_ok then "yes" else "NO")
+    r.l_hi_domains r.l_speedup r.l_speedup_floor r.l_tail_ratio r.l_tail_tol
+    perf_note
+    (if r.l_gate_ok then "PASS" else "FAIL")
+
+(* BENCH_load.json: one object per (workload, variant, domains) run,
+   wrapped with the gate verdicts — the artifact the CI load-smoke job
+   checks in and validates *)
+let load_json (r : load_report) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"title\": %S,\n  \"servers\": %d,\n  \"calls\": %d,\n"
+       r.l_title r.l_servers r.l_calls);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"digest_ok\": %b,\n  \"speedup\": %.3f,\n  \"speedup_floor\": \
+        %.1f,\n  \"tail_ratio\": %.3f,\n  \"tail_tol\": %.1f,\n  \
+        \"perf_enforced\": %b,\n  \"gate_ok\": %b,\n"
+       r.l_digest_ok r.l_speedup r.l_speedup_floor r.l_tail_ratio r.l_tail_tol
+       r.l_cores_ok r.l_gate_ok);
+  Buffer.add_string b "  \"rows\": [\n";
+  let first = ref true in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun run ->
+          if not !first then Buffer.add_string b ",\n";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"workload\": %S, \"variant\": %S, \"domains\": %d, \
+                \"throughput_rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": \
+                %.1f, \"p999_us\": %.1f, \"dispatches\": %d, \"steals\": %d, \
+                \"rejects\": %d, \"queue_depth_hwm\": %d, \"digest\": %S}"
+               row.lr_workload row.lr_variant run.l_domains run.l_throughput
+               run.l_p50_us run.l_p99_us run.l_p999_us run.l_dispatches
+               run.l_steals run.l_rejects run.l_queue_hwm run.l_digest))
+        row.lr_runs)
+    r.l_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

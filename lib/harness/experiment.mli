@@ -197,3 +197,77 @@ val render_timing : timing_table -> string
 
 (** Sanity: do measured gains order configurations like the paper's? *)
 val shape_summary : timing_table -> string
+
+(** One domain count of one load variant (PR 6). *)
+type load_run = {
+  l_domains : int;
+  l_throughput : float;  (** completed calls per second *)
+  l_p50_us : float;  (** latency quantiles of the client-observed RTT
+                         histogram, in microseconds *)
+  l_p99_us : float;
+  l_p999_us : float;
+  l_digest : string;
+      (** structural digest over every reply in issue order —
+          independent of how the pool interleaved execution, so equal
+          digests across domain counts prove the parallel runtime
+          computed the serial answers *)
+  l_dispatches : int;
+  l_steals : int;
+  l_rejects : int;
+  l_queue_hwm : int;
+}
+
+(** One (workload, transport variant) pair across domain counts. *)
+type load_row = {
+  lr_workload : string;  (** "chain100" / "matrix16x16" *)
+  lr_variant : string;
+      (** "reliable" / "reliable+batch" / "reliable+faults" *)
+  lr_runs : load_run list;  (** ascending domain count *)
+}
+
+type load_report = {
+  l_title : string;
+  l_rows : load_row list;
+  l_servers : int;
+  l_calls : int;
+  l_hi_domains : int;
+  l_digest_ok : bool;  (** every row digest-identical across domains *)
+  l_speedup : float;
+      (** matrix16x16/reliable throughput, hi-domain over 1-domain *)
+  l_speedup_floor : float;
+  l_tail_ratio : float;  (** p999 hi-domain over 1-domain *)
+  l_tail_tol : float;
+  l_cores_ok : bool;
+      (** the host recommends at least [hi_domains + 1] domains, so the
+          throughput/tail verdicts are enforced; on smaller hosts they
+          are reported but cannot gate — one core cannot exhibit
+          parallel speedup *)
+  l_gate_ok : bool;
+}
+
+(** Drive [calls] pipelined RMIs from one client round-robin across
+    [servers] machines — chain100 and matrix16x16, each over reliable,
+    batched and seeded-lossy links — once on the serial runtime
+    ([domains = 1]) and once on the work-stealing pool ([domains]
+    workers, [queue_depth]-bounded per-node queues).  [spin] re-folds
+    the argument in the handler so servers are CPU-bound.  The gate:
+    digests must match across domain counts everywhere, and (when the
+    host has the cores) matrix16x16/reliable must reach
+    [speedup_floor]x throughput with p999 within [tail_tol]x. *)
+val load_compare :
+  ?calls:int ->
+  ?window:int ->
+  ?servers:int ->
+  ?domains:int ->
+  ?queue_depth:int ->
+  ?spin:int ->
+  ?seed:int ->
+  ?speedup_floor:float ->
+  ?tail_tol:float ->
+  unit ->
+  load_report
+
+val render_load : load_report -> string
+
+(** BENCH_load.json: rows plus gate verdicts, for the CI artifact. *)
+val load_json : load_report -> string

@@ -32,27 +32,35 @@ type t = {
   tier : tier;
   hot_threshold : int;
   zero_copy : bool;
+  domains : int;
+  queue_depth : int;
 }
+
+let default_queue_depth = 64
 
 let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    domains = 0; queue_depth = default_queue_depth }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    domains = 0; queue_depth = default_queue_depth }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    domains = 0; queue_depth = default_queue_depth }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true }
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    domains = 0; queue_depth = default_queue_depth }
 
 let site_reuse_cycle =
   {
@@ -66,6 +74,8 @@ let site_reuse_cycle =
     tier = Aot;
     hot_threshold = default_hot_threshold;
     zero_copy = true;
+    domains = 0;
+    queue_depth = default_queue_depth;
   }
 
 let with_reliable t = { t with transport = Reliable }
@@ -78,6 +88,11 @@ let with_adaptive ?(hot_threshold = default_hot_threshold) t =
 let with_tier tier t = { t with tier }
 let with_zero_copy zc t = { t with zero_copy = zc }
 let legacy_copy t = { t with zero_copy = false }
+
+let with_domains ?(queue_depth = default_queue_depth) n t =
+  if n < 0 then invalid_arg "Config.with_domains: negative domain count";
+  if queue_depth < 1 then invalid_arg "Config.with_domains: queue_depth < 1";
+  { t with domains = n; queue_depth }
 
 let all = [ class_; site; site_cycle; site_reuse; site_reuse_cycle ]
 

@@ -83,7 +83,21 @@ type t = {
           for every preset — frames are byte-identical either way, so
           all published numbers are untouched; [legacy_copy] turns the
           old framing back on for the [wirecost] comparison *)
+  domains : int;
+      (** worker domains in the server-side dispatch pool (PR 6).  [0]
+          — the preset default — keeps the paper's serial model: each
+          node is served by its own dedicated loop and requests execute
+          one at a time.  [>= 1] routes every served node's requests
+          through a work-stealing pool of this many OCaml domains with
+          bounded per-node queues and admission control *)
+  queue_depth : int;
+      (** per-node request-queue capacity under the dispatch pool;
+          requests arriving at a full queue are rejected with a typed
+          busy reply the client retries under its deadline *)
 }
+
+(** Per-node queue capacity used by the presets (64 requests). *)
+val default_queue_depth : int
 
 val class_ : t
 val site : t
@@ -116,6 +130,12 @@ val with_zero_copy : bool -> t -> t
 (** Same optimization row on the pre-PR-5 copy-based wire framing
     (used as the baseline by the [wirecost] experiment). *)
 val legacy_copy : t -> t
+
+(** [with_domains n t] serves requests from a work-stealing pool of [n]
+    domains ([n = 0] restores the serial per-node loop); [queue_depth]
+    bounds each node's request queue before admission control rejects.
+    Raises [Invalid_argument] on a negative [n] or a [queue_depth] < 1. *)
+val with_domains : ?queue_depth:int -> int -> t -> t
 
 val find : string -> t option
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Work-stealing multi-domain dispatch (PR 6).
+
+    Replaces the per-node serve loops of the parallel fabric with a
+    pool of worker domains sharing every served node's traffic through
+    bounded per-node queues: intake stays single-consumer per node,
+    execution is serialized per node (a serve mutex) but parallel
+    across nodes, and a request arriving at a full queue is refused
+    with a typed [Protocol.Reject] the client retries under its own
+    deadline ({!Node.Server_busy} if it never gets through).
+
+    Telemetry lands in the cluster's {!Rmi_stats.Metrics}:
+    [dispatches], [steals], [queue_rejects], [queue_depth_hwm]. *)
+
+type t
+
+(** [create ~cluster ~nodes ~domains ~queue_depth ()] spawns [domains]
+    worker domains serving [nodes] (each node owned by worker
+    [index mod domains] for intake, any worker for execution).  The
+    caller keeps driving every node NOT in [nodes] — typically the
+    client — itself.
+
+    Raises [Invalid_argument] when [domains < 1], [queue_depth < 1] or
+    [nodes] is empty. *)
+val create :
+  cluster:Rmi_net.Cluster.t ->
+  nodes:Node.t array ->
+  domains:int ->
+  queue_depth:int ->
+  unit ->
+  t
+
+(** Signal the workers, join them, and serve any stragglers still
+    queued.  Idempotent. *)
+val stop : t -> unit

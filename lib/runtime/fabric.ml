@@ -5,6 +5,7 @@ type t = {
   nodes : Node.t array;
   fmode : mode;
   mutable domains : unit Domain.t list;
+  mutable pool : Dispatch_pool.t option;
   mutable started : bool;
 }
 
@@ -23,7 +24,10 @@ let create ?(mode = Sync) ?faults ?plan_store ~n ~meta ~config ~plans ~metrics (
   let nodes =
     Array.init n (fun id -> Node.create ?plan_store cluster ~id ~meta ~config ~plans)
   in
-  let t = { cluster; nodes; fmode = mode; domains = []; started = false } in
+  let t =
+    { cluster; nodes; fmode = mode; domains = []; pool = None;
+      started = false }
+  in
   (if mode = Sync then
      (* a machine that waits pumps every other machine's queue *)
      Array.iteri
@@ -56,12 +60,24 @@ let start t =
   | Parallel ->
       if not t.started then begin
         t.started <- true;
-        t.domains <-
-          List.init
-            (Array.length t.nodes - 1)
-            (fun i ->
-              let worker = t.nodes.(i + 1) in
-              Domain.spawn (fun () -> Node.serve_loop worker))
+        let cfg = Node.config t.nodes.(0) in
+        if cfg.Config.domains > 0 && Array.length t.nodes > 1 then
+          (* PR 6: one work-stealing pool serves nodes 1..n-1 with
+             [cfg.domains] worker domains and bounded request queues;
+             node 0 stays the caller's *)
+          t.pool <-
+            Some
+              (Dispatch_pool.create ~cluster:t.cluster
+                 ~nodes:(Array.sub t.nodes 1 (Array.length t.nodes - 1))
+                 ~domains:cfg.Config.domains
+                 ~queue_depth:cfg.Config.queue_depth ())
+        else
+          t.domains <-
+            List.init
+              (Array.length t.nodes - 1)
+              (fun i ->
+                let worker = t.nodes.(i + 1) in
+                Domain.spawn (fun () -> Node.serve_loop worker))
       end
 
 let stop t =
@@ -70,11 +86,16 @@ let stop t =
   | Parallel ->
       if t.started then begin
         t.started <- false;
-        for dest = 1 to Array.length t.nodes - 1 do
-          Node.send_shutdown t.nodes.(0) ~dest
-        done;
-        List.iter Domain.join t.domains;
-        t.domains <- []
+        match t.pool with
+        | Some pool ->
+            Dispatch_pool.stop pool;
+            t.pool <- None
+        | None ->
+            for dest = 1 to Array.length t.nodes - 1 do
+              Node.send_shutdown t.nodes.(0) ~dest
+            done;
+            List.iter Domain.join t.domains;
+            t.domains <- []
       end
 
 let run t f =

@@ -16,6 +16,7 @@ exception No_such_method of string
 exception Deadlock of string
 exception Rpc_timeout of string
 exception Peer_down of string
+exception Server_busy of string
 
 let shutdown_method = -99
 
@@ -657,7 +658,9 @@ let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
           let v = read rctx r ~cand in
           if eff_reuse_ret t plan then restore_ret_cand t ~callsite v;
           Some v)
-  | Protocol.Request -> assert false
+  | Protocol.Request | Protocol.Reject ->
+      (* requests are served, rejects resent, before unmarshaling *)
+      assert false
 
 (* ------------------------------------------------------------------ *)
 (* sending: direct, or through the per-link batch buffers              *)
@@ -773,10 +776,16 @@ let resolve_future t (p : pending) state =
   match state with
   | Failed _ -> ()
   | _ ->
+      let elapsed_s = Unix.gettimeofday () -. p.pc_started in
+      (* client-observed round trip, one histogram sample per settled
+         call; both the local and any remote domain may record, hence
+         the atomic buckets *)
+      Metrics.record_latency_ns (metrics t)
+        (int_of_float (elapsed_s *. 1e9));
       trace_event t
         (Trace.Call_end
            { machine = t.nid; callsite = p.pc_callsite;
-             elapsed_us = (Unix.gettimeofday () -. p.pc_started) *. 1e6 })
+             elapsed_us = elapsed_s *. 1e6 })
 
 (* a reply/ack/exn-reply landed: settle whichever future asked for it.
    Replies can arrive in any order relative to the issue order — the
@@ -789,6 +798,31 @@ let handle_reply t (hdr : Protocol.header) r =
       Log.debug (fun m ->
           m "machine %d: dropping unexpected reply seq=%d" t.nid
             hdr.Protocol.seq)
+  | Some p when hdr.Protocol.kind = Protocol.Reject ->
+      (* admission control refused the request: it was never executed,
+         so re-sending cannot double-execute.  Overload is failure
+         pressure — it feeds the peer's circuit breaker — but it does
+         not consume the RPC retry budget: flow control is bounded by
+         the call deadline alone. *)
+      breaker_failure t p.pc_dest;
+      let now = Unix.gettimeofday () in
+      if now >= p.pc_deadline then begin
+        trace_event t (Trace.Timeout { machine = t.nid; dests = [ p.pc_dest ] });
+        resolve_future t p
+          (Failed
+             (Server_busy
+                (Printf.sprintf
+                   "machine %d: seq %d rejected by machine %d until its \
+                    deadline passed"
+                   t.nid p.pc_seq p.pc_dest)))
+      end
+      else begin
+        (* brief pause so a saturated server can drain before the
+           retry; without a pump the client is the only local runner,
+           so yielding the domain is all the backoff available *)
+        if not t.has_pump then Unix.sleepf 0.0002;
+        send_msg t ~dest:p.pc_dest p.pc_request
+      end
   | Some p ->
       let state =
         match unmarshal_ret t p.pc_cp ~callsite:p.pc_callsite hdr r with
@@ -935,7 +969,7 @@ let dispatch t (buf, off, len) k =
       | Protocol.Request ->
           Fun.protect ~finally:release (fun () -> serve_request t hdr r);
           k `Served
-      | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply ->
+      | Protocol.Reply | Protocol.Ack | Protocol.Exn_reply | Protocol.Reject ->
           Fun.protect ~finally:release (fun () -> k (`Reply (hdr, r))))
 
 let consume t msg =
@@ -956,6 +990,26 @@ let serve_pending t =
      buffers: ship them so the callers can make progress *)
   flush_self t;
   served
+
+(* [serve_slice t msg] executes one received slice on this node —
+   request, reply or reject — and ships any coalesced replies.  The
+   dispatch pool calls it from worker domains; [t.serve_mutex]-style
+   exclusion is the pool's job, one slice at a time per node. *)
+let serve_slice t msg =
+  consume t msg;
+  flush_self t
+
+(* admission control refused [hdr]'s request: answer with a [Reject]
+   frame echoing the sequence number so the client's flow control can
+   re-send.  Called from the pool's intake before the request payload
+   is ever decoded. *)
+let send_reject t (hdr : Protocol.header) =
+  Metrics.incr_queue_rejects (metrics t);
+  let w = acquire_msg_writer t in
+  Protocol.write_header w { hdr with Protocol.kind = Protocol.Reject };
+  send_from_writer t ~dest:hdr.Protocol.src w;
+  release_msg_writer t w;
+  flush_self t
 
 let serve_loop t =
   t.shutdown <- false;

@@ -39,6 +39,15 @@ exception Rpc_timeout of string
     without touching the wire. *)
 exception Peer_down of string
 
+(** The server's dispatch pool rejected the request (bounded queue
+    full, admission control) every time it was sent, until the call's
+    deadline passed.  A [Reject] never executes the handler, so the
+    client re-sends freely under the deadline without consuming the
+    RPC retry budget; each rejection still feeds the peer's circuit
+    breaker, so a persistently saturated server eventually fast-fails
+    new calls (PR 6). *)
+exception Server_busy of string
+
 (** [create ?plan_store cluster ~id ~meta ~config ~plans] builds one
     machine.  [plans] is the fabric-shared plan table (call site ->
     current plan); [plan_store] (PR 4), when given, backs the adaptive
@@ -141,6 +150,19 @@ val set_replica : t -> primary:int -> replica:int -> unit
 
 (** Serve every queued request; [true] if at least one was served. *)
 val serve_pending : t -> bool
+
+(** [serve_slice t (buf, off, len)] executes one received frame slice
+    on this node — request, reply or reject — then ships any coalesced
+    replies.  Building block of the dispatch pool (PR 6), which calls
+    it from worker domains; callers must ensure at most one slice is
+    in [serve_slice] per node at a time. *)
+val serve_slice : t -> bytes * int * int -> unit
+
+(** [send_reject t hdr] answers [hdr]'s sender with a [Reject] frame
+    echoing the sequence number — the admission-control refusal the
+    dispatch pool issues when a node's request queue is full.  The
+    request must not have been executed. *)
+val send_reject : t -> Rmi_wire.Protocol.header -> unit
 
 (** Serve until a shutdown message arrives (worker-domain main loop). *)
 val serve_loop : t -> unit

@@ -18,6 +18,46 @@ let hist_bucket_label = function
   | 6 -> "17-32"
   | _ -> "33+"
 
+(* latency histogram: log2 buckets over nanoseconds.  Bucket [i] counts
+   latencies in [2^i, 2^(i+1)) ns; 48 buckets reach ~3.3 days, so no
+   realistic RMI overflows the last bucket.  Power-of-two bucketing
+   keeps recording one shift-loop plus one atomic add, and makes
+   per-domain histograms mergeable by plain element-wise addition. *)
+let lat_buckets = 48
+
+let lat_bucket ns =
+  if ns <= 1 then 0
+  else begin
+    (* floor(log2 ns) via bit length *)
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (lat_buckets - 1) (bits 0 ns - 1)
+  end
+
+(* inclusive upper bound of bucket [i], in nanoseconds *)
+let lat_bucket_upper_ns i = Float.of_int (1 lsl (min 61 (i + 1)))
+
+(* [lat_quantile hist q] estimates the [q]-quantile (0 < q <= 1) of the
+   recorded latencies as the upper bound of the bucket where the
+   cumulative count crosses [q * total], in nanoseconds.  0.0 when the
+   histogram is empty.  Monotone in [q] by construction, so
+   p50 <= p99 <= p999 always holds. *)
+let lat_quantile hist q =
+  let total = Array.fold_left ( + ) 0 hist in
+  if total = 0 then 0.0
+  else begin
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let target = min target total in
+    let rec walk i cum =
+      if i >= Array.length hist then lat_bucket_upper_ns (Array.length hist - 1)
+      else
+        let cum = cum + hist.(i) in
+        if cum >= target then lat_bucket_upper_ns i else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let lat_count hist = Array.fold_left ( + ) 0 hist
+
 type t = {
   remote_rpcs : int Atomic.t;
   local_rpcs : int Atomic.t;
@@ -55,6 +95,11 @@ type t = {
   bytes_copied : int Atomic.t;
   pool_hits : int Atomic.t;
   pool_misses : int Atomic.t;
+  dispatches : int Atomic.t;
+  queue_rejects : int Atomic.t;
+  steals : int Atomic.t;
+  queue_depth_hwm : int Atomic.t;
+  lat_hist : int Atomic.t array;
   (* per-call-site invocation counts (tiered dispatch); guarded by the
      mutex because sites appear dynamically *)
   site_calls : (int, int ref) Hashtbl.t;
@@ -98,6 +143,11 @@ type snapshot = {
   bytes_copied : int;
   pool_hits : int;
   pool_misses : int;
+  dispatches : int;
+  queue_rejects : int;
+  steals : int;
+  queue_depth_hwm : int;
+  lat_hist : int array;
   site_calls : (int * int) list;  (** sorted by site, zero entries elided *)
 }
 
@@ -139,6 +189,11 @@ let create () : t =
     bytes_copied = Atomic.make 0;
     pool_hits = Atomic.make 0;
     pool_misses = Atomic.make 0;
+    dispatches = Atomic.make 0;
+    queue_rejects = Atomic.make 0;
+    steals = Atomic.make 0;
+    queue_depth_hwm = Atomic.make 0;
+    lat_hist = Array.init lat_buckets (fun _ -> Atomic.make 0);
     site_calls = Hashtbl.create 16;
     site_mutex = Mutex.create ();
   }
@@ -180,6 +235,11 @@ let reset (t : t) =
   Atomic.set t.bytes_copied 0;
   Atomic.set t.pool_hits 0;
   Atomic.set t.pool_misses 0;
+  Atomic.set t.dispatches 0;
+  Atomic.set t.queue_rejects 0;
+  Atomic.set t.steals 0;
+  Atomic.set t.queue_depth_hwm 0;
+  Array.iter (fun a -> Atomic.set a 0) t.lat_hist;
   Mutex.lock t.site_mutex;
   Hashtbl.reset t.site_calls;
   Mutex.unlock t.site_mutex
@@ -230,6 +290,20 @@ let incr_plan_cache_misses (t : t) = add t.plan_cache_misses 1
 let add_bytes_copied (t : t) n = add t.bytes_copied n
 let incr_pool_hits (t : t) = add t.pool_hits 1
 let incr_pool_misses (t : t) = add t.pool_misses 1
+let incr_dispatches (t : t) = add t.dispatches 1
+let incr_queue_rejects (t : t) = add t.queue_rejects 1
+let incr_steals (t : t) = add t.steals 1
+
+let record_queue_depth (t : t) depth =
+  (* monotone max, CAS loop so concurrent domains never lose a peak *)
+  let rec go () =
+    let cur = Atomic.get t.queue_depth_hwm in
+    if depth > cur && not (Atomic.compare_and_set t.queue_depth_hwm cur depth)
+    then go ()
+  in
+  go ()
+
+let record_latency_ns (t : t) ns = add t.lat_hist.(lat_bucket ns) 1
 
 let record_site_call (t : t) ~callsite =
   Mutex.lock t.site_mutex;
@@ -295,6 +369,11 @@ let snapshot (t : t) =
     bytes_copied = Atomic.get t.bytes_copied;
     pool_hits = Atomic.get t.pool_hits;
     pool_misses = Atomic.get t.pool_misses;
+    dispatches = Atomic.get t.dispatches;
+    queue_rejects = Atomic.get t.queue_rejects;
+    steals = Atomic.get t.steals;
+    queue_depth_hwm = Atomic.get t.queue_depth_hwm;
+    lat_hist = Array.map Atomic.get t.lat_hist;
     site_calls =
       (Mutex.lock t.site_mutex;
        let l =
@@ -342,6 +421,11 @@ let zero =
     bytes_copied = 0;
     pool_hits = 0;
     pool_misses = 0;
+    dispatches = 0;
+    queue_rejects = 0;
+    steals = 0;
+    queue_depth_hwm = 0;
+    lat_hist = Array.make lat_buckets 0;
     site_calls = [];
   }
 
@@ -397,11 +481,24 @@ let map2 f a b =
     bytes_copied = f a.bytes_copied b.bytes_copied;
     pool_hits = f a.pool_hits b.pool_hits;
     pool_misses = f a.pool_misses b.pool_misses;
+    dispatches = f a.dispatches b.dispatches;
+    queue_rejects = f a.queue_rejects b.queue_rejects;
+    steals = f a.steals b.steals;
+    queue_depth_hwm = f a.queue_depth_hwm b.queue_depth_hwm;
+    lat_hist = Array.map2 f a.lat_hist b.lat_hist;
     site_calls = assoc_map2 f a.site_calls b.site_calls;
   }
 
 let diff later earlier = map2 ( - ) later earlier
 let merge a b = map2 ( + ) a b
+
+(* every counter in a snapshot is deterministic for a fixed seed —
+   except the latency histogram, whose bucket placement depends on
+   wall-clock timing.  [strip_timing] zeroes it so determinism tests
+   can compare whole snapshots with [=]; the sample COUNT is still
+   deterministic (one per settled call) and can be checked via
+   [lat_count] separately. *)
+let strip_timing s = { s with lat_hist = Array.make lat_buckets 0 }
 
 let pp_batch_hist ppf hist =
   let any = Array.exists (fun c -> c > 0) hist in
@@ -457,14 +554,31 @@ let pp_wire ppf s =
     Format.fprintf ppf "@ bytes_copied=%d pool_hits=%d pool_misses=%d"
       s.bytes_copied s.pool_hits s.pool_misses
 
+let pp_load ppf s =
+  (* dispatch-pool counters only appear once the multi-domain runtime
+     ran, so single-domain paper-table output is unchanged.  The latency
+     histogram records in every run but is only printed here: quantiles
+     are timing-dependent, so surfacing them unconditionally would make
+     paper-table output nondeterministic. *)
+  if s.dispatches + s.queue_rejects + s.steals + s.queue_depth_hwm > 0 then begin
+    Format.fprintf ppf
+      "@ dispatches=%d queue_rejects=%d steals=%d queue_depth_hwm=%d"
+      s.dispatches s.queue_rejects s.steals s.queue_depth_hwm;
+    if lat_count s.lat_hist > 0 then
+      Format.fprintf ppf "@ lat_p50=%.0fns lat_p99=%.0fns lat_p999=%.0fns"
+        (lat_quantile s.lat_hist 0.5)
+        (lat_quantile s.lat_hist 0.99)
+        (lat_quantile s.lat_hist 0.999)
+  end
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
      allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
-     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a%a@]"
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a%a%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
     s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
     s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist
-    pp_robustness s pp_tiers s pp_wire s
+    pp_robustness s pp_tiers s pp_wire s pp_load s

@@ -47,6 +47,12 @@ type snapshot = {
   bytes_copied : int;     (** payload bytes physically copied on the wire path *)
   pool_hits : int;        (** buffer acquisitions served from the free list *)
   pool_misses : int;      (** buffer acquisitions that allocated fresh storage *)
+  dispatches : int;       (** requests executed by dispatch-pool workers *)
+  queue_rejects : int;    (** requests refused because a node queue was full *)
+  steals : int;           (** tasks a worker took from another worker's nodes *)
+  queue_depth_hwm : int;  (** deepest any node request queue ever got *)
+  lat_hist : int array;   (** log2-bucketed call-latency histogram (ns); see
+                              {!lat_bucket} and {!lat_quantile} *)
   site_calls : (int * int) list;
       (** adaptive-dispatch invocation counts per call site, sorted by
           callsite id with zero entries elided (canonical form, so
@@ -61,6 +67,26 @@ val hist_bucket : int -> int
 
 (** Human-readable size range of a bucket, e.g. ["5-8"]. *)
 val hist_bucket_label : int -> string
+
+(** Number of latency-histogram buckets ([lat_hist] length).  Bucket [i]
+    counts latencies in [[2^i, 2^(i+1))] nanoseconds, so per-domain
+    histograms merge by element-wise addition. *)
+val lat_buckets : int
+
+(** Bucket index a latency of [ns] nanoseconds is counted under. *)
+val lat_bucket : int -> int
+
+(** Inclusive upper bound of latency bucket [i], in nanoseconds. *)
+val lat_bucket_upper_ns : int -> float
+
+(** [lat_quantile hist q] estimates the [q]-quantile (0 < q <= 1) of a
+    latency histogram as the upper bound of the bucket where the
+    cumulative count crosses [q * total], in nanoseconds; [0.] when the
+    histogram is empty.  Monotone in [q], so p50 <= p99 <= p999. *)
+val lat_quantile : int array -> float -> float
+
+(** Total number of samples recorded in a latency histogram. *)
+val lat_count : int array -> int
 
 val create : unit -> t
 
@@ -139,6 +165,23 @@ val add_bytes_copied : t -> int -> unit
 val incr_pool_hits : t -> unit
 val incr_pool_misses : t -> unit
 
+(** Dispatch-pool telemetry (PR 6).  Only the multi-domain runtime
+    touches the counters, so single-domain runs keep byte-identical
+    output; the latency histogram is recorded on every completed call
+    but surfaced only by the load experiment. *)
+
+val incr_dispatches : t -> unit
+val incr_queue_rejects : t -> unit
+val incr_steals : t -> unit
+
+(** [record_queue_depth t depth] raises the queue-depth high-water mark
+    to [depth] if it is a new maximum. *)
+val record_queue_depth : t -> int -> unit
+
+(** [record_latency_ns t ns] counts one completed call whose
+    client-observed round trip took [ns] nanoseconds. *)
+val record_latency_ns : t -> int -> unit
+
 (** [record_site_call t ~callsite] counts one adaptive-tier dispatch at
     [callsite] and returns nothing; read back with {!site_call_count}. *)
 val record_site_call : t -> callsite:int -> unit
@@ -155,5 +198,12 @@ val diff : snapshot -> snapshot -> snapshot
 
 (** [merge a b] adds counter-wise; used to combine per-machine metrics. *)
 val merge : snapshot -> snapshot -> snapshot
+
+(** [strip_timing s] is [s] with the latency histogram zeroed — the one
+    field whose contents depend on wall-clock timing rather than the
+    seeded schedule.  Determinism tests compare
+    [strip_timing a = strip_timing b] and check the (deterministic)
+    sample count with [lat_count] separately. *)
+val strip_timing : snapshot -> snapshot
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,4 +1,7 @@
-type kind = Request | Reply | Ack | Exn_reply
+(* [Reject] is the dispatch pool's admission-control answer (PR 6): the
+   server's bounded request queue was full, the request was NOT
+   executed, and the client should retry under its own deadline. *)
+type kind = Request | Reply | Ack | Exn_reply | Reject
 
 type header = {
   kind : kind;
@@ -12,13 +15,20 @@ type header = {
   plan_ver : int;
 }
 
-let kind_code = function Request -> 0 | Reply -> 1 | Ack -> 2 | Exn_reply -> 3
+(* code 4 is taken by [batch_code] below, so [Reject] gets 5 *)
+let kind_code = function
+  | Request -> 0
+  | Reply -> 1
+  | Ack -> 2
+  | Exn_reply -> 3
+  | Reject -> 5
 
 let kind_of_code = function
   | 0 -> Request
   | 1 -> Reply
   | 2 -> Ack
   | 3 -> Exn_reply
+  | 5 -> Reject
   | n -> raise (Msgbuf.Underflow (Printf.sprintf "bad message kind %d" n))
 
 let write_header w h =
@@ -50,7 +60,8 @@ let pp_kind ppf k =
     | Request -> "request"
     | Reply -> "reply"
     | Ack -> "ack"
-    | Exn_reply -> "exn-reply")
+    | Exn_reply -> "exn-reply"
+    | Reject -> "reject")
 
 let pp_header ppf h =
   Format.fprintf ppf "{%a src=%d%s seq=%d obj=%d meth=%d site=%d nargs=%d%s}"

@@ -11,6 +11,11 @@ type kind =
   | Reply    (** carries a serialized return value *)
   | Ack      (** return value ignored at the call site: empty reply *)
   | Exn_reply  (** remote raised; payload is the exception message *)
+  | Reject
+      (** admission control refused the request: the server's bounded
+          queue was full and the request was {e not} executed, so the
+          client may re-send it under its own deadline (PR 6).  Encodes
+          as code 5 — 4 belongs to batch envelopes. *)
 
 type header = {
   kind : kind;

@@ -320,3 +320,28 @@ let returned_value () =
           B.ret mb (Some (Var sz))
       | None -> assert false);
   one_site (B.finish b)
+
+(* Deterministic QCheck wiring.  [QCheck_alcotest.to_alcotest] seeds
+   from [Random.self_init] unless [QCHECK_SEED] is set, so a property
+   that fails in CI is unreplayable.  Every suite routes its QCheck
+   tests through [qcheck_case] instead: a fixed default seed makes runs
+   reproducible, [QCHECK_SEED] still overrides it, and a failure prints
+   the seed needed to replay the exact generator sequence. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> 0xC0FFEE)
+    | None -> 0xC0FFEE)
+
+let qcheck_case test =
+  let seed = Lazy.force qcheck_seed in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun args ->
+      try run args
+      with e ->
+        Printf.eprintf "\n[qcheck] replay with QCHECK_SEED=%d\n%!" seed;
+        raise e )

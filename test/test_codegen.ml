@@ -392,7 +392,7 @@ let suite =
           plan_store_hit_and_publish;
         Alcotest.test_case "program edit invalidates" `Quick
           plan_store_invalidates_on_edit;
-        QCheck_alcotest.to_alcotest prop_cached_equals_fresh;
+        Fixtures.qcheck_case prop_cached_equals_fresh;
       ] );
     ( "codegen.optimizer",
       [ Alcotest.test_case "end to end driver" `Quick optimizer_driver_end_to_end ] );

@@ -426,6 +426,6 @@ let suite =
           stale_epoch_frames_are_fenced;
         Alcotest.test_case "detector convicts silent peer, then recovers"
           `Quick detector_convicts_silent_peer_then_recovers;
-        QCheck_alcotest.to_alcotest prop_durable_crash_equals_fault_free;
+        Fixtures.qcheck_case prop_durable_crash_equals_fault_free;
       ] );
   ]

@@ -235,15 +235,15 @@ let suite =
   [
     ( "differential",
       [
-        QCheck_alcotest.to_alcotest prop_three_families_agree;
-        QCheck_alcotest.to_alcotest prop_compiled_equals_interpreted;
+        Fixtures.qcheck_case prop_three_families_agree;
+        Fixtures.qcheck_case prop_compiled_equals_interpreted;
       ] );
     ( "fuzz",
       [
-        QCheck_alcotest.to_alcotest fuzz_dyn;
-        QCheck_alcotest.to_alcotest fuzz_introspect;
-        QCheck_alcotest.to_alcotest fuzz_plan;
-        QCheck_alcotest.to_alcotest fuzz_header;
+        Fixtures.qcheck_case fuzz_dyn;
+        Fixtures.qcheck_case fuzz_introspect;
+        Fixtures.qcheck_case fuzz_plan;
+        Fixtures.qcheck_case fuzz_header;
         Alcotest.test_case "hostile length rejected" `Quick hostile_length_rejected;
       ] );
   ]

@@ -288,11 +288,11 @@ let suite =
         Alcotest.test_case "round-robin placement" `Quick placement_round_robin;
         Alcotest.test_case "parallel mode" `Quick parallel_spot;
         Alcotest.test_case "optimizations fire" `Quick optimizations_fire;
-        QCheck_alcotest.to_alcotest prop_distributed_matches_interpreter;
+        Fixtures.qcheck_case prop_distributed_matches_interpreter;
       ] );
     ( "distributed.bridge",
       [
         Alcotest.test_case "cycles and sharing" `Quick bridge_roundtrips_cycles;
-        QCheck_alcotest.to_alcotest prop_bridge_roundtrip;
+        Fixtures.qcheck_case prop_bridge_roundtrip;
       ] );
   ]

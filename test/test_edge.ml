@@ -222,7 +222,7 @@ let suite =
       [ Alcotest.test_case "runtime errors" `Quick interp_runtime_errors ] );
     ( "edge.wire",
       [
-        QCheck_alcotest.to_alcotest prop_int_slice_roundtrip;
+        Fixtures.qcheck_case prop_int_slice_roundtrip;
         Alcotest.test_case "slice bounds" `Quick slice_bounds_checked;
       ] );
     ( "edge.codec",

@@ -276,7 +276,7 @@ let suite =
           nested_callback_while_outstanding;
         Alcotest.test_case "batching: fewer envelopes, same bytes" `Quick
           batching_reduces_messages_not_bytes;
-        QCheck_alcotest.to_alcotest prop_faulty_pipelined_batched;
+        Fixtures.qcheck_case prop_faulty_pipelined_batched;
         Alcotest.test_case "fixed-seed regression (90210)" `Quick
           fixed_seed_regression;
       ] );

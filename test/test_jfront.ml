@@ -568,7 +568,7 @@ let suite =
         Alcotest.test_case "else-if chains" `Quick else_if_chains;
       ] );
     ( "jfront.printer",
-      [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip ] );
+      [ Fixtures.qcheck_case prop_print_parse_roundtrip ] );
     ( "jfront.pipeline",
       [
         Alcotest.test_case "figure 12 source -> figure 13 plan" `Quick

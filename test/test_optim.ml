@@ -210,6 +210,6 @@ let suite =
           copy_propagates_through_phis;
         Alcotest.test_case "rejects non-SSA" `Quick rejects_non_ssa;
         Alcotest.test_case "analyses unchanged" `Quick analyses_agree_after_simplify;
-        QCheck_alcotest.to_alcotest prop_simplify_preserves_behaviour;
+        Fixtures.qcheck_case prop_simplify_preserves_behaviour;
       ] );
   ]

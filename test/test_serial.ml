@@ -381,15 +381,15 @@ let suite =
         Alcotest.test_case "type confusion raises" `Quick type_confusion_raises;
         Alcotest.test_case "contexts reusable after confusion" `Quick
           contexts_reusable_after_confusion;
-        QCheck_alcotest.to_alcotest prop_dyn_roundtrip;
-        QCheck_alcotest.to_alcotest prop_dyn_roundtrip_nocycle;
+        Fixtures.qcheck_case prop_dyn_roundtrip;
+        Fixtures.qcheck_case prop_dyn_roundtrip_nocycle;
       ] );
     ( "serial.reuse",
       [
         Alcotest.test_case "reuse hits matching shape" `Quick reuse_hits_matching_shape;
         Alcotest.test_case "size mismatch reallocates" `Quick reuse_falls_back_on_mismatch;
         Alcotest.test_case "reuse through dynamic list" `Quick reuse_through_dyn_list;
-        QCheck_alcotest.to_alcotest prop_reuse_preserves_value;
+        Fixtures.qcheck_case prop_reuse_preserves_value;
       ] );
     ( "serial.introspect",
       [ Alcotest.test_case "roundtrip and type-byte cost" `Quick introspect_roundtrip_and_cost ] );

@@ -365,8 +365,8 @@ let suite =
   [
     ( "soundness",
       [
-        QCheck_alcotest.to_alcotest prop_typecheck_random_programs;
-        QCheck_alcotest.to_alcotest prop_heap_analysis_sound;
-        QCheck_alcotest.to_alcotest prop_ssa_preserves_semantics;
+        Fixtures.qcheck_case prop_typecheck_random_programs;
+        Fixtures.qcheck_case prop_heap_analysis_sound;
+        Fixtures.qcheck_case prop_ssa_preserves_semantics;
       ] );
   ]

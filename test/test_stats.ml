@@ -103,7 +103,12 @@ let mk_snapshot k =
     bytes_copied = k + 42;
     pool_hits = k + 43;
     pool_misses = k + 44;
+    dispatches = k + 45;
+    queue_rejects = k + 46;
+    steals = k + 47;
+    queue_depth_hwm = k + 48;
     batch_hist = Array.init Metrics.hist_buckets (fun i -> k + 33 + i);
+    lat_hist = Array.init Metrics.lat_buckets (fun i -> k + 100 + i);
     (* keys sorted, values positive: [assoc_map2] drops zero entries and
        returns a key-sorted list, so structural equality holds *)
     site_calls = [ (1, k + 40); (7, k + 41) ];
@@ -159,6 +164,11 @@ let every_counter_covered () =
   Metrics.add_bytes_copied m 8;
   Metrics.incr_pool_hits m;
   Metrics.incr_pool_misses m;
+  Metrics.incr_dispatches m;
+  Metrics.incr_queue_rejects m;
+  Metrics.incr_steals m;
+  Metrics.record_queue_depth m 9;
+  Metrics.record_latency_ns m 1_500;
   Metrics.record_site_call m ~callsite:42;
   (* destructure without a wildcard: adding a snapshot field breaks
      this match until the test covers it *)
@@ -198,7 +208,12 @@ let every_counter_covered () =
     bytes_copied;
     pool_hits;
     pool_misses;
+    dispatches;
+    queue_rejects;
+    steals;
+    queue_depth_hwm;
     batch_hist;
+    lat_hist;
     site_calls;
   } =
     Metrics.snapshot m
@@ -214,14 +229,94 @@ let every_counter_covered () =
       breaker_fastfails; reply_cache_hits; batches_sent; batched_msgs;
       unbatched_msgs; outstanding_hwm; tier_promotions; tier_deopts;
       plan_cache_hits; plan_cache_misses; bytes_copied; pool_hits; pool_misses;
+      dispatches; queue_rejects; steals; queue_depth_hwm;
     ];
   Alcotest.(check bool) "histogram moved" true
     (Array.exists (fun v -> v > 0) batch_hist);
+  Alcotest.(check int) "latency sample recorded" 1 (Metrics.lat_count lat_hist);
+  Alcotest.(check int) "latency sample in the right bucket" 1
+    lat_hist.(Metrics.lat_bucket 1_500);
   Alcotest.(check (list (pair int int))) "site calls recorded"
     [ (42, 1) ] site_calls;
   Metrics.reset m;
   Alcotest.(check bool) "reset restores zero on every counter" true
     (Metrics.snapshot m = Metrics.zero)
+
+(* --- latency histogram laws ------------------------------------- *)
+
+let lat_hist_gen =
+  QCheck.Gen.(
+    array_size (return Metrics.lat_buckets) (int_bound 50)
+    |> QCheck.make ~print:(fun a ->
+           String.concat ";" (Array.to_list (Array.map string_of_int a))))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"lat_quantile monotone in q, bounded by buckets"
+    ~count:300
+    QCheck.(pair lat_hist_gen (pair (int_bound 1000) (int_bound 1000)))
+    (fun (hist, (ia, ib)) ->
+      let qa = float_of_int (max 1 ia) /. 1000.0
+      and qb = float_of_int (max 1 ib) /. 1000.0 in
+      let lo = min qa qb and hi = max qa qb in
+      let p_lo = Metrics.lat_quantile hist lo
+      and p_hi = Metrics.lat_quantile hist hi in
+      if Metrics.lat_count hist = 0 then p_lo = 0.0 && p_hi = 0.0
+      else
+        p_lo <= p_hi
+        && p_hi <= Metrics.lat_bucket_upper_ns (Metrics.lat_buckets - 1))
+
+let prop_hist_merge_assoc =
+  QCheck.Test.make ~name:"snapshot merge is associative and commutative"
+    ~count:300
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let sa = mk_snapshot a and sb = mk_snapshot b and sc = mk_snapshot c in
+      Metrics.merge (Metrics.merge sa sb) sc
+      = Metrics.merge sa (Metrics.merge sb sc)
+      && Metrics.merge sa sb = Metrics.merge sb sa)
+
+(* four domains hammer [record_latency_ns] on private metrics; the
+   merged histogram must hold every sample, and its quantiles must obey
+   p50 <= p99 <= p999 *)
+let parallel_recorders_merge () =
+  let n_domains = 4 and per_domain = 5_000 in
+  let parts = Array.init n_domains (fun _ -> Metrics.create ()) in
+  let recorder i () =
+    let st = Random.State.make [| 0xBEEF + i |] in
+    for _ = 1 to per_domain do
+      Metrics.record_latency_ns parts.(i) (1 + Random.State.int st 10_000_000)
+    done
+  in
+  let ds =
+    Array.init (n_domains - 1) (fun i -> Domain.spawn (recorder (i + 1)))
+  in
+  recorder 0 ();
+  Array.iter Domain.join ds;
+  let merged =
+    Array.fold_left
+      (fun acc m -> Metrics.merge acc (Metrics.snapshot m))
+      Metrics.zero parts
+  in
+  Alcotest.(check int) "no sample lost in merge" (n_domains * per_domain)
+    (Metrics.lat_count merged.Metrics.lat_hist);
+  let q p = Metrics.lat_quantile merged.Metrics.lat_hist p in
+  Alcotest.(check bool) "p50 <= p99" true (q 0.5 <= q 0.99);
+  Alcotest.(check bool) "p99 <= p999" true (q 0.99 <= q 0.999)
+
+(* one shared metrics record updated from two domains: per-bucket
+   atomics must not lose counts *)
+let concurrent_latency_updates () =
+  let m = Metrics.create () in
+  let worker () =
+    for i = 1 to 10_000 do
+      Metrics.record_latency_ns m i
+    done
+  in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  Alcotest.(check int) "no lost latency samples" 20_000
+    (Metrics.lat_count (Metrics.snapshot m).Metrics.lat_hist)
 
 let table_renders_aligned () =
   let s =
@@ -268,7 +363,13 @@ let suite =
         Alcotest.test_case "diff/merge" `Quick diff_and_merge;
         Alcotest.test_case "concurrent updates" `Quick concurrent_updates;
         Alcotest.test_case "every counter covered" `Quick every_counter_covered;
-        QCheck_alcotest.to_alcotest prop_merge_diff_laws;
+        Alcotest.test_case "parallel recorders merge" `Quick
+          parallel_recorders_merge;
+        Alcotest.test_case "concurrent latency updates" `Quick
+          concurrent_latency_updates;
+        Fixtures.qcheck_case prop_merge_diff_laws;
+        Fixtures.qcheck_case prop_quantile_monotone;
+        Fixtures.qcheck_case prop_hist_merge_assoc;
       ] );
     ( "stats.table",
       [

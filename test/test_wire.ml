@@ -427,11 +427,11 @@ let suite =
         Alcotest.test_case "reserve and patch" `Quick reserve_and_patch;
         Alcotest.test_case "uvarint_size matches encoding" `Quick
           uvarint_size_matches_encoding;
-        QCheck_alcotest.to_alcotest prop_varint_roundtrip;
-        QCheck_alcotest.to_alcotest prop_uvarint_roundtrip;
-        QCheck_alcotest.to_alcotest prop_string_roundtrip;
-        QCheck_alcotest.to_alcotest prop_sequence_roundtrip;
-        QCheck_alcotest.to_alcotest prop_double_roundtrip;
+        Fixtures.qcheck_case prop_varint_roundtrip;
+        Fixtures.qcheck_case prop_uvarint_roundtrip;
+        Fixtures.qcheck_case prop_string_roundtrip;
+        Fixtures.qcheck_case prop_sequence_roundtrip;
+        Fixtures.qcheck_case prop_double_roundtrip;
       ] );
     ( "wire.typedesc",
       [
@@ -448,11 +448,11 @@ let suite =
       ] );
     ( "wire.zero_copy",
       [
-        QCheck_alcotest.to_alcotest prop_encode_around_equals_encode;
-        QCheck_alcotest.to_alcotest prop_encode_around_decodes;
+        Fixtures.qcheck_case prop_encode_around_equals_encode;
+        Fixtures.qcheck_case prop_encode_around_decodes;
         Alcotest.test_case "encode_around rejects small gap" `Quick
           encode_around_rejects_small_gap;
-        QCheck_alcotest.to_alcotest prop_batch_into_equals_batch;
+        Fixtures.qcheck_case prop_batch_into_equals_batch;
       ] );
     ( "wire.handle_table",
       [ Alcotest.test_case "lookups counted" `Quick handle_table_counts ] );
