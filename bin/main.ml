@@ -18,27 +18,30 @@ let print_timing_and_shape t =
   print_endline (E.shape_summary t);
   print_newline ()
 
-let run_table1 scale mode = print_timing_and_shape (E.table1 ~scale ~mode ())
-let run_table2 scale mode = print_timing_and_shape (E.table2 ~scale ~mode ())
+let run_table1 scale mode backend =
+  print_timing_and_shape (E.table1 ~scale ~mode ~backend ())
 
-let run_table3_4 scale mode ~want3 ~want4 =
-  let t = E.table3 ~scale ~mode () in
+let run_table2 scale mode backend =
+  print_timing_and_shape (E.table2 ~scale ~mode ~backend ())
+
+let run_table3_4 scale mode backend ~want3 ~want4 =
+  let t = E.table3 ~scale ~mode ~backend () in
   if want3 then print_timing_and_shape t;
   if want4 then
     print_endline
       (E.stats_table ~id:"table4" ~title:"Table 4: LU runtime statistics" t
          Rmi.Paper_data.table4_stats)
 
-let run_table5_6 scale mode ~want5 ~want6 =
-  let t = E.table5 ~scale ~mode () in
+let run_table5_6 scale mode backend ~want5 ~want6 =
+  let t = E.table5 ~scale ~mode ~backend () in
   if want5 then print_timing_and_shape t;
   if want6 then
     print_endline
       (E.stats_table ~id:"table6" ~title:"Table 6: Superoptimizer runtime statistics" t
          Rmi.Paper_data.table6_stats)
 
-let run_table7_8 scale mode ~want7 ~want8 =
-  let t = E.table7 ~scale ~mode () in
+let run_table7_8 scale mode backend ~want7 ~want8 =
+  let t = E.table7 ~scale ~mode ~backend () in
   if want7 then print_timing_and_shape t;
   if want8 then
     print_endline
@@ -46,19 +49,20 @@ let run_table7_8 scale mode ~want7 ~want8 =
          Rmi.Paper_data.table8_stats)
 
 let table_cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ mode_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const f $ scale_arg $ mode_arg $ Cli.transport_arg)
 
 let all_cmd =
-  let run scale mode =
-    run_table1 scale mode;
-    run_table2 scale mode;
-    run_table3_4 scale mode ~want3:true ~want4:true;
-    run_table5_6 scale mode ~want5:true ~want6:true;
-    run_table7_8 scale mode ~want7:true ~want8:true
+  let run scale mode backend =
+    run_table1 scale mode backend;
+    run_table2 scale mode backend;
+    run_table3_4 scale mode backend ~want3:true ~want4:true;
+    run_table5_6 scale mode backend ~want5:true ~want6:true;
+    run_table7_8 scale mode backend ~want7:true ~want8:true
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table of the evaluation (1-8).")
-    Term.(const run $ scale_arg $ mode_arg)
+    Term.(const run $ scale_arg $ mode_arg $ Cli.transport_arg)
 
 let pipeline_cmd =
   let run scale mode window faults =
@@ -294,6 +298,105 @@ let load_cmd =
       $ Cli.domains_arg $ Cli.queue_depth_arg $ spin_arg $ load_seed_arg
       $ speedup_floor_arg $ tail_tol_arg $ json_arg)
 
+let transport_cmd =
+  let t_calls_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "calls" ] ~docv:"N"
+          ~doc:"How many RMIs each (workload, variant, backend) run issues.")
+  in
+  let t_window_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Pipelining depth of the pipelined variants.")
+  in
+  let t_seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload seed (both backends replay the same calls).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as JSON to $(docv) \
+             (BENCH_transport.json).")
+  in
+  let run calls window seed json =
+    let r = E.transport_compare ~calls ~window ~seed () in
+    print_endline (E.render_transport r);
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (E.transport_json r);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    if not (r.E.x_digest_ok && r.E.x_model_ok) then begin
+      prerr_endline
+        "transport: reply digests diverged between the simulated and \
+         socket backends, or the wire counters / modeled seconds drifted";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "transport"
+       ~doc:
+         "Run identical workloads (chain100, matrix16x16; sequential, \
+          pipelined and pipelined+batch) over the simulated interconnect \
+          and over real loopback TCP sockets, and compare issue-order \
+          reply digests, wire counters, modeled seconds and wall clock.  \
+          Exits nonzero unless the digests are byte-identical and the \
+          modeled cost survives the transport substitution — the CI \
+          socket-smoke job gates on this.")
+    Term.(const run $ t_calls_arg $ t_window_arg $ t_seed_arg $ json_arg)
+
+let proc_cmd =
+  let p_calls_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "calls" ] ~docv:"N"
+          ~doc:"How many RMIs the client issues per workload.")
+  in
+  let p_window_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Pipelining depth of the client.")
+  in
+  let run self listen peers calls window =
+    if peers = [] then begin
+      prerr_endline "proc: --peers HOST:PORT,... is required";
+      exit 1
+    end;
+    let addrs = Array.of_list peers in
+    match E.transport_proc ~calls ~window ?listen ~self ~addrs () with
+    | None -> ()
+    | Some runs -> print_endline (E.render_proc runs)
+  in
+  Cmd.v
+    (Cmd.info "proc"
+       ~doc:
+         "Run one machine of a TCP cluster spread over real OS processes.  \
+          Start every machine with the same $(b,--peers) list (machine-id \
+          order); $(b,--self) picks this process's entry.  Machines 1..n-1 \
+          export the wire workloads and serve until shut down; machine 0 \
+          drives pipelined RMIs round-robin across them, prints the \
+          per-workload reply digests, then shuts the servers down.  See \
+          README.md for a three-process quickstart.")
+    Term.(
+      const run $ Cli.self_arg $ Cli.listen_arg $ Cli.peers_arg $ p_calls_arg
+      $ p_window_arg)
+
 let report_cmd =
   let run () =
     let apps =
@@ -364,7 +467,7 @@ let compile_cmd =
     Term.(const run $ Cli.file_arg $ show_jir $ show_dot $ optimize)
 
 let breakdown_cmd =
-  let run scale mode =
+  let run scale mode backend =
     (* cost-model component breakdown for the fully optimized run of
        each application *)
     let model = Rmi.Costmodel.myrinet_2003 in
@@ -376,8 +479,8 @@ let breakdown_cmd =
             Printf.printf "  %-18s %10.6f s\n" label seconds)
         (Rmi.Costmodel.breakdown model stats)
     in
-    let t1 = E.table1 ~scale ~mode () in
-    let t2 = E.table2 ~scale ~mode () in
+    let t1 = E.table1 ~scale ~mode ~backend () in
+    let t2 = E.table2 ~scale ~mode ~backend () in
     let full t =
       (List.find
          (fun r -> r.E.config.Rmi.Config.name = "site + reuse + cycle")
@@ -391,7 +494,7 @@ let breakdown_cmd =
     (Cmd.info "breakdown"
        ~doc:
          "Show where the modeled time goes, per cost-model component, for           the microbenchmarks under full optimization.")
-    Term.(const run $ scale_arg $ mode_arg)
+    Term.(const run $ scale_arg $ mode_arg $ Cli.transport_arg)
 
 let trace_cmd =
   let run () =
@@ -450,7 +553,13 @@ let trace_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run file entry machines config mode faults batch tier hot_threshold =
+  let run file entry machines config mode backend faults batch tier
+      hot_threshold =
+    (match Cli.check_transport ~backend faults with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline msg;
+        exit 1);
     let ic = open_in_bin file in
     let src = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -471,7 +580,7 @@ let run_cmd =
             let config = if batch then Rmi.Config.with_batching config else config in
             let config = Cli.apply_tier ~tier ~hot_threshold config in
             let r =
-              Rmi.Distributed.run ~config ~mode ~machines ?faults prog
+              Rmi.Distributed.run ~config ~mode ~backend ~machines ?faults prog
                 ~entry:m.Jir.Program.mid []
             in
             Format.printf "%s = %a@." entry Jir.Interp.pp_value
@@ -506,31 +615,33 @@ let run_cmd =
          "Compile a source file and execute it as a distributed program:           machine 0 runs the entry method, remote objects are placed           round-robin, and every RMI crosses the simulated cluster through           the selected optimization configuration.")
     Term.(
       const run $ Cli.file_arg $ Cli.entry_arg $ Cli.machines_arg
-      $ Cli.config_arg $ mode_arg $ Cli.faults_arg $ Cli.batch_arg
-      $ Cli.tier_arg $ Cli.hot_threshold_arg)
+      $ Cli.config_arg $ mode_arg $ Cli.transport_arg $ Cli.faults_arg
+      $ Cli.batch_arg $ Cli.tier_arg $ Cli.hot_threshold_arg)
 
 let cmds =
   [
     table_cmd "table1" "LinkedList transmission (Table 1)." run_table1;
     table_cmd "table2" "16x16 double[][] transmission (Table 2)." run_table2;
-    table_cmd "table3" "LU runtime (Table 3)." (fun s m ->
-        run_table3_4 s m ~want3:true ~want4:false);
-    table_cmd "table4" "LU runtime statistics (Table 4)." (fun s m ->
-        run_table3_4 s m ~want3:false ~want4:true);
-    table_cmd "table5" "Superoptimizer runtime (Table 5)." (fun s m ->
-        run_table5_6 s m ~want5:true ~want6:false);
-    table_cmd "table6" "Superoptimizer statistics (Table 6)." (fun s m ->
-        run_table5_6 s m ~want5:false ~want6:true);
-    table_cmd "table7" "Webserver us/page (Table 7)." (fun s m ->
-        run_table7_8 s m ~want7:true ~want8:false);
-    table_cmd "table8" "Webserver statistics (Table 8)." (fun s m ->
-        run_table7_8 s m ~want7:false ~want8:true);
+    table_cmd "table3" "LU runtime (Table 3)." (fun s m b ->
+        run_table3_4 s m b ~want3:true ~want4:false);
+    table_cmd "table4" "LU runtime statistics (Table 4)." (fun s m b ->
+        run_table3_4 s m b ~want3:false ~want4:true);
+    table_cmd "table5" "Superoptimizer runtime (Table 5)." (fun s m b ->
+        run_table5_6 s m b ~want5:true ~want6:false);
+    table_cmd "table6" "Superoptimizer statistics (Table 6)." (fun s m b ->
+        run_table5_6 s m b ~want5:false ~want6:true);
+    table_cmd "table7" "Webserver us/page (Table 7)." (fun s m b ->
+        run_table7_8 s m b ~want7:true ~want8:false);
+    table_cmd "table8" "Webserver statistics (Table 8)." (fun s m b ->
+        run_table7_8 s m b ~want7:false ~want8:true);
     all_cmd;
     pipeline_cmd;
     crash_cmd;
     tiers_cmd;
     wirecost_cmd;
     load_cmd;
+    transport_cmd;
+    proc_cmd;
     report_cmd;
     compile_cmd;
     breakdown_cmd;

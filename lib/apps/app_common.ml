@@ -15,10 +15,10 @@ let compile prog =
     opt.decisions;
   { prog; opt; meta; plans }
 
-let run_timed compiled ?faults ~config ~mode ~n body =
+let run_timed compiled ?backend ?faults ~config ~mode ~n body =
   let metrics = Rmi_stats.Metrics.create () in
   let fabric =
-    Rmi_runtime.Fabric.create ~mode ?faults ~n ~meta:compiled.meta ~config
+    Rmi_runtime.Fabric.create ~mode ?backend ?faults ~n ~meta:compiled.meta ~config
       ~plans:compiled.plans ~metrics ()
   in
   Rmi_runtime.Fabric.run fabric (fun fabric ->

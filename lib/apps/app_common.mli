@@ -23,6 +23,7 @@ val compile : Jir.Program.t -> compiled
     links (meaningful with a reliable-transport [config]). *)
 val run_timed :
   compiled ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->

@@ -79,11 +79,11 @@ let setup fabric total =
       None);
   (Rmi_runtime.Fabric.node fabric 0, Rmi_runtime.Remote_ref.make ~machine:1 ~obj:0)
 
-let run ?faults ~config ~mode params =
+let run ?backend ?faults ~config ~mode params =
   let compiled = compiled () in
   let site = callsite () in
   let sum, wall, stats =
-    App_common.run_timed compiled ?faults ~config ~mode ~n:2 (fun fabric ->
+    App_common.run_timed compiled ?backend ?faults ~config ~mode ~n:2 (fun fabric ->
         let total = Atomic.make 0.0 in
         let caller, dest = setup fabric total in
         let matrix = make_matrix params.n in
@@ -96,12 +96,12 @@ let run ?faults ~config ~mode params =
   in
   { wall_seconds = wall; stats; sum_received = sum }
 
-let run_pipelined ?(window = 16) ?faults ~config ~mode params =
+let run_pipelined ?(window = 16) ?backend ?faults ~config ~mode params =
   if window < 1 then invalid_arg "array_bench: window must be >= 1";
   let compiled = compiled () in
   let site = callsite () in
   let sum, wall, stats =
-    App_common.run_timed compiled ?faults ~config ~mode ~n:2 (fun fabric ->
+    App_common.run_timed compiled ?backend ?faults ~config ~mode ~n:2 (fun fabric ->
         let total = Atomic.make 0.0 in
         let caller, dest = setup fabric total in
         let matrix = make_matrix params.n in

@@ -23,6 +23,7 @@ val callsite : unit -> int
     (pair with [Config.with_reliable]); the checksum must come out the
     same as a fault-free run. *)
 val run :
+  ?backend:Rmi_runtime.Fabric.backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
@@ -36,6 +37,7 @@ val run :
     identical to {!run}'s. *)
 val run_pipelined :
   ?window:int ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->

@@ -26,6 +26,7 @@ val callsite : unit -> int
     (pair with [Config.with_reliable]); the checksum must come out the
     same as a fault-free run. *)
 val run :
+  ?backend:Rmi_runtime.Fabric.backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
@@ -38,6 +39,7 @@ val run :
     envelopes.  The checksum is identical to {!run}'s. *)
 val run_pipelined :
   ?window:int ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->

@@ -197,7 +197,7 @@ let update_handler args =
 (* the distributed driver                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(machines = 2) ~config ~mode params =
+let run ?(machines = 2) ?backend ~config ~mode params =
   if params.n mod params.block_size <> 0 then
     invalid_arg "Lu.run: block_size must divide n";
   let bsize = params.block_size in
@@ -208,7 +208,7 @@ let run ?(machines = 2) ~config ~mode params =
   let reference = test_matrix params.n in
   lu_sequential reference;
   let blocks_result, wall, stats =
-    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+    App_common.run_timed compiled ?backend ~config ~mode ~n:machines (fun fabric ->
         (* a Worker on every machine; trailing updates are distributed
            round-robin by block row, so 1/machines of the RMIs stay local *)
         for m = 0 to machines - 1 do

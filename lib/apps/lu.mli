@@ -38,6 +38,7 @@ val test_matrix : int -> float array array
     round-robin over all machines. *)
 val run :
   ?machines:int ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->

@@ -324,11 +324,11 @@ let prog_of_value v : int * Isa.prog =
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(machines = 2) ~config ~mode params =
+let run ?(machines = 2) ?backend ~config ~mode params =
   let compiled = compiled () in
   let accept_site, results_site = callsites () in
   let (tested, matches), wall, stats =
-    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+    App_common.run_timed compiled ?backend ~config ~mode ~n:machines (fun fabric ->
         (* a tester object on each machine, round-robin distribution *)
         let matched : (int, int list ref) Hashtbl.t = Hashtbl.create machines in
         for m = 0 to machines - 1 do

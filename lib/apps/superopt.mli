@@ -77,6 +77,7 @@ val callsites : unit -> int * int
     round-robin over all machines. *)
 val run :
   ?machines:int ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->

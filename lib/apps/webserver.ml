@@ -105,11 +105,11 @@ let page_size = function
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(machines = 2) ~config ~mode params =
+let run ?(machines = 2) ?backend ~config ~mode params =
   let compiled = compiled () in
   let site = callsite () in
   let served, wall, stats =
-    App_common.run_timed compiled ~config ~mode ~n:machines (fun fabric ->
+    App_common.run_timed compiled ?backend ~config ~mode ~n:machines (fun fabric ->
         (* one slave per machine, each owning the pages whose hash maps
            to it *)
         for m = 0 to machines - 1 do

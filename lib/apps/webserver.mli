@@ -32,6 +32,7 @@ val callsite : unit -> int
     round-robin over all machines. *)
 val run :
   ?machines:int ->
+  ?backend:Rmi_runtime.Fabric.backend ->
   config:Rmi_runtime.Config.t ->
   mode:Rmi_runtime.Fabric.mode ->
   params ->

@@ -210,3 +210,77 @@ let calls_arg =
     & opt int 80
     & info [ "calls" ] ~docv:"N"
         ~doc:"How many echo RMIs the crash workload issues.")
+
+(* ------------------------------------------------------------------ *)
+(* transport selection and process mode (PR 7)                         *)
+(* ------------------------------------------------------------------ *)
+
+let backend_conv = Arg.enum [ ("sim", Fabric.Sim); ("sock", Fabric.Sock) ]
+
+let transport_arg =
+  Arg.(
+    value
+    & opt backend_conv Fabric.Sim
+    & info [ "transport" ] ~docv:"BACKEND"
+        ~doc:
+          "Interconnect backend: $(b,sim) is the in-process simulated \
+           cluster with its Myrinet-era cost accounting, $(b,sock) a real \
+           TCP loopback mesh (one socket pair per machine pair, real \
+           syscalls).  $(b,sock) rejects $(b,--faults) and the reliable \
+           transport: those exercise the simulated physical layer.")
+
+(* "host:port"; the port is mandatory, the host may be a name *)
+let addr_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && String.length host > 0 ->
+            Ok (host, p)
+        | _ ->
+            Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s)))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Bind address for this process's endpoint in $(b,sock) process \
+           mode (defaults to this machine's entry in $(b,--peers); set it \
+           to e.g. $(b,0.0.0.0:9000) to accept on all interfaces).")
+
+let peers_arg =
+  Arg.(
+    value
+    & opt (list addr_conv) []
+    & info [ "peers" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "The full cluster address list for $(b,sock) process mode, in \
+           machine-id order: entry $(i,i) is machine $(i,i)'s address.  \
+           Every process of the cluster must be started with the same \
+           list.")
+
+let self_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "self" ] ~docv:"ID"
+        ~doc:
+          "This process's machine id (an index into $(b,--peers)).  \
+           Machine 0 drives the workload; higher ids serve.")
+
+let check_transport ~backend faults =
+  match (backend, faults) with
+  | Fabric.Sock, Some _ ->
+      Error
+        "--faults needs --transport sim: seeded fault schedules exercise \
+         the simulated physical layer, which a kernel socket does not \
+         expose"
+  | _ -> Ok ()

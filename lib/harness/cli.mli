@@ -89,3 +89,29 @@ val crashes_arg : int Term.t
 
 (** [--calls N]: RMIs the crash workload issues, default 80. *)
 val calls_arg : int Term.t
+
+(** [sim]/[sock] (see {!Rmi_runtime.Fabric.backend}). *)
+val backend_conv : Rmi_runtime.Fabric.backend Arg.conv
+
+(** [--transport BACKEND]: interconnect backend, default [sim]. *)
+val transport_arg : Rmi_runtime.Fabric.backend Term.t
+
+(** Parses ["HOST:PORT"]. *)
+val addr_conv : (string * int) Arg.conv
+
+(** [--listen HOST:PORT]: bind-address override for process mode. *)
+val listen_arg : (string * int) option Term.t
+
+(** [--peers HOST:PORT,...]: the cluster address list, machine-id
+    order; the same list on every process. *)
+val peers_arg : (string * int) list Term.t
+
+(** [--self ID]: this process's machine id, default 0 (the driver). *)
+val self_arg : int Term.t
+
+(** Reject combinations the socket backend cannot honour (currently
+    [--faults], which needs the simulated physical layer). *)
+val check_transport :
+  backend:Rmi_runtime.Fabric.backend ->
+  (int * Rmi_net.Fault_sim.profile) option ->
+  (unit, string) result

@@ -57,7 +57,7 @@ let wall_gain t row =
 (* the five timing tables                                              *)
 (* ------------------------------------------------------------------ *)
 
-let table1 ?(scale = Small) ?(mode = Fabric.Sync) () =
+let table1 ?(scale = Small) ?(mode = Fabric.Sync) ?backend () =
   let params =
     match scale with
     | Small -> { Rmi_apps.Linked_list.elements = 100; repetitions = 200 }
@@ -65,7 +65,7 @@ let table1 ?(scale = Small) ?(mode = Fabric.Sync) () =
   in
   let rows =
     run_all_configs (fun config ->
-        let r = Rmi_apps.Linked_list.run ~config ~mode params in
+        let r = Rmi_apps.Linked_list.run ?backend ~config ~mode params in
         (r.Rmi_apps.Linked_list.wall_seconds, r.Rmi_apps.Linked_list.stats))
   in
   {
@@ -79,7 +79,7 @@ let table1 ?(scale = Small) ?(mode = Fabric.Sync) () =
     per_unit = Fun.id;
   }
 
-let table2 ?(scale = Small) ?(mode = Fabric.Sync) () =
+let table2 ?(scale = Small) ?(mode = Fabric.Sync) ?backend () =
   let params =
     match scale with
     | Small -> { Rmi_apps.Array_bench.n = 16; repetitions = 200 }
@@ -87,7 +87,7 @@ let table2 ?(scale = Small) ?(mode = Fabric.Sync) () =
   in
   let rows =
     run_all_configs (fun config ->
-        let r = Rmi_apps.Array_bench.run ~config ~mode params in
+        let r = Rmi_apps.Array_bench.run ?backend ~config ~mode params in
         (r.Rmi_apps.Array_bench.wall_seconds, r.Rmi_apps.Array_bench.stats))
   in
   {
@@ -101,7 +101,7 @@ let table2 ?(scale = Small) ?(mode = Fabric.Sync) () =
     per_unit = Fun.id;
   }
 
-let table3 ?(scale = Small) ?(mode = Fabric.Sync) () =
+let table3 ?(scale = Small) ?(mode = Fabric.Sync) ?backend () =
   let params =
     match scale with
     | Small -> { Rmi_apps.Lu.n = 256; block_size = 16 }
@@ -109,7 +109,7 @@ let table3 ?(scale = Small) ?(mode = Fabric.Sync) () =
   in
   let rows =
     run_all_configs (fun config ->
-        let r = Rmi_apps.Lu.run ~config ~mode params in
+        let r = Rmi_apps.Lu.run ?backend ~config ~mode params in
         if r.Rmi_apps.Lu.residual > 1e-6 then
           failwith
             (Printf.sprintf "LU diverged under %s: residual %g"
@@ -127,7 +127,7 @@ let table3 ?(scale = Small) ?(mode = Fabric.Sync) () =
     per_unit = Fun.id;
   }
 
-let table5 ?(scale = Small) ?(mode = Fabric.Sync) () =
+let table5 ?(scale = Small) ?(mode = Fabric.Sync) ?backend () =
   let params =
     match scale with
     | Small ->
@@ -139,7 +139,7 @@ let table5 ?(scale = Small) ?(mode = Fabric.Sync) () =
   in
   let rows =
     run_all_configs (fun config ->
-        let r = Rmi_apps.Superopt.run ~config ~mode params in
+        let r = Rmi_apps.Superopt.run ?backend ~config ~mode params in
         (r.Rmi_apps.Superopt.wall_seconds, r.Rmi_apps.Superopt.stats))
   in
   {
@@ -151,7 +151,7 @@ let table5 ?(scale = Small) ?(mode = Fabric.Sync) () =
     per_unit = Fun.id;
   }
 
-let table7 ?(scale = Small) ?(mode = Fabric.Sync) () =
+let table7 ?(scale = Small) ?(mode = Fabric.Sync) ?backend () =
   let params =
     match scale with
     | Small -> { Rmi_apps.Webserver.pages = 64; page_bytes = 2048; requests = 5000 }
@@ -160,7 +160,7 @@ let table7 ?(scale = Small) ?(mode = Fabric.Sync) () =
   let requests = params.requests in
   let rows =
     run_all_configs (fun config ->
-        let r = Rmi_apps.Webserver.run ~config ~mode params in
+        let r = Rmi_apps.Webserver.run ?backend ~config ~mode params in
         (r.Rmi_apps.Webserver.wall_seconds, r.Rmi_apps.Webserver.stats))
   in
   {
@@ -858,7 +858,7 @@ let run_wire_run ~config ?faults ~window ~calls (ww : wire_workload) =
       ()
   in
   let digest = ref "" in
-  Rmi_net.Cluster.set_fault_hook (Fabric.cluster fabric)
+  Rmi_net.Transport.set_fault_hook (Fabric.net fabric)
     (fun ~src:_ ~dest:_ frame ->
       digest := Digest.string (!digest ^ Digest.bytes frame);
       Some frame);
@@ -1429,3 +1429,295 @@ let load_json (r : load_report) =
     r.l_rows;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* transport_compare (PR 7): the Transport.S substitution gate          *)
+(* ------------------------------------------------------------------ *)
+
+type transport_run = {
+  x_digest : string;
+  x_checksum : float;
+  x_msgs : int;
+  x_bytes : int;
+  x_modeled : float;
+  x_wall : float;
+}
+
+type transport_row = {
+  xr_workload : string;
+  xr_variant : string;
+  xr_sim : transport_run;
+  xr_sock : transport_run;
+}
+
+type transport_report = {
+  x_title : string;
+  x_rows : transport_row list;
+  x_digest_ok : bool;
+  x_model_ok : bool;
+}
+
+(* one backend of one (workload, variant) pair: [calls] pipelined RMIs
+   from machine 0 to machine 1 under the parallel fabric, replies
+   awaited in issue order.  The digest is over the structurally
+   rendered replies in that order, so it is deterministic whatever the
+   kernel's TCP scheduling or the serve domain's interleaving did —
+   the same trick the load gate uses across domain counts. *)
+let run_transport_run ~backend ~config ~window ~calls (ww : wire_workload) =
+  let metrics = Metrics.create () in
+  let fabric =
+    Fabric.create ~mode:Fabric.Parallel ~backend ~n:2
+      ~meta:(Lazy.force wire_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
+      ()
+  in
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_wire ~has_ret:true
+    ww.ww_handler;
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let arg = Lazy.force ww.ww_arg in
+  let buf = Buffer.create 1024 in
+  let checksum = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  Fabric.run fabric (fun _ ->
+      let i = ref 0 in
+      while !i < calls do
+        let k = min window (calls - !i) in
+        let futures =
+          List.init k (fun _ ->
+              Node.call_async caller ~dest ~meth:m_wire ~callsite:wire_site
+                ~has_ret:true [| arg |])
+        in
+        List.iter
+          (fun f ->
+            let r = Node.Future.await f in
+            (match r with
+            | Some v -> tier_render buf v
+            | None -> Buffer.add_string buf "none");
+            Buffer.add_char buf '|';
+            checksum := !checksum +. ww.ww_fold r)
+          futures;
+        i := !i + k
+      done);
+  let wall = Unix.gettimeofday () -. t0 in
+  Fabric.shutdown_net fabric;
+  let s = Metrics.snapshot metrics in
+  {
+    x_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+    x_checksum = !checksum;
+    x_msgs = s.Metrics.msgs_sent;
+    x_bytes = s.Metrics.bytes_sent;
+    x_modeled = Costmodel.modeled_seconds model s;
+    x_wall = wall;
+  }
+
+let transport_compare ?(calls = 64) ?(window = 8) ?(seed = 42) () =
+  let base = Config.class_ in
+  let variants =
+    [
+      ("sequential", base, 1);
+      ("pipelined", base, window);
+      ("pipelined+batch", Config.with_batching base, window);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun ww ->
+        List.map
+          (fun (vname, config, win) ->
+            let sim =
+              run_transport_run ~backend:Fabric.Sim ~config ~window:win ~calls
+                ww
+            in
+            let sock =
+              run_transport_run ~backend:Fabric.Sock ~config ~window:win
+                ~calls ww
+            in
+            { xr_workload = ww.ww_name; xr_variant = vname; xr_sim = sim;
+              xr_sock = sock })
+          variants)
+      wire_workloads
+  in
+  {
+    x_title =
+      Printf.sprintf
+        "transport: sim vs sock loopback, %d calls, window %d, seed %d" calls
+        window seed;
+    x_rows = rows;
+    x_digest_ok =
+      List.for_all
+        (fun r ->
+          String.equal r.xr_sim.x_digest r.xr_sock.x_digest
+          && Float.equal r.xr_sim.x_checksum r.xr_sock.x_checksum)
+        rows;
+    x_model_ok =
+      List.for_all
+        (fun r ->
+          r.xr_sim.x_msgs = r.xr_sock.x_msgs
+          && r.xr_sim.x_bytes = r.xr_sock.x_bytes
+          && Float.equal r.xr_sim.x_modeled r.xr_sock.x_modeled)
+        rows;
+  }
+
+let render_transport (r : transport_report) =
+  let headers =
+    [
+      "workload"; "variant"; "msgs sim/sock"; "bytes sim/sock";
+      "modeled s sim/sock"; "wall s sim"; "sock"; "replies";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          row.xr_workload;
+          row.xr_variant;
+          Printf.sprintf "%d/%d" row.xr_sim.x_msgs row.xr_sock.x_msgs;
+          Printf.sprintf "%d/%d" row.xr_sim.x_bytes row.xr_sock.x_bytes;
+          Printf.sprintf "%.4f/%.4f" row.xr_sim.x_modeled row.xr_sock.x_modeled;
+          Printf.sprintf "%.4f" row.xr_sim.x_wall;
+          Printf.sprintf "%.4f" row.xr_sock.x_wall;
+          (if String.equal row.xr_sim.x_digest row.xr_sock.x_digest then
+             "identical"
+           else "MISMATCH");
+        ])
+      r.x_rows
+  in
+  Printf.sprintf
+    "%s\n%s\nissue-order reply digests byte-identical: %s\nwire counters and \
+     modeled seconds identical: %s"
+    r.x_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.x_digest_ok then "yes" else "NO")
+    (if r.x_model_ok then "yes" else "NO")
+
+(* BENCH_transport.json: the modeled-vs-wall-clock report per backend,
+   wrapped with the gate verdicts — the CI socket-smoke artifact *)
+let transport_json (r : transport_report) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"title\": %S,\n  \"digest_ok\": %b,\n  \"model_ok\": %b,\n"
+       r.x_title r.x_digest_ok r.x_model_ok);
+  Buffer.add_string b "  \"rows\": [\n";
+  let first = ref true in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (backend, run) ->
+          if not !first then Buffer.add_string b ",\n";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"workload\": %S, \"variant\": %S, \"backend\": %S, \
+                \"msgs\": %d, \"bytes\": %d, \"modeled_s\": %.6f, \
+                \"wall_s\": %.6f, \"digest\": %S}"
+               row.xr_workload row.xr_variant backend run.x_msgs run.x_bytes
+               run.x_modeled run.x_wall run.x_digest))
+        [ ("sim", row.xr_sim); ("sock", row.xr_sock) ])
+    r.x_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* multi-process mode: the same workloads over real OS processes        *)
+(* ------------------------------------------------------------------ *)
+
+type proc_run = {
+  pr_workload : string;
+  pr_calls : int;
+  pr_digest : string;
+  pr_checksum : float;
+  pr_wall : float;
+}
+
+(* machine [self] of a TCP cluster described by [addrs].  Servers
+   (self > 0) export the wire workloads and serve until the client
+   shuts them down; the client (machine 0) drives [calls] pipelined
+   RMIs per workload round-robin across the servers and returns the
+   issue-order digests.  Method/callsite ids are 1 + workload index so
+   both workloads coexist on one mesh. *)
+let transport_proc ?(calls = 64) ?(window = 8) ?listen ~self ~addrs () =
+  let n = Array.length addrs in
+  if n < 2 then invalid_arg "Experiment.transport_proc: need >= 2 machines";
+  if self < 0 || self >= n then
+    invalid_arg "Experiment.transport_proc: self out of range";
+  let metrics = Metrics.create () in
+  let fabric =
+    Fabric.create_process ?listen ~self ~addrs ~meta:(Lazy.force wire_meta)
+      ~config:Config.class_ ~plans:(Hashtbl.create 4) ~metrics ()
+  in
+  let result =
+    if self > 0 then begin
+      let me = Fabric.node fabric self in
+      List.iteri
+        (fun k ww ->
+          Node.export me ~obj:0 ~meth:(m_wire + k) ~has_ret:true ww.ww_handler)
+        wire_workloads;
+      Node.serve_loop me;
+      None
+    end
+    else begin
+      let caller = Fabric.node fabric 0 in
+      let runs =
+        List.mapi
+          (fun k ww ->
+            let arg = Lazy.force ww.ww_arg in
+            let buf = Buffer.create 1024 in
+            let checksum = ref 0.0 in
+            let t0 = Unix.gettimeofday () in
+            let i = ref 0 in
+            while !i < calls do
+              let burst = min window (calls - !i) in
+              let futures =
+                List.init burst (fun j ->
+                    let machine = 1 + ((!i + j) mod (n - 1)) in
+                    Node.call_async caller
+                      ~dest:(Remote_ref.make ~machine ~obj:0)
+                      ~meth:(m_wire + k) ~callsite:(wire_site + k)
+                      ~has_ret:true [| arg |])
+              in
+              List.iter
+                (fun f ->
+                  let r = Node.Future.await f in
+                  (match r with
+                  | Some v -> tier_render buf v
+                  | None -> Buffer.add_string buf "none");
+                  Buffer.add_char buf '|';
+                  checksum := !checksum +. ww.ww_fold r)
+                futures;
+              i := !i + burst
+            done;
+            {
+              pr_workload = ww.ww_name;
+              pr_calls = calls;
+              pr_digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+              pr_checksum = !checksum;
+              pr_wall = Unix.gettimeofday () -. t0;
+            })
+          wire_workloads
+      in
+      for dest = 1 to n - 1 do
+        Node.send_shutdown caller ~dest
+      done;
+      Some runs
+    end
+  in
+  Fabric.shutdown_net fabric;
+  result
+
+let render_proc (runs : proc_run list) =
+  let headers = [ "workload"; "calls"; "wall s"; "checksum"; "digest" ] in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.pr_workload;
+          string_of_int r.pr_calls;
+          Printf.sprintf "%.4f" r.pr_wall;
+          Printf.sprintf "%.1f" r.pr_checksum;
+          r.pr_digest;
+        ])
+      runs
+  in
+  Rmi_stats.Ascii_table.render ~headers rows

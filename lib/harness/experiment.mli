@@ -35,11 +35,36 @@ val wall_gain : timing_table -> row -> float
 
 (** Run an application under all five configs. *)
 
-val table1 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
-val table2 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
-val table3 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
-val table5 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
-val table7 : ?scale:scale -> ?mode:Rmi_runtime.Fabric.mode -> unit -> timing_table
+val table1 :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?backend:Rmi_runtime.Fabric.backend ->
+  unit ->
+  timing_table
+val table2 :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?backend:Rmi_runtime.Fabric.backend ->
+  unit ->
+  timing_table
+val table3 :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?backend:Rmi_runtime.Fabric.backend ->
+  unit ->
+  timing_table
+val table5 :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?backend:Rmi_runtime.Fabric.backend ->
+  unit ->
+  timing_table
+val table7 :
+  ?scale:scale ->
+  ?mode:Rmi_runtime.Fabric.mode ->
+  ?backend:Rmi_runtime.Fabric.backend ->
+  unit ->
+  timing_table
 
 (** The statistics tables reuse the timing runs of their sibling:
     table4 = stats of table3's rows, etc. *)
@@ -271,3 +296,81 @@ val render_load : load_report -> string
 
 (** BENCH_load.json: rows plus gate verdicts, for the CI artifact. *)
 val load_json : load_report -> string
+
+(** One backend of one (workload, variant) pair of the transport
+    substitution gate (PR 7). *)
+type transport_run = {
+  x_digest : string;
+      (** hex digest over the structurally rendered replies, awaited in
+          issue order — deterministic whatever the backend's scheduling
+          did *)
+  x_checksum : float;  (** fold of all replies *)
+  x_msgs : int;  (** [msgs_sent] *)
+  x_bytes : int;  (** [bytes_sent] *)
+  x_modeled : float;  (** Myrinet-era modeled seconds from the counters *)
+  x_wall : float;  (** measured wall-clock seconds *)
+}
+
+type transport_row = {
+  xr_workload : string;  (** "chain100" / "matrix16x16" *)
+  xr_variant : string;
+      (** "sequential" / "pipelined" / "pipelined+batch" *)
+  xr_sim : transport_run;
+  xr_sock : transport_run;
+}
+
+type transport_report = {
+  x_title : string;
+  x_rows : transport_row list;
+  x_digest_ok : bool;
+      (** every row's issue-order reply digests and checksums identical
+          between Sim and Sock *)
+  x_model_ok : bool;
+      (** every row's [msgs_sent]/[bytes_sent] — and therefore modeled
+          seconds — identical between the backends: the cost accounting
+          survives the transport substitution *)
+}
+
+(** Run the paper-table message shapes (chain100, matrix16x16) over the
+    simulated interconnect and over a real TCP loopback mesh
+    ({!Rmi_runtime.Fabric.backend}), sequentially, pipelined, and
+    pipelined+batched, under the parallel fabric.  The gate demands
+    byte-identical issue-order reply digests and identical wire
+    counters between the backends; the report carries each backend's
+    modeled-vs-wall-clock delta per workload. *)
+val transport_compare :
+  ?calls:int -> ?window:int -> ?seed:int -> unit -> transport_report
+
+val render_transport : transport_report -> string
+
+(** BENCH_transport.json: per-backend modeled-vs-wall rows plus the
+    gate verdicts, for the CI socket-smoke artifact. *)
+val transport_json : transport_report -> string
+
+(** One workload of a multi-process client run. *)
+type proc_run = {
+  pr_workload : string;
+  pr_calls : int;
+  pr_digest : string;  (** issue-order reply digest *)
+  pr_checksum : float;
+  pr_wall : float;
+}
+
+(** [transport_proc ~self ~addrs ()] runs machine [self] of a TCP
+    cluster spread over real OS processes ([addrs.(i)] is machine [i]'s
+    [(host, port)]; [?listen] overrides the bind address).  Servers
+    ([self > 0]) export the wire workloads and block serving until
+    machine 0 shuts them down, returning [None]; the client ([self =
+    0]) drives [calls] pipelined RMIs per workload round-robin across
+    the servers and returns the per-workload digests.  Blocks until the
+    full mesh is connected. *)
+val transport_proc :
+  ?calls:int ->
+  ?window:int ->
+  ?listen:string * int ->
+  self:int ->
+  addrs:(string * int) array ->
+  unit ->
+  proc_run list option
+
+val render_proc : proc_run list -> string

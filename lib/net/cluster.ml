@@ -3,7 +3,10 @@ and params = { rto : int; backoff_cap : int; max_attempts : int }
 
 let default_params = { rto = 2; backoff_cap = 32; max_attempts = 12 }
 
-type idle_outcome =
+(* the outcome/health/event vocabulary is owned by {!Transport} (it is
+   part of the backend-neutral signature); re-exported here so code
+   written against [Cluster] keeps naming the constructors directly *)
+type idle_outcome = Transport.idle_outcome =
   | Retransmitted of int
   | Waiting
   | Gave_up of int list
@@ -14,15 +17,22 @@ type idle_outcome =
 (* failure detector                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type peer_health = Alive | Suspect | Down
+type peer_health = Transport.peer_health = Alive | Suspect | Down
 
-type hb_params = { ping_every : int; suspect_after : int; down_after : int }
+type hb_params = Transport.hb_params = {
+  ping_every : int;
+  suspect_after : int;
+  down_after : int;
+}
 
-let default_hb = { ping_every = 8; suspect_after = 16; down_after = 48 }
+let default_hb = Transport.default_hb
 
-type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+type peer_event = Transport.peer_event =
+  | Peer_suspected
+  | Peer_confirmed_down
+  | Peer_recovered
 
-type process_event =
+type process_event = Transport.process_event =
   | Proc_crashed of { machine : int; durability : Fault_sim.durability }
   | Proc_restarted of {
       machine : int;
@@ -65,14 +75,6 @@ type rel = {
   lock : Mutex.t;
 }
 
-(* per-(src,dest) coalescing buffers; one flush = one wire envelope =
-   one reliable seq/ack unit *)
-type batcher = {
-  max_bytes : int;  (* flush a link as soon as it buffers this much *)
-  bufs : (int * int, bytes list ref * int ref) Hashtbl.t;
-  bmutex : Mutex.t;
-}
-
 type t = {
   n : int;
   boxes : Mailbox.t array;
@@ -85,7 +87,9 @@ type t = {
   mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
   mutable sim : Fault_sim.t option;
   rel : rel option;
-  mutable batcher : batcher option;
+  (* per-(src,dest) coalescing buffers; one flush = one wire envelope =
+     one reliable seq/ack unit *)
+  mutable batcher : Batcher.t option;
   (* messages unpacked from an already-received batch envelope, served
      ahead of the mailbox; [(frame, off, len)] slices sharing the frame
      bytes so splitting a batch copies nothing *)
@@ -190,17 +194,7 @@ let wipe_machine t m =
   Mutex.lock t.imutex.(m);
   Queue.clear t.inbox.(m);
   Mutex.unlock t.imutex.(m);
-  (match t.batcher with
-  | None -> ()
-  | Some b ->
-      Mutex.lock b.bmutex;
-      let gone =
-        Hashtbl.fold
-          (fun (s, d) _ acc -> if s = m then (s, d) :: acc else acc)
-          b.bufs []
-      in
-      List.iter (Hashtbl.remove b.bufs) gone;
-      Mutex.unlock b.bmutex);
+  Option.iter (fun b -> Batcher.drop_source b ~src:m) t.batcher;
   match t.rel with
   | None -> ()
   | Some rel ->
@@ -404,8 +398,7 @@ let default_batch_bytes = 4096
 
 let enable_batching ?(max_bytes = default_batch_bytes) t =
   if max_bytes < 1 then invalid_arg "Cluster.enable_batching: max_bytes < 1";
-  t.batcher <-
-    Some { max_bytes; bufs = Hashtbl.create 16; bmutex = Mutex.create () }
+  t.batcher <- Some (Batcher.create ~max_bytes)
 
 let batching_enabled t = t.batcher <> None
 
@@ -448,19 +441,9 @@ let flush t ~src =
   match t.batcher with
   | None -> []
   | Some b ->
-      Mutex.lock b.bmutex;
-      let groups =
-        Hashtbl.fold
-          (fun (s, d) (msgs, bytes) acc ->
-            if s = src && !msgs <> [] then (d, List.rev !msgs, !bytes) :: acc
-            else acc)
-          b.bufs []
-        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
-      in
-      List.iter (fun (d, _, _) -> Hashtbl.remove b.bufs (src, d)) groups;
-      Mutex.unlock b.bmutex;
-      List.map (fun (dest, msgs, bytes) -> flush_group t ~src ~dest msgs bytes)
-        groups
+      List.map
+        (fun (dest, msgs, bytes) -> flush_group t ~src ~dest msgs bytes)
+        (Batcher.take b ~src)
 
 let disable_batching t =
   (match t.batcher with
@@ -478,39 +461,13 @@ let send_buffered t ~src ~dest msg =
   | None ->
       send t ~src ~dest msg;
       []
-  | Some b ->
-      Mutex.lock b.bmutex;
-      let msgs, bytes =
-        match Hashtbl.find_opt b.bufs (src, dest) with
-        | Some cell -> cell
-        | None ->
-            let cell = (ref [], ref 0) in
-            Hashtbl.replace b.bufs (src, dest) cell;
-            cell
-      in
-      msgs := msg :: !msgs;
-      bytes := !bytes + Bytes.length msg;
-      let over =
-        if !bytes >= b.max_bytes then begin
-          let group = (List.rev !msgs, !bytes) in
-          Hashtbl.remove b.bufs (src, dest);
-          Some group
-        end
-        else None
-      in
-      Mutex.unlock b.bmutex;
-      match over with
+  | Some b -> (
+      match Batcher.add b ~src ~dest msg with
       | None -> []
-      | Some (msgs, bytes) -> [ flush_group t ~src ~dest msgs bytes ]
+      | Some (msgs, bytes) -> [ flush_group t ~src ~dest msgs bytes ])
 
 let buffered_anywhere t =
-  match t.batcher with
-  | None -> false
-  | Some b ->
-      Mutex.lock b.bmutex;
-      let any = Hashtbl.fold (fun _ (msgs, _) acc -> acc || !msgs <> []) b.bufs false in
-      Mutex.unlock b.bmutex;
-      any
+  match t.batcher with None -> false | Some b -> Batcher.any b
 
 (* ------------------------------------------------------------------ *)
 (* receive path: unwrap envelopes, fence stale incarnations, ack data, *)
@@ -672,18 +629,6 @@ let try_recv_slice t ~self =
       in
       go ()
 
-(* snapshot a slice for the bytes-returning compatibility API; whole
-   frames pass through unchanged, so the legacy mode keeps its exact
-   pre-slice behavior *)
-let materialize t (buf, off, len) =
-  if off = 0 && len = Bytes.length buf then buf
-  else begin
-    charge t len;
-    Bytes.sub buf off len
-  end
-
-let try_recv t ~self = Option.map (materialize t) (try_recv_slice t ~self)
-
 let recv_deadline_slice t ~self ~seconds =
   check t self;
   (* one non-blocking pass first, so a zero or negative deadline still
@@ -703,9 +648,6 @@ let recv_deadline_slice t ~self ~seconds =
               match admit t ~self raw with Some m -> Some m | None -> go ())
       in
       go ()
-
-let recv_deadline t ~self ~seconds =
-  Option.map (materialize t) (recv_deadline_slice t ~self ~seconds)
 
 let pending_anywhere t =
   Array.exists (fun b -> not (Mailbox.is_empty b)) t.boxes
@@ -850,8 +792,6 @@ let recv_blocking_slice t ~self =
           in
           go ())
 
-let recv_blocking t ~self = materialize t (recv_blocking_slice t ~self)
-
 (* ------------------------------------------------------------------ *)
 (* fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -861,3 +801,24 @@ let clear_faults t = t.sim <- None
 let faults t = t.sim
 let set_fault_hook t hook = t.fault <- Some hook
 let clear_fault_hook t = t.fault <- None
+
+(* ------------------------------------------------------------------ *)
+(* Transport.S completion                                              *)
+(* ------------------------------------------------------------------ *)
+
+let name = "sim"
+
+(* everything lives in this process; nothing to release *)
+let shutdown _ = ()
+
+(* the bytes-returning receive wrappers are the shared defaults derived
+   from the slice family — backends implement only slices *)
+include Transport.Recv_defaults (struct
+  type nonrec t = t
+
+  let metrics = metrics
+  let try_recv_slice = try_recv_slice
+  let recv_blocking_slice = recv_blocking_slice
+  let recv_deadline_slice = recv_deadline_slice
+end)
+

@@ -26,7 +26,11 @@
     only).  Retransmissions, acks, duplicate suppressions and abandoned
     frames go to the dedicated [retries]/[acks_sent]/[dup_drops]/
     [timeouts] counters, so the lossless reliable path is
-    byte-identical to [Raw] in the paper's tables. *)
+    byte-identical to [Raw] in the paper's tables.
+
+    [Cluster] is the [Sim] backend of {!Transport.S} (see {!Sim}); the
+    health/event vocabulary below is re-exported from {!Transport} so
+    both spellings name the same constructors. *)
 
 type transport = Raw | Reliable of params
 
@@ -39,7 +43,7 @@ and params = {
 val default_params : params
 
 (** What {!idle} did; see {!idle}. *)
-type idle_outcome =
+type idle_outcome = Transport.idle_outcome =
   | Retransmitted of int  (** this many frames were retransmitted *)
   | Waiting  (** unacked frames exist but none was due yet *)
   | Gave_up of int list
@@ -63,9 +67,9 @@ type idle_outcome =
     an older incarnation are fenced (dropped and counted as
     [stale_drops]). *)
 
-type peer_health = Alive | Suspect | Down
+type peer_health = Transport.peer_health = Alive | Suspect | Down
 
-type hb_params = {
+type hb_params = Transport.hb_params = {
   ping_every : int;     (** ticks between pings to a quiet peer *)
   suspect_after : int;  (** quiet ticks before Alive -> Suspect *)
   down_after : int;     (** quiet ticks before Suspect -> Down *)
@@ -73,11 +77,14 @@ type hb_params = {
 
 val default_hb : hb_params
 
-type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+type peer_event = Transport.peer_event =
+  | Peer_suspected
+  | Peer_confirmed_down
+  | Peer_recovered
 
 (** Crash-simulator events surfaced to the runtime after the transport
     has wiped the machine's in-flight state. *)
-type process_event =
+type process_event = Transport.process_event =
   | Proc_crashed of { machine : int; durability : Fault_sim.durability }
   | Proc_restarted of {
       machine : int;
@@ -135,12 +142,13 @@ val is_reliable : t -> bool
 val send : t -> src:int -> dest:int -> bytes -> unit
 
 (** [send_writer t ~src ~dest w ~payload_off] ships the message sitting
-    in [w.(payload_off..length w)] without materializing it first: the
-    caller must have reserved at least {!Envelope.gap} bytes before
-    [payload_off], and under [Reliable] the envelope header is
-    back-filled into that gap in place.  [w]'s storage is not
-    referenced after the call returns (it is typically a pooled writer
-    released right after). *)
+    in [w.(payload_off..length w)] without materializing it first: per
+    the {!Transport.S.send_writer} contract the caller must have
+    reserved at least {!Envelope.gap} bytes before [payload_off]
+    (asserted by the {!Transport.send_writer} forwarder), and under
+    [Reliable] the envelope header is back-filled into that gap in
+    place.  [w]'s storage is not referenced after the call returns (it
+    is typically a pooled writer released right after). *)
 val send_writer :
   t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int -> unit
 
@@ -191,9 +199,9 @@ val try_recv : t -> self:int -> bytes option
     The zero-copy receive API: messages come back as [(frame, off,
     len)] slices sharing the (immutable) received frame bytes, so
     envelope payloads and batch sub-frames are never copied out.  The
-    bytes-returning functions above are materializing wrappers kept for
-    compatibility (and for the legacy framing mode, where the slice is
-    always a whole message and no extra copy happens). *)
+    bytes-returning functions ([try_recv]/[recv_blocking]/
+    [recv_deadline]) are {!Transport.Recv_defaults} wrappers derived
+    from the slice family — the backend implements only slices. *)
 
 val try_recv_slice : t -> self:int -> (bytes * int * int) option
 val recv_blocking_slice : t -> self:int -> bytes * int * int
@@ -239,3 +247,11 @@ val faults : t -> Fault_sim.t option
 val set_fault_hook : t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
 
 val clear_fault_hook : t -> unit
+
+(** {1 Transport.S completion} *)
+
+(** Backend identifier: ["sim"]. *)
+val name : string
+
+(** No-op: the simulated interconnect holds no OS resources. *)
+val shutdown : t -> unit

@@ -1,0 +1,6 @@
+module Backend = Cluster
+
+let pack (c : Cluster.t) : Transport.t = Transport.pack (module Cluster) c
+
+let create ?transport ?zero_copy ~n metrics =
+  pack (Cluster.create ?transport ?zero_copy ~n metrics)

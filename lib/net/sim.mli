@@ -1,0 +1,17 @@
+(** The [Sim] backend: the in-process simulated interconnect
+    ({!Cluster}) packaged as a first-class {!Transport.t}. *)
+
+(** Witness that {!Cluster} satisfies the transport signature. *)
+module Backend : Transport.S with type t = Cluster.t
+
+(** Erase an existing cluster into a transport. *)
+val pack : Cluster.t -> Transport.t
+
+(** [create ?transport ?zero_copy ~n metrics] is {!Cluster.create}
+    followed by {!pack}. *)
+val create :
+  ?transport:Cluster.transport ->
+  ?zero_copy:bool ->
+  n:int ->
+  Rmi_stats.Metrics.t ->
+  Transport.t

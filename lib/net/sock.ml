@@ -1,0 +1,741 @@
+module Msgbuf = Rmi_wire.Msgbuf
+module Protocol = Rmi_wire.Protocol
+module Metrics = Rmi_stats.Metrics
+
+(* frames larger than this are a protocol error, not a workload *)
+let max_frame = 64 * 1024 * 1024
+let mesh_timeout = 30.0
+let connect_retry_every = 0.05
+
+module M = struct
+  type conn = {
+    fd : Unix.file_descr;
+    owner : int;  (* hosted endpoint this is a channel of *)
+    peer : int;
+    wlock : Mutex.t;  (* stream integrity: one frame at a time *)
+    mutable alive : bool;
+    mutable rbuf : Bytes.t;  (* stream reassembly *)
+    mutable rlen : int;
+  }
+
+  (* accepted, but the 4-byte hello naming the peer hasn't arrived *)
+  type pending_conn = {
+    pfd : Unix.file_descr;
+    powner : int;
+    hello : Bytes.t;
+    mutable hlen : int;
+  }
+
+  type ep = {
+    lfd : Unix.file_descr;
+    inbox : (bytes * int * int) Queue.t;
+    ilock : Mutex.t;
+    icond : Condition.t;
+  }
+
+  type t = {
+    n : int;
+    loopback : bool;
+    eps : ep option array;  (* hosted endpoints only *)
+    conns : conn option array array;  (* conns.(owner).(peer) *)
+    clock : Mutex.t;  (* conn table, pendings, closed flag *)
+    metrics : Metrics.t;
+    pool : Msgbuf.Pool.buffers;
+    (* loopback: physical frames written but not yet queued on the
+       destination inbox, so [pending_anywhere] never reports quiet
+       while a reply sits in a kernel socket buffer *)
+    inflight : int Atomic.t;
+    mutable batcher : Batcher.t option;
+    mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
+    mutable peer_hooks :
+      (self:int -> peer:int -> Transport.peer_event -> unit) list;
+    mutable process_hooks : (Transport.process_event -> unit) list;
+    health : Transport.peer_health array array;
+    stop : bool Atomic.t;
+    mutable loop : Thread.t option;
+    wake_r : Unix.file_descr;
+    wake_w : Unix.file_descr;
+    mutable pendings : pending_conn list;
+    mutable closed : bool;
+  }
+
+  let name = "sock"
+  let size t = t.n
+  let metrics t = t.metrics
+  let zero_copy _ = true
+  let pool t = t.pool
+  let is_reliable _ = false
+  let charge t n = Metrics.add_bytes_copied t.metrics n
+
+  let check t who =
+    if who < 0 || who >= t.n then
+      invalid_arg (Printf.sprintf "Sock: bad machine id %d" who)
+
+  let hosted t who =
+    check t who;
+    match t.eps.(who) with
+    | Some ep -> ep
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sock: machine %d is not hosted in this process" who)
+
+  (* ---------------------------------------------------------------- *)
+  (* wire helpers                                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  let put_len b off v =
+    Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+  let get_len b off =
+    (Char.code (Bytes.get b off) lsl 24)
+    lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+    lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+    lor Char.code (Bytes.get b (off + 3))
+
+  let rec write_all fd b off len =
+    if len > 0 then
+      match Unix.write fd b off len with
+      | k -> write_all fd b (off + k) (len - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+
+  let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+  (* ---------------------------------------------------------------- *)
+  (* delivery into an endpoint inbox                                   *)
+  (* ---------------------------------------------------------------- *)
+
+  let fire_peer t ~self ~peer ev =
+    List.iter (fun f -> f ~self ~peer ev) t.peer_hooks
+
+  let mark_dead t c =
+    let fire =
+      c.alive
+      && begin
+           c.alive <- false;
+           (try Unix.close c.fd with Unix.Unix_error _ -> ());
+           t.health.(c.owner).(c.peer) <- Transport.Down;
+           true
+         end
+    in
+    if fire then fire_peer t ~self:c.owner ~peer:c.peer Transport.Peer_confirmed_down
+
+  (* [frame] is a fresh whole-frame bytes: queue it (split if it is a
+     batch envelope — sub-messages are slices sharing the frame) *)
+  let deliver t ~dest frame =
+    let ep = hosted t dest in
+    let len = Bytes.length frame in
+    let parts =
+      if Protocol.is_batch_at frame ~off:0 ~len then
+        match Protocol.decode_batch_slice frame ~off:0 ~len with
+        | None | Some [] -> []  (* garbled batch: drop whole *)
+        | Some slices -> List.map (fun (o, l) -> (frame, o, l)) slices
+      else [ (frame, 0, len) ]
+    in
+    Mutex.lock ep.ilock;
+    List.iter (fun s -> Queue.push s ep.inbox) parts;
+    Condition.broadcast ep.icond;
+    Mutex.unlock ep.ilock
+
+  (* ---------------------------------------------------------------- *)
+  (* send path                                                         *)
+  (* ---------------------------------------------------------------- *)
+
+  let conn_to t ~src ~dest =
+    Mutex.lock t.clock;
+    let c = t.conns.(src).(dest) in
+    Mutex.unlock t.clock;
+    match c with
+    | Some c when c.alive -> Some c
+    | Some _ -> None  (* broken link: frames to it are lost *)
+    | None -> invalid_arg (Printf.sprintf "Sock: no link %d -> %d" src dest)
+
+  (* one physical frame, already materialized *)
+  let ship_frame t ~src ~dest frame =
+    if src = dest then deliver t ~dest frame
+    else
+      match conn_to t ~src ~dest with
+      | None -> ()
+      | Some c ->
+          if t.loopback then Atomic.incr t.inflight;
+          Mutex.lock c.wlock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock c.wlock)
+            (fun () ->
+              try
+                let len = Bytes.length frame in
+                let hdr = Bytes.create 4 in
+                put_len hdr 0 len;
+                write_all c.fd hdr 0 4;
+                write_all c.fd frame 0 len
+              with Unix.Unix_error _ ->
+                if t.loopback then Atomic.decr t.inflight;
+                mark_dead t c)
+
+  let ship_hooked t ~src ~dest frame =
+    match t.fault with
+    | None -> ship_frame t ~src ~dest frame
+    | Some hook -> (
+        (* a dropped frame is lost forever here: TCP does not
+           retransmit what was never written *)
+        match hook ~src ~dest frame with
+        | Some f -> ship_frame t ~src ~dest f
+        | None -> ())
+
+  (* the no-materialization path: the payload sits in [w] at
+     [payload_off] with >= 4 reserved bytes before it; the length
+     prefix is patched into that gap and prefix+payload leave in one
+     contiguous write straight from the writer's storage *)
+  let ship_writer t ~src ~dest w ~payload_off =
+    let payload_len = Msgbuf.length w - payload_off in
+    if payload_len > max_frame then
+      invalid_arg "Sock: frame exceeds the 64 MiB bound";
+    if src = dest || t.fault <> None then begin
+      (* local delivery and the fault hook both need a real frame *)
+      let frame = Msgbuf.sub w ~off:payload_off ~len:payload_len in
+      charge t payload_len;
+      ship_hooked t ~src ~dest frame
+    end
+    else
+      match conn_to t ~src ~dest with
+      | None -> ()
+      | Some c ->
+          let storage = Msgbuf.unsafe_storage w in
+          put_len storage (payload_off - 4) payload_len;
+          if t.loopback then Atomic.incr t.inflight;
+          Mutex.lock c.wlock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock c.wlock)
+            (fun () ->
+              try write_all c.fd storage (payload_off - 4) (payload_len + 4)
+              with Unix.Unix_error _ ->
+                if t.loopback then Atomic.decr t.inflight;
+                mark_dead t c)
+
+  (* logical-traffic accounting, identical to the sim backend *)
+  let account_send t len =
+    Metrics.incr_msgs_sent t.metrics;
+    Metrics.add_bytes_sent t.metrics len;
+    Metrics.incr_unbatched t.metrics
+
+  let send t ~src ~dest msg =
+    check t src;
+    check t dest;
+    account_send t (Bytes.length msg);
+    ship_hooked t ~src ~dest msg
+
+  let send_writer t ~src ~dest w ~payload_off =
+    check t src;
+    check t dest;
+    account_send t (Msgbuf.length w - payload_off);
+    ship_writer t ~src ~dest w ~payload_off
+
+  (* ---------------------------------------------------------------- *)
+  (* batching (same bookkeeping and accounting as the sim backend)     *)
+  (* ---------------------------------------------------------------- *)
+
+  let enable_batching ?(max_bytes = 4096) t =
+    t.batcher <- Some (Batcher.create ~max_bytes)
+
+  let batching_enabled t = t.batcher <> None
+
+  let flush_group t ~src ~dest msgs bytes =
+    let k = List.length msgs in
+    Metrics.incr_msgs_sent t.metrics;
+    Metrics.add_bytes_sent t.metrics bytes;
+    Metrics.record_batch t.metrics ~msgs:k;
+    (match msgs with
+    | [ m ] -> ship_hooked t ~src ~dest m
+    | _ ->
+        Msgbuf.Pool.with_writer t.pool (fun w ->
+            ignore (Msgbuf.reserve w 4 : int);
+            Protocol.encode_batch_into w msgs;
+            (* one blit per member into the writer *)
+            charge t bytes;
+            ship_writer t ~src ~dest w ~payload_off:4));
+    (dest, k, bytes)
+
+  let flush t ~src =
+    check t src;
+    match t.batcher with
+    | None -> []
+    | Some b ->
+        List.map
+          (fun (dest, msgs, bytes) -> flush_group t ~src ~dest msgs bytes)
+          (Batcher.take b ~src)
+
+  let disable_batching t =
+    (match t.batcher with
+    | None -> ()
+    | Some _ ->
+        for src = 0 to t.n - 1 do
+          if t.eps.(src) <> None then ignore (flush t ~src)
+        done);
+    t.batcher <- None
+
+  let send_buffered t ~src ~dest msg =
+    check t src;
+    check t dest;
+    match t.batcher with
+    | None ->
+        send t ~src ~dest msg;
+        []
+    | Some b -> (
+        match Batcher.add b ~src ~dest msg with
+        | None -> []
+        | Some (msgs, bytes) -> [ flush_group t ~src ~dest msgs bytes ])
+
+  (* ---------------------------------------------------------------- *)
+  (* receive path                                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  let pop ep =
+    Mutex.lock ep.ilock;
+    let m = if Queue.is_empty ep.inbox then None else Some (Queue.pop ep.inbox) in
+    Mutex.unlock ep.ilock;
+    m
+
+  let try_recv_slice t ~self =
+    let ep = hosted t self in
+    match pop ep with
+    | Some m -> Some m
+    | None ->
+        (* under the synchronous fabric the caller polls in a tight
+           loop; on OCaml 5 the event-loop systhread shares this domain,
+           so offer it the runtime lock or deliveries stall a tick *)
+        Thread.yield ();
+        pop ep
+
+  let recv_blocking_slice t ~self =
+    let ep = hosted t self in
+    Mutex.lock ep.ilock;
+    while Queue.is_empty ep.inbox && not t.closed do
+      Condition.wait ep.icond ep.ilock
+    done;
+    if Queue.is_empty ep.inbox then begin
+      Mutex.unlock ep.ilock;
+      failwith "Sock.recv_blocking: transport shut down"
+    end
+    else begin
+      let m = Queue.pop ep.inbox in
+      Mutex.unlock ep.ilock;
+      m
+    end
+
+  let recv_deadline_slice t ~self ~seconds =
+    let ep = hosted t self in
+    match pop ep with
+    | Some m -> Some m
+    | None ->
+        let deadline = Unix.gettimeofday () +. seconds in
+        let rec go () =
+          match pop ep with
+          | Some m -> Some m
+          | None ->
+              if Unix.gettimeofday () >= deadline then None
+              else begin
+                Thread.yield ();
+                if pop ep = None then Unix.sleepf 5e-5;
+                pop ep |> function Some m -> Some m | None -> go ()
+              end
+        in
+        go ()
+
+  (* ---------------------------------------------------------------- *)
+  (* the event loop: accept, read hellos, reassemble frames            *)
+  (* ---------------------------------------------------------------- *)
+
+  let register_conn t c =
+    Mutex.lock t.clock;
+    t.conns.(c.owner).(c.peer) <- Some c;
+    Mutex.unlock t.clock
+
+  let promote t p peer =
+    let c =
+      {
+        fd = p.pfd;
+        owner = p.powner;
+        peer;
+        wlock = Mutex.create ();
+        alive = true;
+        rbuf = Bytes.create 65536;
+        rlen = 0;
+      }
+    in
+    register_conn t c
+
+  let parse_frames t c =
+    let pos = ref 0 in
+    let stop = ref false in
+    while (not !stop) && c.rlen - !pos >= 4 do
+      let len = get_len c.rbuf !pos in
+      if len < 0 || len > max_frame then begin
+        (* garbled stream: there is no resynchronizing a TCP framing
+           error, kill the link *)
+        mark_dead t c;
+        stop := true
+      end
+      else if c.rlen - !pos - 4 < len then stop := true
+      else begin
+        let frame = Bytes.sub c.rbuf (!pos + 4) len in
+        (* the one receive-side snapshot out of the stream buffer *)
+        charge t len;
+        deliver t ~dest:c.owner frame;
+        if t.loopback then Atomic.decr t.inflight;
+        pos := !pos + 4 + len
+      end
+    done;
+    if !pos > 0 then begin
+      Bytes.blit c.rbuf !pos c.rbuf 0 (c.rlen - !pos);
+      c.rlen <- c.rlen - !pos
+    end
+
+  let read_conn t c =
+    if Bytes.length c.rbuf - c.rlen < 65536 then begin
+      let grown = Bytes.create (max (2 * Bytes.length c.rbuf) (c.rlen + 65536)) in
+      Bytes.blit c.rbuf 0 grown 0 c.rlen;
+      c.rbuf <- grown
+    end;
+    match Unix.read c.fd c.rbuf c.rlen (Bytes.length c.rbuf - c.rlen) with
+    | 0 -> mark_dead t c
+    | k ->
+        c.rlen <- c.rlen + k;
+        parse_frames t c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> mark_dead t c
+
+  let read_pending t p =
+    match Unix.read p.pfd p.hello p.hlen (4 - p.hlen) with
+    | 0 ->
+        Mutex.lock t.clock;
+        t.pendings <- List.filter (fun q -> q != p) t.pendings;
+        Mutex.unlock t.clock;
+        (try Unix.close p.pfd with Unix.Unix_error _ -> ())
+    | k ->
+        p.hlen <- p.hlen + k;
+        if p.hlen = 4 then begin
+          let peer = get_len p.hello 0 in
+          Mutex.lock t.clock;
+          t.pendings <- List.filter (fun q -> q != p) t.pendings;
+          Mutex.unlock t.clock;
+          if peer >= 0 && peer < t.n then promote t p peer
+          else try Unix.close p.pfd with Unix.Unix_error _ -> ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> (
+        Mutex.lock t.clock;
+        t.pendings <- List.filter (fun q -> q != p) t.pendings;
+        Mutex.unlock t.clock;
+        try Unix.close p.pfd with Unix.Unix_error _ -> ())
+
+  let accept_on t owner lfd =
+    match Unix.accept lfd with
+    | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        Mutex.lock t.clock;
+        t.pendings <-
+          { pfd = fd; powner = owner; hello = Bytes.create 4; hlen = 0 }
+          :: t.pendings;
+        Mutex.unlock t.clock
+    | exception Unix.Unix_error _ -> ()
+
+  let loop_body t =
+    while not (Atomic.get t.stop) do
+      (* snapshot the fd sets under the lock: registrations from the
+         connecting thread wake us via the pipe to re-snapshot *)
+      Mutex.lock t.clock;
+      let listeners = ref [] and conns = ref [] and pends = ref [] in
+      Array.iteri
+        (fun i ep ->
+          match ep with Some e -> listeners := (i, e.lfd) :: !listeners | None -> ())
+        t.eps;
+      Array.iter
+        (Array.iter (function
+          | Some c when c.alive -> conns := c :: !conns
+          | _ -> ()))
+        t.conns;
+      pends := t.pendings;
+      Mutex.unlock t.clock;
+      let fds =
+        t.wake_r
+        :: List.map snd !listeners
+        @ List.map (fun (c : conn) -> c.fd) !conns
+        @ List.map (fun p -> p.pfd) !pends
+      in
+      match Unix.select fds [] [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* a conn died between snapshot and select; re-snapshot *)
+          Thread.yield ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = t.wake_r then begin
+                let b = Bytes.create 16 in
+                try ignore (Unix.read t.wake_r b 0 16) with _ -> ()
+              end
+              else
+                match List.find_opt (fun (_, l) -> l = fd) !listeners with
+                | Some (owner, lfd) -> accept_on t owner lfd
+                | None -> (
+                    match
+                      List.find_opt (fun (c : conn) -> c.fd = fd) !conns
+                    with
+                    | Some c -> if c.alive then read_conn t c
+                    | None -> (
+                        match
+                          List.find_opt (fun p -> p.pfd = fd) !pends
+                        with
+                        | Some p -> read_pending t p
+                        | None -> ())))
+            ready
+    done
+
+  (* ---------------------------------------------------------------- *)
+  (* everything else in Transport.S                                    *)
+  (* ---------------------------------------------------------------- *)
+
+  let idle t ~self =
+    check t self;
+    (* TCP is the retransmit machinery *)
+    Transport.Raw_transport
+
+  let pending_anywhere t =
+    (not t.loopback)  (* remote state is invisible: stay conservative *)
+    || Atomic.get t.inflight > 0
+    || Array.exists
+         (function
+           | Some ep ->
+               Mutex.lock ep.ilock;
+               let any = not (Queue.is_empty ep.inbox) in
+               Mutex.unlock ep.ilock;
+               any
+           | None -> false)
+         t.eps
+    || (match t.batcher with None -> false | Some b -> Batcher.any b)
+
+  let peer_health t ~self ~peer =
+    check t self;
+    check t peer;
+    t.health.(self).(peer)
+
+  let set_detector _ _ = ()
+  let self_epoch t m = check t m; 0
+  let on_peer_event t f = t.peer_hooks <- t.peer_hooks @ [ f ]
+  let on_process_event t f = t.process_hooks <- t.process_hooks @ [ f ]
+
+  let set_faults _ _ =
+    invalid_arg
+      "Sock.set_faults: seeded fault schedules require the sim transport \
+       (a kernel socket has no simulated physical layer)"
+
+  let clear_faults _ = ()
+  let faults _ = None
+  let set_fault_hook t hook = t.fault <- Some hook
+  let clear_fault_hook t = t.fault <- None
+
+  let shutdown t =
+    Mutex.lock t.clock;
+    let was_closed = t.closed in
+    t.closed <- true;
+    Mutex.unlock t.clock;
+    if not was_closed then begin
+      Atomic.set t.stop true;
+      wake t;
+      Option.iter Thread.join t.loop;
+      t.loop <- None;
+      Mutex.lock t.clock;
+      Array.iter
+        (Array.iter (function
+          | Some c when c.alive ->
+              c.alive <- false;
+              (try Unix.close c.fd with Unix.Unix_error _ -> ())
+          | _ -> ()))
+        t.conns;
+      List.iter
+        (fun p -> try Unix.close p.pfd with Unix.Unix_error _ -> ())
+        t.pendings;
+      t.pendings <- [];
+      Array.iter
+        (function
+          | Some ep -> (
+              (try Unix.close ep.lfd with Unix.Unix_error _ -> ());
+              Mutex.lock ep.ilock;
+              Condition.broadcast ep.icond;
+              Mutex.unlock ep.ilock)
+          | None -> ())
+        t.eps;
+      Mutex.unlock t.clock;
+      (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+      try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+    end
+
+  (* bytes-returning receive wrappers: the shared Transport defaults *)
+  include Transport.Recv_defaults (struct
+    type nonrec t = t
+
+    let metrics = metrics
+    let try_recv_slice = try_recv_slice
+    let recv_blocking_slice = recv_blocking_slice
+    let recv_deadline_slice = recv_deadline_slice
+  end)
+end
+
+include M
+
+let pack (t : M.t) : Transport.t = Transport.pack (module M) t
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let listen_on host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  let actual_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  (fd, actual_port)
+
+let make ~n ~loopback ~hosted_ids ~listeners metrics =
+  let eps = Array.make n None in
+  List.iter2
+    (fun id lfd ->
+      eps.(id) <-
+        Some
+          {
+            M.lfd;
+            inbox = Queue.create ();
+            ilock = Mutex.create ();
+            icond = Condition.create ();
+          })
+    hosted_ids listeners;
+  let wake_r, wake_w = Unix.pipe () in
+  {
+    M.n;
+    loopback;
+    eps;
+    conns = Array.init n (fun _ -> Array.make n None);
+    clock = Mutex.create ();
+    metrics;
+    pool = Msgbuf.Pool.create ~metrics;
+    inflight = Atomic.make 0;
+    batcher = None;
+    fault = None;
+    peer_hooks = [];
+    process_hooks = [];
+    health = Array.init n (fun _ -> Array.make n Transport.Alive);
+    stop = Atomic.make false;
+    loop = None;
+    wake_r;
+    wake_w;
+    pendings = [];
+    closed = false;
+  }
+
+(* higher id initiates: connect [owner] to [peer]'s address, retrying
+   while the peer process boots, and announce ourselves with the
+   4-byte hello *)
+let connect_to t ~owner ~peer host port =
+  let deadline = Unix.gettimeofday () +. mesh_timeout in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENETUNREACH | ETIMEDOUT | EINTR), _, _)
+      when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf connect_retry_every;
+        attempt ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let fd = attempt () in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let hello = Bytes.create 4 in
+  M.put_len hello 0 owner;
+  M.write_all fd hello 0 4;
+  M.register_conn t
+    {
+      M.fd;
+      owner;
+      peer;
+      wlock = Mutex.create ();
+      alive = true;
+      rbuf = Bytes.create 65536;
+      rlen = 0;
+    };
+  M.wake t
+
+let mesh_complete t hosted_ids =
+  List.for_all
+    (fun i ->
+      Array.for_all (fun j -> j = i || t.M.conns.(i).(j) <> None)
+        (Array.init t.M.n Fun.id))
+    hosted_ids
+
+let await_mesh t hosted_ids =
+  let deadline = Unix.gettimeofday () +. mesh_timeout in
+  let rec go () =
+    Mutex.lock t.M.clock;
+    let ok = mesh_complete t hosted_ids in
+    Mutex.unlock t.M.clock;
+    if ok then ()
+    else if Unix.gettimeofday () >= deadline then begin
+      M.shutdown t;
+      failwith "Sock: mesh formation timed out (are all peers running?)"
+    end
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let create_loopback ~n metrics =
+  if n < 1 then invalid_arg "Sock.create_loopback: need at least one machine";
+  let hosted_ids = List.init n Fun.id in
+  let listeners_ports =
+    List.map (fun _ -> listen_on "127.0.0.1" 0) hosted_ids
+  in
+  let t =
+    make ~n ~loopback:true ~hosted_ids
+      ~listeners:(List.map fst listeners_ports)
+      metrics
+  in
+  let ports = Array.of_list (List.map snd listeners_ports) in
+  t.M.loop <- Some (Thread.create M.loop_body t);
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      connect_to t ~owner:i ~peer:j "127.0.0.1" ports.(j)
+    done
+  done;
+  await_mesh t hosted_ids;
+  pack t
+
+let create_process ?listen ~self ~addrs metrics =
+  let n = Array.length addrs in
+  if n < 1 then invalid_arg "Sock.create_process: need at least one machine";
+  if self < 0 || self >= n then
+    invalid_arg (Printf.sprintf "Sock.create_process: bad self id %d" self);
+  let bind_host, bind_port =
+    match listen with Some hp -> hp | None -> addrs.(self)
+  in
+  let lfd, _ = listen_on bind_host bind_port in
+  let t = make ~n ~loopback:false ~hosted_ids:[ self ] ~listeners:[ lfd ] metrics in
+  t.M.loop <- Some (Thread.create M.loop_body t);
+  for j = 0 to self - 1 do
+    let host, port = addrs.(j) in
+    connect_to t ~owner:self ~peer:j host port
+  done;
+  await_mesh t [ self ];
+  pack t

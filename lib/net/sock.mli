@@ -1,0 +1,54 @@
+(** The [Sock] backend: a real Unix/TCP interconnect implementing
+    {!Transport.S}.
+
+    [n] machine endpoints in a full TCP mesh (one connection per
+    unordered pair; the higher id initiates, a 4-byte hello names the
+    connector).  A background event-loop thread multiplexes every
+    hosted socket with [select]: it accepts peers, reassembles the
+    length-prefixed byte stream into frames, splits batch envelopes
+    into slices and queues them on the owning endpoint's inbox, where
+    the slice-receive family picks them up.
+
+    Framing is a 4-byte big-endian length prefix per frame.  The
+    zero-copy send path ships a pooled gapped writer without
+    materializing the frame: the prefix is back-filled into the
+    reserved {!Envelope.gap} immediately before the payload, and the
+    prefix+payload leave in one contiguous [write] — the scatter-gather
+    path the PR 5 writers were shaped for, with the iovec collapsed to
+    a single span because the gap makes header and payload adjacent.
+
+    TCP already delivers reliably and in order, so the backend is
+    raw-like: [is_reliable] is [false], {!Transport.S.idle} returns
+    [Raw_transport], epochs are always 0, and a peer is [Down] exactly
+    when its connection broke.  {!Transport.S.set_faults} raises — the
+    seeded fault schedules exist to exercise the simulated physical
+    layer, which a kernel socket does not expose.
+
+    Two modes:
+    - {e loopback}: all [n] endpoints hosted in this process over
+      127.0.0.1 ephemeral ports — real syscalls, one address space
+      (the [transport_compare] gate and the conformance tests).
+    - {e process}: only [self] is hosted; everything else is a peer
+      address ([--listen]/[--peers] in [rmi-experiments proc]). *)
+
+type t
+
+(** Erase into a first-class transport. *)
+val pack : t -> Transport.t
+
+(** [create_loopback ~n metrics] hosts all [n] endpoints on
+    127.0.0.1 ephemeral ports and blocks until the mesh is complete. *)
+val create_loopback : n:int -> Rmi_stats.Metrics.t -> Transport.t
+
+(** [create_process ~self ~addrs metrics] hosts endpoint [self] of
+    [Array.length addrs] machines; [addrs.(i)] is machine [i]'s
+    [(host, port)].  Binds [addrs.(self)] (or [?listen], e.g. to bind
+    0.0.0.0 behind NAT), connects to every lower id (retrying while
+    peers boot), accepts every higher id, and blocks until the mesh is
+    complete (30 s timeout). *)
+val create_process :
+  ?listen:string * int ->
+  self:int ->
+  addrs:(string * int) array ->
+  Rmi_stats.Metrics.t ->
+  Transport.t

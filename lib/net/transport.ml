@@ -1,0 +1,164 @@
+type idle_outcome =
+  | Retransmitted of int
+  | Waiting
+  | Gave_up of int list
+  | Dead
+  | Raw_transport
+
+type peer_health = Alive | Suspect | Down
+
+type hb_params = { ping_every : int; suspect_after : int; down_after : int }
+
+let default_hb = { ping_every = 8; suspect_after = 16; down_after = 48 }
+
+type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+
+type process_event =
+  | Proc_crashed of { machine : int; durability : Fault_sim.durability }
+  | Proc_restarted of {
+      machine : int;
+      epoch : int;
+      durability : Fault_sim.durability;
+    }
+
+module type RECV_SLICE = sig
+  type t
+
+  val metrics : t -> Rmi_stats.Metrics.t
+  val try_recv_slice : t -> self:int -> (bytes * int * int) option
+  val recv_blocking_slice : t -> self:int -> bytes * int * int
+
+  val recv_deadline_slice :
+    t -> self:int -> seconds:float -> (bytes * int * int) option
+end
+
+(* the one materialize policy: whole frames pass through unchanged (the
+   legacy framing mode keeps its exact pre-slice behavior); a proper
+   sub-slice is snapshotted and the copy charged to [bytes_copied] *)
+module Recv_defaults (B : RECV_SLICE) = struct
+  let materialize t (buf, off, len) =
+    if off = 0 && len = Bytes.length buf then buf
+    else begin
+      Rmi_stats.Metrics.add_bytes_copied (B.metrics t) len;
+      Bytes.sub buf off len
+    end
+
+  let try_recv t ~self = Option.map (materialize t) (B.try_recv_slice t ~self)
+  let recv_blocking t ~self = materialize t (B.recv_blocking_slice t ~self)
+
+  let recv_deadline t ~self ~seconds =
+    Option.map (materialize t) (B.recv_deadline_slice t ~self ~seconds)
+end
+
+module type S = sig
+  type t
+
+  val name : string
+  val size : t -> int
+  val metrics : t -> Rmi_stats.Metrics.t
+  val zero_copy : t -> bool
+  val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
+  val is_reliable : t -> bool
+  val send : t -> src:int -> dest:int -> bytes -> unit
+
+  val send_writer :
+    t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int ->
+    unit
+
+  val enable_batching : ?max_bytes:int -> t -> unit
+  val disable_batching : t -> unit
+  val batching_enabled : t -> bool
+  val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
+  val flush : t -> src:int -> (int * int * int) list
+  val try_recv_slice : t -> self:int -> (bytes * int * int) option
+  val recv_blocking_slice : t -> self:int -> bytes * int * int
+
+  val recv_deadline_slice :
+    t -> self:int -> seconds:float -> (bytes * int * int) option
+
+  val try_recv : t -> self:int -> bytes option
+  val recv_blocking : t -> self:int -> bytes
+  val recv_deadline : t -> self:int -> seconds:float -> bytes option
+  val idle : t -> self:int -> idle_outcome
+  val pending_anywhere : t -> bool
+  val peer_health : t -> self:int -> peer:int -> peer_health
+  val set_detector : t -> hb_params -> unit
+  val self_epoch : t -> int -> int
+  val on_peer_event : t -> (self:int -> peer:int -> peer_event -> unit) -> unit
+  val on_process_event : t -> (process_event -> unit) -> unit
+  val set_faults : t -> Fault_sim.t -> unit
+  val clear_faults : t -> unit
+  val faults : t -> Fault_sim.t option
+
+  val set_fault_hook :
+    t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+
+  val clear_fault_hook : t -> unit
+  val shutdown : t -> unit
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let pack (type a) (m : (module S with type t = a)) (h : a) : t = Packed (m, h)
+let name (Packed ((module M), _)) = M.name
+let size (Packed ((module M), h)) = M.size h
+let metrics (Packed ((module M), h)) = M.metrics h
+let zero_copy (Packed ((module M), h)) = M.zero_copy h
+let pool (Packed ((module M), h)) = M.pool h
+let is_reliable (Packed ((module M), h)) = M.is_reliable h
+let send (Packed ((module M), h)) ~src ~dest msg = M.send h ~src ~dest msg
+
+(* the gap contract lives here, at the signature level: every backend
+   frames in place by back-filling headers/length prefixes before
+   [payload_off], so an unreserved gap is a caller bug regardless of
+   backend *)
+let send_writer (Packed ((module M), h)) ~src ~dest w ~payload_off =
+  if payload_off < Envelope.gap || payload_off > Rmi_wire.Msgbuf.length w then
+    invalid_arg
+      (Printf.sprintf
+         "Transport.send_writer: payload_off %d violates the Envelope.gap \
+          contract (need %d <= payload_off <= %d)"
+         payload_off Envelope.gap
+         (Rmi_wire.Msgbuf.length w));
+  M.send_writer h ~src ~dest w ~payload_off
+
+let enable_batching ?max_bytes (Packed ((module M), h)) =
+  M.enable_batching ?max_bytes h
+
+let disable_batching (Packed ((module M), h)) = M.disable_batching h
+let batching_enabled (Packed ((module M), h)) = M.batching_enabled h
+
+let send_buffered (Packed ((module M), h)) ~src ~dest msg =
+  M.send_buffered h ~src ~dest msg
+
+let flush (Packed ((module M), h)) ~src = M.flush h ~src
+let try_recv_slice (Packed ((module M), h)) ~self = M.try_recv_slice h ~self
+
+let recv_blocking_slice (Packed ((module M), h)) ~self =
+  M.recv_blocking_slice h ~self
+
+let recv_deadline_slice (Packed ((module M), h)) ~self ~seconds =
+  M.recv_deadline_slice h ~self ~seconds
+
+let try_recv (Packed ((module M), h)) ~self = M.try_recv h ~self
+let recv_blocking (Packed ((module M), h)) ~self = M.recv_blocking h ~self
+
+let recv_deadline (Packed ((module M), h)) ~self ~seconds =
+  M.recv_deadline h ~self ~seconds
+
+let idle (Packed ((module M), h)) ~self = M.idle h ~self
+let pending_anywhere (Packed ((module M), h)) = M.pending_anywhere h
+
+let peer_health (Packed ((module M), h)) ~self ~peer =
+  M.peer_health h ~self ~peer
+
+let set_detector (Packed ((module M), h)) hb = M.set_detector h hb
+let self_epoch (Packed ((module M), h)) m = M.self_epoch h m
+let on_peer_event (Packed ((module M), h)) f = M.on_peer_event h f
+let on_process_event (Packed ((module M), h)) f = M.on_process_event h f
+let set_faults (Packed ((module M), h)) sim = M.set_faults h sim
+let clear_faults (Packed ((module M), h)) = M.clear_faults h
+let faults (Packed ((module M), h)) = M.faults h
+let set_fault_hook (Packed ((module M), h)) hook = M.set_fault_hook h hook
+let clear_fault_hook (Packed ((module M), h)) = M.clear_fault_hook h
+let shutdown (Packed ((module M), h)) = M.shutdown h

@@ -1,0 +1,230 @@
+(** The transport signature: everything the runtime layer needs from an
+    interconnect, carved out of the [Cluster] monolith so the simulated
+    fabric and a real socket fabric are interchangeable backends.
+
+    A backend implements {!S} — creation is backend-specific (the
+    simulated {!Cluster} takes a link discipline and a machine count, a
+    {!Sock} fabric takes addresses), so [S] covers an already-created
+    instance: the send family, the slice-receive family, batching, the
+    idle/retransmit clock, fault hooks and peer health.  {!pack} erases
+    the backend into the first-class {!t} that {!Rmi_runtime.Fabric},
+    [Node] and [Dispatch_pool] are written against.
+
+    Backends implement only the {e slice} receive family
+    ([try_recv_slice] / [recv_blocking_slice] / [recv_deadline_slice]);
+    the bytes-returning wrappers are derived once by {!Recv_defaults}
+    with the shared materialize-and-charge semantics, so the two
+    families cannot drift per backend. *)
+
+(** What {!S.idle} did; see {!S.idle}. *)
+type idle_outcome =
+  | Retransmitted of int  (** this many frames were retransmitted *)
+  | Waiting  (** unacked frames exist but none was due yet *)
+  | Gave_up of int list
+      (** these destinations exhausted the retransmit budget; the
+          frames were abandoned and counted as [timeouts] *)
+  | Dead  (** nothing in flight anywhere — waiting cannot succeed *)
+  | Raw_transport
+      (** the backend has no retransmit machinery (the raw simulated
+          path, or a TCP backend whose kernel already guarantees
+          delivery) *)
+
+(** What a machine believes about a peer. *)
+type peer_health = Alive | Suspect | Down
+
+type hb_params = {
+  ping_every : int;     (** ticks between pings to a quiet peer *)
+  suspect_after : int;  (** quiet ticks before Alive -> Suspect *)
+  down_after : int;     (** quiet ticks before Suspect -> Down *)
+}
+
+val default_hb : hb_params
+
+type peer_event = Peer_suspected | Peer_confirmed_down | Peer_recovered
+
+(** Crash-simulator events surfaced to the runtime after the transport
+    has wiped the machine's in-flight state. *)
+type process_event =
+  | Proc_crashed of { machine : int; durability : Fault_sim.durability }
+  | Proc_restarted of {
+      machine : int;
+      epoch : int;
+      durability : Fault_sim.durability;
+    }
+
+(** The slice-receive core a backend must provide; {!Recv_defaults}
+    derives the bytes-returning wrappers from it. *)
+module type RECV_SLICE = sig
+  type t
+
+  val metrics : t -> Rmi_stats.Metrics.t
+  val try_recv_slice : t -> self:int -> (bytes * int * int) option
+  val recv_blocking_slice : t -> self:int -> bytes * int * int
+
+  val recv_deadline_slice :
+    t -> self:int -> seconds:float -> (bytes * int * int) option
+end
+
+(** Derives [try_recv]/[recv_blocking]/[recv_deadline] from the slice
+    family: whole frames pass through unchanged; a proper sub-slice is
+    snapshotted and the copy charged to the [bytes_copied] metric —
+    the one materialize policy every backend shares. *)
+module Recv_defaults (B : RECV_SLICE) : sig
+  val try_recv : B.t -> self:int -> bytes option
+  val recv_blocking : B.t -> self:int -> bytes
+  val recv_deadline : B.t -> self:int -> seconds:float -> bytes option
+end
+
+(** The full transport signature. *)
+module type S = sig
+  type t
+
+  (** Short backend identifier ("sim", "sock") for reports. *)
+  val name : string
+
+  val size : t -> int
+  val metrics : t -> Rmi_stats.Metrics.t
+
+  (** Whether the backend runs the zero-copy wire path (gap-reserved
+      pooled writers framed in place). *)
+  val zero_copy : t -> bool
+
+  (** The shared writer/reader free-list pool. *)
+  val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
+
+  (** Whether {!idle} drives an ARQ whose outcomes the caller must
+      interpret (retransmissions, give-ups). *)
+  val is_reliable : t -> bool
+
+  (** [send t ~src ~dest msg]; self-sends are allowed (loopback).
+      Charges one [msgs_sent] and the payload bytes to the metrics. *)
+  val send : t -> src:int -> dest:int -> bytes -> unit
+
+  (** [send_writer t ~src ~dest w ~payload_off] ships the message
+      sitting in [w.(payload_off..length w)] without materializing it
+      first.  Contract (checked by {!Transport.send_writer}): at least
+      {!Envelope.gap} bytes must have been reserved before
+      [payload_off] — backends frame in place by back-filling headers
+      and length prefixes into that gap.  [w]'s storage is not
+      referenced after the call returns. *)
+  val send_writer :
+    t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int ->
+    unit
+
+  (** {2 Request batching} — semantics as documented in {!Cluster}:
+      one flushed group is one physical frame, one [msgs_sent], the
+      sum of its logical payload bytes. *)
+
+  val enable_batching : ?max_bytes:int -> t -> unit
+  val disable_batching : t -> unit
+  val batching_enabled : t -> bool
+  val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
+  val flush : t -> src:int -> (int * int * int) list
+
+  (** {2 Receive} — messages come back as [(frame, off, len)] slices
+      sharing the received frame bytes. *)
+
+  val try_recv_slice : t -> self:int -> (bytes * int * int) option
+  val recv_blocking_slice : t -> self:int -> bytes * int * int
+
+  val recv_deadline_slice :
+    t -> self:int -> seconds:float -> (bytes * int * int) option
+
+  (** Materializing wrappers (derived via {!Recv_defaults}). *)
+
+  val try_recv : t -> self:int -> bytes option
+  val recv_blocking : t -> self:int -> bytes
+  val recv_deadline : t -> self:int -> seconds:float -> bytes option
+
+  (** Advance the retransmit/failure-detector clock by one tick. *)
+  val idle : t -> self:int -> idle_outcome
+
+  (** Any message pending anywhere this backend can see?  (deadlock
+      diagnostics; a multi-process backend answers conservatively) *)
+  val pending_anywhere : t -> bool
+
+  (** {2 Peer health and fault machinery} *)
+
+  val peer_health : t -> self:int -> peer:int -> peer_health
+  val set_detector : t -> hb_params -> unit
+
+  (** The incarnation number machine [m] currently stamps on frames. *)
+  val self_epoch : t -> int -> int
+
+  val on_peer_event : t -> (self:int -> peer:int -> peer_event -> unit) -> unit
+  val on_process_event : t -> (process_event -> unit) -> unit
+
+  (** Install a seeded fault schedule.  Backends without a simulated
+      physical layer raise [Invalid_argument]. *)
+  val set_faults : t -> Fault_sim.t -> unit
+
+  val clear_faults : t -> unit
+  val faults : t -> Fault_sim.t option
+
+  (** The hook sees every physical frame about to leave and may pass it
+      through, corrupt it, or drop it; metrics still count the original
+      send. *)
+  val set_fault_hook :
+    t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+
+  val clear_fault_hook : t -> unit
+
+  (** Release OS resources (sockets, event-loop threads).  A no-op for
+      in-process backends.  Idempotent; the instance must not be used
+      afterwards. *)
+  val shutdown : t -> unit
+end
+
+(** A transport with its backend erased. *)
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+val pack : (module S with type t = 'a) -> 'a -> t
+
+(** {1 Forwarders} — one per {!S} member, so runtime code reads
+    [Transport.send net ~src ~dest msg] regardless of backend. *)
+
+val name : t -> string
+val size : t -> int
+val metrics : t -> Rmi_stats.Metrics.t
+val zero_copy : t -> bool
+val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
+val is_reliable : t -> bool
+val send : t -> src:int -> dest:int -> bytes -> unit
+
+(** Forwards to the backend after asserting the gap contract: raises
+    [Invalid_argument] unless [Envelope.gap <= payload_off <= length w]
+    — the reservation requirement enforced at the signature level
+    rather than per-backend prose. *)
+val send_writer :
+  t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int -> unit
+
+val enable_batching : ?max_bytes:int -> t -> unit
+val disable_batching : t -> unit
+val batching_enabled : t -> bool
+val send_buffered : t -> src:int -> dest:int -> bytes -> (int * int * int) list
+val flush : t -> src:int -> (int * int * int) list
+val try_recv_slice : t -> self:int -> (bytes * int * int) option
+val recv_blocking_slice : t -> self:int -> bytes * int * int
+
+val recv_deadline_slice :
+  t -> self:int -> seconds:float -> (bytes * int * int) option
+
+val try_recv : t -> self:int -> bytes option
+val recv_blocking : t -> self:int -> bytes
+val recv_deadline : t -> self:int -> seconds:float -> bytes option
+val idle : t -> self:int -> idle_outcome
+val pending_anywhere : t -> bool
+val peer_health : t -> self:int -> peer:int -> peer_health
+val set_detector : t -> hb_params -> unit
+val self_epoch : t -> int -> int
+val on_peer_event : t -> (self:int -> peer:int -> peer_event -> unit) -> unit
+val on_process_event : t -> (process_event -> unit) -> unit
+val set_faults : t -> Fault_sim.t -> unit
+val clear_faults : t -> unit
+val faults : t -> Fault_sim.t option
+
+val set_fault_hook :
+  t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+
+val clear_fault_hook : t -> unit
+val shutdown : t -> unit

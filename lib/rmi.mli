@@ -111,6 +111,12 @@ module Metrics = Rmi_stats.Metrics
 module Ascii_table = Rmi_stats.Ascii_table
 module Costmodel = Rmi_net.Costmodel
 module Fault_sim = Rmi_net.Fault_sim
+
+(** The first-class transport interface ({!Rmi_net.Transport.S}) behind
+    {!Fabric}'s [backend] parameter; {!Fabric.net} exposes a fabric's
+    instance. *)
+module Transport = Rmi_net.Transport
+
 module Experiment = Rmi_harness.Experiment
 module Paper_data = Rmi_harness.Paper_data
 module Cli = Rmi_harness.Cli
@@ -120,6 +126,8 @@ module Cli = Rmi_harness.Cli
     interconnect.  Applications should not need anything in here. *)
 module Internals : sig
   module Cluster = Rmi_net.Cluster
+  module Sim = Rmi_net.Sim
+  module Sock = Rmi_net.Sock
   module Protocol = Rmi_wire.Protocol
   module Msgbuf = Rmi_wire.Msgbuf
   module Codec = Rmi_serial.Codec

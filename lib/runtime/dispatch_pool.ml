@@ -34,7 +34,7 @@ type node_q = {
 }
 
 type t = {
-  cluster : Rmi_net.Cluster.t;
+  net : Rmi_net.Transport.t;
   queues : node_q array;
   n_workers : int;
   queue_depth : int;
@@ -77,7 +77,7 @@ let try_dequeue nq =
    owner worker calls this, so the mailbox stays single-consumer. *)
 let intake_one t nq =
   match
-    Rmi_net.Cluster.try_recv_slice t.cluster ~self:(Node.id nq.node)
+    Rmi_net.Transport.try_recv_slice t.net ~self:(Node.id nq.node)
   with
   | None -> false
   | Some ((buf, off, len) as task) ->
@@ -154,7 +154,7 @@ let worker t w () =
       for i = 0 to n - 1 do
         if i mod t.n_workers = w then
           ignore
-            (Rmi_net.Cluster.idle t.cluster ~self:(Node.id t.queues.(i).node))
+            (Rmi_net.Transport.idle t.net ~self:(Node.id t.queues.(i).node))
       done;
       if Atomic.get t.stopping then stop := true
       else if !idle_rounds < 50 then Domain.cpu_relax ()
@@ -165,7 +165,7 @@ let worker t w () =
     end
   done
 
-let create ~cluster ~nodes ~domains ~queue_depth () =
+let create ~net ~nodes ~domains ~queue_depth () =
   if domains < 1 then invalid_arg "Dispatch_pool.create: domains < 1";
   if queue_depth < 1 then invalid_arg "Dispatch_pool.create: queue_depth < 1";
   if Array.length nodes = 0 then
@@ -184,11 +184,11 @@ let create ~cluster ~nodes ~domains ~queue_depth () =
   in
   let t =
     {
-      cluster;
+      net;
       queues;
       n_workers = domains;
       queue_depth;
-      metrics = Rmi_net.Cluster.metrics cluster;
+      metrics = Rmi_net.Transport.metrics net;
       stopping = Atomic.make false;
       workers = [];
     }

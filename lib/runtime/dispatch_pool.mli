@@ -13,7 +13,7 @@
 
 type t
 
-(** [create ~cluster ~nodes ~domains ~queue_depth ()] spawns [domains]
+(** [create ~net ~nodes ~domains ~queue_depth ()] spawns [domains]
     worker domains serving [nodes] (each node owned by worker
     [index mod domains] for intake, any worker for execution).  The
     caller keeps driving every node NOT in [nodes] — typically the
@@ -22,7 +22,7 @@ type t
     Raises [Invalid_argument] when [domains < 1], [queue_depth < 1] or
     [nodes] is empty. *)
 val create :
-  cluster:Rmi_net.Cluster.t ->
+  net:Rmi_net.Transport.t ->
   nodes:Node.t array ->
   domains:int ->
   queue_depth:int ->

@@ -17,8 +17,8 @@ type placement = {
   mutex : Mutex.t;
 }
 
-let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync) ?(machines = 2)
-    ?faults prog ~entry args =
+let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync)
+    ?(backend = Fabric.Sim) ?(machines = 2) ?faults prog ~entry args =
   let opt = Rmi_core.Optimizer.run prog in
   let meta = Rmi_serial.Class_meta.of_program prog in
   let plans = Hashtbl.create 16 in
@@ -38,8 +38,8 @@ let run ?(config = Config.site_reuse_cycle) ?(mode = Fabric.Sync) ?(machines = 2
              (Rmi_core.Plan_store.source_of_optimizer opt))
   in
   let fabric =
-    Fabric.create ~mode ?faults ?plan_store ~n:machines ~meta ~config ~plans
-      ~metrics ()
+    Fabric.create ~mode ~backend ?faults ?plan_store ~n:machines ~meta ~config
+      ~plans ~metrics ()
   in
   let placement =
     { registry = Registry.create fabric; table = Hashtbl.create 16;

@@ -35,6 +35,7 @@ type result = {
 val run :
   ?config:Config.t ->
   ?mode:Fabric.mode ->
+  ?backend:Fabric.backend ->
   ?machines:int ->
   ?faults:Rmi_net.Fault_sim.t ->
   Jir.Program.t ->

@@ -1,31 +1,52 @@
 type mode = Sync | Parallel
+type backend = Sim | Sock
 
 type t = {
-  cluster : Rmi_net.Cluster.t;
+  net : Rmi_net.Transport.t;
+  sim : Rmi_net.Cluster.t option;
   nodes : Node.t array;
   fmode : mode;
+  proc : bool;  (* process mode: only one machine lives in this OS process *)
   mutable domains : unit Domain.t list;
   mutable pool : Dispatch_pool.t option;
   mutable started : bool;
 }
 
-let create ?(mode = Sync) ?faults ?plan_store ~n ~meta ~config ~plans ~metrics () =
-  let transport =
-    match config.Config.transport with
-    | Config.Raw -> Rmi_net.Cluster.Raw
-    | Config.Reliable -> Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params
+let make_nodes ?plan_store net ~n ~meta ~config ~plans =
+  Array.init n (fun id -> Node.create ?plan_store net ~id ~meta ~config ~plans)
+
+let create ?(mode = Sync) ?(backend = Sim) ?faults ?plan_store ~n ~meta
+    ~config ~plans ~metrics () =
+  let net, sim =
+    match backend with
+    | Sim ->
+        let transport =
+          match config.Config.transport with
+          | Config.Raw -> Rmi_net.Cluster.Raw
+          | Config.Reliable ->
+              Rmi_net.Cluster.Reliable Rmi_net.Cluster.default_params
+        in
+        let cluster =
+          Rmi_net.Cluster.create ~transport ~zero_copy:config.Config.zero_copy
+            ~n metrics
+        in
+        Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
+        (Rmi_net.Sim.pack cluster, Some cluster)
+    | Sock ->
+        if faults <> None then
+          invalid_arg
+            "Fabric.create: seeded fault schedules exercise the simulated \
+             physical layer; use the Sim backend";
+        if config.Config.transport = Config.Reliable then
+          invalid_arg
+            "Fabric.create: the Reliable ARQ layer is Sim-only (TCP already \
+             delivers reliably and in order); use transport Raw with Sock";
+        (Rmi_net.Sock.create_loopback ~n metrics, None)
   in
-  let cluster =
-    Rmi_net.Cluster.create ~transport ~zero_copy:config.Config.zero_copy ~n
-      metrics
-  in
-  if config.Config.batching then Rmi_net.Cluster.enable_batching cluster;
-  Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
-  let nodes =
-    Array.init n (fun id -> Node.create ?plan_store cluster ~id ~meta ~config ~plans)
-  in
+  if config.Config.batching then Rmi_net.Transport.enable_batching net;
+  let nodes = make_nodes ?plan_store net ~n ~meta ~config ~plans in
   let t =
-    { cluster; nodes; fmode = mode; domains = []; pool = None;
+    { net; sim; nodes; fmode = mode; proc = false; domains = []; pool = None;
       started = false }
   in
   (if mode = Sync then
@@ -43,7 +64,22 @@ let create ?(mode = Sync) ?faults ?plan_store ~n ~meta ~config ~plans ~metrics (
        nodes);
   t
 
+let create_process ?listen ?plan_store ~self ~addrs ~meta ~config ~plans
+    ~metrics () =
+  if config.Config.transport = Config.Reliable then
+    invalid_arg
+      "Fabric.create_process: the Reliable ARQ layer is Sim-only; use \
+       transport Raw over sockets";
+  let net = Rmi_net.Sock.create_process ?listen ~self ~addrs metrics in
+  if config.Config.batching then Rmi_net.Transport.enable_batching net;
+  let n = Array.length addrs in
+  let nodes = make_nodes ?plan_store net ~n ~meta ~config ~plans in
+  { net; sim = None; nodes; fmode = Parallel; proc = true; domains = [];
+    pool = None; started = false }
+
 let mode t = t.fmode
+let backend t = match t.sim with Some _ -> Sim | None -> Sock
+let process_mode t = t.proc
 let size t = Array.length t.nodes
 
 let node t i =
@@ -51,14 +87,24 @@ let node t i =
     invalid_arg (Printf.sprintf "Fabric.node: bad machine id %d" i);
   t.nodes.(i)
 
-let metrics t = Rmi_net.Cluster.metrics t.cluster
-let cluster t = t.cluster
+let metrics t = Rmi_net.Transport.metrics t.net
+let net t = t.net
+
+let cluster t =
+  match t.sim with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        "Fabric.cluster: not a Sim-backed fabric (use Fabric.net for the \
+         transport-generic view)"
 
 let start t =
   match t.fmode with
   | Sync -> ()
   | Parallel ->
-      if not t.started then begin
+      (* process mode hosts exactly one machine: there are no sibling
+         nodes in this address space to spawn serve loops for *)
+      if (not t.proc) && not t.started then begin
         t.started <- true;
         let cfg = Node.config t.nodes.(0) in
         if cfg.Config.domains > 0 && Array.length t.nodes > 1 then
@@ -67,7 +113,7 @@ let start t =
              node 0 stays the caller's *)
           t.pool <-
             Some
-              (Dispatch_pool.create ~cluster:t.cluster
+              (Dispatch_pool.create ~net:t.net
                  ~nodes:(Array.sub t.nodes 1 (Array.length t.nodes - 1))
                  ~domains:cfg.Config.domains
                  ~queue_depth:cfg.Config.queue_depth ())
@@ -97,6 +143,8 @@ let stop t =
             List.iter Domain.join t.domains;
             t.domains <- []
       end
+
+let shutdown_net t = Rmi_net.Transport.shutdown t.net
 
 let run t f =
   start t;

@@ -9,9 +9,21 @@
       by tests and by the statistics tables.
     - [Parallel]: machines 1..n-1 are OCaml domains running serve
       loops; machine 0 is the caller's domain.  Real parallelism for
-      wall-clock measurements (the paper's 2-CPU runs). *)
+      wall-clock measurements (the paper's 2-CPU runs).
+
+    Orthogonally, two transport backends (the {!Rmi_net.Transport.S}
+    substitution):
+
+    - [Sim]: the in-process simulated interconnect ({!Rmi_net.Cluster})
+      with its modeled cost accounting, ARQ layer and fault injection.
+    - [Sock]: real Unix/TCP sockets ({!Rmi_net.Sock}).  Within one
+      process this is loopback mode (all [n] endpoints on 127.0.0.1);
+      {!create_process} spreads the machines over OS processes. *)
 
 type mode = Sync | Parallel
+
+(** Which {!Rmi_net.Transport.S} implementation carries the frames. *)
+type backend = Sim | Sock
 
 type t
 
@@ -21,9 +33,17 @@ type t
     (meaningful with the reliable transport; the raw path does not
     recover from loss).  [?plan_store] hands every node the compiler's
     plan cache so adaptive-tier promotions hit it and widened plans
-    survive node restarts (PR 4). *)
+    survive node restarts (PR 4).
+
+    [?backend] (default [Sim]) selects the interconnect.  [Sock] builds
+    a loopback TCP mesh: real syscalls, one address space.  Because TCP
+    already delivers reliably, [Sock] rejects [Config.Reliable] and
+    [?faults] with [Invalid_argument] — those exercise the simulated
+    physical layer.  [Sock] framing is always zero-copy;
+    [config.zero_copy] only affects the node-side codec contexts. *)
 val create :
   ?mode:mode ->
+  ?backend:backend ->
   ?faults:Rmi_net.Fault_sim.t ->
   ?plan_store:Rmi_core.Plan_store.t ->
   n:int ->
@@ -34,21 +54,56 @@ val create :
   unit ->
   t
 
+(** [create_process ~self ~addrs ...] builds the one-machine-per-OS-
+    process variant over TCP ({!Rmi_net.Sock.create_process}): this
+    process hosts machine [self] of [Array.length addrs]; [addrs.(i)]
+    is machine [i]'s [(host, port)].  Blocks until the full mesh is
+    connected.  The returned fabric holds a [Node.t] per machine id so
+    remote refs resolve, but only [node t self] is live here — drive it
+    directly ([Node.serve_loop] on servers, calls on the client);
+    {!start}/{!stop} are no-ops.  Rejects [Config.Reliable]. *)
+val create_process :
+  ?listen:string * int ->
+  ?plan_store:Rmi_core.Plan_store.t ->
+  self:int ->
+  addrs:(string * int) array ->
+  meta:Rmi_serial.Class_meta.t ->
+  config:Config.t ->
+  plans:(int, Rmi_core.Plan.t) Hashtbl.t ->
+  metrics:Rmi_stats.Metrics.t ->
+  unit ->
+  t
+
 val mode : t -> mode
+val backend : t -> backend
+
+(** [true] for fabrics built by {!create_process}. *)
+val process_mode : t -> bool
+
 val size : t -> int
 val node : t -> int -> Node.t
 val metrics : t -> Rmi_stats.Metrics.t
 
-(** The underlying interconnect (for fault installation and transport
-    inspection in tests and tools). *)
+(** The interconnect, backend-agnostic (fault hooks, flushing,
+    shutdown). *)
+val net : t -> Rmi_net.Transport.t
+
+(** The simulated interconnect of a [Sim]-backed fabric (for fault
+    installation and transport inspection in tests and tools).
+    @raise Invalid_argument on a [Sock]-backed fabric — use {!net}. *)
 val cluster : t -> Rmi_net.Cluster.t
 
-(** Start worker domains (no-op in [Sync] mode). *)
+(** Start worker domains (no-op in [Sync] mode and in process mode). *)
 val start : t -> unit
 
-(** Shut workers down and join them (no-op in [Sync] mode).
-    Idempotent. *)
+(** Shut workers down and join them (no-op in [Sync] mode and in
+    process mode).  Idempotent. *)
 val stop : t -> unit
+
+(** Release the transport's OS resources ({!Rmi_net.Transport.shutdown}:
+    sockets, the event-loop thread).  A no-op on [Sim].  Call after
+    {!stop} once the fabric is done. *)
+val shutdown_net : t -> unit
 
 (** [run fabric f] = [start]; [f fabric]; [stop] (also on exception). *)
 val run : t -> (t -> 'a) -> 'a

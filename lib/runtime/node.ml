@@ -54,7 +54,7 @@ type site_tier = {
 }
 
 type t = {
-  cluster : Rmi_net.Cluster.t;
+  net : Rmi_net.Transport.t;
   nid : int;
   meta : Rmi_serial.Class_meta.t;
   cfg : Config.t;
@@ -113,10 +113,10 @@ let reset_caches t =
 let trace_event t event =
   match t.trace with Some tr -> Trace.record tr event | None -> ()
 
-let create ?plan_store cluster ~id ~meta ~config ~plans =
+let create ?plan_store net ~id ~meta ~config ~plans =
   let t =
     {
-      cluster;
+      net;
       nid = id;
       meta;
       cfg = config;
@@ -143,8 +143,8 @@ let create ?plan_store cluster ~id ~meta ~config ~plans =
   (* crash semantics: process memory (reuse caches) always dies with the
      node; the reply cache survives only the Durable variant, which
      models a cache on stable storage *)
-  Rmi_net.Cluster.on_process_event cluster (function
-    | Rmi_net.Cluster.Proc_crashed { machine; durability }
+  Rmi_net.Transport.on_process_event net (function
+    | Rmi_net.Transport.Proc_crashed { machine; durability }
       when machine = t.nid ->
         trace_event t
           (Trace.Crash
@@ -157,18 +157,18 @@ let create ?plan_store cluster ~id ~meta ~config ~plans =
           Hashtbl.reset t.reply_cache;
           Queue.clear t.reply_order
         end
-    | Rmi_net.Cluster.Proc_restarted { machine; epoch; _ }
+    | Rmi_net.Transport.Proc_restarted { machine; epoch; _ }
       when machine = t.nid ->
         trace_event t (Trace.Restart { machine; epoch })
     | _ -> ());
-  Rmi_net.Cluster.on_peer_event cluster (fun ~self ~peer ev ->
+  Rmi_net.Transport.on_peer_event net (fun ~self ~peer ev ->
       if self = t.nid then
         match ev with
-        | Rmi_net.Cluster.Peer_suspected ->
+        | Rmi_net.Transport.Peer_suspected ->
             trace_event t (Trace.Suspect { machine = self; peer })
-        | Rmi_net.Cluster.Peer_confirmed_down ->
+        | Rmi_net.Transport.Peer_confirmed_down ->
             trace_event t (Trace.Peer_down { machine = self; peer })
-        | Rmi_net.Cluster.Peer_recovered -> ());
+        | Rmi_net.Transport.Peer_recovered -> ());
   t
 
 let id t = t.nid
@@ -190,14 +190,14 @@ let find_handler t key =
   Mutex.unlock t.handlers_mutex;
   r
 
-let metrics t = Rmi_net.Cluster.metrics t.cluster
+let metrics t = Rmi_net.Transport.metrics t.net
 
 (* ------------------------------------------------------------------ *)
 (* zero-copy plumbing (PR 5)                                           *)
 (* ------------------------------------------------------------------ *)
 
-let zc t = Rmi_net.Cluster.zero_copy t.cluster
-let node_pool t = Rmi_net.Cluster.pool t.cluster
+let zc t = Rmi_net.Transport.zero_copy t.net
+let node_pool t = Rmi_net.Transport.pool t.net
 let gap = Rmi_net.Envelope.gap
 let charge t n = Metrics.add_bytes_copied (metrics t) n
 
@@ -667,12 +667,12 @@ let unmarshal_ret t cp ~callsite (hdr : Protocol.header) r =
 (* ------------------------------------------------------------------ *)
 
 let send_msg t ~dest payload =
-  if Rmi_net.Cluster.batching_enabled t.cluster then
+  if Rmi_net.Transport.batching_enabled t.net then
     List.iter
       (fun (d, msgs, bytes) ->
         trace_event t (Trace.Batch_flush { machine = t.nid; dest = d; msgs; bytes }))
-      (Rmi_net.Cluster.send_buffered t.cluster ~src:t.nid ~dest payload)
-  else Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest payload
+      (Rmi_net.Transport.send_buffered t.net ~src:t.nid ~dest payload)
+  else Rmi_net.Transport.send t.net ~src:t.nid ~dest payload
 
 (* ship the message sitting in [w] (built by [acquire_msg_writer]).
    [snapshot] is the message already materialized by the caller (the
@@ -682,27 +682,27 @@ let send_msg t ~dest payload =
    ([Cluster.send_writer]); under the raw transport the one snapshot
    doubles as the wire frame. *)
 let send_from_writer t ~dest ?snapshot w =
-  if (not (zc t)) || Rmi_net.Cluster.batching_enabled t.cluster then
+  if (not (zc t)) || Rmi_net.Transport.batching_enabled t.net then
     let msg =
       match snapshot with Some m -> m | None -> msg_of_writer t w
     in
     send_msg t ~dest msg
   else
     match snapshot with
-    | Some msg when not (Rmi_net.Cluster.is_reliable t.cluster) ->
-        Rmi_net.Cluster.send t.cluster ~src:t.nid ~dest msg
+    | Some msg when not (Rmi_net.Transport.is_reliable t.net) ->
+        Rmi_net.Transport.send t.net ~src:t.nid ~dest msg
     | _ ->
-        Rmi_net.Cluster.send_writer t.cluster ~src:t.nid ~dest w
+        Rmi_net.Transport.send_writer t.net ~src:t.nid ~dest w
           ~payload_off:gap
 
 (* ship whatever this machine has coalesced; a no-op when batching is
    off or the buffers are empty *)
 let flush_self t =
-  if Rmi_net.Cluster.batching_enabled t.cluster then
+  if Rmi_net.Transport.batching_enabled t.net then
     List.iter
       (fun (d, msgs, bytes) ->
         trace_event t (Trace.Batch_flush { machine = t.nid; dest = d; msgs; bytes }))
-      (Rmi_net.Cluster.flush t.cluster ~src:t.nid)
+      (Rmi_net.Transport.flush t.net ~src:t.nid)
 
 (* ------------------------------------------------------------------ *)
 (* the outstanding-request table                                       *)
@@ -870,7 +870,7 @@ let serve_request t (hdr : Protocol.header) r =
     (* the reply cache only matters where requests can be retried — the
        reliable transport; the raw paper-table path skips it entirely *)
     let cache_key =
-      if Rmi_net.Cluster.is_reliable t.cluster then
+      if Rmi_net.Transport.is_reliable t.net then
         Some (hdr.src, hdr.epoch, hdr.seq)
       else None
     in
@@ -979,7 +979,7 @@ let consume t msg =
 
 let serve_pending t =
   let rec go served =
-    match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
+    match Rmi_net.Transport.try_recv_slice t.net ~self:t.nid with
     | None -> served
     | Some msg ->
         consume t msg;
@@ -1014,7 +1014,7 @@ let send_reject t (hdr : Protocol.header) =
 let serve_loop t =
   t.shutdown <- false;
   while not t.shutdown do
-    let msg = Rmi_net.Cluster.recv_blocking_slice t.cluster ~self:t.nid in
+    let msg = Rmi_net.Transport.recv_blocking_slice t.net ~self:t.nid in
     consume t msg;
     flush_self t
   done
@@ -1025,7 +1025,7 @@ let send_shutdown t ~dest =
     {
       Protocol.kind = Protocol.Request;
       src = t.nid;
-      epoch = Rmi_net.Cluster.self_epoch t.cluster t.nid;
+      epoch = Rmi_net.Transport.self_epoch t.net t.nid;
       seq = 0;
       target_obj = 0;
       method_id = shutdown_method;
@@ -1077,9 +1077,9 @@ let transport_failed t (q : pending) detail =
     (match Hashtbl.find_opt t.replicas q.pc_primary with
     | Some replica
       when q.pc_dest <> replica
-           && (Rmi_net.Cluster.peer_health t.cluster ~self:t.nid
+           && (Rmi_net.Transport.peer_health t.net ~self:t.nid
                  ~peer:q.pc_dest
-               = Rmi_net.Cluster.Down
+               = Rmi_net.Transport.Down
               || q.pc_attempts > t.cfg.Config.failover.Config.max_call_retries
               ) ->
         Metrics.incr_failovers (metrics t);
@@ -1132,21 +1132,21 @@ let await_pending (p : pending) =
         (* anything we coalesced — including p's own request — must be
            on the wire before we idle-wait for the answer *)
         flush_self t;
-        match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
+        match Rmi_net.Transport.try_recv_slice t.net ~self:t.nid with
         | Some msg ->
             consume t msg;
             loop ()
         | None ->
             if t.has_pump then
               if t.pump () then loop ()
-              else if Rmi_net.Cluster.pending_anywhere t.cluster then loop ()
+              else if Rmi_net.Transport.pending_anywhere t.net then loop ()
               else drive_transport ~quiescent:true
-            else if Rmi_net.Cluster.is_reliable t.cluster then
+            else if Rmi_net.Transport.is_reliable t.net then
               (* parallel mode over the reliable transport: wait in
                  short slices so this machine keeps its retransmit
                  timers running *)
               match
-                Rmi_net.Cluster.recv_deadline_slice t.cluster ~self:t.nid
+                Rmi_net.Transport.recv_deadline_slice t.net ~self:t.nid
                   ~seconds:0.002
               with
               | Some msg ->
@@ -1155,7 +1155,7 @@ let await_pending (p : pending) =
               | None -> drive_transport ~quiescent:false
             else begin
               let msg =
-                Rmi_net.Cluster.recv_blocking_slice t.cluster ~self:t.nid
+                Rmi_net.Transport.recv_blocking_slice t.net ~self:t.nid
               in
               consume t msg;
               loop ()
@@ -1178,8 +1178,8 @@ let await_pending (p : pending) =
       flush_self t;
       loop ()
     in
-    match Rmi_net.Cluster.idle t.cluster ~self:t.nid with
-    | Rmi_net.Cluster.Raw_transport ->
+    match Rmi_net.Transport.idle t.net ~self:t.nid with
+    | Rmi_net.Transport.Raw_transport ->
         if quiescent then begin
           fail_outstanding t (fun _ -> true) (fun q ->
               Deadlock
@@ -1187,19 +1187,19 @@ let await_pending (p : pending) =
           loop ()
         end
         else loop ()
-    | Rmi_net.Cluster.Retransmitted n ->
+    | Rmi_net.Transport.Retransmitted n ->
         dead_rounds := 0;
         trace_event t (Trace.Retry { machine = t.nid; frames = n });
         loop ()
-    | Rmi_net.Cluster.Waiting ->
+    | Rmi_net.Transport.Waiting ->
         dead_rounds := 0;
         loop ()
-    | Rmi_net.Cluster.Gave_up dests ->
+    | Rmi_net.Transport.Gave_up dests ->
         dead_rounds := 0;
         gave_up dests
           (Printf.sprintf "frames to machine(s) %s exhausted their retransmit                           budget"
              (String.concat "," (List.map string_of_int dests)))
-    | Rmi_net.Cluster.Dead ->
+    | Rmi_net.Transport.Dead ->
         (* nothing in flight anywhere yet calls are outstanding: their
            requests (or replies) died with a crashed machine — e.g. an
            amnesia restart that lost an acked-but-unanswered request.
@@ -1227,7 +1227,7 @@ let peek_pending (p : pending) =
   (if is_pending p then begin
      flush_self t;
      let rec drain () =
-       match Rmi_net.Cluster.try_recv_slice t.cluster ~self:t.nid with
+       match Rmi_net.Transport.try_recv_slice t.net ~self:t.nid with
        | Some msg ->
            consume t msg;
            drain ()
@@ -1271,7 +1271,7 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
     {
       Protocol.kind = Protocol.Request;
       src = t.nid;
-      epoch = Rmi_net.Cluster.self_epoch t.cluster t.nid;
+      epoch = Rmi_net.Transport.self_epoch t.net t.nid;
       seq = t.seq;
       target_obj = dest.Remote_ref.obj;
       method_id = meth;

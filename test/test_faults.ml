@@ -49,8 +49,8 @@ let truncated_payload_is_clean_error () =
   let cluster = Rmi_net.Cluster.create ~n:2 metrics in
   (* build nodes directly so the cluster handle stays in reach *)
   let plans = Hashtbl.create 4 in
-  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
-  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  let n0 = Node.create (Rmi_net.Sim.pack cluster) ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create (Rmi_net.Sim.pack cluster) ~id:1 ~meta ~config:Config.class_ ~plans in
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
@@ -81,8 +81,8 @@ let dropped_message_detected_as_deadlock () =
   let metrics = Metrics.create () in
   let cluster = Rmi_net.Cluster.create ~n:2 metrics in
   let plans = Hashtbl.create 4 in
-  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
-  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  let n0 = Node.create (Rmi_net.Sim.pack cluster) ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create (Rmi_net.Sim.pack cluster) ~id:1 ~meta ~config:Config.class_ ~plans in
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
@@ -113,8 +113,8 @@ let reliable_pair () =
       ~n:2 metrics
   in
   let plans = Hashtbl.create 4 in
-  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
-  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  let n0 = Node.create (Rmi_net.Sim.pack cluster) ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create (Rmi_net.Sim.pack cluster) ~id:1 ~meta ~config:Config.class_ ~plans in
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args ->
@@ -201,8 +201,8 @@ let garbage_header_is_ignored () =
   let metrics = Metrics.create () in
   let cluster = Rmi_net.Cluster.create ~n:2 metrics in
   let plans = Hashtbl.create 4 in
-  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
-  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  let n0 = Node.create (Rmi_net.Sim.pack cluster) ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create (Rmi_net.Sim.pack cluster) ~id:1 ~meta ~config:Config.class_ ~plans in
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));

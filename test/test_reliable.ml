@@ -33,8 +33,8 @@ let run_batch ~transport ?sim ids =
   let cluster = Cluster.create ~transport ~n:2 metrics in
   Option.iter (Cluster.set_faults cluster) sim;
   let plans = Hashtbl.create 4 in
-  let n0 = Node.create cluster ~id:0 ~meta ~config:Config.class_ ~plans in
-  let n1 = Node.create cluster ~id:1 ~meta ~config:Config.class_ ~plans in
+  let n0 = Node.create (Rmi_net.Sim.pack cluster) ~id:0 ~meta ~config:Config.class_ ~plans in
+  let n1 = Node.create (Rmi_net.Sim.pack cluster) ~id:1 ~meta ~config:Config.class_ ~plans in
   Node.set_pump n0 (fun () -> Node.serve_pending n1);
   Node.set_pump n1 (fun () -> Node.serve_pending n0);
   let execs : (int, int) Hashtbl.t = Hashtbl.create 16 in

@@ -1,0 +1,195 @@
+(* Transport conformance: the same assertions run against the simulated
+   interconnect (Sim) and the real TCP loopback mesh (Sock) through the
+   backend-erased Transport.t, so the two implementations cannot drift
+   on the contract the runtime layer depends on — FIFO delivery per
+   pair, self-send loopback, the send accounting, the Envelope.gap
+   reservation of send_writer, batch flush bookkeeping and the
+   deadline-receive semantics.  A QCheck property then drives both
+   backends with the same random frame schedule and requires the
+   per-destination receive streams to be equal. *)
+
+open Rmi_net
+module Metrics = Rmi_stats.Metrics
+module Msgbuf = Rmi_wire.Msgbuf
+
+module type BACKEND = sig
+  val label : string
+  val make : n:int -> Metrics.t -> Transport.t
+end
+
+module Sim_backend : BACKEND = struct
+  let label = "sim"
+  let make ~n metrics = Sim.create ~n metrics
+end
+
+module Sock_backend : BACKEND = struct
+  let label = "sock"
+  let make ~n metrics = Sock.create_loopback ~n metrics
+end
+
+(* drive a fresh transport, always releasing its OS resources *)
+let with_backend (module B : BACKEND) n f =
+  let metrics = Metrics.create () in
+  let net = B.make ~n metrics in
+  Fun.protect ~finally:(fun () -> Transport.shutdown net) (fun () -> f net metrics)
+
+(* sock delivery crosses the kernel and the event-loop thread, so every
+   conformance receive waits rather than polls once *)
+let recv_str net ~self =
+  match Transport.recv_deadline net ~self ~seconds:5.0 with
+  | Some m -> Bytes.to_string m
+  | None -> Alcotest.fail "no message within the 5 s conformance deadline"
+
+let drain_empty net ~self =
+  Alcotest.(check bool)
+    "inbox drained" true
+    (Transport.recv_deadline net ~self ~seconds:0.02 = None)
+
+module Conformance (B : BACKEND) = struct
+  let fifo_ordering () =
+    with_backend (module B) 2 @@ fun net _ ->
+    for i = 0 to 15 do
+      Transport.send net ~src:0 ~dest:1
+        (Bytes.of_string (Printf.sprintf "msg-%02d" i))
+    done;
+    for i = 0 to 15 do
+      Alcotest.(check string)
+        "per-pair FIFO"
+        (Printf.sprintf "msg-%02d" i)
+        (recv_str net ~self:1)
+    done;
+    drain_empty net ~self:1
+
+  let self_send () =
+    with_backend (module B) 2 @@ fun net _ ->
+    Transport.send net ~src:1 ~dest:1 (Bytes.of_string "loop");
+    Alcotest.(check string) "self-send delivered" "loop" (recv_str net ~self:1);
+    drain_empty net ~self:1
+
+  let send_accounting () =
+    with_backend (module B) 2 @@ fun net metrics ->
+    Transport.send net ~src:0 ~dest:1 (Bytes.of_string "hello");
+    Transport.send net ~src:0 ~dest:1 (Bytes.of_string "world!!");
+    let s = Metrics.snapshot metrics in
+    Alcotest.(check int) "msgs_sent" 2 s.Metrics.msgs_sent;
+    Alcotest.(check int) "bytes_sent" 12 s.Metrics.bytes_sent;
+    ignore (recv_str net ~self:1);
+    ignore (recv_str net ~self:1)
+
+  let writer_gap_contract () =
+    with_backend (module B) 2 @@ fun net _ ->
+    let payload = Bytes.of_string "framed in place" in
+    Msgbuf.Pool.with_writer (Transport.pool net) (fun w ->
+        ignore (Msgbuf.reserve w Envelope.gap : int);
+        Msgbuf.write_bytes w payload 0 (Bytes.length payload);
+        (* offsets inside the reserved gap, or past the end of the
+           writer, violate the signature-level contract *)
+        (try
+           Transport.send_writer net ~src:0 ~dest:1 w
+             ~payload_off:(Envelope.gap - 1);
+           Alcotest.fail "payload_off inside the gap was accepted"
+         with Invalid_argument _ -> ());
+        (try
+           Transport.send_writer net ~src:0 ~dest:1 w
+             ~payload_off:(Msgbuf.length w + 1);
+           Alcotest.fail "payload_off past the writer was accepted"
+         with Invalid_argument _ -> ());
+        Transport.send_writer net ~src:0 ~dest:1 w ~payload_off:Envelope.gap);
+    Alcotest.(check string)
+      "writer payload delivered" "framed in place" (recv_str net ~self:1);
+    drain_empty net ~self:1
+
+  let batching_flush_accounting () =
+    with_backend (module B) 2 @@ fun net metrics ->
+    Transport.enable_batching net;
+    Alcotest.(check bool) "batching on" true (Transport.batching_enabled net);
+    Alcotest.(check (list (triple int int int)))
+      "first buffered, no flush" []
+      (Transport.send_buffered net ~src:0 ~dest:1 (Bytes.of_string "aaaa"));
+    Alcotest.(check (list (triple int int int)))
+      "second buffered, no flush" []
+      (Transport.send_buffered net ~src:0 ~dest:1 (Bytes.of_string "bbbbbb"));
+    Alcotest.(check (list (triple int int int)))
+      "one group: dest 1, 2 msgs, 10 logical bytes"
+      [ (1, 2, 10) ]
+      (Transport.flush net ~src:0);
+    let s = Metrics.snapshot metrics in
+    Alcotest.(check int) "one physical frame" 1 s.Metrics.msgs_sent;
+    Alcotest.(check int) "sum of logical payloads" 10 s.Metrics.bytes_sent;
+    (* the receiver still sees the two logical messages, in order *)
+    Alcotest.(check string) "first logical" "aaaa" (recv_str net ~self:1);
+    Alcotest.(check string) "second logical" "bbbbbb" (recv_str net ~self:1);
+    drain_empty net ~self:1;
+    Transport.disable_batching net;
+    Alcotest.(check bool) "batching off" false (Transport.batching_enabled net)
+
+  let deadline_recv () =
+    with_backend (module B) 2 @@ fun net _ ->
+    let t0 = Unix.gettimeofday () in
+    Alcotest.(check bool)
+      "empty inbox times out" true
+      (Transport.recv_deadline net ~self:1 ~seconds:0.05 = None);
+    Alcotest.(check bool)
+      "waited for the deadline" true
+      (Unix.gettimeofday () -. t0 >= 0.04);
+    Transport.send net ~src:0 ~dest:1 (Bytes.of_string "late");
+    Alcotest.(check string) "arrival ends the wait" "late" (recv_str net ~self:1)
+
+  let suite =
+    List.map
+      (fun (name, f) -> Alcotest.test_case (B.label ^ ": " ^ name) `Quick f)
+      [
+        ("fifo ordering", fifo_ordering);
+        ("self-send", self_send);
+        ("send accounting", send_accounting);
+        ("send_writer gap contract", writer_gap_contract);
+        ("batching flush accounting", batching_flush_accounting);
+        ("deadline recv", deadline_recv);
+      ]
+end
+
+module Sim_conformance = Conformance (Sim_backend)
+module Sock_conformance = Conformance (Sock_backend)
+
+(* ------------------------------------------------------------------ *)
+(* cross-backend stream equality                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* a random schedule of frames from machine 0 to machines 1 and 2 must
+   produce identical per-destination receive streams on both backends.
+   Payloads carry a leading marker byte so none is accidentally tagged
+   as a batch envelope — a frame whose first byte is the batch code is
+   a garbled batch, which both backends rightly drop. *)
+let schedule_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 40)
+    (QCheck.pair (QCheck.int_range 1 2)
+       (QCheck.map
+          (fun s -> "m" ^ s)
+          (QCheck.string_of_size (QCheck.Gen.int_range 0 63))))
+
+let streams_of (module B : BACKEND) schedule =
+  with_backend (module B) 3 @@ fun net _ ->
+  List.iter
+    (fun (dest, payload) ->
+      Transport.send net ~src:0 ~dest (Bytes.of_string payload))
+    schedule;
+  List.map
+    (fun dest ->
+      let expect =
+        List.length (List.filter (fun (d, _) -> d = dest) schedule)
+      in
+      List.init expect (fun _ -> recv_str net ~self:dest))
+    [ 1; 2 ]
+
+let stream_equality =
+  QCheck.Test.make ~count:25 ~name:"sim and sock deliver equal streams"
+    schedule_gen (fun schedule ->
+      streams_of (module Sim_backend) schedule
+      = streams_of (module Sock_backend) schedule)
+
+let suite =
+  [
+    ( "transport conformance",
+      Sim_conformance.suite @ Sock_conformance.suite
+      @ [ QCheck_alcotest.to_alcotest stream_equality ] );
+  ]
