@@ -16,6 +16,10 @@ module M = struct
     mutable alive : bool;
     mutable rbuf : Bytes.t;  (* stream reassembly *)
     mutable rlen : int;
+    (* loopback: this conn's share of [t.inflight] — frames written to
+       it but not yet parsed out, reclaimed wholesale on [mark_dead] so
+       a dying link cannot leave [pending_anywhere] pinned forever *)
+    cinflight : int Atomic.t;
   }
 
   (* accepted, but the 4-byte hello naming the peer hasn't arrived *)
@@ -110,6 +114,17 @@ module M = struct
   let fire_peer t ~self ~peer ev =
     List.iter (fun f -> f ~self ~peer ev) t.peer_hooks
 
+  (* remove one unit from [c.cinflight] iff it is still positive; a
+     false return means [mark_dead] already reclaimed the whole share *)
+  let inflight_take_back c =
+    let rec go () =
+      let v = Atomic.get c.cinflight in
+      if v <= 0 then false
+      else if Atomic.compare_and_set c.cinflight v (v - 1) then true
+      else go ()
+    in
+    go ()
+
   let mark_dead t c =
     let fire =
       c.alive
@@ -117,6 +132,11 @@ module M = struct
            c.alive <- false;
            (try Unix.close c.fd with Unix.Unix_error _ -> ());
            t.health.(c.owner).(c.peer) <- Transport.Down;
+           (* frames written to this link but never parsed out are gone;
+              return them so quiescence fails fast instead of spinning *)
+           let residue = Atomic.exchange c.cinflight 0 in
+           if residue > 0 then
+             ignore (Atomic.fetch_and_add t.inflight (-residue) : int);
            true
          end
     in
@@ -154,12 +174,17 @@ module M = struct
 
   (* one physical frame, already materialized *)
   let ship_frame t ~src ~dest frame =
+    if Bytes.length frame > max_frame then
+      invalid_arg "Sock: frame exceeds the 64 MiB bound";
     if src = dest then deliver t ~dest frame
     else
       match conn_to t ~src ~dest with
       | None -> ()
       | Some c ->
-          if t.loopback then Atomic.incr t.inflight;
+          if t.loopback then begin
+            Atomic.incr t.inflight;
+            Atomic.incr c.cinflight
+          end;
           Mutex.lock c.wlock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock c.wlock)
@@ -171,7 +196,8 @@ module M = struct
                 write_all c.fd hdr 0 4;
                 write_all c.fd frame 0 len
               with Unix.Unix_error _ ->
-                if t.loopback then Atomic.decr t.inflight;
+                if t.loopback && inflight_take_back c then
+                  Atomic.decr t.inflight;
                 mark_dead t c)
 
   let ship_hooked t ~src ~dest frame =
@@ -204,14 +230,18 @@ module M = struct
       | Some c ->
           let storage = Msgbuf.unsafe_storage w in
           put_len storage (payload_off - 4) payload_len;
-          if t.loopback then Atomic.incr t.inflight;
+          if t.loopback then begin
+            Atomic.incr t.inflight;
+            Atomic.incr c.cinflight
+          end;
           Mutex.lock c.wlock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock c.wlock)
             (fun () ->
               try write_all c.fd storage (payload_off - 4) (payload_len + 4)
               with Unix.Unix_error _ ->
-                if t.loopback then Atomic.decr t.inflight;
+                if t.loopback && inflight_take_back c then
+                  Atomic.decr t.inflight;
                 mark_dead t c)
 
   (* logical-traffic accounting, identical to the sim backend *)
@@ -337,8 +367,13 @@ module M = struct
               if Unix.gettimeofday () >= deadline then None
               else begin
                 Thread.yield ();
-                if pop ep = None then Unix.sleepf 5e-5;
-                pop ep |> function Some m -> Some m | None -> go ()
+                (* bind every pop exactly once: a message dequeued here
+                   must be returned, never compared away *)
+                match pop ep with
+                | Some m -> Some m
+                | None ->
+                    Unix.sleepf 5e-5;
+                    go ()
               end
         in
         go ()
@@ -362,6 +397,7 @@ module M = struct
         alive = true;
         rbuf = Bytes.create 65536;
         rlen = 0;
+        cinflight = Atomic.make 0;
       }
     in
     register_conn t c
@@ -383,7 +419,7 @@ module M = struct
         (* the one receive-side snapshot out of the stream buffer *)
         charge t len;
         deliver t ~dest:c.owner frame;
-        if t.loopback then Atomic.decr t.inflight;
+        if t.loopback && inflight_take_back c then Atomic.decr t.inflight;
         pos := !pos + 4 + len
       end
     done;
@@ -673,6 +709,7 @@ let connect_to t ~owner ~peer host port =
       alive = true;
       rbuf = Bytes.create 65536;
       rlen = 0;
+      cinflight = Atomic.make 0;
     };
   M.wake t
 
@@ -701,8 +738,21 @@ let await_mesh t hosted_ids =
   in
   go ()
 
+(* the event loop multiplexes with [Unix.select], which is bounded by
+   FD_SETSIZE (1024 on Linux).  A loopback mesh watches the wake pipe,
+   n listeners, n(n-1) conn fds (both ends of every link are hosted
+   here) and up to n(n-1)/2 pending accepts during formation:
+   1 + 26 + 26*25 + 26*25/2 = 1002 fits, n = 27 does not. *)
+let max_loopback_machines = 26
+
 let create_loopback ~n metrics =
   if n < 1 then invalid_arg "Sock.create_loopback: need at least one machine";
+  if n > max_loopback_machines then
+    invalid_arg
+      (Printf.sprintf
+         "Sock.create_loopback: a %d-machine mesh needs more descriptors \
+          than select's FD_SETSIZE allows (max %d machines per process)"
+         n max_loopback_machines);
   let hosted_ids = List.init n Fun.id in
   let listeners_ports =
     List.map (fun _ -> listen_on "127.0.0.1" 0) hosted_ids

@@ -98,6 +98,8 @@ and pending = {
   mutable pc_request : bytes;
   (* the encoded request, kept for RPC retries *)
   mutable pc_attempts : int;
+  (* consecutive admission-control rejects, drives resend backoff *)
+  mutable pc_rejects : int;
   mutable pc_state : pending_state;
 }
 
@@ -817,10 +819,19 @@ let handle_reply t (hdr : Protocol.header) r =
                    t.nid p.pc_seq p.pc_dest)))
       end
       else begin
-        (* brief pause so a saturated server can drain before the
-           retry; without a pump the client is the only local runner,
-           so yielding the domain is all the backoff available *)
-        if not t.has_pump then Unix.sleepf 0.0002;
+        (* pause so a saturated server can drain before the retry;
+           without a pump the client is the only local runner, so
+           sleeping the domain is all the backoff available.  The pause
+           doubles per consecutive reject (capped) — a fixed interval
+           turns a persistently saturated server into a reject/resend
+           hot loop that amplifies the very load that caused it *)
+        p.pc_rejects <- p.pc_rejects + 1;
+        if not t.has_pump then begin
+          let pause =
+            0.0002 *. float_of_int (1 lsl min (p.pc_rejects - 1) 6)
+          in
+          Unix.sleepf pause
+        end;
         send_msg t ~dest:p.pc_dest p.pc_request
       end
   | Some p ->
@@ -1297,6 +1308,7 @@ let call_async ?deadline t ~(dest : Remote_ref.t) ~meth ~callsite ~has_ret
       pc_deadline = started +. budget;
       pc_request = Bytes.empty;
       pc_attempts = 1;
+      pc_rejects = 0;
       pc_state = Pending;
     }
   in

@@ -135,6 +135,30 @@ module Conformance (B : BACKEND) = struct
     Transport.send net ~src:0 ~dest:1 (Bytes.of_string "late");
     Alcotest.(check string) "arrival ends the wait" "late" (recv_str net ~self:1)
 
+  (* regression: a message landing between recv_deadline's internal
+     polls must be returned, never dequeued into a discarded comparison.
+     The stagger sweeps the send across the receiver's poll cycle so
+     some iterations hit every window. *)
+  let deadline_recv_race () =
+    with_backend (module B) 2 @@ fun net _ ->
+    for i = 0 to 199 do
+      let expected = Printf.sprintf "race-%03d" i in
+      let sender =
+        Thread.create
+          (fun () ->
+            Unix.sleepf (float_of_int (i mod 20) *. 1e-5);
+            Transport.send net ~src:0 ~dest:1 (Bytes.of_string expected))
+          ()
+      in
+      (match Transport.recv_deadline net ~self:1 ~seconds:5.0 with
+      | Some m ->
+          Alcotest.(check string)
+            "raced arrival returned" expected (Bytes.to_string m)
+      | None -> Alcotest.fail ("raced arrival dropped: " ^ expected));
+      Thread.join sender
+    done;
+    drain_empty net ~self:1
+
   let suite =
     List.map
       (fun (name, f) -> Alcotest.test_case (B.label ^ ": " ^ name) `Quick f)
@@ -145,6 +169,7 @@ module Conformance (B : BACKEND) = struct
         ("send_writer gap contract", writer_gap_contract);
         ("batching flush accounting", batching_flush_accounting);
         ("deadline recv", deadline_recv);
+        ("deadline recv races arrival", deadline_recv_race);
       ]
 end
 
