@@ -358,6 +358,58 @@ let transport_cmd =
           socket-smoke job gates on this.")
     Term.(const run $ t_calls_arg $ t_window_arg $ t_seed_arg $ json_arg)
 
+let chaos_cmd =
+  let sweep_arg =
+    Arg.(
+      value
+      & opt int 300
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:
+            "How many seeds the durable exactly-once sweep covers (each is \
+             one full chaos run over a fresh loopback mesh).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the gate verdicts and the durable run's reply \
+             digest as JSON to $(docv) (the CI socket-chaos artifact).")
+  in
+  let run seed calls window sweep json =
+    let r = E.chaos_compare ~seed ~calls ~window ~sweep () in
+    print_endline (E.render_chaos r);
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (E.chaos_json r);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    if not (E.chaos_ok r) then begin
+      prerr_endline
+        "chaos: exactly-once broke over the socket transport, or the \
+         seeded schedule failed to replay identically";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the crash workload over real loopback TCP under a seeded \
+          chaos injector (frame drops/duplicates/holds/corruption, \
+          connection severs, endpoint stalls and a durable kill/restart) \
+          with the reliable envelope layer stacked over the sockets.  \
+          Exits nonzero unless the durable run is exactly-once, the \
+          same-seed rerun replays the identical reply stream, the chaos \
+          schedule matches the bare fault-simulator schedule \
+          byte-for-byte, and every seed of the $(b,--sweep) matrix \
+          upholds exactly-once — the CI socket-chaos job gates on this.")
+    Term.(
+      const run $ Cli.seed_arg $ Cli.calls_arg $ Cli.window_arg $ sweep_arg
+      $ json_arg)
+
 let proc_cmd =
   let p_calls_arg =
     Arg.(
@@ -373,13 +425,36 @@ let proc_cmd =
       & info [ "window" ] ~docv:"N"
           ~doc:"Pipelining depth of the client.")
   in
-  let run self listen peers calls window =
+  let p_reliable_arg =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:
+            "Stack the reliable envelope layer (acks, retransmission, \
+             epoch fencing) over the TCP links and arm the RPC retry \
+             budget.  Every process of the cluster must agree.  With it \
+             the cluster rides through a server kill: restart the victim \
+             with a bumped $(b,--epoch) and the client completes.")
+  in
+  let p_epoch_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "epoch" ] ~docv:"K"
+          ~doc:
+            "Incarnation number this process stamps on its frames \
+             (default 0).  Restart a killed server with a higher value \
+             so peers fence its previous life's frames.")
+  in
+  let run self listen peers calls window reliable epoch =
     if peers = [] then begin
       prerr_endline "proc: --peers HOST:PORT,... is required";
       exit 1
     end;
     let addrs = Array.of_list peers in
-    match E.transport_proc ~calls ~window ?listen ~self ~addrs () with
+    match
+      E.transport_proc ~calls ~window ~reliable ~epoch ?listen ~self ~addrs ()
+    with
     | None -> ()
     | Some runs -> print_endline (E.render_proc runs)
   in
@@ -395,7 +470,7 @@ let proc_cmd =
           README.md for a three-process quickstart.")
     Term.(
       const run $ Cli.self_arg $ Cli.listen_arg $ Cli.peers_arg $ p_calls_arg
-      $ p_window_arg)
+      $ p_window_arg $ p_reliable_arg $ p_epoch_arg)
 
 let report_cmd =
   let run () =
@@ -555,7 +630,7 @@ let trace_cmd =
 let run_cmd =
   let run file entry machines config mode backend faults batch tier
       hot_threshold =
-    (match Cli.check_transport ~backend faults with
+    (match Cli.check_transport ~backend ~mode faults with
     | Ok () -> ()
     | Error msg ->
         prerr_endline msg;
@@ -637,6 +712,7 @@ let cmds =
     all_cmd;
     pipeline_cmd;
     crash_cmd;
+    chaos_cmd;
     tiers_cmd;
     wirecost_cmd;
     load_cmd;

@@ -226,8 +226,9 @@ let transport_arg =
           "Interconnect backend: $(b,sim) is the in-process simulated \
            cluster with its Myrinet-era cost accounting, $(b,sock) a real \
            TCP loopback mesh (one socket pair per machine pair, real \
-           syscalls).  $(b,sock) rejects $(b,--faults) and the reliable \
-           transport: those exercise the simulated physical layer.")
+           syscalls).  $(b,--faults) composes with both: over $(b,sock) \
+           the seeded schedule drives the chaos injector on real frames \
+           and the reliable ARQ layer is stacked over the sockets.")
 
 (* "host:port"; the port is mandatory, the host may be a name *)
 let addr_conv =
@@ -276,11 +277,11 @@ let self_arg =
           "This process's machine id (an index into $(b,--peers)).  \
            Machine 0 drives the workload; higher ids serve.")
 
-let check_transport ~backend faults =
-  match (backend, faults) with
-  | Fabric.Sock, Some _ ->
+let check_transport ~backend ~mode faults =
+  match (backend, mode, faults) with
+  | Fabric.Sock, Fabric.Parallel, Some _ ->
       Error
-        "--faults needs --transport sim: seeded fault schedules exercise \
-         the simulated physical layer, which a kernel socket does not \
-         expose"
+        "--faults with --transport sock needs --mode sync: the chaos \
+         injector drains its seeded connection plan on the driving \
+         thread, which parallel worker domains would race"
   | _ -> Ok ()

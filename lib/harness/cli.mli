@@ -109,9 +109,12 @@ val peers_arg : (string * int) list Term.t
 (** [--self ID]: this process's machine id, default 0 (the driver). *)
 val self_arg : int Term.t
 
-(** Reject combinations the socket backend cannot honour (currently
-    [--faults], which needs the simulated physical layer). *)
+(** Reject combinations the socket backend cannot honour.  [--faults]
+    now composes with [--transport sock] (the schedule drives the
+    {!Rmi_net.Chaos} injector over real frames), but only under
+    [--mode sync]; the error message names the offending flags. *)
 val check_transport :
   backend:Rmi_runtime.Fabric.backend ->
+  mode:Rmi_runtime.Fabric.mode ->
   (int * Rmi_net.Fault_sim.profile) option ->
   (unit, string) result

@@ -5,6 +5,7 @@ module Remote_ref = Rmi_runtime.Remote_ref
 module Metrics = Rmi_stats.Metrics
 module Costmodel = Rmi_net.Costmodel
 module Fault_sim = Rmi_net.Fault_sim
+module Chaos = Rmi_net.Chaos
 module Value = Rmi_serial.Value
 module Plan = Rmi_core.Plan
 
@@ -348,10 +349,16 @@ let crash_box v =
 let m_echo = 1
 
 (* [calls] pipelined echo RMIs from machine 0 to machine 1 over the
-   reliable transport, optionally under a crash schedule.  Returns the
+   reliable transport, optionally under a crash schedule ([?sim] on
+   the simulated backend, [?chaos] over real sockets).  Returns the
    reply checksum, how often the handler actually ran (exactly-once
-   evidence) and how many calls failed despite retries. *)
-let run_crash_variant ?sim ~calls ~window () =
+   evidence) and how many calls failed despite retries.  [?record] is
+   called with the boxed value on every handler execution (per-value
+   exactly-once evidence — the checksum alone cannot distinguish a
+   re-execution of an idempotent echo); [?replies] accumulates the
+   issue-order reply stream for byte-identical replay comparison. *)
+let run_crash_variant ?sim ?chaos ?(backend = Fabric.Sim)
+    ?(record = fun _ -> ()) ?replies ~calls ~window () =
   let metrics = Metrics.create () in
   let config =
     (* a restart outage can outlast one transport budget; give the RPC
@@ -361,7 +368,7 @@ let run_crash_variant ?sim ~calls ~window () =
       (Config.with_reliable Config.class_)
   in
   let fabric =
-    Fabric.create ~mode:Fabric.Sync ?faults:sim ~n:2
+    Fabric.create ~mode:Fabric.Sync ~backend ?faults:sim ?chaos ~n:2
       ~meta:(Lazy.force crash_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
       ()
   in
@@ -372,7 +379,9 @@ let run_crash_variant ?sim ~calls ~window () =
       match args.(0) with
       | Value.Obj o -> (
           match o.Value.fields.(0) with
-          | Value.Int v -> Some (Value.Int (v + 1))
+          | Value.Int v ->
+              record v;
+              Some (Value.Int (v + 1))
           | _ -> failwith "bad box")
       | _ -> failwith "bad arg");
   let caller = Fabric.node fabric 0 in
@@ -387,16 +396,28 @@ let run_crash_variant ?sim ~calls ~window () =
               Node.call_async caller ~dest ~meth:m_echo ~callsite:1
                 ~has_ret:true [| crash_box (!i + j) |])
         in
-        List.iter
-          (fun f ->
+        List.iteri
+          (fun j f ->
+            let note s =
+              Option.iter
+                (fun b ->
+                  Buffer.add_string b (Printf.sprintf "%d:%s;" (!i + j) s))
+                replies
+            in
             match Node.Future.await f with
-            | Some (Value.Int v) -> sum := !sum + v
-            | Some _ | None -> incr failed
+            | Some (Value.Int v) ->
+                sum := !sum + v;
+                note (string_of_int v)
+            | Some _ | None ->
+                incr failed;
+                note "fail"
             | exception (Node.Rpc_timeout _ | Node.Peer_down _) ->
-                incr failed)
+                incr failed;
+                note "fail")
           futures;
         i := !i + k
       done);
+  Fabric.shutdown_net fabric;
   (Metrics.snapshot metrics, !sum, !execs, !failed)
 
 (* the same workload three ways: fault-free, under a seeded durable
@@ -485,6 +506,213 @@ let render_crash (r : crash_report) =
   Printf.sprintf "%s\n%s\nseeded replay byte-identical: %s" r.c_title
     (Rmi_stats.Ascii_table.render ~headers rows)
     (if r.c_replay_equal then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
+(* chaos: the crash workloads over real TCP (PR 8)                     *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_report = {
+  h_title : string;
+  h_rows : crash_row list;
+  h_digest : string;
+  h_replay_equal : bool;
+  h_parity_equal : bool;
+  h_sweep_seeds : int;
+  h_sweep_failed : int list;
+}
+
+(* the full injector one seed buys: a moderately lossy link schedule, a
+   seeded durable (or amnesiac) kill/restart and a seeded connection
+   plan of TCP severs and endpoint stalls, all on one frame clock *)
+let chaos_injector ~seed durability =
+  let n = 2 in
+  let fs = Fault_sim.create ~seed ~n Fault_sim.default_lossy in
+  Fault_sim.set_crash_plan fs
+    (Fault_sim.seeded_crash_plan ~seed ~n ~crashes:1 ~durability ());
+  Chaos.of_fault_sim ~n ~plan:(Chaos.seeded_plan ~seed ~n ()) fs
+
+(* the durable exactly-once property over real sockets, one seed: no
+   call failed, the reply checksum is the closed form
+   [calls * (calls + 3) / 2], the handler ran exactly [calls] times
+   and no boxed value executed twice.  The chaos gate sweeps this over
+   a seed range; test/test_chaos.ml drives it as a QCheck property. *)
+let chaos_exactly_once ?(calls = 24) ?(window = 6) ~seed () =
+  let counts = Hashtbl.create 64 in
+  let record v =
+    Hashtbl.replace counts v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  in
+  let _, sum, execs, failed =
+    run_crash_variant ~backend:Fabric.Sock
+      ~chaos:(chaos_injector ~seed Fault_sim.Durable)
+      ~record ~calls ~window ()
+  in
+  failed = 0
+  && sum = calls * (calls + 3) / 2
+  && execs = calls
+  && Hashtbl.length counts = calls
+  && Hashtbl.fold (fun _ c ok -> ok && c = 1) counts true
+
+(* the PR 3 crash comparison lifted onto the socket transport: the
+   echo workload fault-free over loopback TCP, under a seeded chaos
+   injector with a durable victim (exactly-once must survive injected
+   loss, severed connections, stalls and the kill/restart), under the
+   same schedule with an amnesiac victim (checksum must still match —
+   the echo is idempotent), plus the determinism gates: the durable
+   run replayed from its seed must produce the identical issue-order
+   reply stream, the chaos frame schedule must be byte-identical to
+   the bare [Fault_sim] schedule on a synthetic parity run, and every
+   seed of [sweep] must pass {!chaos_exactly_once}. *)
+let chaos_compare ?(seed = 42) ?(calls = 80) ?(window = 8) ?(sweep = 300) () =
+  let base_stats, base_sum, base_execs, base_failed =
+    run_crash_variant ~backend:Fabric.Sock ~calls ~window ()
+  in
+  let rep1 = Buffer.create 1024 and rep2 = Buffer.create 1024 in
+  let d_stats, d_sum, d_execs, d_failed =
+    run_crash_variant ~backend:Fabric.Sock
+      ~chaos:(chaos_injector ~seed Fault_sim.Durable)
+      ~replies:rep1 ~calls ~window ()
+  in
+  let _, d_sum2, _, _ =
+    run_crash_variant ~backend:Fabric.Sock
+      ~chaos:(chaos_injector ~seed Fault_sim.Durable)
+      ~replies:rep2 ~calls ~window ()
+  in
+  let a_stats, a_sum, a_execs, a_failed =
+    run_crash_variant ~backend:Fabric.Sock
+      ~chaos:(chaos_injector ~seed Fault_sim.Amnesia)
+      ~calls ~window ()
+  in
+  let parity_equal =
+    let chaos_digest, bare_digest =
+      Chaos.sim_parity ~seed ~n:2 ~frames:400 ()
+    in
+    String.equal chaos_digest bare_digest
+  in
+  let sweep_failed = ref [] in
+  for i = 0 to sweep - 1 do
+    let s = (seed * 1000) + i in
+    if not (chaos_exactly_once ~seed:s ()) then
+      sweep_failed := s :: !sweep_failed
+  done;
+  let row variant (stats, sum, execs, failed) =
+    {
+      c_variant = variant;
+      c_stats = stats;
+      c_checksum = sum;
+      c_executions = execs;
+      c_failed = failed;
+      c_ok = sum = base_sum && failed = 0;
+    }
+  in
+  {
+    h_title =
+      Printf.sprintf
+        "chaos over loopback TCP: %d echo calls, window %d, seed %d, %d-seed \
+         sweep"
+        calls window seed sweep;
+    h_rows =
+      [
+        row "fault-free" (base_stats, base_sum, base_execs, base_failed);
+        row "durable chaos" (d_stats, d_sum, d_execs, d_failed);
+        row "amnesia chaos" (a_stats, a_sum, a_execs, a_failed);
+      ];
+    h_digest = Digest.to_hex (Digest.string (Buffer.contents rep1));
+    h_replay_equal =
+      String.equal (Buffer.contents rep1) (Buffer.contents rep2)
+      && d_sum = d_sum2;
+    h_parity_equal = parity_equal;
+    h_sweep_seeds = sweep;
+    h_sweep_failed = List.rev !sweep_failed;
+  }
+
+let chaos_ok (r : chaos_report) =
+  match r.h_rows with
+  | base :: (durable :: _ as faulted) ->
+      List.for_all (fun row -> row.c_ok) (base :: faulted)
+      (* exactly-once under the durable injector: the handler ran
+         precisely as often as in the fault-free baseline *)
+      && durable.c_executions = base.c_executions
+      && r.h_replay_equal && r.h_parity_equal && r.h_sweep_failed = []
+  | _ -> false
+
+let render_chaos (r : chaos_report) =
+  let headers =
+    [
+      "variant"; "checksum"; "failed"; "handler execs"; "crashes"; "restarts";
+      "rpc retries"; "arq retries"; "dup drops"; "stale drops";
+    ]
+  in
+  let base =
+    match r.h_rows with row :: _ -> Some row.c_checksum | [] -> None
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let ok =
+          match base with
+          | Some c -> if c = row.c_checksum then "" else "  MISMATCH"
+          | None -> ""
+        in
+        [
+          row.c_variant;
+          Printf.sprintf "%d%s" row.c_checksum ok;
+          string_of_int row.c_failed;
+          string_of_int row.c_executions;
+          string_of_int row.c_stats.Metrics.crashes;
+          string_of_int row.c_stats.Metrics.restarts;
+          string_of_int row.c_stats.Metrics.call_retries;
+          string_of_int row.c_stats.Metrics.retries;
+          string_of_int row.c_stats.Metrics.dup_drops;
+          string_of_int row.c_stats.Metrics.stale_drops;
+        ])
+      r.h_rows
+  in
+  Printf.sprintf
+    "%s\n%s\nsame-seed replay byte-identical: %s\nchaos/sim schedule parity: \
+     %s\nexactly-once sweep: %d/%d seeds%s"
+    r.h_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.h_replay_equal then "yes" else "NO")
+    (if r.h_parity_equal then "identical" else "DIVERGED")
+    (r.h_sweep_seeds - List.length r.h_sweep_failed)
+    r.h_sweep_seeds
+    (match r.h_sweep_failed with
+    | [] -> ""
+    | l ->
+        "  FAILED: "
+        ^ String.concat "," (List.map string_of_int l))
+
+(* the CI socket-chaos artifact: gate verdicts plus the per-variant
+   rows and the durable run's reply digest *)
+let chaos_json (r : chaos_report) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"title\": %S,\n  \"ok\": %b,\n  \"replay_equal\": %b,\n  \
+        \"parity_equal\": %b,\n  \"digest\": %S,\n  \"sweep_seeds\": %d,\n  \
+        \"sweep_failed\": [%s],\n"
+       r.h_title (chaos_ok r) r.h_replay_equal r.h_parity_equal r.h_digest
+       r.h_sweep_seeds
+       (String.concat ", " (List.map string_of_int r.h_sweep_failed)));
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"variant\": %S, \"checksum\": %d, \"failed\": %d, \
+            \"executions\": %d, \"crashes\": %d, \"restarts\": %d, \
+            \"arq_retries\": %d, \"dup_drops\": %d, \"stale_drops\": %d, \
+            \"ok\": %b}"
+           row.c_variant row.c_checksum row.c_failed row.c_executions
+           row.c_stats.Metrics.crashes row.c_stats.Metrics.restarts
+           row.c_stats.Metrics.retries row.c_stats.Metrics.dup_drops
+           row.c_stats.Metrics.stale_drops row.c_ok))
+    r.h_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* tier comparison: generic vs AOT vs adaptive                         *)
@@ -861,7 +1089,7 @@ let run_wire_run ~config ?faults ~window ~calls (ww : wire_workload) =
   Rmi_net.Transport.set_fault_hook (Fabric.net fabric)
     (fun ~src:_ ~dest:_ frame ->
       digest := Digest.string (!digest ^ Digest.bytes frame);
-      Some frame);
+      [ frame ]);
   Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_wire ~has_ret:true
     ww.ww_handler;
   let caller = Fabric.node fabric 0 in
@@ -1637,15 +1865,26 @@ type proc_run = {
    RMIs per workload round-robin across the servers and returns the
    issue-order digests.  Method/callsite ids are 1 + workload index so
    both workloads coexist on one mesh. *)
-let transport_proc ?(calls = 64) ?(window = 8) ?listen ~self ~addrs () =
+let transport_proc ?(calls = 64) ?(window = 8) ?(reliable = false) ?epoch
+    ?listen ~self ~addrs () =
   let n = Array.length addrs in
   if n < 2 then invalid_arg "Experiment.transport_proc: need >= 2 machines";
   if self < 0 || self >= n then
     invalid_arg "Experiment.transport_proc: self out of range";
   let metrics = Metrics.create () in
+  let config =
+    if reliable then
+      (* ride through a server kill/restart: the ARQ retransmits
+         across the outage and the RPC layer retries across give-ups *)
+      Config.with_failover
+        { Config.default_failover with Config.max_call_retries = 6 }
+        (Config.with_reliable Config.class_)
+    else Config.class_
+  in
   let fabric =
-    Fabric.create_process ?listen ~self ~addrs ~meta:(Lazy.force wire_meta)
-      ~config:Config.class_ ~plans:(Hashtbl.create 4) ~metrics ()
+    Fabric.create_process ?epoch ?listen ~self ~addrs
+      ~meta:(Lazy.force wire_meta) ~config ~plans:(Hashtbl.create 4) ~metrics
+      ()
   in
   let result =
     if self > 0 then begin

@@ -136,6 +136,50 @@ val crash_compare :
 
 val render_crash : crash_report -> string
 
+(** The crash comparison lifted onto real sockets (PR 8): the same
+    echo workload over the loopback TCP mesh with the {!Rmi_net.Chaos}
+    injector and the {!Rmi_net.Reliable} adapter. *)
+type chaos_report = {
+  h_title : string;
+  h_rows : crash_row list;
+      (** "fault-free" / "durable chaos" / "amnesia chaos" *)
+  h_digest : string;  (** issue-order reply digest of the durable run *)
+  h_replay_equal : bool;
+      (** the same-seed durable rerun produced the byte-identical
+          issue-order reply stream and checksum *)
+  h_parity_equal : bool;
+      (** {!Rmi_net.Chaos.sim_parity}: the injector's frame schedule is
+          byte-identical to the bare [Fault_sim] schedule *)
+  h_sweep_seeds : int;
+  h_sweep_failed : int list;  (** seeds that broke exactly-once *)
+}
+
+(** The durable exactly-once property over loopback TCP for one seed:
+    a seeded chaos injector (lossy links, one durable kill/restart,
+    TCP severs, endpoint stalls) under which no call fails, the
+    checksum matches the closed form and the handler runs exactly once
+    per boxed value.  [test/test_chaos.ml] drives this as a QCheck
+    property; the chaos gate sweeps it over a seed range. *)
+val chaos_exactly_once : ?calls:int -> ?window:int -> seed:int -> unit -> bool
+
+(** The [rmi-experiments chaos] gate: fault-free baseline, durable and
+    amnesiac chaos runs, the same-seed replay, the chaos/sim schedule
+    parity check and a [sweep]-seed {!chaos_exactly_once} sweep
+    (default 300, the CI matrix width). *)
+val chaos_compare :
+  ?seed:int -> ?calls:int -> ?window:int -> ?sweep:int -> unit -> chaos_report
+
+(** Every gate in the report holds: all rows ok, durable executions
+    equal the baseline's, replay and parity byte-identical, no sweep
+    failures. *)
+val chaos_ok : chaos_report -> bool
+
+val render_chaos : chaos_report -> string
+
+(** The CI socket-chaos JSON artifact: gate verdicts, per-variant rows
+    and the durable run's reply digest. *)
+val chaos_json : chaos_report -> string
+
 (** One warmup window of the tier comparison: how many calls it covers
     and what they cost on the wire. *)
 type tier_window = { w_calls : int; w_bytes : int; w_msgs : int }
@@ -363,10 +407,18 @@ type proc_run = {
     machine 0 shuts them down, returning [None]; the client ([self =
     0]) drives [calls] pipelined RMIs per workload round-robin across
     the servers and returns the per-workload digests.  Blocks until the
-    full mesh is connected. *)
+    full mesh is connected.
+
+    [?reliable] stacks the {!Rmi_net.Reliable} adapter over the
+    sockets (every process must agree) and arms the RPC retry budget,
+    so the cluster rides through a server kill/restart; [?epoch] is
+    the incarnation number a restarted server must bump (see
+    {!Rmi_net.Sock.create_process}). *)
 val transport_proc :
   ?calls:int ->
   ?window:int ->
+  ?reliable:bool ->
+  ?epoch:int ->
   ?listen:string * int ->
   self:int ->
   addrs:(string * int) array ->

@@ -1,0 +1,249 @@
+(* Connection-level chaos over a real socket transport.
+
+   The frame-level engine is Fault_sim, reused whole: every frame a
+   socket backend is about to ship passes through [on_send], which
+   delegates to the embedded simulator (drop / duplicate / hold /
+   corrupt / crash plan), so the frame schedule for a given seed is
+   byte-identical to what the Sim backend would produce — substitution
+   by construction, not by re-implementation.
+
+   On top of that frame discipline sits a connection plan: scheduled
+   actions on the same global frame clock that have no Sim analogue
+   because they are properties of a real TCP link, not of a frame —
+   severing a connection mid-stream (the backend kills the fd; its
+   kernel buffers die with it; reconnection with backoff re-forms the
+   link) and stalling an endpoint (its traffic parks here, invisible to
+   the wire, until the stall expires — a SIGSTOP'd or GC-frozen peer).
+
+   Everything is clock-driven: actions fire when the frame clock
+   reaches their [at], stalls expire when the clock reaches their
+   deadline, and the decision log extends Fault_sim's digest with one
+   line per connection event, so two runs from the same seed with the
+   same frame sequence produce equal digests. *)
+
+type conn_action =
+  | Sever of { a : int; b : int }
+  | Stall of { machine : int; frames : int }
+
+type conn_spec = { at : int; action : conn_action }
+
+type t = {
+  fs : Fault_sim.t;
+  mutable plan : conn_spec list;          (* sorted by [at] *)
+  mutable actions : conn_action list;     (* fired; newest first *)
+  mutable stalls : (int * int) list;      (* machine, clock deadline *)
+  mutable parked : (int * int * bytes) list; (* src, dest, frame; oldest first *)
+  mutable released : (int * int * bytes) list; (* ready to ship; oldest first *)
+  clog : Buffer.t;
+  lock : Mutex.t;
+}
+
+let logf t fmt = Printf.ksprintf (fun s -> Buffer.add_string t.clog s) fmt
+
+let validate_plan ~n plan =
+  List.iter
+    (fun { at; action } ->
+      if at < 1 then invalid_arg "Chaos.create: plan entry needs at >= 1";
+      match action with
+      | Sever { a; b } ->
+          if a < 0 || a >= n || b < 0 || b >= n || a = b then
+            invalid_arg "Chaos.create: sever needs two distinct machines"
+      | Stall { machine; frames } ->
+          if machine < 0 || machine >= n then
+            invalid_arg "Chaos.create: stall victim out of range";
+          if frames < 1 then invalid_arg "Chaos.create: stall frames >= 1")
+    plan
+
+let of_fault_sim ?(plan = []) ~n fs =
+  validate_plan ~n plan;
+  {
+    fs;
+    plan = List.sort (fun a b -> compare a.at b.at) plan;
+    actions = [];
+    stalls = [];
+    parked = [];
+    released = [];
+    clog = Buffer.create 64;
+    lock = Mutex.create ();
+  }
+
+let create ~seed ~n ?(plan = []) profile =
+  of_fault_sim ~plan ~n (Fault_sim.create ~seed ~n profile)
+
+let fault_sim t = t.fs
+
+(* ------------------------------------------------------------------ *)
+(* seeded connection plans                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a private splitmix64 stream, disjoint from every Fault_sim link
+   stream (indices 0..n*n-1) and from the crash-plan stream (n*n+7) *)
+let mix_init seed idx =
+  Int64.add
+    (Int64.mul (Int64.of_int (idx + 1)) 0x9E3779B97F4A7C15L)
+    (Int64.mul (Int64.of_int seed) 0xBF58476D1CE4E5B9L)
+
+let next_u64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let nat state = Int64.to_int (Int64.shift_right_logical (next_u64 state) 2)
+
+let seeded_plan ~seed ~n ?(severs = 2) ?(stalls = 1) ?(max_gap = 30)
+    ?(max_stall = 20) () =
+  if n < 2 then invalid_arg "Chaos.seeded_plan: need >= 2 machines";
+  if severs < 0 || stalls < 0 then
+    invalid_arg "Chaos.seeded_plan: counts >= 0";
+  let rng = ref (mix_init seed ((n * n) + 13)) in
+  let rec gen i prev acc =
+    if i >= severs + stalls then List.rev acc
+    else
+      let at = prev + 1 + (nat rng mod max_gap) in
+      let action =
+        if i < severs then begin
+          let a = nat rng mod n in
+          let b = (a + 1 + (nat rng mod (n - 1))) mod n in
+          Sever { a; b }
+        end
+        else
+          (* stall victims avoid machine 0 (the harness driver) like
+             the crash plan does *)
+          Stall
+            {
+              machine = 1 + (nat rng mod (n - 1));
+              frames = 1 + (nat rng mod max_stall);
+            }
+      in
+      gen (i + 1) at ({ at; action } :: acc)
+  in
+  gen 0 0 []
+
+(* ------------------------------------------------------------------ *)
+(* the send path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* with [t.lock] held: expire stalls whose deadline the clock reached,
+   moving their parked frames to the released queue *)
+let expire_stalls t ~clock =
+  let over, live = List.partition (fun (_, until) -> until <= clock) t.stalls in
+  t.stalls <- live;
+  List.iter
+    (fun (m, _) ->
+      let mine, rest =
+        List.partition (fun (src, dest, _) -> src = m || dest = m) t.parked
+      in
+      t.parked <- rest;
+      t.released <- t.released @ mine;
+      logf t "conn unstall m%d @%d (%d parked)\n" m clock (List.length mine))
+    over
+
+(* with [t.lock] held: fire every plan entry the clock has reached *)
+let fire_plan t ~clock =
+  let due, rest = List.partition (fun { at; _ } -> at <= clock) t.plan in
+  t.plan <- rest;
+  List.iter
+    (fun { action; _ } ->
+      (match action with
+      | Sever { a; b } -> logf t "conn sever %d-%d @%d\n" a b clock
+      | Stall { machine; frames } ->
+          logf t "conn stall m%d for %d @%d\n" machine frames clock;
+          t.stalls <- (machine, clock + frames) :: t.stalls);
+      match action with
+      | Sever _ -> t.actions <- action :: t.actions
+      | Stall _ -> ())
+    due
+
+let stalled t m = List.mem_assoc m t.stalls
+
+let on_send t ~src ~dest frame =
+  (* the embedded simulator advances the clock and samples the frame's
+     faults exactly as the Sim backend would — chaos consumes no
+     randomness of its own, so the fault schedule is seed-identical *)
+  let survivors = Fault_sim.on_send t.fs ~src ~dest frame in
+  Mutex.lock t.lock;
+  let clock = Fault_sim.frame_clock t.fs in
+  expire_stalls t ~clock;
+  fire_plan t ~clock;
+  let out =
+    if stalled t src || stalled t dest then begin
+      List.iter
+        (fun f ->
+          logf t "conn park %d->%d @%d\n" src dest clock;
+          t.parked <- t.parked @ [ (src, dest, f) ])
+        survivors;
+      []
+    end
+    else survivors
+  in
+  Mutex.unlock t.lock;
+  out
+
+let take_actions t =
+  Mutex.lock t.lock;
+  let acts = List.rev t.actions in
+  t.actions <- [];
+  Mutex.unlock t.lock;
+  acts
+
+let take_released t =
+  Mutex.lock t.lock;
+  let frames = t.released in
+  t.released <- [];
+  Mutex.unlock t.lock;
+  frames
+
+let parked_frames t =
+  Mutex.lock t.lock;
+  let n = List.length t.parked + List.length t.released in
+  Mutex.unlock t.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* delegation to the embedded simulator                                *)
+(* ------------------------------------------------------------------ *)
+
+let take_transitions t = Fault_sim.take_transitions t.fs
+let is_down t m = Fault_sim.is_down t.fs m
+let epoch_of t m = Fault_sim.epoch_of t.fs m
+let frame_clock t = Fault_sim.frame_clock t.fs
+let held_frames t = Fault_sim.held_frames t.fs
+let seed t = Fault_sim.seed t.fs
+
+let digest t =
+  Mutex.lock t.lock;
+  let conn = Buffer.contents t.clog in
+  Mutex.unlock t.lock;
+  Fault_sim.digest t.fs ^ conn
+
+(* ------------------------------------------------------------------ *)
+(* substitution parity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* drive a chaos engine and a bare Fault_sim from the same seed through
+   the same synthetic frame sequence and render both decision logs: the
+   digests must be equal (chaos reuses the simulator's streams and adds
+   no randomness) and, being pure functions of (seed, sequence), each
+   is byte-identical across runs.  This is the replayable half of the
+   chaos gate — run-level digests over real sockets depend on
+   retransmit timing, so the determinism evidence lives here. *)
+let sim_parity ~seed ~n ?(profile = Fault_sim.default_lossy) ~frames () =
+  if n < 2 then invalid_arg "Chaos.sim_parity: need >= 2 machines";
+  let chaos = create ~seed ~n profile in
+  let bare = Fault_sim.create ~seed ~n profile in
+  for i = 0 to frames - 1 do
+    let src = i mod n in
+    let dest = (src + 1 + (i / n mod (n - 1))) mod n in
+    let frame = Bytes.of_string (Printf.sprintf "parity-%06d" i) in
+    ignore (on_send chaos ~src ~dest frame : bytes list);
+    ignore (Fault_sim.on_send bare ~src ~dest frame : bytes list)
+  done;
+  (digest chaos, Fault_sim.digest bare)

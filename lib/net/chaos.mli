@@ -1,0 +1,101 @@
+(** Deterministic connection-level chaos for real socket transports.
+
+    {!Fault_sim} decides the fate of individual frames; a real TCP
+    backend additionally has {e connections} that can fail in ways the
+    simulated interconnect cannot express.  [Chaos] wraps a
+    [Fault_sim.t] — every frame the socket layer ships passes through
+    {!on_send}, which delegates to the embedded simulator so the frame
+    schedule for a given seed is byte-identical to the Sim backend's —
+    and layers a connection plan on the same global frame clock:
+
+    - {e sever}: the backend kills the TCP connection between two
+      machines mid-stream.  In-flight kernel bytes are lost, a
+      half-written frame is truncated at the receiver, and the link
+      re-forms through reconnection with backoff.
+    - {e stall}: one endpoint freezes — its traffic (both directions)
+      parks inside the injector, invisible to the wire, until the
+      stall's frame-clock deadline passes.  Models a SIGSTOP'd or
+      GC-frozen peer whose socket stays open but silent.
+
+    Kill/restart of an endpoint rides through the embedded simulator's
+    crash plan unchanged ({!Fault_sim.set_crash_plan}).
+
+    All decisions are pure functions of [(seed, frame sequence)]; the
+    {!digest} appends connection-event lines to the simulator's log so
+    replays compare byte-for-byte. *)
+
+type conn_action =
+  | Sever of { a : int; b : int }
+      (** kill the TCP connection between [a] and [b] *)
+  | Stall of { machine : int; frames : int }
+      (** park all of [machine]'s traffic for [frames] clock ticks *)
+
+type conn_spec = { at : int; action : conn_action }
+(** [action] fires when the global frame clock reaches [at]. *)
+
+type t
+
+(** [create ~seed ~n ?plan profile] builds a fresh embedded simulator
+    plus the given connection plan (default: none). *)
+val create : seed:int -> n:int -> ?plan:conn_spec list -> Fault_sim.profile -> t
+
+(** Wrap an existing simulator (the [--faults seed=N] route: the
+    schedule a user handed the CLI drives the socket path unchanged). *)
+val of_fault_sim : ?plan:conn_spec list -> n:int -> Fault_sim.t -> t
+
+(** The embedded simulator — the socket backend consults it for
+    down-state and epochs, and [Transport.faults] exposes it. *)
+val fault_sim : t -> Fault_sim.t
+
+(** A deterministic connection plan from a private splitmix stream
+    (disjoint from every link stream and from the crash-plan stream):
+    [severs] link kills over random pairs, then [stalls] freezes of
+    machines [1..n-1], consecutive events at most [max_gap] frames
+    apart, stalls of at most [max_stall] frames. *)
+val seeded_plan :
+  seed:int -> n:int -> ?severs:int -> ?stalls:int -> ?max_gap:int ->
+  ?max_stall:int -> unit -> conn_spec list
+
+(** [on_send t ~src ~dest frame] advances the embedded simulator
+    (clock, fault samples, crash plan), then applies the connection
+    layer: fires due plan entries, expires due stalls, and parks the
+    surviving frames if either endpoint is stalled.  Returns the frames
+    to ship now. *)
+val on_send : t -> src:int -> dest:int -> bytes -> bytes list
+
+(** Drain the connection actions fired since the last call (oldest
+    first) — the socket backend applies each [Sever] by killing the
+    matching connections.  Stalls are internal and never surface. *)
+val take_actions : t -> conn_action list
+
+(** Drain parked frames whose stall expired (oldest first), as
+    [(src, dest, frame)]; the backend ships them directly. *)
+val take_released : t -> (int * int * bytes) list
+
+(** Frames currently parked or awaiting release (in-flight state the
+    backend must count before declaring the network dead). *)
+val parked_frames : t -> int
+
+(** {1 Embedded-simulator delegation} *)
+
+val take_transitions : t -> Fault_sim.transition list
+val is_down : t -> int -> bool
+val epoch_of : t -> int -> int
+val frame_clock : t -> int
+val held_frames : t -> int
+val seed : t -> int
+
+(** The embedded simulator's decision log followed by the connection
+    event log; equal digests across two runs mean the same faults fired
+    at the same frames. *)
+val digest : t -> string
+
+(** [sim_parity ~seed ~n ~frames ()] drives a chaos engine and a bare
+    {!Fault_sim} from the same seed through the same synthetic
+    [frames]-long schedule and returns both digests.  They must be
+    equal — chaos adds no randomness of its own — and each is a pure
+    function of the seed, so the pair is also byte-identical across
+    runs.  This is the deterministic-replay half of the chaos gate. *)
+val sim_parity :
+  seed:int -> n:int -> ?profile:Fault_sim.profile -> frames:int -> unit ->
+  string * string

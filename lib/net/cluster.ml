@@ -84,7 +84,7 @@ type t = {
      the pre-PR copy-based framing, kept for the wirecost comparison. *)
   zero_copy : bool;
   pool : Rmi_wire.Msgbuf.Pool.buffers;
-  mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
+  mutable fault : (src:int -> dest:int -> bytes -> bytes list) option;
   mutable sim : Fault_sim.t option;
   rel : rel option;
   (* per-(src,dest) coalescing buffers; one flush = one wire envelope =
@@ -158,6 +158,9 @@ let transport t =
   match t.rel with None -> Raw | Some rel -> Reliable rel.params
 
 let is_reliable t = t.rel <> None
+
+(* the simulated cluster lives in one address space *)
+let is_hosted _ _ = true
 
 let check t who =
   if who < 0 || who >= t.n then
@@ -238,10 +241,7 @@ let poll_crashes t =
 
 let transmit t ~src ~dest frame =
   let frames =
-    match t.fault with
-    | None -> [ frame ]
-    | Some hook -> (
-        match hook ~src ~dest frame with Some f -> [ f ] | None -> [])
+    match t.fault with None -> [ frame ] | Some hook -> hook ~src ~dest frame
   in
   let frames =
     match t.sim with
@@ -379,6 +379,15 @@ let send t ~src ~dest msg =
   account_send t (Bytes.length msg);
   if t.zero_copy then send_frame_zc t ~src ~dest msg
   else send_frame t ~src ~dest msg
+
+(* physical transmit: the frame rides through the fault hook and the
+   simulator but is never enveloped and never charged to the logical
+   counters — the hook reliability layers use for their own control
+   traffic (acks, retransmits, heartbeats) *)
+let send_raw t ~src ~dest frame =
+  check t src;
+  check t dest;
+  transmit t ~src ~dest frame
 
 (* [send_writer t ~src ~dest w ~payload_off] ships the message sitting
    in [w.(payload_off..length w)] — at least {!Envelope.gap} bytes must

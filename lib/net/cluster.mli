@@ -138,8 +138,18 @@ val metrics : t -> Rmi_stats.Metrics.t
 val transport : t -> transport
 val is_reliable : t -> bool
 
+(** The simulated cluster lives in one address space: every machine is
+    hosted. *)
+val is_hosted : t -> int -> bool
+
 (** [send t ~src ~dest msg]; self-sends are allowed (loopback). *)
 val send : t -> src:int -> dest:int -> bytes -> unit
+
+(** Physical transmit: [frame] rides through the fault hook and the
+    simulator exactly like a [send], but is never enveloped and never
+    charged to [msgs_sent]/[bytes_sent] — the escape hatch reliability
+    layers use to ship their own control traffic. *)
+val send_raw : t -> src:int -> dest:int -> bytes -> unit
 
 (** [send_writer t ~src ~dest w ~payload_off] ships the message sitting
     in [w.(payload_off..length w)] without materializing it first: per
@@ -241,10 +251,11 @@ val clear_faults : t -> unit
 val faults : t -> Fault_sim.t option
 
 (** Fault injection for tests: the hook sees every physical frame about
-    to be delivered and may pass it through ([Some msg]), corrupt it
-    ([Some other]) or drop it ([None]).  Metrics still count the
-    original send.  Runs before the {!Fault_sim} stage. *)
-val set_fault_hook : t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+    to be delivered and returns the frames to actually ship — pass it
+    through ([[msg]]), corrupt it ([[other]]), drop it ([[]]) or
+    duplicate it ([[msg; msg]]).  Metrics still count the original
+    send.  Runs before the {!Fault_sim} stage. *)
+val set_fault_hook : t -> (src:int -> dest:int -> bytes -> bytes list) -> unit
 
 val clear_fault_hook : t -> unit
 

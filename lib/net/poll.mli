@@ -1,0 +1,11 @@
+(** poll(2) for the socket event loop: select without the FD_SETSIZE
+    ceiling. *)
+
+(** Indices of the descriptors in the array that are readable, hung up
+    or errored, ascending; [[]] after [timeout] seconds of nothing (or
+    on EINTR — callers loop anyway). *)
+val readable : Unix.file_descr array -> timeout:float -> int list
+
+(** The soft RLIMIT_NOFILE budget for this process (clamped to
+    [64, 2^20]; 1024 if unknown). *)
+val nofile_limit : unit -> int

@@ -1,0 +1,596 @@
+(* The Reliable envelope layer as a transport adapter: the ARQ that
+   [Cluster] runs {e inside} the simulated interconnect, lifted into a
+   stackable layer over any {!Transport.t} — in practice the [Sock]
+   backend, whose TCP only guarantees delivery while a connection
+   lives.  Frames the kernel dropped with a severed connection, frames
+   a chaos injector swallowed, and whole machine kill/restarts are
+   recovered here exactly as the Sim backend recovers them: per-link
+   sequence numbers and checksums in an {!Envelope}, acks for every
+   data frame, duplicate suppression (at-most-once up), capped
+   exponential retransmission on the {!idle} tick, heartbeat-driven
+   Alive/Suspect/Down, and epoch fencing of dead incarnations.
+
+   All control traffic (envelopes carrying retransmits, acks,
+   heartbeats) leaves through the lower transport's [send_raw], so the
+   logical counters ([msgs_sent]/[bytes_sent]) are charged once, here,
+   with the payload — byte-identical accounting to [Cluster]'s
+   [Reliable] mode. *)
+
+module Msgbuf = Rmi_wire.Msgbuf
+module Protocol = Rmi_wire.Protocol
+module Metrics = Rmi_stats.Metrics
+
+type params = Cluster.params = {
+  rto : int;
+  backoff_cap : int;
+  max_attempts : int;
+}
+
+let default_params = Cluster.default_params
+
+(* what [self] believes about [peer] (same cell as Cluster's) *)
+type det_cell = {
+  mutable last_heard : int;
+  mutable last_ping : int;
+  mutable health : Transport.peer_health;
+  mutable known_epoch : int;
+}
+
+type pending = {
+  frame : bytes;
+  mutable attempts : int;
+  mutable rto_now : int;
+  mutable due : int;
+}
+
+type link_tx = {
+  mutable next_lseq : int;
+  unacked : (int, pending) Hashtbl.t;
+}
+
+type link_rx = { seen : (int, unit) Hashtbl.t }
+
+module M = struct
+  type t = {
+    lower : Transport.t;
+    n : int;
+    params : params;
+    tx : link_tx array array;   (* tx.(src).(dest) *)
+    rx : link_rx array array;   (* rx.(self).(src) *)
+    det : det_cell array array; (* det.(self).(peer) *)
+    mutable hb : Transport.hb_params;
+    mutable tick : int;
+    lock : Mutex.t;
+    (* messages unpacked from an already-received batch envelope,
+       served ahead of the lower transport *)
+    inbox : (bytes * int * int) Queue.t array;
+    imutex : Mutex.t array;
+    mutable batcher : Batcher.t option;
+    mutable peer_hooks :
+      (self:int -> peer:int -> Transport.peer_event -> unit) list;
+  }
+
+  let name = "reliable"
+  let size t = t.n
+  let metrics t = Transport.metrics t.lower
+  let zero_copy t = Transport.zero_copy t.lower
+  let pool t = Transport.pool t.lower
+  let is_reliable _ = true
+  let is_hosted t m = Transport.is_hosted t.lower m
+  let charge t n = Metrics.add_bytes_copied (metrics t) n
+
+  let check t who =
+    if who < 0 || who >= t.n then
+      invalid_arg (Printf.sprintf "Reliable: bad machine id %d" who)
+
+  let fire_peer t ~self ~peer ev =
+    List.iter (fun f -> f ~self ~peer ev) t.peer_hooks
+
+  let self_epoch t m = Transport.self_epoch t.lower m
+
+  (* ---------------------------------------------------------------- *)
+  (* send path: envelope, register for retransmission, ship raw        *)
+  (* ---------------------------------------------------------------- *)
+
+  let control_frame t ~kind ~src ~lseq =
+    Msgbuf.Pool.with_writer (pool t) (fun w ->
+        let start =
+          Envelope.encode_into w ~kind ~src ~epoch:(self_epoch t src) ~lseq
+            ~payload:Bytes.empty ()
+        in
+        Msgbuf.sub w ~off:start ~len:(Msgbuf.length w - start))
+
+  let register_unacked t ~lseq ~ltx envelope =
+    Hashtbl.replace ltx.unacked lseq
+      {
+        frame = envelope;
+        attempts = 1;
+        rto_now = t.params.rto;
+        due = t.tick + t.params.rto;
+      }
+
+  (* envelope a payload already materialized as bytes: one blit into a
+     pooled writer plus the single frame snapshot shared by the lower
+     transport and the retransmit buffer *)
+  let send_frame_zc t ~src ~dest frame =
+    let envelope =
+      Msgbuf.Pool.with_writer (pool t) (fun w ->
+          Mutex.lock t.lock;
+          let ltx = t.tx.(src).(dest) in
+          let lseq = ltx.next_lseq in
+          ltx.next_lseq <- lseq + 1;
+          let start =
+            Envelope.encode_into w ~kind:Data ~src ~epoch:(self_epoch t src)
+              ~lseq ~payload:frame ()
+          in
+          let envelope =
+            Msgbuf.sub w ~off:start ~len:(Msgbuf.length w - start)
+          in
+          charge t (Bytes.length frame + Bytes.length envelope);
+          register_unacked t ~lseq ~ltx envelope;
+          Mutex.unlock t.lock;
+          envelope)
+    in
+    Transport.send_raw t.lower ~src ~dest envelope
+
+  (* the zero-copy fast path: the payload sits in [w] after a reserved
+     {!Envelope.gap}; the envelope header is back-filled in place and
+     the frame snapshotted exactly once (the copy the lower transport
+     and the retransmit buffer share) *)
+  let send_frame_writer t ~src ~dest w ~payload_off =
+    Mutex.lock t.lock;
+    let ltx = t.tx.(src).(dest) in
+    let lseq = ltx.next_lseq in
+    ltx.next_lseq <- lseq + 1;
+    let start =
+      Envelope.encode_around w ~kind:Data ~src ~epoch:(self_epoch t src) ~lseq
+        ~payload_off ()
+    in
+    let envelope = Msgbuf.sub w ~off:start ~len:(Msgbuf.length w - start) in
+    charge t (Bytes.length envelope);
+    register_unacked t ~lseq ~ltx envelope;
+    Mutex.unlock t.lock;
+    Transport.send_raw t.lower ~src ~dest envelope
+
+  (* logical-traffic accounting: payload bytes, counted once *)
+  let account_send t len =
+    Metrics.incr_msgs_sent (metrics t);
+    Metrics.add_bytes_sent (metrics t) len;
+    Metrics.incr_unbatched (metrics t)
+
+  let send t ~src ~dest msg =
+    check t src;
+    check t dest;
+    account_send t (Bytes.length msg);
+    send_frame_zc t ~src ~dest msg
+
+  (* control traffic of a layer stacked above this one (none exists
+     today); ships enveloped all the same so reliability is preserved *)
+  let send_raw t ~src ~dest frame =
+    check t src;
+    check t dest;
+    send_frame_zc t ~src ~dest frame
+
+  let send_writer t ~src ~dest w ~payload_off =
+    check t src;
+    check t dest;
+    account_send t (Msgbuf.length w - payload_off);
+    send_frame_writer t ~src ~dest w ~payload_off
+
+  (* ---------------------------------------------------------------- *)
+  (* batching: one flushed group = one envelope = one seq/ack unit     *)
+  (* ---------------------------------------------------------------- *)
+
+  let enable_batching ?(max_bytes = Cluster.default_batch_bytes) t =
+    if max_bytes < 1 then invalid_arg "Reliable.enable_batching: max_bytes < 1";
+    t.batcher <- Some (Batcher.create ~max_bytes)
+
+  let batching_enabled t = t.batcher <> None
+
+  let flush_group t ~src ~dest msgs bytes =
+    let k = List.length msgs in
+    Metrics.incr_msgs_sent (metrics t);
+    Metrics.add_bytes_sent (metrics t) bytes;
+    Metrics.record_batch (metrics t) ~msgs:k;
+    (match msgs with
+    | [ m ] -> send_frame_zc t ~src ~dest m
+    | _ ->
+        Msgbuf.Pool.with_writer (pool t) (fun w ->
+            ignore (Msgbuf.reserve w Envelope.gap : int);
+            Protocol.encode_batch_into w msgs;
+            charge t bytes;
+            send_frame_writer t ~src ~dest w ~payload_off:Envelope.gap));
+    (dest, k, bytes)
+
+  let flush t ~src =
+    check t src;
+    match t.batcher with
+    | None -> []
+    | Some b ->
+        List.map
+          (fun (dest, msgs, bytes) -> flush_group t ~src ~dest msgs bytes)
+          (Batcher.take b ~src)
+
+  let disable_batching t =
+    (match t.batcher with
+    | None -> ()
+    | Some _ ->
+        for src = 0 to t.n - 1 do
+          ignore (flush t ~src)
+        done);
+    t.batcher <- None
+
+  let send_buffered t ~src ~dest msg =
+    check t src;
+    check t dest;
+    match t.batcher with
+    | None ->
+        send t ~src ~dest msg;
+        []
+    | Some b -> (
+        match Batcher.add b ~src ~dest msg with
+        | None -> []
+        | Some (msgs, bytes) -> [ flush_group t ~src ~dest msgs bytes ])
+
+  (* ---------------------------------------------------------------- *)
+  (* receive path: unwrap, fence, ack, dedup, split batches            *)
+  (* ---------------------------------------------------------------- *)
+
+  let pop_inbox t ~self =
+    Mutex.lock t.imutex.(self);
+    let m =
+      if Queue.is_empty t.inbox.(self) then None
+      else Some (Queue.pop t.inbox.(self))
+    in
+    Mutex.unlock t.imutex.(self);
+    m
+
+  (* a decoded payload slice: either a single message, handed straight
+     up, or a batch whose first message returns and whose rest queue
+     ahead of the lower transport — slices sharing the frame bytes *)
+  let unpack t ~self ((buf, off, len) as slice) =
+    if not (Protocol.is_batch_at buf ~off ~len) then Some slice
+    else
+      match Protocol.decode_batch_slice buf ~off ~len with
+      | None | Some [] -> None  (* garbled batch: drop whole *)
+      | Some ((o, l) :: rest) ->
+          if rest <> [] then begin
+            Mutex.lock t.imutex.(self);
+            List.iter (fun (o, l) -> Queue.push (buf, o, l) t.inbox.(self)) rest;
+            Mutex.unlock t.imutex.(self)
+          end;
+          Some (buf, o, l)
+
+  (* [Some payload_slice] to hand up, [None] when the frame was
+     consumed here (ack, heartbeat, duplicate, stale epoch, or
+     checksum failure — the sender's timer recovers the latter) *)
+  let filter_frame t ~self (buf, off, len) =
+    match Envelope.decode_slice buf ~off ~len with
+    | None -> None
+    | Some ({ Envelope.kind; src; epoch; lseq }, (poff, plen)) ->
+        Mutex.lock t.lock;
+        let d = t.det.(self).(src) in
+        (* fence: a frame from an incarnation older than the best one
+           we have seen is a ghost of a dead process *)
+        let stale = epoch < d.known_epoch in
+        let recovered = ref false in
+        if not stale then begin
+          if epoch > d.known_epoch then begin
+            d.known_epoch <- epoch;
+            (* the new incarnation restarts its lseq space at 0, so the
+               old dedup memory would wrongly swallow its fresh frames *)
+            Hashtbl.reset t.rx.(self).(src).seen
+          end;
+          d.last_heard <- t.tick;
+          if d.health <> Transport.Alive then begin
+            d.health <- Transport.Alive;
+            recovered := true
+          end
+        end;
+        Mutex.unlock t.lock;
+        if !recovered then fire_peer t ~self ~peer:src Transport.Peer_recovered;
+        if stale then begin
+          Metrics.incr_stale_drops (metrics t);
+          None
+        end
+        else
+          match kind with
+          | Envelope.Hb ->
+              if lseq = Envelope.hb_ping then begin
+                Metrics.incr_heartbeats_sent (metrics t);
+                Transport.send_raw t.lower ~src:self ~dest:src
+                  (control_frame t ~kind:Envelope.Hb ~src:self
+                     ~lseq:Envelope.hb_pong)
+              end;
+              None
+          | Envelope.Ack ->
+              Mutex.lock t.lock;
+              Hashtbl.remove t.tx.(self).(src).unacked lseq;
+              Mutex.unlock t.lock;
+              None
+          | Envelope.Data ->
+              (* always ack, even duplicates: the earlier ack may have
+                 been lost *)
+              Metrics.incr_acks_sent (metrics t);
+              Transport.send_raw t.lower ~src:self ~dest:src
+                (control_frame t ~kind:Envelope.Ack ~src:self ~lseq);
+              Mutex.lock t.lock;
+              let seen = t.rx.(self).(src).seen in
+              let dup = Hashtbl.mem seen lseq in
+              if not dup then Hashtbl.add seen lseq ();
+              Mutex.unlock t.lock;
+              if dup then begin
+                Metrics.incr_dup_drops (metrics t);
+                None
+              end
+              else Some (buf, poff, plen)
+
+  let admit t ~self slice =
+    match filter_frame t ~self slice with
+    | Some payload_slice -> unpack t ~self payload_slice
+    | None -> None
+
+  let try_recv_slice t ~self =
+    check t self;
+    match pop_inbox t ~self with
+    | Some m -> Some m
+    | None ->
+        let rec go () =
+          match Transport.try_recv_slice t.lower ~self with
+          | None -> None
+          | Some slice -> (
+              match admit t ~self slice with Some m -> Some m | None -> go ())
+        in
+        go ()
+
+  let recv_deadline_slice t ~self ~seconds =
+    check t self;
+    (* one non-blocking pass first, so a zero or negative deadline
+       still drains anything already deliverable *)
+    match try_recv_slice t ~self with
+    | Some m -> Some m
+    | None ->
+        let deadline = Unix.gettimeofday () +. seconds in
+        let rec go () =
+          let remain = deadline -. Unix.gettimeofday () in
+          if remain <= 0.0 then None
+          else
+            match Transport.recv_deadline_slice t.lower ~self ~seconds:remain with
+            | None -> None
+            | Some slice -> (
+                match admit t ~self slice with Some m -> Some m | None -> go ())
+        in
+        go ()
+
+  let buffered_anywhere t =
+    match t.batcher with None -> false | Some b -> Batcher.any b
+
+  let pending_anywhere t =
+    Transport.pending_anywhere t.lower
+    || Array.exists (fun q -> not (Queue.is_empty q)) t.inbox
+    || buffered_anywhere t
+
+  (* ---------------------------------------------------------------- *)
+  (* the retransmit + failure-detector clock                           *)
+  (* ---------------------------------------------------------------- *)
+
+  (* sweep the detector on the shared tick (covers every observer, like
+     Cluster's: in Sync mode one machine drives everyone's timers);
+     with [t.lock] held *)
+  let detector_sweep t =
+    let pings = ref [] in
+    let events = ref [] in
+    (* a crashed machine's timers freeze; a machine another process
+       hosts is that process's concern — acting for it here would try
+       to ship frames over links this process does not have *)
+    let skip m =
+      (not (Transport.is_hosted t.lower m))
+      ||
+      match Transport.faults t.lower with
+      | None -> false
+      | Some sim -> Fault_sim.is_down sim m
+    in
+    Array.iteri
+      (fun observer row ->
+        if not (skip observer) then
+          Array.iteri
+            (fun peer d ->
+              if observer <> peer then begin
+                let quiet = t.tick - d.last_heard in
+                if quiet >= t.hb.down_after && d.health = Transport.Suspect
+                then begin
+                  d.health <- Transport.Down;
+                  events :=
+                    (observer, peer, Transport.Peer_confirmed_down) :: !events
+                end
+                else if quiet >= t.hb.suspect_after && d.health = Transport.Alive
+                then begin
+                  d.health <- Transport.Suspect;
+                  events := (observer, peer, Transport.Peer_suspected) :: !events
+                end;
+                if
+                  quiet >= t.hb.ping_every
+                  && t.tick - d.last_ping >= t.hb.ping_every
+                then begin
+                  d.last_ping <- t.tick;
+                  pings := (observer, peer) :: !pings
+                end
+              end)
+            row)
+      t.det;
+    (List.rev !pings, List.rev !events)
+
+  let idle t ~self =
+    check t self;
+    (* the lower transport first: a chaos injector drains its due
+       connection actions and crash transitions there *)
+    ignore (Transport.idle t.lower ~self : Transport.idle_outcome);
+    Mutex.lock t.lock;
+    t.tick <- t.tick + 1;
+    let resend = ref [] in
+    let gave_up = ref [] in
+    let unacked = ref 0 in
+    Array.iteri
+      (fun src row ->
+        Array.iteri
+          (fun dest ltx ->
+            let expired = ref [] in
+            Hashtbl.iter
+              (fun lseq p ->
+                if p.due > t.tick then incr unacked
+                else if p.attempts >= t.params.max_attempts then
+                  expired := lseq :: !expired
+                else begin
+                  p.attempts <- p.attempts + 1;
+                  p.rto_now <- min (p.rto_now * 2) t.params.backoff_cap;
+                  p.due <- t.tick + p.rto_now;
+                  incr unacked;
+                  resend := (src, dest, p.frame) :: !resend
+                end)
+              ltx.unacked;
+            List.iter
+              (fun lseq ->
+                Hashtbl.remove ltx.unacked lseq;
+                Metrics.incr_timeouts (metrics t);
+                gave_up := dest :: !gave_up)
+              !expired)
+          row)
+      t.tx;
+    let pings, events = detector_sweep t in
+    Mutex.unlock t.lock;
+    List.iter
+      (fun (src, dest, frame) ->
+        Metrics.incr_retries (metrics t);
+        Transport.send_raw t.lower ~src ~dest frame)
+      (List.rev !resend);
+    List.iter
+      (fun (observer, peer) ->
+        Metrics.incr_heartbeats_sent (metrics t);
+        Transport.send_raw t.lower ~src:observer ~dest:peer
+          (control_frame t ~kind:Envelope.Hb ~src:observer
+             ~lseq:Envelope.hb_ping))
+      pings;
+    List.iter
+      (fun (observer, peer, ev) ->
+        (match ev with
+        | Transport.Peer_suspected -> Metrics.incr_suspects (metrics t)
+        | Transport.Peer_confirmed_down -> Metrics.incr_peer_downs (metrics t)
+        | Transport.Peer_recovered -> ());
+        fire_peer t ~self:observer ~peer ev)
+      events;
+    if !gave_up <> [] then Transport.Gave_up (List.sort_uniq compare !gave_up)
+    else if !resend <> [] then Transport.Retransmitted (List.length !resend)
+    else if !unacked = 0 && not (pending_anywhere t) then Transport.Dead
+    else Transport.Waiting
+
+  let recv_blocking_slice t ~self =
+    check t self;
+    match pop_inbox t ~self with
+    | Some m -> m
+    | None ->
+        (* chop the wait into slices so a blocked machine keeps driving
+           its own retransmit timers (a server whose reply was dropped
+           must resend it even though it is only receiving) *)
+        let rec go () =
+          match recv_deadline_slice t ~self ~seconds:0.002 with
+          | Some payload -> payload
+          | None ->
+              ignore (idle t ~self : Transport.idle_outcome);
+              go ()
+        in
+        go ()
+
+  (* ---------------------------------------------------------------- *)
+  (* everything else: the adapter's own state or pure delegation       *)
+  (* ---------------------------------------------------------------- *)
+
+  let peer_health t ~self ~peer =
+    check t self;
+    check t peer;
+    t.det.(self).(peer).health
+
+  let set_detector t hb = t.hb <- hb
+  let on_peer_event t f = t.peer_hooks <- t.peer_hooks @ [ f ]
+  let on_process_event t f = Transport.on_process_event t.lower f
+  let set_faults t fs = Transport.set_faults t.lower fs
+  let clear_faults t = Transport.clear_faults t.lower
+  let faults t = Transport.faults t.lower
+  let set_fault_hook t hook = Transport.set_fault_hook t.lower hook
+  let clear_fault_hook t = Transport.clear_fault_hook t.lower
+  let shutdown t = Transport.shutdown t.lower
+
+  (* bytes-returning receive wrappers: the shared Transport defaults *)
+  include Transport.Recv_defaults (struct
+    type nonrec t = t
+
+    let metrics = metrics
+    let try_recv_slice = try_recv_slice
+    let recv_blocking_slice = recv_blocking_slice
+    let recv_deadline_slice = recv_deadline_slice
+  end)
+end
+
+include M
+
+(* a machine just crashed: everything it held in flight dies with it —
+   unpacked-batch inbox, unflushed batch buffers, link send state and
+   dedup memory.  Peers' state about it survives (their retransmit
+   timers are the recovery path).  Mirrors Cluster.wipe_machine. *)
+let wipe_machine (t : M.t) m =
+  Mutex.lock t.M.imutex.(m);
+  Queue.clear t.M.inbox.(m);
+  Mutex.unlock t.M.imutex.(m);
+  Option.iter (fun b -> Batcher.drop_source b ~src:m) t.M.batcher;
+  Mutex.lock t.M.lock;
+  Array.iter
+    (fun ltx ->
+      ltx.next_lseq <- 0;
+      Hashtbl.reset ltx.unacked)
+    t.M.tx.(m);
+  Array.iter (fun lrx -> Hashtbl.reset lrx.seen) t.M.rx.(m);
+  Array.iter
+    (fun d ->
+      d.last_heard <- t.M.tick;
+      d.last_ping <- t.M.tick;
+      d.health <- Transport.Alive)
+    t.M.det.(m);
+  Mutex.unlock t.M.lock
+
+let wrap ?(params = default_params) lower =
+  let n = Transport.size lower in
+  let t =
+    {
+      M.lower;
+      n;
+      params;
+      tx =
+        Array.init n (fun _ ->
+            Array.init n (fun _ ->
+                { next_lseq = 0; unacked = Hashtbl.create 8 }));
+      rx =
+        Array.init n (fun _ ->
+            Array.init n (fun _ -> { seen = Hashtbl.create 64 }));
+      det =
+        Array.init n (fun _ ->
+            Array.init n (fun _ ->
+                {
+                  last_heard = 0;
+                  last_ping = 0;
+                  health = Transport.Alive;
+                  known_epoch = 0;
+                }));
+      hb = Transport.default_hb;
+      tick = 0;
+      lock = Mutex.create ();
+      inbox = Array.init n (fun _ -> Queue.create ());
+      imutex = Array.init n (fun _ -> Mutex.create ());
+      batcher = None;
+      peer_hooks = [];
+    }
+  in
+  (* registered before any runtime hook, so a crashed machine's ARQ
+     state is already wiped when node-level hooks drop their caches *)
+  Transport.on_process_event lower (function
+    | Transport.Proc_crashed { machine; _ } -> wipe_machine t machine
+    | Transport.Proc_restarted _ -> ());
+  Transport.pack (module M) t

@@ -1,0 +1,34 @@
+(** The Reliable envelope layer as a stackable transport adapter.
+
+    [wrap lower] returns a transport that speaks {!Envelope} frames
+    over [lower]'s raw wire ({!Transport.S.send_raw}): per-link
+    sequence numbers, acks, duplicate suppression, capped-exponential
+    retransmission on the {!Transport.S.idle} tick, heartbeat-driven
+    Alive/Suspect/Down and epoch fencing — the exact ARQ the [Cluster]
+    backend runs in [Reliable] mode, lifted out so the [Sock] backend
+    gets the same exactly-once guarantees over real TCP.
+
+    The adapter keeps its own link state, batcher and failure
+    detector; it delegates the physical layer (fault schedules, chaos
+    injection, epochs, process events, shutdown) to [lower].  On a
+    [Proc_crashed] event from [lower], the crashed machine's in-flight
+    ARQ state is wiped before runtime-level hooks run, mirroring
+    [Cluster.wipe_machine].
+
+    Accounting matches [Cluster]'s [Reliable] mode: logical counters
+    charge the payload once at the adapter; envelope and control
+    frames ride [lower]'s [send_raw], which charges nothing. *)
+
+type params = Cluster.params = {
+  rto : int;  (** ticks before first retransmission *)
+  backoff_cap : int;  (** rto doubles per attempt up to this *)
+  max_attempts : int;  (** then the frame is abandoned ([timeouts]) *)
+}
+
+val default_params : params
+
+(** [wrap ?params lower] stacks the reliability layer over [lower].
+    [lower] must not also be used directly afterwards (frames sent
+    around the adapter would reach peers unenveloped and be dropped by
+    the decoder). *)
+val wrap : ?params:params -> Transport.t -> Transport.t

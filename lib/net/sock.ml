@@ -7,6 +7,12 @@ let max_frame = 64 * 1024 * 1024
 let mesh_timeout = 30.0
 let connect_retry_every = 0.05
 
+(* reconnection backoff: capped exponential, scaled by a deterministic
+   per-(link, attempt) jitter so concurrent reconnectors desynchronize
+   without consuming randomness *)
+let backoff_base = 0.01
+let backoff_cap = 0.32
+
 module M = struct
   type conn = {
     fd : Unix.file_descr;
@@ -16,9 +22,10 @@ module M = struct
     mutable alive : bool;
     mutable rbuf : Bytes.t;  (* stream reassembly *)
     mutable rlen : int;
-    (* loopback: this conn's share of [t.inflight] — frames written to
-       it but not yet parsed out, reclaimed wholesale on [mark_dead] so
-       a dying link cannot leave [pending_anywhere] pinned forever *)
+    (* loopback: this conn's share of [t.inflight] — frames the far end
+       wrote toward [owner] but that haven't been parsed out of this
+       (receiving) record yet, reclaimed wholesale on [kill_conn] so a
+       dying link cannot leave [pending_anywhere] pinned forever *)
     cinflight : int Atomic.t;
   }
 
@@ -50,11 +57,28 @@ module M = struct
        while a reply sits in a kernel socket buffer *)
     inflight : int Atomic.t;
     mutable batcher : Batcher.t option;
-    mutable fault : (src:int -> dest:int -> bytes -> bytes option) option;
+    mutable fault : (src:int -> dest:int -> bytes -> bytes list) option;
+    (* the seeded chaos injector; every outbound frame passes through
+       it, and its connection actions are applied by [chaos_drain] *)
+    mutable chaos : Chaos.t option;
+    (* incarnation offset for frames this process stamps: a server
+       killed and restarted by an operator announces its new life by
+       restarting with a higher epoch, so peers fence its ghosts and
+       reset their dedup memory (process mode; chaos restarts manage
+       epochs themselves) *)
+    mutable base_epoch : int;
     mutable peer_hooks :
       (self:int -> peer:int -> Transport.peer_event -> unit) list;
     mutable process_hooks : (Transport.process_event -> unit) list;
     health : Transport.peer_health array array;
+    (* where to redial each machine when its link dies; None = unknown
+       (reconnection then waits for the peer to redial us) *)
+    peer_addr : (string * int) option array;
+    (* per-directed-link connection generation: bumped every time a
+       fresh conn is registered, so tests and diagnostics can observe
+       that a sever was followed by a reconnect *)
+    gens : int array array;
+    reconnecting : bool array array;  (* at most one reconnector/link *)
     stop : bool Atomic.t;
     mutable loop : Thread.t option;
     wake_r : Unix.file_descr;
@@ -69,11 +93,16 @@ module M = struct
   let zero_copy _ = true
   let pool t = t.pool
   let is_reliable _ = false
+
   let charge t n = Metrics.add_bytes_copied t.metrics n
 
   let check t who =
     if who < 0 || who >= t.n then
       invalid_arg (Printf.sprintf "Sock: bad machine id %d" who)
+
+  let is_hosted t m =
+    check t m;
+    t.eps.(m) <> None
 
   let hosted t who =
     check t who;
@@ -108,14 +137,16 @@ module M = struct
   let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
 
   (* ---------------------------------------------------------------- *)
-  (* delivery into an endpoint inbox                                   *)
+  (* connection lifecycle: kill, register, reconnect                   *)
   (* ---------------------------------------------------------------- *)
 
   let fire_peer t ~self ~peer ev =
     List.iter (fun f -> f ~self ~peer ev) t.peer_hooks
 
+  let fire_process t ev = List.iter (fun f -> f ev) t.process_hooks
+
   (* remove one unit from [c.cinflight] iff it is still positive; a
-     false return means [mark_dead] already reclaimed the whole share *)
+     false return means [kill_conn] already reclaimed the whole share *)
   let inflight_take_back c =
     let rec go () =
       let v = Atomic.get c.cinflight in
@@ -125,22 +156,148 @@ module M = struct
     in
     go ()
 
-  let mark_dead t c =
-    let fire =
-      c.alive
-      && begin
-           c.alive <- false;
-           (try Unix.close c.fd with Unix.Unix_error _ -> ());
-           t.health.(c.owner).(c.peer) <- Transport.Down;
-           (* frames written to this link but never parsed out are gone;
-              return them so quiescence fails fast instead of spinning *)
-           let residue = Atomic.exchange c.cinflight 0 in
-           if residue > 0 then
-             ignore (Atomic.fetch_and_add t.inflight (-residue) : int);
-           true
-         end
+  (* close a connection and reclaim its in-flight share.  [fire:false]
+     suppresses the health transition and the Down event — replacing a
+     duplicate connect with a fresher one is not a peer death.  Returns
+     whether the conn was alive (the caller decides about
+     reconnection). *)
+  let kill_conn ?(fire = true) t c =
+    let was_alive = c.alive in
+    if was_alive then begin
+      c.alive <- false;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      (* frames written to this link but never parsed out are gone;
+         return them so quiescence fails fast instead of spinning *)
+      let residue = Atomic.exchange c.cinflight 0 in
+      if residue > 0 then
+        ignore (Atomic.fetch_and_add t.inflight (-residue) : int);
+      if fire then begin
+        t.health.(c.owner).(c.peer) <- Transport.Down;
+        fire_peer t ~self:c.owner ~peer:c.peer Transport.Peer_confirmed_down
+      end
+    end;
+    was_alive
+
+  (* install [c] as the live conn of its (owner, peer) link, replacing —
+     and silently closing — any previous conn (a duplicate connect from
+     the same peer id: the newest connection wins, matching what the
+     reconnecting initiator believes).  Bumps the link generation; a
+     fresh conn starts with an empty reassembly buffer, so a frame
+     half-written when the old conn died is discarded at the
+     length-prefix boundary by construction. *)
+  let register_conn t c =
+    Mutex.lock t.clock;
+    let prev = t.conns.(c.owner).(c.peer) in
+    t.conns.(c.owner).(c.peer) <- Some c;
+    t.gens.(c.owner).(c.peer) <- t.gens.(c.owner).(c.peer) + 1;
+    let was = t.health.(c.owner).(c.peer) in
+    t.health.(c.owner).(c.peer) <- Transport.Alive;
+    Mutex.unlock t.clock;
+    (match prev with
+    | Some old when old.alive -> ignore (kill_conn ~fire:false t old : bool)
+    | _ -> ());
+    if was <> Transport.Alive then
+      fire_peer t ~self:c.owner ~peer:c.peer Transport.Peer_recovered
+
+  let new_conn ~fd ~owner ~peer =
+    {
+      fd;
+      owner;
+      peer;
+      wlock = Mutex.create ();
+      alive = true;
+      rbuf = Bytes.create 65536;
+      rlen = 0;
+      cinflight = Atomic.make 0;
+    }
+
+  (* one TCP connect attempt plus the 4-byte hello; None if the peer
+     isn't reachable right now *)
+  let dial ~owner host port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let hello = Bytes.create 4 in
+      put_len hello 0 owner;
+      write_all fd hello 0 4;
+      Some fd
+    with Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+  let link_alive t ~owner ~peer =
+    Mutex.lock t.clock;
+    let alive =
+      match t.conns.(owner).(peer) with Some c -> c.alive | None -> false
     in
-    if fire then fire_peer t ~self:c.owner ~peer:c.peer Transport.Peer_confirmed_down
+    Mutex.unlock t.clock;
+    alive
+
+  (* jitter factor in [0.5, 1.0), hashed from the link and the attempt *)
+  let jitter ~owner ~peer ~attempt =
+    let h =
+      (owner * 73856093) lxor (peer * 19349663) lxor (attempt * 83492791)
+    in
+    0.5 +. (float_of_int (h land 0x3ff) /. 2048.0)
+
+  (* capped exponential backoff until the link re-forms, the transport
+     closes, or the mesh timeout passes *)
+  let reconnect_loop t ~owner ~peer =
+    let deadline = Unix.gettimeofday () +. mesh_timeout in
+    let rec go attempt =
+      if
+        (not (Atomic.get t.stop))
+        && Unix.gettimeofday () <= deadline
+        && not (link_alive t ~owner ~peer)
+      then begin
+        let delay =
+          min backoff_cap (backoff_base *. (2.0 ** float_of_int attempt))
+          *. jitter ~owner ~peer ~attempt
+        in
+        Unix.sleepf delay;
+        if (not (Atomic.get t.stop)) && not (link_alive t ~owner ~peer) then
+          match t.peer_addr.(peer) with
+          | None -> ()
+          | Some (host, port) -> (
+              match dial ~owner host port with
+              | Some fd ->
+                  register_conn t (new_conn ~fd ~owner ~peer);
+                  wake t
+              | None -> go (attempt + 1))
+      end
+    in
+    go 0;
+    Mutex.lock t.clock;
+    t.reconnecting.(owner).(peer) <- false;
+    Mutex.unlock t.clock
+
+  (* the side that originally initiated (higher id) re-initiates; the
+     accepting side's conn re-forms when the initiator's fresh connect
+     is promoted.  At most one reconnector per directed link. *)
+  let maybe_reconnect t ~owner ~peer =
+    if owner > peer && t.peer_addr.(peer) <> None then begin
+      Mutex.lock t.clock;
+      let spawn =
+        (not t.closed)
+        && (not (Atomic.get t.stop))
+        && not t.reconnecting.(owner).(peer)
+      in
+      if spawn then t.reconnecting.(owner).(peer) <- true;
+      Mutex.unlock t.clock;
+      if spawn then
+        ignore
+          (Thread.create (fun () -> reconnect_loop t ~owner ~peer) ()
+            : Thread.t)
+    end
+
+  let mark_dead t c =
+    if kill_conn t c then maybe_reconnect t ~owner:c.owner ~peer:c.peer
+
+  (* ---------------------------------------------------------------- *)
+  (* delivery into an endpoint inbox                                   *)
+  (* ---------------------------------------------------------------- *)
 
   (* [frame] is a fresh whole-frame bytes: queue it (split if it is a
      batch envelope — sub-messages are slices sharing the frame) *)
@@ -172,6 +329,31 @@ module M = struct
     | Some _ -> None  (* broken link: frames to it are lost *)
     | None -> invalid_arg (Printf.sprintf "Sock: no link %d -> %d" src dest)
 
+  (* loopback in-flight accounting: the frame will be parsed out of the
+     RECEIVER's end of the stream — [conns.(dest).(src)] — so the
+     per-conn share must be charged there, where [parse_frames]'s
+     take-back and [kill_conn]'s residue reclaim will find it.  A dying
+     receiver record means the bytes are already lost: charge nothing,
+     quiescence must not wait on them. *)
+  let charge_inflight t ~src ~dest =
+    if not t.loopback then None
+    else begin
+      Mutex.lock t.clock;
+      let r = t.conns.(dest).(src) in
+      Mutex.unlock t.clock;
+      match r with
+      | Some rc when rc.alive ->
+          Atomic.incr t.inflight;
+          Atomic.incr rc.cinflight;
+          Some rc
+      | _ -> None
+    end
+
+  (* undo one [charge_inflight] after a failed write *)
+  let uncharge_inflight t = function
+    | None -> ()
+    | Some rc -> if inflight_take_back rc then Atomic.decr t.inflight
+
   (* one physical frame, already materialized *)
   let ship_frame t ~src ~dest frame =
     if Bytes.length frame > max_frame then
@@ -181,10 +363,7 @@ module M = struct
       match conn_to t ~src ~dest with
       | None -> ()
       | Some c ->
-          if t.loopback then begin
-            Atomic.incr t.inflight;
-            Atomic.incr c.cinflight
-          end;
+          let charged = charge_inflight t ~src ~dest in
           Mutex.lock c.wlock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock c.wlock)
@@ -196,19 +375,74 @@ module M = struct
                 write_all c.fd hdr 0 4;
                 write_all c.fd frame 0 len
               with Unix.Unix_error _ ->
-                if t.loopback && inflight_take_back c then
-                  Atomic.decr t.inflight;
+                uncharge_inflight t charged;
                 mark_dead t c)
 
+  (* apply a chaos Sever: kill both hosted conn records of the pair
+     (each is one end of the same TCP stream, so killing either would
+     eventually EOF the other — killing both is merely prompt) *)
+  let sever_pair t a b =
+    List.iter
+      (fun (x, y) ->
+        if x >= 0 && x < t.n && y >= 0 && y < t.n then
+          match t.conns.(x).(y) with
+          | Some c when c.alive -> mark_dead t c
+          | _ -> ())
+      [ (a, b); (b, a) ]
+
+  (* a chaos kill/restart of machine [m]: its queued inbox and
+     unflushed batches die with the process, and every TCP connection
+     it had is severed (reconnection re-forms them; while the machine
+     is down the injector swallows its traffic) *)
+  let apply_transition t = function
+    | Fault_sim.Crashed { machine; durability } ->
+        Metrics.incr_crashes t.metrics;
+        (match t.eps.(machine) with
+        | Some ep ->
+            Mutex.lock ep.ilock;
+            Queue.clear ep.inbox;
+            Mutex.unlock ep.ilock
+        | None -> ());
+        Option.iter (fun b -> Batcher.drop_source b ~src:machine) t.batcher;
+        for other = 0 to t.n - 1 do
+          if other <> machine then sever_pair t machine other
+        done;
+        fire_process t (Transport.Proc_crashed { machine; durability })
+    | Fault_sim.Restarted { machine; epoch; durability } ->
+        Metrics.incr_restarts t.metrics;
+        fire_process t (Transport.Proc_restarted { machine; epoch; durability })
+
+  (* drain the injector's side effects after its clock advanced:
+     released stall frames ship directly (they already passed the fault
+     stage), fired connection actions are applied, and crash/restart
+     transitions wipe and notify like the sim backend does *)
+  let chaos_drain t c =
+    List.iter
+      (fun (src, dest, f) -> ship_frame t ~src ~dest f)
+      (Chaos.take_released c);
+    List.iter
+      (function
+        | Chaos.Sever { a; b } -> sever_pair t a b
+        | Chaos.Stall _ -> ())
+      (Chaos.take_actions c);
+    List.iter (fun tr -> apply_transition t tr) (Chaos.take_transitions c)
+
   let ship_hooked t ~src ~dest frame =
-    match t.fault with
-    | None -> ship_frame t ~src ~dest frame
-    | Some hook -> (
-        (* a dropped frame is lost forever here: TCP does not
-           retransmit what was never written *)
-        match hook ~src ~dest frame with
-        | Some f -> ship_frame t ~src ~dest f
-        | None -> ())
+    let frames =
+      match t.fault with None -> [ frame ] | Some hook -> hook ~src ~dest frame
+    in
+    match t.chaos with
+    | None -> List.iter (fun f -> ship_frame t ~src ~dest f) frames
+    | Some c ->
+        (* a frame the injector drops was never written: TCP cannot
+           resurrect it — recovery belongs to the Reliable layer above *)
+        List.iter
+          (fun f ->
+            List.iter
+              (fun f' -> ship_frame t ~src ~dest f')
+              (Chaos.on_send c ~src ~dest f))
+          frames;
+        chaos_drain t c
 
   (* the no-materialization path: the payload sits in [w] at
      [payload_off] with >= 4 reserved bytes before it; the length
@@ -218,8 +452,9 @@ module M = struct
     let payload_len = Msgbuf.length w - payload_off in
     if payload_len > max_frame then
       invalid_arg "Sock: frame exceeds the 64 MiB bound";
-    if src = dest || t.fault <> None then begin
-      (* local delivery and the fault hook both need a real frame *)
+    if src = dest || t.fault <> None || t.chaos <> None then begin
+      (* local delivery, the fault hook and the chaos injector all
+         need a real frame *)
       let frame = Msgbuf.sub w ~off:payload_off ~len:payload_len in
       charge t payload_len;
       ship_hooked t ~src ~dest frame
@@ -230,18 +465,14 @@ module M = struct
       | Some c ->
           let storage = Msgbuf.unsafe_storage w in
           put_len storage (payload_off - 4) payload_len;
-          if t.loopback then begin
-            Atomic.incr t.inflight;
-            Atomic.incr c.cinflight
-          end;
+          let charged = charge_inflight t ~src ~dest in
           Mutex.lock c.wlock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock c.wlock)
             (fun () ->
               try write_all c.fd storage (payload_off - 4) (payload_len + 4)
               with Unix.Unix_error _ ->
-                if t.loopback && inflight_take_back c then
-                  Atomic.decr t.inflight;
+                uncharge_inflight t charged;
                 mark_dead t c)
 
   (* logical-traffic accounting, identical to the sim backend *)
@@ -255,6 +486,14 @@ module M = struct
     check t dest;
     account_send t (Bytes.length msg);
     ship_hooked t ~src ~dest msg
+
+  (* physical transmit: rides the fault hook and the chaos injector
+     like a send, but charges nothing — the Reliable layer's control
+     traffic *)
+  let send_raw t ~src ~dest frame =
+    check t src;
+    check t dest;
+    ship_hooked t ~src ~dest frame
 
   let send_writer t ~src ~dest w ~payload_off =
     check t src;
@@ -382,25 +621,7 @@ module M = struct
   (* the event loop: accept, read hellos, reassemble frames            *)
   (* ---------------------------------------------------------------- *)
 
-  let register_conn t c =
-    Mutex.lock t.clock;
-    t.conns.(c.owner).(c.peer) <- Some c;
-    Mutex.unlock t.clock
-
-  let promote t p peer =
-    let c =
-      {
-        fd = p.pfd;
-        owner = p.powner;
-        peer;
-        wlock = Mutex.create ();
-        alive = true;
-        rbuf = Bytes.create 65536;
-        rlen = 0;
-        cinflight = Atomic.make 0;
-      }
-    in
-    register_conn t c
+  let promote t p peer = register_conn t (new_conn ~fd:p.pfd ~owner:p.powner ~peer)
 
   let parse_frames t c =
     let pos = ref 0 in
@@ -446,6 +667,7 @@ module M = struct
   let read_pending t p =
     match Unix.read p.pfd p.hello p.hlen (4 - p.hlen) with
     | 0 ->
+        (* connected, then died before completing the hello *)
         Mutex.lock t.clock;
         t.pendings <- List.filter (fun q -> q != p) t.pendings;
         Mutex.unlock t.clock;
@@ -457,6 +679,8 @@ module M = struct
           Mutex.lock t.clock;
           t.pendings <- List.filter (fun q -> q != p) t.pendings;
           Mutex.unlock t.clock;
+          (* a malformed hello (peer id out of range) is not a protocol
+             we can answer: close and move on, the loop survives *)
           if peer >= 0 && peer < t.n then promote t p peer
           else try Unix.close p.pfd with Unix.Unix_error _ -> ()
         end
@@ -479,56 +703,52 @@ module M = struct
         Mutex.unlock t.clock
     | exception Unix.Unix_error _ -> ()
 
+  type fd_kind =
+    | K_wake
+    | K_listener of int * Unix.file_descr
+    | K_conn of conn
+    | K_pending of pending_conn
+
+  (* multiplex with poll(2), not select: a select fd_set caps the whole
+     process at FD_SETSIZE descriptors (1024 on Linux), which bounded
+     the loopback mesh at 26 machines; poll's only ceiling is the
+     RLIMIT_NOFILE budget (see [max_loopback_machines]) *)
   let loop_body t =
     while not (Atomic.get t.stop) do
-      (* snapshot the fd sets under the lock: registrations from the
-         connecting thread wake us via the pipe to re-snapshot *)
+      (* snapshot the fd set under the lock: registrations from
+         connecting/reconnecting threads wake us via the pipe to
+         re-snapshot *)
       Mutex.lock t.clock;
-      let listeners = ref [] and conns = ref [] and pends = ref [] in
+      let entries = ref [] in
       Array.iteri
         (fun i ep ->
-          match ep with Some e -> listeners := (i, e.lfd) :: !listeners | None -> ())
+          match ep with
+          | Some e -> entries := (e.lfd, K_listener (i, e.lfd)) :: !entries
+          | None -> ())
         t.eps;
       Array.iter
         (Array.iter (function
-          | Some c when c.alive -> conns := c :: !conns
+          | Some c when c.alive -> entries := (c.fd, K_conn c) :: !entries
           | _ -> ()))
         t.conns;
-      pends := t.pendings;
+      List.iter (fun p -> entries := (p.pfd, K_pending p) :: !entries)
+        t.pendings;
       Mutex.unlock t.clock;
-      let fds =
-        t.wake_r
-        :: List.map snd !listeners
-        @ List.map (fun (c : conn) -> c.fd) !conns
-        @ List.map (fun p -> p.pfd) !pends
-      in
-      match Unix.select fds [] [] 0.5 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
-          (* a conn died between snapshot and select; re-snapshot *)
-          Thread.yield ()
-      | ready, _, _ ->
-          List.iter
-            (fun fd ->
-              if fd = t.wake_r then begin
-                let b = Bytes.create 16 in
-                try ignore (Unix.read t.wake_r b 0 16) with _ -> ()
-              end
-              else
-                match List.find_opt (fun (_, l) -> l = fd) !listeners with
-                | Some (owner, lfd) -> accept_on t owner lfd
-                | None -> (
-                    match
-                      List.find_opt (fun (c : conn) -> c.fd = fd) !conns
-                    with
-                    | Some c -> if c.alive then read_conn t c
-                    | None -> (
-                        match
-                          List.find_opt (fun p -> p.pfd = fd) !pends
-                        with
-                        | Some p -> read_pending t p
-                        | None -> ())))
-            ready
+      let arr = Array.of_list ((t.wake_r, K_wake) :: !entries) in
+      let fds = Array.map fst arr in
+      List.iter
+        (fun i ->
+          match snd arr.(i) with
+          | K_wake -> (
+              let b = Bytes.create 16 in
+              try ignore (Unix.read t.wake_r b 0 16) with _ -> ())
+          | K_listener (owner, lfd) -> accept_on t owner lfd
+          (* [alive] re-checked at read time: a conn killed between the
+             snapshot and the poll (its fd possibly already reused by a
+             fresh dial) must not be read through the stale record *)
+          | K_conn c -> if c.alive then read_conn t c
+          | K_pending p -> read_pending t p)
+        (Poll.readable fds ~timeout:0.5)
     done
 
   (* ---------------------------------------------------------------- *)
@@ -537,7 +757,16 @@ module M = struct
 
   let idle t ~self =
     check t self;
-    (* TCP is the retransmit machinery *)
+    (* the caller is quiescing on us in a spin; when every link is down
+       that spin makes no blocking syscall at all, which on one domain
+       would starve the event loop and the reconnector threads of the
+       runtime lock forever — enter a real blocking section so they can
+       take it (Thread.yield is not enough: it only reschedules, and the
+       starved threads sit in timed waits, not on the run queue) *)
+    Unix.sleepf 50e-6;
+    (* TCP is the retransmit machinery; the injector's clock may still
+       owe released frames or connection actions *)
+    (match t.chaos with Some c -> chaos_drain t c | None -> ());
     Transport.Raw_transport
 
   let pending_anywhere t =
@@ -553,6 +782,10 @@ module M = struct
            | None -> false)
          t.eps
     || (match t.batcher with None -> false | Some b -> Batcher.any b)
+  (* frames the chaos injector holds or parks are deliberately NOT
+     pending: they only move when the frame clock advances, i.e. when
+     the caller keeps driving [idle]/sends rather than waiting — the
+     same contract the Sim backend has for [Fault_sim] holds *)
 
   let peer_health t ~self ~peer =
     check t self;
@@ -560,17 +793,21 @@ module M = struct
     t.health.(self).(peer)
 
   let set_detector _ _ = ()
-  let self_epoch t m = check t m; 0
+
+  let self_epoch t m =
+    check t m;
+    t.base_epoch
+    + (match t.chaos with Some c -> Chaos.epoch_of c m | None -> 0)
+
   let on_peer_event t f = t.peer_hooks <- t.peer_hooks @ [ f ]
   let on_process_event t f = t.process_hooks <- t.process_hooks @ [ f ]
 
-  let set_faults _ _ =
-    invalid_arg
-      "Sock.set_faults: seeded fault schedules require the sim transport \
-       (a kernel socket has no simulated physical layer)"
-
-  let clear_faults _ = ()
-  let faults _ = None
+  (* a bare fault schedule arriving through the generic Transport
+     surface becomes a chaos injector with an empty connection plan:
+     the frame-level semantics are exactly the Sim backend's *)
+  let set_faults t fs = t.chaos <- Some (Chaos.of_fault_sim ~n:t.n fs)
+  let clear_faults t = t.chaos <- None
+  let faults t = Option.map Chaos.fault_sim t.chaos
   let set_fault_hook t hook = t.fault <- Some hook
   let clear_fault_hook t = t.fault <- None
 
@@ -625,6 +862,29 @@ include M
 
 let pack (t : M.t) : Transport.t = Transport.pack (module M) t
 
+(* test/diagnostic surface on the unpacked handle *)
+let set_chaos (t : M.t) c = t.M.chaos <- Some c
+let chaos (t : M.t) = t.M.chaos
+
+let link_generation (t : M.t) ~owner ~peer =
+  M.check t owner;
+  M.check t peer;
+  Mutex.lock t.M.clock;
+  let g = t.M.gens.(owner).(peer) in
+  Mutex.unlock t.M.clock;
+  g
+
+let sever (t : M.t) ~a ~b =
+  M.check t a;
+  M.check t b;
+  M.sever_pair t a b
+
+let listen_port (t : M.t) machine =
+  let ep = M.hosted t machine in
+  match Unix.getsockname ep.M.lfd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> invalid_arg "Sock.listen_port: endpoint is not on a TCP listener"
+
 (* ------------------------------------------------------------------ *)
 (* construction                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -641,7 +901,12 @@ let listen_on host port =
   in
   (fd, actual_port)
 
-let make ~n ~loopback ~hosted_ids ~listeners metrics =
+let make ~n ~loopback ~hosted_ids ~listeners ~peer_addr metrics =
+  (* a peer that dies between our poll and our write turns the write
+     into a SIGPIPE, whose default action kills the whole process —
+     with it ignored the write returns EPIPE and the ordinary
+     [mark_dead]/reconnect path takes over *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let eps = Array.make n None in
   List.iter2
     (fun id lfd ->
@@ -666,9 +931,14 @@ let make ~n ~loopback ~hosted_ids ~listeners metrics =
     inflight = Atomic.make 0;
     batcher = None;
     fault = None;
+    chaos = None;
+    base_epoch = 0;
     peer_hooks = [];
     process_hooks = [];
     health = Array.init n (fun _ -> Array.make n Transport.Alive);
+    peer_addr;
+    gens = Array.init n (fun _ -> Array.make n 0);
+    reconnecting = Array.init n (fun _ -> Array.make n false);
     stop = Atomic.make false;
     loop = None;
     wake_r;
@@ -683,34 +953,15 @@ let make ~n ~loopback ~hosted_ids ~listeners metrics =
 let connect_to t ~owner ~peer host port =
   let deadline = Unix.gettimeofday () +. mesh_timeout in
   let rec attempt () =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
-    | () -> fd
-    | exception Unix.Unix_error ((ECONNREFUSED | ENETUNREACH | ETIMEDOUT | EINTR), _, _)
-      when Unix.gettimeofday () < deadline ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+    match M.dial ~owner host port with
+    | Some fd -> fd
+    | None when Unix.gettimeofday () < deadline ->
         Unix.sleepf connect_retry_every;
         attempt ()
-    | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
+    | None -> failwith (Printf.sprintf "Sock: cannot reach %s:%d" host port)
   in
   let fd = attempt () in
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let hello = Bytes.create 4 in
-  M.put_len hello 0 owner;
-  M.write_all fd hello 0 4;
-  M.register_conn t
-    {
-      M.fd;
-      owner;
-      peer;
-      wlock = Mutex.create ();
-      alive = true;
-      rbuf = Bytes.create 65536;
-      rlen = 0;
-      cinflight = Atomic.make 0;
-    };
+  M.register_conn t (M.new_conn ~fd ~owner ~peer);
   M.wake t
 
 let mesh_complete t hosted_ids =
@@ -738,31 +989,40 @@ let await_mesh t hosted_ids =
   in
   go ()
 
-(* the event loop multiplexes with [Unix.select], which is bounded by
-   FD_SETSIZE (1024 on Linux).  A loopback mesh watches the wake pipe,
-   n listeners, n(n-1) conn fds (both ends of every link are hosted
-   here) and up to n(n-1)/2 pending accepts during formation:
-   1 + 26 + 26*25 + 26*25/2 = 1002 fits, n = 27 does not. *)
-let max_loopback_machines = 26
+(* the poll(2) event loop is bounded only by the process RLIMIT_NOFILE
+   budget.  A loopback mesh holds the wake pipe (2), n listeners,
+   n(n-1) conn fds (both ends of every link are hosted here) and up to
+   n(n-1)/2 pending accepts during formation; 64 descriptors of
+   headroom are left for the rest of the process, and the answer is
+   capped at 512 machines (the O(n^2) fd scan stops being a sane event
+   loop long before the budget runs out) *)
+let max_loopback_machines () =
+  let budget = Poll.nofile_limit () - 64 in
+  let fds n = 2 + n + (n * (n - 1)) + (n * (n - 1) / 2) in
+  let rec grow n = if n < 512 && fds (n + 1) <= budget then grow (n + 1) else n in
+  grow 1
 
-let create_loopback ~n metrics =
+let create_loopback_t ?chaos ~n metrics =
   if n < 1 then invalid_arg "Sock.create_loopback: need at least one machine";
-  if n > max_loopback_machines then
+  let cap = max_loopback_machines () in
+  if n > cap then
     invalid_arg
       (Printf.sprintf
          "Sock.create_loopback: a %d-machine mesh needs more descriptors \
-          than select's FD_SETSIZE allows (max %d machines per process)"
-         n max_loopback_machines);
+          than this process's RLIMIT_NOFILE budget allows (max %d machines)"
+         n cap);
   let hosted_ids = List.init n Fun.id in
   let listeners_ports =
     List.map (fun _ -> listen_on "127.0.0.1" 0) hosted_ids
   in
+  let ports = Array.of_list (List.map snd listeners_ports) in
+  let peer_addr = Array.init n (fun j -> Some ("127.0.0.1", ports.(j))) in
   let t =
     make ~n ~loopback:true ~hosted_ids
       ~listeners:(List.map fst listeners_ports)
-      metrics
+      ~peer_addr metrics
   in
-  let ports = Array.of_list (List.map snd listeners_ports) in
+  t.M.chaos <- chaos;
   t.M.loop <- Some (Thread.create M.loop_body t);
   for i = 0 to n - 1 do
     for j = 0 to i - 1 do
@@ -770,9 +1030,11 @@ let create_loopback ~n metrics =
     done
   done;
   await_mesh t hosted_ids;
-  pack t
+  t
 
-let create_process ?listen ~self ~addrs metrics =
+let create_loopback ?chaos ~n metrics = pack (create_loopback_t ?chaos ~n metrics)
+
+let create_process ?chaos ?(epoch = 0) ?listen ~self ~addrs metrics =
   let n = Array.length addrs in
   if n < 1 then invalid_arg "Sock.create_process: need at least one machine";
   if self < 0 || self >= n then
@@ -781,7 +1043,13 @@ let create_process ?listen ~self ~addrs metrics =
     match listen with Some hp -> hp | None -> addrs.(self)
   in
   let lfd, _ = listen_on bind_host bind_port in
-  let t = make ~n ~loopback:false ~hosted_ids:[ self ] ~listeners:[ lfd ] metrics in
+  let peer_addr = Array.map (fun a -> Some a) addrs in
+  let t =
+    make ~n ~loopback:false ~hosted_ids:[ self ] ~listeners:[ lfd ] ~peer_addr
+      metrics
+  in
+  t.M.chaos <- chaos;
+  t.M.base_epoch <- epoch;
   t.M.loop <- Some (Thread.create M.loop_body t);
   for j = 0 to self - 1 do
     let host, port = addrs.(j) in

@@ -4,7 +4,8 @@
     [n] machine endpoints in a full TCP mesh (one connection per
     unordered pair; the higher id initiates, a 4-byte hello names the
     connector).  A background event-loop thread multiplexes every
-    hosted socket with [select]: it accepts peers, reassembles the
+    hosted socket with [poll] (select's FD_SETSIZE would cap the mesh;
+    see {!max_loopback_machines}): it accepts peers, reassembles the
     length-prefixed byte stream into frames, splits batch envelopes
     into slices and queues them on the owning endpoint's inbox, where
     the slice-receive family picks them up.
@@ -13,16 +14,35 @@
     zero-copy send path ships a pooled gapped writer without
     materializing the frame: the prefix is back-filled into the
     reserved {!Envelope.gap} immediately before the payload, and the
-    prefix+payload leave in one contiguous [write] — the scatter-gather
-    path the PR 5 writers were shaped for, with the iovec collapsed to
-    a single span because the gap makes header and payload adjacent.
+    prefix+payload leave in one contiguous [write].
 
-    TCP already delivers reliably and in order, so the backend is
-    raw-like: [is_reliable] is [false], {!Transport.S.idle} returns
-    [Raw_transport], epochs are always 0, and a peer is [Down] exactly
-    when its connection broke.  {!Transport.S.set_faults} raises — the
-    seeded fault schedules exist to exercise the simulated physical
-    layer, which a kernel socket does not expose.
+    TCP already delivers reliably and in order {e while a connection
+    lives}, so the backend is raw-like: [is_reliable] is [false] and
+    {!Transport.S.idle} returns [Raw_transport].  Exactly-once across
+    link and process failures is the {!Reliable} adapter's job,
+    stacked above this backend.
+
+    {b Link death and reconnection.}  A connection that EOFs, errors,
+    or garbles its framing is killed: its unread in-flight share is
+    reclaimed, the peer is marked [Down] and [Peer_confirmed_down]
+    fires.  The side that originally initiated (higher id) then redials
+    with capped exponential backoff and deterministic jitter until the
+    link re-forms (or 30 s pass); the accepting side's conn re-forms
+    when the fresh connect is promoted.  A fresh conn starts with an
+    empty reassembly buffer — a frame half-written when the old
+    connection died is discarded at the length-prefix boundary — and
+    bumps the link generation ({!link_generation}).  A duplicate
+    connect from an already-connected peer id replaces the older conn
+    (the newest connection is the one the reconnecting initiator
+    writes to).
+
+    {b Chaos.}  {!Transport.S.set_faults} wraps the schedule in a
+    {!Chaos} injector (empty connection plan); creation takes [?chaos]
+    for a full injector with sever/stall actions.  Every outbound frame
+    then passes through the injector — drops, duplicates, holds,
+    corruption and kill/restart replay the Sim backend's seeded
+    semantics over real sockets — and [self_epoch]/[faults] answer from
+    the embedded simulator.
 
     Two modes:
     - {e loopback}: all [n] endpoints hosted in this process over
@@ -36,19 +56,61 @@ type t
 (** Erase into a first-class transport. *)
 val pack : t -> Transport.t
 
+(** The loopback machine ceiling for this process: the largest [n]
+    whose full mesh (wake pipe, [n] listeners, [n(n-1)] conn fds,
+    formation-transient pending accepts) fits the RLIMIT_NOFILE budget
+    with headroom, capped at 512. *)
+val max_loopback_machines : unit -> int
+
 (** [create_loopback ~n metrics] hosts all [n] endpoints on
-    127.0.0.1 ephemeral ports and blocks until the mesh is complete. *)
-val create_loopback : n:int -> Rmi_stats.Metrics.t -> Transport.t
+    127.0.0.1 ephemeral ports and blocks until the mesh is complete.
+    Raises [Invalid_argument] when [n] exceeds
+    {!max_loopback_machines}. *)
+val create_loopback :
+  ?chaos:Chaos.t -> n:int -> Rmi_stats.Metrics.t -> Transport.t
+
+(** {!create_loopback} returning the unpacked handle (tests use the
+    diagnostic surface below; [pack] it for the runtime). *)
+val create_loopback_t : ?chaos:Chaos.t -> n:int -> Rmi_stats.Metrics.t -> t
 
 (** [create_process ~self ~addrs metrics] hosts endpoint [self] of
     [Array.length addrs] machines; [addrs.(i)] is machine [i]'s
     [(host, port)].  Binds [addrs.(self)] (or [?listen], e.g. to bind
     0.0.0.0 behind NAT), connects to every lower id (retrying while
     peers boot), accepts every higher id, and blocks until the mesh is
-    complete (30 s timeout). *)
+    complete (30 s timeout).
+
+    [?epoch] (default 0) is the incarnation number this process stamps
+    on its frames (visible through [self_epoch], used by the
+    {!Reliable} adapter's envelopes).  Restart a killed server with a
+    higher epoch so surviving peers fence its previous life's frames
+    and reset their per-link duplicate-suppression state. *)
 val create_process :
+  ?chaos:Chaos.t ->
+  ?epoch:int ->
   ?listen:string * int ->
   self:int ->
   addrs:(string * int) array ->
   Rmi_stats.Metrics.t ->
   Transport.t
+
+(** {1 Diagnostic surface (unpacked handle)} *)
+
+(** Install / read the chaos injector. *)
+val set_chaos : t -> Chaos.t -> unit
+
+val chaos : t -> Chaos.t option
+
+(** How many times the (owner, peer) conn has been (re)registered:
+    1 after mesh formation, +1 per reconnect or duplicate-connect
+    replacement. *)
+val link_generation : t -> owner:int -> peer:int -> int
+
+(** Kill the TCP connection between [a] and [b] mid-stream (both
+    hosted conn records if loopback).  Reconnection then re-forms it —
+    the test hook behind the chaos [Sever] action. *)
+val sever : t -> a:int -> b:int -> unit
+
+(** The bound TCP port of a hosted endpoint's listener (tests dial it
+    raw to probe the handshake paths). *)
+val listen_port : t -> int -> int

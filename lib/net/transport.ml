@@ -59,7 +59,10 @@ module type S = sig
   val zero_copy : t -> bool
   val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
   val is_reliable : t -> bool
+  val is_hosted : t -> int -> bool
   val send : t -> src:int -> dest:int -> bytes -> unit
+
+  val send_raw : t -> src:int -> dest:int -> bytes -> unit
 
   val send_writer :
     t -> src:int -> dest:int -> Rmi_wire.Msgbuf.writer -> payload_off:int ->
@@ -91,7 +94,7 @@ module type S = sig
   val faults : t -> Fault_sim.t option
 
   val set_fault_hook :
-    t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+    t -> (src:int -> dest:int -> bytes -> bytes list) -> unit
 
   val clear_fault_hook : t -> unit
   val shutdown : t -> unit
@@ -106,7 +109,11 @@ let metrics (Packed ((module M), h)) = M.metrics h
 let zero_copy (Packed ((module M), h)) = M.zero_copy h
 let pool (Packed ((module M), h)) = M.pool h
 let is_reliable (Packed ((module M), h)) = M.is_reliable h
+let is_hosted (Packed ((module M), h)) m = M.is_hosted h m
 let send (Packed ((module M), h)) ~src ~dest msg = M.send h ~src ~dest msg
+
+let send_raw (Packed ((module M), h)) ~src ~dest frame =
+  M.send_raw h ~src ~dest frame
 
 (* the gap contract lives here, at the signature level: every backend
    frames in place by back-filling headers/length prefixes before

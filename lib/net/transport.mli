@@ -96,9 +96,24 @@ module type S = sig
       interpret (retransmissions, give-ups). *)
   val is_reliable : t -> bool
 
+  (** Whether machine [m]'s endpoint lives in this process.  Loopback
+      and simulated backends host every machine; a process-mode backend
+      hosts only its own id.  Acting as a non-hosted machine — sending
+      with it as [src], receiving for it, driving its timers — is not
+      meaningful, and a reliability layer stacked above must restrict
+      its per-machine clock work to hosted ids. *)
+  val is_hosted : t -> int -> bool
+
   (** [send t ~src ~dest msg]; self-sends are allowed (loopback).
       Charges one [msgs_sent] and the payload bytes to the metrics. *)
   val send : t -> src:int -> dest:int -> bytes -> unit
+
+  (** Physical transmit: [frame] rides the same wire path as a [send]
+      (fault hook, fault schedule) but is never enveloped and never
+      charged to the logical counters — the escape hatch a reliability
+      layer stacked {e above} the backend uses for its own control
+      traffic (acks, retransmissions, heartbeats). *)
+  val send_raw : t -> src:int -> dest:int -> bytes -> unit
 
   (** [send_writer t ~src ~dest w ~payload_off] ships the message
       sitting in [w.(payload_off..length w)] without materializing it
@@ -161,11 +176,13 @@ module type S = sig
   val clear_faults : t -> unit
   val faults : t -> Fault_sim.t option
 
-  (** The hook sees every physical frame about to leave and may pass it
-      through, corrupt it, or drop it; metrics still count the original
+  (** The hook sees every physical frame about to leave and returns the
+      frames to actually ship: pass through ([[frame]]), corrupt
+      ([[other]]), drop ([[]]), duplicate ([[frame; frame]]) or release
+      previously retained frames.  Metrics still count the original
       send. *)
   val set_fault_hook :
-    t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+    t -> (src:int -> dest:int -> bytes -> bytes list) -> unit
 
   val clear_fault_hook : t -> unit
 
@@ -189,7 +206,9 @@ val metrics : t -> Rmi_stats.Metrics.t
 val zero_copy : t -> bool
 val pool : t -> Rmi_wire.Msgbuf.Pool.buffers
 val is_reliable : t -> bool
+val is_hosted : t -> int -> bool
 val send : t -> src:int -> dest:int -> bytes -> unit
+val send_raw : t -> src:int -> dest:int -> bytes -> unit
 
 (** Forwards to the backend after asserting the gap contract: raises
     [Invalid_argument] unless [Envelope.gap <= payload_off <= length w]
@@ -224,7 +243,7 @@ val clear_faults : t -> unit
 val faults : t -> Fault_sim.t option
 
 val set_fault_hook :
-  t -> (src:int -> dest:int -> bytes -> bytes option) -> unit
+  t -> (src:int -> dest:int -> bytes -> bytes list) -> unit
 
 val clear_fault_hook : t -> unit
 val shutdown : t -> unit

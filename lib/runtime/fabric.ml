@@ -15,11 +15,22 @@ type t = {
 let make_nodes ?plan_store net ~n ~meta ~config ~plans =
   Array.init n (fun id -> Node.create ?plan_store net ~id ~meta ~config ~plans)
 
-let create ?(mode = Sync) ?(backend = Sim) ?faults ?plan_store ~n ~meta
+(* stack the Reliable ARQ adapter over a socket transport when the
+   config asks for it; raw TCP stays bare *)
+let layer_sock config lower =
+  match config.Config.transport with
+  | Config.Raw -> lower
+  | Config.Reliable -> Rmi_net.Reliable.wrap lower
+
+let create ?(mode = Sync) ?(backend = Sim) ?faults ?chaos ?plan_store ~n ~meta
     ~config ~plans ~metrics () =
   let net, sim =
     match backend with
     | Sim ->
+        if chaos <> None then
+          invalid_arg
+            "Fabric.create: the chaos injector drives a socket transport; \
+             use ?faults with the Sim backend";
         let transport =
           match config.Config.transport with
           | Config.Raw -> Rmi_net.Cluster.Raw
@@ -33,15 +44,14 @@ let create ?(mode = Sync) ?(backend = Sim) ?faults ?plan_store ~n ~meta
         Option.iter (Rmi_net.Cluster.set_faults cluster) faults;
         (Rmi_net.Sim.pack cluster, Some cluster)
     | Sock ->
-        if faults <> None then
+        if faults <> None && chaos <> None then
           invalid_arg
-            "Fabric.create: seeded fault schedules exercise the simulated \
-             physical layer; use the Sim backend";
-        if config.Config.transport = Config.Reliable then
-          invalid_arg
-            "Fabric.create: the Reliable ARQ layer is Sim-only (TCP already \
-             delivers reliably and in order); use transport Raw with Sock";
-        (Rmi_net.Sock.create_loopback ~n metrics, None)
+            "Fabric.create: pass either ?faults or ?chaos over Sock, not \
+             both (a chaos injector embeds its own fault schedule)";
+        let lower = Rmi_net.Sock.create_loopback ?chaos ~n metrics in
+        (* a bare schedule wraps into a connection-plan-free injector *)
+        Option.iter (Rmi_net.Transport.set_faults lower) faults;
+        (layer_sock config lower, None)
   in
   if config.Config.batching then Rmi_net.Transport.enable_batching net;
   let nodes = make_nodes ?plan_store net ~n ~meta ~config ~plans in
@@ -64,13 +74,12 @@ let create ?(mode = Sync) ?(backend = Sim) ?faults ?plan_store ~n ~meta
        nodes);
   t
 
-let create_process ?listen ?plan_store ~self ~addrs ~meta ~config ~plans
-    ~metrics () =
-  if config.Config.transport = Config.Reliable then
-    invalid_arg
-      "Fabric.create_process: the Reliable ARQ layer is Sim-only; use \
-       transport Raw over sockets";
-  let net = Rmi_net.Sock.create_process ?listen ~self ~addrs metrics in
+let create_process ?listen ?chaos ?epoch ?plan_store ~self ~addrs ~meta
+    ~config ~plans ~metrics () =
+  let net =
+    layer_sock config
+      (Rmi_net.Sock.create_process ?chaos ?epoch ?listen ~self ~addrs metrics)
+  in
   if config.Config.batching then Rmi_net.Transport.enable_batching net;
   let n = Array.length addrs in
   let nodes = make_nodes ?plan_store net ~n ~meta ~config ~plans in

@@ -36,15 +36,22 @@ type t
     survive node restarts (PR 4).
 
     [?backend] (default [Sim]) selects the interconnect.  [Sock] builds
-    a loopback TCP mesh: real syscalls, one address space.  Because TCP
-    already delivers reliably, [Sock] rejects [Config.Reliable] and
-    [?faults] with [Invalid_argument] — those exercise the simulated
-    physical layer.  [Sock] framing is always zero-copy;
-    [config.zero_copy] only affects the node-side codec contexts. *)
+    a loopback TCP mesh: real syscalls, one address space.  With
+    [Config.Reliable] the {!Rmi_net.Reliable} ARQ adapter is stacked
+    over the sockets (exactly-once across injected loss, severed links
+    and process crashes); [Config.Raw] is the bare TCP path.  [?faults]
+    over [Sock] wraps the schedule in a {!Rmi_net.Chaos} injector
+    (drops/dups/holds/corruption/crashes replayed over real frames);
+    [?chaos] installs a full injector with a connection plan (severs,
+    stalls) — pass one or the other, not both.  As on [Sim], injected
+    loss is only recovered under the [Reliable] transport.  [Sock]
+    framing is always zero-copy; [config.zero_copy] only affects the
+    node-side codec contexts. *)
 val create :
   ?mode:mode ->
   ?backend:backend ->
   ?faults:Rmi_net.Fault_sim.t ->
+  ?chaos:Rmi_net.Chaos.t ->
   ?plan_store:Rmi_core.Plan_store.t ->
   n:int ->
   meta:Rmi_serial.Class_meta.t ->
@@ -61,9 +68,15 @@ val create :
     connected.  The returned fabric holds a [Node.t] per machine id so
     remote refs resolve, but only [node t self] is live here — drive it
     directly ([Node.serve_loop] on servers, calls on the client);
-    {!start}/{!stop} are no-ops.  Rejects [Config.Reliable]. *)
+    {!start}/{!stop} are no-ops.  [Config.Reliable] stacks the
+    {!Rmi_net.Reliable} adapter per process; [?chaos] injects faults
+    into this process's outbound frames; [?epoch] is the incarnation
+    number a restarted server stamps on its frames (see
+    {!Rmi_net.Sock.create_process}). *)
 val create_process :
   ?listen:string * int ->
+  ?chaos:Rmi_net.Chaos.t ->
+  ?epoch:int ->
   ?plan_store:Rmi_core.Plan_store.t ->
   self:int ->
   addrs:(string * int) array ->

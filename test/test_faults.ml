@@ -56,8 +56,8 @@ let truncated_payload_is_clean_error () =
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
   (* truncate request payloads (keep the 9-byte header intact) *)
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
-      if dest = 1 && Bytes.length msg > 9 then Some (Bytes.sub msg 0 9)
-      else Some msg);
+      if dest = 1 && Bytes.length msg > 9 then [ Bytes.sub msg 0 9 ]
+      else [ msg ]);
   Alcotest.(check bool) "clean remote error" true
     (try
        ignore
@@ -88,7 +88,7 @@ let dropped_message_detected_as_deadlock () =
   Node.export n1 ~obj:0 ~meth:m_incr ~has_ret:true (fun args -> Some args.(0));
   (* drop every request to machine 1 *)
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest _ ->
-      if dest = 1 then None else assert false);
+      if dest = 1 then [] else assert false);
   Alcotest.(check bool) "deadlock detected" true
     (try
        ignore
@@ -136,9 +136,9 @@ let transient_drops_recovered_and_counted () =
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
       if dest = 1 && !dropped < 3 then begin
         incr dropped;
-        None
+        []
       end
-      else Some msg);
+      else [ msg ]);
   (match
      Node.call n0
        ~dest:(Remote_ref.make ~machine:1 ~obj:0)
@@ -158,7 +158,7 @@ let permanent_partition_times_out_cleanly () =
      after the RPC-level retries are spent the call has to surface a
      clean Peer_down *)
   Rmi_net.Cluster.set_fault_hook cluster (fun ~src:_ ~dest msg ->
-      if dest = 1 then None else Some msg);
+      if dest = 1 then [] else [ msg ]);
   Alcotest.(check bool) "clean peer-down" true
     (try
        ignore

@@ -5,4 +5,4 @@ let () =
    @ Test_serial.suite @ Test_runtime.suite @ Test_apps.suite
    @ Test_net.suite @ Test_stats.suite @ Test_harness.suite
    @ Test_soundness.suite @ Test_jfront.suite @ Test_differential.suite @ Test_faults.suite @ Test_reliable.suite @ Test_internals.suite @ Test_edge.suite @ Test_distributed.suite @ Test_optim.suite @ Test_futures.suite @ Test_crash.suite @ Test_tiers.suite @ Test_load.suite
-   @ Test_transport.suite)
+   @ Test_transport.suite @ Test_chaos.suite)
