@@ -334,6 +334,8 @@ type wire_row = {
   wb_ns_per_op : float;
   wb_copied_per_call : float;  (* Metrics.bytes_copied delta / calls *)
   wb_minor_per_call : float;  (* Gc.minor_words delta / calls *)
+  wb_major_per_call : float;  (* Gc.quick_stat major_words delta / calls *)
+  wb_promoted_per_call : float;  (* Gc.quick_stat promoted_words delta / calls *)
   wb_pool_hits : int;
   wb_pool_misses : int;
 }
@@ -344,18 +346,20 @@ let wire_measure ~calls (call, metrics) =
     call ()
   done;
   let s0 = Metrics.snapshot metrics in
-  let m0 = Gc.minor_words () in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to calls do
     call ()
   done;
   let t1 = Unix.gettimeofday () in
-  let m1 = Gc.minor_words () in
+  let g1 = Gc.quick_stat () in
   let s1 = Metrics.snapshot metrics in
   let fcalls = float_of_int calls in
   ( (t1 -. t0) *. 1e9 /. fcalls,
     float_of_int (s1.Metrics.bytes_copied - s0.Metrics.bytes_copied) /. fcalls,
-    (m1 -. m0) /. fcalls,
+    (g1.Gc.minor_words -. g0.Gc.minor_words) /. fcalls,
+    (g1.Gc.major_words -. g0.Gc.major_words) /. fcalls,
+    (g1.Gc.promoted_words -. g0.Gc.promoted_words) /. fcalls,
     s1.Metrics.pool_hits - s0.Metrics.pool_hits,
     s1.Metrics.pool_misses - s0.Metrics.pool_misses )
 
@@ -376,7 +380,7 @@ let wire_rows ~calls =
     (fun (wname, unit_m) ->
       List.map
         (fun (mname, config) ->
-          let ns, copied, minor, hits, misses =
+          let ns, copied, minor, major, promoted, hits, misses =
             wire_measure ~calls (unit_m config)
           in
           {
@@ -385,6 +389,8 @@ let wire_rows ~calls =
             wb_ns_per_op = ns;
             wb_copied_per_call = copied;
             wb_minor_per_call = minor;
+            wb_major_per_call = major;
+            wb_promoted_per_call = promoted;
             wb_pool_hits = hits;
             wb_pool_misses = misses;
           })
@@ -396,9 +402,11 @@ let wire_json ~calls rows =
     Printf.sprintf
       "    { \"workload\": %S, \"mode\": %S, \"ns_per_op\": %.1f, \
        \"bytes_copied_per_call\": %.1f, \"minor_words_per_call\": %.1f, \
+       \"major_words_per_call\": %.1f, \"promoted_words_per_call\": %.1f, \
        \"pool_hits\": %d, \"pool_misses\": %d }"
       r.wb_workload r.wb_mode r.wb_ns_per_op r.wb_copied_per_call
-      r.wb_minor_per_call r.wb_pool_hits r.wb_pool_misses
+      r.wb_minor_per_call r.wb_major_per_call r.wb_promoted_per_call
+      r.wb_pool_hits r.wb_pool_misses
   in
   Printf.sprintf
     "{\n  \"benchmark\": \"wire\",\n  \"calls\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
@@ -416,7 +424,7 @@ let run_wire ~calls path =
        ~headers:
          [
            "workload"; "mode"; "ns/op"; "copied B/call"; "minor w/call";
-           "pool hit"; "pool miss";
+           "major w/call"; "promoted w/call"; "pool hit"; "pool miss";
          ]
        (List.map
           (fun r ->
@@ -425,6 +433,8 @@ let run_wire ~calls path =
               Printf.sprintf "%.0f" r.wb_ns_per_op;
               Printf.sprintf "%.1f" r.wb_copied_per_call;
               Printf.sprintf "%.1f" r.wb_minor_per_call;
+              Printf.sprintf "%.1f" r.wb_major_per_call;
+              Printf.sprintf "%.1f" r.wb_promoted_per_call;
               string_of_int r.wb_pool_hits;
               string_of_int r.wb_pool_misses;
             ])

@@ -199,6 +199,70 @@ let wirecost_cmd =
           CI bench-smoke job gates on this.")
     Term.(const run $ wire_calls_arg $ Cli.window_arg $ wire_seed_arg)
 
+let alloc_cmd =
+  let alloc_calls_arg =
+    Arg.(
+      value
+      & opt int 192
+      & info [ "calls" ] ~docv:"N"
+          ~doc:
+            "How many measured RMIs each (workload, variant, allocator) run \
+             issues (after a warmup quarter).")
+  in
+  let alloc_seed_arg =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the lossy fault schedule of the reliable+faults \
+             variant; both allocator modes replay it deterministically.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to $(docv) (BENCH_alloc.json).")
+  in
+  let run calls window seed json =
+    let r = E.alloc_compare ~calls ~window ~seed () in
+    print_endline (E.render_alloc r);
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (E.alloc_json r);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    if
+      not
+        (r.E.al_frames_ok && r.E.al_results_ok && r.E.al_gate_ok
+       && r.E.al_arena_ok)
+    then begin
+      prerr_endline
+        "alloc: arena decoding drifted from the GC-heap frames or results, \
+         the gated row missed the 50% minor-words cut, or the arena failed \
+         to engage on a no-reuse row";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:
+         "Compare GC-heap decoding against arena decoding on the \
+          paper-table message shapes, each through its site-specialized \
+          plan (the matrix through the flat struct-of-arrays step), over \
+          raw, reliable, seeded-lossy and reliable-with-reuse links.  \
+          Digests every physical frame to prove both allocators \
+          byte-identical on the wire, and exits nonzero on any frame or \
+          result drift — or if the gated row misses the 50% \
+          minor-words-per-call cut against the checked-in baseline, or the \
+          arena fails to engage where the escape analysis licenses it.  \
+          The CI alloc-gate job runs this.")
+    Term.(
+      const run $ alloc_calls_arg $ Cli.window_arg $ alloc_seed_arg $ json_arg)
+
 let load_cmd =
   let load_calls_arg =
     Arg.(
@@ -715,6 +779,7 @@ let cmds =
     chaos_cmd;
     tiers_cmd;
     wirecost_cmd;
+    alloc_cmd;
     load_cmd;
     transport_cmd;
     proc_cmd;

@@ -119,6 +119,12 @@ and inline_array ctx ~depth ~path elem set =
   | Types.Tdouble -> Plan.S_double_array
   | Types.Tint -> Plan.S_int_array
   | Types.Tvoid -> Plan.S_dyn
+  (* homogeneous array-of-scalar-arrays: decode into flat row-major
+     storage, one bounds check per matrix.  Ragged/null/shared rows are
+     a runtime shape violation the writer detects, deoptimizing the
+     position to S_dyn through the widen machinery. *)
+  | Types.Tarray Types.Tdouble -> Plan.S_flat_array { felem = Plan.F_darr }
+  | Types.Tarray Types.Tint -> Plan.S_flat_array { felem = Plan.F_iarr }
   | Types.Tbool | Types.Tstring | Types.Tobject _ | Types.Tarray _ ->
       let g = Heap_analysis.graph ctx.r in
       let path = Int_set.union path set in
@@ -131,15 +137,24 @@ and inline_array ctx ~depth ~path elem set =
         { elem = step_of ctx ~depth:(depth + 1) ~path elem tgts }
 
 let budgeted config step =
-  let rec size = function
-    | Plan.S_bool | Plan.S_int | Plan.S_double | Plan.S_string | Plan.S_null
-    | Plan.S_double_array | Plan.S_int_array | Plan.S_dyn | Plan.S_ref _ ->
-        1
-    | Plan.S_obj { fields; _ } ->
-        Array.fold_left (fun acc s -> acc + size s) 1 fields
-    | Plan.S_obj_array { elem } -> 1 + size elem
-  in
-  if size step > config.max_plan_size then Plan.S_dyn else step
+  if Plan.step_size step > config.max_plan_size then Plan.S_dyn else step
+
+(* The flat encoding does not carry per-row handles, so it cannot
+   preserve row identity through the runtime cycle table; on positions
+   the cycle analysis could not prove acyclic, fall back to the boxed
+   per-row encoding. *)
+let rec deflatten = function
+  | Plan.S_flat_array { felem = Plan.F_darr } ->
+      Plan.S_obj_array { elem = Plan.S_double_array }
+  | Plan.S_flat_array { felem = Plan.F_iarr } ->
+      Plan.S_obj_array { elem = Plan.S_int_array }
+  | Plan.S_obj { cls; fields } ->
+      Plan.S_obj { cls; fields = Array.map deflatten fields }
+  | Plan.S_obj_array { elem } -> Plan.S_obj_array { elem = deflatten elem }
+  | ( Plan.S_bool | Plan.S_int | Plan.S_double | Plan.S_string | Plan.S_null
+    | Plan.S_double_array | Plan.S_int_array | Plan.S_dyn | Plan.S_ref _ ) as s
+    ->
+      s
 
 let make_ctx config r =
   { r; config; rev_defs = []; ndefs = 0; in_progress = [] }
@@ -185,6 +200,16 @@ let plan_for ?(config = default_config) r (cs : Heap_analysis.callsite_info) =
   let reuse_ret =
     cs.has_dst && Escape_analysis.is_reusable (Escape_analysis.ret_verdict r cs)
   in
+  (* every argument provably does not outlive the call: the callee may
+     reclaim the whole decoded argument graph after replying *)
+  let non_escaping =
+    Array.length reuse_args > 0 && Array.for_all Fun.id reuse_args
+  in
+  let args = if args_cyclic then Array.map deflatten args else args in
+  let ret = if ret_cyclic then Option.map deflatten ret else ret in
+  let defs =
+    if args_cyclic || ret_cyclic then Array.map deflatten defs else defs
+  in
   {
     Plan.callsite = cs.cs_site;
     defs;
@@ -194,6 +219,7 @@ let plan_for ?(config = default_config) r (cs : Heap_analysis.callsite_info) =
     cycle_ret = ret_cyclic;
     reuse_args;
     reuse_ret;
+    non_escaping;
     version = 1;
     polluted = false;
   }

@@ -1,3 +1,5 @@
+type flat_elem = F_darr | F_iarr
+
 type step =
   | S_bool
   | S_int
@@ -8,6 +10,7 @@ type step =
   | S_double_array
   | S_int_array
   | S_obj_array of { elem : step }
+  | S_flat_array of { felem : flat_elem }
   | S_dyn
   | S_ref of int
 
@@ -20,6 +23,7 @@ type t = {
   cycle_ret : bool;
   reuse_args : bool array;
   reuse_ret : bool;
+  non_escaping : bool;
   version : int;
   polluted : bool;
 }
@@ -36,6 +40,7 @@ let generic ~callsite ~nargs ~has_ret =
     cycle_ret = true;
     reuse_args = Array.make nargs false;
     reuse_ret = false;
+    non_escaping = false;
     version = generic_version;
     polluted = false;
   }
@@ -83,6 +88,10 @@ let rec step_size = function
   | S_bool | S_int | S_double | S_string | S_null | S_double_array | S_int_array
   | S_dyn | S_ref _ ->
       1
+  (* a flat step covers both levels of the matrix it fuses, so it costs
+     what the S_obj_array/S_*_array pair it replaces would — inlining
+     budgets are unchanged by flattening *)
+  | S_flat_array _ -> 2
   | S_obj { fields; _ } ->
       Array.fold_left (fun acc s -> acc + step_size s) 1 fields
   | S_obj_array { elem } -> 1 + step_size elem
@@ -106,13 +115,15 @@ let rec pp_step ppf = function
   | S_double_array -> Format.pp_print_string ppf "double[]"
   | S_int_array -> Format.pp_print_string ppf "int[]"
   | S_obj_array { elem } -> Format.fprintf ppf "%a[]" pp_step elem
+  | S_flat_array { felem = F_darr } -> Format.pp_print_string ppf "flat double[][]"
+  | S_flat_array { felem = F_iarr } -> Format.pp_print_string ppf "flat int[][]"
   | S_dyn -> Format.pp_print_string ppf "dyn"
   | S_ref d -> Format.fprintf ppf "rec#%d" d
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v2>plan@%d (v%d%s):@ args=[%a]@ ret=%a@ cycle_args=%b cycle_ret=%b \
-     reuse_args=[%s] reuse_ret=%b@]"
+     reuse_args=[%s] reuse_ret=%b non_escaping=%b@]"
     t.callsite t.version
     (if t.polluted then ", polluted" else "")
     (Format.pp_print_seq
@@ -125,4 +136,4 @@ let pp ppf t =
     t.ret t.cycle_args t.cycle_ret
     (String.concat ";"
        (Array.to_list (Array.map string_of_bool t.reuse_args)))
-    t.reuse_ret
+    t.reuse_ret t.non_escaping

@@ -10,6 +10,9 @@
     Layout invariant: [S_obj.fields] has one step per {e flat} field
     (inherited first), matching {!Jir.Program.all_fields} order. *)
 
+(** Element kind of a flattened array-of-arrays. *)
+type flat_elem = F_darr  (** double[][] *) | F_iarr  (** int[][] *)
+
 type step =
   | S_bool
   | S_int
@@ -21,6 +24,14 @@ type step =
   | S_double_array  (** marker, length varint, raw payload *)
   | S_int_array
   | S_obj_array of { elem : step }  (** marker, length, element steps *)
+  | S_flat_array of { felem : flat_elem }
+      (** rectangular array-of-scalar-arrays flattened struct-of-arrays
+          style: marker, rows, cols, then one contiguous row-major
+          payload — one bounds check per matrix instead of one marker +
+          length + bounds check per row.  The writer proves the shape
+          (no null/shared/ragged rows) at serialization time and raises
+          [Type_confusion] otherwise, deoptimizing through {!widen}
+          like any other broken static promise *)
   | S_dyn
       (** type not statically unique (or inlining rejected): fall back
           to the dynamic, tag-carrying serializer *)
@@ -40,6 +51,10 @@ type t = {
   cycle_ret : bool;
   reuse_args : bool array;  (** per-argument reuse cache at the callee *)
   reuse_ret : bool;  (** return-value reuse cache at the caller *)
+  non_escaping : bool;
+      (** escape analysis proved no argument outlives the served call:
+          the whole decoded argument graph may be reclaimed wholesale
+          (arena reset) once the reply has been serialized *)
   version : int;
       (** encoding version negotiated on the wire: 0 is the generic
           plan, 1 the ahead-of-time compiled plan, and each
@@ -73,6 +88,8 @@ val widen : t -> position -> t
 (** Number of [step] nodes (diagnostic; the paper's inliner rejects
     oversized marshalers). *)
 val size : t -> int
+
+val step_size : step -> int
 
 val pp_step : Format.formatter -> step -> unit
 val pp : Format.formatter -> t -> unit

@@ -755,6 +755,7 @@ let tier_plan =
     cycle_ret = false;
     reuse_args = [| false |];
     reuse_ret = false;
+    non_escaping = false;
     version = 1;
     polluted = false;
   }
@@ -1229,6 +1230,304 @@ let render_wirecost (r : wire_report) =
     (if r.u_frames_ok then "yes" else "NO")
     (if r.u_results_ok then "yes" else "NO")
     (if r.u_gate_ok then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
+(* alloc: GC-heap decoding vs arena decoding (PR 10)                   *)
+(* ------------------------------------------------------------------ *)
+
+type alloc_run = {
+  al_digest : string;
+  al_checksum : float;
+  al_minor_per_call : float;
+  al_arena_allocs : int;
+  al_arena_resets : int;
+  al_arena_fallbacks : int;
+}
+
+type alloc_row = {
+  al_workload : string;
+  al_variant : string;
+  al_heap : alloc_run;
+  al_arena : alloc_run;
+  al_gated : bool;
+  al_arena_active : bool;
+}
+
+type alloc_report = {
+  al_title : string;
+  al_rows : alloc_row list;
+  al_frames_ok : bool;
+  al_results_ok : bool;
+  al_gate_ok : bool;
+  al_arena_ok : bool;
+}
+
+(* The checked-in BENCH_wire.json baseline for the gated row — minor
+   words per call of matrix16x16 over the reliable transport under
+   site+reuse+cycle, measured before this PR's allocation work.  The
+   [alloc] gate requires at least a 50% cut against it. *)
+let alloc_baseline_minor = 14_457.4
+
+(* Site-specialized plans for the two paper-table message shapes.  Both
+   carry the escape analysis verdict ([reuse_args] all true, hence
+   [non_escaping]): the handlers fold their argument and return a
+   scalar, so nothing outlives the dispatch. *)
+let alloc_chain_plan =
+  {
+    Plan.callsite = wire_site;
+    defs = [| Plan.S_obj { cls = 0; fields = [| Plan.S_int; Plan.S_ref 0 |] } |];
+    args = [| Plan.S_ref 0 |];
+    ret = Some Plan.S_int;
+    cycle_args = false;
+    cycle_ret = false;
+    reuse_args = [| true |];
+    reuse_ret = false;
+    non_escaping = true;
+    version = 1;
+    polluted = false;
+  }
+
+let alloc_matrix_plan =
+  {
+    Plan.callsite = wire_site;
+    defs = [||];
+    args = [| Plan.S_flat_array { felem = Plan.F_darr } |];
+    ret = Some Plan.S_double;
+    cycle_args = false;
+    cycle_ret = false;
+    reuse_args = [| true |];
+    reuse_ret = false;
+    non_escaping = true;
+    version = 1;
+    polluted = false;
+  }
+
+let alloc_workloads =
+  match wire_workloads with
+  | [ chain; matrix ] -> [ (chain, alloc_chain_plan); (matrix, alloc_matrix_plan) ]
+  | _ -> assert false
+
+(* one allocator mode of one variant: [calls] specialized RMIs after a
+   warmup quarter, digesting every pre-fault frame; minor words are
+   measured over the post-warmup phase only, so one-time plan/context
+   setup is excluded — the same discipline as the bench harness *)
+let run_alloc_run ~config ?faults ~window ~calls (ww : wire_workload) plan =
+  let metrics = Metrics.create () in
+  let plans = Hashtbl.create 4 in
+  Hashtbl.replace plans wire_site plan;
+  let sim =
+    Option.map
+      (fun (seed, profile) -> Fault_sim.create ~seed ~n:2 profile)
+      faults
+  in
+  let fabric =
+    Fabric.create ~mode:Fabric.Sync ?faults:sim ~n:2
+      ~meta:(Lazy.force wire_meta) ~config ~plans ~metrics ()
+  in
+  let digest = ref "" in
+  Rmi_net.Transport.set_fault_hook (Fabric.net fabric)
+    (fun ~src:_ ~dest:_ frame ->
+      digest := Digest.string (!digest ^ Digest.bytes frame);
+      [ frame ]);
+  Node.export (Fabric.node fabric 1) ~obj:0 ~meth:m_wire ~has_ret:true
+    ww.ww_handler;
+  let caller = Fabric.node fabric 0 in
+  let dest = Remote_ref.make ~machine:1 ~obj:0 in
+  let arg = Lazy.force ww.ww_arg in
+  let checksum = ref 0.0 in
+  let minor = ref 0.0 in
+  let warmup = max window (calls / 4) in
+  Fabric.run fabric (fun _ ->
+      let batch k =
+        let futures =
+          List.init k (fun _ ->
+              Node.call_async caller ~dest ~meth:m_wire ~callsite:wire_site
+                ~has_ret:true [| arg |])
+        in
+        List.iter
+          (fun f -> checksum := !checksum +. ww.ww_fold (Node.Future.await f))
+          futures
+      in
+      let run n =
+        let i = ref 0 in
+        while !i < n do
+          let k = min window (n - !i) in
+          batch k;
+          i := !i + k
+        done
+      in
+      run warmup;
+      checksum := 0.0;
+      let minor0 = Gc.minor_words () in
+      run calls;
+      minor := Gc.minor_words () -. minor0);
+  let s = Metrics.snapshot metrics in
+  {
+    al_digest =
+      (if String.length !digest = 0 then "-" else Digest.to_hex !digest);
+    al_checksum = !checksum;
+    al_minor_per_call = !minor /. float_of_int calls;
+    al_arena_allocs = s.Metrics.arena_allocs;
+    al_arena_resets = s.Metrics.arena_resets;
+    al_arena_fallbacks = s.Metrics.arena_fallbacks;
+  }
+
+(* Every paper-table message shape x three transport/optimization
+   variants, each run under both allocator modes.  The verdicts are the
+   [alloc] gate: byte-identical frame streams and results between the
+   GC-heap and arena runs; at least a 50% cut in minor words per call
+   on the gated row against the checked-in pre-PR baseline; and, on the
+   no-reuse rows where the arena is licensed to engage, the arena
+   actually recycling (allocs counted, wholesale resets happening,
+   steady state off the GC heap). *)
+let alloc_compare ?(calls = 192) ?(window = 8) ?(seed = 42) () =
+  let site = Config.site in
+  let variants =
+    [
+      ("raw site", site, None, false, true);
+      ("reliable site", Config.with_reliable site, None, false, true);
+      ( "reliable site+faults",
+        Config.with_reliable site,
+        Some (seed, Fault_sim.default_lossy),
+        false, true );
+      ( "reliable site+reuse+cycle",
+        Config.with_reliable Config.site_reuse_cycle,
+        None, true, false );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (ww, plan) ->
+        List.map
+          (fun (vname, config, faults, gated, arena_active) ->
+            let heap =
+              run_alloc_run ~config:(Config.legacy_heap config) ?faults ~window
+                ~calls ww plan
+            in
+            let arena =
+              run_alloc_run ~config:(Config.with_arena true config) ?faults
+                ~window ~calls ww plan
+            in
+            {
+              al_workload = ww.ww_name;
+              al_variant = vname;
+              al_heap = heap;
+              al_arena = arena;
+              al_gated = gated && String.equal ww.ww_name "matrix16x16";
+              al_arena_active = arena_active;
+            })
+          variants)
+      alloc_workloads
+  in
+  {
+    al_title =
+      Printf.sprintf
+        "alloc: GC-heap decoding vs arena decoding, %d calls per row, window \
+         %d, fault seed %d (baseline %.1f minor w/call)"
+        calls window seed alloc_baseline_minor;
+    al_rows = rows;
+    al_frames_ok =
+      List.for_all
+        (fun r -> String.equal r.al_heap.al_digest r.al_arena.al_digest)
+        rows;
+    al_results_ok =
+      List.for_all
+        (fun r -> Float.equal r.al_heap.al_checksum r.al_arena.al_checksum)
+        rows;
+    al_gate_ok =
+      List.for_all
+        (fun r ->
+          (not r.al_gated)
+          || r.al_arena.al_minor_per_call <= 0.5 *. alloc_baseline_minor)
+        rows;
+    al_arena_ok =
+      List.for_all
+        (fun r ->
+          (not r.al_arena_active)
+          || r.al_arena.al_arena_allocs > 0
+             && r.al_arena.al_arena_resets > 0
+             && r.al_arena.al_arena_fallbacks * 10
+                <= r.al_arena.al_arena_allocs
+             && r.al_arena.al_minor_per_call < r.al_heap.al_minor_per_call)
+        rows;
+  }
+
+let render_alloc (r : alloc_report) =
+  let headers =
+    [
+      "workload"; "variant"; "minor w/call heap"; "arena"; "cut";
+      "arena allocs"; "resets"; "fallbacks"; "frames";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let cut =
+          if row.al_heap.al_minor_per_call <= 0.0 then 0.0
+          else
+            100.0
+            *. (row.al_heap.al_minor_per_call
+               -. row.al_arena.al_minor_per_call)
+            /. row.al_heap.al_minor_per_call
+        in
+        [
+          row.al_workload;
+          row.al_variant;
+          Printf.sprintf "%.1f" row.al_heap.al_minor_per_call;
+          Printf.sprintf "%.1f" row.al_arena.al_minor_per_call;
+          Printf.sprintf "%.1f%%%s" cut
+            (if row.al_gated then "  (gate row)" else "");
+          string_of_int row.al_arena.al_arena_allocs;
+          string_of_int row.al_arena.al_arena_resets;
+          string_of_int row.al_arena.al_arena_fallbacks;
+          (if String.equal row.al_heap.al_digest row.al_arena.al_digest then
+             "identical"
+           else "MISMATCH");
+        ])
+      r.al_rows
+  in
+  Printf.sprintf
+    "%s\n%s\nframe streams byte-identical: %s\nresults identical: %s\ngate \
+     row <= 50%% of %.1f minor w/call baseline: %s\narena engaged on \
+     no-reuse rows: %s"
+    r.al_title
+    (Rmi_stats.Ascii_table.render ~headers rows)
+    (if r.al_frames_ok then "yes" else "NO")
+    (if r.al_results_ok then "yes" else "NO")
+    alloc_baseline_minor
+    (if r.al_gate_ok then "yes" else "NO")
+    (if r.al_arena_ok then "yes" else "NO")
+
+let alloc_json (r : alloc_report) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"title\": %S,\n" r.al_title);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"baseline_minor_words_per_call\": %.1f,\n  \"frames_ok\": %b,\n  \
+        \"results_ok\": %b,\n  \"gate_ok\": %b,\n  \"arena_ok\": %b,\n"
+       alloc_baseline_minor r.al_frames_ok r.al_results_ok r.al_gate_ok
+       r.al_arena_ok);
+  Buffer.add_string b "  \"rows\": [\n";
+  let first = ref true in
+  List.iter
+    (fun row ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": %S, \"variant\": %S, \
+            \"minor_words_per_call_heap\": %.1f, \
+            \"minor_words_per_call_arena\": %.1f, \"arena_allocs\": %d, \
+            \"arena_resets\": %d, \"arena_fallbacks\": %d, \"gated\": %b, \
+            \"digest\": %S}"
+           row.al_workload row.al_variant row.al_heap.al_minor_per_call
+           row.al_arena.al_minor_per_call row.al_arena.al_arena_allocs
+           row.al_arena.al_arena_resets row.al_arena.al_arena_fallbacks
+           row.al_gated row.al_arena.al_digest))
+    r.al_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* rendering                                                           *)

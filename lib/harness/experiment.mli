@@ -261,6 +261,64 @@ val wirecost_compare :
 
 val render_wirecost : wire_report -> string
 
+(** One allocator mode of one alloc variant (PR 10). *)
+type alloc_run = {
+  al_digest : string;
+      (** chained MD5 over every post-warmup physical frame, in
+          transmit order, taken before the fault-simulator stage *)
+  al_checksum : float;  (** fold of all post-warmup replies *)
+  al_minor_per_call : float;  (** GC minor words per RMI, post-warmup *)
+  al_arena_allocs : int;
+  al_arena_resets : int;
+  al_arena_fallbacks : int;
+}
+
+(** One (workload, variant) pair, run under both allocators. *)
+type alloc_row = {
+  al_workload : string;  (** "chain100" / "matrix16x16" *)
+  al_variant : string;
+      (** "raw site" / "reliable site" / "reliable site+faults" /
+          "reliable site+reuse+cycle" *)
+  al_heap : alloc_run;  (** [Config.legacy_heap] *)
+  al_arena : alloc_run;
+  al_gated : bool;
+      (** the row measured against the checked-in BENCH_wire baseline *)
+  al_arena_active : bool;
+      (** no-reuse row: the arena is licensed to engage and must *)
+}
+
+type alloc_report = {
+  al_title : string;
+  al_rows : alloc_row list;
+  al_frames_ok : bool;  (** every row's frame digests identical *)
+  al_results_ok : bool;  (** every row's checksums identical *)
+  al_gate_ok : bool;
+      (** gated row's arena minor words <= 50% of the baseline *)
+  al_arena_ok : bool;
+      (** arena-active rows recycle: allocs and wholesale resets
+          counted, <= 10% heap fallbacks, fewer minor words than the
+          heap run *)
+}
+
+(** The checked-in pre-PR minor-words-per-call baseline for the gated
+    row (matrix16x16, reliable, site+reuse+cycle) from BENCH_wire.json. *)
+val alloc_baseline_minor : float
+
+(** Run the paper-table message shapes through their site-specialized
+    plans (the matrix through the flat struct-of-arrays step) over raw,
+    reliable, seeded-lossy-reliable and reliable-with-reuse links, each
+    under GC-heap decoding ([Config.legacy_heap]) and arena decoding.
+    Frames and reply checksums must be byte-identical between the two
+    allocator modes — the arena substitutes the allocator, never the
+    bytes. *)
+val alloc_compare :
+  ?calls:int -> ?window:int -> ?seed:int -> unit -> alloc_report
+
+val render_alloc : alloc_report -> string
+
+(** Machine-readable report for the CI alloc gate. *)
+val alloc_json : alloc_report -> string
+
 (** Render a timing table (paper vs modeled vs wall). *)
 val render_timing : timing_table -> string
 

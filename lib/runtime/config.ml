@@ -32,6 +32,7 @@ type t = {
   tier : tier;
   hot_threshold : int;
   zero_copy : bool;
+  arena : bool;
   domains : int;
   queue_depth : int;
 }
@@ -42,24 +43,25 @@ let class_ =
   { name = "class"; serializer = Class_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
     tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    arena = true;
     domains = 0; queue_depth = default_queue_depth }
 
 let site =
   { name = "site"; serializer = Site_specific; elide_cycle = false; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true; arena = true;
     domains = 0; queue_depth = default_queue_depth }
 
 let site_cycle =
   { name = "site + cycle"; serializer = Site_specific; elide_cycle = true; reuse = false;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true; arena = true;
     domains = 0; queue_depth = default_queue_depth }
 
 let site_reuse =
   { name = "site + reuse"; serializer = Site_specific; elide_cycle = false; reuse = true;
     transport = Raw; batching = false; failover = default_failover;
-    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true;
+    tier = Aot; hot_threshold = default_hot_threshold; zero_copy = true; arena = true;
     domains = 0; queue_depth = default_queue_depth }
 
 let site_reuse_cycle =
@@ -74,6 +76,7 @@ let site_reuse_cycle =
     tier = Aot;
     hot_threshold = default_hot_threshold;
     zero_copy = true;
+    arena = true;
     domains = 0;
     queue_depth = default_queue_depth;
   }
@@ -88,6 +91,8 @@ let with_adaptive ?(hot_threshold = default_hot_threshold) t =
 let with_tier tier t = { t with tier }
 let with_zero_copy zc t = { t with zero_copy = zc }
 let legacy_copy t = { t with zero_copy = false }
+let with_arena a t = { t with arena = a }
+let legacy_heap t = { t with arena = false }
 
 let with_domains ?(queue_depth = default_queue_depth) n t =
   if n < 0 then invalid_arg "Config.with_domains: negative domain count";

@@ -83,6 +83,13 @@ type t = {
           for every preset — frames are byte-identical either way, so
           all published numbers are untouched; [legacy_copy] turns the
           old framing back on for the [wirecost] comparison *)
+  arena : bool;
+      (** decode served arguments into a recycling arena and reclaim
+          them wholesale after dispatch when the plan's [non_escaping]
+          escape-analysis verdict licenses it (PR 10).  On for every
+          preset — reply bytes are identical either way, only the
+          allocator changes; [legacy_heap] turns the GC-heap decode
+          path back on for the [alloc] differential experiment *)
   domains : int;
       (** worker domains in the server-side dispatch pool (PR 6).  [0]
           — the preset default — keeps the paper's serial model: each
@@ -130,6 +137,13 @@ val with_zero_copy : bool -> t -> t
 (** Same optimization row on the pre-PR-5 copy-based wire framing
     (used as the baseline by the [wirecost] experiment). *)
 val legacy_copy : t -> t
+
+(** Same optimization row with the given decode-arena mode. *)
+val with_arena : bool -> t -> t
+
+(** Same optimization row decoding on the GC heap (pre-PR-10 allocator;
+    used as the baseline by the [alloc] experiment). *)
+val legacy_heap : t -> t
 
 (** [with_domains n t] serves requests from a work-stealing pool of [n]
     domains ([n = 0] restores the serial per-node loop); [queue_depth]

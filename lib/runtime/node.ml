@@ -38,6 +38,14 @@ type compiled_plan = {
      to completion on its own thread before any nested use. *)
   mutable cp_wctx : (bool * Codec.wctx) option;
   mutable cp_rctx : (bool * Codec.rctx) option;
+  (* serve-side argument decoding only (PR 10): an arena-backed reader
+     context used when [Config.arena] is on and the plan's
+     [non_escaping] escape verdict licenses wholesale reclaim.  Kept
+     separate from [cp_rctx] because return values decoded on the
+     client side escape to the application and must stay on the GC
+     heap. *)
+  mutable cp_arena : Rmi_serial.Arena.t option;
+  mutable cp_arctx : (bool * Codec.rctx) option;
 }
 
 (* per-peer circuit breaker: [opened_at < 0] means closed *)
@@ -260,6 +268,8 @@ let compile_plan (plan : Plan.t) =
     cp_read_ret = Option.map (Codec.compile_read ~defs) plan.Plan.ret;
     cp_wctx = None;
     cp_rctx = None;
+    cp_arena = None;
+    cp_arctx = None;
   }
 
 (* compiled once per (node, call site, plan version); the config is
@@ -500,6 +510,46 @@ let rctx_for t cp ~cycle =
         cp.cp_rctx <- Some (cycle, rctx);
         rctx
 
+(* Arena decoding applies when the knob is on, the plan's escape
+   analysis proved no served argument outlives its dispatch, and
+   per-position reuse is off — reuse already recycles the previous
+   call's graph in place, and running both schemes at once would hand
+   the same node out twice (once as a reuse candidate, once from a
+   shape pool). *)
+let arena_mode t cp =
+  t.cfg.Config.arena && site_mode t
+  && (not t.cfg.Config.reuse)
+  && cp.cp_plan.Plan.non_escaping
+
+(* Serve-side argument decode context: arena-backed under [arena_mode].
+   The previous dispatch's nodes are parked here, on next acquisition,
+   rather than on the dispatch's many exit paths — equivalent, since
+   [non_escaping] proves nothing referenced them in between. *)
+let serve_rctx_for t cp ~cycle =
+  if not (arena_mode t cp) then rctx_for t cp ~cycle
+  else begin
+    let arena =
+      match cp.cp_arena with
+      | Some a -> a
+      | None ->
+          let a = Rmi_serial.Arena.create ~metrics:(metrics t) in
+          cp.cp_arena <- Some a;
+          a
+    in
+    Rmi_serial.Arena.reset arena;
+    match cp.cp_arctx with
+    | Some (c, rctx) when c = cycle ->
+        Codec.reset_rctx rctx;
+        rctx
+    | _ ->
+        let rctx =
+          Codec.make_rctx ~defs:cp.cp_plan.Plan.defs ~arena t.meta (metrics t)
+            ~cycle
+        in
+        cp.cp_arctx <- Some (cycle, rctx);
+        rctx
+  end
+
 let marshal_args_positional t cp header args =
   let plan = cp.cp_plan in
   let w = acquire_msg_writer t in
@@ -556,7 +606,7 @@ let marshal_args_tiered t st cp header args =
 
 let unmarshal_args t cp ~callsite r =
   let plan = cp.cp_plan in
-  let rctx = rctx_for t cp ~cycle:(eff_cycle_args t plan) in
+  let rctx = serve_rctx_for t cp ~cycle:(eff_cycle_args t plan) in
   let nargs = Array.length plan.Plan.args in
   let roots =
     Array.mapi

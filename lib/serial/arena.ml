@@ -1,0 +1,165 @@
+module Metrics = Rmi_stats.Metrics
+
+(* OCaml cannot region-allocate ordinary heap blocks, so the "arena" is
+   a set of shape-keyed recycling pools: every node the decoder asks for
+   is logged as live, and [reset] returns the whole live set to the
+   pools in one sweep.  Steady state on a stable call site is therefore
+   allocation-free — the generalization of the paper's per-position
+   argument reuse to arbitrary (varying-shape) argument graphs, made
+   sound by the escape analysis verdict that licenses the reset. *)
+
+type 'a pool = { mutable items : 'a array; mutable len : int }
+
+(* beyond this many parked nodes per shape the pool stops growing and
+   lets the GC take the surplus — a backstop against a workload that
+   decodes one giant graph once *)
+let max_pooled_per_shape = 4096
+
+let pool_make () = { items = [||]; len = 0 }
+
+let pool_push p x =
+  if p.len < max_pooled_per_shape then begin
+    if p.len >= Array.length p.items then begin
+      let fresh = Array.make (max 16 (2 * Array.length p.items)) x in
+      Array.blit p.items 0 fresh 0 p.len;
+      p.items <- fresh
+    end;
+    p.items.(p.len) <- x;
+    p.len <- p.len + 1
+  end
+
+type t = {
+  metrics : Metrics.t;
+  free_objs : (int, Value.obj pool) Hashtbl.t;  (* key: cls * 2^16 + nfields *)
+  free_darrs : (int, Value.darr pool) Hashtbl.t;  (* key: length *)
+  free_iarrs : (int, Value.iarr pool) Hashtbl.t;
+  free_rarrs : (int, Value.rarr pool) Hashtbl.t;  (* key: length; relem checked *)
+  live_objs : Value.obj pool;
+  live_darrs : Value.darr pool;
+  live_iarrs : Value.iarr pool;
+  live_rarrs : Value.rarr pool;
+}
+
+let create ~metrics =
+  {
+    metrics;
+    free_objs = Hashtbl.create 16;
+    free_darrs = Hashtbl.create 16;
+    free_iarrs = Hashtbl.create 16;
+    free_rarrs = Hashtbl.create 16;
+    live_objs = pool_make ();
+    live_darrs = pool_make ();
+    live_iarrs = pool_make ();
+    live_rarrs = pool_make ();
+  }
+
+(* allocation-free on the hit path: Hashtbl.find via exception, no
+   option boxing *)
+let take tbl key =
+  match Hashtbl.find tbl key with
+  | exception Not_found -> None
+  | p ->
+      if p.len = 0 then None
+      else begin
+        p.len <- p.len - 1;
+        Some p.items.(p.len)
+      end
+
+let park tbl key x =
+  let p =
+    match Hashtbl.find tbl key with
+    | exception Not_found ->
+        let p = pool_make () in
+        Hashtbl.add tbl key p;
+        p
+    | p -> p
+  in
+  pool_push p x
+
+let obj_key cls nfields = (cls lsl 16) lor (nfields land 0xffff)
+
+let obj t ~cls ~nfields =
+  Metrics.incr_arena_allocs t.metrics;
+  let o =
+    if nfields > 0xffff then begin
+      Metrics.incr_arena_fallbacks t.metrics;
+      Value.new_obj ~cls ~nfields
+    end
+    else
+      match take t.free_objs (obj_key cls nfields) with
+      | Some o -> o
+      | None ->
+          Metrics.incr_arena_fallbacks t.metrics;
+          Value.new_obj ~cls ~nfields
+  in
+  pool_push t.live_objs o;
+  o
+
+let darr t n =
+  Metrics.incr_arena_allocs t.metrics;
+  let a =
+    match take t.free_darrs n with
+    | Some a -> a
+    | None ->
+        Metrics.incr_arena_fallbacks t.metrics;
+        Value.new_darr n
+  in
+  pool_push t.live_darrs a;
+  a
+
+let iarr t n =
+  Metrics.incr_arena_allocs t.metrics;
+  let a =
+    match take t.free_iarrs n with
+    | Some a -> a
+    | None ->
+        Metrics.incr_arena_fallbacks t.metrics;
+        Value.new_iarr n
+  in
+  pool_push t.live_iarrs a;
+  a
+
+let rarr t relem n =
+  Metrics.incr_arena_allocs t.metrics;
+  let a =
+    match take t.free_rarrs n with
+    | Some a when Jir.Types.equal_ty a.Value.relem relem -> a
+    | Some _ | None ->
+        (* a popped array with the wrong element type is dropped to the
+           GC rather than re-parked (re-parking could starve the pool
+           behind a permanently mismatched head) *)
+        Metrics.incr_arena_fallbacks t.metrics;
+        Value.new_rarr relem n
+  in
+  pool_push t.live_rarrs a;
+  a
+
+let live t =
+  t.live_objs.len + t.live_darrs.len + t.live_iarrs.len + t.live_rarrs.len
+
+let pooled t =
+  let sum tbl = Hashtbl.fold (fun _ p acc -> acc + p.len) tbl 0 in
+  sum t.free_objs + sum t.free_darrs + sum t.free_iarrs + sum t.free_rarrs
+
+let reset t =
+  Metrics.incr_arena_resets t.metrics;
+  for i = 0 to t.live_objs.len - 1 do
+    let o = t.live_objs.items.(i) in
+    park t.free_objs (obj_key o.Value.cls (Array.length o.Value.fields)) o
+  done;
+  t.live_objs.len <- 0;
+  for i = 0 to t.live_darrs.len - 1 do
+    let a = t.live_darrs.items.(i) in
+    park t.free_darrs (Array.length a.Value.d) a
+  done;
+  t.live_darrs.len <- 0;
+  for i = 0 to t.live_iarrs.len - 1 do
+    let a = t.live_iarrs.items.(i) in
+    park t.free_iarrs (Array.length a.Value.ia) a
+  done;
+  t.live_iarrs.len <- 0;
+  for i = 0 to t.live_rarrs.len - 1 do
+    let a = t.live_rarrs.items.(i) in
+    park t.free_rarrs (Array.length a.Value.ra) a
+  done;
+  t.live_rarrs.len <- 0

@@ -16,6 +16,8 @@ type rctx = {
   rmetrics : Metrics.t;
   rcycle : bool;
   rdefs : Plan.step array;
+  arena : Arena.t option;
+      (* backing store for decoded nodes; [None] = GC heap (legacy) *)
   mutable handles : Value.t array;
   mutable nhandles : int;
 }
@@ -39,12 +41,13 @@ let reset_wctx wctx =
 
 let reset_rctx rctx = rctx.nhandles <- 0
 
-let make_rctx ?(defs = [||]) rmeta rmetrics ~cycle =
+let make_rctx ?(defs = [||]) ?arena rmeta rmetrics ~cycle =
   {
     rmeta;
     rmetrics;
     rcycle = cycle;
     rdefs = defs;
+    arena;
     handles = Array.make 16 Value.Null;
     nhandles = 0;
   }
@@ -82,6 +85,49 @@ let charge_alloc rctx v =
 
 let charge_reuse rctx = Metrics.add_reused_objs rctx.rmetrics 1
 
+(* Fresh-node constructors for the decode path: drawn from the arena's
+   recycling pools when one is attached, from the GC heap otherwise.
+   Both paths charge the paper-statistic counters identically — the
+   arena substitutes the allocator, not the plan-level accounting, so
+   every published table is untouched; the arena's own effect is told
+   by the arena_* counters and by real [Gc.minor_words] in the [alloc]
+   experiment. *)
+let alloc_obj rctx ~cls ~nfields =
+  let o =
+    match rctx.arena with
+    | Some a -> Arena.obj a ~cls ~nfields
+    | None -> Value.new_obj ~cls ~nfields
+  in
+  charge_alloc rctx (Value.Obj o);
+  o
+
+let alloc_darr rctx n =
+  let a =
+    match rctx.arena with
+    | Some a -> Arena.darr a n
+    | None -> Value.new_darr n
+  in
+  charge_alloc rctx (Value.Darr a);
+  a
+
+let alloc_iarr rctx n =
+  let a =
+    match rctx.arena with
+    | Some a -> Arena.iarr a n
+    | None -> Value.new_iarr n
+  in
+  charge_alloc rctx (Value.Iarr a);
+  a
+
+let alloc_rarr rctx relem n =
+  let a =
+    match rctx.arena with
+    | Some a -> Arena.rarr a relem n
+    | None -> Value.new_rarr relem n
+  in
+  charge_alloc rctx (Value.Rarr a);
+  a
+
 (* Reject corrupt/hostile lengths before allocating: every element
    needs at least [unit] bytes of payload still in the buffer.  Plans
    can legitimately encode elements in zero bytes (statically-null
@@ -103,7 +149,8 @@ let step_min_width : Plan.step -> int = function
   | Plan.S_null -> 0
   | Plan.S_ref _ -> 1 (* a marker byte at least *)
   | Plan.S_bool | Plan.S_string | Plan.S_obj _ | Plan.S_double_array
-  | Plan.S_int_array | Plan.S_obj_array _ | Plan.S_dyn | Plan.S_int ->
+  | Plan.S_int_array | Plan.S_obj_array _ | Plan.S_flat_array _ | Plan.S_dyn
+  | Plan.S_int ->
       1
   | Plan.S_double -> 8
 
@@ -207,9 +254,7 @@ let rec read_dyn rctx r ~(cand : Value.t) : Value.t =
             charge_reuse rctx;
             (o, Some (Array.copy o.fields))
         | _ ->
-            let o = Value.new_obj ~cls ~nfields in
-            charge_alloc rctx (Value.Obj o);
-            (o, None)
+            (alloc_obj rctx ~cls ~nfields, None)
       in
       register_handle rctx (Value.Obj target);
       for i = 0 to nfields - 1 do
@@ -225,9 +270,7 @@ let rec read_dyn rctx r ~(cand : Value.t) : Value.t =
             charge_reuse rctx;
             a
         | _ ->
-            let a = Value.new_darr n in
-            charge_alloc rctx (Value.Darr a);
-            a
+            alloc_darr rctx n
       in
       register_handle rctx (Value.Darr target);
       Msgbuf.read_double_slice r target.d 0 n;
@@ -240,9 +283,7 @@ let rec read_dyn rctx r ~(cand : Value.t) : Value.t =
             charge_reuse rctx;
             a
         | _ ->
-            let a = Value.new_iarr n in
-            charge_alloc rctx (Value.Iarr a);
-            a
+            alloc_iarr rctx n
       in
       register_handle rctx (Value.Iarr target);
       Msgbuf.read_int_slice r target.ia 0 n;
@@ -257,9 +298,7 @@ let rec read_dyn rctx r ~(cand : Value.t) : Value.t =
             charge_reuse rctx;
             (a, Some (Array.copy a.ra))
         | _ ->
-            let a = Value.new_rarr relem n in
-            charge_alloc rctx (Value.Rarr a);
-            (a, None)
+            (alloc_rarr rctx relem n, None)
       in
       register_handle rctx (Value.Rarr target);
       for i = 0 to n - 1 do
@@ -309,6 +348,47 @@ let write_ref_marker wctx w v =
           Msgbuf.write_u8 w m_inline;
           true)
 
+(* Struct-of-arrays encoding for a rectangular array of scalar arrays:
+   rows, cols, then one contiguous row-major payload — no per-row
+   marker, length or handle.  The static promise is strict (every row a
+   non-null scalar array of the same length); any violation raises
+   [Type_confusion] so the plan deoptimizes through the widen
+   machinery, exactly like a class-shape violation on [S_obj]. *)
+let write_flat _wctx w (felem : Plan.flat_elem) (a : Value.rarr) =
+  let rows = Array.length a.Value.ra in
+  Msgbuf.write_uvarint w rows;
+  match felem with
+  | Plan.F_darr ->
+      let cols =
+        if rows = 0 then 0
+        else
+          match a.Value.ra.(0) with
+          | Value.Darr r -> Array.length r.Value.d
+          | v -> confusion "S_flat_array(double) row" v
+      in
+      Msgbuf.write_uvarint w cols;
+      for i = 0 to rows - 1 do
+        match a.Value.ra.(i) with
+        | Value.Darr r when Array.length r.Value.d = cols ->
+            Msgbuf.write_double_slice w r.Value.d 0 cols
+        | v -> confusion "S_flat_array(double) row" v
+      done
+  | Plan.F_iarr ->
+      let cols =
+        if rows = 0 then 0
+        else
+          match a.Value.ra.(0) with
+          | Value.Iarr r -> Array.length r.Value.ia
+          | v -> confusion "S_flat_array(int) row" v
+      in
+      Msgbuf.write_uvarint w cols;
+      for i = 0 to rows - 1 do
+        match a.Value.ra.(i) with
+        | Value.Iarr r when Array.length r.Value.ia = cols ->
+            Msgbuf.write_int_slice w r.Value.ia 0 cols
+        | v -> confusion "S_flat_array(int) row" v
+      done
+
 let rec write_step wctx w (step : Plan.step) (v : Value.t) =
   match (step, v) with
   | Plan.S_bool, Value.Bool b -> Msgbuf.write_bool w b
@@ -352,6 +432,12 @@ let rec write_step wctx w (step : Plan.step) (v : Value.t) =
             Array.iter (write_step wctx w elem) a.ra
         | _ -> confusion "S_obj_array" v
       end
+  | Plan.S_flat_array { felem }, v ->
+      if write_ref_marker wctx w v then begin
+        match v with
+        | Value.Rarr a -> write_flat wctx w felem a
+        | _ -> confusion "S_flat_array" v
+      end
   | (Plan.S_bool | Plan.S_int | Plan.S_double | Plan.S_null | Plan.S_string), v
     ->
       confusion "primitive step" v
@@ -366,7 +452,68 @@ let rec ty_of_step : Plan.step -> Jir.Types.ty = function
   | Plan.S_double_array -> Jir.Types.Tarray Jir.Types.Tdouble
   | Plan.S_int_array -> Jir.Types.Tarray Jir.Types.Tint
   | Plan.S_obj_array { elem } -> Jir.Types.Tarray (ty_of_step elem)
+  | Plan.S_flat_array { felem = Plan.F_darr } ->
+      Jir.Types.Tarray (Jir.Types.Tarray Jir.Types.Tdouble)
+  | Plan.S_flat_array { felem = Plan.F_iarr } ->
+      Jir.Types.Tarray (Jir.Types.Tarray Jir.Types.Tint)
   | Plan.S_null | Plan.S_dyn | Plan.S_ref _ -> Jir.Types.Tvoid
+
+let flat_elem_ty = function
+  | Plan.F_darr -> Jir.Types.Tarray Jir.Types.Tdouble
+  | Plan.F_iarr -> Jir.Types.Tarray Jir.Types.Tint
+
+(* Decode a flat-encoded matrix: two varints, one shape check, then raw
+   row-major slices — no per-row marker, tag or handle bookkeeping.
+   The candidate is only consulted on the legacy heap path: under an
+   arena the previous call's rows already sit in the shape pools (the
+   allocators below pop them back out), and reusing them in place as
+   well would alias one node into two roles. *)
+let read_flat rctx r (felem : Plan.flat_elem) ~(cand : Value.t) : Value.t =
+  let rows = checked_len r (Msgbuf.read_uvarint r) ~unit:0 "flat[][] rows" in
+  let cols = checked_len r (Msgbuf.read_uvarint r) ~unit:0 "flat[][] cols" in
+  let unit = match felem with Plan.F_darr -> 8 | Plan.F_iarr -> 1 in
+  (* one bounds check for the whole matrix *)
+  if cols > 0 && rows > Msgbuf.remaining r / (cols * unit) then
+    raise
+      (Msgbuf.Underflow (Printf.sprintf "flat[][]: bad shape %dx%d" rows cols));
+  let in_place = rctx.arena = None in
+  let target =
+    match cand with
+    | Value.Rarr a
+      when in_place
+           && Array.length a.Value.ra = rows
+           && Jir.Types.equal_ty a.Value.relem (flat_elem_ty felem) ->
+        charge_reuse rctx;
+        a
+    | _ -> alloc_rarr rctx (flat_elem_ty felem) rows
+  in
+  register_handle rctx (Value.Rarr target);
+  (match felem with
+  | Plan.F_darr ->
+      for i = 0 to rows - 1 do
+        let row =
+          match target.Value.ra.(i) with
+          | Value.Darr d when in_place && Array.length d.Value.d = cols ->
+              charge_reuse rctx;
+              d
+          | _ -> alloc_darr rctx cols
+        in
+        Msgbuf.read_double_slice r row.Value.d 0 cols;
+        target.Value.ra.(i) <- Value.Darr row
+      done
+  | Plan.F_iarr ->
+      for i = 0 to rows - 1 do
+        let row =
+          match target.Value.ra.(i) with
+          | Value.Iarr d when in_place && Array.length d.Value.ia = cols ->
+              charge_reuse rctx;
+              d
+          | _ -> alloc_iarr rctx cols
+        in
+        Msgbuf.read_int_slice r row.Value.ia 0 cols;
+        target.Value.ra.(i) <- Value.Iarr row
+      done);
+  Value.Rarr target
 
 let read_ref_marker rctx r =
   match Msgbuf.read_u8 r with
@@ -403,9 +550,7 @@ let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
                 charge_reuse rctx;
                 (o, Some (Array.copy o.fields))
             | _ ->
-                let o = Value.new_obj ~cls ~nfields in
-                charge_alloc rctx (Value.Obj o);
-                (o, None)
+                (alloc_obj rctx ~cls ~nfields, None)
           in
           register_handle rctx (Value.Obj target);
           Array.iteri
@@ -428,9 +573,7 @@ let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
                 charge_reuse rctx;
                 a
             | _ ->
-                let a = Value.new_darr n in
-                charge_alloc rctx (Value.Darr a);
-                a
+                alloc_darr rctx n
           in
           register_handle rctx (Value.Darr target);
           Msgbuf.read_double_slice r target.d 0 n;
@@ -447,9 +590,7 @@ let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
                 charge_reuse rctx;
                 a
             | _ ->
-                let a = Value.new_iarr n in
-                charge_alloc rctx (Value.Iarr a);
-                a
+                alloc_iarr rctx n
           in
           register_handle rctx (Value.Iarr target);
           Msgbuf.read_int_slice r target.ia 0 n;
@@ -468,10 +609,7 @@ let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
             | Value.Rarr a when Array.length a.ra = n ->
                 charge_reuse rctx;
                 (a, Some (Array.copy a.ra))
-            | _ ->
-                let a = Value.new_rarr (ty_of_step elem) n in
-                charge_alloc rctx (Value.Rarr a);
-                (a, None)
+            | _ -> (alloc_rarr rctx (ty_of_step elem) n, None)
           in
           register_handle rctx (Value.Rarr target);
           for i = 0 to n - 1 do
@@ -481,6 +619,11 @@ let rec read_step rctx r (step : Plan.step) ~(cand : Value.t) : Value.t =
             target.ra.(i) <- read_step rctx r elem ~cand:ec
           done;
           Value.Rarr target)
+  | Plan.S_flat_array { felem } -> (
+      match read_ref_marker rctx r with
+      | `Null -> Value.Null
+      | `Handle v -> v
+      | `Inline -> read_flat rctx r felem ~cand)
 
 (* ------------------------------------------------------------------ *)
 (* compiled plans: partial evaluation of the step tree into closures   *)
@@ -564,6 +707,12 @@ let rec compile_write_in cache ~defs (step : Plan.step) :
               Array.iter (compiled_elem wctx w) a.ra
           | v -> confusion "S_obj_array" v
         end
+  | Plan.S_flat_array { felem } -> (
+      fun wctx w v ->
+        if write_ref_marker wctx w v then
+          match v with
+          | Value.Rarr a -> write_flat wctx w felem a
+          | v -> confusion "S_flat_array" v)
 
 let compile_write ~defs step = compile_write_in (Hashtbl.create 4) ~defs step
 
@@ -608,9 +757,7 @@ let rec compile_read_in cache ~defs (step : Plan.step) :
                   charge_reuse rctx;
                   (o, Some (Array.copy o.fields))
               | _ ->
-                  let o = Value.new_obj ~cls ~nfields in
-                  charge_alloc rctx (Value.Obj o);
-                  (o, None)
+                  (alloc_obj rctx ~cls ~nfields, None)
             in
             register_handle rctx (Value.Obj target);
             for i = 0 to nfields - 1 do
@@ -633,9 +780,7 @@ let rec compile_read_in cache ~defs (step : Plan.step) :
                   charge_reuse rctx;
                   a
               | _ ->
-                  let a = Value.new_darr n in
-                  charge_alloc rctx (Value.Darr a);
-                  a
+                  alloc_darr rctx n
             in
             register_handle rctx (Value.Darr target);
             Msgbuf.read_double_slice r target.d 0 n;
@@ -653,9 +798,7 @@ let rec compile_read_in cache ~defs (step : Plan.step) :
                   charge_reuse rctx;
                   a
               | _ ->
-                  let a = Value.new_iarr n in
-                  charge_alloc rctx (Value.Iarr a);
-                  a
+                  alloc_iarr rctx n
             in
             register_handle rctx (Value.Iarr target);
             Msgbuf.read_int_slice r target.ia 0 n;
@@ -677,10 +820,7 @@ let rec compile_read_in cache ~defs (step : Plan.step) :
               | Value.Rarr a when Array.length a.ra = n ->
                   charge_reuse rctx;
                   (a, Some (Array.copy a.ra))
-              | _ ->
-                  let a = Value.new_rarr elem_ty n in
-                  charge_alloc rctx (Value.Rarr a);
-                  (a, None)
+              | _ -> (alloc_rarr rctx elem_ty n, None)
             in
             register_handle rctx (Value.Rarr target);
             for i = 0 to n - 1 do
@@ -690,5 +830,11 @@ let rec compile_read_in cache ~defs (step : Plan.step) :
               target.ra.(i) <- compiled_elem rctx r ~cand:ec
             done;
             Value.Rarr target)
+  | Plan.S_flat_array { felem } -> (
+      fun rctx r ~cand ->
+        match read_ref_marker rctx r with
+        | `Null -> Value.Null
+        | `Handle v -> v
+        | `Inline -> read_flat rctx r felem ~cand)
 
 let compile_read ~defs step = compile_read_in (Hashtbl.create 4) ~defs step

@@ -36,8 +36,16 @@ val make_wctx :
   ?defs:Rmi_core.Plan.step array ->
   Class_meta.t -> Rmi_stats.Metrics.t -> cycle:bool -> wctx
 
+(** [make_rctx ?arena] — when an arena is supplied, every Value node the
+    context materializes is drawn from (and logged in) the arena's
+    recycling pools instead of the GC heap; the paper-statistic counters
+    are charged identically either way, so published tables are
+    untouched.  The caller resets the arena between dispatches when the
+    plan's [non_escaping] bit licenses it.  Reuse candidates must be
+    [Null] under an arena: the two recycling schemes alias if mixed. *)
 val make_rctx :
   ?defs:Rmi_core.Plan.step array ->
+  ?arena:Arena.t ->
   Class_meta.t -> Rmi_stats.Metrics.t -> cycle:bool -> rctx
 
 (** [reset_wctx w] clears the cycle handle-table (a no-op without one).

@@ -93,6 +93,9 @@ type t = {
   plan_cache_hits : int Atomic.t;
   plan_cache_misses : int Atomic.t;
   bytes_copied : int Atomic.t;
+  arena_allocs : int Atomic.t;
+  arena_resets : int Atomic.t;
+  arena_fallbacks : int Atomic.t;
   pool_hits : int Atomic.t;
   pool_misses : int Atomic.t;
   dispatches : int Atomic.t;
@@ -143,6 +146,9 @@ type snapshot = {
   bytes_copied : int;
   pool_hits : int;
   pool_misses : int;
+  arena_allocs : int;
+  arena_resets : int;
+  arena_fallbacks : int;
   dispatches : int;
   queue_rejects : int;
   steals : int;
@@ -187,6 +193,9 @@ let create () : t =
     plan_cache_hits = Atomic.make 0;
     plan_cache_misses = Atomic.make 0;
     bytes_copied = Atomic.make 0;
+    arena_allocs = Atomic.make 0;
+    arena_resets = Atomic.make 0;
+    arena_fallbacks = Atomic.make 0;
     pool_hits = Atomic.make 0;
     pool_misses = Atomic.make 0;
     dispatches = Atomic.make 0;
@@ -233,6 +242,9 @@ let reset (t : t) =
   Atomic.set t.plan_cache_hits 0;
   Atomic.set t.plan_cache_misses 0;
   Atomic.set t.bytes_copied 0;
+  Atomic.set t.arena_allocs 0;
+  Atomic.set t.arena_resets 0;
+  Atomic.set t.arena_fallbacks 0;
   Atomic.set t.pool_hits 0;
   Atomic.set t.pool_misses 0;
   Atomic.set t.dispatches 0;
@@ -288,6 +300,9 @@ let incr_tier_deopts (t : t) = add t.tier_deopts 1
 let incr_plan_cache_hits (t : t) = add t.plan_cache_hits 1
 let incr_plan_cache_misses (t : t) = add t.plan_cache_misses 1
 let add_bytes_copied (t : t) n = add t.bytes_copied n
+let incr_arena_allocs (t : t) = add t.arena_allocs 1
+let incr_arena_resets (t : t) = add t.arena_resets 1
+let incr_arena_fallbacks (t : t) = add t.arena_fallbacks 1
 let incr_pool_hits (t : t) = add t.pool_hits 1
 let incr_pool_misses (t : t) = add t.pool_misses 1
 let incr_dispatches (t : t) = add t.dispatches 1
@@ -367,6 +382,9 @@ let snapshot (t : t) =
     plan_cache_hits = Atomic.get t.plan_cache_hits;
     plan_cache_misses = Atomic.get t.plan_cache_misses;
     bytes_copied = Atomic.get t.bytes_copied;
+    arena_allocs = Atomic.get t.arena_allocs;
+    arena_resets = Atomic.get t.arena_resets;
+    arena_fallbacks = Atomic.get t.arena_fallbacks;
     pool_hits = Atomic.get t.pool_hits;
     pool_misses = Atomic.get t.pool_misses;
     dispatches = Atomic.get t.dispatches;
@@ -419,6 +437,9 @@ let zero =
     plan_cache_hits = 0;
     plan_cache_misses = 0;
     bytes_copied = 0;
+    arena_allocs = 0;
+    arena_resets = 0;
+    arena_fallbacks = 0;
     pool_hits = 0;
     pool_misses = 0;
     dispatches = 0;
@@ -479,6 +500,9 @@ let map2 f a b =
     plan_cache_hits = f a.plan_cache_hits b.plan_cache_hits;
     plan_cache_misses = f a.plan_cache_misses b.plan_cache_misses;
     bytes_copied = f a.bytes_copied b.bytes_copied;
+    arena_allocs = f a.arena_allocs b.arena_allocs;
+    arena_resets = f a.arena_resets b.arena_resets;
+    arena_fallbacks = f a.arena_fallbacks b.arena_fallbacks;
     pool_hits = f a.pool_hits b.pool_hits;
     pool_misses = f a.pool_misses b.pool_misses;
     dispatches = f a.dispatches b.dispatches;
@@ -554,6 +578,13 @@ let pp_wire ppf s =
     Format.fprintf ppf "@ bytes_copied=%d pool_hits=%d pool_misses=%d"
       s.bytes_copied s.pool_hits s.pool_misses
 
+let pp_arena ppf s =
+  (* arena telemetry only appears once arena decoding ran, so
+     legacy-heap paper-table output is unchanged *)
+  if s.arena_allocs + s.arena_resets + s.arena_fallbacks > 0 then
+    Format.fprintf ppf "@ arena_allocs=%d arena_resets=%d arena_fallbacks=%d"
+      s.arena_allocs s.arena_resets s.arena_fallbacks
+
 let pp_load ppf s =
   (* dispatch-pool counters only appear once the multi-domain runtime
      ran, so single-domain paper-table output is unchanged.  The latency
@@ -576,9 +607,9 @@ let pp ppf s =
     "@[<v>remote_rpcs=%d local_rpcs=%d reused_objs=%d new_bytes=%d@ \
      cycle_lookups=%d ser_invocations=%d msgs=%d bytes=%d type_bytes=%d \
      allocs=%d@ retries=%d timeouts=%d dup_drops=%d acks_sent=%d@ \
-     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a%a%a@]"
+     batches=%d batched_msgs=%d unbatched_msgs=%d outstanding_hwm=%d%a%a%a%a%a%a@]"
     s.remote_rpcs s.local_rpcs s.reused_objs s.new_bytes s.cycle_lookups
     s.ser_invocations s.msgs_sent s.bytes_sent s.type_bytes s.allocs s.retries
     s.timeouts s.dup_drops s.acks_sent s.batches_sent s.batched_msgs
     s.unbatched_msgs s.outstanding_hwm pp_batch_hist s.batch_hist
-    pp_robustness s pp_tiers s pp_wire s pp_load s
+    pp_robustness s pp_tiers s pp_wire s pp_arena s pp_load s

@@ -47,6 +47,9 @@ type snapshot = {
   bytes_copied : int;     (** payload bytes physically copied on the wire path *)
   pool_hits : int;        (** buffer acquisitions served from the free list *)
   pool_misses : int;      (** buffer acquisitions that allocated fresh storage *)
+  arena_allocs : int;     (** Value nodes handed out by decode arenas *)
+  arena_resets : int;     (** wholesale arena reclaims after dispatch *)
+  arena_fallbacks : int;  (** arena requests that fell back to the GC heap *)
   dispatches : int;       (** requests executed by dispatch-pool workers *)
   queue_rejects : int;    (** requests refused because a node queue was full *)
   steals : int;           (** tasks a worker took from another worker's nodes *)
@@ -164,6 +167,16 @@ val incr_plan_cache_misses : t -> unit
 val add_bytes_copied : t -> int -> unit
 val incr_pool_hits : t -> unit
 val incr_pool_misses : t -> unit
+
+(** Arena telemetry (PR 10): Value-node recycling on the decode path.
+    [arena_allocs] counts every node an arena hands out (recycled or
+    fresh), [arena_fallbacks] the subset that had to come off the GC
+    heap (cold pool or shape mismatch), [arena_resets] the wholesale
+    end-of-dispatch reclaims escape analysis licensed. *)
+
+val incr_arena_allocs : t -> unit
+val incr_arena_resets : t -> unit
+val incr_arena_fallbacks : t -> unit
 
 (** Dispatch-pool telemetry (PR 6).  Only the multi-domain runtime
     touches the counters, so single-domain runs keep byte-identical

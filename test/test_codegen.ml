@@ -20,14 +20,18 @@ let fig13_array_plan () =
   let r = analyze fx.s_prog in
   let cs = callsite_of r fx.s_site in
   let plan = Codegen.plan_for r cs in
-  (* the generated marshaler of Figure 13: outer object array of double
-     arrays, no cycle table, argument reusable, ack-only reply *)
+  (* the generated marshaler of Figure 13, fused into the flat
+     struct-of-arrays step (PR 10): one shape check for the whole
+     double[][], rows decoded straight into unboxed storage.  No cycle
+     table, argument reusable, ack-only reply. *)
   (match plan.Plan.args with
-  | [| Plan.S_obj_array { elem = Plan.S_double_array } |] -> ()
+  | [| Plan.S_flat_array { felem = Plan.F_darr } |] -> ()
   | [| s |] -> Alcotest.failf "unexpected step %s" (plan_step_str s)
   | _ -> Alcotest.fail "expected one arg");
   Alcotest.(check bool) "cycle table removed" false plan.Plan.cycle_args;
   Alcotest.(check bool) "reuse enabled" true plan.Plan.reuse_args.(0);
+  Alcotest.(check bool) "escape verdict lifted to the plan" true
+    plan.Plan.non_escaping;
   Alcotest.(check bool) "ack-only reply" true (plan.Plan.ret = None)
 
 let fig5_per_callsite_specialization () =

@@ -446,8 +446,8 @@ let figure12_through_optimizer () =
       Alcotest.(check bool) "reusable" true
         (Rmi_core.Escape_analysis.is_reusable d.Rmi_core.Optimizer.arg_escape.(0));
       (match d.Rmi_core.Optimizer.plan.Rmi_core.Plan.args with
-      | [| Rmi_core.Plan.S_obj_array { elem = Rmi_core.Plan.S_double_array } |] -> ()
-      | _ -> Alcotest.fail "expected the Figure 13 plan");
+      | [| Rmi_core.Plan.S_flat_array { felem = Rmi_core.Plan.F_darr } |] -> ()
+      | _ -> Alcotest.fail "expected the Figure 13 (flat) plan");
       Alcotest.(check bool) "ack-only" true
         (d.Rmi_core.Optimizer.plan.Rmi_core.Plan.ret = None)
   | ds -> Alcotest.failf "expected one callsite, got %d" (List.length ds)

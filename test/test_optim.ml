@@ -194,7 +194,7 @@ let analyses_agree_after_simplify () =
       Alcotest.(check bool) "reusable" true
         (Rmi_core.Escape_analysis.is_reusable d.Rmi_core.Optimizer.arg_escape.(0));
       (match d.Rmi_core.Optimizer.plan.Rmi_core.Plan.args with
-      | [| Rmi_core.Plan.S_obj_array { elem = Rmi_core.Plan.S_double_array } |] -> ()
+      | [| Rmi_core.Plan.S_flat_array { felem = Rmi_core.Plan.F_darr } |] -> ()
       | _ -> Alcotest.fail "plan changed")
   | _ -> Alcotest.fail "expected one decision"
 

@@ -206,6 +206,7 @@ let reuse_cache_on_callee () =
       cycle_ret = false;
       reuse_args = [| true |];
       reuse_ret = false;
+      non_escaping = false;
       version = 1;
       polluted = false;
     }
@@ -337,6 +338,7 @@ let reset_caches_forgets_candidates () =
       cycle_ret = false;
       reuse_args = [| true |];
       reuse_ret = false;
+      non_escaping = false;
       version = 1;
       polluted = false;
     }

@@ -103,6 +103,9 @@ let mk_snapshot k =
     bytes_copied = k + 42;
     pool_hits = k + 43;
     pool_misses = k + 44;
+    arena_allocs = k + 49;
+    arena_resets = k + 50;
+    arena_fallbacks = k + 51;
     dispatches = k + 45;
     queue_rejects = k + 46;
     steals = k + 47;
@@ -164,6 +167,9 @@ let every_counter_covered () =
   Metrics.add_bytes_copied m 8;
   Metrics.incr_pool_hits m;
   Metrics.incr_pool_misses m;
+  Metrics.incr_arena_allocs m;
+  Metrics.incr_arena_resets m;
+  Metrics.incr_arena_fallbacks m;
   Metrics.incr_dispatches m;
   Metrics.incr_queue_rejects m;
   Metrics.incr_steals m;
@@ -208,6 +214,9 @@ let every_counter_covered () =
     bytes_copied;
     pool_hits;
     pool_misses;
+    arena_allocs;
+    arena_resets;
+    arena_fallbacks;
     dispatches;
     queue_rejects;
     steals;
@@ -229,6 +238,7 @@ let every_counter_covered () =
       breaker_fastfails; reply_cache_hits; batches_sent; batched_msgs;
       unbatched_msgs; outstanding_hwm; tier_promotions; tier_deopts;
       plan_cache_hits; plan_cache_misses; bytes_copied; pool_hits; pool_misses;
+      arena_allocs; arena_resets; arena_fallbacks;
       dispatches; queue_rejects; steals; queue_depth_hwm;
     ];
   Alcotest.(check bool) "histogram moved" true

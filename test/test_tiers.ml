@@ -33,6 +33,7 @@ let swap_plan =
     cycle_ret = false;
     reuse_args = [| false |];
     reuse_ret = false;
+    non_escaping = false;
     version = 1;
     polluted = false;
   }
